@@ -1,0 +1,295 @@
+//! Declarations: compilation units, classes, interfaces, members, and the
+//! syntax-extension declaration forms (`abstract … syntax(…)` productions and
+//! `… syntax Name(params) { body }` Mayans).
+
+use crate::{Expr, Formal, Ident, LazyNode, NodeKind, TypeName, UseTarget};
+use maya_lexer::{DelimTree, Span};
+use std::fmt;
+
+/// A single modifier keyword.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Modifier {
+    Public,
+    Private,
+    Protected,
+    Static,
+    Final,
+    Abstract,
+    Native,
+    Synchronized,
+    Transient,
+    Volatile,
+}
+
+impl Modifier {
+    /// The keyword text.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Modifier::Public => "public",
+            Modifier::Private => "private",
+            Modifier::Protected => "protected",
+            Modifier::Static => "static",
+            Modifier::Final => "final",
+            Modifier::Abstract => "abstract",
+            Modifier::Native => "native",
+            Modifier::Synchronized => "synchronized",
+            Modifier::Transient => "transient",
+            Modifier::Volatile => "volatile",
+        }
+    }
+
+    const ALL: [Modifier; 10] = [
+        Modifier::Public,
+        Modifier::Private,
+        Modifier::Protected,
+        Modifier::Static,
+        Modifier::Final,
+        Modifier::Abstract,
+        Modifier::Native,
+        Modifier::Synchronized,
+        Modifier::Transient,
+        Modifier::Volatile,
+    ];
+}
+
+/// A set of modifiers.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct Modifiers {
+    bits: u16,
+}
+
+impl Modifiers {
+    /// The empty modifier set.
+    pub fn none() -> Modifiers {
+        Modifiers::default()
+    }
+
+    /// A set with a single modifier.
+    pub fn just(m: Modifier) -> Modifiers {
+        let mut s = Modifiers::none();
+        s.add(m);
+        s
+    }
+
+    /// Adds a modifier (idempotent).
+    pub fn add(&mut self, m: Modifier) {
+        self.bits |= 1 << m as u16;
+    }
+
+    /// Adds a modifier, builder-style.
+    pub fn with(mut self, m: Modifier) -> Modifiers {
+        self.add(m);
+        self
+    }
+
+    /// Tests membership.
+    pub fn has(&self, m: Modifier) -> bool {
+        self.bits & (1 << m as u16) != 0
+    }
+
+    /// True for `static` members.
+    pub fn is_static(&self) -> bool {
+        self.has(Modifier::Static)
+    }
+
+    /// True for `abstract` declarations.
+    pub fn is_abstract(&self) -> bool {
+        self.has(Modifier::Abstract)
+    }
+
+    /// Iterates the contained modifiers in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = Modifier> + '_ {
+        Modifier::ALL.into_iter().filter(|m| self.has(*m))
+    }
+}
+
+impl fmt::Display for Modifiers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for m in self.iter() {
+            if !first {
+                f.write_str(" ")?;
+            }
+            f.write_str(m.as_str())?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// `import a.b.C;` or `import a.b.*;`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ImportDecl {
+    pub span: Span,
+    pub path: Vec<Ident>,
+    pub wildcard: bool,
+}
+
+/// A class declaration. `body_tree` holds the unshaped `BraceTree`; the class
+/// shaper replaces it with parsed `members` (paper Figure 4).
+#[derive(Clone, PartialEq, Debug)]
+pub struct ClassDecl {
+    pub span: Span,
+    pub modifiers: Modifiers,
+    pub name: Ident,
+    pub superclass: Option<TypeName>,
+    pub interfaces: Vec<TypeName>,
+    pub body_tree: Option<DelimTree>,
+    pub members: Vec<Decl>,
+}
+
+/// An interface declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct InterfaceDecl {
+    pub span: Span,
+    pub modifiers: Modifiers,
+    pub name: Ident,
+    pub extends: Vec<TypeName>,
+    pub body_tree: Option<DelimTree>,
+    pub members: Vec<Decl>,
+}
+
+/// A method declaration. The body is lazy; `None` for `abstract`/`native`
+/// methods and interface members.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MethodDecl {
+    pub span: Span,
+    pub modifiers: Modifiers,
+    pub ret: TypeName,
+    pub name: Ident,
+    pub formals: Vec<Formal>,
+    pub throws: Vec<TypeName>,
+    pub body: Option<LazyNode>,
+}
+
+/// A constructor declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CtorDecl {
+    pub span: Span,
+    pub modifiers: Modifiers,
+    pub name: Ident,
+    pub formals: Vec<Formal>,
+    pub throws: Vec<TypeName>,
+    pub body: LazyNode,
+}
+
+/// A field declaration (one declarator per node).
+#[derive(Clone, PartialEq, Debug)]
+pub struct FieldDecl {
+    pub span: Span,
+    pub modifiers: Modifiers,
+    pub ty: TypeName,
+    pub name: Ident,
+    pub init: Option<Expr>,
+}
+
+/// `abstract LHS syntax(rhs…);` — declares a grammar production whose
+/// left-hand side is the node type `lhs` (paper §3.1). The right-hand side is
+/// kept as an unparsed tree and interpreted by the metagrammar reader.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ProductionDecl {
+    pub span: Span,
+    pub modifiers: Modifiers,
+    pub lhs: Ident,
+    pub pattern: DelimTree,
+}
+
+/// `LHS syntax Name(params…) { body }` — declares a Mayan (semantic action /
+/// multimethod) on the production matching `params` (paper §3.2).
+#[derive(Clone, PartialEq, Debug)]
+pub struct MayanDecl {
+    pub span: Span,
+    pub modifiers: Modifiers,
+    pub lhs: Ident,
+    pub name: Ident,
+    pub params: DelimTree,
+    pub body: DelimTree,
+}
+
+/// A declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Decl {
+    Class(ClassDecl),
+    Interface(InterfaceDecl),
+    Method(MethodDecl),
+    Ctor(CtorDecl),
+    Field(FieldDecl),
+    Production(ProductionDecl),
+    Mayan(MayanDecl),
+    /// `use M;` at class-body or top level, with the declarations it scopes
+    /// over.
+    Use(UseTarget, Vec<Decl>),
+    Import(ImportDecl),
+    /// A declaration that expands to nothing.
+    Empty,
+}
+
+impl Decl {
+    /// The node kind of this declaration in the dispatch lattice.
+    pub fn node_kind(&self) -> NodeKind {
+        match self {
+            Decl::Class(_) => NodeKind::ClassDecl,
+            Decl::Interface(_) => NodeKind::InterfaceDecl,
+            Decl::Method(_) => NodeKind::MethodDecl,
+            Decl::Ctor(_) => NodeKind::CtorDecl,
+            Decl::Field(_) => NodeKind::FieldDecl,
+            Decl::Production(_) => NodeKind::ProductionDecl,
+            Decl::Mayan(_) => NodeKind::MayanDecl,
+            Decl::Use(..) => NodeKind::UseDecl,
+            Decl::Import(_) => NodeKind::ImportDecl,
+            Decl::Empty => NodeKind::EmptyDecl,
+        }
+    }
+
+    /// The declared name, when the declaration has one.
+    pub fn name(&self) -> Option<Ident> {
+        match self {
+            Decl::Class(c) => Some(c.name),
+            Decl::Interface(i) => Some(i.name),
+            Decl::Method(m) => Some(m.name),
+            Decl::Ctor(c) => Some(c.name),
+            Decl::Field(f) => Some(f.name),
+            Decl::Mayan(m) => Some(m.name),
+            _ => None,
+        }
+    }
+}
+
+/// A source file after the file reader: package, imports, declarations.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct CompilationUnit {
+    pub package: Option<Vec<Ident>>,
+    pub imports: Vec<ImportDecl>,
+    pub decls: Vec<Decl>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modifier_sets() {
+        let mut m = Modifiers::none();
+        assert!(!m.has(Modifier::Public));
+        m.add(Modifier::Public);
+        m.add(Modifier::Static);
+        assert!(m.has(Modifier::Public));
+        assert!(m.is_static());
+        assert!(!m.is_abstract());
+        assert_eq!(m.to_string(), "public static");
+        assert_eq!(m.iter().count(), 2);
+    }
+
+    #[test]
+    fn modifiers_are_idempotent() {
+        let m = Modifiers::just(Modifier::Final).with(Modifier::Final);
+        assert_eq!(m.iter().count(), 1);
+    }
+
+    #[test]
+    fn decl_kinds() {
+        assert_eq!(Decl::Empty.node_kind(), NodeKind::EmptyDecl);
+        assert!(Decl::Empty.node_kind().is_subkind_of(NodeKind::Declaration));
+        assert_eq!(Decl::Empty.name(), None);
+    }
+}

@@ -1,0 +1,348 @@
+//! Expressions, identifiers, literals, method names, and formals.
+
+use crate::{BinOp, IncDecOp, LazyNode, NodeKind, TypeName, UnOp};
+use maya_lexer::{sym, DelimTree, Span, Symbol};
+use std::any::Any;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// An identifier occurrence: interned name plus source span.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Ident {
+    pub sym: Symbol,
+    pub span: Span,
+}
+
+impl Ident {
+    /// Builds an identifier.
+    pub fn new(sym: Symbol, span: Span) -> Ident {
+        Ident { sym, span }
+    }
+
+    /// Builds a synthesized identifier (dummy span).
+    pub fn synth(sym: Symbol) -> Ident {
+        Ident::new(sym, Span::DUMMY)
+    }
+
+    /// Convenience: intern `name` and synthesize.
+    pub fn from_str(name: &str) -> Ident {
+        Ident::synth(sym(name))
+    }
+
+    /// The identifier's text.
+    pub fn as_str(&self) -> &'static str {
+        self.sym.as_str()
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sym.as_str())
+    }
+}
+
+/// A literal value.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Lit {
+    Int(i32),
+    Long(i64),
+    Float(f32),
+    Double(f64),
+    Bool(bool),
+    Char(char),
+    /// Interned *unescaped* string contents.
+    Str(Symbol),
+    Null,
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lit::Int(v) => write!(f, "{v}"),
+            Lit::Long(v) => write!(f, "{v}L"),
+            Lit::Float(v) => write!(f, "{v}f"),
+            Lit::Double(v) => write!(f, "{v}"),
+            Lit::Bool(v) => write!(f, "{v}"),
+            Lit::Char(c) => write!(f, "{:?}", c),
+            Lit::Str(s) => write!(f, "{:?}", s.as_str()),
+            Lit::Null => f.write_str("null"),
+        }
+    }
+}
+
+/// Everything left of `(` in a method invocation (paper §3.1).
+///
+/// `MethodName` is a first-class node type so that productions like the
+/// `foreach` statement can reuse it, and so Mayans can specialize on its
+/// substructure (an explicit receiver) and on the name token's value.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MethodName {
+    pub span: Span,
+    /// Explicit receiver expression (`h.keys()` in `h.keys().foreach`).
+    pub receiver: Option<Box<Expr>>,
+    /// True for `super.name(...)`.
+    pub super_recv: bool,
+    pub name: Ident,
+}
+
+impl MethodName {
+    /// A bare method name (implicit `this` or static context).
+    pub fn simple(name: Ident) -> MethodName {
+        MethodName {
+            span: name.span,
+            receiver: None,
+            super_recv: false,
+            name,
+        }
+    }
+
+    /// A method name with an explicit receiver.
+    pub fn with_receiver(receiver: Expr, name: Ident) -> MethodName {
+        MethodName {
+            span: receiver.span.to(name.span),
+            receiver: Some(Box::new(receiver)),
+            super_recv: false,
+            name,
+        }
+    }
+
+    /// `super.name`.
+    pub fn super_call(name: Ident) -> MethodName {
+        MethodName {
+            span: name.span,
+            receiver: None,
+            super_recv: true,
+            name,
+        }
+    }
+}
+
+/// A formal parameter.
+///
+/// `specializer` holds a MultiJava `@`-specializer (`C@D c`); it is `None`
+/// for base MayaJava and is populated by the MultiJava extension's `Formal`
+/// production (paper §5.2).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Formal {
+    pub span: Span,
+    pub is_final: bool,
+    pub ty: TypeName,
+    pub name: Ident,
+    pub specializer: Option<TypeName>,
+}
+
+impl Formal {
+    /// Builds a plain formal.
+    pub fn new(ty: TypeName, name: Ident) -> Formal {
+        Formal {
+            span: ty.span.to(name.span),
+            is_final: false,
+            ty,
+            name,
+            specializer: None,
+        }
+    }
+}
+
+/// A template (quasiquote) literal: `new Statement { ... }`.
+///
+/// The body is kept as an unparsed token tree; the template compiler (crate
+/// `maya-template`) pattern-parses it once and stores the compiled recipe in
+/// `compiled` (an opaque handle, downcast by that crate).
+#[derive(Clone)]
+pub struct TemplateLit {
+    pub span: Span,
+    pub goal: NodeKind,
+    pub body: DelimTree,
+    pub compiled: Rc<RefCell<Option<Rc<dyn Any>>>>,
+}
+
+impl TemplateLit {
+    /// Builds an uncompiled template literal.
+    pub fn new(span: Span, goal: NodeKind, body: DelimTree) -> TemplateLit {
+        TemplateLit {
+            span,
+            goal,
+            body,
+            compiled: Rc::new(RefCell::new(None)),
+        }
+    }
+}
+
+impl PartialEq for TemplateLit {
+    fn eq(&self, other: &TemplateLit) -> bool {
+        self.goal == other.goal && self.body == other.body
+    }
+}
+
+impl fmt::Debug for TemplateLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TemplateLit")
+            .field("goal", &self.goal)
+            .field("body", &self.body.to_string())
+            .field("compiled", &self.compiled.borrow().is_some())
+            .finish()
+    }
+}
+
+/// The shape of an expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ExprKind {
+    Literal(Lit),
+    /// A simple name, resolved lexically (local, field, or class prefix).
+    Name(Ident),
+    /// `target.name` — field access or a qualified-name prefix; the checker
+    /// reclassifies.
+    FieldAccess(Box<Expr>, Ident),
+    /// A method invocation.
+    Call(MethodName, Vec<Expr>),
+    ArrayAccess(Box<Expr>, Box<Expr>),
+    /// `new C(args)`.
+    New(TypeName, Vec<Expr>),
+    /// `new T[d0][d1]…[]` — `dims` are the sized dimensions, `extra_dims`
+    /// counts trailing empty brackets.
+    NewArray {
+        elem: TypeName,
+        dims: Vec<Expr>,
+        extra_dims: u32,
+    },
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    Unary(UnOp, Box<Expr>),
+    IncDec(IncDecOp, bool, Box<Expr>),
+    /// `lhs op= rhs`; `op` is `None` for plain `=`.
+    Assign(Option<BinOp>, Box<Expr>, Box<Expr>),
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    Cast(TypeName, Box<Expr>),
+    Instanceof(Box<Expr>, TypeName),
+    This,
+    /// A direct reference to the local variable with exactly this name —
+    /// `Reference.makeExpr` in the paper (Figure 2 line 13); immune to
+    /// hygienic renaming and to field shadowing.
+    VarRef(Symbol),
+    /// A direct reference to the class with this fully qualified name —
+    /// referential transparency for class names (paper §4.3).
+    ClassRef(Symbol),
+    /// A quasiquote template, `new Statement { ... }`.
+    Template(TemplateLit),
+    /// A lazily parsed expression (e.g. a field initializer).
+    Lazy(LazyNode),
+    /// `base[]` in expression position: syntactically an empty array access,
+    /// reinterpreted as an array *type* by declaration statements (the
+    /// `Vector[] v;` trick — statements parse their leading type as an
+    /// expression and reinterpret it; see maya-core).
+    TypeDims(Box<Expr>),
+}
+
+/// An expression with its source span.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Expr {
+    pub span: Span,
+    pub kind: ExprKind,
+}
+
+impl Expr {
+    /// Builds an expression.
+    pub fn new(span: Span, kind: ExprKind) -> Expr {
+        Expr { span, kind }
+    }
+
+    /// Builds a synthesized expression (dummy span).
+    pub fn synth(kind: ExprKind) -> Expr {
+        Expr::new(Span::DUMMY, kind)
+    }
+
+    /// A simple-name expression.
+    pub fn name(n: &str) -> Expr {
+        Expr::synth(ExprKind::Name(Ident::from_str(n)))
+    }
+
+    /// An `int` literal.
+    pub fn int(v: i32) -> Expr {
+        Expr::synth(ExprKind::Literal(Lit::Int(v)))
+    }
+
+    /// A string literal.
+    pub fn str_lit(s: &str) -> Expr {
+        Expr::synth(ExprKind::Literal(Lit::Str(sym(s))))
+    }
+
+    /// A call `recv.name(args)`.
+    pub fn call_on(recv: Expr, name: &str, args: Vec<Expr>) -> Expr {
+        Expr::synth(ExprKind::Call(
+            MethodName::with_receiver(recv, Ident::from_str(name)),
+            args,
+        ))
+    }
+
+    /// Field access `target.name`.
+    pub fn field(target: Expr, name: &str) -> Expr {
+        Expr::synth(ExprKind::FieldAccess(Box::new(target), Ident::from_str(name)))
+    }
+
+    /// The node kind of this expression in the dispatch lattice.
+    pub fn node_kind(&self) -> NodeKind {
+        match &self.kind {
+            ExprKind::Literal(_) => NodeKind::LiteralExpr,
+            ExprKind::Name(_) => NodeKind::NameExpr,
+            ExprKind::FieldAccess(..) => NodeKind::FieldAccessExpr,
+            ExprKind::Call(..) => NodeKind::CallExpr,
+            ExprKind::ArrayAccess(..) => NodeKind::ArrayAccessExpr,
+            ExprKind::New(..) => NodeKind::NewExpr,
+            ExprKind::NewArray { .. } => NodeKind::NewArrayExpr,
+            ExprKind::Binary(..) => NodeKind::BinaryExpr,
+            ExprKind::Unary(..) => NodeKind::UnaryExpr,
+            ExprKind::IncDec(..) => NodeKind::IncDecExpr,
+            ExprKind::Assign(..) => NodeKind::AssignExpr,
+            ExprKind::Cond(..) => NodeKind::CondExpr,
+            ExprKind::Cast(..) => NodeKind::CastExpr,
+            ExprKind::Instanceof(..) => NodeKind::InstanceofExpr,
+            ExprKind::This => NodeKind::ThisExpr,
+            ExprKind::VarRef(_) => NodeKind::VarRefExpr,
+            ExprKind::ClassRef(_) => NodeKind::ClassRefExpr,
+            ExprKind::Template(_) => NodeKind::TemplateExpr,
+            ExprKind::Lazy(_) => NodeKind::Expression,
+            ExprKind::TypeDims(_) => NodeKind::Expression,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let e = Expr::call_on(Expr::name("h"), "keys", vec![]);
+        match &e.kind {
+            ExprKind::Call(mn, args) => {
+                assert!(mn.receiver.is_some());
+                assert_eq!(mn.name.as_str(), "keys");
+                assert!(args.is_empty());
+            }
+            _ => panic!("expected call"),
+        }
+        assert_eq!(e.node_kind(), NodeKind::CallExpr);
+    }
+
+    #[test]
+    fn kinds_are_expression_subkinds() {
+        let exprs = [
+            Expr::int(1),
+            Expr::name("x"),
+            Expr::field(Expr::name("a"), "b"),
+            Expr::synth(ExprKind::This),
+        ];
+        for e in &exprs {
+            assert!(e.node_kind().is_subkind_of(NodeKind::Expression));
+        }
+    }
+
+    #[test]
+    fn literal_display() {
+        assert_eq!(Lit::Int(3).to_string(), "3");
+        assert_eq!(Lit::Str(sym("hi")).to_string(), "\"hi\"");
+        assert_eq!(Lit::Null.to_string(), "null");
+        assert_eq!(Lit::Long(7).to_string(), "7L");
+    }
+}

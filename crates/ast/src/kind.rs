@@ -1,0 +1,292 @@
+//! The AST node-kind lattice.
+//!
+//! Maya treats grammar productions as generic functions whose parameters are
+//! specialized on AST node types (paper §1, §4.4). `NodeKind` is that type
+//! hierarchy: a finite lattice rooted at [`NodeKind::Top`], with abstract
+//! kinds like [`NodeKind::Expression`] and concrete kinds like
+//! [`NodeKind::CallExpr`]. A Mayan parameter specialized on `Expression`
+//! accepts any expression; one specialized on `CallExpr` is *more specific*
+//! and overrides it (this is how `VForEach` overrides `EForEach` in §4.4).
+
+use maya_lexer::Symbol;
+
+/// A node type in the MayaJava AST hierarchy.
+///
+/// The hierarchy (parent relation) is given by [`NodeKind::parent`]; subtype
+/// queries by [`NodeKind::is_subkind_of`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum NodeKind {
+    /// The top of the lattice; every node kind is a subkind of `Top`.
+    Top,
+
+    // ---- Expressions -------------------------------------------------------
+    Expression,
+    LiteralExpr,
+    NameExpr,
+    FieldAccessExpr,
+    CallExpr,
+    ArrayAccessExpr,
+    NewExpr,
+    NewArrayExpr,
+    BinaryExpr,
+    UnaryExpr,
+    IncDecExpr,
+    AssignExpr,
+    CondExpr,
+    CastExpr,
+    InstanceofExpr,
+    ThisExpr,
+    VarRefExpr,
+    ClassRefExpr,
+    TemplateExpr,
+
+    // ---- Statements --------------------------------------------------------
+    Statement,
+    BlockStmt,
+    ExprStmt,
+    DeclStmt,
+    IfStmt,
+    WhileStmt,
+    DoStmt,
+    ForStmt,
+    ReturnStmt,
+    BreakStmt,
+    ContinueStmt,
+    ThrowStmt,
+    TryStmt,
+    UseStmt,
+    EmptyStmt,
+
+    // ---- Type names --------------------------------------------------------
+    TypeName,
+    PrimitiveTypeName,
+    ClassTypeName,
+    ArrayTypeName,
+    /// A type name resolved directly to a type, immune to shadowing (§4.3).
+    StrictTypeName,
+    /// A strict type name that denotes a class or interface.
+    StrictClassName,
+    VoidTypeName,
+
+    // ---- Declarations ------------------------------------------------------
+    Declaration,
+    ClassDecl,
+    InterfaceDecl,
+    MethodDecl,
+    CtorDecl,
+    FieldDecl,
+    UseDecl,
+    ProductionDecl,
+    MayanDecl,
+    ImportDecl,
+    PackageDecl,
+    /// A declaration that expands to nothing (used by extensions that only
+    /// register side effects, e.g. MultiJava external methods).
+    EmptyDecl,
+
+    // ---- Other node types exposed to productions ---------------------------
+    Identifier,
+    /// An identifier in a *binding* position. Productions must use this kind
+    /// for lexically scoped bindings so hygiene can be decided statically
+    /// (paper §4.3).
+    UnboundLocal,
+    MethodName,
+    Formal,
+    FormalList,
+    ArgumentList,
+    BlockStmts,
+    Modifier,
+    ModifierList,
+    Throws,
+    LocalDeclarator,
+    QualifiedName,
+    CompilationUnit,
+    ClassBody,
+
+    // ---- Internal nonterminals (not usually dispatched on) -----------------
+    ForControl,
+    ForInit,
+    ForUpdate,
+    CatchClause,
+    UseHead,
+    SwitchBody,
+    ExtendsClause,
+    ImplementsClause,
+
+    // ---- Carrier kinds ----------------------------------------------------
+    /// A raw token carried on the parse stack.
+    TokenNode,
+    /// A homogeneous list of nodes (from `list(...)` symbols).
+    ListNode,
+    /// An unforced lazy node.
+    LazyNode,
+    /// The unit value (productions with no interesting result).
+    UnitNode,
+}
+
+impl NodeKind {
+    /// The immediate parent in the lattice (`None` for [`NodeKind::Top`]).
+    pub fn parent(self) -> Option<NodeKind> {
+        use NodeKind::*;
+        Some(match self {
+            Top => return None,
+            LiteralExpr | NameExpr | FieldAccessExpr | CallExpr | ArrayAccessExpr | NewExpr
+            | NewArrayExpr | BinaryExpr | UnaryExpr | IncDecExpr | AssignExpr | CondExpr
+            | CastExpr | InstanceofExpr | ThisExpr | VarRefExpr | ClassRefExpr | TemplateExpr => {
+                Expression
+            }
+            BlockStmt | ExprStmt | DeclStmt | IfStmt | WhileStmt | DoStmt | ForStmt
+            | ReturnStmt | BreakStmt | ContinueStmt | ThrowStmt | TryStmt | UseStmt
+            | EmptyStmt => Statement,
+            PrimitiveTypeName | ClassTypeName | ArrayTypeName | StrictTypeName | VoidTypeName => {
+                TypeName
+            }
+            StrictClassName => StrictTypeName,
+            ClassDecl | InterfaceDecl | MethodDecl | CtorDecl | FieldDecl | UseDecl
+            | ProductionDecl | MayanDecl | ImportDecl | PackageDecl | EmptyDecl => Declaration,
+            UnboundLocal => Identifier,
+            _ => Top,
+        })
+    }
+
+    /// True iff `self` is `other` or a descendant of `other` in the lattice.
+    ///
+    /// ```
+    /// use maya_ast::NodeKind;
+    /// assert!(NodeKind::CallExpr.is_subkind_of(NodeKind::Expression));
+    /// assert!(NodeKind::Expression.is_subkind_of(NodeKind::Top));
+    /// assert!(!NodeKind::Expression.is_subkind_of(NodeKind::Statement));
+    /// ```
+    pub fn is_subkind_of(self, other: NodeKind) -> bool {
+        let mut k = self;
+        loop {
+            if k == other {
+                return true;
+            }
+            match k.parent() {
+                Some(p) => k = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// Distance (number of parent steps) from `self` up to `other`, if
+    /// `self.is_subkind_of(other)`. Used to order specializers by
+    /// specificity.
+    pub fn depth_to(self, other: NodeKind) -> Option<u32> {
+        let mut k = self;
+        let mut d = 0;
+        loop {
+            if k == other {
+                return Some(d);
+            }
+            k = k.parent()?;
+            d += 1;
+        }
+    }
+
+    /// The grammar-facing name of this node kind (`Statement`, `CallExpr`, …).
+    pub fn name(self) -> &'static str {
+        // Debug formatting matches the variant name, which is the external
+        // name; avoid a second 100-arm match.
+        nodekind_name(self)
+    }
+
+    /// Looks a node kind up by its grammar-facing name.
+    ///
+    /// ```
+    /// use maya_ast::NodeKind;
+    /// assert_eq!(NodeKind::from_name("Statement"), Some(NodeKind::Statement));
+    /// assert_eq!(NodeKind::from_name("Nope"), None);
+    /// ```
+    pub fn from_name(name: &str) -> Option<NodeKind> {
+        ALL_KINDS.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// Looks a node kind up by interned name.
+    pub fn from_symbol(name: Symbol) -> Option<NodeKind> {
+        NodeKind::from_name(name.as_str())
+    }
+
+    /// All node kinds, in declaration order.
+    pub fn all() -> &'static [NodeKind] {
+        ALL_KINDS
+    }
+
+    /// True for kinds users may define productions and Mayans on.
+    ///
+    /// The paper restricts definitions to node-type symbols; we additionally
+    /// exclude the internal carrier kinds.
+    pub fn is_definable(self) -> bool {
+        use NodeKind::*;
+        !matches!(self, Top | TokenNode | ListNode | LazyNode | UnitNode)
+    }
+}
+
+macro_rules! kinds {
+    ($($k:ident),* $(,)?) => {
+        const ALL_KINDS: &[NodeKind] = &[$(NodeKind::$k),*];
+        fn nodekind_name(k: NodeKind) -> &'static str {
+            match k { $(NodeKind::$k => stringify!($k)),* }
+        }
+    };
+}
+
+kinds!(
+    Top, Expression, LiteralExpr, NameExpr, FieldAccessExpr, CallExpr, ArrayAccessExpr, NewExpr,
+    NewArrayExpr, BinaryExpr, UnaryExpr, IncDecExpr, AssignExpr, CondExpr, CastExpr,
+    InstanceofExpr, ThisExpr, VarRefExpr, ClassRefExpr, TemplateExpr, Statement, BlockStmt,
+    ExprStmt, DeclStmt, IfStmt, WhileStmt, DoStmt, ForStmt, ReturnStmt, BreakStmt, ContinueStmt,
+    ThrowStmt, TryStmt, UseStmt, EmptyStmt, TypeName, PrimitiveTypeName, ClassTypeName,
+    ArrayTypeName, StrictTypeName, StrictClassName, VoidTypeName, Declaration, ClassDecl,
+    InterfaceDecl, MethodDecl, CtorDecl, FieldDecl, UseDecl, ProductionDecl, MayanDecl,
+    ImportDecl, PackageDecl, EmptyDecl, Identifier, UnboundLocal, MethodName, Formal, FormalList,
+    ArgumentList, BlockStmts, Modifier, ModifierList, Throws, LocalDeclarator, QualifiedName,
+    CompilationUnit, ClassBody, ForControl, ForInit, ForUpdate, CatchClause, UseHead, SwitchBody,
+    ExtendsClause, ImplementsClause, TokenNode, ListNode, LazyNode, UnitNode,
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_shape() {
+        assert!(NodeKind::CallExpr.is_subkind_of(NodeKind::Expression));
+        assert!(NodeKind::CallExpr.is_subkind_of(NodeKind::Top));
+        assert!(!NodeKind::CallExpr.is_subkind_of(NodeKind::Statement));
+        assert!(NodeKind::StrictClassName.is_subkind_of(NodeKind::StrictTypeName));
+        assert!(NodeKind::StrictClassName.is_subkind_of(NodeKind::TypeName));
+        assert!(NodeKind::UnboundLocal.is_subkind_of(NodeKind::Identifier));
+    }
+
+    #[test]
+    fn depth_orders_specificity() {
+        assert_eq!(NodeKind::CallExpr.depth_to(NodeKind::Expression), Some(1));
+        assert_eq!(NodeKind::Expression.depth_to(NodeKind::Expression), Some(0));
+        assert_eq!(NodeKind::Statement.depth_to(NodeKind::Expression), None);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for &k in NodeKind::all() {
+            assert_eq!(NodeKind::from_name(k.name()), Some(k), "kind {k:?}");
+        }
+    }
+
+    #[test]
+    fn every_kind_reaches_top() {
+        for &k in NodeKind::all() {
+            assert!(k.is_subkind_of(NodeKind::Top));
+        }
+    }
+
+    #[test]
+    fn definability() {
+        assert!(NodeKind::Statement.is_definable());
+        assert!(NodeKind::MethodName.is_definable());
+        assert!(!NodeKind::TokenNode.is_definable());
+        assert!(!NodeKind::Top.is_definable());
+    }
+}

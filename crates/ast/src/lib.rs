@@ -1,0 +1,39 @@
+//! Abstract syntax for MayaJava.
+//!
+//! Maya operates on *typed abstract syntax*, not token streams (paper §1–2):
+//! Mayans receive well-typed AST nodes and must produce valid ASTs. This crate
+//! defines:
+//!
+//! * the **node-kind lattice** ([`NodeKind`]) — the paper's AST node-type
+//!   hierarchy, used both as grammar nonterminals and as Mayan parameter
+//!   specializers;
+//! * the node data structures ([`Expr`], [`Stmt`], [`Decl`], …);
+//! * the universal semantic value [`Node`] that flows through the parser
+//!   stack, Mayan dispatch, and the interpreter bridge;
+//! * **lazy nodes** ([`LazyNode`]) — unparsed delimiter subtrees carrying the
+//!   environment snapshot they must eventually be parsed under;
+//! * a pretty printer and an α-normalizer used by golden tests (hygienic
+//!   fresh names `x$N` are compared up to consistent renaming).
+
+mod decl;
+mod expr;
+mod kind;
+mod lazy;
+mod node;
+mod ops;
+mod pretty;
+mod stmt;
+mod tyname;
+
+pub use decl::{
+    ClassDecl, CompilationUnit, CtorDecl, Decl, FieldDecl, ImportDecl, InterfaceDecl, MayanDecl,
+    MethodDecl, Modifier, Modifiers, ProductionDecl,
+};
+pub use expr::{Expr, ExprKind, Formal, Ident, Lit, MethodName, TemplateLit};
+pub use kind::NodeKind;
+pub use lazy::{LazyCell, LazyNode};
+pub use node::Node;
+pub use ops::{BinOp, IncDecOp, UnOp};
+pub use pretty::{expr_str, normalize_generated_names, pretty_node, Pretty};
+pub use stmt::{Block, CatchClause, ForInit, LocalDeclarator, Stmt, StmtKind, UseTarget};
+pub use tyname::{PrimKind, TypeName, TypeNameKind};

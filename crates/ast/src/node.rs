@@ -1,0 +1,264 @@
+//! [`Node`]: the universal semantic value.
+//!
+//! Every production's semantic action — built-in or Mayan — consumes and
+//! produces `Node`s. They appear on the parser stack, as Mayan arguments, and
+//! as `maya.tree` values inside interpreted metaprograms.
+
+use crate::{
+    Block, Decl, Expr, Formal, Ident, LazyNode, LocalDeclarator, MethodName, Modifiers, NodeKind,
+    Stmt, TypeName,
+};
+use maya_lexer::{Token, TokenTree};
+
+/// A semantic value: one of the node categories of the MayaJava AST, or one
+/// of the carrier forms (tokens, raw trees, lists, lazy nodes).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Node {
+    /// No interesting value.
+    Unit,
+    /// A shifted terminal.
+    Token(Token),
+    /// A raw delimiter subtree (shifted as a terminal).
+    Tree(TokenTree),
+    Ident(Ident),
+    Expr(Expr),
+    Stmt(Stmt),
+    /// A statement sequence (`BlockStmts`).
+    Block(Block),
+    Type(TypeName),
+    MethodName(MethodName),
+    Formal(Formal),
+    Formals(Vec<Formal>),
+    /// An argument list.
+    Args(Vec<Expr>),
+    Decl(Decl),
+    Decls(Vec<Decl>),
+    Modifiers(Modifiers),
+    LocalDecl(LocalDeclarator),
+    /// A qualified name (`a.b.c`) in a non-expression position.
+    Name(Vec<Ident>),
+    Lazy(LazyNode),
+    /// A homogeneous list produced by `list(...)` symbols.
+    List(Vec<Node>),
+}
+
+impl Node {
+    /// The node kind, for dispatch.
+    pub fn node_kind(&self) -> NodeKind {
+        match self {
+            Node::Unit => NodeKind::UnitNode,
+            Node::Token(_) => NodeKind::TokenNode,
+            Node::Tree(_) => NodeKind::TokenNode,
+            Node::Ident(_) => NodeKind::Identifier,
+            Node::Expr(e) => e.node_kind(),
+            Node::Stmt(s) => s.node_kind(),
+            Node::Block(_) => NodeKind::BlockStmts,
+            Node::Type(t) => t.node_kind(),
+            Node::MethodName(_) => NodeKind::MethodName,
+            Node::Formal(_) => NodeKind::Formal,
+            Node::Formals(_) => NodeKind::FormalList,
+            Node::Args(_) => NodeKind::ArgumentList,
+            Node::Decl(d) => d.node_kind(),
+            Node::Decls(_) => NodeKind::ClassBody,
+            Node::Modifiers(_) => NodeKind::ModifierList,
+            Node::LocalDecl(_) => NodeKind::LocalDeclarator,
+            Node::Name(_) => NodeKind::QualifiedName,
+            Node::Lazy(_) => NodeKind::LazyNode,
+            Node::List(_) => NodeKind::ListNode,
+        }
+    }
+
+    /// The expression, if this node is one (forced lazies included).
+    pub fn as_expr(&self) -> Option<&Expr> {
+        match self {
+            Node::Expr(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Consumes the node into an expression, adapting compatible shapes:
+    /// an `Ident` becomes a name expression, a lazy expression stays lazy.
+    pub fn into_expr(self) -> Option<Expr> {
+        match self {
+            Node::Expr(e) => Some(e),
+            Node::Ident(i) => Some(Expr::new(i.span, crate::ExprKind::Name(i))),
+            Node::Lazy(l) if l.goal.is_subkind_of(NodeKind::Expression) => {
+                Some(Expr::synth(crate::ExprKind::Lazy(l)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Consumes the node into a statement, adapting compatible shapes:
+    /// a `Block` becomes a block statement, a lazy block stays lazy.
+    pub fn into_stmt(self) -> Option<Stmt> {
+        match self {
+            Node::Stmt(s) => Some(s),
+            Node::Block(b) => {
+                let span = b.span;
+                Some(Stmt::new(span, crate::StmtKind::Block(b)))
+            }
+            Node::Lazy(l)
+                if l.goal.is_subkind_of(NodeKind::Statement)
+                    || l.goal == NodeKind::BlockStmts =>
+            {
+                Some(Stmt::synth(crate::StmtKind::Lazy(l)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Consumes the node into a block of statements.
+    pub fn into_block(self) -> Option<Block> {
+        match self {
+            Node::Block(b) => Some(b),
+            Node::Stmt(s) => Some(Block::new(s.span, vec![s])),
+            Node::Lazy(l) => {
+                let stmt = Node::Lazy(l).into_stmt()?;
+                Some(Block::new(stmt.span, vec![stmt]))
+            }
+            _ => None,
+        }
+    }
+
+    /// The identifier, if this node is one.
+    pub fn as_ident(&self) -> Option<Ident> {
+        match self {
+            Node::Ident(i) => Some(*i),
+            Node::Token(t) if t.kind == maya_lexer::TokenKind::Ident => {
+                Some(Ident::new(t.text, t.span))
+            }
+            _ => None,
+        }
+    }
+
+    /// The token, if this node carries one.
+    pub fn as_token(&self) -> Option<&Token> {
+        match self {
+            Node::Token(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The type name, if this node is one.
+    pub fn as_type(&self) -> Option<&TypeName> {
+        match self {
+            Node::Type(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The lazy node, if unforced laziness is visible here.
+    pub fn as_lazy(&self) -> Option<&LazyNode> {
+        match self {
+            Node::Lazy(l) => Some(l),
+            Node::Expr(Expr {
+                kind: crate::ExprKind::Lazy(l),
+                ..
+            }) => Some(l),
+            Node::Stmt(Stmt {
+                kind: crate::StmtKind::Lazy(l),
+                ..
+            }) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+impl From<Expr> for Node {
+    fn from(e: Expr) -> Node {
+        Node::Expr(e)
+    }
+}
+
+impl From<Stmt> for Node {
+    fn from(s: Stmt) -> Node {
+        Node::Stmt(s)
+    }
+}
+
+impl From<Block> for Node {
+    fn from(b: Block) -> Node {
+        Node::Block(b)
+    }
+}
+
+impl From<Ident> for Node {
+    fn from(i: Ident) -> Node {
+        Node::Ident(i)
+    }
+}
+
+impl From<TypeName> for Node {
+    fn from(t: TypeName) -> Node {
+        Node::Type(t)
+    }
+}
+
+impl From<Decl> for Node {
+    fn from(d: Decl) -> Node {
+        Node::Decl(d)
+    }
+}
+
+impl From<MethodName> for Node {
+    fn from(m: MethodName) -> Node {
+        Node::MethodName(m)
+    }
+}
+
+impl From<Formal> for Node {
+    fn from(f: Formal) -> Node {
+        Node::Formal(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExprKind, StmtKind};
+
+    #[test]
+    fn kind_mapping() {
+        assert_eq!(Node::Unit.node_kind(), NodeKind::UnitNode);
+        assert_eq!(Node::from(Expr::int(1)).node_kind(), NodeKind::LiteralExpr);
+        assert_eq!(
+            Node::from(Stmt::synth(StmtKind::Empty)).node_kind(),
+            NodeKind::EmptyStmt
+        );
+        assert_eq!(
+            Node::from(Ident::from_str("x")).node_kind(),
+            NodeKind::Identifier
+        );
+    }
+
+    #[test]
+    fn adaptations() {
+        let e = Node::Ident(Ident::from_str("x")).into_expr().unwrap();
+        assert!(matches!(e.kind, ExprKind::Name(_)));
+
+        let b = Node::Block(Block::synth(vec![])).into_stmt().unwrap();
+        assert!(matches!(b.kind, StmtKind::Block(_)));
+
+        let s = Node::Stmt(Stmt::synth(StmtKind::Empty)).into_block().unwrap();
+        assert_eq!(s.stmts.len(), 1);
+
+        assert!(Node::Unit.into_expr().is_none());
+        assert!(Node::Unit.into_stmt().is_none());
+    }
+
+    #[test]
+    fn lazy_adaptation() {
+        use maya_lexer::{Delim, DelimTree};
+        let lazy = LazyNode::new(
+            NodeKind::BlockStmts,
+            DelimTree::synth(Delim::Brace, vec![]),
+            None,
+        );
+        let stmt = Node::Lazy(lazy.clone()).into_stmt().unwrap();
+        assert!(matches!(stmt.kind, StmtKind::Lazy(_)));
+        assert!(Node::Stmt(stmt).as_lazy().is_some());
+        let not_expr = Node::Lazy(lazy).into_expr();
+        assert!(not_expr.is_none(), "BlockStmts lazy is not an expression");
+    }
+}

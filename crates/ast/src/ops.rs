@@ -1,0 +1,182 @@
+//! Operators of the MayaJava expression language.
+
+use maya_lexer::TokenKind;
+use std::fmt;
+
+/// Binary operators (also used as the `op` of compound assignments).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Ushr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    BitAnd,
+    BitXor,
+    BitOr,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// Maps an operator token to its `BinOp`, if it is one.
+    pub fn from_token(kind: TokenKind) -> Option<BinOp> {
+        use TokenKind::*;
+        Some(match kind {
+            Plus => BinOp::Add,
+            Minus => BinOp::Sub,
+            Star => BinOp::Mul,
+            Slash => BinOp::Div,
+            Percent => BinOp::Rem,
+            Shl => BinOp::Shl,
+            Shr => BinOp::Shr,
+            Ushr => BinOp::Ushr,
+            Lt => BinOp::Lt,
+            Gt => BinOp::Gt,
+            Le => BinOp::Le,
+            Ge => BinOp::Ge,
+            EqEq => BinOp::Eq,
+            Ne => BinOp::Ne,
+            Amp => BinOp::BitAnd,
+            Caret => BinOp::BitXor,
+            Pipe => BinOp::BitOr,
+            AndAnd => BinOp::And,
+            OrOr => BinOp::Or,
+            _ => return None,
+        })
+    }
+
+    /// The compound-assignment token for this operator (`+` → `+=`), if any.
+    pub fn compound_assign_token(self) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match self {
+            BinOp::Add => PlusEq,
+            BinOp::Sub => MinusEq,
+            BinOp::Mul => StarEq,
+            BinOp::Div => SlashEq,
+            BinOp::Rem => PercentEq,
+            BinOp::Shl => ShlEq,
+            BinOp::Shr => ShrEq,
+            BinOp::Ushr => UshrEq,
+            BinOp::BitAnd => AmpEq,
+            BinOp::BitXor => CaretEq,
+            BinOp::BitOr => PipeEq,
+            _ => return None,
+        })
+    }
+
+    /// The source text of the operator.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Ushr => ">>>",
+            BinOp::Lt => "<",
+            BinOp::Gt => ">",
+            BinOp::Le => "<=",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::BitAnd => "&",
+            BinOp::BitXor => "^",
+            BinOp::BitOr => "|",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Unary prefix operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnOp {
+    Neg,
+    Plus,
+    Not,
+    BitNot,
+}
+
+impl UnOp {
+    /// The source text of the operator.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Plus => "+",
+            UnOp::Not => "!",
+            UnOp::BitNot => "~",
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Increment/decrement operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum IncDecOp {
+    Inc,
+    Dec,
+}
+
+impl IncDecOp {
+    /// The source text of the operator.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IncDecOp::Inc => "++",
+            IncDecOp::Dec => "--",
+        }
+    }
+}
+
+impl fmt::Display for IncDecOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_mapping() {
+        assert_eq!(BinOp::from_token(TokenKind::Plus), Some(BinOp::Add));
+        assert_eq!(BinOp::from_token(TokenKind::Ushr), Some(BinOp::Ushr));
+        assert_eq!(BinOp::from_token(TokenKind::Semi), None);
+    }
+
+    #[test]
+    fn compound_assignment() {
+        assert_eq!(BinOp::Add.compound_assign_token(), Some(TokenKind::PlusEq));
+        assert_eq!(BinOp::And.compound_assign_token(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(BinOp::Ushr.to_string(), ">>>");
+        assert_eq!(UnOp::BitNot.to_string(), "~");
+        assert_eq!(IncDecOp::Inc.to_string(), "++");
+    }
+}

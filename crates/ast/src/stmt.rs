@@ -1,0 +1,209 @@
+//! Statements.
+
+use crate::{Expr, Formal, Ident, LazyNode, NodeKind, TypeName};
+use maya_lexer::Span;
+use std::any::Any;
+use std::fmt;
+use std::rc::Rc;
+
+/// A sequence of statements (the paper's `BlockStmts` nonterminal).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Block {
+    pub span: Span,
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    /// Builds a block.
+    pub fn new(span: Span, stmts: Vec<Stmt>) -> Block {
+        Block { span, stmts }
+    }
+
+    /// Builds a synthesized block.
+    pub fn synth(stmts: Vec<Stmt>) -> Block {
+        Block::new(Span::DUMMY, stmts)
+    }
+}
+
+/// One declarator in a local variable declaration: `name[] = init`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LocalDeclarator {
+    pub name: Ident,
+    /// Trailing `[]` pairs on the declarator (`String args[]`).
+    pub dims: u32,
+    pub init: Option<Expr>,
+}
+
+impl LocalDeclarator {
+    /// A declarator without initializer or dims.
+    pub fn plain(name: Ident) -> LocalDeclarator {
+        LocalDeclarator {
+            name,
+            dims: 0,
+            init: None,
+        }
+    }
+}
+
+/// The init clause of a `for` statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ForInit {
+    None,
+    Decl(TypeName, Vec<LocalDeclarator>),
+    Exprs(Vec<Expr>),
+}
+
+/// A `catch (Formal) { ... }` clause.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CatchClause {
+    pub param: Formal,
+    pub body: Block,
+}
+
+/// The target of a `use` import: a named metaprogram class, or a
+/// pre-instantiated metaprogram object (local Mayans are exported this way —
+/// paper Figure 3 builds `new UseStmt(new Subst(), body)`).
+#[derive(Clone)]
+pub enum UseTarget {
+    Named(Vec<Ident>),
+    /// An opaque metaprogram instance; the compiler downcasts it.
+    Instance(Rc<dyn Any>),
+}
+
+impl PartialEq for UseTarget {
+    fn eq(&self, other: &UseTarget) -> bool {
+        match (self, other) {
+            (UseTarget::Named(a), UseTarget::Named(b)) => a == b,
+            (UseTarget::Instance(a), UseTarget::Instance(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Debug for UseTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UseTarget::Named(path) => {
+                let s: Vec<&str> = path.iter().map(|i| i.as_str()).collect();
+                write!(f, "UseTarget::Named({})", s.join("."))
+            }
+            UseTarget::Instance(_) => f.write_str("UseTarget::Instance(..)"),
+        }
+    }
+}
+
+/// The shape of a statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum StmtKind {
+    Block(Block),
+    Expr(Expr),
+    /// Local variable declaration.
+    Decl(TypeName, Vec<LocalDeclarator>),
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    While(Expr, Box<Stmt>),
+    Do(Box<Stmt>, Expr),
+    For {
+        init: ForInit,
+        cond: Option<Expr>,
+        update: Vec<Expr>,
+        body: Box<Stmt>,
+    },
+    Return(Option<Expr>),
+    Break,
+    Continue,
+    Throw(Expr),
+    Try {
+        body: Block,
+        catches: Vec<CatchClause>,
+        finally: Option<Block>,
+    },
+    /// `use M; stmts…` — the paper's `UseStmt`: holds the imported
+    /// metaprogram and the statements in which it is visible (§3.3).
+    Use(UseTarget, Block),
+    Empty,
+    /// A lazily parsed block in statement position.
+    Lazy(LazyNode),
+}
+
+/// A statement with its source span.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Stmt {
+    pub span: Span,
+    pub kind: StmtKind,
+}
+
+impl Stmt {
+    /// Builds a statement.
+    pub fn new(span: Span, kind: StmtKind) -> Stmt {
+        Stmt { span, kind }
+    }
+
+    /// Builds a synthesized statement.
+    pub fn synth(kind: StmtKind) -> Stmt {
+        Stmt::new(Span::DUMMY, kind)
+    }
+
+    /// An expression statement.
+    pub fn expr(e: Expr) -> Stmt {
+        Stmt::new(e.span, StmtKind::Expr(e))
+    }
+
+    /// The node kind of this statement in the dispatch lattice.
+    pub fn node_kind(&self) -> NodeKind {
+        match &self.kind {
+            StmtKind::Block(_) => NodeKind::BlockStmt,
+            StmtKind::Expr(_) => NodeKind::ExprStmt,
+            StmtKind::Decl(..) => NodeKind::DeclStmt,
+            StmtKind::If(..) => NodeKind::IfStmt,
+            StmtKind::While(..) => NodeKind::WhileStmt,
+            StmtKind::Do(..) => NodeKind::DoStmt,
+            StmtKind::For { .. } => NodeKind::ForStmt,
+            StmtKind::Return(_) => NodeKind::ReturnStmt,
+            StmtKind::Break => NodeKind::BreakStmt,
+            StmtKind::Continue => NodeKind::ContinueStmt,
+            StmtKind::Throw(_) => NodeKind::ThrowStmt,
+            StmtKind::Try { .. } => NodeKind::TryStmt,
+            StmtKind::Use(..) => NodeKind::UseStmt,
+            StmtKind::Empty => NodeKind::EmptyStmt,
+            StmtKind::Lazy(_) => NodeKind::Statement,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExprKind;
+
+    #[test]
+    fn node_kinds() {
+        assert_eq!(Stmt::synth(StmtKind::Break).node_kind(), NodeKind::BreakStmt);
+        assert_eq!(
+            Stmt::expr(Expr::int(1)).node_kind(),
+            NodeKind::ExprStmt
+        );
+        assert!(Stmt::synth(StmtKind::Empty)
+            .node_kind()
+            .is_subkind_of(NodeKind::Statement));
+    }
+
+    #[test]
+    fn use_target_equality() {
+        let a = UseTarget::Named(vec![Ident::from_str("EForEach")]);
+        let b = UseTarget::Named(vec![Ident::from_str("EForEach")]);
+        assert_eq!(a, b);
+        let i1 = UseTarget::Instance(Rc::new(3u32));
+        let i2 = i1.clone();
+        assert_eq!(i1, i2);
+        let i3 = UseTarget::Instance(Rc::new(3u32));
+        assert_ne!(i1, i3);
+        assert_ne!(a, i1);
+    }
+
+    #[test]
+    fn builders_preserve_spans() {
+        let e = Expr::synth(ExprKind::This);
+        let s = Stmt::expr(e);
+        assert!(s.span.is_dummy());
+    }
+}

@@ -1,0 +1,166 @@
+//! Syntactic type names.
+//!
+//! A [`TypeName`] is *syntax* — it is resolved to a semantic type by the type
+//! checker (crate `maya-types`). The `Strict` forms are the paper's
+//! `StrictTypeName` / `StrictClassName` (§3.2, §4.3): names already resolved
+//! to a fully qualified type, immune to shadowing at the splice site. They are
+//! how templates achieve referential transparency for class names.
+
+use crate::{Ident, NodeKind};
+use maya_lexer::{sym, Span, Symbol};
+use std::fmt;
+
+/// Primitive type kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum PrimKind {
+    Boolean,
+    Byte,
+    Short,
+    Char,
+    Int,
+    Long,
+    Float,
+    Double,
+}
+
+impl PrimKind {
+    /// The keyword for this primitive type.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PrimKind::Boolean => "boolean",
+            PrimKind::Byte => "byte",
+            PrimKind::Short => "short",
+            PrimKind::Char => "char",
+            PrimKind::Int => "int",
+            PrimKind::Long => "long",
+            PrimKind::Float => "float",
+            PrimKind::Double => "double",
+        }
+    }
+}
+
+/// The shape of a type name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TypeNameKind {
+    /// A primitive type (`int`, `boolean`, …).
+    Prim(PrimKind),
+    /// `void` (only valid as a method return type).
+    Void,
+    /// A dotted name to be resolved lexically (`Vector`, `java.util.Vector`).
+    Named(Vec<Ident>),
+    /// An array of an element type.
+    Array(Box<TypeName>),
+    /// A *strict* name: resolved directly to the type with this fully
+    /// qualified name, bypassing lexical lookup (referential transparency).
+    Strict(Symbol),
+}
+
+/// A syntactic type name with its source span.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TypeName {
+    pub span: Span,
+    pub kind: TypeNameKind,
+}
+
+impl TypeName {
+    /// Builds a type name.
+    pub fn new(span: Span, kind: TypeNameKind) -> TypeName {
+        TypeName { span, kind }
+    }
+
+    /// A primitive type name with a dummy span.
+    pub fn prim(p: PrimKind) -> TypeName {
+        TypeName::new(Span::DUMMY, TypeNameKind::Prim(p))
+    }
+
+    /// `void`.
+    pub fn void() -> TypeName {
+        TypeName::new(Span::DUMMY, TypeNameKind::Void)
+    }
+
+    /// A lexically resolved dotted name, e.g. `named("java.util.Vector")`.
+    pub fn named(dotted: &str) -> TypeName {
+        let parts = dotted
+            .split('.')
+            .map(|p| Ident::synth(sym(p)))
+            .collect();
+        TypeName::new(Span::DUMMY, TypeNameKind::Named(parts))
+    }
+
+    /// A strict (directly resolved) class name from a fully qualified name.
+    ///
+    /// This is the paper's `StrictTypeName.make` (Figure 2, line 7).
+    pub fn strict(fqcn: Symbol) -> TypeName {
+        TypeName::new(Span::DUMMY, TypeNameKind::Strict(fqcn))
+    }
+
+    /// Wraps this type in one array dimension.
+    pub fn array_of(self) -> TypeName {
+        let span = self.span;
+        TypeName::new(span, TypeNameKind::Array(Box::new(self)))
+    }
+
+    /// The node kind of this type name in the dispatch lattice.
+    pub fn node_kind(&self) -> NodeKind {
+        match &self.kind {
+            TypeNameKind::Prim(_) => NodeKind::PrimitiveTypeName,
+            TypeNameKind::Void => NodeKind::VoidTypeName,
+            TypeNameKind::Named(_) => NodeKind::ClassTypeName,
+            TypeNameKind::Array(_) => NodeKind::ArrayTypeName,
+            TypeNameKind::Strict(_) => NodeKind::StrictClassName,
+        }
+    }
+
+    /// The dotted source form, for diagnostics.
+    pub fn dotted(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for TypeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            TypeNameKind::Prim(p) => f.write_str(p.as_str()),
+            TypeNameKind::Void => f.write_str("void"),
+            TypeNameKind::Named(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(".")?;
+                    }
+                    f.write_str(p.sym.as_str())?;
+                }
+                Ok(())
+            }
+            TypeNameKind::Array(el) => write!(f, "{el}[]"),
+            TypeNameKind::Strict(fqcn) => f.write_str(fqcn.as_str()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TypeName::prim(PrimKind::Int).to_string(), "int");
+        assert_eq!(TypeName::named("java.util.Vector").to_string(), "java.util.Vector");
+        assert_eq!(TypeName::prim(PrimKind::Int).array_of().to_string(), "int[]");
+        assert_eq!(TypeName::void().to_string(), "void");
+        assert_eq!(TypeName::strict(sym("p.q.C")).to_string(), "p.q.C");
+    }
+
+    #[test]
+    fn node_kinds() {
+        assert_eq!(TypeName::prim(PrimKind::Int).node_kind(), NodeKind::PrimitiveTypeName);
+        assert_eq!(TypeName::named("C").node_kind(), NodeKind::ClassTypeName);
+        assert_eq!(
+            TypeName::named("C").array_of().node_kind(),
+            NodeKind::ArrayTypeName
+        );
+        assert_eq!(TypeName::strict(sym("C")).node_kind(), NodeKind::StrictClassName);
+        assert!(TypeName::strict(sym("C"))
+            .node_kind()
+            .is_subkind_of(NodeKind::TypeName));
+    }
+}

@@ -1,0 +1,49 @@
+//! Property tests: the node-kind lattice and name normalization.
+
+use maya_ast::{normalize_generated_names, NodeKind};
+use proptest::prelude::*;
+
+fn any_kind() -> impl Strategy<Value = NodeKind> {
+    proptest::sample::select(NodeKind::all().to_vec())
+}
+
+proptest! {
+    #[test]
+    fn subkind_is_reflexive_and_antisymmetric(a in any_kind(), b in any_kind()) {
+        prop_assert!(a.is_subkind_of(a));
+        if a != b && a.is_subkind_of(b) {
+            prop_assert!(!b.is_subkind_of(a), "{a:?} <:> {b:?}");
+        }
+    }
+
+    #[test]
+    fn subkind_is_transitive(a in any_kind()) {
+        // Walk to the root; every ancestor relation must hold transitively.
+        let mut chain = vec![a];
+        let mut k = a;
+        while let Some(p) = k.parent() {
+            chain.push(p);
+            k = p;
+        }
+        for i in 0..chain.len() {
+            for j in i..chain.len() {
+                prop_assert!(chain[i].is_subkind_of(chain[j]));
+            }
+        }
+        prop_assert_eq!(*chain.last().unwrap(), NodeKind::Top);
+    }
+
+    #[test]
+    fn normalization_is_idempotent(words in proptest::collection::vec("[a-z]{1,6}(\\$[0-9]{1,3})?", 0..20)) {
+        let text = words.join(" ");
+        let once = normalize_generated_names(&text);
+        let twice = normalize_generated_names(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn normalization_preserves_nongenerated_text(words in proptest::collection::vec("[a-z]{1,8}", 0..20)) {
+        let text = words.join(" ");
+        prop_assert_eq!(normalize_generated_names(&text), text);
+    }
+}

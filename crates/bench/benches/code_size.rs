@@ -1,0 +1,82 @@
+//! E11: the paper's §5.3 code-size table.
+//!
+//! Paper: Clifton's MultiJava added or materially altered 20,000 of 50,000
+//! lines in kjc; the Maya implementation is < 2,500 non-comment non-blank
+//! lines. We report the analogous numbers for this reproduction: the
+//! MultiJava extension crate vs. the host compiler, expecting the same
+//! order-of-magnitude gap (extension ≪ compiler).
+//!
+//! Run with `cargo bench -p maya-bench --bench code_size`; results are
+//! recorded in EXPERIMENTS.md.
+
+use std::path::Path;
+
+fn ncnb_lines(path: &Path) -> usize {
+    let mut total = 0;
+    if path.is_dir() {
+        for entry in std::fs::read_dir(path).unwrap() {
+            let p = entry.unwrap().path();
+            if p.is_dir() || p.extension().and_then(|e| e.to_str()) == Some("rs") {
+                total += ncnb_lines(&p);
+            }
+        }
+        return total;
+    }
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return 0;
+    };
+    let mut in_block = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if in_block {
+            if t.contains("*/") {
+                in_block = false;
+            }
+            continue;
+        }
+        if t.is_empty() || t.starts_with("//") {
+            continue;
+        }
+        if t.starts_with("/*") {
+            if !t.contains("*/") {
+                in_block = true;
+            }
+            continue;
+        }
+        total += 1;
+    }
+    total
+}
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap();
+    let compiler_crates = [
+        "lexer", "grammar", "ast", "parser", "types", "dispatch", "template", "core", "interp",
+    ];
+    let mut compiler_total = 0;
+    println!("E11 — MultiJava implementation size (paper §5.3)");
+    println!();
+    println!("host compiler (mayac):");
+    for c in compiler_crates {
+        let n = ncnb_lines(&root.join(c).join("src"));
+        println!("  {c:10} {n:>6} NCNB lines");
+        compiler_total += n;
+    }
+    let multijava = ncnb_lines(&root.join("multijava").join("src"));
+    let macrolib = ncnb_lines(&root.join("macrolib").join("src"));
+    println!("  {:10} {compiler_total:>6} NCNB lines total", "=");
+    println!();
+    println!("extensions:");
+    println!("  multijava  {multijava:>6} NCNB lines");
+    println!("  macrolib   {macrolib:>6} NCNB lines");
+    println!();
+    println!(
+        "ratio: MultiJava extension is {:.1}% of the host compiler \
+         (paper: <2,500 of ~20,000 changed kjc lines ≈ 12.5%)",
+        100.0 * multijava as f64 / compiler_total as f64
+    );
+    assert!(
+        multijava * 4 < compiler_total,
+        "the extension must be far smaller than the compiler"
+    );
+}

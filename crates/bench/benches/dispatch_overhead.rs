@@ -1,0 +1,66 @@
+//! E14: Mayan dispatch cost per reduction, as the number of imported Mayans
+//! on one production grows (paper §4.4 is at the core of every reduce).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maya_ast::{Expr, Node, NodeKind};
+use maya_dispatch::{order_applicable, DispatchEnv, Mayan, Param, Specializer};
+use maya_grammar::ProdId;
+use maya_lexer::{sym, Span};
+use maya_types::{ClassInfo, ClassTable, Type};
+use std::rc::Rc;
+
+fn env_with_n(ct: &ClassTable, n: usize) -> DispatchEnv {
+    let tys: Vec<Type> = (0..8)
+        .map(|i| {
+            Type::Class(
+                ct.by_fqcn_str(&format!("T{i}"))
+                    .unwrap_or_else(|| ct.declare(ClassInfo::new(&format!("T{i}"), false)).unwrap()),
+            )
+        })
+        .collect();
+    let mut b = DispatchEnv::new().extend();
+    for i in 0..n {
+        let spec = if i == 0 {
+            Specializer::None
+        } else {
+            Specializer::StaticType(tys[i % tys.len()].clone())
+        };
+        b.import(Mayan::new(
+            &format!("M{i}"),
+            ProdId(0),
+            vec![Param::named(NodeKind::Expression, sym("e")).with_spec(spec)],
+            Rc::new(|_, _| Ok(Node::Unit)),
+        ));
+    }
+    b.finish()
+}
+
+fn bench(c: &mut Criterion) {
+    let ct = ClassTable::bootstrap();
+    let arg = Node::from(Expr::name("x"));
+    let obj = Type::Class(ct.by_fqcn_str("java.lang.Object").unwrap());
+    let mut group = c.benchmark_group("dispatch_overhead");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for n in [1usize, 4, 16, 64] {
+        let env = env_with_n(&ct, n);
+        group.bench_with_input(BenchmarkId::new("mayans", n), &n, |b, _| {
+            b.iter(|| {
+                order_applicable(
+                    &env,
+                    &ct,
+                    ProdId(0),
+                    "Expression → x",
+                    std::slice::from_ref(&arg),
+                    &mut |_| Some(obj.clone()),
+                    Span::DUMMY,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E12: MultiJava-generated dispatchers vs. a hand-written visitor — the
+//! intro's motivating comparison. Expected shape: the generated instanceof
+//! chain is competitive with (here: faster than) the double-dispatch
+//! visitor, since the visitor pays two virtual calls per dispatch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maya_bench::{multimethod_program, visitor_program};
+use maya_multijava::compiler_with_multijava;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multijava_vs_visitor");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(10);
+    for pairs in [200usize, 1000] {
+        let mm = compiler_with_multijava();
+        mm.add_source("MM.maya", &multimethod_program(pairs)).unwrap();
+        mm.compile().unwrap();
+        let vis = compiler_with_multijava();
+        vis.add_source("Vis.maya", &visitor_program(pairs)).unwrap();
+        vis.compile().unwrap();
+        // Sanity: both compute the same answer.
+        assert_eq!(mm.run_main("Main").unwrap(), vis.run_main("Main").unwrap());
+
+        group.bench_with_input(BenchmarkId::new("multimethods", pairs), &pairs, |b, _| {
+            b.iter(|| mm.run_main("Main").unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("visitor", pairs), &pairs, |b, _| {
+            b.iter(|| vis.run_main("Main").unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

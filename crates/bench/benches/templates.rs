@@ -1,0 +1,106 @@
+//! E16: template costs — one-time pattern-parse compilation vs. per-use
+//! instantiation (the paper's templates are compiled to code that replays
+//! the parser's shifts and reductions, §4.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maya_ast::{Expr, Node, NodeKind};
+use maya_core::{Compiler, CoreInstHost, Cx, EnvPair};
+use maya_template::Template;
+use maya_types::{ResolveCtx, Scope};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const SRC: &str = "for (java.util.Enumeration enumVar = $enumExp ; \
+                        enumVar.hasMoreElements() ; ) { \
+                       $body \
+                   }";
+
+fn cx_for(compiler: &Compiler) -> Cx {
+    Cx {
+        cx: compiler.inner().clone(),
+        pair: EnvPair {
+            grammar: compiler.base().grammar.clone(),
+            denv: compiler.base().denv.clone(),
+        },
+        ctx: ResolveCtx::default(),
+        class: None,
+        scope: Rc::new(RefCell::new(Scope::new())),
+    }
+}
+
+fn compile_template(compiler: &Compiler) -> Rc<Template> {
+    let cx = cx_for(compiler);
+    let trees = maya_lexer::tree_lex_str(&format!("{{ {SRC} }}")).unwrap();
+    let body = trees[0].as_delim().unwrap().clone();
+    struct Kinds;
+    impl maya_template::SlotKinds for Kinds {
+        fn named(&mut self, name: maya_lexer::Symbol) -> Option<NodeKind> {
+            match name.as_str() {
+                "enumExp" => Some(NodeKind::Expression),
+                "body" => Some(NodeKind::Statement),
+                _ => None,
+            }
+        }
+        fn expr(&mut self, _t: &[maya_lexer::TokenTree]) -> Option<NodeKind> {
+            None
+        }
+    }
+    let classes = compiler.classes();
+    let resolver = move |dotted: &str| {
+        classes.by_fqcn_str(dotted).map(|c| classes.fqcn(c))
+    };
+    Rc::new(
+        Template::compile(
+            &cx.pair.grammar,
+            &compiler.inner().base.hygiene,
+            &resolver,
+            NodeKind::Statement,
+            &body,
+            &mut Kinds,
+        )
+        .unwrap(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let compiler = Compiler::new();
+    let mut group = c.benchmark_group("templates");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+
+    group.bench_function("compile", |b| b.iter(|| compile_template(&compiler)));
+
+    let t = compile_template(&compiler);
+    let enum_exp = Node::from(Expr::call_on(Expr::name("h"), "keys", vec![]));
+    let body = Node::Stmt(maya_ast::Stmt::synth(maya_ast::StmtKind::Empty));
+    group.bench_function("instantiate", |b| {
+        b.iter(|| {
+            let mut host = CoreInstHost { c: cx_for(&compiler) };
+            t.instantiate(vec![enum_exp.clone(), body.clone()], &mut host)
+                .unwrap()
+        })
+    });
+
+    // Baseline: hand-constructing an equivalent AST with no replay.
+    group.bench_function("hand_built_ast", |b| {
+        b.iter(|| {
+            maya_ast::Stmt::synth(maya_ast::StmtKind::For {
+                init: maya_ast::ForInit::Decl(
+                    maya_ast::TypeName::named("java.util.Enumeration"),
+                    vec![maya_ast::LocalDeclarator {
+                        name: maya_ast::Ident::from_str("enumVar"),
+                        dims: 0,
+                        init: enum_exp.clone().into_expr(),
+                    }],
+                ),
+                cond: Some(Expr::call_on(Expr::name("enumVar"), "hasMoreElements", vec![])),
+                update: vec![],
+                body: Box::new(maya_ast::Stmt::synth(maya_ast::StmtKind::Empty)),
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

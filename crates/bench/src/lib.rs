@@ -1,0 +1,93 @@
+//! Benchmark support: shared workload generators for the experiment
+//! harness (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+//! recorded results).
+
+use std::fmt::Write as _;
+
+/// Generates a MayaJava class with `n` methods, each with a small body.
+pub fn class_with_methods(name: &str, n: usize) -> String {
+    let mut src = format!("class {name} {{\n");
+    for i in 0..n {
+        let _ = writeln!(
+            src,
+            "    int m{i}(int a, int b) {{ int c = a * {i} + b; return c * c; }}"
+        );
+    }
+    src.push_str("}\n");
+    src
+}
+
+/// A shape-hierarchy program dispatching `pairs` shape pairs through
+/// MultiJava multimethods.
+pub fn multimethod_program(pairs: usize) -> String {
+    format!(
+        r#"
+        use MultiJava;
+        class Shape {{ }}
+        class Circle extends Shape {{ }}
+        class Rect extends Shape {{ }}
+        class Intersect {{
+            int test(Shape a, Shape b) {{ return 0; }}
+            int test(Shape@Circle a, Shape@Rect b) {{ return 1; }}
+            int test(Shape@Rect a, Shape@Circle b) {{ return 2; }}
+            int test(Shape@Circle a, Shape@Circle b) {{ return 3; }}
+        }}
+        class Main {{
+            static void main() {{
+                Intersect it = new Intersect();
+                Shape c = new Circle();
+                Shape r = new Rect();
+                int sum = 0;
+                for (int i = 0; i < {pairs}; i++) {{
+                    sum += it.test(c, r) + it.test(r, c) + it.test(c, c) + it.test(r, r);
+                }}
+                System.out.println(sum);
+            }}
+        }}
+        "#
+    )
+}
+
+/// The same workload written with the visitor pattern — the intro's
+/// "multiple dispatch in a single-dispatch language" workaround.
+pub fn visitor_program(pairs: usize) -> String {
+    format!(
+        r#"
+        class Shape {{
+            int acceptWith(Visitor v, Shape other) {{ return 0; }}
+            int visitFromCircle(Visitor v) {{ return v.generic(); }}
+            int visitFromRect(Visitor v) {{ return v.generic(); }}
+        }}
+        class Circle extends Shape {{
+            int acceptWith(Visitor v, Shape other) {{ return other.visitFromCircle(v); }}
+            int visitFromCircle(Visitor v) {{ return v.circleCircle(); }}
+            int visitFromRect(Visitor v) {{ return v.rectCircle(); }}
+        }}
+        class Rect extends Shape {{
+            int acceptWith(Visitor v, Shape other) {{ return other.visitFromRect(v); }}
+            int visitFromCircle(Visitor v) {{ return v.circleRect(); }}
+            int visitFromRect(Visitor v) {{ return v.rectRect(); }}
+        }}
+        class Visitor {{
+            int circleCircle() {{ return 3; }}
+            int circleRect() {{ return 1; }}
+            int rectCircle() {{ return 2; }}
+            int rectRect() {{ return 0; }}
+            int generic() {{ return 0; }}
+        }}
+        class Main {{
+            static void main() {{
+                Visitor v = new Visitor();
+                Shape c = new Circle();
+                Shape r = new Rect();
+                int sum = 0;
+                for (int i = 0; i < {pairs}; i++) {{
+                    sum += c.acceptWith(v, r) + r.acceptWith(v, c)
+                         + c.acceptWith(v, c) + r.acceptWith(v, r);
+                }}
+                System.out.println(sum);
+            }}
+        }}
+        "#
+    )
+}

@@ -1,0 +1,461 @@
+//! The `maya.tree` bridge: the compile-time reflection API interpreted
+//! metaprogram bodies use (paper §3.2), and the template-expression
+//! evaluator.
+//!
+//! `maya.tree.*` classes wrap AST nodes as [`TreeValue`] natives. Static
+//! helpers mirror the paper's API: `StrictTypeName.make`, `DeclStmt.make`,
+//! `Reference.makeExpr`, `Environment.makeId`, plus `nextRewrite()` inside
+//! Mayan bodies. All of them read the compiler's *expand stack* — the
+//! Mayan expansion currently in progress.
+
+use crate::compiler::CompilerInner;
+use crate::driver::{type_to_strict, CoreInstHost, Cx};
+use crate::extension::TreeValue;
+use maya_ast::{Expr, ExprKind, LocalDeclarator, Node, NodeKind, Stmt, StmtKind, TemplateLit};
+use maya_interp::{native_as, Control, Eval, Frame, Interp, Value};
+use maya_lexer::{sym, Span, Symbol};
+use maya_template::{SlotKinds, SlotSource, Template};
+use maya_types::{ClassInfo, MethodInfo, ResolveCtx, Scope, Type};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The `maya.tree` class names installed by the bridge.
+pub const TREE_CLASSES: &[&str] = &[
+    "maya.tree.Node",
+    "maya.tree.Expression",
+    "maya.tree.Statement",
+    "maya.tree.BlockStmts",
+    "maya.tree.TypeName",
+    "maya.tree.StrictTypeName",
+    "maya.tree.Declaration",
+    "maya.tree.Identifier",
+    "maya.tree.MethodName",
+    "maya.tree.Formal",
+    "maya.tree.VarDeclaration",
+    "maya.tree.DeclStmt",
+    "maya.tree.Reference",
+    "maya.Environment",
+];
+
+fn err(msg: impl Into<String>) -> Control {
+    Control::error(msg, Span::DUMMY)
+}
+
+fn node_of(v: &Value) -> Result<Node, Control> {
+    native_as::<TreeValue>(v)
+        .map(|t| t.node.clone())
+        .ok_or_else(|| err("expected a maya.tree value"))
+}
+
+pub(crate) fn tree_value(node: Node) -> Value {
+    Value::Native(Rc::new(TreeValue { node }))
+}
+
+/// Installs the `maya.tree` classes, their natives, and the template
+/// evaluator (idempotent per class table).
+pub fn install(cx: &Rc<CompilerInner>) {
+    let ct = &cx.classes;
+    if ct.by_fqcn_str("maya.tree.Node").is_none() {
+        let object = ct.by_fqcn_str("java.lang.Object");
+        for fqcn in TREE_CLASSES {
+            let mut info = ClassInfo::new(fqcn, false);
+            info.superclass = match *fqcn {
+                "maya.tree.Node" => object,
+                "maya.tree.StrictTypeName" => ct.by_fqcn_str("maya.tree.TypeName").or(object),
+                "maya.tree.DeclStmt" => ct.by_fqcn_str("maya.tree.Statement").or(object),
+                "maya.tree.VarDeclaration" => ct.by_fqcn_str("maya.tree.Formal").or(object),
+                _ => ct.by_fqcn_str("maya.tree.Node").or(object),
+            };
+            let _ = ct.declare(info);
+        }
+        let string = Type::Class(ct.by_fqcn_str("java.lang.String").expect("runtime"));
+        let tc = |n: &str| Type::Class(ct.by_fqcn_str(n).expect("tree class"));
+        let node_t = tc("maya.tree.Node");
+        let type_t = tc("maya.tree.TypeName");
+        let strict_t = tc("maya.tree.StrictTypeName");
+        let stmt_t = tc("maya.tree.Statement");
+        let expr_t = tc("maya.tree.Expression");
+        let ident_t = tc("maya.tree.Identifier");
+        let formal_t = tc("maya.tree.Formal");
+
+        let stat = |name: &str, params: Vec<Type>, ret: Type, key: &str| {
+            let mut m = MethodInfo::native(name, params, ret, key);
+            m.modifiers.add(maya_ast::Modifier::Static);
+            m
+        };
+        let strict = ct.by_fqcn_str("maya.tree.StrictTypeName").unwrap();
+        ct.add_method(
+            strict,
+            stat("make", vec![node_t.clone()], strict_t, "tree.strict.make"),
+        );
+        let declstmt = ct.by_fqcn_str("maya.tree.DeclStmt").unwrap();
+        ct.add_method(
+            declstmt,
+            stat("make", vec![formal_t.clone()], stmt_t, "tree.declstmt.make"),
+        );
+        let reference = ct.by_fqcn_str("maya.tree.Reference").unwrap();
+        ct.add_method(
+            reference,
+            stat(
+                "makeExpr",
+                vec![node_t.clone()],
+                expr_t.clone(),
+                "tree.ref.make",
+            ),
+        );
+        let environment = ct.by_fqcn_str("maya.Environment").unwrap();
+        ct.add_method(
+            environment,
+            stat(
+                "makeId",
+                vec![string.clone()],
+                ident_t.clone(),
+                "tree.makeid",
+            ),
+        );
+        let formal = ct.by_fqcn_str("maya.tree.Formal").unwrap();
+        ct.add_method(
+            formal,
+            MethodInfo::native("getType", vec![], type_t.clone(), "tree.formal.getType"),
+        );
+        ct.add_method(
+            formal,
+            MethodInfo::native("getName", vec![], string.clone(), "tree.getName"),
+        );
+        ct.add_method(
+            formal,
+            MethodInfo::native("getLocation", vec![], formal_t, "tree.identity"),
+        );
+        let identifier = ct.by_fqcn_str("maya.tree.Identifier").unwrap();
+        ct.add_method(
+            identifier,
+            MethodInfo::native("getName", vec![], string, "tree.getName"),
+        );
+        let expression = ct.by_fqcn_str("maya.tree.Expression").unwrap();
+        ct.add_method(
+            expression,
+            MethodInfo::native("getStaticType", vec![], type_t, "tree.expr.staticType"),
+        );
+    }
+
+    register_natives(cx);
+    install_template_hook(cx);
+}
+
+fn top_snapshot(cx: &CompilerInner) -> Result<crate::driver::ExpandSnapshot, Control> {
+    cx.expand_stack
+        .borrow()
+        .last()
+        .cloned()
+        .ok_or_else(|| err("this API is only available while a Mayan is expanding"))
+}
+
+fn register_natives(cx: &Rc<CompilerInner>) {
+    let interp = cx.interp.clone();
+    let w = Rc::downgrade(cx);
+
+    {
+        let w = w.clone();
+        interp.register_native(
+            "tree.strict.make",
+            Rc::new(move |_i: &Interp, _recv, args: Vec<Value>| -> Eval {
+                let cx = w.upgrade().ok_or_else(|| err("compiler dropped"))?;
+                let snap = top_snapshot(&cx)?;
+                let node = node_of(&args[0])?;
+                let tn = match node {
+                    Node::Type(t) => t,
+                    other => {
+                        return Err(err(format!(
+                            "StrictTypeName.make expects a type name, got {:?}",
+                            other.node_kind()
+                        )))
+                    }
+                };
+                let ty = cx
+                    .classes
+                    .resolve_type_name(&tn, &snap.c.ctx)
+                    .map_err(|e| err(e.message))?;
+                let strict =
+                    type_to_strict(&cx.classes, &ty).map_err(|e| err(e.message))?;
+                Ok(tree_value(Node::Type(strict)))
+            }),
+        );
+    }
+    interp.register_native(
+        "tree.declstmt.make",
+        Rc::new(move |_i, _recv, args| {
+            let node = node_of(&args[0])?;
+            let Node::Formal(f) = node else {
+                return Err(err("DeclStmt.make expects a Formal"));
+            };
+            Ok(tree_value(Node::Stmt(Stmt::synth(StmtKind::Decl(
+                f.ty.clone(),
+                vec![LocalDeclarator::plain(f.name)],
+            )))))
+        }),
+    );
+    interp.register_native(
+        "tree.ref.make",
+        Rc::new(move |_i, _recv, args| {
+            let node = node_of(&args[0])?;
+            let name = match &node {
+                Node::Formal(f) => f.name.sym,
+                Node::Ident(i) => i.sym,
+                other => {
+                    return Err(err(format!(
+                        "Reference.makeExpr expects a formal or identifier, got {:?}",
+                        other.node_kind()
+                    )))
+                }
+            };
+            Ok(tree_value(Node::Expr(Expr::synth(ExprKind::VarRef(name)))))
+        }),
+    );
+    {
+        let w = w.clone();
+        interp.register_native(
+            "tree.makeid",
+            Rc::new(move |_i, _recv, args| {
+                let cx = w.upgrade().ok_or_else(|| err("compiler dropped"))?;
+                let base = match &args[0] {
+                    Value::Str(s) => s.to_string(),
+                    other => {
+                        return Err(err(format!("makeId expects a String, got {other:?}")))
+                    }
+                };
+                Ok(tree_value(Node::Ident(maya_ast::Ident::synth(
+                    cx.fresh(&base),
+                ))))
+            }),
+        );
+    }
+    interp.register_native(
+        "tree.formal.getType",
+        Rc::new(move |_i, recv, _args| {
+            let Node::Formal(f) = node_of(&recv)? else {
+                return Err(err("getType on a non-formal"));
+            };
+            Ok(tree_value(Node::Type(f.ty.clone())))
+        }),
+    );
+    interp.register_native(
+        "tree.getName",
+        Rc::new(move |_i, recv, _args| {
+            let name = match node_of(&recv)? {
+                Node::Formal(f) => f.name.sym,
+                Node::Ident(i) => i.sym,
+                other => return Err(err(format!("getName on {:?}", other.node_kind()))),
+            };
+            Ok(Value::str(name.as_str()))
+        }),
+    );
+    interp.register_native("tree.identity", Rc::new(move |_i, recv, _args| Ok(recv)));
+    {
+        let w = w.clone();
+        interp.register_native(
+            "tree.expr.staticType",
+            Rc::new(move |_i, recv, _args| {
+                let cx = w.upgrade().ok_or_else(|| err("compiler dropped"))?;
+                let snap = top_snapshot(&cx)?;
+                let Node::Expr(e) = node_of(&recv)? else {
+                    return Err(err("getStaticType on a non-expression"));
+                };
+                let ty = snap.c.static_type(&e).map_err(|e| err(e.message))?;
+                let strict =
+                    type_to_strict(&cx.classes, &ty).map_err(|e| err(e.message))?;
+                Ok(tree_value(Node::Type(strict)))
+            }),
+        );
+    }
+    {
+        let w = w.clone();
+        interp.register_native(
+            "tree.nextRewrite",
+            Rc::new(move |_i, _recv, _args| {
+                let cx = w.upgrade().ok_or_else(|| err("compiler dropped"))?;
+                let snap = top_snapshot(&cx)?;
+                let node = snap.next_rewrite().map_err(|e| err(e.message))?;
+                Ok(tree_value(node))
+            }),
+        );
+    }
+}
+
+/// A compiled template plus the evaluation plan for its slots.
+struct CompiledTemplate {
+    template: Template,
+    /// How to obtain each slot value in the metaprogram frame.
+    evals: Vec<SlotEval>,
+}
+
+enum SlotEval {
+    Named(Symbol),
+    Expr(Expr),
+}
+
+/// Maps an AST node about to be spliced to the grammar symbol it stands
+/// for (top categories keep the parse general).
+pub fn kind_for_splice(node: &Node) -> NodeKind {
+    match node {
+        Node::Lazy(l) if l.goal == NodeKind::BlockStmts => NodeKind::Statement,
+        Node::Lazy(l) => {
+            if l.goal.is_subkind_of(NodeKind::Expression) {
+                NodeKind::Expression
+            } else {
+                NodeKind::Statement
+            }
+        }
+        Node::Block(_) | Node::Stmt(_) => NodeKind::Statement,
+        Node::Expr(_) => NodeKind::Expression,
+        Node::Type(_) => NodeKind::TypeName,
+        Node::Ident(_) => NodeKind::Identifier,
+        Node::Formal(_) => NodeKind::Formal,
+        Node::MethodName(_) => NodeKind::MethodName,
+        Node::Name(_) => NodeKind::QualifiedName,
+        other => other.node_kind(),
+    }
+}
+
+fn install_template_hook(cx: &Rc<CompilerInner>) {
+    let w = Rc::downgrade(cx);
+    cx.interp.set_template_hook(Rc::new(
+        move |interp: &Interp, tlit: &TemplateLit, frame: &mut Frame| -> Eval {
+            let cx = w.upgrade().ok_or_else(|| err("compiler dropped"))?;
+            let snap = top_snapshot(&cx)?;
+            // Definition context: the extension class the body belongs to.
+            let def_ctx = frame
+                .class
+                .and_then(|c| cx.class_meta.borrow().get(&c).map(|m| m.ctx.clone()))
+                .unwrap_or_default();
+            let def_cx = Cx {
+                cx: cx.clone(),
+                pair: snap.c.pair.clone(),
+                ctx: def_ctx,
+                class: frame.class,
+                scope: Rc::new(RefCell::new(Scope::new())),
+            };
+
+            // Compile once per template literal.
+            let compiled: Rc<CompiledTemplate> = {
+                let cached = tlit.compiled.borrow().clone();
+                match cached.and_then(|c| c.downcast::<CompiledTemplate>().ok()) {
+                    Some(c) => c,
+                    None => {
+                        let c =
+                            Rc::new(compile_template_lit(&cx, &def_cx, interp, frame, tlit)?);
+                        *tlit.compiled.borrow_mut() = Some(c.clone() as Rc<dyn std::any::Any>);
+                        c
+                    }
+                }
+            };
+
+            // Evaluate the slots in the metaprogram frame.
+            let mut values = Vec::with_capacity(compiled.evals.len());
+            for ev in &compiled.evals {
+                let v = match ev {
+                    SlotEval::Named(name) => frame
+                        .get_local(*name)
+                        .ok_or_else(|| err(format!("unbound template slot ${name}")))?,
+                    SlotEval::Expr(e) => interp.eval(e, frame)?,
+                };
+                values.push(node_of(&v)?);
+            }
+            let mut host = CoreInstHost { c: snap.c.clone() };
+            let node = compiled
+                .template
+                .instantiate(values, &mut host)
+                .map_err(|e| err(e.message))?;
+            Ok(tree_value(node))
+        },
+    ));
+}
+
+fn compile_template_lit(
+    cx: &Rc<CompilerInner>,
+    def_cx: &Cx,
+    interp: &Interp,
+    frame: &mut Frame,
+    tlit: &TemplateLit,
+) -> Result<CompiledTemplate, Control> {
+    // Slot kinds come from the tree values in scope ("determined by its
+    // static type", §4.2 — the dynamic kind of the value mirrors it).
+    struct Kinds<'a> {
+        interp: &'a Interp,
+        frame: &'a mut Frame,
+        def_cx: &'a Cx,
+        evals: Vec<SlotEval>,
+    }
+    impl SlotKinds for Kinds<'_> {
+        fn named(&mut self, name: Symbol) -> Option<NodeKind> {
+            let v = self.frame.get_local(name)?;
+            let node = node_of(&v).ok()?;
+            self.evals.push(SlotEval::Named(name));
+            Some(kind_for_splice(&node))
+        }
+
+        fn expr(&mut self, tokens: &[maya_lexer::TokenTree]) -> Option<NodeKind> {
+            let goal = self
+                .def_cx
+                .pair
+                .grammar
+                .nt_for_kind(NodeKind::Expression)?;
+            let parsed = self.def_cx.parse_trees(tokens, goal).ok()?;
+            let expr = parsed.into_expr()?;
+            let v = self.interp.eval(&expr, self.frame).ok()?;
+            let node = node_of(&v).ok()?;
+            self.evals.push(SlotEval::Expr(expr));
+            Some(kind_for_splice(&node))
+        }
+    }
+
+    let mut kinds = Kinds {
+        interp,
+        frame,
+        def_cx,
+        evals: Vec::new(),
+    };
+    let classes = cx.classes.clone();
+    let rctx = def_cx.ctx.clone();
+    let resolver = move |dotted: &str| -> Option<Symbol> {
+        if dotted.contains('.') {
+            classes.by_fqcn_str(dotted).map(|c| classes.fqcn(c))
+        } else {
+            classes
+                .resolve_simple(sym(dotted), &rctx)
+                .map(|c| classes.fqcn(c))
+        }
+    };
+    let template = Template::compile(
+        &def_cx.pair.grammar,
+        &cx.base.hygiene,
+        &resolver,
+        tlit.goal,
+        &tlit.body,
+        &mut kinds,
+    )
+    .map_err(|e| Control::error(e.message, e.span))?;
+    debug_assert_eq!(template.slots.len(), kinds.evals.len());
+    for (slot, ev) in template.slots.iter().zip(&kinds.evals) {
+        match (&slot.source, ev) {
+            (SlotSource::Named(a), SlotEval::Named(b)) if a == b => {}
+            (SlotSource::Expr(_), SlotEval::Expr(_)) => {}
+            _ => return Err(err("internal: template slot plan mismatch")),
+        }
+    }
+    Ok(CompiledTemplate {
+        template,
+        evals: kinds.evals,
+    })
+}
+
+/// Widens a resolution context with the packages extension bodies expect.
+pub fn ext_resolve_ctx(base: &ResolveCtx) -> ResolveCtx {
+    let mut ctx = base.clone();
+    ctx.wildcard_imports.push(sym("maya.tree"));
+    ctx.wildcard_imports.push(sym("maya"));
+    ctx.wildcard_imports.push(sym("java.util"));
+    ctx
+}
+
+#[allow(dead_code)]
+fn _scope_is_used(_s: &Scope) {}

@@ -1,0 +1,1308 @@
+//! The built-in Mayans: Maya's base semantic actions.
+//!
+//! These are ordinary (unspecialized) Mayans imported first into the base
+//! environment; user Mayans on the same productions win by specificity or
+//! lexical tie-breaking (paper §4.4: "the built-in Mayans are imported
+//! first").
+
+use crate::base::BaseProds;
+use crate::driver::{expr_as_type, CoreExpand};
+use crate::literal::parse_literal;
+use maya_ast::{
+    BinOp, Block, CatchClause, ClassDecl, CtorDecl, Decl, Expr, ExprKind, FieldDecl, ForInit,
+    Formal, Ident, ImportDecl, IncDecOp, InterfaceDecl, LocalDeclarator, MayanDecl, MethodDecl,
+    MethodName, Modifier, Modifiers, Node, NodeKind, ProductionDecl, Stmt, StmtKind, TemplateLit,
+    TypeName, TypeNameKind, UnOp, UseTarget,
+};
+use maya_dispatch::{Bindings, DispatchError, EnvBuilder, ExpandCtx, Mayan, Param};
+use maya_grammar::{Action, BuiltinAction, Grammar, ProdId};
+use maya_lexer::{Span, TokenTree};
+use std::rc::Rc;
+
+fn err<T>(msg: impl Into<String>, span: Span) -> Result<T, DispatchError> {
+    Err(DispatchError::new(msg, span))
+}
+
+fn ident_of(n: &Node, what: &str) -> Result<Ident, DispatchError> {
+    n.as_ident()
+        .ok_or_else(|| DispatchError::new(format!("internal: expected identifier in {what}"), Span::DUMMY))
+}
+
+fn expr_of(n: &Node, what: &str) -> Result<Expr, DispatchError> {
+    n.clone()
+        .into_expr()
+        .ok_or_else(|| DispatchError::new(format!("internal: expected expression in {what}"), Span::DUMMY))
+}
+
+fn type_of(n: &Node, what: &str) -> Result<TypeName, DispatchError> {
+    n.as_type()
+        .cloned()
+        .ok_or_else(|| DispatchError::new(format!("internal: expected type name in {what}"), Span::DUMMY))
+}
+
+fn name_of(n: &Node, what: &str) -> Result<Vec<Ident>, DispatchError> {
+    match n {
+        Node::Name(parts) => Ok(parts.clone()),
+        _ => err(format!("internal: expected qualified name in {what}"), Span::DUMMY),
+    }
+}
+
+fn block_of(n: &Node, what: &str) -> Result<Block, DispatchError> {
+    n.clone()
+        .into_block()
+        .ok_or_else(|| DispatchError::new(format!("internal: expected block in {what}"), Span::DUMMY))
+}
+
+fn list_of(n: &Node, what: &str) -> Result<Vec<Node>, DispatchError> {
+    match n {
+        Node::List(items) => Ok(items.clone()),
+        Node::Args(args) => Ok(args.iter().cloned().map(Node::Expr).collect()),
+        _ => err(format!("internal: expected list in {what}"), Span::DUMMY),
+    }
+}
+
+fn tree_of(n: &Node, what: &str) -> Result<maya_lexer::DelimTree, DispatchError> {
+    match n {
+        Node::Tree(TokenTree::Delim(d)) => Ok(d.clone()),
+        _ => err(format!("internal: expected delimiter tree in {what}"), Span::DUMMY),
+    }
+}
+
+fn modifiers_of(n: &Node) -> Modifiers {
+    match n {
+        Node::Modifiers(m) => *m,
+        Node::List(items) => {
+            let mut all = Modifiers::none();
+            for i in items {
+                if let Node::Modifiers(m) = i {
+                    for modifier in m.iter() {
+                        all.add(modifier);
+                    }
+                }
+            }
+            all
+        }
+        _ => Modifiers::none(),
+    }
+}
+
+fn local_decl_of(n: &Node, what: &str) -> Result<LocalDeclarator, DispatchError> {
+    match n {
+        Node::LocalDecl(d) => Ok(d.clone()),
+        _ => err(format!("internal: expected declarator in {what}"), Span::DUMMY),
+    }
+}
+
+fn stmts_of_list(items: Vec<Node>, span: Span) -> Result<Block, DispatchError> {
+    let mut stmts = Vec::with_capacity(items.len());
+    for i in items {
+        match i.into_stmt() {
+            Some(s) => stmts.push(s),
+            None => return err("internal: non-statement in block", span),
+        }
+    }
+    Ok(Block::new(span, stmts))
+}
+
+fn types_of_list(n: &Node) -> Result<Vec<TypeName>, DispatchError> {
+    let items = list_of(n, "type list")?;
+    items
+        .iter()
+        .map(|i| type_of(i, "type list"))
+        .collect()
+}
+
+type Body = fn(&Bindings, Span, &mut CoreExpand) -> Result<Node, DispatchError>;
+
+/// The built-in semantic action for a named base production.
+#[allow(clippy::too_many_lines)]
+fn body_for(name: &'static str) -> Body {
+    match name {
+        "identifier" | "unbound_local" => |b, _s, _cx| {
+            Ok(Node::Ident(ident_of(&b.args[0], "identifier")?))
+        },
+        "qname_single" => |b, _s, _cx| {
+            Ok(Node::Name(vec![ident_of(&b.args[0], "name")?]))
+        },
+        "qname_dot" => |b, _s, _cx| {
+            let mut parts = name_of(&b.args[0], "name")?;
+            parts.push(ident_of(&b.args[2], "name")?);
+            Ok(Node::Name(parts))
+        },
+        "type_qname" => |b, s, _cx| {
+            let parts = name_of(&b.args[0], "type")?;
+            Ok(Node::Type(TypeName::new(s, TypeNameKind::Named(parts))))
+        },
+        "type_prim" => |b, _s, _cx| Ok(b.args[0].clone()),
+        "type_void" => |b, _s, _cx| {
+            let _ = b;
+            Ok(Node::Type(TypeName::void()))
+        },
+        "type_array" => |b, s, _cx| {
+            let base = type_of(&b.args[0], "array type")?;
+            let tree = tree_of(&b.args[1], "array type")?;
+            if !tree.is_empty() {
+                return err("array type brackets must be empty", tree.span());
+            }
+            let _ = s;
+            Ok(Node::Type(base.array_of()))
+        },
+        "prim_boolean" => prim(maya_ast::PrimKind::Boolean),
+        "prim_byte" => prim(maya_ast::PrimKind::Byte),
+        "prim_short" => prim(maya_ast::PrimKind::Short),
+        "prim_char" => prim(maya_ast::PrimKind::Char),
+        "prim_int" => prim(maya_ast::PrimKind::Int),
+        "prim_long" => prim(maya_ast::PrimKind::Long),
+        "prim_float" => prim(maya_ast::PrimKind::Float),
+        "prim_double" => prim(maya_ast::PrimKind::Double),
+        "lit_int" | "lit_long" | "lit_float" | "lit_double" | "lit_char" | "lit_string"
+        | "lit_true" | "lit_false" | "lit_null" => |b, s, _cx| {
+            let tok = b.args[0]
+                .as_token()
+                .ok_or_else(|| DispatchError::new("internal: literal token", s))?;
+            match parse_literal(tok) {
+                Some(l) => Ok(Node::Expr(Expr::new(s, ExprKind::Literal(l)))),
+                None => err(format!("malformed literal {}", tok.text), s),
+            }
+        },
+        "expr_name" => |b, s, _cx| {
+            let id = ident_of(&b.args[0], "name expression")?;
+            Ok(Node::Expr(Expr::new(s, ExprKind::Name(id))))
+        },
+        "expr_this" => |_b, s, _cx| Ok(Node::Expr(Expr::new(s, ExprKind::This))),
+        "field_access" => |b, s, _cx| {
+            let target = expr_of(&b.args[0], "field access")?;
+            let name = ident_of(&b.args[2], "field access")?;
+            Ok(Node::Expr(Expr::new(
+                s,
+                ExprKind::FieldAccess(Box::new(target), name),
+            )))
+        },
+        "mn_simple" => |b, _s, _cx| {
+            Ok(Node::MethodName(MethodName::simple(ident_of(
+                &b.args[0],
+                "method name",
+            )?)))
+        },
+        "mn_recv" => |b, _s, _cx| {
+            Ok(Node::MethodName(MethodName::with_receiver(
+                expr_of(&b.args[0], "method name")?,
+                ident_of(&b.args[2], "method name")?,
+            )))
+        },
+        "mn_super" => |b, _s, _cx| {
+            Ok(Node::MethodName(MethodName::super_call(ident_of(
+                &b.args[2],
+                "method name",
+            )?)))
+        },
+        "call" => |b, s, _cx| {
+            let mn = match &b.args[0] {
+                Node::MethodName(m) => m.clone(),
+                other => {
+                    return err(
+                        format!("internal: call on {:?}", other.node_kind()),
+                        s,
+                    )
+                }
+            };
+            let args = match &b.args[1] {
+                Node::Args(a) => a.clone(),
+                other => {
+                    let items = list_of(other, "call arguments")?;
+                    items
+                        .into_iter()
+                        .map(|n| {
+                            n.into_expr().ok_or_else(|| {
+                                DispatchError::new("internal: non-expression argument", s)
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?
+                }
+            };
+            Ok(Node::Expr(Expr::new(s, ExprKind::Call(mn, args))))
+        },
+        "args" => |b, s, _cx| {
+            let items = list_of(&b.args[0], "arguments")?;
+            let exprs = items
+                .into_iter()
+                .map(|n| {
+                    n.into_expr().ok_or_else(|| {
+                        DispatchError::new("internal: non-expression argument", s)
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Node::Args(exprs))
+        },
+        "array_access" => |b, s, cx| {
+            let base = expr_of(&b.args[0], "array access")?;
+            // Inside templates the index arrives pre-parsed (the recipe
+            // statically checked the tree's contents).
+            if let Node::Expr(index) = &b.args[1] {
+                if let ExprKind::NewArray {
+                    elem,
+                    mut dims,
+                    extra_dims: 0,
+                } = base.kind.clone()
+                {
+                    dims.push(index.clone());
+                    return Ok(Node::Expr(Expr::new(
+                        s,
+                        ExprKind::NewArray {
+                            elem,
+                            dims,
+                            extra_dims: 0,
+                        },
+                    )));
+                }
+                return Ok(Node::Expr(Expr::new(
+                    s,
+                    ExprKind::ArrayAccess(Box::new(base), Box::new(index.clone())),
+                )));
+            }
+            let tree = tree_of(&b.args[1], "array access")?;
+            if tree.is_empty() {
+                // `Expr[]`: array-type dims (`Vector[] v;`), or an extra
+                // dimension on `new T[n][]`.
+                if let ExprKind::NewArray {
+                    elem,
+                    dims,
+                    extra_dims,
+                } = base.kind
+                {
+                    return Ok(Node::Expr(Expr::new(
+                        s,
+                        ExprKind::NewArray {
+                            elem,
+                            dims,
+                            extra_dims: extra_dims + 1,
+                        },
+                    )));
+                }
+                return Ok(Node::Expr(Expr::new(
+                    s,
+                    ExprKind::TypeDims(Box::new(base)),
+                )));
+            }
+            let index = cx.parse_tree(&tree, NodeKind::Expression)?;
+            let index = expr_of(&index, "array index")?;
+            // `new int[2][3]` arrives as an "access" on a NewArray: fold the
+            // extra sized dimension in.
+            if let ExprKind::NewArray {
+                elem,
+                mut dims,
+                extra_dims: 0,
+            } = base.kind.clone()
+            {
+                dims.push(index);
+                return Ok(Node::Expr(Expr::new(
+                    s,
+                    ExprKind::NewArray {
+                        elem,
+                        dims,
+                        extra_dims: 0,
+                    },
+                )));
+            }
+            Ok(Node::Expr(Expr::new(
+                s,
+                ExprKind::ArrayAccess(Box::new(base), Box::new(index)),
+            )))
+        },
+        "new_object" => |b, s, _cx| {
+            let ty = match &b.args[1] {
+                Node::Name(parts) => TypeName::new(s, TypeNameKind::Named(parts.clone())),
+                other => type_of(other, "new")?,
+            };
+            let args = match &b.args[2] {
+                Node::Args(a) => a.clone(),
+                other => list_of(other, "constructor arguments")?
+                    .into_iter()
+                    .filter_map(Node::into_expr)
+                    .collect(),
+            };
+            Ok(Node::Expr(Expr::new(s, ExprKind::New(ty, args))))
+        },
+        "new_array" | "new_array_prim" => |b, s, _cx| {
+            let ty = match &b.args[1] {
+                Node::Name(parts) => TypeName::new(s, TypeNameKind::Named(parts.clone())),
+                other => type_of(other, "new array")?,
+            };
+            let dim = expr_of(&b.args[2], "array dimension")?;
+            Ok(Node::Expr(Expr::new(
+                s,
+                ExprKind::NewArray {
+                    elem: ty,
+                    dims: vec![dim],
+                    extra_dims: 0,
+                },
+            )))
+        },
+        "template" => |b, s, _cx| {
+            let parts = name_of(&b.args[1], "template goal")?;
+            if parts.len() != 1 {
+                return err("template goal must be a node-type name", s);
+            }
+            let Some(goal) = NodeKind::from_symbol(parts[0].sym) else {
+                return err(
+                    format!(
+                        "unknown node type {} (anonymous classes are not supported)",
+                        parts[0].sym
+                    ),
+                    s,
+                );
+            };
+            let body = tree_of(&b.args[2], "template body")?;
+            Ok(Node::Expr(Expr::new(
+                s,
+                ExprKind::Template(TemplateLit::new(s, goal, body)),
+            )))
+        },
+        "paren" => |b, s, cx| {
+            if let Node::Expr(inner) = &b.args[0] {
+                return Ok(Node::Expr(Expr::new(s, inner.kind.clone())));
+            }
+            let tree = tree_of(&b.args[0], "parenthesized expression")?;
+            if tree.is_empty() {
+                return err("empty parentheses", s);
+            }
+            let inner = cx.parse_tree(&tree, NodeKind::Expression)?;
+            let inner = expr_of(&inner, "parenthesized expression")?;
+            Ok(Node::Expr(Expr::new(s, inner.kind)))
+        },
+        "cast" => |b, s, cx| {
+            let ty = match &b.args[0] {
+                Node::Type(t) => t.clone(),
+                other => {
+                    let tree = tree_of(other, "cast")?;
+                    let parsed = cx.parse_tree(&tree, NodeKind::TypeName)?;
+                    type_of(&parsed, "cast target")?
+                }
+            };
+            let operand = expr_of(&b.args[1], "cast operand")?;
+            Ok(Node::Expr(Expr::new(
+                s,
+                ExprKind::Cast(ty, Box::new(operand)),
+            )))
+        },
+        "binary_add" => binop(BinOp::Add),
+        "binary_sub" => binop(BinOp::Sub),
+        "binary_mul" => binop(BinOp::Mul),
+        "binary_div" => binop(BinOp::Div),
+        "binary_rem" => binop(BinOp::Rem),
+        "binary_shl" => binop(BinOp::Shl),
+        "binary_shr" => binop(BinOp::Shr),
+        "binary_ushr" => binop(BinOp::Ushr),
+        "binary_lt" => binop(BinOp::Lt),
+        "binary_gt" => binop(BinOp::Gt),
+        "binary_le" => binop(BinOp::Le),
+        "binary_ge" => binop(BinOp::Ge),
+        "binary_eq" => binop(BinOp::Eq),
+        "binary_ne" => binop(BinOp::Ne),
+        "binary_bitand" => binop(BinOp::BitAnd),
+        "binary_bitxor" => binop(BinOp::BitXor),
+        "binary_bitor" => binop(BinOp::BitOr),
+        "binary_andand" => binop(BinOp::And),
+        "binary_oror" => binop(BinOp::Or),
+        "assign" => assign_op(None),
+        "assign_add" => assign_op(Some(BinOp::Add)),
+        "assign_sub" => assign_op(Some(BinOp::Sub)),
+        "assign_mul" => assign_op(Some(BinOp::Mul)),
+        "assign_div" => assign_op(Some(BinOp::Div)),
+        "assign_rem" => assign_op(Some(BinOp::Rem)),
+        "assign_bitand" => assign_op(Some(BinOp::BitAnd)),
+        "assign_bitor" => assign_op(Some(BinOp::BitOr)),
+        "assign_bitxor" => assign_op(Some(BinOp::BitXor)),
+        "assign_shl" => assign_op(Some(BinOp::Shl)),
+        "assign_shr" => assign_op(Some(BinOp::Shr)),
+        "assign_ushr" => assign_op(Some(BinOp::Ushr)),
+        "cond" => |b, s, _cx| {
+            Ok(Node::Expr(Expr::new(
+                s,
+                ExprKind::Cond(
+                    Box::new(expr_of(&b.args[0], "condition")?),
+                    Box::new(expr_of(&b.args[2], "then branch")?),
+                    Box::new(expr_of(&b.args[4], "else branch")?),
+                ),
+            )))
+        },
+        "instanceof" => |b, s, _cx| {
+            Ok(Node::Expr(Expr::new(
+                s,
+                ExprKind::Instanceof(
+                    Box::new(expr_of(&b.args[0], "instanceof")?),
+                    type_of(&b.args[2], "instanceof")?,
+                ),
+            )))
+        },
+        "unary_neg" => unop(UnOp::Neg),
+        "unary_plus" => unop(UnOp::Plus),
+        "unary_not" => unop(UnOp::Not),
+        "unary_bitnot" => unop(UnOp::BitNot),
+        "preinc" => incdec(IncDecOp::Inc, true),
+        "predec" => incdec(IncDecOp::Dec, true),
+        "postinc" => |b, s, _cx| {
+            Ok(Node::Expr(Expr::new(
+                s,
+                ExprKind::IncDec(IncDecOp::Inc, false, Box::new(expr_of(&b.args[0], "++")?)),
+            )))
+        },
+        "postdec" => |b, s, _cx| {
+            Ok(Node::Expr(Expr::new(
+                s,
+                ExprKind::IncDec(IncDecOp::Dec, false, Box::new(expr_of(&b.args[0], "--")?)),
+            )))
+        },
+        "block_stmts" => |b, s, _cx| {
+            let items = list_of(&b.args[0], "block")?;
+            Ok(Node::Block(stmts_of_list(items, s)?))
+        },
+        "stmt_block" => |b, s, _cx| {
+            let block = block_of(&b.args[0], "block statement")?;
+            Ok(Node::Stmt(Stmt::new(s, StmtKind::Block(block))))
+        },
+        "stmt_expr" => |b, s, _cx| {
+            Ok(Node::Stmt(Stmt::new(
+                s,
+                StmtKind::Expr(expr_of(&b.args[0], "expression statement")?),
+            )))
+        },
+        "stmt_decl" => |b, s, _cx| {
+            let ty = expr_as_type(&expr_of(&b.args[0], "declaration type")?)?;
+            let ld = local_decl_of(&b.args[1], "declaration")?;
+            let mut full_ty = ty.clone();
+            for _ in 0..ld.dims {
+                full_ty = full_ty.array_of();
+            }
+            _cx.declare_parse_binding(ld.name.sym, &full_ty);
+            Ok(Node::Stmt(Stmt::new(s, StmtKind::Decl(ty, vec![ld]))))
+        },
+        "stmt_decl_prim" => |b, s, _cx| {
+            let ty = type_of(&b.args[0], "declaration type")?;
+            let ld = local_decl_of(&b.args[1], "declaration")?;
+            let mut full_ty = ty.clone();
+            for _ in 0..ld.dims {
+                full_ty = full_ty.array_of();
+            }
+            _cx.declare_parse_binding(ld.name.sym, &full_ty);
+            Ok(Node::Stmt(Stmt::new(s, StmtKind::Decl(ty, vec![ld]))))
+        },
+        "stmt_decl_prim_arr" => |b, s, _cx| {
+            let ty = type_of(&b.args[0], "declaration type")?;
+            let tree = tree_of(&b.args[1], "declaration")?;
+            if !tree.is_empty() {
+                return err("array type brackets must be empty", tree.span());
+            }
+            let ld = local_decl_of(&b.args[2], "declaration")?;
+            _cx.declare_parse_binding(ld.name.sym, &ty.clone().array_of());
+            Ok(Node::Stmt(Stmt::new(
+                s,
+                StmtKind::Decl(ty.array_of(), vec![ld]),
+            )))
+        },
+        "local_decl" => |b, _s, _cx| {
+            Ok(Node::LocalDecl(LocalDeclarator::plain(ident_of(
+                &b.args[0],
+                "declarator",
+            )?)))
+        },
+        "local_decl_init" => |b, _s, _cx| {
+            Ok(Node::LocalDecl(LocalDeclarator {
+                name: ident_of(&b.args[0], "declarator")?,
+                dims: 0,
+                init: Some(expr_of(&b.args[2], "initializer")?),
+            }))
+        },
+        "local_decl_arr" => |b, _s, _cx| {
+            Ok(Node::LocalDecl(LocalDeclarator {
+                name: ident_of(&b.args[0], "declarator")?,
+                dims: 1,
+                init: None,
+            }))
+        },
+        "local_decl_arr_init" => |b, _s, _cx| {
+            Ok(Node::LocalDecl(LocalDeclarator {
+                name: ident_of(&b.args[0], "declarator")?,
+                dims: 1,
+                init: Some(expr_of(&b.args[3], "initializer")?),
+            }))
+        },
+        "stmt_if" => |b, s, _cx| {
+            Ok(Node::Stmt(Stmt::new(
+                s,
+                StmtKind::If(
+                    expr_of(&b.args[1], "if condition")?,
+                    Box::new(stmt_of(&b.args[2], "if body")?),
+                    None,
+                ),
+            )))
+        },
+        "stmt_if_else" => |b, s, _cx| {
+            Ok(Node::Stmt(Stmt::new(
+                s,
+                StmtKind::If(
+                    expr_of(&b.args[1], "if condition")?,
+                    Box::new(stmt_of(&b.args[2], "if body")?),
+                    Some(Box::new(stmt_of(&b.args[4], "else body")?)),
+                ),
+            )))
+        },
+        "stmt_while" => |b, s, _cx| {
+            Ok(Node::Stmt(Stmt::new(
+                s,
+                StmtKind::While(
+                    expr_of(&b.args[1], "while condition")?,
+                    Box::new(stmt_of(&b.args[2], "while body")?),
+                ),
+            )))
+        },
+        "stmt_do" => |b, s, _cx| {
+            Ok(Node::Stmt(Stmt::new(
+                s,
+                StmtKind::Do(
+                    Box::new(stmt_of(&b.args[1], "do body")?),
+                    expr_of(&b.args[3], "do condition")?,
+                ),
+            )))
+        },
+        "stmt_for" => |b, s, _cx| {
+            let control = list_of(&b.args[1], "for control")?;
+            if control.len() != 3 {
+                return err("internal: malformed for control", s);
+            }
+            let init = match &control[0] {
+                Node::Unit => ForInit::None,
+                Node::Expr(e) => ForInit::Exprs(vec![e.clone()]),
+                Node::List(parts) if parts.len() == 2 => {
+                    let ty = match &parts[0] {
+                        Node::Type(t) => t.clone(),
+                        Node::Expr(e) => expr_as_type(e)?,
+                        _ => return err("internal: for-init type", s),
+                    };
+                    ForInit::Decl(ty, vec![local_decl_of(&parts[1], "for init")?])
+                }
+                _ => return err("internal: for-init shape", s),
+            };
+            let conds = list_of(&control[1], "for condition")?;
+            if conds.len() > 1 {
+                return err("for statement accepts at most one condition", s);
+            }
+            let cond = conds
+                .into_iter()
+                .next()
+                .and_then(Node::into_expr);
+            let update = list_of(&control[2], "for update")?
+                .into_iter()
+                .filter_map(Node::into_expr)
+                .collect();
+            Ok(Node::Stmt(Stmt::new(
+                s,
+                StmtKind::For {
+                    init,
+                    cond,
+                    update,
+                    body: Box::new(stmt_of(&b.args[2], "for body")?),
+                },
+            )))
+        },
+        "for_control" => |b, _s, _cx| {
+            Ok(Node::List(vec![
+                b.args[0].clone(),
+                b.args[2].clone(),
+                b.args[4].clone(),
+            ]))
+        },
+        "for_init_empty" => |_b, _s, _cx| Ok(Node::Unit),
+        "for_init_expr" => |b, _s, _cx| Ok(b.args[0].clone()),
+        "for_init_decl" | "for_init_prim" => |b, _s, _cx| {
+            let ty = match &b.args[0] {
+                Node::Type(t) => Some(t.clone()),
+                Node::Expr(e) => expr_as_type(e).ok(),
+                _ => None,
+            };
+            if let (Some(ty), Ok(ld)) = (ty, local_decl_of(&b.args[1], "for init")) {
+                _cx.declare_parse_binding(ld.name.sym, &ty);
+            }
+            Ok(Node::List(vec![b.args[0].clone(), b.args[1].clone()]))
+        },
+        "stmt_return_void" => |_b, s, _cx| Ok(Node::Stmt(Stmt::new(s, StmtKind::Return(None)))),
+        "stmt_return" => |b, s, _cx| {
+            Ok(Node::Stmt(Stmt::new(
+                s,
+                StmtKind::Return(Some(expr_of(&b.args[1], "return value")?)),
+            )))
+        },
+        "stmt_break" => |_b, s, _cx| Ok(Node::Stmt(Stmt::new(s, StmtKind::Break))),
+        "stmt_continue" => |_b, s, _cx| Ok(Node::Stmt(Stmt::new(s, StmtKind::Continue))),
+        "stmt_throw" => |b, s, _cx| {
+            Ok(Node::Stmt(Stmt::new(
+                s,
+                StmtKind::Throw(expr_of(&b.args[1], "throw")?),
+            )))
+        },
+        "stmt_empty" => |_b, s, _cx| Ok(Node::Stmt(Stmt::new(s, StmtKind::Empty))),
+        "stmt_try" | "stmt_try_finally" => |b, s, _cx| {
+            let body = block_of(&b.args[1], "try body")?;
+            let catches = list_of(&b.args[2], "catch clauses")?
+                .into_iter()
+                .map(|c| match c {
+                    Node::List(parts) if parts.len() == 2 => {
+                        let param = match &parts[0] {
+                            Node::Formal(f) => f.clone(),
+                            _ => {
+                                return Err(DispatchError::new(
+                                    "internal: catch formal",
+                                    s,
+                                ))
+                            }
+                        };
+                        Ok(CatchClause {
+                            param,
+                            body: block_of(&parts[1], "catch body")?,
+                        })
+                    }
+                    _ => Err(DispatchError::new("internal: catch clause", s)),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let finally = if b.args.len() > 4 {
+                Some(block_of(&b.args[4], "finally body")?)
+            } else {
+                None
+            };
+            Ok(Node::Stmt(Stmt::new(
+                s,
+                StmtKind::Try {
+                    body,
+                    catches,
+                    finally,
+                },
+            )))
+        },
+        "catch_clause" => |b, _s, _cx| {
+            Ok(Node::List(vec![b.args[1].clone(), b.args[2].clone()]))
+        },
+        "use_head" => |b, _s, _cx| Ok(b.args[1].clone()),
+        "stmt_use" => |b, s, _cx| {
+            let target = match &b.args[0] {
+                Node::Name(parts) => UseTarget::Named(parts.clone()),
+                _ => return err("internal: use target", s),
+            };
+            let body = block_of(&b.args[1], "use body")?;
+            Ok(Node::Stmt(Stmt::new(s, StmtKind::Use(target, body))))
+        },
+        "formal" => |b, s, _cx| {
+            let mods = modifiers_of(&b.args[0]);
+            let ty = type_of(&b.args[1], "formal")?;
+            let name = ident_of(&b.args[2], "formal")?;
+            let mut f = Formal::new(ty, name);
+            f.span = s;
+            f.is_final = mods.has(Modifier::Final);
+            Ok(Node::Formal(f))
+        },
+        "formal_list" => |b, s, _cx| {
+            let items = list_of(&b.args[0], "formals")?;
+            let formals = items
+                .into_iter()
+                .map(|n| match n {
+                    Node::Formal(f) => Ok(f),
+                    _ => Err(DispatchError::new("internal: formal", s)),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Node::Formals(formals))
+        },
+        "modifiers" => |b, _s, _cx| Ok(Node::Modifiers(modifiers_of(&b.args[0]))),
+        "modifier_public" => modifier(Modifier::Public),
+        "modifier_private" => modifier(Modifier::Private),
+        "modifier_protected" => modifier(Modifier::Protected),
+        "modifier_static" => modifier(Modifier::Static),
+        "modifier_final" => modifier(Modifier::Final),
+        "modifier_abstract" => modifier(Modifier::Abstract),
+        "modifier_native" => modifier(Modifier::Native),
+        "modifier_synchronized" => modifier(Modifier::Synchronized),
+        "modifier_transient" => modifier(Modifier::Transient),
+        "modifier_volatile" => modifier(Modifier::Volatile),
+        "throws_none" => |_b, _s, _cx| Ok(Node::List(vec![])),
+        "throws_some" => |b, _s, _cx| Ok(b.args[1].clone()),
+        "method_decl" | "method_decl_abs" => |b, s, _cx| {
+            let modifiers = modifiers_of(&b.args[0]);
+            let ret = type_of(&b.args[1], "method return type")?;
+            let name = ident_of(&b.args[2], "method name")?;
+            let formals = formals_of(&b.args[3], s)?;
+            let throws = types_of_list(&b.args[4])?;
+            let body = match &b.args[5] {
+                Node::Lazy(l) => Some(l.clone()),
+                Node::Token(_) => None, // the trailing `;`
+                Node::Block(bl) => Some(maya_ast::LazyNode::forced(
+                    NodeKind::BlockStmts,
+                    Node::Block(bl.clone()),
+                )),
+                _ => None,
+            };
+            Ok(Node::Decl(Decl::Method(MethodDecl {
+                span: s,
+                modifiers,
+                ret,
+                name,
+                formals,
+                throws,
+                body,
+            })))
+        },
+        "ctor_decl" => |b, s, _cx| {
+            let modifiers = modifiers_of(&b.args[0]);
+            let name = ident_of(&b.args[1], "constructor name")?;
+            let formals = formals_of(&b.args[2], s)?;
+            let throws = types_of_list(&b.args[3])?;
+            let body = match &b.args[4] {
+                Node::Lazy(l) => l.clone(),
+                Node::Block(bl) => maya_ast::LazyNode::forced(
+                    NodeKind::BlockStmts,
+                    Node::Block(bl.clone()),
+                ),
+                _ => return err("internal: constructor body", s),
+            };
+            Ok(Node::Decl(Decl::Ctor(CtorDecl {
+                span: s,
+                modifiers,
+                name,
+                formals,
+                throws,
+                body,
+            })))
+        },
+        "field_decl" => |b, s, _cx| {
+            let modifiers = modifiers_of(&b.args[0]);
+            let mut ty = type_of(&b.args[1], "field type")?;
+            let ld = local_decl_of(&b.args[2], "field")?;
+            for _ in 0..ld.dims {
+                ty = ty.array_of();
+            }
+            Ok(Node::Decl(Decl::Field(FieldDecl {
+                span: s,
+                modifiers,
+                ty,
+                name: ld.name,
+                init: ld.init,
+            })))
+        },
+        "extends_none" => |_b, _s, _cx| Ok(Node::Unit),
+        "extends_some" => |b, _s, _cx| Ok(b.args[1].clone()),
+        "impls_none" => |_b, _s, _cx| Ok(Node::List(vec![])),
+        "impls_some" | "impls_extends" => |b, _s, _cx| Ok(b.args[1].clone()),
+        "class_decl" => |b, s, _cx| {
+            let modifiers = modifiers_of(&b.args[0]);
+            let name = ident_of(&b.args[2], "class name")?;
+            let superclass = match &b.args[3] {
+                Node::Unit => None,
+                n => Some(type_of(n, "superclass")?),
+            };
+            let interfaces = types_of_list(&b.args[4])?;
+            let body_tree = tree_of(&b.args[5], "class body")?;
+            _cx.record_decl_env(&body_tree);
+            Ok(Node::Decl(Decl::Class(ClassDecl {
+                span: s,
+                modifiers,
+                name,
+                superclass,
+                interfaces,
+                body_tree: Some(body_tree),
+                members: vec![],
+            })))
+        },
+        "iface_decl" => |b, s, _cx| {
+            let modifiers = modifiers_of(&b.args[0]);
+            let name = ident_of(&b.args[2], "interface name")?;
+            let extends = types_of_list(&b.args[3])?;
+            let body_tree = tree_of(&b.args[4], "interface body")?;
+            _cx.record_decl_env(&body_tree);
+            Ok(Node::Decl(Decl::Interface(InterfaceDecl {
+                span: s,
+                modifiers,
+                name,
+                extends,
+                body_tree: Some(body_tree),
+                members: vec![],
+            })))
+        },
+        "prod_decl" => |b, s, _cx| {
+            let modifiers = modifiers_of(&b.args[0]);
+            let parts = name_of(&b.args[1], "production LHS")?;
+            let lhs = *parts.last().ok_or_else(|| {
+                DispatchError::new("internal: production LHS", s)
+            })?;
+            let pattern = tree_of(&b.args[3], "production pattern")?;
+            Ok(Node::Decl(Decl::Production(ProductionDecl {
+                span: s,
+                modifiers,
+                lhs,
+                pattern,
+            })))
+        },
+        "mayan_decl" => |b, s, _cx| {
+            let modifiers = modifiers_of(&b.args[0]);
+            let parts = name_of(&b.args[1], "Mayan LHS")?;
+            let lhs = *parts
+                .last()
+                .ok_or_else(|| DispatchError::new("internal: Mayan LHS", s))?;
+            let name = ident_of(&b.args[3], "Mayan name")?;
+            let params = tree_of(&b.args[4], "Mayan parameters")?;
+            let body = tree_of(&b.args[5], "Mayan body")?;
+            Ok(Node::Decl(Decl::Mayan(MayanDecl {
+                span: s,
+                modifiers,
+                lhs,
+                name,
+                params,
+                body,
+            })))
+        },
+        "use_decl" => |b, s, _cx| {
+            let target = match &b.args[0] {
+                Node::Name(parts) => UseTarget::Named(parts.clone()),
+                _ => return err("internal: use target", s),
+            };
+            let decls = decls_of(&b.args[1], s)?;
+            Ok(Node::Decl(Decl::Use(target, decls)))
+        },
+        "class_body" => |b, s, _cx| {
+            Ok(Node::Decls(decls_of(&b.args[0], s)?))
+        },
+        "package_none" => |_b, _s, _cx| Ok(Node::Unit),
+        "package_some" => |b, _s, _cx| Ok(b.args[1].clone()),
+        "import_plain" => |b, s, _cx| {
+            Ok(Node::Decl(Decl::Import(ImportDecl {
+                span: s,
+                path: name_of(&b.args[1], "import")?,
+                wildcard: false,
+            })))
+        },
+        "import_star" => |b, s, _cx| {
+            Ok(Node::Decl(Decl::Import(ImportDecl {
+                span: s,
+                path: name_of(&b.args[1], "import")?,
+                wildcard: true,
+            })))
+        },
+        "comp_unit" => |b, _s, _cx| {
+            Ok(Node::List(vec![
+                b.args[0].clone(),
+                b.args[1].clone(),
+                b.args[2].clone(),
+            ]))
+        },
+        other => panic!("no built-in Mayan body for base production {other}"),
+    }
+}
+
+fn stmt_of(n: &Node, what: &str) -> Result<Stmt, DispatchError> {
+    n.clone()
+        .into_stmt()
+        .ok_or_else(|| DispatchError::new(format!("internal: expected statement in {what}"), Span::DUMMY))
+}
+
+fn formals_of(n: &Node, s: Span) -> Result<Vec<Formal>, DispatchError> {
+    match n {
+        Node::Formals(f) => Ok(f.clone()),
+        Node::List(items) => items
+            .iter()
+            .map(|i| match i {
+                Node::Formal(f) => Ok(f.clone()),
+                _ => Err(DispatchError::new("internal: formal", s)),
+            })
+            .collect(),
+        _ => err("internal: formal list", s),
+    }
+}
+
+fn decls_of(n: &Node, s: Span) -> Result<Vec<Decl>, DispatchError> {
+    match n {
+        Node::Decls(d) => Ok(d.clone()),
+        Node::List(items) => items
+            .iter()
+            .map(|i| match i {
+                Node::Decl(d) => Ok(d.clone()),
+                _ => Err(DispatchError::new("internal: declaration", s)),
+            })
+            .collect(),
+        _ => err("internal: declaration list", s),
+    }
+}
+
+fn prim(p: maya_ast::PrimKind) -> Body {
+    // One function per prim kind, selected by a static table so `Body` can
+    // stay a plain fn pointer.
+    macro_rules! prim_body {
+        ($($k:ident),*) => {
+            match p {
+                $(maya_ast::PrimKind::$k => |_b, _s, _cx: &mut CoreExpand| {
+                    Ok(Node::Type(TypeName::prim(maya_ast::PrimKind::$k)))
+                }),*
+            }
+        };
+    }
+    prim_body!(Boolean, Byte, Short, Char, Int, Long, Float, Double)
+}
+
+fn binop(op: BinOp) -> Body {
+    macro_rules! bin_body {
+        ($($k:ident),*) => {
+            match op {
+                $(BinOp::$k => |b: &Bindings, s, _cx: &mut CoreExpand| {
+                    Ok(Node::Expr(Expr::new(
+                        s,
+                        ExprKind::Binary(
+                            BinOp::$k,
+                            Box::new(expr_of(&b.args[0], "operand")?),
+                            Box::new(expr_of(&b.args[2], "operand")?),
+                        ),
+                    )))
+                }),*
+            }
+        };
+    }
+    bin_body!(
+        Add, Sub, Mul, Div, Rem, Shl, Shr, Ushr, Lt, Gt, Le, Ge, Eq, Ne, BitAnd, BitXor, BitOr,
+        And, Or
+    )
+}
+
+fn assign_op(op: Option<BinOp>) -> Body {
+    macro_rules! asg_body {
+        ($($k:ident),*) => {
+            match op {
+                None => (|b: &Bindings, s, _cx: &mut CoreExpand| {
+                    Ok(Node::Expr(Expr::new(
+                        s,
+                        ExprKind::Assign(
+                            None,
+                            Box::new(expr_of(&b.args[0], "assignment target")?),
+                            Box::new(expr_of(&b.args[2], "assignment value")?),
+                        ),
+                    )))
+                }) as Body,
+                $(Some(BinOp::$k) => |b: &Bindings, s, _cx: &mut CoreExpand| {
+                    Ok(Node::Expr(Expr::new(
+                        s,
+                        ExprKind::Assign(
+                            Some(BinOp::$k),
+                            Box::new(expr_of(&b.args[0], "assignment target")?),
+                            Box::new(expr_of(&b.args[2], "assignment value")?),
+                        ),
+                    )))
+                },)*
+                Some(_) => unreachable!("non-compound assignment operator"),
+            }
+        };
+    }
+    asg_body!(Add, Sub, Mul, Div, Rem, BitAnd, BitOr, BitXor, Shl, Shr, Ushr)
+}
+
+fn unop(op: UnOp) -> Body {
+    macro_rules! un_body {
+        ($($k:ident),*) => {
+            match op {
+                $(UnOp::$k => |b: &Bindings, s, _cx: &mut CoreExpand| {
+                    Ok(Node::Expr(Expr::new(
+                        s,
+                        ExprKind::Unary(UnOp::$k, Box::new(expr_of(&b.args[1], "operand")?)),
+                    )))
+                }),*
+            }
+        };
+    }
+    un_body!(Neg, Plus, Not, BitNot)
+}
+
+fn incdec(op: IncDecOp, prefix: bool) -> Body {
+    match (op, prefix) {
+        (IncDecOp::Inc, true) => |b, s, _cx| {
+            Ok(Node::Expr(Expr::new(
+                s,
+                ExprKind::IncDec(IncDecOp::Inc, true, Box::new(expr_of(&b.args[1], "++")?)),
+            )))
+        },
+        (IncDecOp::Dec, true) => |b, s, _cx| {
+            Ok(Node::Expr(Expr::new(
+                s,
+                ExprKind::IncDec(IncDecOp::Dec, true, Box::new(expr_of(&b.args[1], "--")?)),
+            )))
+        },
+        _ => unreachable!("postfix handled separately"),
+    }
+}
+
+fn modifier(m: Modifier) -> Body {
+    macro_rules! mod_body {
+        ($($k:ident),*) => {
+            match m {
+                $(Modifier::$k => |_b, _s, _cx: &mut CoreExpand| {
+                    Ok(Node::Modifiers(Modifiers::just(Modifier::$k)))
+                }),*
+            }
+        };
+    }
+    mod_body!(
+        Public, Private, Protected, Static, Final, Abstract, Native, Synchronized, Transient,
+        Volatile
+    )
+}
+
+/// Derives maximally permissive parameters for a built-in Mayan: built-ins
+/// must apply to *anything* the grammar produced (semantic values do not
+/// always carry the nonterminal's node kind — an empty `ExtendsClause` is a
+/// unit value), so every position is `Top`.
+pub fn params_for(grammar: &Grammar, prod: ProdId) -> Vec<Param> {
+    grammar
+        .production(prod)
+        .rhs
+        .iter()
+        .map(|_| Param::plain(NodeKind::Top))
+        .collect()
+}
+
+/// Imports every built-in Mayan and registers destructors/produced kinds.
+pub fn install(grammar: &Grammar, prods: &BaseProds, env: &mut EnvBuilder) {
+    for (name, id) in prods.all() {
+        let body = body_for(name);
+        let params = params_for(grammar, *id);
+        let mayan = Mayan::new(
+            &format!("builtin:{name}"),
+            *id,
+            params,
+            Rc::new(move |b: &Bindings, ctx: &mut dyn ExpandCtx| {
+                let span = Span::DUMMY;
+                let cx = ctx
+                    .as_any()
+                    .downcast_mut::<CoreExpand>()
+                    .expect("built-in Mayans run under the core compiler");
+                let span = if cx.span.is_dummy() { span } else { cx.span };
+                body(b, span, cx)
+            }),
+        );
+        env.import(mayan);
+    }
+    register_destructors(grammar, prods, env);
+}
+
+fn register_destructors(grammar: &Grammar, prods: &BaseProds, env: &mut EnvBuilder) {
+    use NodeKind::*;
+    let unit = || Node::Unit;
+
+    env.register_destructor(
+        prods.id("identifier"),
+        Identifier,
+        Rc::new(|n: &Node| {
+            n.as_ident().map(|i| {
+                vec![Node::Token(maya_lexer::Token::new(
+                    maya_lexer::TokenKind::Ident,
+                    i.sym,
+                    i.span,
+                ))]
+            })
+        }),
+    );
+    env.register_destructor(
+        prods.id("expr_name"),
+        NameExpr,
+        Rc::new(|n: &Node| match n {
+            Node::Expr(Expr {
+                kind: ExprKind::Name(i),
+                ..
+            }) => Some(vec![Node::Ident(*i)]),
+            _ => None,
+        }),
+    );
+    env.register_destructor(
+        prods.id("field_access"),
+        FieldAccessExpr,
+        Rc::new(move |n: &Node| match n {
+            Node::Expr(Expr {
+                kind: ExprKind::FieldAccess(t, i),
+                ..
+            }) => Some(vec![Node::Expr((**t).clone()), unit(), Node::Ident(*i)]),
+            _ => None,
+        }),
+    );
+    env.register_destructor(
+        prods.id("mn_simple"),
+        MethodName,
+        Rc::new(|n: &Node| match n {
+            Node::MethodName(m) if m.receiver.is_none() && !m.super_recv => {
+                Some(vec![Node::Ident(m.name)])
+            }
+            _ => None,
+        }),
+    );
+    env.register_destructor(
+        prods.id("mn_recv"),
+        MethodName,
+        Rc::new(|n: &Node| match n {
+            Node::MethodName(m) => m.receiver.as_ref().map(|r| {
+                vec![
+                    Node::Expr((**r).clone()),
+                    Node::Unit,
+                    Node::Ident(m.name),
+                ]
+            }),
+            _ => None,
+        }),
+    );
+    env.register_destructor(
+        prods.id("mn_super"),
+        MethodName,
+        Rc::new(|n: &Node| match n {
+            Node::MethodName(m) if m.super_recv => {
+                Some(vec![Node::Unit, Node::Unit, Node::Ident(m.name)])
+            }
+            _ => None,
+        }),
+    );
+    env.register_destructor(
+        prods.id("call"),
+        CallExpr,
+        Rc::new(|n: &Node| match n {
+            Node::Expr(Expr {
+                kind: ExprKind::Call(mn, args),
+                ..
+            }) => Some(vec![
+                Node::MethodName(mn.clone()),
+                Node::Args(args.clone()),
+            ]),
+            _ => None,
+        }),
+    );
+    env.register_destructor(
+        prods.id("args"),
+        ArgumentList,
+        Rc::new(|n: &Node| match n {
+            Node::Args(a) => Some(vec![Node::List(
+                a.iter().cloned().map(Node::Expr).collect(),
+            )]),
+            _ => None,
+        }),
+    );
+    env.register_destructor(
+        prods.id("new_object"),
+        NewExpr,
+        Rc::new(|n: &Node| match n {
+            Node::Expr(Expr {
+                kind: ExprKind::New(ty, args),
+                ..
+            }) => Some(vec![
+                Node::Unit,
+                Node::Type(ty.clone()),
+                Node::Args(args.clone()),
+            ]),
+            _ => None,
+        }),
+    );
+    env.register_destructor(
+        prods.id("instanceof"),
+        InstanceofExpr,
+        Rc::new(|n: &Node| match n {
+            Node::Expr(Expr {
+                kind: ExprKind::Instanceof(e, ty),
+                ..
+            }) => Some(vec![
+                Node::Expr((**e).clone()),
+                Node::Unit,
+                Node::Type(ty.clone()),
+            ]),
+            _ => None,
+        }),
+    );
+    // Binary operators: one destructor per op-specific production.
+    let bin_table: &[(&str, BinOp)] = &[
+        ("binary_add", BinOp::Add),
+        ("binary_sub", BinOp::Sub),
+        ("binary_mul", BinOp::Mul),
+        ("binary_div", BinOp::Div),
+        ("binary_rem", BinOp::Rem),
+        ("binary_lt", BinOp::Lt),
+        ("binary_gt", BinOp::Gt),
+        ("binary_eq", BinOp::Eq),
+        ("binary_ne", BinOp::Ne),
+        ("binary_andand", BinOp::And),
+        ("binary_oror", BinOp::Or),
+    ];
+    for (name, op) in bin_table {
+        let op = *op;
+        env.register_destructor(
+            prods.id(name),
+            BinaryExpr,
+            Rc::new(move |n: &Node| match n {
+                Node::Expr(Expr {
+                    kind: ExprKind::Binary(o, l, r),
+                    ..
+                }) if *o == op => Some(vec![
+                    Node::Expr((**l).clone()),
+                    Node::Unit,
+                    Node::Expr((**r).clone()),
+                ]),
+                _ => None,
+            }),
+        );
+    }
+
+    // Generic list-helper destructors, so deep patterns (e.g. `.elements()`
+    // with an empty argument list) can match through `list(...)` symbols.
+    for (i, p) in grammar.productions().iter().enumerate() {
+        let id = ProdId(i as u32);
+        match p.action {
+            Action::Builtin(BuiltinAction::EmptyList) => {
+                env.register_destructor(
+                    id,
+                    ListNode,
+                    Rc::new(|n: &Node| match n {
+                        Node::List(v) if v.is_empty() => Some(vec![]),
+                        Node::Args(a) if a.is_empty() => Some(vec![]),
+                        _ => None,
+                    }),
+                );
+            }
+            Action::Builtin(BuiltinAction::ListSingle) => {
+                env.register_destructor(
+                    id,
+                    ListNode,
+                    Rc::new(|n: &Node| match n {
+                        Node::List(v) if v.len() == 1 => Some(vec![v[0].clone()]),
+                        Node::Args(a) if a.len() == 1 => {
+                            Some(vec![Node::Expr(a[0].clone())])
+                        }
+                        _ => None,
+                    }),
+                );
+            }
+            Action::Builtin(BuiltinAction::ListAppend { with_sep }) => {
+                env.register_destructor(
+                    id,
+                    ListNode,
+                    Rc::new(move |n: &Node| {
+                        let items: Vec<Node> = match n {
+                            Node::List(v) => v.clone(),
+                            Node::Args(a) => {
+                                a.iter().cloned().map(Node::Expr).collect()
+                            }
+                            _ => return None,
+                        };
+                        if items.len() < 2 {
+                            return None;
+                        }
+                        let (last, front) = items.split_last()?;
+                        let mut out =
+                            vec![Node::List(front.to_vec())];
+                        if with_sep {
+                            out.push(Node::Unit);
+                        }
+                        out.push(last.clone());
+                        Some(out)
+                    }),
+                );
+            }
+            Action::Builtin(BuiltinAction::PassThrough(0)) if p.rhs.len() == 1 => {
+                env.register_destructor(id, ListNode, Rc::new(|n: &Node| Some(vec![n.clone()])));
+            }
+            _ => {}
+        }
+    }
+}

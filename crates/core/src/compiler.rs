@@ -1,0 +1,817 @@
+//! The `Compiler`: mayac's pipeline (file reader → class shaper → class
+//! compiler) and the embedding API.
+
+use crate::base::Base;
+use crate::driver::{force_lazy, Cx, EnvPair, ForceHost};
+use crate::CompileError;
+use maya_ast::{
+    Decl, Ident, LazyNode, Node, NodeKind, TypeName,
+};
+use maya_dispatch::{DestructorFn, DispatchError, ImportEnv, Mayan, MetaProgram};
+use maya_grammar::{Grammar, GrammarBuilder, ProdId, RhsItem};
+use maya_interp::{install_runtime, Interp};
+use maya_lexer::{stream_lex, FileId, SourceMap, Span, Symbol};
+use maya_template::__private_fresh::FreshNames;
+use maya_types::{
+    Checker, ClassId, ClassInfo, ClassTable, CtorInfo, FieldInfo, MethodInfo, ResolveCtx, Scope,
+    Type, VarBinding, VarKind,
+};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Options for a compilation.
+#[derive(Clone, Debug, Default)]
+pub struct CompileOptions {
+    /// Echo interpreted output to the real stdout.
+    pub echo_output: bool,
+    /// Metaprogram names imported for every unit (the paper's `-use`
+    /// command-line option, §3.3).
+    pub uses: Vec<String>,
+}
+
+/// Per-class compile metadata.
+#[derive(Clone)]
+pub(crate) struct ClassMeta {
+    pub env: EnvPair,
+    pub ctx: ResolveCtx,
+}
+
+struct Unit {
+    #[allow(dead_code)]
+    file: FileId,
+    ctx: ResolveCtx,
+    package: Option<String>,
+    decls: Vec<Decl>,
+}
+
+/// Shared compiler state (reference-counted so drivers, Mayan bodies, and
+/// hooks can all hold it).
+pub struct CompilerInner {
+    pub classes: Rc<ClassTable>,
+    pub interp: Rc<Interp>,
+    pub sm: RefCell<SourceMap>,
+    pub base: Base,
+    pub global: RefCell<EnvPair>,
+    fresh: RefCell<FreshNames>,
+    registry: RefCell<HashMap<String, Rc<dyn MetaProgram>>>,
+    pub(crate) class_meta: RefCell<HashMap<ClassId, ClassMeta>>,
+    /// Environment snapshots captured when class declarations were parsed,
+    /// keyed by the body tree's span start (a `use` earlier in the file may
+    /// have extended the grammar the body must be shaped under).
+    pub(crate) decl_envs: RefCell<HashMap<(maya_lexer::FileId, u32), EnvPair>>,
+    units: RefCell<Vec<Unit>>,
+    /// Class-processing hooks, run as a class declaration leaves the shaper
+    /// (paper §4: "Maya provides class-processing hooks").
+    pub class_hooks: RefCell<Vec<Rc<dyn Fn(&Rc<CompilerInner>, ClassId) -> Result<(), CompileError>>>>,
+    options: CompileOptions,
+    uses_applied: RefCell<bool>,
+    /// Source-level `abstract … syntax(…)` declarations, in declaration
+    /// order (extension compilation; see `source_mayan`).
+    pub(crate) declared_prods: RefCell<Vec<(maya_ast::NodeKind, Vec<RhsItem>)>>,
+    /// The stack of active Mayan expansions; the `maya.tree` bridge reads
+    /// the top to service `nextRewrite`, templates, and the reflection API
+    /// from interpreted metaprogram bodies.
+    pub expand_stack: RefCell<Vec<crate::driver::ExpandSnapshot>>,
+}
+
+impl CompilerInner {
+    /// A fresh `base$N` name, unique in this compilation.
+    pub fn fresh(&self, base: &str) -> Symbol {
+        self.fresh.borrow_mut().fresh(base)
+    }
+
+    /// Registers an importable metaprogram under a dotted name.
+    pub fn register_metaprogram(&self, name: &str, program: Rc<dyn MetaProgram>) {
+        self.registry.borrow_mut().insert(name.to_owned(), program);
+    }
+
+    /// Looks up a metaprogram by the name used in a `use` directive.
+    pub fn lookup_metaprogram(&self, path: &[Ident]) -> Option<Rc<dyn MetaProgram>> {
+        let dotted: Vec<&str> = path.iter().map(|i| i.as_str()).collect();
+        let dotted = dotted.join(".");
+        self.registry.borrow().get(&dotted).cloned()
+    }
+
+    /// Runs a metaprogram against an environment pair, producing the
+    /// extended pair (tables are validated eagerly so conflicts are
+    /// reported at the import).
+    ///
+    /// # Errors
+    ///
+    /// Reports grammar conflicts and metaprogram failures.
+    pub fn run_import(
+        &self,
+        pair: &EnvPair,
+        program: &dyn MetaProgram,
+    ) -> Result<EnvPair, DispatchError> {
+        let mut env = CoreImportEnv {
+            grammar: pair.grammar.clone(),
+            builder: None,
+            denv: pair.denv.extend(),
+        };
+        program.run(&mut env)?;
+        let grammar = match env.builder {
+            Some(b) => {
+                let g = b.finish();
+                g.tables()
+                    .map_err(|e| DispatchError::new(e.to_string(), Span::DUMMY))?;
+                g
+            }
+            None => env.grammar,
+        };
+        Ok(EnvPair {
+            grammar,
+            denv: env.denv.finish(),
+        })
+    }
+
+    /// Resolves and runs the metaprogram behind `use path;`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown names and import failures.
+    pub fn import_named(
+        &self,
+        pair: &EnvPair,
+        _ctx: &ResolveCtx,
+        path: &[Ident],
+        span: Span,
+    ) -> Result<EnvPair, DispatchError> {
+        let program = self.lookup_metaprogram(path).ok_or_else(|| {
+            let dotted: Vec<&str> = path.iter().map(|i| i.as_str()).collect();
+            DispatchError::new(
+                format!("unknown metaprogram {} in use directive", dotted.join(".")),
+                span,
+            )
+        })?;
+        self.run_import(pair, program.as_ref())
+    }
+}
+
+struct CoreImportEnv {
+    grammar: Grammar,
+    builder: Option<GrammarBuilder>,
+    denv: maya_dispatch::EnvBuilder,
+}
+
+impl ImportEnv for CoreImportEnv {
+    fn add_production(&mut self, lhs: NodeKind, rhs: &[RhsItem]) -> Result<ProdId, DispatchError> {
+        let b = self
+            .builder
+            .get_or_insert_with(|| self.grammar.extend());
+        b.add_production(lhs, rhs, None)
+            .map_err(|e| DispatchError::new(e.to_string(), Span::DUMMY))
+    }
+
+    fn import_mayan(&mut self, mayan: Rc<Mayan>) {
+        self.denv.import(mayan);
+    }
+
+    fn register_destructor(&mut self, prod: ProdId, produced: NodeKind, f: DestructorFn) {
+        self.denv.register_destructor(prod, produced, f);
+    }
+
+    fn grammar(&self) -> Grammar {
+        self.grammar.clone()
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// The Maya compiler.
+///
+/// # Example
+///
+/// ```
+/// use maya_core::Compiler;
+///
+/// let compiler = Compiler::new();
+/// let out = compiler
+///     .compile_and_run(
+///         "Main.maya",
+///         r#"class Main { static void main() { System.out.println(6 * 7); } }"#,
+///         "Main",
+///     )
+///     .unwrap();
+/// assert_eq!(out, "42\n");
+/// ```
+#[derive(Clone)]
+pub struct Compiler {
+    inner: Rc<CompilerInner>,
+}
+
+impl Default for Compiler {
+    fn default() -> Compiler {
+        Compiler::new()
+    }
+}
+
+impl Compiler {
+    /// Creates a compiler with default options.
+    pub fn new() -> Compiler {
+        Compiler::with_options(CompileOptions::default())
+    }
+
+    /// Creates a compiler.
+    pub fn with_options(options: CompileOptions) -> Compiler {
+        let classes = Rc::new(ClassTable::new());
+        install_runtime(&classes);
+        let interp = Rc::new(Interp::new(classes.clone()));
+        let base = Base::cached();
+        let global = EnvPair {
+            grammar: base.grammar.clone(),
+            denv: base.denv.clone(),
+        };
+        let inner = Rc::new(CompilerInner {
+            classes,
+            interp,
+            sm: RefCell::new(SourceMap::new()),
+            base,
+            global: RefCell::new(global),
+            fresh: RefCell::new(FreshNames::new()),
+            registry: RefCell::new(HashMap::new()),
+            class_meta: RefCell::new(HashMap::new()),
+            decl_envs: RefCell::new(HashMap::new()),
+            units: RefCell::new(Vec::new()),
+            class_hooks: RefCell::new(Vec::new()),
+            options,
+            uses_applied: RefCell::new(false),
+            declared_prods: RefCell::new(Vec::new()),
+            expand_stack: RefCell::new(Vec::new()),
+        });
+        crate::extension::install_tree_bridge(&inner);
+        let compiler = Compiler { inner };
+        compiler.install_runtime_forcer();
+        compiler
+    }
+
+    /// The shared state (for extension crates).
+    pub fn inner(&self) -> &Rc<CompilerInner> {
+        &self.inner
+    }
+
+    /// The class table.
+    pub fn classes(&self) -> Rc<ClassTable> {
+        self.inner.classes.clone()
+    }
+
+    /// The interpreter.
+    pub fn interp(&self) -> Rc<Interp> {
+        self.inner.interp.clone()
+    }
+
+    /// The base environment (for tests and extension authors).
+    pub fn base(&self) -> &Base {
+        &self.inner.base
+    }
+
+    /// Registers a compiled extension under a dotted name, making it
+    /// importable with `use name;`.
+    pub fn register_metaprogram(&self, name: &str, program: Rc<dyn MetaProgram>) {
+        self.inner.register_metaprogram(name, program);
+    }
+
+    /// Adds a class-processing hook.
+    pub fn add_class_hook(
+        &self,
+        hook: Rc<dyn Fn(&Rc<CompilerInner>, ClassId) -> Result<(), CompileError>>,
+    ) {
+        self.inner.class_hooks.borrow_mut().push(hook);
+    }
+
+    /// Applies `use name;` to the *global* environment (the `-use`
+    /// command-line option).
+    ///
+    /// # Errors
+    ///
+    /// Unknown names and import failures.
+    pub fn use_globally(&self, name: &str) -> Result<(), CompileError> {
+        let path: Vec<Ident> = name.split('.').map(Ident::from_str).collect();
+        let pair = self.inner.global.borrow().clone();
+        let new = self
+            .inner
+            .import_named(&pair, &ResolveCtx::default(), &path, Span::DUMMY)?;
+        *self.inner.global.borrow_mut() = new;
+        Ok(())
+    }
+
+    /// Reads one source file: lexes, parses the compilation unit (class
+    /// bodies are left raw for the shaper), records imports.
+    ///
+    /// # Errors
+    ///
+    /// Lexical and syntax errors.
+    pub fn add_source(&self, name: &str, text: &str) -> Result<(), CompileError> {
+        if !*self.inner.uses_applied.borrow() {
+            *self.inner.uses_applied.borrow_mut() = true;
+            for u in &self.inner.options.uses.clone() {
+                self.use_globally(u)?;
+            }
+        }
+        let file = self.inner.sm.borrow_mut().add_file(name, text);
+        let trees = {
+            let sm = self.inner.sm.borrow();
+            stream_lex(&sm, file)?
+        };
+        let pair = self.inner.global.borrow().clone();
+        let cx = Cx {
+            cx: self.inner.clone(),
+            pair: pair.clone(),
+            ctx: ResolveCtx::default(),
+            class: None,
+            scope: Rc::new(RefCell::new(Scope::new())),
+        };
+        let goal = pair
+            .grammar
+            .nt_for_kind(NodeKind::CompilationUnit)
+            .expect("CompilationUnit nt");
+        let unit_node = cx.parse_trees(&trees, goal)?;
+        let Node::List(parts) = unit_node else {
+            return Err(CompileError::new("internal: compilation unit shape", Span::DUMMY));
+        };
+        let package = match &parts[0] {
+            Node::Name(p) => {
+                let s: Vec<&str> = p.iter().map(|i| i.as_str()).collect();
+                Some(s.join("."))
+            }
+            _ => None,
+        };
+        let mut ctx = ResolveCtx::default();
+        if let Some(p) = &package {
+            ctx.package = Some(maya_lexer::sym(p));
+        }
+        if let Node::List(imports) = &parts[1] {
+            for imp in imports {
+                if let Node::Decl(Decl::Import(i)) = imp {
+                    let s: Vec<&str> = i.path.iter().map(|x| x.as_str()).collect();
+                    if i.wildcard {
+                        ctx.wildcard_imports.push(maya_lexer::sym(&s.join(".")));
+                    } else {
+                        ctx.single_imports.push(maya_lexer::sym(&s.join(".")));
+                    }
+                }
+            }
+        }
+        // Always visible packages.
+        ctx.wildcard_imports.push(maya_lexer::sym("java.lang"));
+        let decls = match &parts[2] {
+            Node::Decls(d) => d.clone(),
+            _ => return Err(CompileError::new("internal: declarations shape", Span::DUMMY)),
+        };
+        self.inner.units.borrow_mut().push(Unit {
+            file,
+            ctx,
+            package,
+            decls,
+        });
+        Ok(())
+    }
+
+    /// Runs the shaper and class compiler over everything added so far.
+    ///
+    /// # Errors
+    ///
+    /// Any compile error in any unit.
+    pub fn compile(&self) -> Result<(), CompileError> {
+        // Pass 1: declare every class (forward references).
+        let mut shaped: Vec<(ClassId, Decl, ResolveCtx, usize)> = Vec::new();
+        let unit_count = self.inner.units.borrow().len();
+        for ui in 0..unit_count {
+            let (decls, ctx, package) = {
+                let units = self.inner.units.borrow();
+                (
+                    units[ui].decls.clone(),
+                    units[ui].ctx.clone(),
+                    units[ui].package.clone(),
+                )
+            };
+            self.declare_decls(&decls, &ctx, package.as_deref(), ui, &mut shaped)?;
+        }
+        // Pass 2: shape each class (parse bodies, compute member types).
+        for (class, decl, ctx, _ui) in &shaped {
+            self.shape_class(*class, decl, ctx)?;
+        }
+        // Pass 3: class-processing hooks.
+        let hooks = self.inner.class_hooks.borrow().clone();
+        for (class, ..) in &shaped {
+            for h in &hooks {
+                h(&self.inner, *class)?;
+            }
+        }
+        // Pass 4: compile (force + check) every member.
+        for (class, ..) in &shaped {
+            self.check_class(*class)?;
+        }
+        Ok(())
+    }
+
+    fn declare_decls(
+        &self,
+        decls: &[Decl],
+        ctx: &ResolveCtx,
+        package: Option<&str>,
+        ui: usize,
+        shaped: &mut Vec<(ClassId, Decl, ResolveCtx, usize)>,
+    ) -> Result<(), CompileError> {
+        for d in decls {
+            match d {
+                Decl::Class(c) => {
+                    let fqcn = match package {
+                        Some(p) => format!("{p}.{}", c.name),
+                        None => c.name.to_string(),
+                    };
+                    let id = self
+                        .inner
+                        .classes
+                        .declare(ClassInfo::new(&fqcn, false))
+                        .map_err(|e| CompileError::new(e.message, c.span))?;
+                    shaped.push((id, d.clone(), ctx.clone(), ui));
+                }
+                Decl::Interface(i) => {
+                    let fqcn = match package {
+                        Some(p) => format!("{p}.{}", i.name),
+                        None => i.name.to_string(),
+                    };
+                    let id = self
+                        .inner
+                        .classes
+                        .declare(ClassInfo::new(&fqcn, true))
+                        .map_err(|e| CompileError::new(e.message, i.span))?;
+                    shaped.push((id, d.clone(), ctx.clone(), ui));
+                }
+                Decl::Use(_, inner) => {
+                    self.declare_decls(inner, ctx, package, ui, shaped)?;
+                }
+                Decl::Production(p) => {
+                    crate::extension::register_production_decl(&self.inner, p, ctx)?;
+                }
+                Decl::Mayan(m) => {
+                    crate::extension::register_mayan_decl(&self.inner, m, ctx, package)?;
+                }
+                Decl::Import(_) | Decl::Empty => {}
+                other => {
+                    return Err(CompileError::new(
+                        format!(
+                            "unsupported top-level declaration {}",
+                            other.node_kind().name()
+                        ),
+                        Span::DUMMY,
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn env_for_body(&self, tree_span: Span) -> EnvPair {
+        if !tree_span.is_dummy() {
+            if let Some(p) = self
+                .inner
+                .decl_envs
+                .borrow()
+                .get(&(tree_span.file, tree_span.lo))
+            {
+                return p.clone();
+            }
+        }
+        self.inner.global.borrow().clone()
+    }
+
+    fn shape_class(&self, class: ClassId, decl: &Decl, ctx: &ResolveCtx) -> Result<(), CompileError> {
+        let (body_tree, superclass, interfaces, modifiers, is_interface) = match decl {
+            Decl::Class(c) => (
+                c.body_tree.clone(),
+                c.superclass.clone(),
+                c.interfaces.clone(),
+                c.modifiers,
+                false,
+            ),
+            Decl::Interface(i) => (
+                i.body_tree.clone(),
+                None,
+                i.extends.clone(),
+                i.modifiers,
+                true,
+            ),
+            _ => return Ok(()),
+        };
+        let resolve = |tn: &TypeName| -> Result<ClassId, CompileError> {
+            match self.inner.classes.resolve_type_name(tn, ctx)? {
+                Type::Class(c) => Ok(c),
+                other => Err(CompileError::new(
+                    format!(
+                        "{} is not a class type",
+                        self.inner.classes.describe(&other)
+                    ),
+                    tn.span,
+                )),
+            }
+        };
+        {
+            let info = self.inner.classes.info(class);
+            let mut info = info.borrow_mut();
+            info.modifiers = modifiers;
+            info.superclass = match &superclass {
+                Some(tn) => Some(resolve(tn)?),
+                None if !is_interface => self.inner.classes.by_fqcn_str("java.lang.Object"),
+                None => None,
+            };
+            info.interfaces = interfaces
+                .iter()
+                .map(resolve)
+                .collect::<Result<Vec<_>, _>>()?;
+        }
+
+        let Some(tree) = body_tree else {
+            return Ok(());
+        };
+        let pair = self.env_for_body(tree.span());
+        // Record per-class metadata before parsing members, so nested
+        // lookups see it.
+        let mut class_ctx = ctx.clone();
+        class_ctx
+            .local_classes
+            .push((self.inner.classes.info(class).borrow().simple, class));
+        self.inner.class_meta.borrow_mut().insert(
+            class,
+            ClassMeta {
+                env: pair.clone(),
+                ctx: class_ctx.clone(),
+            },
+        );
+        self.inner.interp.set_class_ctx(class, class_ctx.clone());
+
+        let cx = Cx {
+            cx: self.inner.clone(),
+            pair: pair.clone(),
+            ctx: class_ctx.clone(),
+            class: Some(class),
+            scope: Rc::new(RefCell::new(Scope::new())),
+        };
+        let goal = pair
+            .grammar
+            .nt_for_kind(NodeKind::ClassBody)
+            .expect("ClassBody nt");
+        let members_node = cx.parse_trees(&tree.trees, goal)?;
+        let members = match members_node {
+            Node::Decls(d) => d,
+            Node::List(items) => items
+                .into_iter()
+                .filter_map(|n| match n {
+                    Node::Decl(d) => Some(d),
+                    _ => None,
+                })
+                .collect(),
+            _ => {
+                return Err(CompileError::new(
+                    "internal: class body shape",
+                    tree.span(),
+                ))
+            }
+        };
+        self.install_members(class, &members, &class_ctx)?;
+        Ok(())
+    }
+
+    fn install_members(
+        &self,
+        class: ClassId,
+        members: &[Decl],
+        ctx: &ResolveCtx,
+    ) -> Result<(), CompileError> {
+        let classes = &self.inner.classes;
+        let simple = classes.info(class).borrow().simple;
+        for m in members {
+            match m {
+                Decl::Method(md) => {
+                    let ret = classes.resolve_type_name(&md.ret, ctx)?;
+                    let mut params = Vec::new();
+                    let mut names = Vec::new();
+                    let mut specializers = Vec::new();
+                    for f in &md.formals {
+                        params.push(classes.resolve_type_name(&f.ty, ctx)?);
+                        names.push(f.name.sym);
+                        specializers.push(match &f.specializer {
+                            Some(tn) => Some(classes.resolve_type_name(tn, ctx)?),
+                            None => None,
+                        });
+                    }
+                    classes.add_method(
+                        class,
+                        MethodInfo {
+                            name: md.name.sym,
+                            params,
+                            param_names: names,
+                            ret,
+                            modifiers: md.modifiers,
+                            body: md.body.clone(),
+                            native: None,
+                            specializers,
+                        },
+                    );
+                }
+                Decl::Ctor(cd) => {
+                    if cd.name.sym != simple {
+                        return Err(CompileError::new(
+                            format!(
+                                "constructor name {} does not match class {}",
+                                cd.name, simple
+                            ),
+                            cd.span,
+                        ));
+                    }
+                    let mut params = Vec::new();
+                    let mut names = Vec::new();
+                    for f in &cd.formals {
+                        params.push(classes.resolve_type_name(&f.ty, ctx)?);
+                        names.push(f.name.sym);
+                    }
+                    classes.add_ctor(
+                        class,
+                        CtorInfo {
+                            params,
+                            param_names: names,
+                            modifiers: cd.modifiers,
+                            body: Some(cd.body.clone()),
+                            native: None,
+                        },
+                    );
+                }
+                Decl::Field(fd) => {
+                    let ty = classes.resolve_type_name(&fd.ty, ctx)?;
+                    classes.add_field(
+                        class,
+                        FieldInfo {
+                            name: fd.name.sym,
+                            ty,
+                            modifiers: fd.modifiers,
+                            init: fd.init.clone(),
+                        },
+                    );
+                }
+                Decl::Use(_, inner) => {
+                    self.install_members(class, inner, ctx)?;
+                }
+                Decl::Production(p) => {
+                    crate::extension::register_production_decl(&self.inner, p, ctx)?;
+                }
+                Decl::Mayan(md) => {
+                    crate::extension::register_mayan_decl(&self.inner, md, ctx, None)?;
+                }
+                Decl::Empty | Decl::Import(_) => {}
+                other => {
+                    return Err(CompileError::new(
+                        format!("unsupported member {}", other.node_kind().name()),
+                        Span::DUMMY,
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Forces and type-checks every member of a class.
+    fn check_class(&self, class: ClassId) -> Result<(), CompileError> {
+        let meta = self
+            .inner
+            .class_meta
+            .borrow()
+            .get(&class)
+            .cloned()
+            .unwrap_or_else(|| ClassMeta {
+                env: self.inner.global.borrow().clone(),
+                ctx: ResolveCtx::default(),
+            });
+        let classes = &self.inner.classes;
+        let (methods, ctors, fields): (Vec<MethodInfo>, Vec<CtorInfo>, Vec<FieldInfo>) = {
+            let info = classes.info(class);
+            let info = info.borrow();
+            (
+                info.methods.clone(),
+                info.ctors.clone(),
+                info.fields.clone(),
+            )
+        };
+        let cxc = Cx {
+            cx: self.inner.clone(),
+            pair: meta.env.clone(),
+            ctx: meta.ctx.clone(),
+            class: Some(class),
+            scope: Rc::new(RefCell::new(Scope::new())),
+        };
+        let check_body = |body: &LazyNode,
+                          params: &[(Symbol, Type)],
+                          ret: Type,
+                          is_static: bool|
+         -> Result<(), CompileError> {
+            let mut scope = Scope::new();
+            scope.this_class = Some(class);
+            scope.static_ctx = is_static;
+            scope.return_type = ret;
+            for (name, ty) in params {
+                scope.declare(
+                    *name,
+                    VarBinding {
+                        ty: ty.clone(),
+                        kind: VarKind::Param,
+                        is_final: false,
+                    },
+                );
+            }
+            // Force with a scratch copy (parse-time dispatch bindings),
+            // then check with the clean scope.
+            let cell = Rc::new(RefCell::new(scope.clone()));
+            force_lazy(&self.inner, body, cell)?;
+            let node = body
+                .forced_node()
+                .ok_or_else(|| CompileError::new("internal: body not forced", Span::DUMMY))?;
+            let mut host = ForceHost { c: cxc.clone() };
+            let mut checker = Checker::new(classes, &meta.ctx, &mut host);
+            let mut clean_scope = scope;
+            checker.check_node(&node, &mut clean_scope)?;
+            Ok(())
+        };
+
+        for m in &methods {
+            if let Some(body) = &m.body {
+                let params: Vec<(Symbol, Type)> = m
+                    .param_names
+                    .iter()
+                    .copied()
+                    .zip(m.params.iter().cloned())
+                    .collect();
+                check_body(body, &params, m.ret.clone(), m.is_static())?;
+            }
+        }
+        for c in &ctors {
+            if let Some(body) = &c.body {
+                let params: Vec<(Symbol, Type)> = c
+                    .param_names
+                    .iter()
+                    .copied()
+                    .zip(c.params.iter().cloned())
+                    .collect();
+                check_body(body, &params, Type::Void, false)?;
+            }
+        }
+        for f in &fields {
+            if let Some(init) = &f.init {
+                let mut scope = Scope::new();
+                scope.this_class = Some(class);
+                scope.static_ctx = f.modifiers.is_static();
+                let mut host = ForceHost { c: cxc.clone() };
+                let mut checker = Checker::new(classes, &meta.ctx, &mut host);
+                let ty = checker.type_of_expr(init, &mut scope)?;
+                if !classes.is_assignable(&ty, &f.ty) {
+                    return Err(CompileError::new(
+                        format!(
+                            "cannot initialize field {} : {} with {}",
+                            f.name,
+                            classes.describe(&f.ty),
+                            classes.describe(&ty)
+                        ),
+                        init.span,
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles everything and runs `Class.main()`, returning captured
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Compile errors, runtime errors, and uncaught exceptions.
+    pub fn run_main(&self, class_fqcn: &str) -> Result<String, CompileError> {
+        Ok(self.inner.interp.run_main(class_fqcn)?)
+    }
+
+    fn install_runtime_forcer(&self) {
+        let inner = self.inner.clone();
+        self.inner.interp.set_forcer(Rc::new(move |_i, lazy, class| {
+            let meta = inner.class_meta.borrow().get(&class).cloned();
+            let _ = meta; // env is captured in the lazy payload itself
+            let cell = Rc::new(RefCell::new(Scope::new()));
+            force_lazy(&inner, lazy, cell)
+                .map_err(|e| maya_interp::RuntimeError::new(e.message, e.span))
+        }));
+    }
+
+    /// One-call convenience for tests and examples: add a source, compile,
+    /// run `main`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiler::add_source`], [`Compiler::compile`],
+    /// [`Compiler::run_main`].
+    pub fn compile_and_run(&self, name: &str, text: &str, main: &str) -> Result<String, CompileError> {
+        self.add_source(name, text)?;
+        self.compile()?;
+        self.run_main(main)
+    }
+}

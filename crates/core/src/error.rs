@@ -1,0 +1,72 @@
+//! The unified compile error.
+
+use maya_lexer::Span;
+use std::fmt;
+
+/// Any error the compiler reports: lexical, syntactic, grammatical,
+/// dispatch, static-semantic, or runtime (when driving the interpreter).
+#[derive(Clone, Debug)]
+pub struct CompileError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl CompileError {
+    /// Builds an error.
+    pub fn new(message: impl Into<String>, span: Span) -> CompileError {
+        CompileError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<maya_lexer::LexError> for CompileError {
+    fn from(e: maya_lexer::LexError) -> CompileError {
+        CompileError::new(e.message, e.span)
+    }
+}
+
+impl From<maya_parser::ParseError> for CompileError {
+    fn from(e: maya_parser::ParseError) -> CompileError {
+        CompileError::new(e.message, e.span)
+    }
+}
+
+impl From<maya_types::TypeError> for CompileError {
+    fn from(e: maya_types::TypeError) -> CompileError {
+        CompileError::new(e.message, e.span)
+    }
+}
+
+impl From<maya_dispatch::DispatchError> for CompileError {
+    fn from(e: maya_dispatch::DispatchError) -> CompileError {
+        CompileError::new(e.message, e.span)
+    }
+}
+
+impl From<maya_template::TemplateError> for CompileError {
+    fn from(e: maya_template::TemplateError) -> CompileError {
+        CompileError::new(e.message, e.span)
+    }
+}
+
+impl From<maya_grammar::GrammarError> for CompileError {
+    fn from(e: maya_grammar::GrammarError) -> CompileError {
+        CompileError::new(e.to_string(), Span::DUMMY)
+    }
+}
+
+impl From<maya_interp::RuntimeError> for CompileError {
+    fn from(e: maya_interp::RuntimeError) -> CompileError {
+        CompileError::new(e.message, e.span)
+    }
+}

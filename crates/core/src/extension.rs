@@ -1,0 +1,70 @@
+//! Source-level extensions: compiling `abstract … syntax(…)` productions
+//! and `… syntax Name(params) { body }` Mayans written in MayaJava, plus
+//! the `maya.tree` bridge that exposes AST values to interpreted
+//! metaprograms.
+//!
+//! This is the full pipeline of paper Figure 1: extension source is
+//! compiled by mayac into `MetaProgram` objects whose bodies run on the
+//! interpreter at application compile time.
+
+use crate::compiler::CompilerInner;
+use crate::CompileError;
+use maya_ast::{MayanDecl, Node, ProductionDecl};
+use maya_types::ResolveCtx;
+use std::rc::Rc;
+
+/// A `maya.tree` value: an AST node held by interpreted metaprogram code.
+pub struct TreeValue {
+    pub node: Node,
+}
+
+impl maya_interp::NativeObject for TreeValue {
+    fn class_fqcn(&self) -> &str {
+        match &self.node {
+            // An unforced lazy tree is classified by its goal symbol.
+            maya_ast::Node::Lazy(l) => crate::driver::tree_class_fqcn(l.goal),
+            other => crate::driver::tree_class_fqcn(other.node_kind()),
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn display(&self) -> String {
+        maya_ast::pretty_node(&self.node)
+    }
+}
+
+/// Installs the `maya.tree` classes and natives (populated incrementally as
+/// the interpreted-Mayan support grows).
+pub fn install_tree_bridge(cx: &Rc<CompilerInner>) {
+    crate::bridge::install(cx);
+}
+
+/// Registers a source-level production declaration.
+///
+/// # Errors
+///
+/// Propagates metagrammar errors.
+pub fn register_production_decl(
+    cx: &Rc<CompilerInner>,
+    decl: &ProductionDecl,
+    ctx: &ResolveCtx,
+) -> Result<(), CompileError> {
+    crate::source_mayan::register_production(cx, decl, ctx)
+}
+
+/// Registers a source-level Mayan declaration as an importable metaprogram.
+///
+/// # Errors
+///
+/// Propagates metagrammar and template errors.
+pub fn register_mayan_decl(
+    cx: &Rc<CompilerInner>,
+    decl: &MayanDecl,
+    ctx: &ResolveCtx,
+    package: Option<&str>,
+) -> Result<(), CompileError> {
+    crate::source_mayan::register_mayan(cx, decl, ctx, package)
+}

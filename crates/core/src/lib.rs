@@ -1,0 +1,43 @@
+//! `maya-core`: the mayac compiler (paper Figures 1 and 4).
+//!
+//! This crate ties every substrate together into the pipeline the paper
+//! describes: the **file reader** reads class declarations from source
+//! files; the **class shaper** parses class bodies and computes member
+//! types; the **class compiler** parses (lazily) and checks member
+//! initializers and method bodies. The parser is invoked in all three
+//! stages, dispatching to Mayans on every node-type reduction, with lazy
+//! parsing and lazy type checking interleaved on demand.
+//!
+//! The public API is [`Compiler`]: register extensions (native
+//! [`maya_dispatch::MetaProgram`]s or source `syntax` declarations), add
+//! sources, compile, and run the result on the interpreter.
+
+mod base;
+mod bridge;
+mod builtins;
+mod compiler;
+mod driver;
+mod error;
+mod extension;
+mod literal;
+pub mod metagrammar;
+mod source_mayan;
+
+pub use base::{Base, BaseProds};
+
+/// Re-export for debugging tools and benches.
+pub fn describe_prod_pub(g: &maya_grammar::Grammar, p: maya_grammar::ProdId) -> String {
+    crate::driver::describe_prod(g, p)
+}
+pub use compiler::{Compiler, CompileOptions, CompilerInner};
+pub use driver::{expr_as_type, CoreExpand, CoreInstHost, Cx, EnvPair, ExpandSnapshot, ForceHost, LazyEnvPayload};
+pub use error::CompileError;
+pub use extension::TreeValue;
+pub use literal::parse_literal;
+
+/// Maximally permissive parameters for a production (used by extensions
+/// that override built-in semantic actions and fall through with
+/// `nextRewrite`).
+pub fn builtin_params(g: &maya_grammar::Grammar, p: maya_grammar::ProdId) -> Vec<maya_dispatch::Param> {
+    crate::builtins::params_for(g, p)
+}

@@ -1,0 +1,121 @@
+//! Literal token → value conversion (with escape processing).
+
+use maya_ast::Lit;
+use maya_lexer::{sym, Token, TokenKind};
+
+fn unescape(body: &str) -> String {
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('b') => out.push('\u{8}'),
+            Some('f') => out.push('\u{c}'),
+            Some('0') => out.push('\0'),
+            Some('\\') => out.push('\\'),
+            Some('\'') => out.push('\''),
+            Some('"') => out.push('"'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                match u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    Some(c) => out.push(c),
+                    None => out.push('\u{fffd}'),
+                }
+            }
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Converts a literal token into a [`Lit`] value.
+///
+/// ```
+/// use maya_core::parse_literal;
+/// use maya_lexer::{sym, Token, TokenKind};
+/// use maya_ast::Lit;
+/// let t = Token::synth(TokenKind::IntLit, sym("42"));
+/// assert_eq!(parse_literal(&t), Some(Lit::Int(42)));
+/// let s = Token::synth(TokenKind::StringLit, sym("\"a\\nb\""));
+/// assert_eq!(parse_literal(&s), Some(Lit::Str(sym("a\nb"))));
+/// ```
+pub fn parse_literal(tok: &Token) -> Option<Lit> {
+    let text = tok.text.as_str();
+    Some(match tok.kind {
+        TokenKind::IntLit => {
+            if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                Lit::Int(u32::from_str_radix(hex, 16).ok()? as i32)
+            } else {
+                Lit::Int(text.parse().ok()?)
+            }
+        }
+        TokenKind::LongLit => {
+            let body = text.trim_end_matches(['l', 'L']);
+            if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+                Lit::Long(u64::from_str_radix(hex, 16).ok()? as i64)
+            } else {
+                Lit::Long(body.parse().ok()?)
+            }
+        }
+        TokenKind::FloatLit => Lit::Float(text.trim_end_matches(['f', 'F']).parse().ok()?),
+        TokenKind::DoubleLit => Lit::Double(text.trim_end_matches(['d', 'D']).parse().ok()?),
+        TokenKind::CharLit => {
+            let body = text.strip_prefix('\'')?.strip_suffix('\'')?;
+            Lit::Char(unescape(body).chars().next()?)
+        }
+        TokenKind::StringLit => {
+            let body = text.strip_prefix('"')?.strip_suffix('"')?;
+            Lit::Str(sym(&unescape(body)))
+        }
+        TokenKind::KwTrue => Lit::Bool(true),
+        TokenKind::KwFalse => Lit::Bool(false),
+        TokenKind::KwNull => Lit::Null,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tok(kind: TokenKind, text: &str) -> Token {
+        Token::synth(kind, sym(text))
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(parse_literal(&tok(TokenKind::IntLit, "0")), Some(Lit::Int(0)));
+        assert_eq!(parse_literal(&tok(TokenKind::IntLit, "0xFF")), Some(Lit::Int(255)));
+        assert_eq!(parse_literal(&tok(TokenKind::LongLit, "7L")), Some(Lit::Long(7)));
+        assert_eq!(parse_literal(&tok(TokenKind::DoubleLit, "2.5")), Some(Lit::Double(2.5)));
+        assert_eq!(parse_literal(&tok(TokenKind::FloatLit, "1.5f")), Some(Lit::Float(1.5)));
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        assert_eq!(
+            parse_literal(&tok(TokenKind::StringLit, "\"hi\\tthere\"")),
+            Some(Lit::Str(sym("hi\tthere")))
+        );
+        assert_eq!(parse_literal(&tok(TokenKind::CharLit, "'x'")), Some(Lit::Char('x')));
+        assert_eq!(parse_literal(&tok(TokenKind::CharLit, "'\\n'")), Some(Lit::Char('\n')));
+        assert_eq!(
+            parse_literal(&tok(TokenKind::StringLit, "\"\\u0041\"")),
+            Some(Lit::Str(sym("A")))
+        );
+    }
+
+    #[test]
+    fn keywords() {
+        assert_eq!(parse_literal(&tok(TokenKind::KwTrue, "true")), Some(Lit::Bool(true)));
+        assert_eq!(parse_literal(&tok(TokenKind::KwNull, "null")), Some(Lit::Null));
+        assert_eq!(parse_literal(&tok(TokenKind::Semi, ";")), None);
+    }
+}

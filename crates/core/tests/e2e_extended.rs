@@ -1,0 +1,294 @@
+//! Extended end-to-end coverage: interfaces, multi-file packages, compound
+//! operators, strings, and error recovery surfaces.
+
+use maya_core::Compiler;
+
+fn run(src: &str) -> String {
+    let c = Compiler::new();
+    match c.compile_and_run("Main.maya", src, "Main") {
+        Ok(out) => out,
+        Err(e) => panic!("compile/run failed: {} @ {:?}", e.message, e.span),
+    }
+}
+
+#[test]
+fn interfaces_and_dynamic_dispatch() {
+    let out = run(r#"
+        interface Speaker {
+            String speak();
+        }
+        class Dog implements Speaker {
+            String speak() { return "woof"; }
+        }
+        class Cat implements Speaker {
+            String speak() { return "meow"; }
+        }
+        class Main {
+            static void say(Speaker s) { System.out.println(s.speak()); }
+            static void main() {
+                say(new Dog());
+                say(new Cat());
+                Speaker s = new Dog();
+                System.out.println(s instanceof Speaker);
+            }
+        }
+    "#);
+    assert_eq!(out, "woof\nmeow\ntrue\n");
+}
+
+#[test]
+fn abstract_methods_and_overriding() {
+    let out = run(r#"
+        abstract class Animal {
+            abstract String noise();
+            String describe() { return "says " + noise(); }
+        }
+        class Cow extends Animal {
+            String noise() { return "moo"; }
+        }
+        class Main {
+            static void main() {
+                Animal a = new Cow();
+                System.out.println(a.describe());
+            }
+        }
+    "#);
+    assert_eq!(out, "says moo\n");
+}
+
+#[test]
+fn multi_file_packages_and_imports() {
+    let c = Compiler::new();
+    c.add_source(
+        "geometry/Point.maya",
+        r#"
+        package geometry;
+        class Point {
+            int x;
+            int y;
+            Point(int x0, int y0) { x = x0; y = y0; }
+            int dot(Point o) { return x * o.x + y * o.y; }
+        }
+        "#,
+    )
+    .unwrap();
+    c.add_source(
+        "Main.maya",
+        r#"
+        import geometry.Point;
+        class Main {
+            static void main() {
+                Point a = new Point(1, 2);
+                Point b = new Point(3, 4);
+                System.out.println(a.dot(b));
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    c.compile().unwrap();
+    assert_eq!(c.run_main("Main").unwrap(), "11\n");
+}
+
+#[test]
+fn wildcard_imports_across_files() {
+    let c = Compiler::new();
+    c.add_source(
+        "util/Pair.maya",
+        r#"
+        package util;
+        class Pair {
+            int a;
+            int b;
+            Pair(int a0, int b0) { a = a0; b = b0; }
+            int sum() { return a + b; }
+        }
+        "#,
+    )
+    .unwrap();
+    c.add_source(
+        "Main.maya",
+        r#"
+        import util.*;
+        class Main {
+            static void main() {
+                System.out.println(new Pair(20, 22).sum());
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    c.compile().unwrap();
+    assert_eq!(c.run_main("Main").unwrap(), "42\n");
+}
+
+#[test]
+fn compound_assignment_and_shifts() {
+    let out = run(r#"
+        class Main {
+            static void main() {
+                int x = 1;
+                x += 5; System.out.println(x);
+                x -= 2; System.out.println(x);
+                x *= 10; System.out.println(x);
+                x /= 4; System.out.println(x);
+                x %= 7; System.out.println(x);
+                int y = 1 << 6;
+                System.out.println(y);
+                System.out.println(y >> 3);
+                System.out.println(-8 >>> 28);
+                System.out.println(5 & 3);
+                System.out.println(5 | 3);
+                System.out.println(5 ^ 3);
+            }
+        }
+    "#);
+    assert_eq!(out, "6\n4\n40\n10\n3\n64\n8\n15\n1\n7\n6\n");
+}
+
+#[test]
+fn string_library() {
+    let out = run(r#"
+        class Main {
+            static void main() {
+                String s = "hello world";
+                System.out.println(s.length());
+                System.out.println(s.substring(0, 5));
+                System.out.println(s.indexOf("world"));
+                System.out.println(s.charAt(4));
+                System.out.println(s.equals("hello world"));
+                StringBuffer b = new StringBuffer();
+                b.append("a").append(1).append(true);
+                System.out.println(b.toString());
+                System.out.println(Integer.parseInt(" 42 "));
+                System.out.println(Math.max(3, Math.abs(-9)));
+            }
+        }
+    "#);
+    assert_eq!(out, "11\nhello\n6\no\ntrue\na1true\n42\n9\n");
+}
+
+#[test]
+fn try_finally_ordering() {
+    let out = run(r#"
+        class Main {
+            static void main() {
+                try {
+                    System.out.println("body");
+                    throw new RuntimeException("x");
+                } catch (RuntimeException e) {
+                    System.out.println("catch");
+                } finally {
+                    System.out.println("finally");
+                }
+                System.out.println("after");
+            }
+        }
+    "#);
+    assert_eq!(out, "body\ncatch\nfinally\nafter\n");
+}
+
+#[test]
+fn conditional_and_logical_short_circuit() {
+    let out = run(r#"
+        class Main {
+            static boolean boom() { throw new RuntimeException("boom"); }
+            static void main() {
+                boolean a = false;
+                System.out.println(a && boom());
+                System.out.println(true || boom());
+                System.out.println(a ? 1 : 2);
+            }
+        }
+    "#);
+    assert_eq!(out, "false\ntrue\n2\n");
+}
+
+#[test]
+fn duplicate_class_names_rejected() {
+    let c = Compiler::new();
+    c.add_source("A.maya", "class Dup { }").unwrap();
+    c.add_source("B.maya", "class Dup { }").unwrap();
+    assert!(c.compile().is_err());
+}
+
+#[test]
+fn null_pointer_and_class_cast_exceptions() {
+    let out = run(r#"
+        class A { }
+        class B { }
+        class Main {
+            static void main() {
+                try {
+                    String s = null;
+                    s.length();
+                } catch (NullPointerException e) {
+                    System.out.println("npe");
+                }
+                try {
+                    Object o = new A();
+                    B b = (B) o;
+                    System.out.println(b);
+                } catch (ClassCastException e) {
+                    System.out.println("cce");
+                }
+            }
+        }
+    "#);
+    assert_eq!(out, "npe\ncce\n");
+}
+
+#[test]
+fn field_initializers_and_static_order() {
+    let out = run(r#"
+        class Config {
+            static int base = 10;
+            static int derived = base * 4 + 2;
+            int instanceVal = derived + 1;
+        }
+        class Main {
+            static void main() {
+                System.out.println(Config.derived);
+                System.out.println(new Config().instanceVal);
+            }
+        }
+    "#);
+    assert_eq!(out, "42\n43\n");
+}
+
+#[test]
+fn long_arithmetic_and_chars() {
+    let out = run(r#"
+        class Main {
+            static void main() {
+                long big = 4000000000L;
+                System.out.println(big + 1);
+                char c = 'A';
+                int code = c + 1;
+                System.out.println(code);
+                System.out.println((char) code);
+                double d = 1.5;
+                System.out.println(d * 3);
+            }
+        }
+    "#);
+    assert_eq!(out, "4000000001\n66\nB\n4.5\n");
+}
+
+#[test]
+fn vector_in_maya_package() {
+    // maya.util.Vector is usable like java.util.Vector, plus
+    // getElementData (paper §3).
+    let out = run(r#"
+        class Main {
+            static void main() {
+                maya.util.Vector v = new maya.util.Vector();
+                v.addElement("m");
+                Object[] data = v.getElementData();
+                System.out.println(data.length);
+                System.out.println((String) data[0]);
+            }
+        }
+    "#);
+    assert_eq!(out, "1\nm\n");
+}

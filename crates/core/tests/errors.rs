@@ -1,0 +1,145 @@
+//! Diagnostics: errors carry accurate spans and actionable messages.
+
+use maya_core::Compiler;
+
+fn err_for(src: &str) -> (String, maya_lexer::Span) {
+    let c = Compiler::new();
+    let e = c
+        .compile_and_run("Main.maya", src, "Main")
+        .expect_err("program must be rejected");
+    (e.message, e.span)
+}
+
+fn line_of(src: &str, span: maya_lexer::Span) -> usize {
+    src[..span.lo as usize].lines().count()
+}
+
+#[test]
+fn syntax_error_points_at_the_offending_token() {
+    let src = "class Main {\n    static void main() {\n        int x = ;\n    }\n}";
+    let (msg, span) = err_for(src);
+    assert!(msg.contains("unexpected"), "{msg}");
+    assert_eq!(line_of(src, span), 3, "span should be on line 3: {span:?}");
+}
+
+#[test]
+fn type_error_points_at_the_expression() {
+    let src = "class Main {\n    static void main() {\n        boolean b = true;\n        int x = b - 1;\n    }\n}";
+    let (msg, span) = err_for(src);
+    assert!(msg.contains("numeric"), "{msg}");
+    assert_eq!(line_of(src, span), 4);
+}
+
+#[test]
+fn unknown_name_is_reported_with_its_name() {
+    let (msg, _) = err_for("class Main { static void main() { nonexistent(); } }");
+    assert!(msg.contains("nonexistent") || msg.contains("method"), "{msg}");
+}
+
+#[test]
+fn unknown_type_is_reported_with_its_name() {
+    let (msg, _) = err_for("class Main { static void main() { Bogus b = null; } }");
+    assert!(msg.contains("Bogus"), "{msg}");
+}
+
+#[test]
+fn unknown_metaprogram_is_reported() {
+    let (msg, _) = err_for("class Main { static void main() { use NoSuchThing; } }");
+    assert!(msg.contains("NoSuchThing"), "{msg}");
+}
+
+#[test]
+fn no_applicable_mayan_names_the_production() {
+    // The paper: "an error is signaled [when] input causes the production
+    // to reduce" with no Mayans. Build a compiler with a production but no
+    // Mayan on it.
+    use maya_ast::NodeKind;
+    use maya_dispatch::{DispatchError, ImportEnv, MetaProgram};
+    use maya_grammar::RhsItem;
+    use maya_lexer::Delim;
+    struct ProdOnly;
+    impl MetaProgram for ProdOnly {
+        fn run(&self, env: &mut dyn ImportEnv) -> Result<(), DispatchError> {
+            env.add_production(
+                NodeKind::Statement,
+                &[
+                    RhsItem::word("gizmo"),
+                    RhsItem::Subtree(Delim::Paren, vec![RhsItem::Kind(NodeKind::Expression)]),
+                    RhsItem::tok(maya_lexer::TokenKind::Semi),
+                ],
+            )?;
+            Ok(())
+        }
+    }
+    let c = Compiler::new();
+    c.register_metaprogram("ProdOnly", std::rc::Rc::new(ProdOnly));
+    let err = c
+        .compile_and_run(
+            "Main.maya",
+            "class Main { static void main() { use ProdOnly; gizmo(1); } }",
+            "Main",
+        )
+        .unwrap_err();
+    assert!(
+        err.message.contains("no applicable Mayan"),
+        "{}",
+        err.message
+    );
+    assert!(err.message.contains("gizmo") || err.message.contains("Statement"), "{}", err.message);
+}
+
+#[test]
+fn grammar_conflicts_are_reported_at_import() {
+    // An extension whose production makes the grammar ambiguous is rejected
+    // when imported (paper §4.1: the generator rejects such grammars).
+    use maya_ast::NodeKind;
+    use maya_dispatch::{DispatchError, ImportEnv, MetaProgram};
+    use maya_grammar::RhsItem;
+    struct Ambiguous;
+    impl MetaProgram for Ambiguous {
+        fn run(&self, env: &mut dyn ImportEnv) -> Result<(), DispatchError> {
+            // Statement → Expression (no terminator): clashes with
+            // expression statements everywhere.
+            env.add_production(NodeKind::Statement, &[RhsItem::Kind(NodeKind::Expression)])?;
+            Ok(())
+        }
+    }
+    let c = Compiler::new();
+    c.register_metaprogram("Ambiguous", std::rc::Rc::new(Ambiguous));
+    let err = c
+        .compile_and_run(
+            "Main.maya",
+            "class Main { static void main() { use Ambiguous; } }",
+            "Main",
+        )
+        .unwrap_err();
+    assert!(err.message.contains("conflict"), "{}", err.message);
+}
+
+#[test]
+fn nested_block_use_is_scoped_to_the_block() {
+    let c = Compiler::new();
+    maya_macrolib_install(&c);
+    let src = r#"
+        import java.util.*;
+        class Main {
+            static void main() {
+                Vector v = new Vector();
+                {
+                    use Foreach;
+                    v.elements().foreach(String s) { System.out.println(s); }
+                }
+                v.elements().foreach(String s) { System.out.println(s); }
+            }
+        }
+    "#;
+    assert!(
+        c.compile_and_run("Main.maya", src, "Main").is_err(),
+        "import inside a block must not leak to the enclosing block"
+    );
+}
+
+fn maya_macrolib_install(c: &Compiler) {
+    // Local shim so this test file only needs dev-deps already present.
+    maya_macrolib::install(c);
+}

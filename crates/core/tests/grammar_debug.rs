@@ -1,0 +1,26 @@
+use maya_core::Base;
+
+#[test]
+#[ignore]
+fn dump_conflicts() {
+    let base = Base::build();
+    match base.grammar.tables() {
+        Ok(t) => println!("OK: {} states", t.n_states()),
+        Err(maya_grammar::GrammarError::Conflicts(cs)) => {
+            for c in &cs {
+                println!("state {} on {}: {}", c.state, c.on, c.description);
+            }
+            for (i, _p) in base.grammar.productions().iter().enumerate() {
+                let id = maya_grammar::ProdId(i as u32);
+                let name = base.prods.name_of(id).unwrap_or("<helper>");
+                println!(
+                    "prod {:3} {:24} {}",
+                    i,
+                    name,
+                    maya_core::describe_prod_pub(&base.grammar, id)
+                );
+            }
+        }
+        Err(e) => println!("other: {e}"),
+    }
+}

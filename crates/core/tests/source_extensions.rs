@@ -1,0 +1,284 @@
+//! The full Figure 1 pipeline: extensions written in MayaJava itself —
+//! `abstract … syntax(…)` productions and `… syntax Name(params) { body }`
+//! Mayans whose bodies run on the interpreter at application compile time,
+//! with templates, hygiene, the reflection API, and `nextRewrite`.
+
+use maya_core::Compiler;
+
+fn run(srcs: &[(&str, &str)], main: &str) -> String {
+    let c = Compiler::new();
+    for (name, text) in srcs {
+        if let Err(e) = c.add_source(name, text) {
+            panic!("add_source {name}: {} @ {:?}", e.message, e.span);
+        }
+    }
+    if let Err(e) = c.compile() {
+        panic!("compile: {} @ {:?}", e.message, e.span);
+    }
+    match c.run_main(main) {
+        Ok(out) => out,
+        Err(e) => panic!("run: {} @ {:?}", e.message, e.span),
+    }
+}
+
+/// Figure 2, nearly verbatim: the EForEach Mayan written in MayaJava.
+const EFOREACH_SOURCE: &str = r#"
+    abstract Statement syntax(MethodName(Formal) lazy(BraceTree, BlockStmts));
+
+    Statement syntax
+    EForEach(Expression:java.util.Enumeration enumExp
+             \. foreach(Formal var)
+             lazy(BraceTree, BlockStmts) body)
+    {
+        StrictTypeName castType = StrictTypeName.make(var.getType());
+
+        return new Statement {
+            for (java.util.Enumeration enumVar = $enumExp;
+                 enumVar.hasMoreElements(); ) {
+                $(DeclStmt.make(var))
+                $(Reference.makeExpr(var.getLocation()))
+                    = ($castType) enumVar.nextElement();
+                $body
+            }
+        };
+    }
+"#;
+
+#[test]
+fn figure2_eforeach_written_in_maya() {
+    let app = r#"
+        import java.util.*;
+        class Main {
+            static void main() {
+                Hashtable h = new Hashtable();
+                h.put("a", "1");
+                h.put("b", "2");
+                use EForEach;
+                h.keys().foreach(String st) {
+                    System.out.println(st + " = " + h.get(st));
+                }
+            }
+        }
+    "#;
+    let out = run(&[("EForEach.maya", EFOREACH_SOURCE), ("Main.maya", app)], "Main");
+    assert_eq!(out, "a = 1\nb = 2\n");
+}
+
+#[test]
+fn figure2_hygiene_in_interpreted_templates() {
+    // The template's enumVar must not capture the user's enumVar.
+    let app = r#"
+        import java.util.*;
+        class Main {
+            static void main() {
+                Vector v = new Vector();
+                v.addElement("z");
+                String enumVar = "mine";
+                use EForEach;
+                v.elements().foreach(String st) {
+                    System.out.println(enumVar + " " + st);
+                }
+            }
+        }
+    "#;
+    let out = run(&[("EForEach.maya", EFOREACH_SOURCE), ("Main.maya", app)], "Main");
+    assert_eq!(out, "mine z\n");
+}
+
+#[test]
+fn token_value_dispatch_from_source() {
+    // Two Mayans on the same declared production, separated only by the
+    // token value of the name — imported independently.
+    let ext = r#"
+        abstract Statement syntax(MethodName(Formal) lazy(BraceTree, BlockStmts));
+
+        Statement syntax
+        Twice(Expression:java.lang.Object recv \. twice(Formal var)
+              lazy(BraceTree, BlockStmts) body)
+        {
+            return new Statement {
+                for (int counter = 0; counter < 2; counter++) {
+                    $(DeclStmt.make(var))
+                    $(Reference.makeExpr(var.getLocation())) = $recv;
+                    $body
+                }
+            };
+        }
+    "#;
+    let app = r#"
+        class Main {
+            static void main() {
+                use Twice;
+                String who = "maya";
+                who.twice(String w) {
+                    System.out.println(w);
+                }
+            }
+        }
+    "#;
+    let out = run(&[("Twice.maya", ext), ("Main.maya", app)], "Main");
+    assert_eq!(out, "maya\nmaya\n");
+}
+
+#[test]
+fn next_rewrite_layers_source_mayans() {
+    // A source Mayan on a *base* production: logs string literals and
+    // defers to the built-in translation via nextRewrite (paper §4.4).
+    let ext = r#"
+        Statement syntax
+        Noisy(Expression e \;)
+        {
+            return nextRewrite();
+        }
+    "#;
+    let app = r#"
+        class Main {
+            static void main() {
+                use Noisy;
+                System.out.println("still works");
+            }
+        }
+    "#;
+    let out = run(&[("Noisy.maya", ext), ("Main.maya", app)], "Main");
+    assert_eq!(out, "still works\n");
+}
+
+#[test]
+fn environment_make_id_generates_fresh_names() {
+    let ext = r#"
+        abstract Statement syntax(MethodName(Formal) lazy(BraceTree, BlockStmts));
+
+        Statement syntax
+        Fresh(Expression:java.lang.Object recv \. withTemp(Formal var)
+              lazy(BraceTree, BlockStmts) body)
+        {
+            Identifier tmp = Environment.makeId("tmp");
+            return new Statement {
+                {
+                    $(DeclStmt.make(var))
+                    $(Reference.makeExpr(var.getLocation())) = $recv;
+                    $body
+                }
+            };
+        }
+    "#;
+    let app = r#"
+        class Main {
+            static void main() {
+                use Fresh;
+                String s = "ok";
+                s.withTemp(String t) {
+                    System.out.println(t);
+                }
+            }
+        }
+    "#;
+    let out = run(&[("Fresh.maya", ext), ("Main.maya", app)], "Main");
+    assert_eq!(out, "ok\n");
+}
+
+#[test]
+fn bad_extension_bodies_fail_at_expansion() {
+    // A body returning a non-tree value is caught when the Mayan fires.
+    let ext = r#"
+        abstract Statement syntax(gadget(Formal) lazy(BraceTree, BlockStmts));
+
+        Statement syntax
+        Gadget(gadget(Formal var) lazy(BraceTree, BlockStmts) body)
+        {
+            throw new RuntimeException("deliberate");
+        }
+    "#;
+    let app = r#"
+        class Main {
+            static void main() {
+                use Gadget;
+                gadget(int x) { }
+            }
+        }
+    "#;
+    let c = Compiler::new();
+    c.add_source("Gadget.maya", ext).unwrap();
+    c.add_source("Main.maya", app).unwrap();
+    let err = c.compile().unwrap_err();
+    assert!(err.message.contains("deliberate"), "{}", err.message);
+}
+
+#[test]
+fn figure7_vforeach_pattern_from_source() {
+    // The §4.4 optimized foreach written as extension source: the receiver
+    // parameter is the nested pattern `Expression:maya.util.Vector v
+    // \.elements()` — a CallExpr substructure whose inner receiver is
+    // specialized on a static type (Figure 7's parameter tree).
+    let ext = r#"
+        abstract Statement syntax(MethodName(Formal) lazy(BraceTree, BlockStmts));
+
+        Statement syntax
+        EForEach(Expression:java.util.Enumeration enumExp
+                 \. foreach(Formal var)
+                 lazy(BraceTree, BlockStmts) body)
+        {
+            StrictTypeName castType = StrictTypeName.make(var.getType());
+            return new Statement {
+                for (java.util.Enumeration enumVar = $enumExp;
+                     enumVar.hasMoreElements(); ) {
+                    $(DeclStmt.make(var))
+                    $(Reference.makeExpr(var.getLocation()))
+                        = ($castType) enumVar.nextElement();
+                    $body
+                }
+            };
+        }
+
+        Statement syntax
+        VForEach(Expression:maya.util.Vector v \.elements()
+                 \.foreach(Formal var)
+                 lazy(BraceTree, BlockStmts) body)
+        {
+            StrictTypeName castType = StrictTypeName.make(var.getType());
+            return new Statement {
+                {
+                    maya.util.Vector vVar = $v;
+                    int lenVar = vVar.size();
+                    Object[] arrVar = vVar.getElementData();
+                    for (int iVar = 0; iVar < lenVar; iVar++) {
+                        $(DeclStmt.make(var))
+                        $(Reference.makeExpr(var.getLocation()))
+                            = ($castType) arrVar[iVar];
+                        $body
+                    }
+                }
+            };
+        }
+    "#;
+    let app = r#"
+        class Main {
+            static void main() {
+                maya.util.Vector v = new maya.util.Vector();
+                v.addElement("opt");
+                use EForEach;
+                use VForEach;
+                v.elements().foreach(String s) {
+                    System.out.println(s);
+                }
+            }
+        }
+    "#;
+    let c = Compiler::new();
+    c.add_source("Ext.maya", ext).unwrap();
+    c.add_source("Main.maya", app).unwrap();
+    if let Err(e) = c.compile() {
+        panic!("compile: {} @ {:?}", e.message, e.span);
+    }
+    // VForEach must have been selected (more specific): the expansion uses
+    // getElementData, not hasMoreElements.
+    let classes = c.classes();
+    let id = classes.by_fqcn_str("Main").unwrap();
+    let info = classes.info(id);
+    let info = info.borrow();
+    let body = info.methods[0].body.as_ref().unwrap().forced_node().unwrap();
+    let text = maya_ast::pretty_node(&body);
+    assert!(text.contains("getElementData"), "VForEach not selected:\n{text}");
+    drop(info);
+    assert_eq!(c.run_main("Main").unwrap(), "opt\n");
+}

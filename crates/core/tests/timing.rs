@@ -1,0 +1,19 @@
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn table_build_time() {
+    let t0 = Instant::now();
+    let base = maya_core::Base::build();
+    let t1 = Instant::now();
+    let tables = base.grammar.tables().unwrap();
+    let t2 = Instant::now();
+    println!(
+        "grammar build: {:?}, tables: {:?}, states: {}, terms: {}, actions: {}",
+        t1 - t0,
+        t2 - t1,
+        tables.n_states(),
+        tables.n_terms(),
+        tables.action_entries()
+    );
+}

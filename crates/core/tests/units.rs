@@ -1,0 +1,55 @@
+//! Focused unit coverage of core helpers.
+
+use maya_ast::{Expr, ExprKind, NodeKind};
+use maya_core::{expr_as_type, Base};
+
+#[test]
+fn expr_as_type_covers_every_name_shape() {
+    // Simple name.
+    let t = expr_as_type(&Expr::name("Vector")).unwrap();
+    assert_eq!(t.to_string(), "Vector");
+    // Dotted chain.
+    let chain = Expr::field(Expr::field(Expr::name("java"), "util"), "Vector");
+    assert_eq!(expr_as_type(&chain).unwrap().to_string(), "java.util.Vector");
+    // Direct class reference (from hygiene).
+    let strict = Expr::synth(ExprKind::ClassRef(maya_lexer::sym("java.lang.String")));
+    assert_eq!(expr_as_type(&strict).unwrap().to_string(), "java.lang.String");
+    // Array dims.
+    let dims = Expr::synth(ExprKind::TypeDims(Box::new(Expr::name("Vector"))));
+    assert_eq!(expr_as_type(&dims).unwrap().to_string(), "Vector[]");
+    // Non-type shapes are rejected.
+    assert!(expr_as_type(&Expr::int(3)).is_err());
+    assert!(expr_as_type(&Expr::call_on(Expr::name("a"), "b", vec![])).is_err());
+}
+
+#[test]
+fn describe_prod_is_readable() {
+    let base = Base::cached();
+    let id = base.prods.id("stmt_if");
+    let s = maya_core::describe_prod_pub(&base.grammar, id);
+    assert!(s.starts_with("Statement →"), "{s}");
+    assert!(s.contains("'if'"), "{s}");
+}
+
+#[test]
+fn base_prod_names_cover_dispatchable_productions() {
+    let base = Base::cached();
+    let named: usize = base.prods.all().len();
+    let dispatchable = base
+        .grammar
+        .productions()
+        .iter()
+        .filter(|p| matches!(p.action, maya_grammar::Action::Dispatch))
+        .count();
+    assert_eq!(named, dispatchable, "every dispatchable production is named");
+}
+
+#[test]
+fn hygiene_spec_matches_grammar() {
+    let base = Base::cached();
+    assert_eq!(
+        base.hygiene.binder_nts,
+        vec![base.grammar.nt_for_kind(NodeKind::UnboundLocal).unwrap()]
+    );
+    assert!(!base.hygiene.raw_tree_goals.is_empty());
+}

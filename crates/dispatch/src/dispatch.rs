@@ -1,0 +1,522 @@
+//! Applicability, symmetric specificity, and chain ordering (paper §4.4).
+
+use crate::{Bindings, DispatchEnv, DispatchError, Mayan, Param, Specializer};
+use maya_ast::{Expr, Node};
+use maya_grammar::ProdId;
+use maya_lexer::Span;
+use maya_types::{ClassTable, Type};
+use std::rc::Rc;
+
+/// Resolves static expression types during matching. Returning `None`
+/// makes the specializer fail to match (dispatch continues with other
+/// Mayans) rather than aborting compilation.
+pub type TypeOf<'a> = dyn FnMut(&Expr) -> Option<Type> + 'a;
+
+/// Pointwise specificity between two parameters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParamOrder {
+    Equal,
+    More,
+    Less,
+    Ambiguous,
+}
+
+impl ParamOrder {
+    fn combine(self, other: ParamOrder) -> ParamOrder {
+        use ParamOrder::*;
+        match (self, other) {
+            (Ambiguous, _) | (_, Ambiguous) => Ambiguous,
+            (Equal, x) => x,
+            (x, Equal) => x,
+            (More, More) => More,
+            (Less, Less) => Less,
+            (More, Less) | (Less, More) => Ambiguous,
+        }
+    }
+}
+
+/// Tries to match one parameter against one argument, collecting named
+/// bindings into `out`. Returns `false` (not an error) when the argument
+/// does not satisfy the parameter.
+fn match_param(
+    env: &DispatchEnv,
+    ct: &ClassTable,
+    param: &Param,
+    arg: &Node,
+    type_of: &mut TypeOf<'_>,
+    out: &mut Bindings,
+) -> bool {
+    // Node-kind check. Terminal parameters skip it (the grammar fixed the
+    // token); unforced lazy arguments match on their goal kind without
+    // being forced — that is the point of laziness.
+    if param.kind != maya_ast::NodeKind::TokenNode {
+        let kind_ok = match arg {
+            Node::Lazy(l) => l.goal.is_subkind_of(param.kind),
+            other => other.node_kind().is_subkind_of(param.kind),
+        };
+        if !kind_ok {
+            return false;
+        }
+    }
+    let spec_ok = match &param.spec {
+        Specializer::None => true,
+        Specializer::TokenValue(s) => match arg {
+            Node::Token(t) => t.text == *s,
+            Node::Ident(i) => i.sym == *s,
+            Node::Expr(Expr {
+                kind: maya_ast::ExprKind::Name(i),
+                ..
+            }) => i.sym == *s,
+            Node::Name(parts) => parts.len() == 1 && parts[0].sym == *s,
+            _ => false,
+        },
+        Specializer::StaticType(t) => match arg {
+            Node::Expr(e) => match type_of(e) {
+                Some(ty) => ct.is_subtype(&ty, t),
+                None => false,
+            },
+            _ => false,
+        },
+        Specializer::ExactType(t) => match arg {
+            Node::Expr(e) => type_of(e).as_ref() == Some(t),
+            _ => false,
+        },
+        Specializer::Structure { prod, children } => {
+            let Some(destructor) = env.destructor(*prod) else {
+                return false;
+            };
+            let Some(parts) = destructor(arg) else {
+                return false;
+            };
+            if parts.len() != children.len() {
+                return false;
+            }
+            children
+                .iter()
+                .zip(&parts)
+                .all(|(p, a)| match_param(env, ct, p, a, type_of, out))
+        }
+    };
+    if !spec_ok {
+        return false;
+    }
+    if let Some(name) = param.name {
+        out.bind(name, arg.clone());
+    }
+    true
+}
+
+fn cmp_param(ct: &ClassTable, a: &Param, b: &Param) -> ParamOrder {
+    use ParamOrder::*;
+    if a.kind != b.kind {
+        if a.kind.is_subkind_of(b.kind) {
+            return More;
+        }
+        if b.kind.is_subkind_of(a.kind) {
+            return Less;
+        }
+        // Disjoint kinds: the parameters are never both applicable.
+        return Equal;
+    }
+    match (&a.spec, &b.spec) {
+        (Specializer::None, Specializer::None) => Equal,
+        (Specializer::None, _) => Less,
+        (_, Specializer::None) => More,
+        (Specializer::StaticType(x), Specializer::StaticType(y)) => {
+            let xy = ct.is_subtype(x, y);
+            let yx = ct.is_subtype(y, x);
+            match (xy, yx) {
+                (true, true) => Equal,
+                (true, false) => More,
+                (false, true) => Less,
+                (false, false) => Equal, // disjoint
+            }
+        }
+        (
+            Specializer::Structure {
+                prod: pa,
+                children: ca,
+            },
+            Specializer::Structure {
+                prod: pb,
+                children: cb,
+            },
+        ) => {
+            if pa != pb || ca.len() != cb.len() {
+                // Different shapes: never both applicable.
+                return Equal;
+            }
+            ca.iter()
+                .zip(cb)
+                .map(|(x, y)| cmp_param(ct, x, y))
+                .fold(Equal, ParamOrder::combine)
+        }
+        // Token values and exact types must match exactly; two different
+        // values are disjoint, the same value is equal.
+        _ => Equal,
+    }
+}
+
+/// Symmetric specificity between two Mayans on the same production.
+pub fn cmp_mayans(ct: &ClassTable, a: &Mayan, b: &Mayan) -> ParamOrder {
+    if a.params.len() != b.params.len() {
+        return ParamOrder::Equal;
+    }
+    a.params
+        .iter()
+        .zip(&b.params)
+        .map(|(x, y)| cmp_param(ct, x, y))
+        .fold(ParamOrder::Equal, ParamOrder::combine)
+}
+
+/// Finds the applicable Mayans for a reduction and orders them most
+/// applicable first.
+///
+/// Ordering rules (paper §4.4): specificity is symmetric — two applicable
+/// Mayans each more specific on different arguments raise an ambiguity
+/// error; Mayans equal under the parameter rules are ordered by *lexical
+/// tie-breaking*, the most recently imported first.
+///
+/// # Errors
+///
+/// Returns an error when no Mayan applies (the paper signals an error when
+/// input reduces a production with no semantic actions) or on ambiguity.
+pub fn order_applicable(
+    env: &DispatchEnv,
+    ct: &ClassTable,
+    prod: ProdId,
+    prod_desc: &str,
+    args: &[Node],
+    type_of: &mut TypeOf<'_>,
+    span: Span,
+) -> Result<Vec<(Rc<Mayan>, Bindings)>, DispatchError> {
+    let mut applicable: Vec<(usize, Rc<Mayan>, Bindings)> = Vec::new();
+    for (i, m) in env.mayans_for(prod).iter().enumerate() {
+        if m.params.len() != args.len() {
+            continue;
+        }
+        let mut bindings = Bindings::new(args.to_vec());
+        let ok = m
+            .params
+            .iter()
+            .zip(args)
+            .all(|(p, a)| match_param(env, ct, p, a, type_of, &mut bindings));
+        if ok {
+            applicable.push((i, m.clone(), bindings));
+        }
+    }
+    if applicable.is_empty() {
+        return Err(DispatchError::new(
+            format!("no applicable Mayan for production {prod_desc}"),
+            span,
+        ));
+    }
+
+    // Sort most-applicable first: specificity, then import order (later
+    // imports first). Insertion sort with explicit ambiguity detection.
+    let mut ordered: Vec<(usize, Rc<Mayan>, Bindings)> = Vec::new();
+    for item in applicable {
+        let mut pos = ordered.len();
+        for (k, existing) in ordered.iter().enumerate() {
+            match cmp_mayans(ct, &item.1, &existing.1) {
+                ParamOrder::Ambiguous => {
+                    return Err(DispatchError::new(
+                        format!(
+                            "ambiguous Mayan dispatch: {} and {} are each more specific \
+                             on different arguments",
+                            item.1.name, existing.1.name
+                        ),
+                        span,
+                    ));
+                }
+                ParamOrder::More => {
+                    pos = k;
+                    break;
+                }
+                ParamOrder::Less => {}
+                ParamOrder::Equal => {
+                    // Lexical tie-breaking: later import (higher index)
+                    // comes first.
+                    if item.0 > existing.0 {
+                        pos = k;
+                        break;
+                    }
+                }
+            }
+        }
+        ordered.insert(pos, item);
+    }
+    Ok(ordered.into_iter().map(|(_, m, b)| (m, b)).collect())
+}
+
+/// Convenience: order and return the chain, mapping the common case of a
+/// one-element result.
+///
+/// # Errors
+///
+/// Same as [`order_applicable`].
+pub fn dispatch(
+    env: &DispatchEnv,
+    ct: &ClassTable,
+    prod: ProdId,
+    prod_desc: &str,
+    args: &[Node],
+    type_of: &mut TypeOf<'_>,
+    span: Span,
+) -> Result<Vec<(Rc<Mayan>, Bindings)>, DispatchError> {
+    order_applicable(env, ct, prod, prod_desc, args, type_of, span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EnvBuilder, Param, ParamSpec, Specializer};
+    use maya_ast::{ExprKind, Ident, MethodName, NodeKind};
+    use maya_lexer::sym;
+    use maya_types::ClassInfo;
+
+    fn types() -> (ClassTable, Type, Type) {
+        let ct = ClassTable::bootstrap();
+        let obj = ct.by_fqcn_str("java.lang.Object").unwrap();
+        let mut e = ClassInfo::new("java.util.Enumeration", true);
+        e.superclass = Some(obj);
+        let e = ct.declare(e).unwrap();
+        let mut v = ClassInfo::new("maya.util.Vector", false);
+        v.superclass = Some(obj);
+        let v = ct.declare(v).unwrap();
+        (ct, Type::Class(e), Type::Class(v))
+    }
+
+    fn mayan(name: &str, params: Vec<Param>) -> Rc<Mayan> {
+        Mayan::new(name, ProdId(0), params, Rc::new(|_, _| Ok(Node::Unit)))
+    }
+
+    fn env_with(mayans: Vec<Rc<Mayan>>) -> DispatchEnv {
+        let mut b: EnvBuilder = DispatchEnv::new().extend();
+        for m in mayans {
+            b.import(m);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn static_type_specializer_narrows() {
+        let (ct, enum_ty, _) = types();
+        let general = mayan("General", vec![Param::plain(NodeKind::Expression)]);
+        let specific = mayan(
+            "Specific",
+            vec![Param::plain(NodeKind::Expression)
+                .with_spec(Specializer::StaticType(enum_ty.clone()))],
+        );
+        let env = env_with(vec![specific.clone(), general.clone()]);
+        let arg = Node::from(Expr::name("x"));
+        // x : Enumeration → both apply, Specific first.
+        let enum_ty2 = enum_ty.clone();
+        let chain = order_applicable(
+            &env,
+            &ct,
+            ProdId(0),
+            "Expression → x",
+            std::slice::from_ref(&arg),
+            &mut |_e| Some(enum_ty2.clone()),
+            Span::DUMMY,
+        )
+        .unwrap();
+        assert_eq!(chain[0].0.name.as_str(), "Specific");
+        assert_eq!(chain[1].0.name.as_str(), "General");
+        // x : Object → only General applies.
+        let obj = Type::Class(ct.by_fqcn_str("java.lang.Object").unwrap());
+        let chain = order_applicable(
+            &env,
+            &ct,
+            ProdId(0),
+            "Expression → x",
+            std::slice::from_ref(&arg),
+            &mut |_e| Some(obj.clone()),
+            Span::DUMMY,
+        )
+        .unwrap();
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain[0].0.name.as_str(), "General");
+    }
+
+    #[test]
+    fn token_value_dispatch() {
+        let (ct, _, _) = types();
+        let foreach = mayan(
+            "Foreach",
+            vec![Param::plain(NodeKind::Identifier)
+                .with_spec(Specializer::TokenValue(sym("foreach")))],
+        );
+        let env = env_with(vec![foreach]);
+        let yes = Node::Ident(Ident::from_str("foreach"));
+        let no = Node::Ident(Ident::from_str("map"));
+        assert!(order_applicable(
+            &env, &ct, ProdId(0), "p", &[yes], &mut |_| None, Span::DUMMY
+        )
+        .is_ok());
+        assert!(order_applicable(
+            &env, &ct, ProdId(0), "p", &[no], &mut |_| None, Span::DUMMY
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn no_applicable_mayan_is_an_error() {
+        let (ct, _, _) = types();
+        let env = DispatchEnv::new();
+        let err = order_applicable(
+            &env,
+            &ct,
+            ProdId(9),
+            "Statement → MethodName (Formal) lazy-block",
+            &[Node::Unit],
+            &mut |_| None,
+            Span::DUMMY,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("no applicable Mayan"));
+    }
+
+    #[test]
+    fn symmetric_ambiguity_is_an_error() {
+        let (ct, enum_ty, vec_ty) = types();
+        // A is more specific on arg 0, B on arg 1 → ambiguous when both
+        // apply (paper: consistent with Java's static overloading).
+        let a = mayan(
+            "A",
+            vec![
+                Param::plain(NodeKind::Expression).with_spec(Specializer::StaticType(enum_ty.clone())),
+                Param::plain(NodeKind::Expression),
+            ],
+        );
+        let b = mayan(
+            "B",
+            vec![
+                Param::plain(NodeKind::Expression),
+                Param::plain(NodeKind::Expression).with_spec(Specializer::StaticType(vec_ty.clone())),
+            ],
+        );
+        let env = env_with(vec![a, b]);
+        let args = vec![Node::from(Expr::name("x")), Node::from(Expr::name("y"))];
+        let err = order_applicable(
+            &env,
+            &ct,
+            ProdId(0),
+            "p",
+            &args,
+            &mut |e| match &e.kind {
+                ExprKind::Name(i) if i.as_str() == "x" => Some(enum_ty.clone()),
+                _ => Some(vec_ty.clone()),
+            },
+            Span::DUMMY,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("ambiguous"), "{}", err.message);
+    }
+
+    #[test]
+    fn lexical_tie_breaking_later_import_wins() {
+        let (ct, _, _) = types();
+        let first = mayan("First", vec![Param::plain(NodeKind::Expression)]);
+        let second = mayan("Second", vec![Param::plain(NodeKind::Expression)]);
+        let env = env_with(vec![first, second]);
+        let arg = Node::from(Expr::name("x"));
+        let chain = order_applicable(
+            &env,
+            &ct,
+            ProdId(0),
+            "p",
+            std::slice::from_ref(&arg),
+            &mut |_| None,
+            Span::DUMMY,
+        )
+        .unwrap();
+        assert_eq!(chain[0].0.name.as_str(), "Second");
+        assert_eq!(chain[1].0.name.as_str(), "First");
+    }
+
+    #[test]
+    fn substructure_matching_with_destructor() {
+        let (ct, _, _) = types();
+        // Destructor for "MethodName → Expression . Identifier".
+        let mn_prod = ProdId(7);
+        let mut b = DispatchEnv::new().extend();
+        b.register_destructor(
+            mn_prod,
+            NodeKind::MethodName,
+            Rc::new(|n: &Node| match n {
+                Node::MethodName(mn) => mn.receiver.as_ref().map(|r| {
+                    vec![
+                        Node::Expr((**r).clone()),
+                        Node::Unit,
+                        Node::Ident(mn.name),
+                    ]
+                }),
+                _ => None,
+            }),
+        );
+        let with_recv = mayan(
+            "WithReceiver",
+            vec![Param {
+                kind: NodeKind::MethodName,
+                spec: Specializer::Structure {
+                    prod: mn_prod,
+                    children: vec![
+                        Param::named(NodeKind::Expression, sym("recv")),
+                        Param::plain(NodeKind::TokenNode),
+                        Param::plain(NodeKind::Identifier)
+                            .with_spec(Specializer::TokenValue(sym("foreach"))),
+                    ],
+                },
+                name: None,
+            }],
+        );
+        b.import(with_recv);
+        let env = b.finish();
+
+        let good = Node::MethodName(MethodName::with_receiver(
+            Expr::name("h"),
+            Ident::from_str("foreach"),
+        ));
+        let chain = order_applicable(
+            &env,
+            &ct,
+            ProdId(0),
+            "p",
+            std::slice::from_ref(&good),
+            &mut |_| None,
+            Span::DUMMY,
+        )
+        .unwrap();
+        // The receiver expression was bound through the substructure.
+        assert!(chain[0].1.get("recv").is_some());
+
+        // No receiver → destructor rejects → no applicable Mayan.
+        let bad = Node::MethodName(MethodName::simple(Ident::from_str("foreach")));
+        assert!(order_applicable(
+            &env, &ct, ProdId(0), "p", &[bad], &mut |_| None, Span::DUMMY
+        )
+        .is_err());
+
+        // Wrong name token → TokenValue rejects.
+        let wrong = Node::MethodName(MethodName::with_receiver(
+            Expr::name("h"),
+            Ident::from_str("map"),
+        ));
+        assert!(order_applicable(
+            &env, &ct, ProdId(0), "p", &[wrong], &mut |_| None, Span::DUMMY
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn paramspec_is_reusable() {
+        let spec = ParamSpec {
+            kind: NodeKind::Expression,
+            spec: Specializer::None,
+            name: Some(sym("e")),
+        };
+        assert_eq!(spec.kind, NodeKind::Expression);
+    }
+}

@@ -1,0 +1,174 @@
+//! The dispatch environment: which Mayans are imported, in what order.
+
+use crate::{DestructorFn, Mayan};
+use maya_ast::NodeKind;
+use maya_grammar::ProdId;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+#[derive(Default)]
+struct EnvData {
+    /// Mayans per production, in import order (later = higher priority at
+    /// equal specificity).
+    by_prod: HashMap<ProdId, Vec<Rc<Mayan>>>,
+    destructors: HashMap<ProdId, DestructorFn>,
+    /// The node kind a production's built-in action produces — refines the
+    /// LHS nonterminal for specificity (a `MethodInvocation` production has
+    /// LHS `Expression` but produces `CallExpr` nodes).
+    produced_kinds: HashMap<ProdId, NodeKind>,
+    version: u64,
+}
+
+impl Clone for EnvData {
+    fn clone(&self) -> EnvData {
+        EnvData {
+            by_prod: self.by_prod.clone(),
+            destructors: self.destructors.clone(),
+            produced_kinds: self.produced_kinds.clone(),
+            version: self.version,
+        }
+    }
+}
+
+/// A persistent snapshot of the Mayan-import environment.
+///
+/// Lexically scoped imports work by keeping the outer snapshot: importing
+/// produces a *new* environment, and leaving the scope restores the old
+/// handle. Cloning is cheap.
+#[derive(Clone, Default)]
+pub struct DispatchEnv {
+    inner: Rc<EnvData>,
+}
+
+impl DispatchEnv {
+    /// An empty environment.
+    pub fn new() -> DispatchEnv {
+        DispatchEnv::default()
+    }
+
+    /// Starts an extension of this snapshot.
+    pub fn extend(&self) -> EnvBuilder {
+        EnvBuilder {
+            data: (*self.inner).clone(),
+        }
+    }
+
+    /// The Mayans imported on a production, in import order.
+    pub fn mayans_for(&self, prod: ProdId) -> &[Rc<Mayan>] {
+        self.inner
+            .by_prod
+            .get(&prod)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The destructor for a production, if registered.
+    pub fn destructor(&self, prod: ProdId) -> Option<&DestructorFn> {
+        self.inner.destructors.get(&prod)
+    }
+
+    /// The node kind produced by a production's built-in action, if
+    /// registered.
+    pub fn produced_kind(&self, prod: ProdId) -> Option<NodeKind> {
+        self.inner.produced_kinds.get(&prod).copied()
+    }
+
+    /// Snapshot version.
+    pub fn version(&self) -> u64 {
+        self.inner.version
+    }
+
+    /// Total number of imported Mayans (diagnostics/benches).
+    pub fn mayan_count(&self) -> usize {
+        self.inner.by_prod.values().map(|v| v.len()).sum()
+    }
+
+    /// True when both handles are the same snapshot.
+    pub fn same_snapshot(&self, other: &DispatchEnv) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Debug for DispatchEnv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DispatchEnv")
+            .field("version", &self.inner.version)
+            .field("mayans", &self.mayan_count())
+            .finish()
+    }
+}
+
+/// Builds a new [`DispatchEnv`] snapshot.
+pub struct EnvBuilder {
+    data: EnvData,
+}
+
+impl EnvBuilder {
+    /// Imports a Mayan (appended: later imports win ties).
+    pub fn import(&mut self, mayan: Rc<Mayan>) -> &mut Self {
+        self.data.by_prod.entry(mayan.prod).or_default().push(mayan);
+        self
+    }
+
+    /// Registers a destructor for substructure matching, together with the
+    /// node kind the production produces.
+    pub fn register_destructor(
+        &mut self,
+        prod: ProdId,
+        produced: NodeKind,
+        f: DestructorFn,
+    ) -> &mut Self {
+        self.data.destructors.insert(prod, f);
+        self.data.produced_kinds.insert(prod, produced);
+        self
+    }
+
+    /// Finishes the snapshot.
+    pub fn finish(mut self) -> DispatchEnv {
+        self.data.version += 1;
+        DispatchEnv {
+            inner: Rc::new(self.data),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Param;
+    use maya_ast::{Node, NodeKind};
+
+    fn dummy_mayan(name: &str, prod: ProdId) -> Rc<Mayan> {
+        Mayan::new(
+            name,
+            prod,
+            vec![Param::plain(NodeKind::Statement)],
+            Rc::new(|_, _| Ok(Node::Unit)),
+        )
+    }
+
+    #[test]
+    fn scoped_snapshots() {
+        let outer = DispatchEnv::new();
+        let mut b = outer.extend();
+        b.import(dummy_mayan("A", ProdId(0)));
+        let inner = b.finish();
+        assert_eq!(outer.mayans_for(ProdId(0)).len(), 0);
+        assert_eq!(inner.mayans_for(ProdId(0)).len(), 1);
+        assert!(inner.version() > outer.version());
+        // Restoring the outer scope = dropping the inner handle.
+        assert_eq!(outer.mayan_count(), 0);
+    }
+
+    #[test]
+    fn import_order_is_preserved() {
+        let mut b = DispatchEnv::new().extend();
+        b.import(dummy_mayan("first", ProdId(1)));
+        b.import(dummy_mayan("second", ProdId(1)));
+        let env = b.finish();
+        let ms = env.mayans_for(ProdId(1));
+        assert_eq!(ms[0].name.as_str(), "first");
+        assert_eq!(ms[1].name.as_str(), "second");
+    }
+}

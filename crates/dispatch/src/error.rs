@@ -1,0 +1,35 @@
+//! Dispatch errors.
+
+use maya_lexer::Span;
+use std::fmt;
+
+/// An error raised during Mayan dispatch or expansion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DispatchError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl DispatchError {
+    /// Builds an error.
+    pub fn new(message: impl Into<String>, span: Span) -> DispatchError {
+        DispatchError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DispatchError {}
+
+impl From<maya_types::TypeError> for DispatchError {
+    fn from(e: maya_types::TypeError) -> DispatchError {
+        DispatchError::new(e.message, e.span)
+    }
+}

@@ -1,0 +1,36 @@
+//! Mayan dispatch (paper §4.4).
+//!
+//! Grammar productions are generic functions; Mayans are multimethods on
+//! them. Each time a production is reduced, the parser finds all Mayans
+//! applicable to the right-hand-side values and selects the most applicable
+//! one. Parameters are specialized on:
+//!
+//! * **AST node types** — the [`maya_ast::NodeKind`] lattice;
+//! * **static expression types** — compared by MayaJava subtyping, computed
+//!   on demand through the [`ExpandCtx`];
+//! * **token values** — how `foreach` dispatches without being reserved;
+//! * **syntactic substructure** — compared recursively (Figures 5 and 7).
+//!
+//! Specificity is *symmetric*: two Mayans each more specific on different
+//! arguments are ambiguous, and an error is signaled. Mayans that are
+//! equally specific are ordered by import: **later imports win** (lexical
+//! tie-breaking), which is how user Mayans override Maya's built-in
+//! semantic actions and how MultiJava transparently retranslates ordinary
+//! method declarations. `next_rewrite` invokes the next most applicable
+//! Mayan, like `super` calls in methods.
+//!
+//! Imports are lexically scoped: a [`DispatchEnv`] is a persistent
+//! snapshot, and restoring an outer scope is simply keeping the old handle
+//! (the same scheme as [`maya_grammar::Grammar`]).
+
+mod dispatch;
+mod env;
+mod error;
+mod mayan;
+mod pattern;
+
+pub use dispatch::{cmp_mayans, dispatch, order_applicable, ParamOrder, TypeOf};
+pub use env::{DispatchEnv, EnvBuilder};
+pub use error::DispatchError;
+pub use mayan::{Bindings, ExpandCtx, ImportEnv, Mayan, MayanBody, MetaProgram};
+pub use pattern::{params_from_pattern, DestructorFn, Param, ParamSpec, Specializer};

@@ -1,0 +1,181 @@
+//! Mayans, metaprograms, and the expansion context.
+
+use crate::{DispatchError, Param};
+use maya_ast::{Expr, Ident, Node, NodeKind};
+use maya_grammar::{Grammar, ProdId, RhsItem};
+use maya_lexer::Symbol;
+use maya_types::{ClassTable, Type};
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// The values a matched Mayan receives: the production's right-hand-side
+/// values positionally, plus every named parameter (including names bound
+/// inside substructure, like `enumExp` inside EForEach's `MethodName`).
+#[derive(Clone, Debug, Default)]
+pub struct Bindings {
+    pub args: Vec<Node>,
+    named: HashMap<Symbol, Node>,
+}
+
+impl Bindings {
+    /// Creates bindings from positional arguments.
+    pub fn new(args: Vec<Node>) -> Bindings {
+        Bindings {
+            args,
+            named: HashMap::new(),
+        }
+    }
+
+    /// Records a named binding.
+    pub fn bind(&mut self, name: Symbol, value: Node) {
+        self.named.insert(name, value);
+    }
+
+    /// A named binding.
+    pub fn get(&self, name: &str) -> Option<&Node> {
+        self.named.get(&maya_lexer::sym(name))
+    }
+
+    /// A named binding, as an expression.
+    pub fn expr(&self, name: &str) -> Option<Expr> {
+        self.get(name).cloned().and_then(Node::into_expr)
+    }
+
+    /// Number of named bindings.
+    pub fn named_len(&self) -> usize {
+        self.named.len()
+    }
+}
+
+/// Services available to an executing Mayan body.
+///
+/// The compiler (crate `maya-core`) implements this; `as_any` exposes
+/// compiler-specific services (templates, grammar extension) to built-in
+/// Mayans without a dependency cycle.
+pub trait ExpandCtx {
+    /// Invokes the next most applicable Mayan (paper §4.4's `nextRewrite`,
+    /// the analogue of `super` calls).
+    ///
+    /// # Errors
+    ///
+    /// Fails when no less-applicable Mayan remains.
+    fn next_rewrite(&mut self) -> Result<Node, DispatchError>;
+
+    /// Generates a fresh identifier containing `$` — guaranteed unique
+    /// within the compilation (paper §4.3, `Environment.makeId`).
+    fn make_id(&mut self, base: &str) -> Ident;
+
+    /// The static, source-level type of an expression under the scope at
+    /// the expansion site.
+    ///
+    /// # Errors
+    ///
+    /// Propagates type-checking failures.
+    fn static_type_of(&mut self, e: &Expr) -> Result<Type, DispatchError>;
+
+    /// The class table (reflection API root).
+    fn class_table(&self) -> Rc<ClassTable>;
+
+    /// Escape hatch to compiler-specific services.
+    fn as_any(&mut self) -> &mut dyn Any;
+}
+
+/// A Mayan body: compile-time code from bindings to an AST node.
+pub type MayanBody = Rc<dyn Fn(&Bindings, &mut dyn ExpandCtx) -> Result<Node, DispatchError>>;
+
+/// A semantic action (multimethod) on a production.
+#[derive(Clone)]
+pub struct Mayan {
+    pub name: Symbol,
+    pub prod: ProdId,
+    pub params: Vec<Param>,
+    pub body: MayanBody,
+}
+
+impl Mayan {
+    /// Builds a Mayan.
+    pub fn new(name: &str, prod: ProdId, params: Vec<Param>, body: MayanBody) -> Rc<Mayan> {
+        Rc::new(Mayan {
+            name: maya_lexer::sym(name),
+            prod,
+            params,
+            body,
+        })
+    }
+}
+
+impl fmt::Debug for Mayan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mayan")
+            .field("name", &self.name.as_str())
+            .field("prod", &self.prod.0)
+            .field("params", &self.params)
+            .finish()
+    }
+}
+
+/// The import-time environment a [`MetaProgram`] updates: add productions,
+/// import Mayans, register destructors.
+pub trait ImportEnv {
+    /// Adds (or finds) a production; new productions extend the grammar
+    /// snapshot for the current scope.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid productions.
+    fn add_production(&mut self, lhs: NodeKind, rhs: &[RhsItem]) -> Result<ProdId, DispatchError>;
+
+    /// Imports a Mayan at the current point (later imports override earlier
+    /// equally-specific ones).
+    fn import_mayan(&mut self, mayan: Rc<Mayan>);
+
+    /// Registers a destructor so substructure patterns can match nodes
+    /// built by `prod`, together with the node kind the production
+    /// produces.
+    fn register_destructor(&mut self, prod: ProdId, produced: NodeKind, f: crate::DestructorFn);
+
+    /// The current grammar snapshot.
+    fn grammar(&self) -> Grammar;
+
+    /// Escape hatch to compiler-specific services.
+    fn as_any(&mut self) -> &mut dyn Any;
+}
+
+/// A compiled extension: something that can be imported with `use`.
+///
+/// "A Mayan declaration … is compiled to a class that implements
+/// `MetaProgram`. An instance of the class is allocated when a Mayan is
+/// imported" (paper §3.3). Aggregates (like the whole `foreach` library)
+/// are simply `MetaProgram`s whose `run` imports each member in turn.
+pub trait MetaProgram {
+    /// Updates the environment: define productions, import Mayans.
+    ///
+    /// # Errors
+    ///
+    /// Propagates grammar and import failures.
+    fn run(&self, env: &mut dyn ImportEnv) -> Result<(), DispatchError>;
+
+    /// Display name for diagnostics.
+    fn name(&self) -> &str {
+        "<metaprogram>"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_lexer::sym;
+
+    #[test]
+    fn bindings() {
+        let mut b = Bindings::new(vec![Node::Unit]);
+        b.bind(sym("x"), Node::from(Expr::int(3)));
+        assert!(b.get("x").is_some());
+        assert!(b.get("y").is_none());
+        assert!(b.expr("x").is_some());
+        assert_eq!(b.args.len(), 1);
+        assert_eq!(b.named_len(), 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Mayan parameter patterns: specializers, substructure, and conversion
+//! from pattern-parser output (the structures of Figures 5 and 7).
+
+use crate::{DispatchEnv, DispatchError};
+use maya_ast::{Node, NodeKind};
+use maya_grammar::{Grammar, ProdId};
+use maya_lexer::{Span, Symbol, TokenKind};
+use maya_parser::trace::PatTree;
+use maya_types::Type;
+use std::rc::Rc;
+
+/// Deconstructs a node built by a specific production back into its
+/// right-hand-side values (aligned with the production's RHS; terminal
+/// positions may be `Node::Unit`). Returns `None` when the node does not
+/// have that production's shape.
+pub type DestructorFn = Rc<dyn Fn(&Node) -> Option<Vec<Node>>>;
+
+/// The secondary attribute of a Mayan parameter (paper §4.4).
+#[derive(Clone)]
+pub enum Specializer {
+    /// No specializer: applicable to any node of the parameter's kind.
+    None,
+    /// An exact token value (`foreach`).
+    TokenValue(Symbol),
+    /// A static expression type, compared by subtyping
+    /// (`Expression:Enumeration`).
+    StaticType(Type),
+    /// An exact type (class literal); compared by equality.
+    ExactType(Type),
+    /// Syntactic substructure: the argument must have been built by `prod`,
+    /// and its parts must match `children` recursively.
+    Structure {
+        prod: ProdId,
+        children: Vec<Param>,
+    },
+}
+
+impl std::fmt::Debug for Specializer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Specializer::None => f.write_str("None"),
+            Specializer::TokenValue(s) => write!(f, "TokenValue({s})"),
+            Specializer::StaticType(t) => write!(f, "StaticType({t})"),
+            Specializer::ExactType(t) => write!(f, "ExactType({t})"),
+            Specializer::Structure { prod, children } => f
+                .debug_struct("Structure")
+                .field("prod", &prod.0)
+                .field("children", children)
+                .finish(),
+        }
+    }
+}
+
+/// One Mayan formal parameter: a node kind, an optional secondary
+/// attribute, and an optional binding name.
+#[derive(Clone, Debug)]
+pub struct Param {
+    pub kind: NodeKind,
+    pub spec: Specializer,
+    pub name: Option<Symbol>,
+}
+
+impl Param {
+    /// An unspecialized parameter.
+    pub fn plain(kind: NodeKind) -> Param {
+        Param {
+            kind,
+            spec: Specializer::None,
+            name: None,
+        }
+    }
+
+    /// An unspecialized, named parameter.
+    pub fn named(kind: NodeKind, name: Symbol) -> Param {
+        Param {
+            kind,
+            spec: Specializer::None,
+            name: Some(name),
+        }
+    }
+
+    /// Adds a specializer, builder-style.
+    pub fn with_spec(mut self, spec: Specializer) -> Param {
+        self.spec = spec;
+        self
+    }
+}
+
+/// The declaration-side description of one *named* pattern symbol, used
+/// when converting pattern-parser output: `Expression:Enumeration enumExp`
+/// becomes `ParamSpec { kind: Expression, spec: StaticType(Enumeration),
+/// name: Some(enumExp) }`.
+#[derive(Clone, Debug)]
+pub struct ParamSpec {
+    pub kind: NodeKind,
+    pub spec: Specializer,
+    pub name: Option<Symbol>,
+}
+
+/// Converts the pattern parser's partial parse tree for a Mayan parameter
+/// list into the production it implements plus aligned parameters
+/// (Figure 5: the first argument's structure is *inferred* by parsing).
+///
+/// `leaf_specs[i]` describes the `i`-th nonterminal input symbol.
+///
+/// # Errors
+///
+/// Fails on malformed pattern trees (e.g. a parameter list that did not
+/// reduce a single production).
+pub fn params_from_pattern(
+    grammar: &Grammar,
+    env: &DispatchEnv,
+    pat: &PatTree,
+    leaf_specs: &[ParamSpec],
+) -> Result<(ProdId, Vec<Param>), DispatchError> {
+    match pat {
+        PatTree::Node {
+            prod, children, ..
+        } => {
+            let params = children
+                .iter()
+                .map(|c| convert(grammar, env, c, leaf_specs))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok((*prod, params))
+        }
+        other => Err(DispatchError::new(
+            format!(
+                "Mayan parameter list does not match a single production (got {other:?})"
+            ),
+            other.span(),
+        )),
+    }
+}
+
+fn convert(
+    grammar: &Grammar,
+    env: &DispatchEnv,
+    pat: &PatTree,
+    leaf_specs: &[ParamSpec],
+) -> Result<Param, DispatchError> {
+    match pat {
+        PatTree::Token(t) => Ok(Param {
+            kind: NodeKind::TokenNode,
+            // Literal identifiers in a parameter list are token-value
+            // specializers (this is `foreach`); punctuation is fixed by the
+            // grammar and matches trivially.
+            spec: if t.kind == TokenKind::Ident {
+                Specializer::TokenValue(t.text)
+            } else {
+                Specializer::None
+            },
+            name: None,
+        }),
+        PatTree::Leaf { index, span, .. } => {
+            let spec = leaf_specs.get(*index).ok_or_else(|| {
+                DispatchError::new(format!("no parameter spec for leaf #{index}"), *span)
+            })?;
+            Ok(Param {
+                kind: spec.kind,
+                spec: spec.spec.clone(),
+                name: spec.name,
+            })
+        }
+        PatTree::Node {
+            prod, children, ..
+        } => {
+            let lhs = grammar.production(*prod).lhs;
+            // The produced kind (registered with the destructor) refines
+            // the LHS nonterminal: this is why VForEach's receiver counts
+            // as CallExpr, not just Expression (Figure 7).
+            let kind = env
+                .produced_kind(*prod)
+                .or(grammar.nt_def(lhs).kind)
+                .unwrap_or(NodeKind::Top);
+            let children = children
+                .iter()
+                .map(|c| convert(grammar, env, c, leaf_specs))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Param {
+                kind,
+                spec: Specializer::Structure {
+                    prod: *prod,
+                    children,
+                },
+                name: None,
+            })
+        }
+        // An eager subtree in a pattern (`(Formal var)`): the argument value
+        // is the parsed content, so the parameter is the content's.
+        PatTree::Tree { content, .. } => convert(grammar, env, content, leaf_specs),
+        PatTree::RawTree(d, _) => Err(DispatchError::new(
+            "raw delimiter tree in a parameter pattern",
+            d.span(),
+        )),
+        PatTree::Marker => Err(DispatchError::new(
+            "internal marker in a parameter pattern",
+            Span::DUMMY,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_builders() {
+        let p = Param::named(NodeKind::Expression, maya_lexer::sym("x"))
+            .with_spec(Specializer::TokenValue(maya_lexer::sym("foreach")));
+        assert_eq!(p.kind, NodeKind::Expression);
+        assert!(matches!(p.spec, Specializer::TokenValue(_)));
+        assert_eq!(p.name.unwrap().as_str(), "x");
+    }
+}

@@ -1,0 +1,116 @@
+//! A small fixed-capacity bit set used for FIRST sets and lookaheads.
+
+/// A growable bit set over `u32` indices.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set.
+    pub fn new() -> BitSet {
+        BitSet::default()
+    }
+
+    /// An empty set with capacity for indices `< n` without reallocation.
+    pub fn with_capacity(n: usize) -> BitSet {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Inserts `i`; returns true if it was newly inserted.
+    pub fn insert(&mut self, i: u32) -> bool {
+        let (w, b) = (i as usize / 64, i as usize % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: u32) -> bool {
+        let (w, b) = (i as usize / 64, i as usize % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Unions `other` into `self`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (w, &o) in self.words.iter_mut().zip(other.words.iter()) {
+            let new = *w | o;
+            changed |= new != *w;
+            *w = new;
+        }
+        changed
+    }
+
+    /// Iterates set indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            (0..64)
+                .filter(move |b| word & (1u64 << b) != 0)
+                .map(move |b| (wi * 64 + b) as u32)
+        })
+    }
+
+    /// True when no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+impl FromIterator<u32> for BitSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> BitSet {
+        let mut s = BitSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut s = BitSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(100));
+        assert!(s.contains(3));
+        assert!(s.contains(100));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 100]);
+    }
+
+    #[test]
+    fn union() {
+        let a: BitSet = [1, 2, 3].into_iter().collect();
+        let mut b: BitSet = [3, 4].into_iter().collect();
+        assert!(b.union_with(&a));
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert!(!b.union_with(&a), "no change on re-union");
+    }
+
+    #[test]
+    fn capacity() {
+        let s = BitSet::with_capacity(130);
+        assert!(s.is_empty());
+        assert!(!s.contains(129));
+    }
+}

@@ -1,0 +1,99 @@
+//! Productions, semantic-action kinds, and precedence.
+
+use crate::{NtId, Sym};
+use maya_ast::NodeKind;
+
+/// Identifies a production. Stable across grammar extension: snapshots only
+/// append, so the Mayan dispatcher can key its method tables by `ProdId`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ProdId(pub u32);
+
+/// Operator associativity for precedence-based conflict resolution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Assoc {
+    Left,
+    Right,
+    /// Neither: a conflict at equal precedence is a syntax error.
+    NonAssoc,
+}
+
+/// Engine-level semantic actions for helper productions produced by
+/// lowering. These are not dispatchable: they are the plumbing under the
+/// paper's parameterized grammar symbols.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BuiltinAction {
+    /// Value of the production is the value of RHS element `i`.
+    PassThrough(usize),
+    /// Produce an empty `Node::List`.
+    EmptyList,
+    /// Produce a singleton `Node::List` from RHS element 0.
+    ListSingle,
+    /// Append the last RHS element to the list in element 0 (`with_sep`
+    /// indicates a separator token sits between them).
+    ListAppend { with_sep: bool },
+    /// Recursively parse the delimiter subtree in element 0 with `goal`.
+    ParseSubtree { goal: NtId },
+    /// Wrap the delimiter subtree in element 0 as an unforced lazy node
+    /// with goal nonterminal `goal` and node kind `kind`.
+    LazySubtree { goal: NtId, kind: NodeKind },
+    /// The `__Start → <goal-marker> G` production: value is element 1.
+    StartAccept,
+    /// Bundle all RHS values into a `Node::List` (anonymous sequence
+    /// nonterminals inside subtree patterns).
+    Bundle,
+}
+
+/// How a production computes its value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Action {
+    /// Dispatch to the most applicable Mayan (paper §4.4). All node-type
+    /// productions — built-in and user-defined — use this.
+    Dispatch,
+    /// An engine-level helper action.
+    Builtin(BuiltinAction),
+}
+
+/// A lowered production: `lhs → rhs`, with its action and precedence.
+#[derive(Clone, Debug)]
+pub struct Production {
+    pub lhs: NtId,
+    pub rhs: Vec<Sym>,
+    pub action: Action,
+    /// Explicit precedence (level, associativity). When absent, conflict
+    /// resolution falls back to the precedence of the last terminal in `rhs`.
+    pub prec: Option<(u16, Assoc)>,
+}
+
+impl Production {
+    /// The dedup signature: productions are identified by shape, so adding
+    /// an existing production returns the existing [`ProdId`] (paper §4.1:
+    /// "If the productions and actions already exist in the grammar, they
+    /// are not added again").
+    pub fn signature(&self) -> (NtId, &[Sym]) {
+        (self.lhs, &self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Terminal;
+    use maya_lexer::TokenKind;
+
+    #[test]
+    fn signature_ignores_action_and_prec() {
+        let a = Production {
+            lhs: NtId(1),
+            rhs: vec![Sym::T(Terminal::Tok(TokenKind::Semi))],
+            action: Action::Dispatch,
+            prec: None,
+        };
+        let b = Production {
+            lhs: NtId(1),
+            rhs: vec![Sym::T(Terminal::Tok(TokenKind::Semi))],
+            action: Action::Builtin(BuiltinAction::PassThrough(0)),
+            prec: Some((3, Assoc::Left)),
+        };
+        assert_eq!(a.signature(), b.signature());
+    }
+}

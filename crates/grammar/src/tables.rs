@@ -1,0 +1,206 @@
+//! LALR(1) parse tables.
+
+use crate::{BitSet, NtId, ProdId, Terminal};
+use maya_lexer::{Delim, Token, TokenKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense terminal id within one table set.
+pub type TermId = u32;
+
+/// A parse action.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ActionEntry {
+    Shift(u32),
+    Reduce(ProdId),
+    /// Reduction of an internal start production: parsing of the goal is
+    /// complete.
+    Accept,
+}
+
+/// An unresolved LALR(1) conflict. Maya rejects grammars containing these
+/// (paper §4.1).
+#[derive(Clone, Debug)]
+pub struct Conflict {
+    pub state: u32,
+    pub on: Terminal,
+    pub description: String,
+}
+
+impl fmt::Display for Conflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "state {} on {}: {}", self.state, self.on, self.description)
+    }
+}
+
+/// The generated tables: ACTION, GOTO, FIRST sets, and terminal interning.
+pub struct Tables {
+    pub(crate) n_states: u32,
+    pub(crate) action: HashMap<(u32, TermId), ActionEntry>,
+    pub(crate) goto_: HashMap<(u32, NtId), u32>,
+    pub(crate) terms: Vec<Terminal>,
+    pub(crate) term_ids: HashMap<Terminal, TermId>,
+    /// FIRST sets over terminal ids, per nonterminal.
+    pub(crate) first_nt: Vec<BitSet>,
+    pub(crate) nullable_nt: Vec<bool>,
+    /// States whose only possible move is one reduction: performed without
+    /// consulting the lookahead (like yacc default reductions). Needed for
+    /// productions followed by marker nonterminals with empty FIRST sets.
+    pub(crate) default_reduce: HashMap<u32, ProdId>,
+}
+
+impl Tables {
+    /// The initial state. The first input symbol must be the goal marker
+    /// ([`Tables::goal_term`]).
+    pub fn start_state(&self) -> u32 {
+        0
+    }
+
+    /// Number of LR states.
+    pub fn n_states(&self) -> u32 {
+        self.n_states
+    }
+
+    /// Number of distinct terminals.
+    pub fn n_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The id of a terminal in this table set.
+    pub fn term_id(&self, t: Terminal) -> Option<TermId> {
+        self.term_ids.get(&t).copied()
+    }
+
+    /// The terminal for an id.
+    pub fn term(&self, id: TermId) -> Terminal {
+        self.terms[id as usize]
+    }
+
+    /// The end-of-input terminal id for a parse with start symbol `nt`.
+    pub fn end_of(&self, nt: NtId) -> Option<TermId> {
+        self.term_id(Terminal::EndOf(nt))
+    }
+
+    /// The goal-marker terminal id for a startable nonterminal.
+    pub fn goal_term(&self, nt: NtId) -> Option<TermId> {
+        self.term_id(Terminal::Goal(nt))
+    }
+
+    /// The action for `(state, terminal id)`; falls back to the state's
+    /// default reduction.
+    pub fn action(&self, state: u32, t: TermId) -> Option<ActionEntry> {
+        self.action
+            .get(&(state, t))
+            .copied()
+            .or_else(|| self.default_reduce.get(&state).map(|p| ActionEntry::Reduce(*p)))
+    }
+
+    /// Resolves a concrete token to the terminal id the current state acts
+    /// on: a [`Terminal::Word`] entry for identifiers takes precedence over
+    /// the generic identifier terminal.
+    pub fn action_for_token(&self, state: u32, tok: &Token) -> Option<(TermId, ActionEntry)> {
+        if tok.kind == TokenKind::Ident {
+            if let Some(id) = self.term_id(Terminal::Word(tok.text)) {
+                if let Some(a) = self.action(state, id) {
+                    return Some((id, a));
+                }
+            }
+        }
+        let id = self.term_id(Terminal::Tok(tok.kind))?;
+        self.action(state, id).map(|a| (id, a))
+    }
+
+    /// The action for a delimiter subtree in `state`.
+    pub fn action_for_tree(&self, state: u32, delim: Delim) -> Option<(TermId, ActionEntry)> {
+        let id = self.term_id(Terminal::Tree(delim))?;
+        self.action(state, id).map(|a| (id, a))
+    }
+
+    /// The GOTO entry for `(state, nonterminal)`.
+    pub fn goto(&self, state: u32, nt: NtId) -> Option<u32> {
+        self.goto_.get(&(state, nt)).copied()
+    }
+
+    /// FIRST set (terminal ids) of a nonterminal.
+    pub fn first_of_nt(&self, nt: NtId) -> &BitSet {
+        &self.first_nt[nt.0 as usize]
+    }
+
+    /// Whether a nonterminal derives ε.
+    pub fn nullable(&self, nt: NtId) -> bool {
+        self.nullable_nt[nt.0 as usize]
+    }
+
+    /// Terminals with actions in `state` — for diagnostics.
+    pub fn expected_in(&self, state: u32) -> Vec<Terminal> {
+        let mut v: Vec<Terminal> = self
+            .action
+            .keys()
+            .filter(|(s, _)| *s == state)
+            .map(|(_, t)| self.terms[*t as usize])
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Total number of ACTION entries (table size metric for benches).
+    pub fn action_entries(&self) -> usize {
+        self.action.len()
+    }
+}
+
+impl fmt::Debug for Tables {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tables")
+            .field("states", &self.n_states)
+            .field("terminals", &self.terms.len())
+            .field("actions", &self.action.len())
+            .field("gotos", &self.goto_.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GrammarBuilder, NtId, RhsItem};
+    use maya_ast::NodeKind;
+    use maya_lexer::{sym, TokenKind};
+
+    #[test]
+    fn word_terminals_take_precedence_over_identifiers() {
+        let mut b = GrammarBuilder::new();
+        b.add_production(NodeKind::Statement, &[RhsItem::word("gizmo")], None)
+            .unwrap();
+        b.add_production(NodeKind::Statement, &[RhsItem::tok(TokenKind::Ident)], None)
+            .unwrap();
+        let g = b.finish();
+        let t = g.tables().unwrap();
+        let start = {
+            let nt = g.nt_for_kind(NodeKind::Statement).unwrap();
+            let gt = t.goal_term(nt).unwrap();
+            match t.action(t.start_state(), gt) {
+                Some(crate::ActionEntry::Shift(s)) => s,
+                other => panic!("expected shift, got {other:?}"),
+            }
+        };
+        let gizmo = maya_lexer::Token::synth(TokenKind::Ident, sym("gizmo"));
+        let plain = maya_lexer::Token::synth(TokenKind::Ident, sym("other"));
+        let (gid, _) = t.action_for_token(start, &gizmo).unwrap();
+        let (pid, _) = t.action_for_token(start, &plain).unwrap();
+        assert_ne!(gid, pid, "gizmo resolves to its Word terminal");
+    }
+
+    #[test]
+    fn expected_terminals_exclude_goal_markers() {
+        let mut b = GrammarBuilder::new();
+        b.add_production(NodeKind::Statement, &[RhsItem::tok(TokenKind::Semi)], None)
+            .unwrap();
+        let g = b.finish();
+        let t = g.tables().unwrap();
+        // Every nonterminal has an end terminal.
+        for i in 1..g.nt_count() {
+            assert!(t.end_of(NtId(i as u32)).is_some());
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests: grammar snapshots and LALR generation.
+
+use maya_ast::NodeKind;
+use maya_grammar::{Assoc, GrammarBuilder, RhsItem, Terminal};
+use maya_lexer::TokenKind;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn stratified_binary_grammars_are_always_lalr1(ops in proptest::sample::subsequence(
+        vec![TokenKind::Plus, TokenKind::Minus, TokenKind::Star, TokenKind::Slash,
+             TokenKind::Amp, TokenKind::Pipe, TokenKind::Caret, TokenKind::Lt],
+        1..8,
+    )) {
+        let mut b = GrammarBuilder::new();
+        for (i, op) in ops.iter().enumerate() {
+            b.set_prec(Terminal::Tok(*op), (i + 1) as u16, Assoc::Left);
+            b.add_production(
+                NodeKind::Expression,
+                &[
+                    RhsItem::Kind(NodeKind::Expression),
+                    RhsItem::tok(*op),
+                    RhsItem::Kind(NodeKind::Expression),
+                ],
+                None,
+            ).unwrap();
+        }
+        b.add_production(NodeKind::Expression, &[RhsItem::tok(TokenKind::IntLit)], None).unwrap();
+        let g = b.finish();
+        prop_assert!(g.tables().is_ok());
+    }
+
+    #[test]
+    fn extension_preserves_production_ids(extra in 1usize..6) {
+        let mut b = GrammarBuilder::new();
+        b.add_production(NodeKind::Statement, &[RhsItem::tok(TokenKind::Semi)], None).unwrap();
+        b.add_production(NodeKind::Statement, &[RhsItem::tok(TokenKind::KwBreak), RhsItem::tok(TokenKind::Semi)], None).unwrap();
+        let g1 = b.finish();
+        let mut ext = g1.extend();
+        for i in 0..extra {
+            ext.add_production(
+                NodeKind::Statement,
+                &[RhsItem::word(Box::leak(format!("w{i}").into_boxed_str())), RhsItem::tok(TokenKind::Semi)],
+                None,
+            ).unwrap();
+        }
+        let g2 = ext.finish();
+        // Old ids denote the same productions in the extension.
+        for i in 0..g1.productions().len() {
+            let id = maya_grammar::ProdId(i as u32);
+            prop_assert_eq!(
+                g1.production(id).rhs.clone(),
+                g2.production(id).rhs.clone()
+            );
+        }
+        prop_assert_eq!(g2.productions().len(), g1.productions().len() + extra);
+    }
+
+    #[test]
+    fn duplicate_productions_dedup(n in 1usize..10) {
+        let mut b = GrammarBuilder::new();
+        let mut ids = vec![];
+        for _ in 0..n {
+            ids.push(b.add_production(NodeKind::Statement, &[RhsItem::tok(TokenKind::Semi)], None).unwrap());
+        }
+        prop_assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        prop_assert_eq!(b.finish().productions().len(), 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! Runtime errors.
+
+use maya_lexer::Span;
+use std::fmt;
+
+/// An internal runtime failure (distinct from MayaJava exceptions, which
+/// are `Control::Throw` values).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuntimeError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl RuntimeError {
+    /// Builds an error.
+    pub fn new(message: impl Into<String>, span: Span) -> RuntimeError {
+        RuntimeError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for RuntimeError {}

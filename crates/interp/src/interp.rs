@@ -1,0 +1,1396 @@
+//! The evaluator.
+
+use crate::{NativeFn, Obj, RuntimeError, Value};
+use maya_ast::{
+    BinOp, Expr, ExprKind, ForInit, IncDecOp, LazyNode, Lit, MethodName, Node, Stmt, StmtKind,
+    TypeName, UnOp,
+};
+use maya_lexer::{sym, Span, Symbol};
+use maya_types::{ClassId, ClassTable, CtorInfo, MethodInfo, ResolveCtx, Type};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// Non-local control flow during evaluation.
+#[derive(Clone, Debug)]
+pub enum Control {
+    Return(Value),
+    Break,
+    Continue,
+    /// A MayaJava exception value in flight.
+    Throw(Value),
+    /// An internal failure (bad program state, missing native, …).
+    Error(RuntimeError),
+}
+
+impl Control {
+    /// Builds an internal error.
+    pub fn error(msg: impl Into<String>, span: Span) -> Control {
+        Control::Error(RuntimeError::new(msg, span))
+    }
+}
+
+/// The standard evaluation result.
+pub type Eval = Result<Value, Control>;
+
+/// One activation record.
+#[derive(Default)]
+pub struct Frame {
+    scopes: Vec<HashMap<Symbol, Value>>,
+    pub this: Option<Value>,
+    pub class: Option<ClassId>,
+}
+
+impl Frame {
+    /// A frame with one empty scope.
+    pub fn new() -> Frame {
+        Frame {
+            scopes: vec![HashMap::new()],
+            this: None,
+            class: None,
+        }
+    }
+
+    fn push(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop(&mut self) {
+        self.scopes.pop();
+    }
+
+    /// Declares a local in the innermost scope.
+    pub fn declare(&mut self, name: Symbol, v: Value) {
+        self.scopes
+            .last_mut()
+            .expect("frame has a scope")
+            .insert(name, v);
+    }
+
+    fn lookup(&self, name: Symbol) -> Option<&Value> {
+        self.scopes.iter().rev().find_map(|s| s.get(&name))
+    }
+
+    /// Public lookup (used by the `maya.tree` bridge to resolve template
+    /// slot names against the metaprogram frame).
+    pub fn get_local(&self, name: Symbol) -> Option<Value> {
+        self.lookup(name).cloned()
+    }
+
+    fn assign(&mut self, name: Symbol, v: Value) -> bool {
+        for s in self.scopes.iter_mut().rev() {
+            if let Some(slot) = s.get_mut(&name) {
+                *slot = v;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The interpreter. All evaluation methods take `&self`; mutable state is
+/// interior.
+pub struct Interp {
+    pub ct: Rc<ClassTable>,
+    natives: RefCell<HashMap<Symbol, NativeFn>>,
+    statics: RefCell<HashMap<(ClassId, Symbol), Value>>,
+    initializing: RefCell<HashSet<ClassId>>,
+    initialized: RefCell<HashSet<ClassId>>,
+    /// Captured program output (`System.out` / `System.err`).
+    pub out: RefCell<String>,
+    /// Echo output to the real stdout as well.
+    pub echo: bool,
+    class_ctx: RefCell<HashMap<ClassId, ResolveCtx>>,
+    default_ctx: RefCell<ResolveCtx>,
+    /// Hook used by the compiler to parse/check lazy bodies on first call.
+    forcer: RefCell<Option<Rc<dyn Fn(&Interp, &LazyNode, ClassId) -> Result<(), RuntimeError>>>>,
+    /// Hook used by the compiler to evaluate template (quasiquote)
+    /// expressions inside metaprogram bodies.
+    template_hook:
+        RefCell<Option<Rc<dyn Fn(&Interp, &maya_ast::TemplateLit, &mut Frame) -> Eval>>>,
+    /// Call-depth guard.
+    depth: RefCell<u32>,
+}
+
+impl Interp {
+    /// Creates an interpreter over a class table (runtime library must have
+    /// been installed with [`crate::install_runtime`]).
+    pub fn new(ct: Rc<ClassTable>) -> Interp {
+        let i = Interp {
+            ct,
+            natives: RefCell::new(HashMap::new()),
+            statics: RefCell::new(HashMap::new()),
+            initializing: RefCell::new(HashSet::new()),
+            initialized: RefCell::new(HashSet::new()),
+            out: RefCell::new(String::new()),
+            echo: false,
+            class_ctx: RefCell::new(HashMap::new()),
+            default_ctx: RefCell::new(ResolveCtx::default()),
+            forcer: RefCell::new(None),
+            template_hook: RefCell::new(None),
+            depth: RefCell::new(0),
+        };
+        crate::runtime::register_natives(&i);
+        i
+    }
+
+    /// Registers a native method implementation.
+    pub fn register_native(&self, key: &str, f: NativeFn) {
+        self.natives.borrow_mut().insert(sym(key), f);
+    }
+
+    /// Installs the lazy-body forcer.
+    pub fn set_forcer(&self, f: Rc<dyn Fn(&Interp, &LazyNode, ClassId) -> Result<(), RuntimeError>>) {
+        *self.forcer.borrow_mut() = Some(f);
+    }
+
+    /// Installs the template-expression evaluator (the `maya.tree` bridge).
+    pub fn set_template_hook(
+        &self,
+        f: Rc<dyn Fn(&Interp, &maya_ast::TemplateLit, &mut Frame) -> Eval>,
+    ) {
+        *self.template_hook.borrow_mut() = Some(f);
+    }
+
+    /// Records the lexical resolution context for a class's code.
+    pub fn set_class_ctx(&self, class: ClassId, ctx: ResolveCtx) {
+        self.class_ctx.borrow_mut().insert(class, ctx);
+    }
+
+    /// Sets the fallback resolution context.
+    pub fn set_default_ctx(&self, ctx: ResolveCtx) {
+        *self.default_ctx.borrow_mut() = ctx;
+    }
+
+    /// Appends to captured output.
+    pub fn write_out(&self, s: &str) {
+        self.out.borrow_mut().push_str(s);
+        if self.echo {
+            print!("{s}");
+        }
+    }
+
+    /// Takes the captured output.
+    pub fn take_output(&self) -> String {
+        std::mem::take(&mut self.out.borrow_mut())
+    }
+
+    fn ctx_for(&self, class: Option<ClassId>) -> ResolveCtx {
+        class
+            .and_then(|c| self.class_ctx.borrow().get(&c).cloned())
+            .unwrap_or_else(|| self.default_ctx.borrow().clone())
+    }
+
+    /// Renders a value the way Java string conversion would.
+    pub fn display(&self, v: &Value) -> String {
+        match v {
+            Value::Null => "null".into(),
+            Value::Bool(b) => b.to_string(),
+            Value::Char(c) => c.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Long(l) => l.to_string(),
+            Value::Float(f) => f.to_string(),
+            Value::Double(d) => d.to_string(),
+            Value::Str(s) => s.to_string(),
+            Value::Object(_) | Value::Native(_) => {
+                // Try a toString override (the Object default never calls
+                // back into display()).
+                match self.invoke_by_name(v.clone(), sym("toString"), vec![], Span::DUMMY) {
+                    Ok(Value::Str(s)) => s.to_string(),
+                    _ => match v {
+                        Value::Native(n) => n.display(),
+                        Value::Object(o) => {
+                            format!("{}@obj", self.ct.fqcn(o.class))
+                        }
+                        _ => unreachable!(),
+                    },
+                }
+            }
+            Value::Array(a) => format!("<array[{}]>", a.data.borrow().len()),
+            Value::ClassRef(c) => format!("class {}", self.ct.fqcn(*c)),
+        }
+    }
+
+    // ---- class initialization ---------------------------------------------
+
+    fn ensure_init(&self, class: ClassId) -> Result<(), Control> {
+        if self.initialized.borrow().contains(&class)
+            || self.initializing.borrow().contains(&class)
+        {
+            return Ok(());
+        }
+        self.initializing.borrow_mut().insert(class);
+        let info = self.ct.info(class);
+        let (sup, static_fields): (Option<ClassId>, Vec<(Symbol, Option<Expr>, Type)>) = {
+            let info = info.borrow();
+            (
+                info.superclass,
+                info.fields
+                    .iter()
+                    .filter(|f| f.modifiers.is_static())
+                    .map(|f| (f.name, f.init.clone(), f.ty.clone()))
+                    .collect(),
+            )
+        };
+        if let Some(s) = sup {
+            self.ensure_init(s)?;
+        }
+        for (name, init, ty) in static_fields {
+            let v = match init {
+                Some(e) => {
+                    let mut frame = Frame::new();
+                    frame.class = Some(class);
+                    self.eval(&e, &mut frame)?
+                }
+                None => Value::default_for(&ty),
+            };
+            self.statics.borrow_mut().insert((class, name), v);
+        }
+        self.initializing.borrow_mut().remove(&class);
+        self.initialized.borrow_mut().insert(class);
+        Ok(())
+    }
+
+    /// Reads a static field (initializing the class first).
+    pub fn static_field(&self, class: ClassId, name: Symbol) -> Eval {
+        self.ensure_init(class)?;
+        // Walk up the hierarchy for inherited statics.
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            if let Some(v) = self.statics.borrow().get(&(c, name)) {
+                return Ok(v.clone());
+            }
+            cur = self.ct.info(c).borrow().superclass;
+        }
+        Err(Control::error(
+            format!("uninitialized static {}.{}", self.ct.fqcn(class), name),
+            Span::DUMMY,
+        ))
+    }
+
+    /// Writes a static field.
+    pub fn set_static_field(&self, class: ClassId, name: Symbol, v: Value) -> Result<(), Control> {
+        self.ensure_init(class)?;
+        self.statics.borrow_mut().insert((class, name), v);
+        Ok(())
+    }
+
+    // ---- invocation ---------------------------------------------------------
+
+    /// Invokes the best matching method named `name` on `recv` with `args`
+    /// (virtual dispatch on the receiver's dynamic class).
+    pub fn invoke_by_name(&self, recv: Value, name: Symbol, args: Vec<Value>, span: Span) -> Eval {
+        let class = recv.class_of(&self.ct).ok_or_else(|| {
+            Control::error(
+                format!("cannot invoke {name} on {:?}", recv),
+                span,
+            )
+        })?;
+        let m = self.select_method(class, name, &args, span)?;
+        self.invoke(Some(recv), class, &m, args, span)
+    }
+
+    /// Invokes a static method of a class.
+    pub fn invoke_static(&self, class: ClassId, name: Symbol, args: Vec<Value>, span: Span) -> Eval {
+        self.ensure_init(class)?;
+        let m = self.select_method(class, name, &args, span)?;
+        self.invoke(None, class, &m, args, span)
+    }
+
+    fn select_method(
+        &self,
+        class: ClassId,
+        name: Symbol,
+        args: &[Value],
+        span: Span,
+    ) -> Result<MethodInfo, Control> {
+        let candidates = self.ct.methods_named(class, name);
+        let arg_types: Vec<Type> = args.iter().map(|a| a.runtime_type(&self.ct)).collect();
+        let applicable: Vec<&(ClassId, MethodInfo)> = candidates
+            .iter()
+            .filter(|(_, m)| {
+                m.params.len() == args.len()
+                    && m.params
+                        .iter()
+                        .zip(&arg_types)
+                        .all(|(p, a)| self.ct.is_assignable(a, p))
+            })
+            .collect();
+        // Most specific by pointwise assignability; falls back to the first
+        // applicable (the checker already validated the static call).
+        let best = applicable
+            .iter()
+            .find(|m| {
+                applicable.iter().all(|n| {
+                    m.1.params
+                        .iter()
+                        .zip(&n.1.params)
+                        .all(|(a, b)| self.ct.is_assignable(a, b))
+                })
+            })
+            .or_else(|| applicable.first());
+        match best {
+            Some((_, m)) => Ok(m.clone()),
+            None => Err(Control::error(
+                format!(
+                    "no applicable method {}.{}({:?})",
+                    self.ct.fqcn(class),
+                    name,
+                    arg_types.iter().map(|t| self.ct.describe(t)).collect::<Vec<_>>()
+                ),
+                span,
+            )),
+        }
+    }
+
+    /// Invokes a resolved method.
+    pub fn invoke(
+        &self,
+        recv: Option<Value>,
+        class: ClassId,
+        m: &MethodInfo,
+        args: Vec<Value>,
+        span: Span,
+    ) -> Eval {
+        {
+            let mut d = self.depth.borrow_mut();
+            *d += 1;
+            // Conservative: each interpreted frame uses many host frames,
+            // and debug builds have large frames.
+            if *d > 128 {
+                *d -= 1;
+                return Err(Control::error("stack overflow (call depth > 128)", span));
+            }
+        }
+        let result = self.invoke_inner(recv, class, m, args, span);
+        *self.depth.borrow_mut() -= 1;
+        result
+    }
+
+    fn invoke_inner(
+        &self,
+        recv: Option<Value>,
+        class: ClassId,
+        m: &MethodInfo,
+        args: Vec<Value>,
+        span: Span,
+    ) -> Eval {
+        if let Some(key) = m.native {
+            let f = self.natives.borrow().get(&key).cloned();
+            let f = f.ok_or_else(|| {
+                Control::error(format!("missing native implementation {key}"), span)
+            })?;
+            return f(self, recv.unwrap_or(Value::Null), args);
+        }
+        let Some(body) = &m.body else {
+            return Err(Control::error(
+                format!("abstract method {} called", m.name),
+                span,
+            ));
+        };
+        self.force_body(body, class, span)?;
+        let node = body.forced_node().ok_or_else(|| {
+            Control::error("internal error: body not forced", span)
+        })?;
+        let mut frame = Frame::new();
+        frame.class = Some(class);
+        frame.this = recv;
+        for (name, v) in m.param_names.iter().zip(args) {
+            frame.declare(*name, v);
+        }
+        match self.exec_node(&node, &mut frame) {
+            Ok(()) => Ok(Value::Null), // void fall-through
+            Err(Control::Return(v)) => Ok(v),
+            Err(other) => Err(other),
+        }
+    }
+
+    fn force_body(&self, body: &LazyNode, class: ClassId, span: Span) -> Result<(), Control> {
+        if body.is_forced() {
+            return Ok(());
+        }
+        let f = self.forcer.borrow().clone();
+        match f {
+            Some(f) => f(self, body, class).map_err(Control::Error),
+            None => Err(Control::error(
+                "method body is unforced and no forcer is installed",
+                span,
+            )),
+        }
+    }
+
+    /// Constructs an instance of `class` with constructor `args`.
+    pub fn construct(&self, class: ClassId, args: Vec<Value>, span: Span) -> Eval {
+        self.ensure_init(class)?;
+        // Native classes construct through a native ctor.
+        let ctors = self.ct.ctors(class);
+        let arg_types: Vec<Type> = args.iter().map(|a| a.runtime_type(&self.ct)).collect();
+        let ctor: Option<CtorInfo> = ctors
+            .iter()
+            .find(|c| {
+                c.params.len() == args.len()
+                    && c.params
+                        .iter()
+                        .zip(&arg_types)
+                        .all(|(p, a)| self.ct.is_assignable(a, p))
+            })
+            .cloned();
+        if let Some(c) = &ctor {
+            if let Some(key) = c.native {
+                let f = self.natives.borrow().get(&key).cloned().ok_or_else(|| {
+                    Control::error(format!("missing native constructor {key}"), span)
+                })?;
+                return f(self, Value::Null, args);
+            }
+        } else if !ctors.is_empty() || !args.is_empty() {
+            return Err(Control::error(
+                format!("no applicable constructor for {}", self.ct.fqcn(class)),
+                span,
+            ));
+        }
+
+        let obj = Rc::new(Obj {
+            class,
+            fields: RefCell::new(HashMap::new()),
+        });
+        let this = Value::Object(obj.clone());
+        self.init_fields(class, &this)?;
+        if let Some(c) = ctor {
+            if let Some(body) = &c.body {
+                self.force_body(body, class, span)?;
+                let node = body
+                    .forced_node()
+                    .ok_or_else(|| Control::error("ctor body not forced", span))?;
+                let mut frame = Frame::new();
+                frame.class = Some(class);
+                frame.this = Some(this.clone());
+                for (name, v) in c.param_names.iter().zip(args) {
+                    frame.declare(*name, v);
+                }
+                match self.exec_node(&node, &mut frame) {
+                    Ok(()) | Err(Control::Return(_)) => {}
+                    Err(other) => return Err(other),
+                }
+            }
+        }
+        Ok(this)
+    }
+
+    /// Runs instance field initializers (supers first).
+    fn init_fields(&self, class: ClassId, this: &Value) -> Result<(), Control> {
+        let info = self.ct.info(class);
+        let (sup, fields): (Option<ClassId>, Vec<(Symbol, Option<Expr>, Type)>) = {
+            let info = info.borrow();
+            (
+                info.superclass,
+                info.fields
+                    .iter()
+                    .filter(|f| !f.modifiers.is_static())
+                    .map(|f| (f.name, f.init.clone(), f.ty.clone()))
+                    .collect(),
+            )
+        };
+        if let Some(s) = sup {
+            self.init_fields(s, this)?;
+        }
+        let Value::Object(obj) = this else {
+            return Ok(());
+        };
+        for (name, init, ty) in fields {
+            let v = match init {
+                Some(e) => {
+                    let mut frame = Frame::new();
+                    frame.class = Some(class);
+                    frame.this = Some(this.clone());
+                    self.eval(&e, &mut frame)?
+                }
+                None => Value::default_for(&ty),
+            };
+            obj.fields.borrow_mut().insert(name, v);
+        }
+        Ok(())
+    }
+
+    /// Convenience: run `ClassName.main()` (no-arg static) and return the
+    /// captured output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime failures and uncaught exceptions.
+    pub fn run_main(&self, class_fqcn: &str) -> Result<String, RuntimeError> {
+        let class = self.ct.by_fqcn_str(class_fqcn).ok_or_else(|| {
+            RuntimeError::new(format!("unknown class {class_fqcn}"), Span::DUMMY)
+        })?;
+        match self.invoke_static(class, sym("main"), vec![], Span::DUMMY) {
+            Ok(_) => Ok(self.take_output()),
+            Err(Control::Throw(v)) => Err(RuntimeError::new(
+                format!("uncaught exception: {}", self.display(&v)),
+                Span::DUMMY,
+            )),
+            Err(Control::Error(e)) => Err(e),
+            Err(other) => Err(RuntimeError::new(
+                format!("abnormal completion: {other:?}"),
+                Span::DUMMY,
+            )),
+        }
+    }
+
+    // ---- statements ---------------------------------------------------------
+
+    /// Executes a node (block, statement, or expression).
+    pub fn exec_node(&self, node: &Node, frame: &mut Frame) -> Result<(), Control> {
+        match node {
+            Node::Block(b) => {
+                for s in &b.stmts {
+                    self.exec(s, frame)?;
+                }
+                Ok(())
+            }
+            Node::Stmt(s) => self.exec(s, frame),
+            Node::Expr(e) => self.eval(e, frame).map(|_| ()),
+            Node::Unit => Ok(()),
+            other => Err(Control::error(
+                format!("cannot execute node {:?}", other.node_kind()),
+                Span::DUMMY,
+            )),
+        }
+    }
+
+    /// Executes one statement.
+    pub fn exec(&self, s: &Stmt, frame: &mut Frame) -> Result<(), Control> {
+        match &s.kind {
+            StmtKind::Block(b) => {
+                frame.push();
+                let r = (|| {
+                    for s in &b.stmts {
+                        self.exec(s, frame)?;
+                    }
+                    Ok(())
+                })();
+                frame.pop();
+                r
+            }
+            StmtKind::Expr(e) => self.eval(e, frame).map(|_| ()),
+            StmtKind::Decl(tn, decls) => {
+                let base = self.resolve_type(tn, frame, s.span)?;
+                for d in decls {
+                    let mut ty = base.clone();
+                    for _ in 0..d.dims {
+                        ty = ty.array_of();
+                    }
+                    let v = match &d.init {
+                        Some(e) => self.eval(e, frame)?,
+                        None => Value::default_for(&ty),
+                    };
+                    frame.declare(d.name.sym, v);
+                }
+                Ok(())
+            }
+            StmtKind::If(c, t, f) => {
+                if self.truthy(c, frame)? {
+                    self.exec(t, frame)
+                } else if let Some(f) = f {
+                    self.exec(f, frame)
+                } else {
+                    Ok(())
+                }
+            }
+            StmtKind::While(c, body) => {
+                while self.truthy(c, frame)? {
+                    match self.exec(body, frame) {
+                        Ok(()) | Err(Control::Continue) => {}
+                        Err(Control::Break) => break,
+                        Err(other) => return Err(other),
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::Do(body, c) => {
+                loop {
+                    match self.exec(body, frame) {
+                        Ok(()) | Err(Control::Continue) => {}
+                        Err(Control::Break) => break,
+                        Err(other) => return Err(other),
+                    }
+                    if !self.truthy(c, frame)? {
+                        break;
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
+                frame.push();
+                let r = (|| {
+                    match init {
+                        ForInit::None => {}
+                        ForInit::Decl(tn, decls) => {
+                            let stmt = Stmt::synth(StmtKind::Decl(tn.clone(), decls.clone()));
+                            self.exec(&stmt, frame)?;
+                        }
+                        ForInit::Exprs(es) => {
+                            for e in es {
+                                self.eval(e, frame)?;
+                            }
+                        }
+                    }
+                    loop {
+                        if let Some(c) = cond {
+                            if !self.truthy(c, frame)? {
+                                break;
+                            }
+                        }
+                        match self.exec(body, frame) {
+                            Ok(()) | Err(Control::Continue) => {}
+                            Err(Control::Break) => break,
+                            Err(other) => return Err(other),
+                        }
+                        for u in update {
+                            self.eval(u, frame)?;
+                        }
+                    }
+                    Ok(())
+                })();
+                frame.pop();
+                r
+            }
+            StmtKind::Return(v) => {
+                let value = match v {
+                    Some(e) => self.eval(e, frame)?,
+                    None => Value::Null,
+                };
+                Err(Control::Return(value))
+            }
+            StmtKind::Break => Err(Control::Break),
+            StmtKind::Continue => Err(Control::Continue),
+            StmtKind::Throw(e) => {
+                let v = self.eval(e, frame)?;
+                Err(Control::Throw(v))
+            }
+            StmtKind::Try {
+                body,
+                catches,
+                finally,
+            } => {
+                frame.push();
+                let mut result = (|| {
+                    for s in &body.stmts {
+                        self.exec(s, frame)?;
+                    }
+                    Ok(())
+                })();
+                frame.pop();
+                if let Err(Control::Throw(exc)) = &result {
+                    let exc = exc.clone();
+                    let exc_class = exc.class_of(&self.ct);
+                    for c in catches {
+                        let catch_ty = self.resolve_type(&c.param.ty, frame, s.span)?;
+                        let matches = match (&catch_ty, exc_class) {
+                            (Type::Class(want), Some(have)) => {
+                                self.ct.is_subclass_or_eq(have, *want)
+                            }
+                            _ => false,
+                        };
+                        if matches {
+                            frame.push();
+                            frame.declare(c.param.name.sym, exc);
+                            result = (|| {
+                                for s in &c.body.stmts {
+                                    self.exec(s, frame)?;
+                                }
+                                Ok(())
+                            })();
+                            frame.pop();
+                            break;
+                        }
+                    }
+                }
+                if let Some(fin) = finally {
+                    frame.push();
+                    let fin_result = (|| {
+                        for s in &fin.stmts {
+                            self.exec(s, frame)?;
+                        }
+                        Ok(())
+                    })();
+                    frame.pop();
+                    fin_result?;
+                }
+                result
+            }
+            StmtKind::Use(_, body) => {
+                // Imports are compile-time; at runtime only the scoped
+                // statements remain.
+                frame.push();
+                let r = (|| {
+                    for s in &body.stmts {
+                        self.exec(s, frame)?;
+                    }
+                    Ok(())
+                })();
+                frame.pop();
+                r
+            }
+            StmtKind::Empty => Ok(()),
+            StmtKind::Lazy(l) => {
+                if !l.is_forced() {
+                    let class = frame.class.ok_or_else(|| {
+                        Control::error("lazy statement outside a class context", s.span)
+                    })?;
+                    self.force_body(l, class, s.span)?;
+                }
+                let node = l
+                    .forced_node()
+                    .ok_or_else(|| Control::error("lazy statement not forced", s.span))?;
+                self.exec_node(&node, frame)
+            }
+        }
+    }
+
+    fn truthy(&self, e: &Expr, frame: &mut Frame) -> Result<bool, Control> {
+        match self.eval(e, frame)? {
+            Value::Bool(b) => Ok(b),
+            other => Err(Control::error(
+                format!("condition evaluated to non-boolean {other:?}"),
+                e.span,
+            )),
+        }
+    }
+
+    fn resolve_type(&self, tn: &TypeName, frame: &Frame, span: Span) -> Result<Type, Control> {
+        let ctx = self.ctx_for(frame.class);
+        self.ct
+            .resolve_type_name(tn, &ctx)
+            .map_err(|e| Control::error(e.message, span))
+    }
+
+    // ---- expressions --------------------------------------------------------
+
+    /// Evaluates an expression.
+    pub fn eval(&self, e: &Expr, frame: &mut Frame) -> Eval {
+        match &e.kind {
+            ExprKind::Literal(l) => Ok(self.lit(l)),
+            ExprKind::Name(id) => self.eval_name(id.sym, frame, e.span),
+            ExprKind::VarRef(name) => self.eval_name(*name, frame, e.span),
+            ExprKind::ClassRef(fqcn) => {
+                let c = self.ct.by_fqcn(*fqcn).ok_or_else(|| {
+                    Control::error(format!("unknown class {fqcn}"), e.span)
+                })?;
+                Ok(Value::ClassRef(c))
+            }
+            ExprKind::FieldAccess(target, name) => {
+                let t = self.eval(target, frame)?;
+                self.field_of(t, name.sym, e.span)
+            }
+            ExprKind::Call(mn, args) => self.eval_call(mn, args, frame, e.span),
+            ExprKind::ArrayAccess(a, i) => {
+                let arr = self.eval(a, frame)?;
+                let idx = self.int_of(self.eval(i, frame)?, i.span)?;
+                match arr {
+                    Value::Array(a) => {
+                        let data = a.data.borrow();
+                        data.get(idx as usize).cloned().ok_or_else(|| {
+                            self.throw_simple("java.lang.ArrayIndexOutOfBoundsException", e.span)
+                        })
+                    }
+                    Value::Null => Err(self.throw_simple("java.lang.NullPointerException", e.span)),
+                    other => Err(Control::error(format!("not an array: {other:?}"), e.span)),
+                }
+            }
+            ExprKind::New(tn, args) => {
+                let ty = self.resolve_type(tn, frame, e.span)?;
+                let Type::Class(c) = ty else {
+                    return Err(Control::error("cannot instantiate non-class", e.span));
+                };
+                let vals = args
+                    .iter()
+                    .map(|a| self.eval(a, frame))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.construct(c, vals, e.span)
+            }
+            ExprKind::NewArray {
+                elem,
+                dims,
+                extra_dims,
+            } => {
+                let base = self.resolve_type(elem, frame, e.span)?;
+                let mut elem_ty = base;
+                for _ in 0..*extra_dims {
+                    elem_ty = elem_ty.array_of();
+                }
+                let sizes = dims
+                    .iter()
+                    .map(|d| {
+                        let v = self.eval(d, frame)?;
+                        self.int_of(v, d.span)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.alloc_array(&elem_ty, &sizes, e.span)
+            }
+            ExprKind::Binary(op, l, r) => self.eval_binary(*op, l, r, frame, e.span),
+            ExprKind::Unary(op, x) => {
+                let v = self.eval(x, frame)?;
+                self.eval_unary(*op, v, e.span)
+            }
+            ExprKind::IncDec(op, prefix, x) => {
+                let old = self.eval(x, frame)?;
+                let delta = if *op == IncDecOp::Inc { 1 } else { -1 };
+                let new = match old {
+                    Value::Int(v) => Value::Int(v.wrapping_add(delta)),
+                    Value::Long(v) => Value::Long(v.wrapping_add(delta as i64)),
+                    Value::Double(v) => Value::Double(v + delta as f64),
+                    Value::Float(v) => Value::Float(v + delta as f32),
+                    Value::Char(c) => Value::Int(c as i32 + delta),
+                    other => {
+                        return Err(Control::error(format!("cannot ++/-- {other:?}"), e.span))
+                    }
+                };
+                self.assign_to(x, new.clone(), frame)?;
+                Ok(if *prefix { new } else { old })
+            }
+            ExprKind::Assign(op, l, r) => {
+                let rv = self.eval(r, frame)?;
+                let value = match op {
+                    None => rv,
+                    Some(binop) => {
+                        let lv = self.eval(l, frame)?;
+                        self.binary_values(*binop, lv, rv, e.span)?
+                    }
+                };
+                self.assign_to(l, value.clone(), frame)?;
+                Ok(value)
+            }
+            ExprKind::Cond(c, t, f) => {
+                if self.truthy(c, frame)? {
+                    self.eval(t, frame)
+                } else {
+                    self.eval(f, frame)
+                }
+            }
+            ExprKind::Cast(tn, x) => {
+                let v = self.eval(x, frame)?;
+                let target = self.resolve_type(tn, frame, e.span)?;
+                self.cast(v, &target, e.span)
+            }
+            ExprKind::Instanceof(x, tn) => {
+                let v = self.eval(x, frame)?;
+                let target = self.resolve_type(tn, frame, e.span)?;
+                Ok(Value::Bool(self.value_instanceof(&v, &target)))
+            }
+            ExprKind::This => frame
+                .this
+                .clone()
+                .ok_or_else(|| Control::error("no `this` in scope", e.span)),
+            ExprKind::Template(t) => {
+                let hook = self.template_hook.borrow().clone();
+                match hook {
+                    Some(h) => h(self, t, frame),
+                    None => Err(Control::error(
+                        "template expressions only execute inside metaprograms \
+                         (install the maya.tree bridge)",
+                        e.span,
+                    )),
+                }
+            }
+            ExprKind::TypeDims(_) => Err(Control::error(
+                "array-type syntax evaluated as a value",
+                e.span,
+            )),
+            ExprKind::Lazy(l) => {
+                if !l.is_forced() {
+                    let class = frame.class.ok_or_else(|| {
+                        Control::error("lazy expression outside a class context", e.span)
+                    })?;
+                    self.force_body(l, class, e.span)?;
+                }
+                let node = l
+                    .forced_node()
+                    .ok_or_else(|| Control::error("lazy expression not forced", e.span))?;
+                match node.into_expr() {
+                    Some(inner) => self.eval(&inner, frame),
+                    None => Err(Control::error("lazy node is not an expression", e.span)),
+                }
+            }
+        }
+    }
+
+    /// True when `v instanceof ty` holds at runtime.
+    pub fn value_instanceof(&self, v: &Value, ty: &Type) -> bool {
+        if v.is_null() {
+            return false;
+        }
+        let rt = v.runtime_type(&self.ct);
+        self.ct.is_subtype(&rt, ty)
+    }
+
+    fn throw_simple(&self, class_fqcn: &str, span: Span) -> Control {
+        match self.ct.by_fqcn_str(class_fqcn) {
+            Some(c) => match self.construct(c, vec![], span) {
+                Ok(v) => Control::Throw(v),
+                Err(c) => c,
+            },
+            None => Control::error(format!("exception {class_fqcn}"), span),
+        }
+    }
+
+    fn alloc_array(&self, elem: &Type, sizes: &[i32], span: Span) -> Eval {
+        let (first, rest) = match sizes.split_first() {
+            Some(x) => x,
+            None => return Ok(Value::default_for(elem)),
+        };
+        if *first < 0 {
+            return Err(self.throw_simple("java.lang.NegativeArraySizeException", span));
+        }
+        let inner_elem = if rest.is_empty() {
+            elem.clone()
+        } else {
+            let mut t = elem.clone();
+            for _ in 0..rest.len() {
+                t = t.array_of();
+            }
+            t
+        };
+        let mut data = Vec::with_capacity(*first as usize);
+        for _ in 0..*first {
+            if rest.is_empty() {
+                data.push(Value::default_for(elem));
+            } else {
+                data.push(self.alloc_array(elem, rest, span)?);
+            }
+        }
+        Ok(Value::Array(Rc::new(crate::ArrayObj {
+            elem: inner_elem,
+            data: RefCell::new(data),
+        })))
+    }
+
+    fn cast(&self, v: Value, target: &Type, span: Span) -> Eval {
+        use maya_ast::PrimKind::*;
+        match target {
+            Type::Prim(p) => {
+                let d = match &v {
+                    Value::Int(i) => *i as f64,
+                    Value::Long(l) => *l as f64,
+                    Value::Float(f) => *f as f64,
+                    Value::Double(d) => *d,
+                    Value::Char(c) => *c as u32 as f64,
+                    other => {
+                        return Err(Control::error(
+                            format!("cannot cast {other:?} to {target:?}"),
+                            span,
+                        ))
+                    }
+                };
+                Ok(match p {
+                    Byte => Value::Int(d as i64 as i8 as i32),
+                    Short => Value::Int(d as i64 as i16 as i32),
+                    Int => Value::Int(d as i64 as i32),
+                    Long => Value::Long(d as i64),
+                    Float => Value::Float(d as f32),
+                    Double => Value::Double(d),
+                    Char => Value::Char(
+                        char::from_u32((d as i64 as u32) & 0xFFFF).unwrap_or('\0'),
+                    ),
+                    Boolean => {
+                        return Err(Control::error("cannot cast to boolean", span));
+                    }
+                })
+            }
+            _ => {
+                if v.is_null() || self.value_instanceof(&v, target) {
+                    Ok(v)
+                } else {
+                    Err(self.throw_simple("java.lang.ClassCastException", span))
+                }
+            }
+        }
+    }
+
+    fn lit(&self, l: &Lit) -> Value {
+        match l {
+            Lit::Int(v) => Value::Int(*v),
+            Lit::Long(v) => Value::Long(*v),
+            Lit::Float(v) => Value::Float(*v),
+            Lit::Double(v) => Value::Double(*v),
+            Lit::Bool(v) => Value::Bool(*v),
+            Lit::Char(c) => Value::Char(*c),
+            Lit::Str(s) => Value::str(s.as_str()),
+            Lit::Null => Value::Null,
+        }
+    }
+
+    fn eval_name(&self, name: Symbol, frame: &mut Frame, span: Span) -> Eval {
+        if let Some(v) = frame.lookup(name) {
+            return Ok(v.clone());
+        }
+        if let Some(this) = &frame.this {
+            if let Value::Object(obj) = this {
+                if let Some(v) = obj.fields.borrow().get(&name) {
+                    return Ok(v.clone());
+                }
+            }
+        }
+        if let Some(class) = frame.class {
+            if self.ct.lookup_field(class, name).is_some() {
+                return self.static_field(class, name);
+            }
+        }
+        let ctx = self.ctx_for(frame.class);
+        if let Some(c) = self.ct.resolve_simple(name, &ctx) {
+            return Ok(Value::ClassRef(c));
+        }
+        Err(Control::error(format!("unresolved name {name}"), span))
+    }
+
+    fn field_of(&self, target: Value, name: Symbol, span: Span) -> Eval {
+        match target {
+            Value::ClassRef(c) => self.static_field(c, name),
+            Value::Object(obj) => obj
+                .fields
+                .borrow()
+                .get(&name)
+                .cloned()
+                .ok_or_else(|| Control::error(format!("no field {name}"), span)),
+            Value::Array(a) if name.as_str() == "length" => {
+                Ok(Value::Int(a.data.borrow().len() as i32))
+            }
+            Value::Null => Err(self.throw_simple("java.lang.NullPointerException", span)),
+            other => Err(Control::error(
+                format!("{other:?} has no field {name}"),
+                span,
+            )),
+        }
+    }
+
+    fn eval_call(&self, mn: &MethodName, args: &[Expr], frame: &mut Frame, span: Span) -> Eval {
+        let vals = args
+            .iter()
+            .map(|a| self.eval(a, frame))
+            .collect::<Result<Vec<_>, _>>()?;
+        if mn.super_recv {
+            let this = frame
+                .this
+                .clone()
+                .ok_or_else(|| Control::error("super call without this", span))?;
+            let class = frame
+                .class
+                .ok_or_else(|| Control::error("super call without class", span))?;
+            let sup = self
+                .ct
+                .info(class)
+                .borrow()
+                .superclass
+                .ok_or_else(|| Control::error("no superclass", span))?;
+            let m = self.select_method(sup, mn.name.sym, &vals, span)?;
+            return self.invoke(Some(this), sup, &m, vals, span);
+        }
+        match &mn.receiver {
+            Some(recv) => {
+                let r = self.eval(recv, frame)?;
+                match r {
+                    Value::ClassRef(c) => self.invoke_static(c, mn.name.sym, vals, span),
+                    Value::Null => {
+                        Err(self.throw_simple("java.lang.NullPointerException", span))
+                    }
+                    other => self.invoke_by_name(other, mn.name.sym, vals, span),
+                }
+            }
+            None => {
+                let class = frame
+                    .class
+                    .ok_or_else(|| Control::error("call without enclosing class", span))?;
+                match frame.this.clone() {
+                    Some(this) => self.invoke_by_name(this, mn.name.sym, vals, span),
+                    None => self.invoke_static(class, mn.name.sym, vals, span),
+                }
+            }
+        }
+    }
+
+    fn assign_to(&self, target: &Expr, v: Value, frame: &mut Frame) -> Result<(), Control> {
+        match &target.kind {
+            ExprKind::Name(id) => self.assign_name(id.sym, v, frame, target.span),
+            ExprKind::VarRef(name) => self.assign_name(*name, v, frame, target.span),
+            ExprKind::FieldAccess(t, name) => {
+                let tv = self.eval(t, frame)?;
+                match tv {
+                    Value::Object(obj) => {
+                        obj.fields.borrow_mut().insert(name.sym, v);
+                        Ok(())
+                    }
+                    Value::ClassRef(c) => self.set_static_field(c, name.sym, v),
+                    Value::Null => {
+                        Err(self.throw_simple("java.lang.NullPointerException", target.span))
+                    }
+                    other => Err(Control::error(
+                        format!("cannot assign field of {other:?}"),
+                        target.span,
+                    )),
+                }
+            }
+            ExprKind::ArrayAccess(a, i) => {
+                let arr = self.eval(a, frame)?;
+                let idx = self.int_of(self.eval(i, frame)?, i.span)?;
+                match arr {
+                    Value::Array(a) => {
+                        let mut data = a.data.borrow_mut();
+                        let len = data.len();
+                        match data.get_mut(idx as usize) {
+                            Some(slot) => {
+                                *slot = v;
+                                Ok(())
+                            }
+                            None => Err(Control::error(
+                                format!("array index {idx} out of bounds ({len})"),
+                                target.span,
+                            )),
+                        }
+                    }
+                    _ => Err(Control::error("not an array", target.span)),
+                }
+            }
+            _ => Err(Control::error("invalid assignment target", target.span)),
+        }
+    }
+
+    fn assign_name(
+        &self,
+        name: Symbol,
+        v: Value,
+        frame: &mut Frame,
+        span: Span,
+    ) -> Result<(), Control> {
+        if frame.assign(name, v.clone()) {
+            return Ok(());
+        }
+        if let Some(Value::Object(obj)) = &frame.this {
+            if obj.fields.borrow().contains_key(&name) {
+                obj.fields.borrow_mut().insert(name, v);
+                return Ok(());
+            }
+        }
+        if let Some(class) = frame.class {
+            if let Some((owner, f)) = self.ct.lookup_field(class, name) {
+                if f.modifiers.is_static() {
+                    return self.set_static_field(owner, name, v);
+                }
+            }
+        }
+        Err(Control::error(format!("unresolved assignment to {name}"), span))
+    }
+
+    fn int_of(&self, v: Value, span: Span) -> Result<i32, Control> {
+        match v {
+            Value::Int(i) => Ok(i),
+            Value::Char(c) => Ok(c as i32),
+            other => Err(Control::error(format!("expected int, got {other:?}"), span)),
+        }
+    }
+
+    fn eval_unary(&self, op: UnOp, v: Value, span: Span) -> Eval {
+        Ok(match (op, v) {
+            (UnOp::Neg, Value::Int(i)) => Value::Int(i.wrapping_neg()),
+            (UnOp::Neg, Value::Long(l)) => Value::Long(l.wrapping_neg()),
+            (UnOp::Neg, Value::Float(f)) => Value::Float(-f),
+            (UnOp::Neg, Value::Double(d)) => Value::Double(-d),
+            (UnOp::Plus, v) => v,
+            (UnOp::Not, Value::Bool(b)) => Value::Bool(!b),
+            (UnOp::BitNot, Value::Int(i)) => Value::Int(!i),
+            (UnOp::BitNot, Value::Long(l)) => Value::Long(!l),
+            (op, v) => {
+                return Err(Control::error(
+                    format!("invalid operand {v:?} for unary {op}"),
+                    span,
+                ))
+            }
+        })
+    }
+
+    fn eval_binary(&self, op: BinOp, l: &Expr, r: &Expr, frame: &mut Frame, span: Span) -> Eval {
+        // Short-circuit first.
+        if op == BinOp::And {
+            return Ok(Value::Bool(self.truthy(l, frame)? && self.truthy(r, frame)?));
+        }
+        if op == BinOp::Or {
+            return Ok(Value::Bool(self.truthy(l, frame)? || self.truthy(r, frame)?));
+        }
+        let lv = self.eval(l, frame)?;
+        let rv = self.eval(r, frame)?;
+        self.binary_values(op, lv, rv, span)
+    }
+
+    /// Applies a binary operator to already-evaluated values.
+    pub fn binary_values(&self, op: BinOp, lv: Value, rv: Value, span: Span) -> Eval {
+        use BinOp::*;
+        // String concatenation.
+        if op == Add && (matches!(lv, Value::Str(_)) || matches!(rv, Value::Str(_))) {
+            let s = format!("{}{}", self.display(&lv), self.display(&rv));
+            return Ok(Value::str(&s));
+        }
+        if matches!(op, Eq | Ne) {
+            let both_num = is_numeric(&lv) && is_numeric(&rv);
+            let eq = if both_num {
+                num_as_f64(&lv) == num_as_f64(&rv)
+            } else {
+                lv.ref_eq(&rv)
+            };
+            return Ok(Value::Bool(if op == Eq { eq } else { !eq }));
+        }
+        if matches!(lv, Value::Bool(_)) || matches!(rv, Value::Bool(_)) {
+            let (Value::Bool(a), Value::Bool(b)) = (&lv, &rv) else {
+                return Err(Control::error("boolean operand mismatch", span));
+            };
+            return Ok(Value::Bool(match op {
+                BitAnd => a & b,
+                BitOr => a | b,
+                BitXor => a ^ b,
+                _ => return Err(Control::error(format!("bad boolean operator {op}"), span)),
+            }));
+        }
+        if !is_numeric(&lv) || !is_numeric(&rv) {
+            return Err(Control::error(
+                format!("invalid operands {lv:?} {op} {rv:?}"),
+                span,
+            ));
+        }
+        // Binary numeric promotion.
+        let rank = |v: &Value| match v {
+            Value::Double(_) => 4,
+            Value::Float(_) => 3,
+            Value::Long(_) => 2,
+            _ => 1,
+        };
+        let r = rank(&lv).max(rank(&rv));
+        let div_zero = |c: Control| c;
+        match r {
+            4 | 3 => {
+                let a = num_as_f64(&lv);
+                let b = num_as_f64(&rv);
+                let out = match op {
+                    Add => a + b,
+                    Sub => a - b,
+                    Mul => a * b,
+                    Div => a / b,
+                    Rem => a % b,
+                    Lt => return Ok(Value::Bool(a < b)),
+                    Gt => return Ok(Value::Bool(a > b)),
+                    Le => return Ok(Value::Bool(a <= b)),
+                    Ge => return Ok(Value::Bool(a >= b)),
+                    _ => {
+                        return Err(Control::error(
+                            format!("operator {op} undefined on floating point"),
+                            span,
+                        ))
+                    }
+                };
+                Ok(if r == 4 {
+                    Value::Double(out)
+                } else {
+                    Value::Float(out as f32)
+                })
+            }
+            2 => {
+                let a = num_as_i64(&lv);
+                let b = num_as_i64(&rv);
+                self.int_like_op(op, a, b, span)
+                    .map(|v| match v {
+                        IntOut::Num(n) => Value::Long(n),
+                        IntOut::Bool(b) => Value::Bool(b),
+                    })
+                    .map_err(div_zero)
+            }
+            _ => {
+                // 32-bit semantics: shifts mask to 5 bits, >>> is unsigned
+                // in the 32-bit domain.
+                let a = num_as_i64(&lv) as i32;
+                let b = num_as_i64(&rv) as i32;
+                use BinOp::*;
+                let out = match op {
+                    Shl => Value::Int(a.wrapping_shl(b as u32 & 31)),
+                    Shr => Value::Int(a.wrapping_shr(b as u32 & 31)),
+                    Ushr => Value::Int(((a as u32) >> (b as u32 & 31)) as i32),
+                    _ => self
+                        .int_like_op(op, a as i64, b as i64, span)
+                        .map(|v| match v {
+                            IntOut::Num(n) => Value::Int(n as i32),
+                            IntOut::Bool(b) => Value::Bool(b),
+                        })
+                        .map_err(div_zero)?,
+                };
+                Ok(out)
+            }
+        }
+    }
+
+    fn int_like_op(&self, op: BinOp, a: i64, b: i64, span: Span) -> Result<IntOut, Control> {
+        use BinOp::*;
+        Ok(match op {
+            Add => IntOut::Num(a.wrapping_add(b)),
+            Sub => IntOut::Num(a.wrapping_sub(b)),
+            Mul => IntOut::Num(a.wrapping_mul(b)),
+            Div => {
+                if b == 0 {
+                    return Err(self.throw_simple("java.lang.ArithmeticException", span));
+                }
+                IntOut::Num(a.wrapping_div(b))
+            }
+            Rem => {
+                if b == 0 {
+                    return Err(self.throw_simple("java.lang.ArithmeticException", span));
+                }
+                IntOut::Num(a.wrapping_rem(b))
+            }
+            Shl => IntOut::Num(a.wrapping_shl(b as u32 & 63)),
+            Shr => IntOut::Num(a.wrapping_shr(b as u32 & 63)),
+            Ushr => IntOut::Num(((a as u64) >> (b as u32 & 63)) as i64),
+            BitAnd => IntOut::Num(a & b),
+            BitOr => IntOut::Num(a | b),
+            BitXor => IntOut::Num(a ^ b),
+            Lt => IntOut::Bool(a < b),
+            Gt => IntOut::Bool(a > b),
+            Le => IntOut::Bool(a <= b),
+            Ge => IntOut::Bool(a >= b),
+            Eq | Ne | And | Or => {
+                return Err(Control::error("unexpected operator in int path", span))
+            }
+        })
+    }
+}
+
+enum IntOut {
+    Num(i64),
+    Bool(bool),
+}
+
+fn is_numeric(v: &Value) -> bool {
+    matches!(
+        v,
+        Value::Int(_) | Value::Long(_) | Value::Float(_) | Value::Double(_) | Value::Char(_)
+    )
+}
+
+fn num_as_f64(v: &Value) -> f64 {
+    match v {
+        Value::Int(i) => *i as f64,
+        Value::Long(l) => *l as f64,
+        Value::Float(f) => *f as f64,
+        Value::Double(d) => *d,
+        Value::Char(c) => *c as u32 as f64,
+        _ => 0.0,
+    }
+}
+
+fn num_as_i64(v: &Value) -> i64 {
+    match v {
+        Value::Int(i) => *i as i64,
+        Value::Long(l) => *l,
+        Value::Char(c) => *c as u32 as i64,
+        Value::Float(f) => *f as i64,
+        Value::Double(d) => *d as i64,
+        _ => 0,
+    }
+}

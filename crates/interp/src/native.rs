@@ -1,0 +1,40 @@
+//! The native-object bridge.
+//!
+//! Runtime-library classes (`java.util.Vector`, `java.io.PrintStream`, …)
+//! and compile-time bridge objects (`maya.tree` AST nodes, metaprogram
+//! instances) are [`NativeObject`]s: their methods are declared in the
+//! [`maya_types::ClassTable`] with a `native` key, and the interpreter
+//! routes calls through registered [`NativeFn`]s.
+
+use crate::{Control, Interp, Value};
+use std::any::Any;
+use std::rc::Rc;
+
+/// A native implementation of a method, keyed by the `native` symbol on its
+/// [`maya_types::MethodInfo`]. Receives the receiver (or `Value::Null` for
+/// statics and constructors) and the evaluated arguments.
+pub type NativeFn = Rc<dyn Fn(&Interp, Value, Vec<Value>) -> Result<Value, Control>>;
+
+/// An opaque object owned by native code.
+pub trait NativeObject {
+    /// The fully qualified name of the object's dynamic class (drives
+    /// `instanceof` and virtual dispatch).
+    fn class_fqcn(&self) -> &str;
+
+    /// Downcasting support.
+    fn as_any(&self) -> &dyn Any;
+
+    /// A short rendering used by `toString`/string concatenation when no
+    /// override exists.
+    fn display(&self) -> String {
+        format!("<{}>", self.class_fqcn())
+    }
+}
+
+/// Convenience: downcast a value to a concrete native payload.
+pub fn native_as<T: 'static>(v: &Value) -> Option<&T> {
+    match v {
+        Value::Native(n) => n.as_any().downcast_ref::<T>(),
+        _ => None,
+    }
+}

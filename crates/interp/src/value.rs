@@ -1,0 +1,176 @@
+//! Runtime values.
+
+use crate::NativeObject;
+use maya_lexer::Symbol;
+use maya_types::{ClassId, ClassTable, Type};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// An instance of a source-defined class.
+pub struct Obj {
+    pub class: ClassId,
+    pub fields: RefCell<HashMap<Symbol, Value>>,
+}
+
+/// An array instance.
+pub struct ArrayObj {
+    pub elem: Type,
+    pub data: RefCell<Vec<Value>>,
+}
+
+/// A MayaJava runtime value.
+#[derive(Clone)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Char(char),
+    Int(i32),
+    Long(i64),
+    Float(f32),
+    Double(f64),
+    Str(Rc<str>),
+    Object(Rc<Obj>),
+    Array(Rc<ArrayObj>),
+    /// A runtime-library or bridge object (Vector, Enumeration, AST node…).
+    Native(Rc<dyn NativeObject>),
+    /// A class used in a receiver position (`System.out`); internal, never
+    /// a first-class value.
+    ClassRef(ClassId),
+}
+
+impl Value {
+    /// A string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Rc::from(s))
+    }
+
+    /// The default value for a type (`0`, `false`, `null`).
+    pub fn default_for(ty: &Type) -> Value {
+        use maya_ast::PrimKind::*;
+        match ty {
+            Type::Prim(Boolean) => Value::Bool(false),
+            Type::Prim(Char) => Value::Char('\0'),
+            Type::Prim(Byte | Short | Int) => Value::Int(0),
+            Type::Prim(Long) => Value::Long(0),
+            Type::Prim(Float) => Value::Float(0.0),
+            Type::Prim(Double) => Value::Double(0.0),
+            _ => Value::Null,
+        }
+    }
+
+    /// The dynamic class of a reference value, when it has one.
+    pub fn class_of(&self, ct: &ClassTable) -> Option<ClassId> {
+        match self {
+            Value::Object(o) => Some(o.class),
+            Value::Str(_) => ct.by_fqcn_str("java.lang.String"),
+            Value::Native(n) => ct.by_fqcn_str(n.class_fqcn()),
+            _ => None,
+        }
+    }
+
+    /// The runtime [`Type`] of this value (used for runtime overload
+    /// applicability and `instanceof`).
+    pub fn runtime_type(&self, ct: &ClassTable) -> Type {
+        use maya_ast::PrimKind::*;
+        match self {
+            Value::Null => Type::Null,
+            Value::Bool(_) => Type::Prim(Boolean),
+            Value::Char(_) => Type::Prim(Char),
+            Value::Int(_) => Type::Prim(Int),
+            Value::Long(_) => Type::Prim(Long),
+            Value::Float(_) => Type::Prim(Float),
+            Value::Double(_) => Type::Prim(Double),
+            Value::Array(a) => a.elem.clone().array_of(),
+            other => other
+                .class_of(ct)
+                .map(Type::Class)
+                .unwrap_or(Type::Error),
+        }
+    }
+
+    /// Java `==` semantics: primitive equality, reference identity
+    /// (strings compare by contents — our literals are effectively
+    /// interned).
+    pub fn ref_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Char(a), Value::Char(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Long(a), Value::Long(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Double(a), Value::Double(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Object(a), Value::Object(b)) => Rc::ptr_eq(a, b),
+            (Value::Array(a), Value::Array(b)) => Rc::ptr_eq(a, b),
+            (Value::Native(a), Value::Native(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// True for the `null` value.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Char(c) => write!(f, "{c:?}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Long(v) => write!(f, "{v}L"),
+            Value::Float(v) => write!(f, "{v}f"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Object(o) => write!(f, "<object #{}>", o.class.0),
+            Value::Array(a) => write!(f, "<array[{}]>", a.data.borrow().len()),
+            Value::Native(n) => write!(f, "<{}>", n.class_fqcn()),
+            Value::ClassRef(c) => write!(f, "<class #{}>", c.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        assert!(matches!(Value::default_for(&Type::int()), Value::Int(0)));
+        assert!(matches!(Value::default_for(&Type::boolean()), Value::Bool(false)));
+        assert!(Value::default_for(&Type::Null).is_null());
+    }
+
+    #[test]
+    fn ref_eq_semantics() {
+        assert!(Value::Int(3).ref_eq(&Value::Int(3)));
+        assert!(!Value::Int(3).ref_eq(&Value::Long(3)));
+        assert!(Value::str("a").ref_eq(&Value::str("a")));
+        let o = Rc::new(Obj {
+            class: ClassId(0),
+            fields: RefCell::new(HashMap::new()),
+        });
+        assert!(Value::Object(o.clone()).ref_eq(&Value::Object(o.clone())));
+        let o2 = Rc::new(Obj {
+            class: ClassId(0),
+            fields: RefCell::new(HashMap::new()),
+        });
+        assert!(!Value::Object(o).ref_eq(&Value::Object(o2)));
+    }
+
+    #[test]
+    fn runtime_types() {
+        let ct = ClassTable::bootstrap();
+        assert_eq!(Value::Int(1).runtime_type(&ct), Type::int());
+        assert_eq!(
+            ct.describe(&Value::str("x").runtime_type(&ct)),
+            "java.lang.String"
+        );
+        assert_eq!(Value::Null.runtime_type(&ct), Type::Null);
+    }
+}

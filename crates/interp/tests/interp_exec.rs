@@ -1,0 +1,457 @@
+//! End-to-end interpreter tests over programmatically built classes.
+
+use maya_ast::{
+    BinOp, Block, Expr, ExprKind, Ident, LazyNode, LocalDeclarator, Modifier, Modifiers, Node,
+    NodeKind, Stmt, StmtKind, TypeName,
+};
+use maya_interp::{install_runtime, Interp, Value};
+use maya_lexer::{sym, Span};
+use maya_types::{ClassInfo, ClassTable, MethodInfo, Type};
+use std::rc::Rc;
+
+fn body(stmts: Vec<Stmt>) -> Option<LazyNode> {
+    Some(LazyNode::forced(
+        NodeKind::BlockStmts,
+        Node::Block(Block::synth(stmts)),
+    ))
+}
+
+fn static_method(name: &str, params: Vec<(Type, &str)>, ret: Type, stmts: Vec<Stmt>) -> MethodInfo {
+    MethodInfo {
+        name: sym(name),
+        params: params.iter().map(|(t, _)| t.clone()).collect(),
+        param_names: params.iter().map(|(_, n)| sym(n)).collect(),
+        ret,
+        modifiers: Modifiers::just(Modifier::Public).with(Modifier::Static),
+        body: body(stmts),
+        native: None,
+        specializers: vec![],
+    }
+}
+
+fn setup() -> (Rc<ClassTable>, maya_types::ClassId) {
+    let ct = Rc::new(ClassTable::new());
+    install_runtime(&ct);
+    let mut main = ClassInfo::new("Main", false);
+    main.superclass = ct.by_fqcn_str("java.lang.Object");
+    let main = ct.declare(main).unwrap();
+    (ct, main)
+}
+
+fn ret(e: Expr) -> Stmt {
+    Stmt::synth(StmtKind::Return(Some(e)))
+}
+
+fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+    Expr::synth(ExprKind::Binary(op, Box::new(l), Box::new(r)))
+}
+
+fn call_static_on(class: &str, name: &str, args: Vec<Expr>) -> Expr {
+    Expr::call_on(Expr::name(class), name, args)
+}
+
+#[test]
+fn arithmetic_and_recursion() {
+    let (ct, main) = setup();
+    // static int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }
+    ct.add_method(
+        main,
+        static_method(
+            "fact",
+            vec![(Type::int(), "n")],
+            Type::int(),
+            vec![
+                Stmt::synth(StmtKind::If(
+                    bin(BinOp::Lt, Expr::name("n"), Expr::int(2)),
+                    Box::new(ret(Expr::int(1))),
+                    None,
+                )),
+                ret(bin(
+                    BinOp::Mul,
+                    Expr::name("n"),
+                    call_static_on("Main", "fact", vec![bin(BinOp::Sub, Expr::name("n"), Expr::int(1))]),
+                )),
+            ],
+        ),
+    );
+    let interp = Interp::new(ct.clone());
+    let out = interp
+        .invoke_static(main, sym("fact"), vec![Value::Int(10)], Span::DUMMY)
+        .unwrap();
+    assert!(matches!(out, Value::Int(3628800)));
+}
+
+#[test]
+fn loops_and_output() {
+    let (ct, main) = setup();
+    // static void main() { for (int i = 0; i < 3; i++) System.out.println(i); }
+    let println = Stmt::expr(Expr::call_on(
+        Expr::field(Expr::name("System"), "out"),
+        "println",
+        vec![Expr::name("i")],
+    ));
+    ct.add_method(
+        main,
+        static_method(
+            "main",
+            vec![],
+            Type::Void,
+            vec![Stmt::synth(StmtKind::For {
+                init: maya_ast::ForInit::Decl(
+                    TypeName::prim(maya_ast::PrimKind::Int),
+                    vec![LocalDeclarator {
+                        name: Ident::from_str("i"),
+                        dims: 0,
+                        init: Some(Expr::int(0)),
+                    }],
+                ),
+                cond: Some(bin(BinOp::Lt, Expr::name("i"), Expr::int(3))),
+                update: vec![Expr::synth(ExprKind::IncDec(
+                    maya_ast::IncDecOp::Inc,
+                    false,
+                    Box::new(Expr::name("i")),
+                ))],
+                body: Box::new(println),
+            })],
+        ),
+    );
+    let interp = Interp::new(ct);
+    let out = interp.run_main("Main").unwrap();
+    assert_eq!(out, "0\n1\n2\n");
+}
+
+#[test]
+fn vectors_enumerations_and_string_concat() {
+    let (ct, main) = setup();
+    // static void main() {
+    //   java.util.Vector v = new java.util.Vector();
+    //   v.addElement("a"); v.addElement("b");
+    //   java.util.Enumeration e = v.elements();
+    //   while (e.hasMoreElements()) System.out.println("x=" + e.nextElement());
+    // }
+    let stmts = vec![
+        Stmt::synth(StmtKind::Decl(
+            TypeName::named("java.util.Vector"),
+            vec![LocalDeclarator {
+                name: Ident::from_str("v"),
+                dims: 0,
+                init: Some(Expr::synth(ExprKind::New(
+                    TypeName::named("java.util.Vector"),
+                    vec![],
+                ))),
+            }],
+        )),
+        Stmt::expr(Expr::call_on(Expr::name("v"), "addElement", vec![Expr::str_lit("a")])),
+        Stmt::expr(Expr::call_on(Expr::name("v"), "addElement", vec![Expr::str_lit("b")])),
+        Stmt::synth(StmtKind::Decl(
+            TypeName::named("java.util.Enumeration"),
+            vec![LocalDeclarator {
+                name: Ident::from_str("e"),
+                dims: 0,
+                init: Some(Expr::call_on(Expr::name("v"), "elements", vec![])),
+            }],
+        )),
+        Stmt::synth(StmtKind::While(
+            Expr::call_on(Expr::name("e"), "hasMoreElements", vec![]),
+            Box::new(Stmt::expr(Expr::call_on(
+                Expr::field(Expr::name("System"), "out"),
+                "println",
+                vec![bin(
+                    BinOp::Add,
+                    Expr::str_lit("x="),
+                    Expr::call_on(Expr::name("e"), "nextElement", vec![]),
+                )],
+            ))),
+        )),
+    ];
+    ct.add_method(main, static_method("main", vec![], Type::Void, stmts));
+    let interp = Interp::new(ct);
+    assert_eq!(interp.run_main("Main").unwrap(), "x=a\nx=b\n");
+}
+
+#[test]
+fn virtual_dispatch_and_instanceof() {
+    let (ct, _main) = setup();
+    let obj = ct.by_fqcn_str("java.lang.Object").unwrap();
+    // class C { int m() { return 0; } }  class D extends C { int m() { return 1; } }
+    let mut c = ClassInfo::new("C", false);
+    c.superclass = Some(obj);
+    let c = ct.declare(c).unwrap();
+    let mut m0 = static_method("m", vec![], Type::int(), vec![ret(Expr::int(0))]);
+    m0.modifiers = Modifiers::just(Modifier::Public);
+    ct.add_method(c, m0);
+    let mut d = ClassInfo::new("D", false);
+    d.superclass = Some(c);
+    let d = ct.declare(d).unwrap();
+    let mut m1 = static_method("m", vec![], Type::int(), vec![ret(Expr::int(1))]);
+    m1.modifiers = Modifiers::just(Modifier::Public);
+    ct.add_method(d, m1);
+
+    let interp = Interp::new(ct.clone());
+    let instance = interp.construct(d, vec![], Span::DUMMY).unwrap();
+    let out = interp
+        .invoke_by_name(instance.clone(), sym("m"), vec![], Span::DUMMY)
+        .unwrap();
+    assert!(matches!(out, Value::Int(1)), "D.m overrides C.m");
+    assert!(interp.value_instanceof(&instance, &Type::Class(c)));
+    assert!(interp.value_instanceof(&instance, &Type::Class(obj)));
+    let base = interp.construct(c, vec![], Span::DUMMY).unwrap();
+    assert!(!interp.value_instanceof(&base, &Type::Class(d)));
+}
+
+#[test]
+fn exceptions_try_catch() {
+    let (ct, main) = setup();
+    // static void main() {
+    //   try { throw new RuntimeException("boom"); }
+    //   catch (RuntimeException e) { System.out.println("caught " + e.getMessage()); }
+    // }
+    let stmts = vec![Stmt::synth(StmtKind::Try {
+        body: Block::synth(vec![Stmt::synth(StmtKind::Throw(Expr::synth(ExprKind::New(
+            TypeName::named("java.lang.RuntimeException"),
+            vec![Expr::str_lit("boom")],
+        ))))]),
+        catches: vec![maya_ast::CatchClause {
+            param: maya_ast::Formal::new(
+                TypeName::named("java.lang.RuntimeException"),
+                Ident::from_str("e"),
+            ),
+            body: Block::synth(vec![Stmt::expr(Expr::call_on(
+                Expr::field(Expr::name("System"), "out"),
+                "println",
+                vec![bin(
+                    BinOp::Add,
+                    Expr::str_lit("caught "),
+                    Expr::call_on(Expr::name("e"), "getMessage", vec![]),
+                )],
+            ))]),
+        }],
+        finally: None,
+    })];
+    ct.add_method(main, static_method("main", vec![], Type::Void, stmts));
+    let interp = Interp::new(ct);
+    assert_eq!(interp.run_main("Main").unwrap(), "caught boom\n");
+}
+
+#[test]
+fn division_by_zero_is_an_exception() {
+    let (ct, main) = setup();
+    ct.add_method(
+        main,
+        static_method(
+            "div",
+            vec![(Type::int(), "a"), (Type::int(), "b")],
+            Type::int(),
+            vec![ret(bin(BinOp::Div, Expr::name("a"), Expr::name("b")))],
+        ),
+    );
+    let interp = Interp::new(ct.clone());
+    let main_id = ct.by_fqcn_str("Main").unwrap();
+    assert!(matches!(
+        interp.invoke_static(main_id, sym("div"), vec![Value::Int(6), Value::Int(2)], Span::DUMMY),
+        Ok(Value::Int(3))
+    ));
+    let err = interp.invoke_static(
+        main_id,
+        sym("div"),
+        vec![Value::Int(1), Value::Int(0)],
+        Span::DUMMY,
+    );
+    assert!(matches!(err, Err(maya_interp::Control::Throw(_))));
+}
+
+#[test]
+fn arrays_and_casts() {
+    let (ct, main) = setup();
+    // static int sum() { int[] a = new int[4]; for (...) a[i] = i; return a[0]+a[1]+a[2]+a[3]; }
+    let idx = |i: i32| {
+        Expr::synth(ExprKind::ArrayAccess(
+            Box::new(Expr::name("a")),
+            Box::new(Expr::int(i)),
+        ))
+    };
+    let stmts = vec![
+        Stmt::synth(StmtKind::Decl(
+            TypeName::prim(maya_ast::PrimKind::Int).array_of(),
+            vec![LocalDeclarator {
+                name: Ident::from_str("a"),
+                dims: 0,
+                init: Some(Expr::synth(ExprKind::NewArray {
+                    elem: TypeName::prim(maya_ast::PrimKind::Int),
+                    dims: vec![Expr::int(4)],
+                    extra_dims: 0,
+                })),
+            }],
+        )),
+        Stmt::expr(Expr::synth(ExprKind::Assign(
+            None,
+            Box::new(idx(2)),
+            Box::new(Expr::int(40)),
+        ))),
+        ret(bin(
+            BinOp::Add,
+            idx(2),
+            bin(BinOp::Add, idx(0), Expr::field(Expr::name("a"), "length")),
+        )),
+    ];
+    ct.add_method(main, static_method("sum", vec![], Type::int(), stmts));
+    let interp = Interp::new(ct.clone());
+    let out = interp
+        .invoke_static(ct.by_fqcn_str("Main").unwrap(), sym("sum"), vec![], Span::DUMMY)
+        .unwrap();
+    assert!(matches!(out, Value::Int(44)), "40 + 0 + 4 = 44, got {out:?}");
+}
+
+#[test]
+fn hashtable_roundtrip() {
+    let (ct, main) = setup();
+    let stmts = vec![
+        Stmt::synth(StmtKind::Decl(
+            TypeName::named("java.util.Hashtable"),
+            vec![LocalDeclarator {
+                name: Ident::from_str("h"),
+                dims: 0,
+                init: Some(Expr::synth(ExprKind::New(
+                    TypeName::named("java.util.Hashtable"),
+                    vec![],
+                ))),
+            }],
+        )),
+        Stmt::expr(Expr::call_on(
+            Expr::name("h"),
+            "put",
+            vec![Expr::str_lit("k"), Expr::str_lit("v")],
+        )),
+        ret(Expr::synth(ExprKind::Cast(
+            TypeName::named("String"),
+            Box::new(Expr::call_on(Expr::name("h"), "get", vec![Expr::str_lit("k")])),
+        ))),
+    ];
+    let mut m = static_method("go", vec![], Type::Class(ct.by_fqcn_str("java.lang.String").unwrap()), stmts);
+    m.modifiers = Modifiers::just(Modifier::Public).with(Modifier::Static);
+    ct.add_method(main, m);
+    let interp = Interp::new(ct.clone());
+    let out = interp
+        .invoke_static(ct.by_fqcn_str("Main").unwrap(), sym("go"), vec![], Span::DUMMY)
+        .unwrap();
+    assert!(matches!(out, Value::Str(s) if &*s == "v"));
+}
+
+#[test]
+fn numeric_promotions_and_casts() {
+    let (ct, main) = setup();
+    // static double mix() { int i = 7; long l = i * 3L; double d = l / 2.0; return d; }
+    let stmts = vec![
+        Stmt::synth(StmtKind::Decl(
+            TypeName::prim(maya_ast::PrimKind::Int),
+            vec![LocalDeclarator {
+                name: Ident::from_str("i"),
+                dims: 0,
+                init: Some(Expr::int(7)),
+            }],
+        )),
+        Stmt::synth(StmtKind::Decl(
+            TypeName::prim(maya_ast::PrimKind::Long),
+            vec![LocalDeclarator {
+                name: Ident::from_str("l"),
+                dims: 0,
+                init: Some(bin(
+                    BinOp::Mul,
+                    Expr::name("i"),
+                    Expr::synth(ExprKind::Literal(maya_ast::Lit::Long(3))),
+                )),
+            }],
+        )),
+        ret(bin(
+            BinOp::Div,
+            Expr::name("l"),
+            Expr::synth(ExprKind::Literal(maya_ast::Lit::Double(2.0))),
+        )),
+    ];
+    ct.add_method(
+        main,
+        static_method("mix", vec![], Type::Prim(maya_ast::PrimKind::Double), stmts),
+    );
+    let interp = Interp::new(ct.clone());
+    let out = interp
+        .invoke_static(
+            ct.by_fqcn_str("Main").unwrap(),
+            sym("mix"),
+            vec![],
+            Span::DUMMY,
+        )
+        .unwrap();
+    assert!(matches!(out, Value::Double(d) if (d - 10.5).abs() < 1e-9));
+}
+
+#[test]
+fn string_equality_and_concat_semantics() {
+    let (ct, _main) = setup();
+    let interp = Interp::new(ct);
+    let a = Value::str("ab");
+    let b = Value::str("ab");
+    assert!(a.ref_eq(&b), "string values compare by contents");
+    let joined = interp
+        .binary_values(BinOp::Add, Value::str("n="), Value::Int(5), Span::DUMMY)
+        .unwrap();
+    assert!(matches!(joined, Value::Str(s) if &*s == "n=5"));
+}
+
+#[test]
+fn uncaught_exception_reports_message() {
+    let (ct, main) = setup();
+    ct.add_method(
+        main,
+        static_method(
+            "main",
+            vec![],
+            Type::Void,
+            vec![Stmt::synth(StmtKind::Throw(Expr::synth(ExprKind::New(
+                TypeName::named("java.lang.RuntimeException"),
+                vec![Expr::str_lit("kaboom")],
+            ))))],
+        ),
+    );
+    let interp = Interp::new(ct);
+    let err = interp.run_main("Main").unwrap_err();
+    assert!(err.message.contains("kaboom"), "{}", err.message);
+}
+
+#[test]
+fn call_depth_guard_catches_runaway_recursion() {
+    // Interpreted frames are large in debug builds; give the guard room to
+    // fire before the host stack runs out.
+    std::thread::Builder::new()
+        .stack_size(64 * 1024 * 1024)
+        .spawn(call_depth_guard_impl)
+        .unwrap()
+        .join()
+        .unwrap();
+}
+
+fn call_depth_guard_impl() {
+    let (ct, main) = setup();
+    // static int forever() { return forever(); }
+    ct.add_method(
+        main,
+        static_method(
+            "forever",
+            vec![],
+            Type::int(),
+            vec![ret(call_static_on("Main", "forever", vec![]))],
+        ),
+    );
+    let interp = Interp::new(ct.clone());
+    let err = interp.invoke_static(
+        ct.by_fqcn_str("Main").unwrap(),
+        sym("forever"),
+        vec![],
+        Span::DUMMY,
+    );
+    match err {
+        Err(maya_interp::Control::Error(e)) => {
+            assert!(e.message.contains("stack overflow"), "{}", e.message)
+        }
+        other => panic!("expected depth-guard error, got {other:?}"),
+    }
+}

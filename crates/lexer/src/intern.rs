@@ -1,0 +1,120 @@
+//! A global string interner.
+//!
+//! Identifiers, literal lexemes, and generated (hygienic) names are interned
+//! into [`Symbol`]s: cheap `Copy` handles that compare by id. The interner is
+//! process-global so that symbols can flow freely between the compiler, the
+//! dispatcher, and interpreted metaprograms without threading an arena around.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string.
+///
+/// Two `Symbol`s are equal iff their underlying strings are equal. The string
+/// is available via [`Symbol::as_str`] for the lifetime of the process.
+///
+/// # Example
+///
+/// ```
+/// use maya_lexer::{sym, Symbol};
+/// let a = sym("foreach");
+/// let b = Symbol::intern("foreach");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "foreach");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `s`, returning its canonical [`Symbol`].
+    pub fn intern(s: &str) -> Symbol {
+        let mut int = interner().lock().expect("interner poisoned");
+        if let Some(&id) = int.map.get(s) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = int.strings.len() as u32;
+        int.map.insert(leaked, id);
+        int.strings.push(leaked);
+        Symbol(id)
+    }
+
+    /// Returns the interned string.
+    pub fn as_str(self) -> &'static str {
+        let int = interner().lock().expect("interner poisoned");
+        int.strings[self.0 as usize]
+    }
+
+    /// The raw interner index; stable within a process run.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Shorthand for [`Symbol::intern`].
+pub fn sym(s: &str) -> Symbol {
+    Symbol::intern(s)
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = sym("hello");
+        let b = sym("hello");
+        let c = sym("world");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "hello");
+        assert_eq!(c.as_str(), "world");
+    }
+
+    #[test]
+    fn empty_and_unicode() {
+        assert_eq!(sym("").as_str(), "");
+        assert_eq!(sym("λx→x").as_str(), "λx→x");
+    }
+
+    #[test]
+    fn display_matches_str() {
+        let s = sym("enumVar$1");
+        assert_eq!(format!("{s}"), "enumVar$1");
+        assert!(format!("{s:?}").contains("enumVar$1"));
+    }
+}

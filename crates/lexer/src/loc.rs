@@ -1,0 +1,208 @@
+//! Source locations: files, byte spans, and line/column resolution.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies a file registered in a [`SourceMap`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+/// A byte range within a single source file.
+///
+/// Spans are half-open: `lo..hi`. The [`Span::DUMMY`] span is used for
+/// synthesized syntax (e.g. nodes produced by Mayans or templates).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Span {
+    pub file: FileId,
+    pub lo: u32,
+    pub hi: u32,
+}
+
+impl Span {
+    /// A span for generated code with no source counterpart.
+    pub const DUMMY: Span = Span {
+        file: FileId(u32::MAX),
+        lo: 0,
+        hi: 0,
+    };
+
+    /// Builds a span within `file`.
+    pub fn new(file: FileId, lo: u32, hi: u32) -> Span {
+        Span { file, lo, hi }
+    }
+
+    /// Returns true for spans of generated (non-source) syntax.
+    pub fn is_dummy(self) -> bool {
+        self.file == FileId(u32::MAX)
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// Dummy spans are absorbing on the side they appear: joining with a dummy
+    /// returns the other span.
+    pub fn to(self, other: Span) -> Span {
+        if self.is_dummy() {
+            return other;
+        }
+        if other.is_dummy() || self.file != other.file {
+            return self;
+        }
+        Span::new(self.file, self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+}
+
+impl Default for Span {
+    fn default() -> Span {
+        Span::DUMMY
+    }
+}
+
+/// A 1-based line/column pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LineCol {
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One registered source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    pub name: String,
+    pub src: Arc<str>,
+    line_starts: Vec<u32>,
+}
+
+impl SourceFile {
+    fn new(name: &str, src: &str) -> SourceFile {
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceFile {
+            name: name.to_owned(),
+            src: Arc::from(src),
+            line_starts,
+        }
+    }
+
+    /// Resolves a byte offset to a line/column pair (both 1-based).
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line as u32 + 1,
+            col: offset - self.line_starts[line] + 1,
+        }
+    }
+}
+
+/// The set of source files known to one compilation.
+///
+/// # Example
+///
+/// ```
+/// use maya_lexer::SourceMap;
+/// let mut sm = SourceMap::new();
+/// let f = sm.add_file("A.maya", "class A {\n}\n");
+/// assert_eq!(sm.file(f).line_col(10).line, 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct SourceMap {
+    files: Vec<SourceFile>,
+}
+
+impl SourceMap {
+    /// Creates an empty source map.
+    pub fn new() -> SourceMap {
+        SourceMap { files: Vec::new() }
+    }
+
+    /// Registers a file and returns its id.
+    pub fn add_file(&mut self, name: &str, src: &str) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push(SourceFile::new(name, src));
+        id
+    }
+
+    /// Returns the file with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this map.
+    pub fn file(&self, id: FileId) -> &SourceFile {
+        &self.files[id.0 as usize]
+    }
+
+    /// Number of registered files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when no files are registered.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Renders a span as `file:line:col` for diagnostics.
+    pub fn describe(&self, span: Span) -> String {
+        if span.is_dummy() {
+            return "<generated>".to_owned();
+        }
+        let f = self.file(span.file);
+        let lc = f.line_col(span.lo);
+        format!("{}:{}:{}", f.name, lc.line, lc.col)
+    }
+
+    /// The source text covered by `span`, or `None` for dummy spans.
+    pub fn snippet(&self, span: Span) -> Option<&str> {
+        if span.is_dummy() {
+            return None;
+        }
+        let f = self.file(span.file);
+        f.src.get(span.lo as usize..span.hi as usize)
+    }
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_resolution() {
+        let f = SourceFile::new("t", "ab\ncd\n\nx");
+        assert_eq!(f.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(f.line_col(1), LineCol { line: 1, col: 2 });
+        assert_eq!(f.line_col(3), LineCol { line: 2, col: 1 });
+        assert_eq!(f.line_col(6), LineCol { line: 3, col: 1 });
+        assert_eq!(f.line_col(7), LineCol { line: 4, col: 1 });
+    }
+
+    #[test]
+    fn span_join() {
+        let a = Span::new(FileId(0), 2, 5);
+        let b = Span::new(FileId(0), 7, 9);
+        assert_eq!(a.to(b), Span::new(FileId(0), 2, 9));
+        assert_eq!(Span::DUMMY.to(b), b);
+        assert_eq!(a.to(Span::DUMMY), a);
+    }
+
+    #[test]
+    fn describe_and_snippet() {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("x.maya", "hello\nworld");
+        let sp = Span::new(f, 6, 11);
+        assert_eq!(sm.describe(sp), "x.maya:2:1");
+        assert_eq!(sm.snippet(sp), Some("world"));
+        assert_eq!(sm.describe(Span::DUMMY), "<generated>");
+    }
+}

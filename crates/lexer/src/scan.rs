@@ -1,0 +1,397 @@
+//! The raw scanner: source text → flat token stream.
+//!
+//! Comments (`//…` and `/*…*/`) and whitespace are discarded. Maximal munch
+//! applies to operators (`>>>=` before `>>>` before `>>` before `>`).
+
+use crate::{sym, FileId, SourceMap, Span, Token, TokenKind};
+use std::fmt;
+
+/// An error produced while scanning or while building token trees.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl LexError {
+    pub(crate) fn new(message: impl Into<String>, span: Span) -> LexError {
+        LexError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    file: FileId,
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn peek3(&self) -> u8 {
+        *self.src.get(self.pos + 2).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        c
+    }
+
+    fn span_from(&self, lo: usize) -> Span {
+        Span::new(self.file, lo as u32, self.pos as u32)
+    }
+
+    fn error(&self, msg: impl Into<String>, lo: usize) -> LexError {
+        LexError::new(msg, self.span_from(lo))
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' | 0x0c => {
+                    self.pos += 1;
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let lo = self.pos;
+                    self.pos += 2;
+                    loop {
+                        if self.pos >= self.src.len() {
+                            return Err(self.error("unterminated block comment", lo));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.pos += 2;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn scan_ident(&mut self) -> Token {
+        let lo = self.pos;
+        while is_ident_continue(self.peek()) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[lo..self.pos]).expect("ascii ident");
+        let kind = crate::keyword_kind(text).unwrap_or(TokenKind::Ident);
+        Token::new(kind, sym(text), self.span_from(lo))
+    }
+
+    fn scan_number(&mut self) -> Result<Token, LexError> {
+        let lo = self.pos;
+        let mut is_float = false;
+        if self.peek() == b'0' && (self.peek2() == b'x' || self.peek2() == b'X') {
+            self.pos += 2;
+            while self.peek().is_ascii_hexdigit() {
+                self.pos += 1;
+            }
+        } else {
+            while self.peek().is_ascii_digit() {
+                self.pos += 1;
+            }
+            if self.peek() == b'.' && self.peek2().is_ascii_digit() {
+                is_float = true;
+                self.pos += 1;
+                while self.peek().is_ascii_digit() {
+                    self.pos += 1;
+                }
+            }
+            if matches!(self.peek(), b'e' | b'E')
+                && (self.peek2().is_ascii_digit()
+                    || (matches!(self.peek2(), b'+' | b'-') && self.peek3().is_ascii_digit()))
+            {
+                is_float = true;
+                self.pos += 2;
+                while self.peek().is_ascii_digit() {
+                    self.pos += 1;
+                }
+            }
+        }
+        let kind = match self.peek() {
+            b'l' | b'L' if !is_float => {
+                self.pos += 1;
+                TokenKind::LongLit
+            }
+            b'f' | b'F' => {
+                self.pos += 1;
+                TokenKind::FloatLit
+            }
+            b'd' | b'D' => {
+                self.pos += 1;
+                TokenKind::DoubleLit
+            }
+            _ if is_float => TokenKind::DoubleLit,
+            _ => TokenKind::IntLit,
+        };
+        let text = std::str::from_utf8(&self.src[lo..self.pos])
+            .map_err(|_| self.error("invalid bytes in numeric literal", lo))?;
+        Ok(Token::new(kind, sym(text), self.span_from(lo)))
+    }
+
+    fn scan_quoted(&mut self, quote: u8, kind: TokenKind) -> Result<Token, LexError> {
+        let lo = self.pos;
+        self.pos += 1; // opening quote
+        loop {
+            match self.peek() {
+                0 => return Err(self.error("unterminated literal", lo)),
+                b'\n' => return Err(self.error("newline in literal", lo)),
+                b'\\' => {
+                    self.pos += 2;
+                }
+                c if c == quote => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[lo..self.pos])
+            .map_err(|_| self.error("invalid bytes in literal", lo))?;
+        Ok(Token::new(kind, sym(text), self.span_from(lo)))
+    }
+
+    fn scan_operator(&mut self) -> Result<Token, LexError> {
+        use TokenKind::*;
+        let lo = self.pos;
+        let c = self.bump();
+        let two = |s: &mut Self, with: u8, yes: TokenKind, no: TokenKind| {
+            if s.peek() == with {
+                s.pos += 1;
+                yes
+            } else {
+                no
+            }
+        };
+        let kind = match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBrack,
+            b']' => RBrack,
+            b';' => Semi,
+            b',' => Comma,
+            b'.' => Dot,
+            b'?' => Question,
+            b':' => Colon,
+            b'~' => Tilde,
+            b'@' => At,
+            b'$' => Dollar,
+            b'\\' => Backslash,
+            b'=' => two(self, b'=', EqEq, Assign),
+            b'!' => two(self, b'=', Ne, Bang),
+            b'*' => two(self, b'=', StarEq, Star),
+            b'/' => two(self, b'=', SlashEq, Slash),
+            b'%' => two(self, b'=', PercentEq, Percent),
+            b'^' => two(self, b'=', CaretEq, Caret),
+            b'+' => {
+                if self.peek() == b'+' {
+                    self.pos += 1;
+                    PlusPlus
+                } else {
+                    two(self, b'=', PlusEq, Plus)
+                }
+            }
+            b'-' => {
+                if self.peek() == b'-' {
+                    self.pos += 1;
+                    MinusMinus
+                } else {
+                    two(self, b'=', MinusEq, Minus)
+                }
+            }
+            b'&' => {
+                if self.peek() == b'&' {
+                    self.pos += 1;
+                    AndAnd
+                } else {
+                    two(self, b'=', AmpEq, Amp)
+                }
+            }
+            b'|' => {
+                if self.peek() == b'|' {
+                    self.pos += 1;
+                    OrOr
+                } else {
+                    two(self, b'=', PipeEq, Pipe)
+                }
+            }
+            b'<' => {
+                if self.peek() == b'<' {
+                    self.pos += 1;
+                    two(self, b'=', ShlEq, Shl)
+                } else {
+                    two(self, b'=', Le, Lt)
+                }
+            }
+            b'>' => {
+                if self.peek() == b'>' {
+                    self.pos += 1;
+                    if self.peek() == b'>' {
+                        self.pos += 1;
+                        two(self, b'=', UshrEq, Ushr)
+                    } else {
+                        two(self, b'=', ShrEq, Shr)
+                    }
+                } else {
+                    two(self, b'=', Ge, Gt)
+                }
+            }
+            other => {
+                return Err(self.error(
+                    format!("unexpected character {:?}", other as char),
+                    lo,
+                ))
+            }
+        };
+        let text = std::str::from_utf8(&self.src[lo..self.pos]).expect("ascii operator");
+        Ok(Token::new(kind, sym(text), self.span_from(lo)))
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Scans a registered file into a flat token vector (no EOF token appended).
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for unterminated comments/literals and characters
+/// outside the MayaJava alphabet.
+pub fn scan_tokens(sm: &SourceMap, file: FileId) -> Result<Vec<Token>, LexError> {
+    let src = sm.file(file).src.clone();
+    let mut scanner = Scanner {
+        src: src.as_bytes(),
+        pos: 0,
+        file,
+    };
+    let mut out = Vec::new();
+    loop {
+        scanner.skip_trivia()?;
+        if scanner.pos >= scanner.src.len() {
+            return Ok(out);
+        }
+        let c = scanner.peek();
+        let tok = if is_ident_start(c) {
+            scanner.scan_ident()
+        } else if c.is_ascii_digit() {
+            scanner.scan_number()?
+        } else if c == b'"' {
+            scanner.scan_quoted(b'"', TokenKind::StringLit)?
+        } else if c == b'\'' {
+            scanner.scan_quoted(b'\'', TokenKind::CharLit)?
+        } else {
+            scanner.scan_operator()?
+        };
+        out.push(tok);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceMap;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("t", src);
+        scan_tokens(&sm, f).unwrap().iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn scans_keywords_and_idents() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("class Foo extends Bar"),
+            vec![KwClass, Ident, KwExtends, Ident]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_shifts() {
+        use TokenKind::*;
+        assert_eq!(kinds(">>>= >>> >>= >> >= >"), vec![UshrEq, Ushr, ShrEq, Shr, Ge, Gt]);
+        assert_eq!(kinds("<<= << <= <"), vec![ShlEq, Shl, Le, Lt]);
+        assert_eq!(kinds("++ += +"), vec![PlusPlus, PlusEq, Plus]);
+        assert_eq!(kinds("== ="), vec![EqEq, Assign]);
+    }
+
+    #[test]
+    fn numbers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("0 42 42L 3.5 3.5f 1e9 2.5e-3 0xFF 7d"),
+            vec![IntLit, IntLit, LongLit, DoubleLit, FloatLit, DoubleLit, DoubleLit, IntLit, DoubleLit]
+        );
+    }
+
+    #[test]
+    fn strings_chars_and_escapes() {
+        use TokenKind::*;
+        assert_eq!(kinds(r#""a b" 'x' '\n' "say \"hi\"""#), vec![StringLit, CharLit, CharLit, StringLit]);
+    }
+
+    #[test]
+    fn comments_are_trivia() {
+        assert_eq!(kinds("a // line\n b /* block\n more */ c").len(), 3);
+    }
+
+    #[test]
+    fn dollar_at_backslash() {
+        use TokenKind::*;
+        assert_eq!(kinds("$x @D \\."), vec![Dollar, Ident, At, Ident, Backslash, Dot]);
+    }
+
+    #[test]
+    fn errors() {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("t", "\"oops");
+        assert!(scan_tokens(&sm, f).is_err());
+        let f = sm.add_file("t2", "/* never closed");
+        assert!(scan_tokens(&sm, f).is_err());
+        let f = sm.add_file("t3", "a # b");
+        assert!(scan_tokens(&sm, f).is_err());
+    }
+
+    #[test]
+    fn spans_cover_lexemes() {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("t", "foo bar");
+        let toks = scan_tokens(&sm, f).unwrap();
+        assert_eq!(sm.snippet(toks[0].span), Some("foo"));
+        assert_eq!(sm.snippet(toks[1].span), Some("bar"));
+    }
+}

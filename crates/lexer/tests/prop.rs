@@ -1,0 +1,92 @@
+//! Property tests: scanning and token-tree construction.
+
+use maya_lexer::{scan_tokens, stream_lex, SourceMap, TokenKind};
+use proptest::prelude::*;
+
+/// Tokens chosen so that adjacent pairs never merge under maximal munch
+/// when separated by a space.
+fn token_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,8}".prop_map(|s| s),
+        (0u32..100000).prop_map(|n| n.to_string()),
+        Just("\"str\"".to_owned()),
+        Just("+".to_owned()),
+        Just("==".to_owned()),
+        Just(">>>".to_owned()),
+        Just(";".to_owned()),
+        Just("class".to_owned()),
+        Just("instanceof".to_owned()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn rescanning_rendered_tokens_is_identity(tokens in proptest::collection::vec(token_text(), 0..40)) {
+        let src = tokens.join(" ");
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("p", &src);
+        let first = scan_tokens(&sm, f).unwrap();
+        // Render and re-scan: kinds and texts must match.
+        let rendered: Vec<String> = first.iter().map(|t| t.text.as_str().to_owned()).collect();
+        let src2 = rendered.join(" ");
+        let f2 = sm.add_file("p2", &src2);
+        let second = scan_tokens(&sm, f2).unwrap();
+        prop_assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(a.text, b.text);
+        }
+    }
+
+    #[test]
+    fn balanced_delimiters_always_tree(
+        depth in 0usize..6,
+        width in 1usize..4,
+    ) {
+        // Build a nested balanced string like ( { [ x ] } ).
+        fn build(depth: usize, width: usize) -> String {
+            if depth == 0 {
+                return "x".into();
+            }
+            let inner = build(depth - 1, width);
+            let mut out = String::new();
+            for d in ["(", "{", "["].iter().take(width) {
+                let close = match *d { "(" => ")", "{" => "}", _ => "]" };
+                out.push_str(d);
+                out.push_str(&inner);
+                out.push_str(close);
+                out.push(' ');
+            }
+            out
+        }
+        let src = build(depth, width);
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("p", &src);
+        let trees = stream_lex(&sm, f).unwrap();
+        // Flatten back: token count must match the raw scan.
+        let mut toks = Vec::new();
+        for t in &trees {
+            t.flatten_into(&mut toks);
+        }
+        let raw = scan_tokens(&sm, f).unwrap();
+        prop_assert_eq!(toks.len(), raw.len());
+    }
+
+    #[test]
+    fn unbalanced_delimiters_always_error(n_open in 1usize..5) {
+        let src = "( ".repeat(n_open);
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("p", &src);
+        prop_assert!(stream_lex(&sm, f).is_err());
+    }
+
+    #[test]
+    fn keywords_never_scan_as_identifiers(word in "[a-z]{2,10}") {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("p", &word);
+        let toks = scan_tokens(&sm, f).unwrap();
+        prop_assert_eq!(toks.len(), 1);
+        let is_kw = maya_lexer::keyword_kind(&word).is_some();
+        prop_assert_eq!(toks[0].kind == TokenKind::Ident, !is_kw);
+    }
+}

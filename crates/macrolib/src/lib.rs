@@ -1,0 +1,62 @@
+//! The Maya macro library (paper §3): `foreach` over `Enumeration`s with
+//! the statically-dispatched optimized variants (`VForEach` on
+//! `maya.util.Vector`, array `foreach`), `assert`, printf-style `format`,
+//! and Figure 3's `typedef` built from *local Mayans*.
+//!
+//! Every extension here is a [`maya_dispatch::MetaProgram`]: importing it
+//! with `use` adds productions and Mayans to the lexical scope of the
+//! import, exactly as compiled extension classes do in the paper.
+
+mod assert;
+mod comprehension;
+mod foreach;
+mod format;
+mod typedef;
+
+pub use assert::Assert;
+pub use comprehension::Comprehension;
+pub use foreach::{AForEach, EForEach, Foreach, VForEach};
+pub use format::Format;
+pub use typedef::Typedef;
+
+use maya_core::Compiler;
+
+/// Registers the whole library with a compiler, under the names used in the
+/// paper (`maya.util.Foreach` imports all foreach Mayans at once) plus
+/// short aliases.
+pub fn install(compiler: &Compiler) {
+    let classes = compiler.classes();
+    let prods = compiler.base().prods.clone();
+    let all = std::rc::Rc::new(Foreach::new(&classes, &prods));
+    compiler.register_metaprogram("maya.util.Foreach", all.clone());
+    compiler.register_metaprogram("Foreach", all);
+    compiler.register_metaprogram(
+        "EForEach",
+        std::rc::Rc::new(EForEach::new(&classes, &prods)),
+    );
+    compiler.register_metaprogram(
+        "VForEach",
+        std::rc::Rc::new(VForEach::new(&classes, &prods)),
+    );
+    compiler.register_metaprogram(
+        "AForEach",
+        std::rc::Rc::new(AForEach::new(&classes, &prods)),
+    );
+    compiler.register_metaprogram("maya.util.Assert", std::rc::Rc::new(Assert));
+    compiler.register_metaprogram("Assert", std::rc::Rc::new(Assert));
+    compiler.register_metaprogram("maya.util.Format", std::rc::Rc::new(Format));
+    compiler.register_metaprogram("Format", std::rc::Rc::new(Format));
+    compiler.register_metaprogram("Typedef", std::rc::Rc::new(Typedef::new(&prods)));
+    compiler.register_metaprogram(
+        "maya.util.Comprehension",
+        std::rc::Rc::new(Comprehension),
+    );
+    compiler.register_metaprogram("Comprehension", std::rc::Rc::new(Comprehension));
+}
+
+/// A compiler with the macro library pre-registered.
+pub fn compiler_with_macros() -> Compiler {
+    let c = Compiler::new();
+    install(&c);
+    c
+}

@@ -1,0 +1,283 @@
+//! E1–E3: the paper's `foreach` — expansion shape, type-directed selection
+//! of the optimized variant, hygiene, and end-to-end behaviour.
+
+use maya_ast::{normalize_generated_names, pretty_node};
+use maya_core::Compiler;
+use maya_macrolib::compiler_with_macros;
+
+fn run(src: &str) -> String {
+    let c = compiler_with_macros();
+    match c.compile_and_run("Main.maya", src, "Main") {
+        Ok(out) => out,
+        Err(e) => panic!("compile/run failed: {} @ {:?}", e.message, e.span),
+    }
+}
+
+/// The pretty-printed, α-normalized body of `Main.main` after compilation.
+fn expanded_main(c: &Compiler) -> String {
+    let classes = c.classes();
+    let id = classes.by_fqcn_str("Main").expect("class Main");
+    let info = classes.info(id);
+    let info = info.borrow();
+    let m = info
+        .methods
+        .iter()
+        .find(|m| m.name.as_str() == "main")
+        .expect("method main");
+    let node = m
+        .body
+        .as_ref()
+        .expect("main has a body")
+        .forced_node()
+        .expect("body forced by compile()");
+    normalize_generated_names(&pretty_node(&node))
+}
+
+/// Paper §3's first example: foreach over a Hashtable's keys.
+const HASHTABLE_FOREACH: &str = r#"
+    import java.util.*;
+    class Main {
+        static void main() {
+            Hashtable h = new Hashtable();
+            h.put("a", "1");
+            h.put("b", "2");
+            use EForEach;
+            h.keys().foreach(String st) {
+                System.out.println(st + " = " + h.get(st));
+            }
+        }
+    }
+"#;
+
+#[test]
+fn e1_hashtable_foreach_runs() {
+    assert_eq!(run(HASHTABLE_FOREACH), "a = 1\nb = 2\n");
+}
+
+#[test]
+fn e1_expansion_matches_figure() {
+    // §3: the use expands to a for-loop over a hygienic Enumeration
+    // variable, declaring the user's variable and casting nextElement().
+    let c = compiler_with_macros();
+    c.add_source("Main.maya", HASHTABLE_FOREACH).unwrap();
+    c.compile().unwrap();
+    let body = expanded_main(&c);
+    assert!(
+        body.contains("for (java.util.Enumeration g$1 = h.keys(); g$1.hasMoreElements(); )"),
+        "missing enumeration loop in:\n{body}"
+    );
+    assert!(body.contains("String st;"), "missing declaration in:\n{body}");
+    assert!(
+        body.contains("st = ((java.lang.String) g$1.nextElement());"),
+        "missing cast assignment in:\n{body}"
+    );
+    assert!(
+        body.contains("System.out.println"),
+        "user body missing in:\n{body}"
+    );
+}
+
+#[test]
+fn e2_vector_foreach_selects_optimized_variant() {
+    // §3/§4.4: `v.elements().foreach` on maya.util.Vector picks VForEach —
+    // dispatch on substructure (a call to elements()) *and* the receiver's
+    // static type.
+    let src = r#"
+        class Main {
+            static void main() {
+                maya.util.Vector v = new maya.util.Vector();
+                v.addElement("x");
+                v.addElement("y");
+                use Foreach;
+                v.elements().foreach(String st) {
+                    System.out.println(st);
+                }
+            }
+        }
+    "#;
+    let c = compiler_with_macros();
+    c.add_source("Main.maya", src).unwrap();
+    c.compile().unwrap();
+    let body = expanded_main(&c);
+    assert!(
+        body.contains("getElementData()"),
+        "VForEach's allocation-free expansion not selected:\n{body}"
+    );
+    assert!(
+        !body.contains("hasMoreElements"),
+        "EForEach used despite more specific VForEach:\n{body}"
+    );
+    assert_eq!(c.run_main("Main").unwrap(), "x\ny\n");
+}
+
+#[test]
+fn e2_plain_vector_uses_eforeach() {
+    // java.util.Vector (not maya.util.Vector): VForEach's static-type
+    // specializer does not match, EForEach does.
+    let src = r#"
+        import java.util.*;
+        class Main {
+            static void main() {
+                Vector v = new Vector();
+                v.addElement("a");
+                use Foreach;
+                v.elements().foreach(String st) {
+                    System.out.println(st);
+                }
+            }
+        }
+    "#;
+    let c = compiler_with_macros();
+    c.add_source("Main.maya", src).unwrap();
+    c.compile().unwrap();
+    let body = expanded_main(&c);
+    assert!(body.contains("hasMoreElements"), "expected EForEach:\n{body}");
+    assert_eq!(c.run_main("Main").unwrap(), "a\n");
+}
+
+#[test]
+fn array_foreach() {
+    let out = run(r#"
+        class Main {
+            static void main() {
+                int[] a = new int[4];
+                for (int i = 0; i < 4; i++) { a[i] = i * 10; }
+                use Foreach;
+                a.foreach(int x) {
+                    System.out.println(x);
+                }
+            }
+        }
+    "#);
+    assert_eq!(out, "0\n10\n20\n30\n");
+}
+
+#[test]
+fn hygiene_user_enumvar_is_not_captured() {
+    // §4.3: the template's enumVar must not interfere with the user's.
+    let out = run(r#"
+        import java.util.*;
+        class Main {
+            static void main() {
+                Vector v = new Vector();
+                v.addElement("z");
+                String enumVar = "mine";
+                use Foreach;
+                v.elements().foreach(String st) {
+                    System.out.println(enumVar + " " + st);
+                }
+                System.out.println(enumVar);
+            }
+        }
+    "#);
+    assert_eq!(out, "mine z\nmine\n");
+}
+
+#[test]
+fn foreach_requires_an_import() {
+    // Mayans are lexically scoped: without `use`, the production is not in
+    // the grammar and the call-with-block shape is a syntax error.
+    let src = r#"
+        import java.util.*;
+        class Main {
+            static void main() {
+                Hashtable h = new Hashtable();
+                h.keys().foreach(String st) {
+                    System.out.println(st);
+                }
+            }
+        }
+    "#;
+    let c = compiler_with_macros();
+    assert!(c.compile_and_run("Main.maya", src, "Main").is_err());
+}
+
+#[test]
+fn foreach_is_not_a_reserved_word() {
+    // A method named foreach still works, even with the import in scope.
+    let out = run(r#"
+        class Helper {
+            static int foreach(int x) { return x + 1; }
+        }
+        class Main {
+            static void main() {
+                use Foreach;
+                System.out.println(Helper.foreach(41));
+            }
+        }
+    "#);
+    assert_eq!(out, "42\n");
+}
+
+#[test]
+fn import_scope_is_lexical() {
+    // The import in one method does not leak into another.
+    let src = r#"
+        import java.util.*;
+        class Main {
+            static void one() {
+                Vector v = new Vector();
+                use Foreach;
+                v.elements().foreach(String st) { System.out.println(st); }
+            }
+            static void two() {
+                Vector v = new Vector();
+                v.elements().foreach(String st) { System.out.println(st); }
+            }
+            static void main() { one(); }
+        }
+    "#;
+    let c = compiler_with_macros();
+    assert!(
+        c.compile_and_run("Main.maya", src, "Main").is_err(),
+        "method two() must not see one()'s import"
+    );
+}
+
+#[test]
+fn paper_showem_example_verbatim() {
+    // §3.3's showEm, modulo our runner: the use directive inside a method
+    // body scopes the translation to that body only.
+    let out = run(r#"
+        import java.util.*;
+        class Main {
+            static void showEm(Enumeration e) {
+                use EForEach;
+                e.foreach(Object o) {
+                    System.out.println(o);
+                }
+            }
+            static void main() {
+                Vector v = new Vector();
+                v.addElement("one");
+                v.addElement("two");
+                showEm(v.elements());
+            }
+        }
+    "#);
+    assert_eq!(out, "one\ntwo\n");
+}
+
+#[test]
+fn foreach_on_parameter_types_uses_static_dispatch() {
+    // The receiver is a *parameter* — its static type (Enumeration) drives
+    // the dispatch even though the dynamic value is a VectorEnumeration.
+    let src = r#"
+        import java.util.*;
+        class Main {
+            static void dump(Enumeration e) {
+                use Foreach;
+                e.foreach(String s) { System.out.println(s); }
+            }
+            static void main() {
+                Vector v = new Vector();
+                v.addElement("param");
+                dump(v.elements());
+            }
+        }
+    "#;
+    let c = compiler_with_macros();
+    c.add_source("Main.maya", src).unwrap();
+    c.compile().unwrap();
+    assert_eq!(c.run_main("Main").unwrap(), "param\n");
+}

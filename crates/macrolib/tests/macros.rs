@@ -1,0 +1,176 @@
+//! `assert`, `format`, and Figure 3's `typedef` (local Mayans, E4).
+
+use maya_macrolib::compiler_with_macros;
+
+fn run(src: &str) -> String {
+    let c = compiler_with_macros();
+    match c.compile_and_run("Main.maya", src, "Main") {
+        Ok(out) => out,
+        Err(e) => panic!("compile/run failed: {} @ {:?}", e.message, e.span),
+    }
+}
+
+#[test]
+fn assert_passes_and_fails_with_source_text() {
+    let out = run(r#"
+        class Main {
+            static void main() {
+                use Assert;
+                int x = 2;
+                assert(x + x == 4);
+                System.out.println("ok");
+                try {
+                    assert(x * x == 5);
+                } catch (RuntimeException e) {
+                    System.out.println(e.getMessage());
+                }
+            }
+        }
+    "#);
+    assert_eq!(out, "ok\nassertion failed: (x * x) == 5\n");
+}
+
+#[test]
+fn assert_is_scoped() {
+    let src = r#"
+        class Main {
+            static void main() {
+                assert(true);
+            }
+        }
+    "#;
+    let c = compiler_with_macros();
+    assert!(c.compile_and_run("Main.maya", src, "Main").is_err());
+}
+
+#[test]
+fn format_expands_to_concatenation() {
+    let out = run(r#"
+        class Main {
+            static void main() {
+                use Format;
+                int n = 3;
+                String s = format("n=%s and n+1=%s!", n, n + 1);
+                System.out.println(s);
+            }
+        }
+    "#);
+    assert_eq!(out, "n=3 and n+1=4!\n");
+}
+
+#[test]
+fn format_arity_is_checked_at_compile_time() {
+    let src = r#"
+        class Main {
+            static void main() {
+                use Format;
+                System.out.println(format("%s %s", 1));
+            }
+        }
+    "#;
+    let c = compiler_with_macros();
+    let err = c.compile_and_run("Main.maya", src, "Main").unwrap_err();
+    assert!(err.message.contains("placeholder"), "{}", err.message);
+}
+
+#[test]
+fn format_requires_a_literal() {
+    let src = r#"
+        class Main {
+            static void main() {
+                use Format;
+                String f = "%s";
+                System.out.println(format(f, 1));
+            }
+        }
+    "#;
+    let c = compiler_with_macros();
+    assert!(c.compile_and_run("Main.maya", src, "Main").is_err());
+}
+
+#[test]
+fn e4_typedef_aliases_a_class_locally() {
+    // Figure 3: typedef defines an alternate name for a class within a
+    // block of statements, via a local Mayan closed over var/val.
+    let out = run(r#"
+        import java.util.*;
+        class Main {
+            static void main() {
+                use Typedef;
+                typedef (Table = java.util.Hashtable) {
+                    Table t = new Table();
+                    t.put("k", "v");
+                    System.out.println(t.get("k"));
+                    System.out.println(t instanceof Hashtable);
+                }
+            }
+        }
+    "#);
+    assert_eq!(out, "v\ntrue\n");
+}
+
+#[test]
+fn e4_typedef_scope_ends_with_the_block() {
+    let src = r#"
+        import java.util.*;
+        class Main {
+            static void main() {
+                use Typedef;
+                typedef (Table = java.util.Hashtable) {
+                    Table t = new Table();
+                }
+                Table t2 = new Table();
+            }
+        }
+    "#;
+    let c = compiler_with_macros();
+    assert!(
+        c.compile_and_run("Main.maya", src, "Main").is_err(),
+        "the alias must not escape the typedef block"
+    );
+}
+
+#[test]
+fn macros_compose() {
+    let out = run(r#"
+        import java.util.*;
+        class Main {
+            static void main() {
+                use Foreach;
+                use Assert;
+                use Format;
+                Vector v = new Vector();
+                v.addElement("a");
+                v.addElement("b");
+                assert(v.size() == 2);
+                v.elements().foreach(String st) {
+                    System.out.println(format("item: %s", st));
+                }
+            }
+        }
+    "#);
+    assert_eq!(out, "item: a\nitem: b\n");
+}
+
+#[test]
+fn comprehension_builds_collections() {
+    let out = run(r#"
+        import java.util.*;
+        class Main {
+            static void main() {
+                use Comprehension;
+                use Foreach;
+                Vector numbers = new Vector();
+                numbers.addElement("1");
+                numbers.addElement("2");
+                numbers.addElement("3");
+                Vector doubled = new Vector();
+                into(doubled, s + s each String s : numbers);
+                doubled.elements().foreach(String d) {
+                    System.out.println(d);
+                }
+            }
+        }
+    "#);
+    assert_eq!(out, "11\n22\n33\n");
+}

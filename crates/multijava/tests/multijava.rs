@@ -1,0 +1,234 @@
+//! E10: MultiJava end to end — the §5.2 example (Figure 8's translation),
+//! runtime multiple dispatch, open classes, and the static checks.
+
+use maya_ast::{normalize_generated_names, pretty_node};
+use maya_multijava::compiler_with_multijava;
+
+fn run(src: &str) -> String {
+    let c = compiler_with_multijava();
+    match c.compile_and_run("Main.maya", src, "Main") {
+        Ok(out) => out,
+        Err(e) => panic!("compile/run failed: {} @ {:?}", e.message, e.span),
+    }
+}
+
+/// The §5.2 example, verbatim modulo our runner class.
+const PAPER_EXAMPLE: &str = r#"
+    use MultiJava;
+    class C {
+    }
+    class D extends C {
+        int m(C c) { return 0; }
+        int m(C@D c) { return 1; }
+    }
+    class Main {
+        static void main() {
+            D d = new D();
+            System.out.println(d.m(new C()));
+            System.out.println(d.m(new D()));
+        }
+    }
+"#;
+
+#[test]
+fn e10_paper_example_dispatches_on_runtime_type() {
+    // "a multimethod: executes if c is dynamically a D"
+    assert_eq!(run(PAPER_EXAMPLE), "0\n1\n");
+}
+
+#[test]
+fn e10_generated_dispatcher_matches_figure8() {
+    let c = compiler_with_multijava();
+    c.add_source("Main.maya", PAPER_EXAMPLE).unwrap();
+    c.compile().unwrap();
+    let classes = c.classes();
+    let d = classes.by_fqcn_str("D").unwrap();
+    let info = classes.info(d);
+    let info = info.borrow();
+    // The class now has m$1, m$2, and the generated m.
+    let names: Vec<&str> = info.methods.iter().map(|m| m.name.as_str()).collect();
+    assert!(names.contains(&"m$1"), "{names:?}");
+    assert!(names.contains(&"m$2"), "{names:?}");
+    let disp = info
+        .methods
+        .iter()
+        .find(|m| m.name.as_str() == "m")
+        .expect("generated dispatcher");
+    let body = disp.body.as_ref().unwrap().forced_node().unwrap();
+    let text = normalize_generated_names(&pretty_node(&body));
+    // Figure 8's output: return c instanceof D ? m$2((D) c) : m$1(c);
+    assert_eq!(
+        text.trim(),
+        "return (c instanceof D) ? g$1((D) c) : g$2(c);"
+    );
+}
+
+#[test]
+fn three_level_hierarchy_tests_subtypes_first() {
+    let out = run(r#"
+        use MultiJava;
+        class A { }
+        class B extends A { }
+        class Cc extends B { }
+        class Disp {
+            String what(A x) { return "A"; }
+            String what(A@B x) { return "B"; }
+            String what(A@Cc x) { return "C"; }
+        }
+        class Main {
+            static void main() {
+                Disp d = new Disp();
+                System.out.println(d.what(new A()));
+                System.out.println(d.what(new B()));
+                System.out.println(d.what(new Cc()));
+            }
+        }
+    "#);
+    assert_eq!(out, "A\nB\nC\n");
+}
+
+#[test]
+fn multiple_dispatch_on_two_arguments() {
+    // The visitor-pattern killer: dispatch on both argument types.
+    let out = run(r#"
+        use MultiJava;
+        class Shape { }
+        class Circle extends Shape { }
+        class Rect extends Shape { }
+        class Intersect {
+            String test(Shape a, Shape b) { return "s/s"; }
+            String test(Shape@Circle a, Shape@Rect b) { return "c/r"; }
+            String test(Shape@Rect a, Shape@Circle b) { return "r/c"; }
+            String test(Shape@Circle a, Shape@Circle b) { return "c/c"; }
+        }
+        class Main {
+            static void main() {
+                Intersect i = new Intersect();
+                Shape c = new Circle();
+                Shape r = new Rect();
+                System.out.println(i.test(c, r));
+                System.out.println(i.test(r, c));
+                System.out.println(i.test(c, c));
+                System.out.println(i.test(r, r));
+            }
+        }
+    "#);
+    assert_eq!(out, "c/r\nr/c\nc/c\ns/s\n");
+}
+
+#[test]
+fn open_classes_external_methods() {
+    // §5.1: methods declared outside their receiver class; `this` is bound
+    // to the receiver instance.
+    let out = run(r#"
+        use MultiJava;
+        class Point {
+            int x;
+            int y;
+            Point(int x0, int y0) { x = x0; y = y0; }
+        }
+        int Point.norm1() { return this.x + this.y; }
+        String Point.show() { return "<" + this.x + "," + this.y + ">"; }
+        class Main {
+            static void main() {
+                Point p = new Point(3, 4);
+                System.out.println(p.norm1());
+                System.out.println(p.show());
+            }
+        }
+    "#);
+    assert_eq!(out, "7\n<3,4>\n");
+}
+
+#[test]
+fn completeness_check_rejects_missing_fallback() {
+    let src = r#"
+        use MultiJava;
+        class A { }
+        class B extends A { }
+        class Disp {
+            int m(A@B x) { return 1; }
+        }
+        class Main { static void main() { } }
+    "#;
+    let c = compiler_with_multijava();
+    let err = c.compile_and_run("Main.maya", src, "Main").unwrap_err();
+    assert!(err.message.contains("completeness"), "{}", err.message);
+}
+
+#[test]
+fn invalid_specializer_rejected() {
+    // The specializer must be a subclass of the declared parameter type.
+    let src = r#"
+        use MultiJava;
+        class A { }
+        class B { }
+        class Disp {
+            int m(A x) { return 0; }
+            int m(A@B x) { return 1; }
+        }
+        class Main { static void main() { } }
+    "#;
+    let c = compiler_with_multijava();
+    let err = c.compile_and_run("Main.maya", src, "Main").unwrap_err();
+    assert!(err.message.contains("specializer"), "{}", err.message);
+}
+
+#[test]
+fn duplicate_specializers_rejected() {
+    let src = r#"
+        use MultiJava;
+        class A { }
+        class B extends A { }
+        class Disp {
+            int m(A x) { return 0; }
+            int m(A@B x) { return 1; }
+            int m(A@B x) { return 2; }
+        }
+        class Main { static void main() { } }
+    "#;
+    let c = compiler_with_multijava();
+    assert!(c.compile_and_run("Main.maya", src, "Main").is_err());
+}
+
+#[test]
+fn multijava_requires_import() {
+    let src = r#"
+        class A { }
+        class Disp {
+            int m(A@A x) { return 1; }
+        }
+        class Main { static void main() { } }
+    "#;
+    let c = compiler_with_multijava();
+    assert!(
+        c.compile_and_run("Main.maya", src, "Main").is_err(),
+        "@-specializers must be a syntax error without the import"
+    );
+}
+
+#[test]
+fn inherited_fallback_satisfies_completeness() {
+    // "a concrete class must define or *inherit* multimethods for all
+    // argument types": the subclass only adds a specialized case; the
+    // fallback is inherited and reached via super.
+    let out = run(r#"
+        use MultiJava;
+        class A { }
+        class B extends A { }
+        class Base {
+            String m(A x) { return "base"; }
+        }
+        class Refined extends Base {
+            String m(A@B x) { return "refined"; }
+        }
+        class Main {
+            static void main() {
+                Refined r = new Refined();
+                System.out.println(r.m(new A()));
+                System.out.println(r.m(new B()));
+            }
+        }
+    "#);
+    assert_eq!(out, "base\nrefined\n");
+}

@@ -1,0 +1,570 @@
+//! The table-driven engine, including the nonterminal-input (pattern)
+//! algorithm of paper §4.2.
+
+use crate::{Input, NtSel, ParseError};
+use maya_grammar::{Action, ActionEntry, Grammar, NtId, ProdId, Tables, TermId, Terminal};
+use maya_lexer::{DelimTree, Span, Token, TokenKind};
+use std::rc::Rc;
+
+/// What a reduction produced.
+pub enum DriverOut<V> {
+    /// An ordinary semantic value.
+    Value(V),
+    /// The reduced nonterminal is a *use head*: the rest of the current
+    /// input must be parsed (under the driver's possibly-updated
+    /// environment) as one of `goals` (the first with a goto in the current
+    /// state) and shifted as a nonterminal. This implements the paper's
+    /// rule that syntax following an import is parsed after the import
+    /// takes effect.
+    ParseRest { head: V, goals: Vec<NtId> },
+}
+
+/// Supplies semantic values to the engine.
+///
+/// The compiler's driver builds AST nodes and dispatches Mayans; the
+/// [`crate::trace::TraceDriver`] records parse structure.
+pub trait Driver {
+    /// The semantic value type.
+    type V: Clone;
+
+    /// Value for the internal goal marker (never observed by reductions).
+    fn marker(&mut self) -> Self::V;
+
+    /// Value of a shifted token.
+    fn shift_token(&mut self, tok: &Token) -> Self::V;
+
+    /// Value of a shifted delimiter subtree. `pattern` carries nested
+    /// pattern items when the tree's interior is itself a pattern.
+    fn shift_tree(
+        &mut self,
+        tree: &DelimTree,
+        pattern: Option<&Rc<Vec<Input<Self::V>>>>,
+    ) -> Self::V;
+
+    /// Performs the semantic action of `prod`.
+    ///
+    /// # Errors
+    ///
+    /// Semantic actions may fail (e.g. "no applicable Mayan").
+    fn reduce(
+        &mut self,
+        grammar: &Grammar,
+        prod: ProdId,
+        action: Action,
+        args: Vec<(Self::V, Span)>,
+        span: Span,
+    ) -> Result<DriverOut<Self::V>, ParseError>;
+
+    /// Parses the remaining input after a [`DriverOut::ParseRest`] head.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors from the tail parse.
+    fn parse_rest(
+        &mut self,
+        grammar: &Grammar,
+        rest: &[Input<Self::V>],
+        goal: NtId,
+    ) -> Result<Self::V, ParseError>;
+}
+
+fn resolve_nt(grammar: &Grammar, sel: NtSel) -> Option<NtId> {
+    match sel {
+        NtSel::Kind(k) => grammar.nt_for_kind_lattice(k),
+        NtSel::Id(id) => Some(id),
+    }
+}
+
+/// FIRST terminals of an input suffix, following nullable nonterminals
+/// (FIRST(Xγ) of the paper's pattern algorithm).
+fn first_of_input<V>(
+    tables: &Tables,
+    grammar: &Grammar,
+    input: &[Input<V>],
+    end_id: TermId,
+) -> Vec<TermId> {
+    let mut out = Vec::new();
+    for item in input {
+        match item {
+            Input::Tok(t) => {
+                if t.kind == TokenKind::Ident {
+                    if let Some(id) = tables.term_id(Terminal::Word(t.text)) {
+                        out.push(id);
+                    }
+                }
+                if let Some(id) = tables.term_id(Terminal::Tok(t.kind)) {
+                    out.push(id);
+                }
+                return out;
+            }
+            Input::Tree(d, _) => {
+                if let Some(id) = tables.term_id(Terminal::Tree(d.delim)) {
+                    out.push(id);
+                }
+                return out;
+            }
+            Input::Nt(sel, _, _) => {
+                let Some(nt) = resolve_nt(grammar, *sel) else {
+                    return out;
+                };
+                out.extend(tables.first_of_nt(nt).iter());
+                if !tables.nullable(nt) {
+                    return out;
+                }
+            }
+        }
+    }
+    out.push(end_id);
+    out
+}
+
+fn syntax_error<V>(
+    tables: &Tables,
+    state: u32,
+    at: Option<&Input<V>>,
+    span: Span,
+) -> ParseError {
+    let mut expected: Vec<String> = tables
+        .expected_in(state)
+        .into_iter()
+        .filter(|t| !matches!(t, Terminal::Goal(_)))
+        .map(|t| t.to_string())
+        .collect();
+    expected.truncate(10);
+    let found = at.map(|i| i.describe()).unwrap_or_else(|| "<end>".into());
+    ParseError::new(
+        format!(
+            "syntax error: unexpected {found}; expected one of: {}",
+            expected.join(", ")
+        ),
+        span,
+    )
+}
+
+/// Runs the parser over `input` with start symbol `goal`.
+///
+/// # Errors
+///
+/// Returns syntax errors, semantic-action errors, and table-generation
+/// errors from the grammar snapshot.
+pub fn run_parse<D: Driver>(
+    grammar: &Grammar,
+    input: &[Input<D::V>],
+    goal: NtId,
+    driver: &mut D,
+) -> Result<D::V, ParseError> {
+    let tables = grammar
+        .tables()
+        .map_err(|e| ParseError::new(e.to_string(), Span::DUMMY))?;
+
+    let mut states: Vec<u32> = vec![tables.start_state()];
+    let mut vals: Vec<(D::V, Span)> = Vec::new();
+
+    // Shift the goal marker.
+    let goal_term = tables.goal_term(goal).ok_or_else(|| {
+        ParseError::new(
+            format!("nonterminal #{} is not startable in this grammar", goal.0),
+            Span::DUMMY,
+        )
+    })?;
+    let end_id = tables.end_of(goal).ok_or_else(|| {
+        ParseError::new(
+            format!("nonterminal #{} has no end terminal", goal.0),
+            Span::DUMMY,
+        )
+    })?;
+    match tables.action(tables.start_state(), goal_term) {
+        Some(ActionEntry::Shift(j)) => {
+            states.push(j);
+            vals.push((driver.marker(), Span::DUMMY));
+        }
+        _ => {
+            return Err(ParseError::new(
+                format!("internal error: no start action for goal #{}", goal.0),
+                Span::DUMMY,
+            ))
+        }
+    }
+
+    let mut idx = 0usize;
+    let mut fuel: u64 = 10_000_000;
+
+    macro_rules! state {
+        () => {
+            *states.last().expect("state stack never empty")
+        };
+    }
+
+    loop {
+        fuel -= 1;
+        if fuel == 0 {
+            return Err(ParseError::new(
+                "internal error: parser did not make progress",
+                Span::DUMMY,
+            ));
+        }
+
+        // Pattern-mode nonterminal input.
+        if let Some(Input::Nt(sel, v, span)) = input.get(idx) {
+            let nt = resolve_nt(grammar, *sel).ok_or_else(|| {
+                ParseError::new(
+                    format!("no grammar nonterminal for {}", input[idx].describe()),
+                    *span,
+                )
+            })?;
+            if let Some(j) = tables.goto(state!(), nt) {
+                // Case 1 (Figure 6(b)): a goto on X exists — shift X.
+                states.push(j);
+                vals.push((v.clone(), *span));
+                idx += 1;
+                continue;
+            }
+            // Case 2 (Figure 6(c)): all actions on FIRST(Xγ) must reduce
+            // the same production; perform it and retry.
+            let la = first_of_input(&tables, grammar, &input[idx..], end_id);
+            let mut reduction: Option<ProdId> = None;
+            let mut ok = !la.is_empty();
+            for t in &la {
+                match tables.action(state!(), *t) {
+                    None => {}
+                    Some(ActionEntry::Reduce(p)) => match reduction {
+                        None => reduction = Some(p),
+                        Some(q) if q == p => {}
+                        Some(_) => {
+                            ok = false;
+                            break;
+                        }
+                    },
+                    Some(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            let Some(prod) = reduction.filter(|_| ok) else {
+                return Err(syntax_error(&tables, state!(), input.get(idx), *span));
+            };
+            do_reduce(
+                grammar, &tables, prod, &mut states, &mut vals, driver, input, &mut idx,
+            )?;
+            continue;
+        }
+
+        // Terminal input (token, tree, or end).
+        let act = match input.get(idx) {
+            Some(Input::Tok(t)) => tables.action_for_token(state!(), t).map(|(_, a)| a),
+            Some(Input::Tree(d, _)) => tables.action_for_tree(state!(), d.delim).map(|(_, a)| a),
+            Some(Input::Nt(..)) => unreachable!("handled above"),
+            None => tables.action(state!(), end_id),
+        };
+        let span_here = input
+            .get(idx)
+            .map(|i| i.span())
+            .or_else(|| vals.last().map(|(_, s)| *s))
+            .unwrap_or(Span::DUMMY);
+        match act {
+            None => return Err(syntax_error(&tables, state!(), input.get(idx), span_here)),
+            Some(ActionEntry::Shift(j)) => {
+                let v = match &input[idx] {
+                    Input::Tok(t) => driver.shift_token(t),
+                    Input::Tree(d, pat) => driver.shift_tree(d, pat.as_ref()),
+                    Input::Nt(..) => unreachable!(),
+                };
+                states.push(j);
+                vals.push((v, span_here));
+                idx += 1;
+            }
+            Some(ActionEntry::Reduce(p)) => {
+                do_reduce(
+                    grammar, &tables, p, &mut states, &mut vals, driver, input, &mut idx,
+                )?;
+            }
+            Some(ActionEntry::Accept) => {
+                let (v, _) = vals.pop().expect("accept with value on stack");
+                return Ok(v);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn do_reduce<D: Driver>(
+    grammar: &Grammar,
+    tables: &Tables,
+    prod_id: ProdId,
+    states: &mut Vec<u32>,
+    vals: &mut Vec<(D::V, Span)>,
+    driver: &mut D,
+    input: &[Input<D::V>],
+    idx: &mut usize,
+) -> Result<(), ParseError> {
+    let prod = grammar.production(prod_id);
+    let n = prod.rhs.len();
+    let at = vals.len() - n;
+    let args: Vec<(D::V, Span)> = vals.drain(at..).collect();
+    states.truncate(states.len() - n);
+    let span = args
+        .iter()
+        .fold(Span::DUMMY, |acc, (_, s)| acc.to(*s));
+    let span = if span.is_dummy() {
+        input.get(*idx).map(|i| i.span()).unwrap_or(Span::DUMMY)
+    } else {
+        span
+    };
+
+    let out = driver.reduce(grammar, prod_id, prod.action, args, span)?;
+    let state = *states.last().expect("state stack never empty");
+    let j = tables.goto(state, prod.lhs).ok_or_else(|| {
+        ParseError::new(
+            format!(
+                "internal error: missing goto for {} in state {state}",
+                grammar.nt_def(prod.lhs).name
+            ),
+            span,
+        )
+    })?;
+    states.push(j);
+    match out {
+        DriverOut::Value(v) => {
+            vals.push((v, span));
+        }
+        DriverOut::ParseRest { head, goals } => {
+            vals.push((head, span));
+            let rest = &input[*idx..];
+            let rest_span = rest
+                .iter()
+                .fold(Span::DUMMY, |acc, i| acc.to(i.span()));
+            let state = *states.last().expect("state stack never empty");
+            let (goal, k) = goals
+                .iter()
+                .find_map(|g| tables.goto(state, *g).map(|k| (*g, k)))
+                .ok_or_else(|| {
+                    ParseError::new(
+                        "internal error: use-tail nonterminal not expected here",
+                        rest_span,
+                    )
+                })?;
+            let v = driver.parse_rest(grammar, rest, goal)?;
+            *idx = input.len();
+            states.push(k);
+            vals.push((v, rest_span));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_ast::{Node, NodeKind};
+    use maya_grammar::{Assoc, BuiltinAction, GrammarBuilder, RhsItem};
+    use maya_lexer::tree_lex_str;
+
+    /// A small semantic driver for tests: dispatch productions are folded
+    /// with a user closure over `Node` values.
+    struct TestDriver<F>(F);
+
+    impl<F> Driver for TestDriver<F>
+    where
+        F: FnMut(ProdId, Vec<Node>) -> Node,
+    {
+        type V = Node;
+
+        fn marker(&mut self) -> Node {
+            Node::Unit
+        }
+
+        fn shift_token(&mut self, tok: &Token) -> Node {
+            Node::Token(*tok)
+        }
+
+        fn shift_tree(&mut self, tree: &DelimTree, _p: Option<&Rc<Vec<Input<Node>>>>) -> Node {
+            Node::Tree(maya_lexer::TokenTree::Delim(tree.clone()))
+        }
+
+        fn reduce(
+            &mut self,
+            _g: &Grammar,
+            prod: ProdId,
+            action: Action,
+            args: Vec<(Node, Span)>,
+            _span: Span,
+        ) -> Result<DriverOut<Node>, ParseError> {
+            let args: Vec<Node> = args.into_iter().map(|(v, _)| v).collect();
+            let v = match action {
+                Action::Dispatch => (self.0)(prod, args),
+                Action::Builtin(BuiltinAction::PassThrough(i)) => args[i].clone(),
+                Action::Builtin(BuiltinAction::EmptyList) => Node::List(vec![]),
+                Action::Builtin(BuiltinAction::ListSingle) => Node::List(args),
+                Action::Builtin(BuiltinAction::ListAppend { .. }) => {
+                    let mut it = args.into_iter();
+                    let mut list = match it.next() {
+                        Some(Node::List(l)) => l,
+                        _ => panic!("list append on non-list"),
+                    };
+                    let item = it.last().expect("append item");
+                    list.push(item);
+                    Node::List(list)
+                }
+                Action::Builtin(_) => Node::Unit,
+            };
+            Ok(DriverOut::Value(v))
+        }
+
+        fn parse_rest(
+            &mut self,
+            _g: &Grammar,
+            _rest: &[Input<Node>],
+            _goal: NtId,
+        ) -> Result<Node, ParseError> {
+            unimplemented!("not used in these tests")
+        }
+    }
+
+    fn expr_grammar() -> Grammar {
+        use maya_lexer::TokenKind::*;
+        let mut b = GrammarBuilder::new();
+        b.set_prec(Terminal::Tok(Plus), 10, Assoc::Left);
+        b.set_prec(Terminal::Tok(Star), 20, Assoc::Left);
+        for op in [Plus, Star] {
+            b.add_production(
+                NodeKind::Expression,
+                &[
+                    RhsItem::Kind(NodeKind::Expression),
+                    RhsItem::tok(op),
+                    RhsItem::Kind(NodeKind::Expression),
+                ],
+                None,
+            )
+            .unwrap();
+        }
+        b.add_production(NodeKind::Expression, &[RhsItem::tok(IntLit)], None)
+            .unwrap();
+        b.finish()
+    }
+
+    /// Folds the expression grammar into an arithmetic value.
+    fn eval(g: &Grammar, src: &str) -> Result<i64, ParseError> {
+        let trees = tree_lex_str(src).unwrap();
+        let input: Vec<Input<Node>> = Input::from_token_trees(&trees);
+        let goal = g.nt_for_kind(NodeKind::Expression).unwrap();
+        let mut driver = TestDriver(|prod: ProdId, args: Vec<Node>| {
+            // Production 0: +, 1: *, 2: literal.
+            let num = |n: &Node| -> i64 {
+                match n {
+                    Node::Expr(e) => match e.kind {
+                        maya_ast::ExprKind::Literal(maya_ast::Lit::Long(v)) => v,
+                        _ => panic!(),
+                    },
+                    _ => panic!("expected expr"),
+                }
+            };
+            let mk = |v: i64| {
+                Node::Expr(maya_ast::Expr::synth(maya_ast::ExprKind::Literal(
+                    maya_ast::Lit::Long(v),
+                )))
+            };
+            match prod.0 {
+                0 => mk(num(&args[0]) + num(&args[2])),
+                1 => mk(num(&args[0]) * num(&args[2])),
+                2 => match &args[0] {
+                    Node::Token(t) => mk(t.text.as_str().parse().unwrap()),
+                    _ => panic!(),
+                },
+                _ => panic!("unexpected production"),
+            }
+        });
+        let out = run_parse(g, &input, goal, &mut driver)?;
+        match out {
+            Node::Expr(e) => match e.kind {
+                maya_ast::ExprKind::Literal(maya_ast::Lit::Long(v)) => Ok(v),
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn precedence_drives_evaluation() {
+        let g = expr_grammar();
+        assert_eq!(eval(&g, "1 + 2 * 3").unwrap(), 7);
+        assert_eq!(eval(&g, "2 * 3 + 1").unwrap(), 7);
+        assert_eq!(eval(&g, "1 + 2 + 3").unwrap(), 6);
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        let g = expr_grammar();
+        let err = eval(&g, "1 +").unwrap_err();
+        assert!(err.message.contains("unexpected <end>"), "{}", err.message);
+        let err = eval(&g, "+ 1").unwrap_err();
+        assert!(err.message.contains("expected"), "{}", err.message);
+    }
+
+    #[test]
+    fn nonterminal_input_via_goto() {
+        // Figure 6(b): feed a pre-parsed Expression where one is expected.
+        let g = expr_grammar();
+        let goal = g.nt_for_kind(NodeKind::Expression).unwrap();
+        let pre = Node::Expr(maya_ast::Expr::synth(maya_ast::ExprKind::Literal(
+            maya_ast::Lit::Long(40),
+        )));
+        let trees = tree_lex_str("+ 2").unwrap();
+        let mut input: Vec<Input<Node>> =
+            vec![Input::Nt(NtSel::Kind(NodeKind::Expression), pre, Span::DUMMY)];
+        input.extend(Input::from_token_trees(&trees));
+        let mut driver = TestDriver(|prod: ProdId, args: Vec<Node>| match prod.0 {
+            0 => {
+                let a = match &args[0] {
+                    Node::Expr(e) => match e.kind {
+                        maya_ast::ExprKind::Literal(maya_ast::Lit::Long(v)) => v,
+                        _ => panic!(),
+                    },
+                    _ => panic!(),
+                };
+                let b = match &args[2] {
+                    Node::Expr(e) => match e.kind {
+                        maya_ast::ExprKind::Literal(maya_ast::Lit::Long(v)) => v,
+                        _ => panic!(),
+                    },
+                    _ => panic!(),
+                };
+                Node::Expr(maya_ast::Expr::synth(maya_ast::ExprKind::Literal(
+                    maya_ast::Lit::Long(a + b),
+                )))
+            }
+            2 => match &args[0] {
+                Node::Token(t) => Node::Expr(maya_ast::Expr::synth(maya_ast::ExprKind::Literal(
+                    maya_ast::Lit::Long(t.text.as_str().parse().unwrap()),
+                ))),
+                _ => panic!(),
+            },
+            _ => panic!(),
+        });
+        let out = run_parse(&g, &input, goal, &mut driver).unwrap();
+        match out {
+            Node::Expr(e) => assert!(matches!(
+                e.kind,
+                maya_ast::ExprKind::Literal(maya_ast::Lit::Long(42))
+            )),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn finer_kind_maps_through_lattice() {
+        // A CallExpr input symbol is accepted where Expression is expected.
+        let g = expr_grammar();
+        let goal = g.nt_for_kind(NodeKind::Expression).unwrap();
+        let call = Node::Expr(maya_ast::Expr::call_on(
+            maya_ast::Expr::name("v"),
+            "elements",
+            vec![],
+        ));
+        let input: Vec<Input<Node>> =
+            vec![Input::Nt(NtSel::Kind(NodeKind::CallExpr), call, Span::DUMMY)];
+        let mut driver = TestDriver(|_p, _a| panic!("no dispatch expected"));
+        let out = run_parse(&g, &input, goal, &mut driver).unwrap();
+        assert_eq!(out.node_kind(), NodeKind::CallExpr);
+    }
+}

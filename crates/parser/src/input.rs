@@ -1,0 +1,84 @@
+//! Parser input items: tokens, delimiter subtrees, and (pattern mode)
+//! nonterminal symbols.
+
+use maya_ast::NodeKind;
+use maya_grammar::NtId;
+use maya_lexer::{DelimTree, Span, Token, TokenTree};
+use std::rc::Rc;
+
+/// Selects the nonterminal a pattern input symbol stands for: a node kind
+/// (mapped to the nearest grammar nonterminal through the lattice) or a raw
+/// grammar nonterminal (used for helper symbols like `lazy(...)`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NtSel {
+    Kind(NodeKind),
+    Id(NtId),
+}
+
+/// One input symbol for the engine.
+///
+/// `V` is the driver's semantic value type. Ordinary parsing uses only
+/// `Tok` and `Tree`; pattern parsing adds `Nt` leaves (named Mayan
+/// parameters, template unquotes) and may nest pattern items inside
+/// delimiter trees.
+#[derive(Clone, Debug)]
+pub enum Input<V> {
+    /// A terminal token.
+    Tok(Token),
+    /// A delimiter subtree. The second field carries *pattern contents*
+    /// when the tree's interior is itself a pattern (contains `Nt` items);
+    /// `None` means the raw `DelimTree` contents are authoritative.
+    Tree(DelimTree, Option<Rc<Vec<Input<V>>>>),
+    /// A nonterminal input symbol with its declared nonterminal, payload,
+    /// and span.
+    Nt(NtSel, V, Span),
+}
+
+impl<V> Input<V> {
+    /// The source span of this input item.
+    pub fn span(&self) -> Span {
+        match self {
+            Input::Tok(t) => t.span,
+            Input::Tree(d, _) => d.span(),
+            Input::Nt(_, _, s) => *s,
+        }
+    }
+
+    /// A short description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Input::Tok(t) => format!("`{}`", t.text),
+            Input::Tree(d, _) => d.delim.tree_name().to_owned(),
+            Input::Nt(NtSel::Kind(k), _, _) => format!("<{}>", k.name()),
+            Input::Nt(NtSel::Id(nt), _, _) => format!("<nt#{}>", nt.0),
+        }
+    }
+
+    /// Converts raw token trees into input items.
+    pub fn from_token_trees(trees: &[TokenTree]) -> Vec<Input<V>> {
+        trees
+            .iter()
+            .map(|t| match t {
+                TokenTree::Token(tok) => Input::Tok(*tok),
+                TokenTree::Delim(d) => Input::Tree(d.clone(), None),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_lexer::tree_lex_str;
+
+    #[test]
+    fn conversion_from_token_trees() {
+        let trees = tree_lex_str("f ( x )").unwrap();
+        let input: Vec<Input<()>> = Input::from_token_trees(&trees);
+        assert_eq!(input.len(), 2);
+        assert!(matches!(input[0], Input::Tok(_)));
+        assert!(matches!(input[1], Input::Tree(..)));
+        assert_eq!(input[0].describe(), "`f`");
+        assert_eq!(input[1].describe(), "ParenTree");
+    }
+}

@@ -1,0 +1,28 @@
+//! The Maya parser engine and pattern parser (paper §4.1–4.2).
+//!
+//! One table-driven LALR(1) engine serves both roles:
+//!
+//! * **ordinary parsing** — input is a stream of tokens and delimiter
+//!   subtrees; reductions run semantic actions (built-in helpers inline, and
+//!   Mayan dispatch through the [`Driver`]);
+//! * **pattern parsing** — input may also contain *nonterminal* symbols
+//!   (named Mayan parameters, template unquotes). A nonterminal `X` is
+//!   consumed either by following a goto on `X` (paper Figure 6(b)) or, when
+//!   no goto exists, by performing the unique reduction shared by all
+//!   actions on `FIRST(Xγ)` (Figure 6(c)).
+//!
+//! The engine is generic over a [`Driver`], which supplies semantic values:
+//! the compiler's driver produces AST [`maya_ast::Node`]s, while the
+//! [`trace::TraceDriver`] records the shift/reduce structure as a
+//! [`trace::PatTree`] — the "partial parse tree built from a sequence of
+//! both terminal and nonterminal input symbols" used to infer Mayan
+//! parameter structure (Figure 5) and to compile templates.
+
+mod engine;
+mod error;
+mod input;
+pub mod trace;
+
+pub use engine::{run_parse, Driver, DriverOut};
+pub use error::ParseError;
+pub use input::{Input, NtSel};

@@ -1,0 +1,379 @@
+//! Trace mode: the pattern parser's output trees.
+//!
+//! A [`PatTree`] is the paper's *partial parse tree built from a sequence of
+//! both terminal and nonterminal input symbols* (§4.2). It records exactly
+//! the shifts and reductions the parser performed, so that:
+//!
+//! * the dispatcher can infer the structure of a Mayan's formal parameters
+//!   (Figure 5) and locate the production the Mayan implements;
+//! * the template compiler can statically check a quasiquote body and
+//!   compile it "into code that performs the same sequence of shifts and
+//!   reductions the parser would have performed on the template body".
+
+use crate::{run_parse, Driver, DriverOut, Input, NtSel, ParseError};
+use maya_ast::NodeKind;
+use maya_grammar::{Action, BuiltinAction, Grammar, NtId, ProdId};
+use maya_lexer::{Delim, DelimTree, Span, Token};
+use std::rc::Rc;
+
+/// A partial parse tree over terminal and nonterminal leaves.
+#[derive(Clone, Debug)]
+pub enum PatTree {
+    /// The internal goal marker (never appears in results).
+    Marker,
+    /// A shifted token.
+    Token(Token),
+    /// A shifted delimiter tree that has not (yet) been recursed into.
+    RawTree(DelimTree, Option<Rc<Vec<Input<PatTree>>>>),
+    /// A delimiter subtree whose contents were pattern-parsed to `goal`.
+    /// `lazy` marks `lazy(...)` positions: contents were still checked
+    /// statically, but instantiation must produce a thunk.
+    Tree {
+        delim: Delim,
+        lazy: bool,
+        goal: NtId,
+        kind: Option<NodeKind>,
+        content: Box<PatTree>,
+        /// The original delimiter tree (kept so lazy template positions can
+        /// rebuild thunks over the raw syntax).
+        raw: DelimTree,
+        span: Span,
+    },
+    /// A nonterminal input symbol (named Mayan parameter / template
+    /// unquote). `index` identifies which input symbol it was.
+    Leaf {
+        sel: NtSel,
+        index: usize,
+        span: Span,
+    },
+    /// A reduction.
+    Node {
+        prod: ProdId,
+        nt: NtId,
+        children: Vec<PatTree>,
+        span: Span,
+    },
+}
+
+impl PatTree {
+    /// Builds a nonterminal leaf for use in pattern input.
+    pub fn leaf(sel: NtSel, index: usize, span: Span) -> PatTree {
+        PatTree::Leaf { sel, index, span }
+    }
+
+    /// The source span of this tree.
+    pub fn span(&self) -> Span {
+        match self {
+            PatTree::Marker => Span::DUMMY,
+            PatTree::Token(t) => t.span,
+            PatTree::RawTree(d, _) => d.span(),
+            PatTree::Tree { span, .. } => *span,
+            PatTree::Leaf { span, .. } => *span,
+            PatTree::Node { span, .. } => *span,
+        }
+    }
+
+    /// The production at the root, if this is a reduction node.
+    pub fn production(&self) -> Option<ProdId> {
+        match self {
+            PatTree::Node { prod, .. } => Some(*prod),
+            _ => None,
+        }
+    }
+
+    /// Iterates all leaves (in input order) below this tree.
+    pub fn leaves(&self) -> Vec<&PatTree> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, out: &mut Vec<&'a PatTree>) {
+        match self {
+            PatTree::Leaf { .. } => out.push(self),
+            PatTree::Node { children, .. } => {
+                for c in children {
+                    c.collect_leaves(out);
+                }
+            }
+            PatTree::Tree { content, .. } => content.collect_leaves(out),
+            _ => {}
+        }
+    }
+}
+
+/// The driver that records parse structure instead of building semantics.
+#[derive(Default)]
+pub struct TraceDriver {
+    _private: (),
+}
+
+impl TraceDriver {
+    /// Creates a trace driver.
+    pub fn new() -> TraceDriver {
+        TraceDriver::default()
+    }
+}
+
+impl Driver for TraceDriver {
+    type V = PatTree;
+
+    fn marker(&mut self) -> PatTree {
+        PatTree::Marker
+    }
+
+    fn shift_token(&mut self, tok: &Token) -> PatTree {
+        PatTree::Token(*tok)
+    }
+
+    fn shift_tree(
+        &mut self,
+        tree: &DelimTree,
+        pattern: Option<&Rc<Vec<Input<PatTree>>>>,
+    ) -> PatTree {
+        PatTree::RawTree(tree.clone(), pattern.cloned())
+    }
+
+    fn reduce(
+        &mut self,
+        grammar: &Grammar,
+        prod: ProdId,
+        action: Action,
+        args: Vec<(PatTree, Span)>,
+        span: Span,
+    ) -> Result<DriverOut<PatTree>, ParseError> {
+        let children: Vec<PatTree> = args.into_iter().map(|(v, _)| v).collect();
+        let lhs = grammar.production(prod).lhs;
+        let out = match action {
+            Action::Builtin(BuiltinAction::ParseSubtree { goal }) => {
+                self.recurse_tree(grammar, children, goal, false, None, span)?
+            }
+            Action::Builtin(BuiltinAction::LazySubtree { goal, kind }) => {
+                self.recurse_tree(grammar, children, goal, true, Some(kind), span)?
+            }
+            _ => PatTree::Node {
+                prod,
+                nt: lhs,
+                children,
+                span,
+            },
+        };
+        Ok(DriverOut::Value(out))
+    }
+
+    fn parse_rest(
+        &mut self,
+        grammar: &Grammar,
+        rest: &[Input<PatTree>],
+        goal: NtId,
+    ) -> Result<PatTree, ParseError> {
+        run_parse(grammar, rest, goal, self)
+    }
+}
+
+impl TraceDriver {
+    fn recurse_tree(
+        &mut self,
+        grammar: &Grammar,
+        mut children: Vec<PatTree>,
+        goal: NtId,
+        lazy: bool,
+        kind: Option<NodeKind>,
+        span: Span,
+    ) -> Result<PatTree, ParseError> {
+        let child = children.pop().ok_or_else(|| {
+            ParseError::new("internal error: subtree reduction without a tree", span)
+        })?;
+        let (tree, pattern) = match child {
+            PatTree::RawTree(d, p) => (d, p),
+            other => {
+                return Err(ParseError::new(
+                    format!("internal error: expected raw tree, found {other:?}"),
+                    span,
+                ))
+            }
+        };
+        let input: Vec<Input<PatTree>> = match pattern {
+            Some(p) => (*p).clone(),
+            None => Input::from_token_trees(&tree.trees),
+        };
+        // Even lazy subtrees are statically checked (paper §4.2: templates
+        // are parsed when compiled; laziness only affects instantiation).
+        let content = run_parse(grammar, &input, goal, self)?;
+        Ok(PatTree::Tree {
+            delim: tree.delim,
+            lazy,
+            goal,
+            kind,
+            content: Box::new(content),
+            raw: tree,
+            span,
+        })
+    }
+}
+
+/// Pattern-parses `input` to `goal`, returning the partial parse tree.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] when the input is not derivable — including the
+/// paper's delayed-detection case, where an invalid nonterminal is only
+/// discovered after some reductions have been performed.
+pub fn trace_parse(
+    grammar: &Grammar,
+    input: &[Input<PatTree>],
+    goal: NtId,
+) -> Result<PatTree, ParseError> {
+    run_parse(grammar, input, goal, &mut TraceDriver::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_grammar::GrammarBuilder;
+    use maya_grammar::RhsItem;
+    use maya_lexer::{sym, TokenKind};
+
+    /// The grammar of paper Figure 6(a):
+    /// `A → a | b | c;  D → d;  F → f;  S → D e A | F A`.
+    ///
+    /// Node kinds stand in for the paper's nonterminal letters:
+    /// `Expression`=A, `Statement`=D, `Formal`=F, `CompilationUnit`=S.
+    fn figure6() -> Grammar {
+        let mut b = GrammarBuilder::new();
+        for t in ["a", "b", "c"] {
+            b.add_production(NodeKind::Expression, &[RhsItem::word(t)], None)
+                .unwrap();
+        }
+        b.add_production(NodeKind::Statement, &[RhsItem::word("d")], None)
+            .unwrap();
+        b.add_production(NodeKind::Formal, &[RhsItem::word("f")], None)
+            .unwrap();
+        b.add_production(
+            NodeKind::CompilationUnit,
+            &[
+                RhsItem::Kind(NodeKind::Statement),
+                RhsItem::word("e"),
+                RhsItem::Kind(NodeKind::Expression),
+            ],
+            None,
+        )
+        .unwrap();
+        b.add_production(
+            NodeKind::CompilationUnit,
+            &[
+                RhsItem::Kind(NodeKind::Formal),
+                RhsItem::Kind(NodeKind::Expression),
+            ],
+            None,
+        )
+        .unwrap();
+        b.finish()
+    }
+
+    fn word(t: &str) -> Input<PatTree> {
+        Input::Tok(Token::synth(TokenKind::Ident, sym(t)))
+    }
+
+    fn nt_a(index: usize) -> Input<PatTree> {
+        Input::Nt(
+            NtSel::Kind(NodeKind::Expression),
+            PatTree::leaf(NtSel::Kind(NodeKind::Expression), index, Span::DUMMY),
+            Span::DUMMY,
+        )
+    }
+
+    #[test]
+    fn figure6b_goto_followed() {
+        // Input `d e A`: after `d e`, state 56 has a goto on A (Figure 6(b)).
+        let g = figure6();
+        let goal = g.nt_for_kind(NodeKind::CompilationUnit).unwrap();
+        let input = vec![word("d"), word("e"), nt_a(0)];
+        let tree = trace_parse(&g, &input, goal).expect("d e A parses");
+        match tree {
+            PatTree::Node { children, .. } => {
+                assert_eq!(children.len(), 3);
+                assert!(matches!(children[2], PatTree::Leaf { index: 0, .. }));
+                // `d` was reduced to D (a nested node), not left as a token.
+                assert!(matches!(&children[0], PatTree::Node { children: c, .. }
+                    if matches!(c[0], PatTree::Token(_))));
+            }
+            other => panic!("expected node, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure6c_reduce_on_first() {
+        // Input `f A`: after `f`, there is no goto on A; all actions on
+        // FIRST(A) = {a,b,c} reduce F → f, which is performed first
+        // (Figure 6(c)).
+        let g = figure6();
+        let goal = g.nt_for_kind(NodeKind::CompilationUnit).unwrap();
+        let input = vec![word("f"), nt_a(7)];
+        let tree = trace_parse(&g, &input, goal).expect("f A parses");
+        match tree {
+            PatTree::Node { children, .. } => {
+                assert_eq!(children.len(), 2);
+                assert!(matches!(children[1], PatTree::Leaf { index: 7, .. }));
+            }
+            other => panic!("expected node, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_nonterminal_input_is_rejected() {
+        // Input `d A` is invalid: after D, only `e` may follow.
+        let g = figure6();
+        let goal = g.nt_for_kind(NodeKind::CompilationUnit).unwrap();
+        let input = vec![word("d"), nt_a(0)];
+        assert!(trace_parse(&g, &input, goal).is_err());
+    }
+
+    #[test]
+    fn leaves_are_collected_in_order() {
+        let g = figure6();
+        let goal = g.nt_for_kind(NodeKind::CompilationUnit).unwrap();
+        let input = vec![word("f"), nt_a(3)];
+        let tree = trace_parse(&g, &input, goal).unwrap();
+        let leaves = tree.leaves();
+        assert_eq!(leaves.len(), 1);
+        assert!(matches!(leaves[0], PatTree::Leaf { index: 3, .. }));
+    }
+
+    #[test]
+    fn subtree_recursion_produces_tree_nodes() {
+        // S2 → g (A); the paren subtree's contents are pattern-parsed.
+        let mut b = figure6().extend();
+        b.add_production(
+            NodeKind::ClassBody,
+            &[
+                RhsItem::word("g"),
+                RhsItem::Subtree(
+                    maya_lexer::Delim::Paren,
+                    vec![RhsItem::Kind(NodeKind::Expression)],
+                ),
+            ],
+            None,
+        )
+        .unwrap();
+        let g = b.finish();
+        let goal = g.nt_for_kind(NodeKind::ClassBody).unwrap();
+        let inner = Rc::new(vec![nt_a(1)]);
+        let tree_input = Input::Tree(
+            DelimTree::synth(maya_lexer::Delim::Paren, vec![]),
+            Some(inner),
+        );
+        let input = vec![word("g"), tree_input];
+        let tree = trace_parse(&g, &input, goal).unwrap();
+        match tree {
+            PatTree::Node { children, .. } => match &children[1] {
+                PatTree::Tree { lazy, content, .. } => {
+                    assert!(!lazy);
+                    assert!(matches!(**content, PatTree::Leaf { index: 1, .. }));
+                }
+                other => panic!("expected tree node, got {other:?}"),
+            },
+            other => panic!("expected node, got {other:?}"),
+        }
+    }
+}

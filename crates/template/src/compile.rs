@@ -1,0 +1,433 @@
+//! Template compilation: pattern-parse, hygiene analysis, recipe emission.
+
+use crate::{instantiate, InstHost, Recipe, SlotInfo, SlotKinds};
+use maya_ast::{Expr, ExprKind, Node, NodeKind, TypeName};
+use maya_dispatch::DispatchError;
+use maya_grammar::{Grammar, NtId, ProdId};
+use maya_lexer::{DelimTree, Span, Symbol, TokenKind};
+use maya_parser::trace::{trace_parse, PatTree};
+use maya_parser::ParseError;
+use std::fmt;
+use std::rc::Rc;
+
+/// A template compilation error.
+#[derive(Clone, Debug)]
+pub struct TemplateError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl TemplateError {
+    fn new(message: impl Into<String>, span: Span) -> TemplateError {
+        TemplateError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+impl From<ParseError> for TemplateError {
+    fn from(e: ParseError) -> TemplateError {
+        TemplateError::new(e.message, e.span)
+    }
+}
+
+/// Identifies the grammar's hygiene-relevant productions: Maya can decide
+/// hygiene statically *because binding constructs are declared explicitly
+/// in the grammar* (§4.3). The compiler provides this once per grammar
+/// lineage.
+#[derive(Clone, Debug, Default)]
+pub struct HygieneSpec {
+    /// Nonterminals whose identifiers are *binders* (`UnboundLocal`).
+    pub binder_nts: Vec<NtId>,
+    /// Productions that are simple-name *references* (`Expression →
+    /// Identifier`).
+    pub name_ref_prods: Vec<ProdId>,
+    /// Productions producing type names from dotted identifiers, resolved
+    /// eagerly to strict names (referential transparency).
+    pub type_name_prods: Vec<ProdId>,
+    /// Dotted-reference productions (`Expression → Expression . Identifier`)
+    /// whose full dotted form may denote a class in the definition
+    /// environment.
+    pub dotted_ref_prods: Vec<ProdId>,
+    /// Productions whose semantic action parses a raw delimiter-tree
+    /// argument itself (casts, parenthesized expressions, array indices):
+    /// `(production, rhs index) → goal kind` used to statically parse those
+    /// contents inside templates.
+    pub raw_tree_goals: Vec<(ProdId, usize, NodeKind)>,
+}
+
+/// A compiled template.
+pub struct Template {
+    pub goal: NodeKind,
+    pub slots: Vec<SlotInfo>,
+    pub binders: Vec<Symbol>,
+    pub recipe: Rc<Recipe>,
+}
+
+impl fmt::Debug for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Template")
+            .field("goal", &self.goal)
+            .field("slots", &self.slots.len())
+            .field("binders", &self.binders)
+            .field("reductions", &self.recipe.reduction_count())
+            .finish()
+    }
+}
+
+impl Template {
+    /// Compiles a template body.
+    ///
+    /// `resolver` resolves dotted class names in the Mayan's *definition*
+    /// environment to fully qualified names.
+    ///
+    /// # Errors
+    ///
+    /// Reports syntax errors in the body, undetermined unquote symbols, and
+    /// references to free variables (the static hygiene check).
+    pub fn compile(
+        grammar: &Grammar,
+        hygiene: &HygieneSpec,
+        resolver: &dyn Fn(&str) -> Option<Symbol>,
+        goal: NodeKind,
+        body: &DelimTree,
+        kinds: &mut dyn SlotKinds,
+    ) -> Result<Template, TemplateError> {
+        let (input, slots) = crate::scan_unquotes(body, kinds)?;
+        let goal_nt = grammar.nt_for_kind_lattice(goal).ok_or_else(|| {
+            TemplateError::new(
+                format!("no grammar nonterminal for template goal {}", goal.name()),
+                body.span(),
+            )
+        })?;
+        let pat = trace_parse(grammar, &input, goal_nt)?;
+        let mut binders = Vec::new();
+        collect_binders(grammar, hygiene, &pat, &mut binders);
+        let cc = CompileCtx {
+            grammar,
+            hygiene,
+            resolver,
+            binders: &binders,
+        };
+        let recipe = cc.convert(&pat, IdentRole::Plain)?;
+        Ok(Template {
+            goal,
+            slots,
+            binders,
+            recipe: Rc::new(recipe),
+        })
+    }
+
+    /// Instantiates the template with positional slot values.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::instantiate`].
+    pub fn instantiate(
+        &self,
+        values: Vec<Node>,
+        host: &mut dyn InstHost,
+    ) -> Result<Node, DispatchError> {
+        instantiate(self, values, host)
+    }
+}
+
+fn collect_binders(
+    grammar: &Grammar,
+    hygiene: &HygieneSpec,
+    pat: &PatTree,
+    out: &mut Vec<Symbol>,
+) {
+    match pat {
+        PatTree::Node {
+            prod, children, ..
+        } => {
+            let lhs = grammar.production(*prod).lhs;
+            if hygiene.binder_nts.contains(&lhs) {
+                if let Some((name, _)) = sole_ident(children) {
+                    if !out.contains(&name) {
+                        out.push(name);
+                    }
+                }
+            }
+            for c in children {
+                collect_binders(grammar, hygiene, c, out);
+            }
+        }
+        PatTree::Tree { content, .. } => collect_binders(grammar, hygiene, content, out),
+        _ => {}
+    }
+}
+
+/// Finds the single identifier token among pattern children (binder and
+/// name-reference productions have exactly one).
+fn sole_ident(children: &[PatTree]) -> Option<(Symbol, Span)> {
+    let mut found = None;
+    for c in children {
+        match c {
+            PatTree::Token(t) if t.kind == TokenKind::Ident => {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some((t.text, t.span));
+            }
+            PatTree::Node { children, .. } => {
+                if let Some(inner) = sole_ident(children) {
+                    if found.is_some() {
+                        return None;
+                    }
+                    found = Some(inner);
+                }
+            }
+            _ => {}
+        }
+    }
+    found
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum IdentRole {
+    Plain,
+    Binder,
+    Reference,
+}
+
+struct CompileCtx<'a> {
+    grammar: &'a Grammar,
+    hygiene: &'a HygieneSpec,
+    resolver: &'a dyn Fn(&str) -> Option<Symbol>,
+    binders: &'a [Symbol],
+}
+
+impl CompileCtx<'_> {
+    fn convert(&self, pat: &PatTree, role: IdentRole) -> Result<Recipe, TemplateError> {
+        match pat {
+            PatTree::Token(t) => {
+                if t.kind == TokenKind::Ident {
+                    match role {
+                        IdentRole::Binder => {
+                            return Ok(Recipe::Binder {
+                                base: t.text,
+                                span: t.span,
+                            })
+                        }
+                        IdentRole::Reference => {
+                            return Ok(Recipe::BinderRef {
+                                base: t.text,
+                                span: t.span,
+                            })
+                        }
+                        IdentRole::Plain => {}
+                    }
+                }
+                Ok(Recipe::Token(*t))
+            }
+            PatTree::Leaf { index, span, .. } => Ok(Recipe::Slot {
+                index: *index,
+                span: *span,
+            }),
+            PatTree::Tree {
+                lazy: false,
+                content,
+                ..
+            } => Ok(Recipe::Eager(Box::new(self.convert(content, role)?))),
+            PatTree::Tree {
+                lazy: true,
+                content,
+                kind,
+                raw,
+                span,
+                ..
+            } => Ok(Recipe::Lazy {
+                goal_kind: kind.unwrap_or(NodeKind::Top),
+                raw: raw.clone(),
+                content: Rc::new(self.convert(content, IdentRole::Plain)?),
+                span: *span,
+            }),
+            PatTree::Node {
+                prod,
+                children,
+                span,
+                ..
+            } => self.convert_node(*prod, children, *span, role),
+            PatTree::RawTree(d, _) => Err(TemplateError::new(
+                "internal error: unparsed tree in template",
+                d.span(),
+            )),
+            PatTree::Marker => Err(TemplateError::new(
+                "internal error: marker in template",
+                Span::DUMMY,
+            )),
+        }
+    }
+
+    fn convert_node(
+        &self,
+        prod: ProdId,
+        children: &[PatTree],
+        span: Span,
+        role: IdentRole,
+    ) -> Result<Recipe, TemplateError> {
+        let lhs = self.grammar.production(prod).lhs;
+
+        // Dotted class reference (`java.util.Enumeration` in a declaration
+        // statement): resolve the whole chain in the definition environment.
+        if self.hygiene.dotted_ref_prods.contains(&prod) {
+            if let Some(dotted) = dotted_name(children) {
+                if let Some(fqcn) = (self.resolver)(&dotted) {
+                    return Ok(Recipe::Const(Node::Expr(Expr::new(
+                        span,
+                        ExprKind::ClassRef(fqcn),
+                    ))));
+                }
+            }
+        }
+
+        // Binding position: identifiers below are binders.
+        if self.hygiene.binder_nts.contains(&lhs) {
+            let children = children
+                .iter()
+                .map(|c| self.convert(c, IdentRole::Binder))
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Recipe::Node {
+                prod,
+                children,
+                span,
+            });
+        }
+
+        // Simple-name reference: a binder reference, a class (referential
+        // transparency), or a free-variable error.
+        if self.hygiene.name_ref_prods.contains(&prod) {
+            if let Some((name, nspan)) = sole_ident(children) {
+                if self.binders.contains(&name) {
+                    let children = children
+                        .iter()
+                        .map(|c| self.convert(c, IdentRole::Reference))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    return Ok(Recipe::Node {
+                        prod,
+                        children,
+                        span,
+                    });
+                }
+                if let Some(fqcn) = (self.resolver)(name.as_str()) {
+                    return Ok(Recipe::Const(Node::Expr(Expr::new(
+                        nspan,
+                        ExprKind::ClassRef(fqcn),
+                    ))));
+                }
+                return Err(TemplateError::new(
+                    format!(
+                        "template refers to free variable `{name}`; unquote it or \
+                         declare it in the template (hygiene, paper §4.3)"
+                    ),
+                    nspan,
+                ));
+            }
+        }
+
+        // Type-name position: resolve dotted names now, producing strict
+        // type names immune to shadowing at the splice site.
+        if self.hygiene.type_name_prods.contains(&prod) {
+            if let Some(dotted) = dotted_name(children) {
+                let span2 = span;
+                return match (self.resolver)(&dotted) {
+                    Some(fqcn) => Ok(Recipe::Const(Node::Type(TypeName::new(
+                        span2,
+                        maya_ast::TypeNameKind::Strict(fqcn),
+                    )))),
+                    None => Err(TemplateError::new(
+                        format!("template refers to unknown type `{dotted}`"),
+                        span2,
+                    )),
+                };
+            }
+            // Contains slots or non-name parts: leave for splice-site
+            // resolution.
+        }
+
+        let children = children
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                // A raw tree consumed by a tree-parsing action: statically
+                // parse its contents with the production's goal so slots,
+                // binders, and references inside are processed.
+                if let PatTree::RawTree(d, pattern) = c {
+                    let goal_kind = self
+                        .hygiene
+                        .raw_tree_goals
+                        .iter()
+                        .find(|(p, idx, _)| *p == prod && *idx == i)
+                        .map(|(_, _, g)| *g);
+                    if let Some(goal_kind) = goal_kind {
+                        if d.is_empty() {
+                            return Ok(Recipe::Const(Node::Tree(
+                                maya_lexer::TokenTree::Delim(d.clone()),
+                            )));
+                        }
+                        let goal =
+                            self.grammar.nt_for_kind_lattice(goal_kind).ok_or_else(|| {
+                                TemplateError::new(
+                                    format!("no nonterminal for {}", goal_kind.name()),
+                                    d.span(),
+                                )
+                            })?;
+                        let input: Vec<maya_parser::Input<PatTree>> = match pattern {
+                            Some(p) => (**p).clone(),
+                            None => maya_parser::Input::from_token_trees(&d.trees),
+                        };
+                        let content = trace_parse(self.grammar, &input, goal)?;
+                        return Ok(Recipe::Eager(Box::new(self.convert(&content, role)?)));
+                    }
+                    // No registered goal (e.g. a nested template body): keep
+                    // the raw tree; unquotes inside belong to the inner
+                    // template.
+                    return Ok(Recipe::Const(Node::Tree(maya_lexer::TokenTree::Delim(
+                        d.clone(),
+                    ))));
+                }
+                self.convert(c, role)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Recipe::Node {
+            prod,
+            children,
+            span,
+        })
+    }
+}
+
+/// Extracts `a.b.c` when the pattern subtree is only identifiers and dots.
+fn dotted_name(children: &[PatTree]) -> Option<String> {
+    fn walk(pat: &PatTree, out: &mut String) -> bool {
+        match pat {
+            PatTree::Token(t) if t.kind == TokenKind::Ident => {
+                out.push_str(t.text.as_str());
+                true
+            }
+            PatTree::Token(t) if t.kind == TokenKind::Dot => {
+                out.push('.');
+                true
+            }
+            PatTree::Node { children, .. } => children.iter().all(|c| walk(c, out)),
+            _ => false,
+        }
+    }
+    let mut s = String::new();
+    if children.iter().all(|c| walk(c, &mut s)) && !s.is_empty() {
+        Some(s)
+    } else {
+        None
+    }
+}

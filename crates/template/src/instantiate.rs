@@ -1,0 +1,167 @@
+//! Template instantiation: replaying compiled recipes.
+
+use crate::{Recipe, Template};
+use maya_ast::{LazyNode, Node};
+use maya_dispatch::DispatchError;
+use maya_grammar::ProdId;
+use maya_lexer::{sym, Span, Symbol, Token, TokenKind};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Host services for instantiation: running semantic actions (full Mayan
+/// dispatch) and generating fresh hygienic names.
+pub trait InstHost {
+    /// Runs the semantic action of `prod` on instantiated child values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dispatch failures.
+    fn reduce(&mut self, prod: ProdId, args: Vec<Node>, span: Span) -> Result<Node, DispatchError>;
+
+    /// A fresh name `base$N`, unique within the compilation unit.
+    fn fresh(&mut self, base: &str) -> Symbol;
+
+    /// An opaque environment payload captured into lazy thunks (the
+    /// compiler stores its grammar/dispatch snapshot here so that a thunk
+    /// replays under the template's definition environment).
+    fn thunk_env(&mut self) -> Option<Rc<dyn std::any::Any>> {
+        None
+    }
+}
+
+/// The payload stored in a lazy node created by a template: when the node
+/// is forced, the compiler recognizes this payload and replays the captured
+/// sub-recipe instead of parsing the raw tree (paper §4.2: "sub-templates
+/// that correspond to lazy syntax are compiled into local thunk classes
+/// that are expanded when the corresponding syntax would be parsed").
+pub struct TemplateThunk {
+    pub content: Rc<Recipe>,
+    pub values: Rc<Vec<Node>>,
+    pub renames: Rc<HashMap<Symbol, Symbol>>,
+    /// The host's environment payload (see [`InstHost::thunk_env`]).
+    pub env: Option<Rc<dyn std::any::Any>>,
+}
+
+impl TemplateThunk {
+    /// Replays the thunk's sub-recipe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dispatch failures from replayed reductions.
+    pub fn replay(&self, host: &mut dyn InstHost) -> Result<Node, DispatchError> {
+        inst(&self.content, &self.values, &self.renames, host)
+    }
+}
+
+/// Instantiates a compiled template with positional slot values.
+///
+/// Fresh names are allocated for every binder — each instantiation gets its
+/// own `enumVar$N`, so expansions never capture each other's variables.
+///
+/// # Errors
+///
+/// Fails when the value count mismatches the slot table or a replayed
+/// reduction fails to dispatch.
+pub fn instantiate(
+    template: &Template,
+    values: Vec<Node>,
+    host: &mut dyn InstHost,
+) -> Result<Node, DispatchError> {
+    if values.len() != template.slots.len() {
+        return Err(DispatchError::new(
+            format!(
+                "template expects {} slot value(s), got {}",
+                template.slots.len(),
+                values.len()
+            ),
+            Span::DUMMY,
+        ));
+    }
+    let mut renames = HashMap::new();
+    for b in &template.binders {
+        renames.insert(*b, host.fresh(b.as_str()));
+    }
+    inst(&template.recipe, &Rc::new(values), &Rc::new(renames), host)
+}
+
+fn inst(
+    recipe: &Recipe,
+    values: &Rc<Vec<Node>>,
+    renames: &Rc<HashMap<Symbol, Symbol>>,
+    host: &mut dyn InstHost,
+) -> Result<Node, DispatchError> {
+    match recipe {
+        Recipe::Token(t) => Ok(Node::Token(*t)),
+        Recipe::Binder { base, span } | Recipe::BinderRef { base, span } => {
+            let name = renames.get(base).copied().unwrap_or(*base);
+            Ok(Node::Token(Token::new(TokenKind::Ident, name, *span)))
+        }
+        Recipe::Const(n) => Ok(n.clone()),
+        Recipe::Slot { index, .. } => Ok(values[*index].clone()),
+        Recipe::Node {
+            prod,
+            children,
+            span,
+        } => {
+            let args = children
+                .iter()
+                .map(|c| inst(c, values, renames, host))
+                .collect::<Result<Vec<_>, _>>()?;
+            host.reduce(*prod, args, *span)
+        }
+        Recipe::Eager(inner) => inst(inner, values, renames, host),
+        Recipe::Lazy {
+            goal_kind,
+            raw,
+            content,
+            ..
+        } => {
+            let thunk = TemplateThunk {
+                content: content.clone(),
+                values: values.clone(),
+                renames: renames.clone(),
+                env: host.thunk_env(),
+            };
+            Ok(Node::Lazy(LazyNode::new(
+                *goal_kind,
+                raw.clone(),
+                Some(Rc::new(thunk)),
+            )))
+        }
+    }
+}
+
+/// A trivially countable fresh-name source, usable by hosts.
+#[derive(Default, Debug)]
+pub struct FreshNames {
+    counter: u64,
+}
+
+impl FreshNames {
+    /// Creates a counter starting at zero.
+    pub fn new() -> FreshNames {
+        FreshNames::default()
+    }
+
+    /// The next fresh name for `base` (contains `$`, so it can never
+    /// collide with source identifiers).
+    pub fn fresh(&mut self, base: &str) -> Symbol {
+        self.counter += 1;
+        sym(&format!("{base}${}", self.counter))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_names_are_unique_and_marked() {
+        let mut f = FreshNames::new();
+        let a = f.fresh("enumVar");
+        let b = f.fresh("enumVar");
+        assert_ne!(a, b);
+        assert!(a.as_str().contains('$'));
+        assert!(a.as_str().starts_with("enumVar$"));
+    }
+}

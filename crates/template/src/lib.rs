@@ -1,0 +1,40 @@
+//! Templates (quasiquote) with static checking and static hygiene
+//! (paper §3.2, §4.2–4.3).
+//!
+//! A template builds abstract syntax from concrete syntax: `new Statement {
+//! for (Enumeration enumVar = $enumExp; …) { … } }`. This crate:
+//!
+//! * scans the body for **unquotes** (`$name`, `$(expr)`, `$(as Kind expr)`),
+//!   turning each into a *nonterminal input symbol* whose grammar symbol is
+//!   given by its static type or the explicit coercion;
+//! * **pattern-parses** the body once, at template compile time — templates
+//!   are statically guaranteed to produce syntactically valid ASTs;
+//! * performs the **static hygiene** analysis: identifiers in binding
+//!   positions (the grammar's `UnboundLocal` nonterminal) are renamed to
+//!   fresh `name$N` identifiers at each instantiation; identifier
+//!   *references* must either refer to a template binder, be unquoted, or
+//!   resolve in the Mayan's definition environment (class names become
+//!   direct references — referential transparency). Anything else is a
+//!   compile-time "reference to free variable" error;
+//! * compiles the parse into a [`Recipe`] — code that performs the same
+//!   sequence of shifts and reductions the parser would have performed —
+//!   and instantiates it by replaying those reductions through an
+//!   [`InstHost`] (so Mayan dispatch still applies to generated syntax);
+//! * honors **laziness**: sub-templates in `lazy(...)` positions become
+//!   [`TemplateThunk`]s, expanded when the corresponding syntax would have
+//!   been parsed.
+
+mod compile;
+mod instantiate;
+mod recipe;
+mod scan;
+
+pub use compile::{HygieneSpec, Template, TemplateError};
+pub use instantiate::{instantiate, InstHost, TemplateThunk};
+pub use recipe::Recipe;
+pub use scan::{scan_unquotes, SlotInfo, SlotKinds, SlotSource};
+
+/// Re-exports used by tests and hosts.
+pub mod __private_fresh {
+    pub use crate::instantiate::FreshNames;
+}

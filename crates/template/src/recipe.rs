@@ -1,0 +1,71 @@
+//! Compiled template recipes.
+
+use maya_ast::{Node, NodeKind};
+use maya_grammar::ProdId;
+use maya_lexer::{DelimTree, Span, Symbol, Token};
+use std::rc::Rc;
+
+/// Compiled template code: the shift/reduce structure of the body, with
+/// hygiene decisions already made (paper §4.2: "The template parse tree is
+/// compiled into code that performs the same sequence of shifts and
+/// reductions the parser would have performed on the template body").
+#[derive(Clone, Debug)]
+pub enum Recipe {
+    /// A literal token.
+    Token(Token),
+    /// A binding-position identifier: renamed to a fresh `base$N` at each
+    /// instantiation (hygiene).
+    Binder { base: Symbol, span: Span },
+    /// A reference to a template binder: renamed consistently with it.
+    BinderRef { base: Symbol, span: Span },
+    /// A pre-resolved constant node (class references and strict type names
+    /// from referential transparency).
+    Const(Node),
+    /// An unquote: `values[index]` at instantiation.
+    Slot { index: usize, span: Span },
+    /// A reduction: instantiate children, then run the production's
+    /// semantic action (through full Mayan dispatch).
+    Node {
+        prod: ProdId,
+        children: Vec<Recipe>,
+        span: Span,
+    },
+    /// An eagerly parsed subtree: its value is its content's.
+    Eager(Box<Recipe>),
+    /// A lazy position: instantiation produces an unforced lazy node whose
+    /// thunk replays `content` when forced.
+    Lazy {
+        goal_kind: NodeKind,
+        raw: DelimTree,
+        content: Rc<Recipe>,
+        span: Span,
+    },
+}
+
+impl Recipe {
+    /// The source span of this recipe fragment.
+    pub fn span(&self) -> Span {
+        match self {
+            Recipe::Token(t) => t.span,
+            Recipe::Binder { span, .. }
+            | Recipe::BinderRef { span, .. }
+            | Recipe::Slot { span, .. }
+            | Recipe::Node { span, .. }
+            | Recipe::Lazy { span, .. } => *span,
+            Recipe::Const(_) => Span::DUMMY,
+            Recipe::Eager(inner) => inner.span(),
+        }
+    }
+
+    /// Counts reduction nodes (a size metric used by benches).
+    pub fn reduction_count(&self) -> usize {
+        match self {
+            Recipe::Node { children, .. } => {
+                1 + children.iter().map(Recipe::reduction_count).sum::<usize>()
+            }
+            Recipe::Eager(inner) => inner.reduction_count(),
+            Recipe::Lazy { content, .. } => content.reduction_count(),
+            _ => 0,
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Template compile/instantiate round trips over a miniature grammar.
+
+use maya_ast::{Node, NodeKind};
+use maya_dispatch::DispatchError;
+use maya_grammar::{Grammar, GrammarBuilder, ProdId, RhsItem};
+use maya_lexer::{sym, tree_lex_str, Span, Symbol, TokenKind, TokenTree};
+use maya_template::{HygieneSpec, InstHost, SlotKinds, Template};
+
+/// Mini grammar:
+///   Statement  → "let" UnboundLocal "=" Expression ";"   (p0)
+///   Statement  → "print" Expression ";"                  (p1)
+///   Expression → Identifier                              (p2, name ref)
+///   Expression → IntLit                                  (p3)
+///   Identifier → ident                                   (p4)
+///   UnboundLocal → ident                                 (p5)
+///   BlockStmts → list(Statement)
+fn grammar() -> (Grammar, HygieneSpec) {
+    let mut b = GrammarBuilder::new();
+    b.add_production(
+        NodeKind::Statement,
+        &[
+            RhsItem::word("let"),
+            RhsItem::Kind(NodeKind::UnboundLocal),
+            RhsItem::tok(TokenKind::Assign),
+            RhsItem::Kind(NodeKind::Expression),
+            RhsItem::tok(TokenKind::Semi),
+        ],
+        None,
+    )
+    .unwrap();
+    b.add_production(
+        NodeKind::Statement,
+        &[
+            RhsItem::word("print"),
+            RhsItem::Kind(NodeKind::Expression),
+            RhsItem::tok(TokenKind::Semi),
+        ],
+        None,
+    )
+    .unwrap();
+    b.add_production(NodeKind::Expression, &[RhsItem::Kind(NodeKind::Identifier)], None)
+        .unwrap();
+    b.add_production(NodeKind::Expression, &[RhsItem::tok(TokenKind::IntLit)], None)
+        .unwrap();
+    b.add_production(NodeKind::Identifier, &[RhsItem::tok(TokenKind::Ident)], None)
+        .unwrap();
+    b.add_production(NodeKind::UnboundLocal, &[RhsItem::tok(TokenKind::Ident)], None)
+        .unwrap();
+    b.add_production(
+        NodeKind::BlockStmts,
+        &[RhsItem::List(Box::new(RhsItem::Kind(NodeKind::Statement)), None)],
+        None,
+    )
+    .unwrap();
+    let unbound = b.nt_for_kind(NodeKind::UnboundLocal);
+    let g = b.finish();
+    let hygiene = HygieneSpec {
+        binder_nts: vec![unbound],
+        name_ref_prods: vec![ProdId(2)],
+        type_name_prods: vec![],
+        dotted_ref_prods: vec![],
+        raw_tree_goals: vec![],
+    };
+    (g, hygiene)
+}
+
+struct Kinds;
+
+impl SlotKinds for Kinds {
+    fn named(&mut self, name: Symbol) -> Option<NodeKind> {
+        match name.as_str() {
+            "e" => Some(NodeKind::Expression),
+            _ => None,
+        }
+    }
+
+    fn expr(&mut self, _tokens: &[TokenTree]) -> Option<NodeKind> {
+        None
+    }
+}
+
+/// A host that renders reductions back to flat text, so tests can inspect
+/// the instantiated output.
+struct TextHost {
+    fresh: maya_template::__private_fresh::FreshNames,
+}
+
+impl InstHost for TextHost {
+    fn reduce(&mut self, _prod: ProdId, args: Vec<Node>, _span: Span) -> Result<Node, DispatchError> {
+        let mut text = String::new();
+        for a in args {
+            let piece = match a {
+                Node::Token(t) => t.text.as_str().to_owned(),
+                Node::Ident(i) => i.as_str().to_owned(),
+                Node::Expr(e) => maya_ast::expr_str(&e),
+                Node::List(items) => items
+                    .iter()
+                    .map(|n| match n {
+                        Node::Expr(e) => maya_ast::expr_str(e),
+                        other => format!("{other:?}"),
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" "),
+                Node::Unit => String::new(),
+                other => format!("<{}>", other.node_kind().name()),
+            };
+            if !text.is_empty() && !piece.is_empty() {
+                text.push(' ');
+            }
+            text.push_str(&piece);
+        }
+        Ok(Node::Expr(maya_ast::Expr::name(&text)))
+    }
+
+    fn fresh(&mut self, base: &str) -> Symbol {
+        self.fresh.fresh(base)
+    }
+}
+
+fn body(src: &str) -> maya_lexer::DelimTree {
+    let trees = tree_lex_str(&format!("{{ {src} }}")).unwrap();
+    trees[0].as_delim().unwrap().clone()
+}
+
+fn compile(
+    g: &Grammar,
+    h: &HygieneSpec,
+    goal: NodeKind,
+    src: &str,
+) -> Result<Template, maya_template::TemplateError> {
+    Template::compile(
+        g,
+        h,
+        &|name| {
+            if name == "System" {
+                Some(sym("java.lang.System"))
+            } else {
+                None
+            }
+        },
+        goal,
+        &body(src),
+        &mut Kinds,
+    )
+}
+
+fn render(t: &Template, values: Vec<Node>) -> String {
+    let mut host = TextHost {
+        fresh: maya_template::__private_fresh::FreshNames::new(),
+    };
+    match t.instantiate(values, &mut host).unwrap() {
+        Node::Expr(e) => maya_ast::expr_str(&e),
+        other => format!("{other:?}"),
+    }
+}
+
+#[test]
+fn slot_splice_and_replay() {
+    let (g, h) = grammar();
+    let t = compile(&g, &h, NodeKind::Statement, "print $e ;").unwrap();
+    assert_eq!(t.slots.len(), 1);
+    assert!(t.binders.is_empty());
+    let out = render(&t, vec![Node::Expr(maya_ast::Expr::int(42))]);
+    assert_eq!(out, "print 42 ;");
+}
+
+#[test]
+fn binders_are_renamed_hygienically() {
+    let (g, h) = grammar();
+    let t = compile(&g, &h, NodeKind::BlockStmts, "let x = $e ; print x ;").unwrap();
+    assert_eq!(t.binders, vec![sym("x")]);
+    let out = render(&t, vec![Node::Expr(maya_ast::Expr::int(1))]);
+    // Both occurrences renamed consistently to x$N.
+    assert!(out.contains("x$1"), "{out}");
+    assert!(!out.contains(" x "), "{out}");
+    // A second instantiation with a shared host gets a fresh name.
+    let mut host = TextHost {
+        fresh: maya_template::__private_fresh::FreshNames::new(),
+    };
+    let a = t
+        .instantiate(vec![Node::Expr(maya_ast::Expr::int(1))], &mut host)
+        .unwrap();
+    let b = t
+        .instantiate(vec![Node::Expr(maya_ast::Expr::int(1))], &mut host)
+        .unwrap();
+    let (sa, sb) = match (a, b) {
+        (Node::Expr(x), Node::Expr(y)) => (maya_ast::expr_str(&x), maya_ast::expr_str(&y)),
+        _ => panic!(),
+    };
+    assert_ne!(sa, sb, "each instantiation gets fresh names");
+}
+
+#[test]
+fn free_variable_is_a_compile_time_error() {
+    let (g, h) = grammar();
+    let err = compile(&g, &h, NodeKind::Statement, "print y ;").unwrap_err();
+    assert!(err.message.contains("free variable"), "{}", err.message);
+}
+
+#[test]
+fn class_names_are_referentially_transparent() {
+    let (g, h) = grammar();
+    let t = compile(&g, &h, NodeKind::Statement, "print System ;").unwrap();
+    let out = render(&t, vec![]);
+    assert!(out.contains("java.lang.System"), "{out}");
+}
+
+#[test]
+fn syntax_errors_are_static() {
+    let (g, h) = grammar();
+    // `print ;` is missing its expression: rejected at compile time, not at
+    // instantiation (paper: templates are statically parsed).
+    assert!(compile(&g, &h, NodeKind::Statement, "print ;").is_err());
+}

@@ -1,0 +1,29 @@
+//! Type errors.
+
+use maya_lexer::Span;
+use std::fmt;
+
+/// A static-semantics error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl TypeError {
+    /// Builds an error.
+    pub fn new(message: impl Into<String>, span: Span) -> TypeError {
+        TypeError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}

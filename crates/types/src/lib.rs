@@ -1,0 +1,32 @@
+//! The MayaJava type system and lazy type checker.
+//!
+//! Maya interleaves lazy type checking with lazy parsing (paper §4): Mayans
+//! dispatch on the *static, source-level types* of expressions, so the
+//! checker must be able to compute the type of any expression on demand,
+//! inside the parser, under the scope current at that point. This crate
+//! provides:
+//!
+//! * semantic [`Type`]s and the [`ClassTable`] — the registry of classes and
+//!   interfaces, with the introspection/intercession API Mayans use
+//!   (`Type` objects support member lookup, and "member declarations may be
+//!   added to a class body", §3.2);
+//! * lexical [`Scope`]s and the name-resolution context [`ResolveCtx`]
+//!   (imports, packages, shadowing — including the paper's §4.3 example
+//!   where `java.lang.System` is inaccessible because a local class is
+//!   named `java`);
+//! * the [`Checker`], a demand-driven type checker that forces lazy nodes
+//!   through its [`CheckHost`] when their types are needed.
+
+mod check;
+mod error;
+mod scope;
+mod table;
+mod ty;
+
+pub use check::{CheckHost, Checker, NoHost};
+pub use error::TypeError;
+pub use scope::{Scope, VarBinding, VarKind};
+pub use table::{
+    ClassId, ClassInfo, ClassTable, CtorInfo, FieldInfo, MethodInfo, ResolveCtx,
+};
+pub use ty::{MethodSig, Type};

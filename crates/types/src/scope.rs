@@ -1,0 +1,129 @@
+//! Lexical scopes for local variables and parameters.
+
+use crate::{ClassId, Type};
+use maya_lexer::Symbol;
+use std::collections::HashMap;
+
+/// How a name was bound.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VarKind {
+    Local,
+    Param,
+}
+
+/// One variable binding.
+#[derive(Clone, Debug)]
+pub struct VarBinding {
+    pub ty: Type,
+    pub kind: VarKind,
+    pub is_final: bool,
+}
+
+/// A stack of lexical frames plus the enclosing class/method context.
+///
+/// The checker pushes a frame per block; Mayans dispatching on static types
+/// during parsing consult the scope current at the splice point — this is
+/// the "create variable bindings that are visible to other arguments"
+/// machinery of paper §1.
+#[derive(Clone, Debug)]
+pub struct Scope {
+    frames: Vec<HashMap<Symbol, VarBinding>>,
+    /// The class whose body is being checked (`this`).
+    pub this_class: Option<ClassId>,
+    /// True in static methods and initializers.
+    pub static_ctx: bool,
+    /// The enclosing method's return type.
+    pub return_type: Type,
+}
+
+impl Default for Scope {
+    fn default() -> Scope {
+        Scope::new()
+    }
+}
+
+impl Scope {
+    /// An empty scope (one root frame, no enclosing class).
+    pub fn new() -> Scope {
+        Scope {
+            frames: vec![HashMap::new()],
+            this_class: None,
+            static_ctx: false,
+            return_type: Type::Void,
+        }
+    }
+
+    /// Enters a block.
+    pub fn push(&mut self) {
+        self.frames.push(HashMap::new());
+    }
+
+    /// Leaves a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics when popping the root frame.
+    pub fn pop(&mut self) {
+        assert!(self.frames.len() > 1, "cannot pop the root scope frame");
+        self.frames.pop();
+    }
+
+    /// Declares a variable in the innermost frame. Returns `false` when the
+    /// name is already declared *in that frame* (Java forbids it).
+    pub fn declare(&mut self, name: Symbol, binding: VarBinding) -> bool {
+        let frame = self.frames.last_mut().expect("scope has a frame");
+        if frame.contains_key(&name) {
+            return false;
+        }
+        frame.insert(name, binding);
+        true
+    }
+
+    /// Looks a name up, innermost frame first.
+    pub fn lookup(&self, name: Symbol) -> Option<&VarBinding> {
+        self.frames.iter().rev().find_map(|f| f.get(&name))
+    }
+
+    /// Current nesting depth (for tests and diagnostics).
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_lexer::sym;
+
+    fn b(ty: Type) -> VarBinding {
+        VarBinding {
+            ty,
+            kind: VarKind::Local,
+            is_final: false,
+        }
+    }
+
+    #[test]
+    fn shadowing_across_frames() {
+        let mut s = Scope::new();
+        assert!(s.declare(sym("x"), b(Type::int())));
+        s.push();
+        assert!(s.declare(sym("x"), b(Type::boolean())));
+        assert_eq!(s.lookup(sym("x")).unwrap().ty, Type::boolean());
+        s.pop();
+        assert_eq!(s.lookup(sym("x")).unwrap().ty, Type::int());
+    }
+
+    #[test]
+    fn duplicate_in_same_frame_rejected() {
+        let mut s = Scope::new();
+        assert!(s.declare(sym("x"), b(Type::int())));
+        assert!(!s.declare(sym("x"), b(Type::int())));
+    }
+
+    #[test]
+    fn missing_name() {
+        let s = Scope::new();
+        assert!(s.lookup(sym("nope")).is_none());
+    }
+}

@@ -1,0 +1,128 @@
+//! Semantic types.
+
+use crate::table::ClassId;
+use maya_ast::PrimKind;
+use std::fmt;
+
+/// A resolved MayaJava type.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Type {
+    Prim(PrimKind),
+    Void,
+    /// The type of the `null` literal (assignable to every reference type).
+    Null,
+    Class(ClassId),
+    Array(Box<Type>),
+    /// Recovery type produced after a reported error; compatible with
+    /// everything so one mistake doesn't cascade.
+    Error,
+}
+
+impl Type {
+    /// `int`.
+    pub fn int() -> Type {
+        Type::Prim(PrimKind::Int)
+    }
+
+    /// `boolean`.
+    pub fn boolean() -> Type {
+        Type::Prim(PrimKind::Boolean)
+    }
+
+    /// An array of this type.
+    pub fn array_of(self) -> Type {
+        Type::Array(Box::new(self))
+    }
+
+    /// True for `Class` and `Array` types and `Null`.
+    pub fn is_reference(&self) -> bool {
+        matches!(self, Type::Class(_) | Type::Array(_) | Type::Null)
+    }
+
+    /// True for numeric primitives.
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            Type::Prim(
+                PrimKind::Byte
+                    | PrimKind::Short
+                    | PrimKind::Char
+                    | PrimKind::Int
+                    | PrimKind::Long
+                    | PrimKind::Float
+                    | PrimKind::Double
+            )
+        )
+    }
+
+    /// True for integral primitives.
+    pub fn is_integral(&self) -> bool {
+        matches!(
+            self,
+            Type::Prim(
+                PrimKind::Byte | PrimKind::Short | PrimKind::Char | PrimKind::Int | PrimKind::Long
+            )
+        )
+    }
+
+    /// The class id, if this is a class type.
+    pub fn class_id(&self) -> Option<ClassId> {
+        match self {
+            Type::Class(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// The element type, if this is an array.
+    pub fn elem(&self) -> Option<&Type> {
+        match self {
+            Type::Array(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Prim(p) => f.write_str(p.as_str()),
+            Type::Void => f.write_str("void"),
+            Type::Null => f.write_str("null"),
+            Type::Class(id) => write!(f, "#class{}", id.0),
+            Type::Array(e) => write!(f, "{e}[]"),
+            Type::Error => f.write_str("<error>"),
+        }
+    }
+}
+
+/// A method signature used for override/duplicate detection.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MethodSig {
+    pub name: maya_lexer::Symbol,
+    pub params: Vec<Type>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Type::int().is_numeric());
+        assert!(Type::int().is_integral());
+        assert!(!Type::boolean().is_numeric());
+        assert!(Type::Prim(PrimKind::Double).is_numeric());
+        assert!(!Type::Prim(PrimKind::Double).is_integral());
+        assert!(Type::Null.is_reference());
+        assert!(Type::int().array_of().is_reference());
+        assert!(!Type::Void.is_reference());
+    }
+
+    #[test]
+    fn accessors() {
+        let arr = Type::int().array_of();
+        assert_eq!(arr.elem(), Some(&Type::int()));
+        assert_eq!(Type::int().elem(), None);
+        assert_eq!(Type::Class(ClassId(3)).class_id(), Some(ClassId(3)));
+    }
+}

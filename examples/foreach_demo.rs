@@ -1,0 +1,46 @@
+//! The paper's §3 walk-through: the same `foreach` syntax picks different
+//! expansions by *static type* — `Enumeration` receivers get the general
+//! loop, `maya.util.Vector.elements()` receivers get the allocation-free
+//! loop (VForEach, selected by substructure + static-type dispatch), and
+//! arrays get an index loop.
+//!
+//!     cargo run --example foreach_demo
+
+use maya::macrolib::compiler_with_macros;
+
+fn main() {
+    let compiler = compiler_with_macros();
+    let out = compiler
+        .compile_and_run(
+            "Main.maya",
+            r#"
+            import java.util.*;
+            class Main {
+                static void main() {
+                    use Foreach;
+
+                    Hashtable h = new Hashtable();
+                    h.put("x", "1");
+                    h.keys().foreach(String k) {
+                        System.out.println("hashtable: " + k + "=" + h.get(k));
+                    }
+
+                    maya.util.Vector mv = new maya.util.Vector();
+                    mv.addElement("fast");
+                    mv.elements().foreach(String s) {
+                        System.out.println("maya.util.Vector (optimized): " + s);
+                    }
+
+                    int[] squares = new int[4];
+                    for (int i = 0; i < 4; i++) { squares[i] = i * i; }
+                    squares.foreach(int q) {
+                        System.out.println("array: " + q);
+                    }
+                }
+            }
+            "#,
+            "Main",
+        )
+        .expect("compile and run");
+    print!("{out}");
+}

@@ -1,0 +1,39 @@
+//! Quickstart: compile and run a MayaJava program, import a macro, and show
+//! the expansion the compiler produced.
+//!
+//!     cargo run --example quickstart
+
+use maya::ast::{normalize_generated_names, pretty_node};
+use maya::macrolib::compiler_with_macros;
+
+fn main() {
+    let compiler = compiler_with_macros();
+    let source = r#"
+        import java.util.*;
+        class Main {
+            static void main() {
+                Hashtable h = new Hashtable();
+                h.put("alpha", "1");
+                h.put("beta", "2");
+                use EForEach;
+                h.keys().foreach(String st) {
+                    System.out.println(st + " = " + h.get(st));
+                }
+            }
+        }
+    "#;
+    compiler.add_source("Main.maya", source).expect("parse");
+    compiler.compile().expect("compile");
+
+    // Show what foreach expanded to (paper §3).
+    let classes = compiler.classes();
+    let main = classes.by_fqcn_str("Main").unwrap();
+    let info = classes.info(main);
+    let info = info.borrow();
+    let body = info.methods[0].body.as_ref().unwrap().forced_node().unwrap();
+    println!("--- expansion of Main.main ---");
+    println!("{}", normalize_generated_names(&pretty_node(&body)));
+
+    println!("--- program output ---");
+    print!("{}", compiler.run_main("Main").expect("run"));
+}

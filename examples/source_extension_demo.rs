@@ -1,0 +1,58 @@
+//! The full Figure 1 pipeline, end to end: an extension written in
+//! MayaJava itself (Figure 2's EForEach, nearly verbatim) is compiled by
+//! mayac into a metaprogram, then imported while compiling an application.
+//! The Mayan's body — templates, reflection API and all — runs on the
+//! interpreter at application compile time.
+//!
+//!     cargo run --example source_extension_demo
+
+use maya::Compiler;
+
+const EXTENSION: &str = r#"
+    abstract Statement syntax(MethodName(Formal) lazy(BraceTree, BlockStmts));
+
+    Statement syntax
+    EForEach(Expression:java.util.Enumeration enumExp
+             \. foreach(Formal var)
+             lazy(BraceTree, BlockStmts) body)
+    {
+        StrictTypeName castType = StrictTypeName.make(var.getType());
+
+        return new Statement {
+            for (java.util.Enumeration enumVar = $enumExp;
+                 enumVar.hasMoreElements(); ) {
+                $(DeclStmt.make(var))
+                $(Reference.makeExpr(var.getLocation()))
+                    = ($castType) enumVar.nextElement();
+                $body
+            }
+        };
+    }
+"#;
+
+const APPLICATION: &str = r#"
+    import java.util.*;
+    class Main {
+        static void main() {
+            Hashtable h = new Hashtable();
+            h.put("paper", "PLDI 2002");
+            h.put("system", "Maya");
+            use EForEach;
+            h.keys().foreach(String st) {
+                System.out.println(st + " -> " + h.get(st));
+            }
+        }
+    }
+"#;
+
+fn main() {
+    let compiler = Compiler::new();
+    compiler
+        .add_source("EForEach.maya", EXTENSION)
+        .expect("extension compiles");
+    compiler
+        .add_source("Main.maya", APPLICATION)
+        .expect("application parses");
+    compiler.compile().expect("application compiles");
+    print!("{}", compiler.run_main("Main").expect("application runs"));
+}

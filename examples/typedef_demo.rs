@@ -1,0 +1,36 @@
+//! Figure 3: `typedef` — a local type alias implemented with *local
+//! Mayans* exported through a `UseStmt`, plus `assert` and `format` from
+//! the macro library.
+//!
+//!     cargo run --example typedef_demo
+
+use maya::macrolib::compiler_with_macros;
+
+fn main() {
+    let compiler = compiler_with_macros();
+    let out = compiler
+        .compile_and_run(
+            "Main.maya",
+            r#"
+            import java.util.*;
+            class Main {
+                static void main() {
+                    use Typedef;
+                    use Assert;
+                    use Format;
+                    typedef (Registry = java.util.Hashtable) {
+                        Registry users = new Registry();
+                        users.put("ada", "admin");
+                        users.put("grace", "staff");
+                        assert(users.size() == 2);
+                        System.out.println(format("%s users registered", users.size()));
+                        System.out.println((String) users.get("ada"));
+                    }
+                }
+            }
+            "#,
+            "Main",
+        )
+        .expect("compile and run");
+    print!("{out}");
+}

@@ -1,0 +1,117 @@
+//! `mayac`: the Maya compiler driver (paper Figure 1).
+//!
+//! Usage:
+//!
+//! ```text
+//! mayac [-use NAME]... [--main CLASS] [--expand] FILE...
+//! ```
+//!
+//! Compiles the given MayaJava sources with the macro library and MultiJava
+//! registered, then runs `CLASS.main()` (default `Main`). `-use NAME`
+//! imports a metaprogram for the whole compilation (the paper's `-use`
+//! command-line option, §3.3); `--expand` prints every compiled method
+//! body after Mayan expansion.
+
+use maya::ast::{normalize_generated_names, pretty_node};
+use maya::{CompileOptions, Compiler};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut uses = Vec::new();
+    let mut files = Vec::new();
+    let mut main_class = "Main".to_owned();
+    let mut expand = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-use" | "--use" => match args.next() {
+                Some(n) => uses.push(n),
+                None => return usage("missing name after -use"),
+            },
+            "--main" => match args.next() {
+                Some(n) => main_class = n,
+                None => return usage("missing class after --main"),
+            },
+            "--expand" => expand = true,
+            "-h" | "--help" => return usage(""),
+            f if !f.starts_with('-') => files.push(f.to_owned()),
+            other => return usage(&format!("unknown option {other}")),
+        }
+    }
+    if files.is_empty() {
+        return usage("no input files");
+    }
+
+    let compiler = Compiler::with_options(CompileOptions {
+        echo_output: false,
+        uses,
+    });
+    maya::macrolib::install(&compiler);
+    maya::multijava::install(&compiler);
+
+    for f in &files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("mayac: cannot read {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = compiler.add_source(f, &text) {
+            eprintln!("mayac: {f}: {}", e.message);
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = compiler.compile() {
+        eprintln!("mayac: {}", e.message);
+        return ExitCode::FAILURE;
+    }
+
+    if expand {
+        let classes = compiler.classes();
+        for f in &files {
+            let _ = f;
+        }
+        for idx in 0..classes.len() {
+            let id = maya::types::ClassId(idx as u32);
+            let info = classes.info(id);
+            let info = info.borrow();
+            if info.fqcn.as_str().starts_with("java.")
+                || info.fqcn.as_str().starts_with("maya.")
+            {
+                continue;
+            }
+            for m in &info.methods {
+                if let Some(body) = &m.body {
+                    if let Some(node) = body.forced_node() {
+                        println!("--- {}.{} ---", info.fqcn, m.name);
+                        println!("{}", normalize_generated_names(&pretty_node(&node)));
+                    }
+                }
+            }
+        }
+    }
+
+    match compiler.run_main(&main_class) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mayac: {}", e.message);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("mayac: {err}");
+    }
+    eprintln!("usage: mayac [-use NAME]... [--main CLASS] [--expand] FILE...");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

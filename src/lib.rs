@@ -1,0 +1,50 @@
+//! Maya-rs: a Rust reproduction of *Maya: Multiple-Dispatch Syntax
+//! Extension in Java* (Baker & Hsieh, PLDI 2002).
+//!
+//! Maya treats grammar productions as generic functions and semantic
+//! actions (*Mayans*) as multimethods dispatched on the syntactic structure
+//! and static types of the input. This facade crate re-exports the whole
+//! system; see DESIGN.md for the crate map and EXPERIMENTS.md for the
+//! paper-reproduction results.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use maya::macrolib::compiler_with_macros;
+//!
+//! let compiler = compiler_with_macros();
+//! let out = compiler
+//!     .compile_and_run(
+//!         "Main.maya",
+//!         r#"
+//!         import java.util.*;
+//!         class Main {
+//!             static void main() {
+//!                 Vector v = new Vector();
+//!                 v.addElement("hello");
+//!                 use Foreach;
+//!                 v.elements().foreach(String st) {
+//!                     System.out.println(st);
+//!                 }
+//!             }
+//!         }
+//!         "#,
+//!         "Main",
+//!     )
+//!     .unwrap();
+//! assert_eq!(out, "hello\n");
+//! ```
+
+pub use maya_ast as ast;
+pub use maya_core as core;
+pub use maya_dispatch as dispatch;
+pub use maya_grammar as grammar;
+pub use maya_interp as interp;
+pub use maya_lexer as lexer;
+pub use maya_macrolib as macrolib;
+pub use maya_multijava as multijava;
+pub use maya_parser as parser;
+pub use maya_template as template;
+pub use maya_types as types;
+
+pub use maya_core::{CompileError, CompileOptions, Compiler};

@@ -1,0 +1,91 @@
+//! The mayac command-line driver.
+
+use std::process::Command;
+
+fn mayac() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mayac"))
+}
+
+fn write_temp(name: &str, text: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mayac-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    std::fs::write(&p, text).unwrap();
+    p
+}
+
+#[test]
+fn compiles_and_runs_a_file() {
+    let f = write_temp(
+        "hello.maya",
+        r#"class Main { static void main() { System.out.println("cli ok"); } }"#,
+    );
+    let out = mayac().arg(&f).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "cli ok\n");
+}
+
+#[test]
+fn use_option_imports_globally() {
+    // The paper's -use command-line option (§3.3): the macro is available
+    // without a use directive in the source.
+    let f = write_temp(
+        "glob.maya",
+        r#"
+        import java.util.*;
+        class Main {
+            static void main() {
+                Vector v = new Vector();
+                v.addElement("via -use");
+                v.elements().foreach(String s) {
+                    System.out.println(s);
+                }
+            }
+        }
+        "#,
+    );
+    let out = mayac().arg("-use").arg("Foreach").arg(&f).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "via -use\n");
+}
+
+#[test]
+fn expand_prints_expansions() {
+    let f = write_temp(
+        "exp.maya",
+        r#"
+        import java.util.*;
+        class Main {
+            static void main() {
+                Vector v = new Vector();
+                use Foreach;
+                v.elements().foreach(String s) { System.out.println(s); }
+            }
+        }
+        "#,
+    );
+    let out = mayac().arg("--expand").arg(&f).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("hasMoreElements"), "{stdout}");
+}
+
+#[test]
+fn errors_exit_nonzero_with_message() {
+    let f = write_temp("bad.maya", "class Main { static void main() { int x = ; } }");
+    let out = mayac().arg(&f).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mayac:"), "{stderr}");
+}
+
+#[test]
+fn main_class_selection() {
+    let f = write_temp(
+        "other.maya",
+        r#"class App { static void main() { System.out.println("app"); } }"#,
+    );
+    let out = mayac().arg("--main").arg("App").arg(&f).output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "app\n");
+}

@@ -1,0 +1,146 @@
+//! Extensions compose: the macro library and MultiJava in one compilation,
+//! plus a source-level Mayan on top.
+
+use maya::Compiler;
+
+fn full_compiler() -> Compiler {
+    let c = Compiler::new();
+    maya::macrolib::install(&c);
+    maya::multijava::install(&c);
+    c
+}
+
+#[test]
+fn macrolib_and_multijava_together() {
+    let c = full_compiler();
+    let out = c
+        .compile_and_run(
+            "Main.maya",
+            r#"
+            import java.util.*;
+            use MultiJava;
+            class Event { String tag() { return "event"; } }
+            class Click extends Event { String tag() { return "click"; } }
+            class Handler {
+                String on(Event e) { return "ignored " + e.tag(); }
+                String on(Event@Click e) { return "handled " + e.tag(); }
+            }
+            class Main {
+                static void main() {
+                    use Foreach;
+                    use Assert;
+                    Vector events = new Vector();
+                    events.addElement(new Click());
+                    events.addElement(new Event());
+                    Handler h = new Handler();
+                    assert(events.size() == 2);
+                    events.elements().foreach(Event e) {
+                        System.out.println(h.on(e));
+                    }
+                }
+            }
+            "#,
+            "Main",
+        )
+        .unwrap();
+    assert_eq!(out, "handled click\nignored event\n");
+}
+
+#[test]
+fn source_extension_composes_with_native_ones() {
+    let c = full_compiler();
+    c.add_source(
+        "Repeat.maya",
+        r#"
+        abstract Statement syntax(repeat(Expression) lazy(BraceTree, BlockStmts));
+
+        Statement syntax
+        Repeat(repeat(Expression n) lazy(BraceTree, BlockStmts) body)
+        {
+            return new Statement {
+                for (int counter = 0; counter < $n; counter++) {
+                    $body
+                }
+            };
+        }
+        "#,
+    )
+    .unwrap();
+    c.add_source(
+        "Main.maya",
+        r#"
+        class Main {
+            static void main() {
+                use Repeat;
+                use Format;
+                int hits = 0;
+                repeat (3) {
+                    hits += 1;
+                    System.out.println(format("hit %s", hits));
+                }
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    c.compile().unwrap();
+    assert_eq!(c.run_main("Main").unwrap(), "hit 1\nhit 2\nhit 3\n");
+}
+
+#[test]
+fn use_inside_class_body_scopes_over_members() {
+    let c = full_compiler();
+    let out = c
+        .compile_and_run(
+            "Main.maya",
+            r#"
+            import java.util.*;
+            class Main {
+                use Foreach;
+                static void dump(Vector v) {
+                    v.elements().foreach(String s) {
+                        System.out.println(s);
+                    }
+                }
+                static void main() {
+                    Vector v = new Vector();
+                    v.addElement("scoped");
+                    dump(v);
+                }
+            }
+            "#,
+            "Main",
+        )
+        .unwrap();
+    assert_eq!(out, "scoped\n");
+}
+
+#[test]
+fn top_level_use_scopes_over_following_classes() {
+    let c = full_compiler();
+    let out = c
+        .compile_and_run(
+            "Main.maya",
+            r#"
+            import java.util.*;
+            use Foreach;
+            class Helper {
+                static void dump(Vector v) {
+                    v.elements().foreach(String s) {
+                        System.out.println("h:" + s);
+                    }
+                }
+            }
+            class Main {
+                static void main() {
+                    Vector v = new Vector();
+                    v.addElement("x");
+                    Helper.dump(v);
+                }
+            }
+            "#,
+            "Main",
+        )
+        .unwrap();
+    assert_eq!(out, "h:x\n");
+}

@@ -1,0 +1,158 @@
+//! E9 — dispatch semantics at the user level: symmetric ambiguity, lexical
+//! tie-breaking, and nextRewrite layering (paper §4.4).
+
+use maya::ast::{Expr, ExprKind, Lit, Node, NodeKind};
+use maya::dispatch::{
+    Bindings, DispatchError, ExpandCtx, ImportEnv, Mayan, MetaProgram, Param, Specializer,
+};
+use maya::lexer::sym;
+use maya::Compiler;
+use std::rc::Rc;
+
+/// An extension that overrides the base translation of string literals,
+/// deferring to it with nextRewrite and then transforming the result —
+/// macro layering on a *base* production.
+struct Shout;
+
+impl MetaProgram for Shout {
+    fn run(&self, env: &mut dyn ImportEnv) -> Result<(), DispatchError> {
+        let prod = env
+            .grammar()
+            .productions()
+            .iter()
+            .enumerate()
+            .find_map(|(i, p)| {
+                use maya::grammar::{Sym, Terminal};
+                match p.rhs.as_slice() {
+                    [Sym::T(Terminal::Tok(maya::lexer::TokenKind::StringLit))] => {
+                        Some(maya::grammar::ProdId(i as u32))
+                    }
+                    _ => None,
+                }
+            })
+            .expect("string literal production");
+        env.import_mayan(Mayan::new(
+            "Shout",
+            prod,
+            vec![Param::plain(NodeKind::TokenNode)],
+            Rc::new(|_b: &Bindings, ctx: &mut dyn ExpandCtx| {
+                let node = ctx.next_rewrite()?;
+                match node {
+                    Node::Expr(Expr {
+                        kind: ExprKind::Literal(Lit::Str(s)),
+                        span,
+                    }) => Ok(Node::Expr(Expr::new(
+                        span,
+                        ExprKind::Literal(Lit::Str(sym(&s.as_str().to_uppercase()))),
+                    ))),
+                    other => Ok(other),
+                }
+            }),
+        ));
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "Shout"
+    }
+}
+
+#[test]
+fn lexical_tie_breaking_overrides_base_semantics() {
+    // The imported Mayan is equally specific to the built-in one, so the
+    // later import wins and reinterprets base syntax — "lexical
+    // tie-breaking allows MultiJava to transparently change the translation
+    // of base Java syntax" (§5.2).
+    let c = Compiler::new();
+    c.register_metaprogram("Shout", Rc::new(Shout));
+    let out = c
+        .compile_and_run(
+            "Main.maya",
+            r#"
+            class Main {
+                static void main() {
+                    use Shout;
+                    System.out.println("quiet please");
+                }
+            }
+            "#,
+            "Main",
+        )
+        .unwrap();
+    assert_eq!(out, "QUIET PLEASE\n");
+}
+
+#[test]
+fn tie_breaking_is_scoped() {
+    let c = Compiler::new();
+    c.register_metaprogram("Shout", Rc::new(Shout));
+    let out = c
+        .compile_and_run(
+            "Main.maya",
+            r#"
+            class Main {
+                static void loud() {
+                    use Shout;
+                    System.out.println("inside");
+                }
+                static void main() {
+                    loud();
+                    System.out.println("outside");
+                }
+            }
+            "#,
+            "Main",
+        )
+        .unwrap();
+    assert_eq!(out, "INSIDE\noutside\n");
+}
+
+#[test]
+fn symmetric_ambiguity_errors_at_dispatch() {
+    // Exercised directly through the dispatcher (unit-level coverage lives
+    // in maya-dispatch; this asserts the END-USER visible error text).
+    use maya::dispatch::order_applicable;
+    use maya::types::{ClassTable, Type};
+    let ct = ClassTable::bootstrap();
+    let string = Type::Class(ct.by_fqcn_str("java.lang.String").unwrap());
+    let object = Type::Class(ct.by_fqcn_str("java.lang.Object").unwrap());
+    let m = |name: &str, a: Specializer, b: Specializer| {
+        Mayan::new(
+            name,
+            maya::grammar::ProdId(0),
+            vec![
+                Param::plain(NodeKind::Expression).with_spec(a),
+                Param::plain(NodeKind::Expression).with_spec(b),
+            ],
+            Rc::new(|_, _| Ok(Node::Unit)),
+        )
+    };
+    let mut env = maya::dispatch::DispatchEnv::new().extend();
+    env.import(m(
+        "FirstSpecific",
+        Specializer::StaticType(string.clone()),
+        Specializer::None,
+    ));
+    env.import(m(
+        "SecondSpecific",
+        Specializer::None,
+        Specializer::StaticType(string.clone()),
+    ));
+    let env = env.finish();
+    let args = vec![
+        Node::from(Expr::str_lit("a")),
+        Node::from(Expr::str_lit("b")),
+    ];
+    let err = order_applicable(
+        &env,
+        &ct,
+        maya::grammar::ProdId(0),
+        "p",
+        &args,
+        &mut |_| Some(string.clone()),
+        maya::lexer::Span::DUMMY,
+    )
+    .unwrap_err();
+    assert!(err.message.contains("ambiguous"), "{}", err.message);
+    let _ = object;
+}

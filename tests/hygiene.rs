@@ -1,0 +1,135 @@
+//! E8 — static hygiene and referential transparency (paper §4.3).
+
+use maya::macrolib::compiler_with_macros;
+use maya::Compiler;
+
+fn run(src: &str) -> String {
+    let c = compiler_with_macros();
+    match c.compile_and_run("Main.maya", src, "Main") {
+        Ok(out) => out,
+        Err(e) => panic!("compile/run failed: {} @ {:?}", e.message, e.span),
+    }
+}
+
+#[test]
+fn template_locals_never_capture_user_variables() {
+    // Nested foreach over two enumerations: two template instantiations,
+    // each with its own fresh enumVar, plus a user enumVar in scope.
+    let out = run(r#"
+        import java.util.*;
+        class Main {
+            static void main() {
+                Vector outer = new Vector();
+                outer.addElement("a");
+                outer.addElement("b");
+                Vector inner = new Vector();
+                inner.addElement("1");
+                inner.addElement("2");
+                String enumVar = "user";
+                use Foreach;
+                outer.elements().foreach(String o) {
+                    inner.elements().foreach(String i) {
+                        System.out.println(enumVar + ":" + o + i);
+                    }
+                }
+            }
+        }
+    "#);
+    assert_eq!(out, "user:a1\nuser:a2\nuser:b1\nuser:b2\n");
+}
+
+#[test]
+fn generated_names_are_unique_per_expansion() {
+    use maya::ast::pretty_node;
+    let c = compiler_with_macros();
+    c.add_source(
+        "Main.maya",
+        r#"
+        import java.util.*;
+        class Main {
+            static void main() {
+                Vector v = new Vector();
+                use Foreach;
+                v.elements().foreach(String a) { System.out.println(a); }
+                v.elements().foreach(String b) { System.out.println(b); }
+            }
+        }
+    "#,
+    )
+    .unwrap();
+    c.compile().unwrap();
+    let classes = c.classes();
+    let id = classes.by_fqcn_str("Main").unwrap();
+    let info = classes.info(id);
+    let info = info.borrow();
+    let body = info.methods[0].body.as_ref().unwrap().forced_node().unwrap();
+    let text = pretty_node(&body);
+    // Each expansion gets a distinct fresh loop variable.
+    let names: Vec<&str> = text
+        .split(|c: char| !(c.is_alphanumeric() || c == '$' || c == '_'))
+        .filter(|w| w.contains('$'))
+        .collect();
+    let mut uniq: Vec<&str> = names.clone();
+    uniq.sort();
+    uniq.dedup();
+    assert!(uniq.len() >= 2, "expected ≥2 distinct fresh names in:\n{text}");
+}
+
+#[test]
+fn referential_transparency_for_class_names() {
+    // The expansion's `java.util.Enumeration` resolves even though the user
+    // shadows `Enumeration` with a local class of the same simple name.
+    let out = run(r#"
+        import java.util.*;
+        class Enumeration { }
+        class Main {
+            static void main() {
+                Vector v = new Vector();
+                v.addElement("ok");
+                use Foreach;
+                v.elements().foreach(String s) {
+                    System.out.println(s);
+                }
+            }
+        }
+    "#);
+    assert_eq!(out, "ok\n");
+}
+
+#[test]
+fn shadowed_qualified_names_are_rejected_in_user_code() {
+    // Paper §4.3's example: a class named `java` makes java.lang.System
+    // inaccessible by its qualified name — but the macro library's strict
+    // references still work.
+    let src = r#"
+        class java { }
+        class Main {
+            static void main() {
+                java.lang.System.out.println("nope");
+            }
+        }
+    "#;
+    let c = Compiler::new();
+    assert!(c.compile_and_run("Main.maya", src, "Main").is_err());
+}
+
+#[test]
+fn hygiene_can_be_broken_explicitly() {
+    // Reference.makeExpr-produced direct references: the generated
+    // assignment targets the user's variable by design (the foreach loop
+    // variable st is the user's own binding).
+    let out = run(r#"
+        import java.util.*;
+        class Main {
+            static void main() {
+                Vector v = new Vector();
+                v.addElement("x");
+                use Foreach;
+                v.elements().foreach(String st) {
+                    System.out.println(st);
+                }
+            }
+        }
+    "#);
+    assert_eq!(out, "x\n");
+}

@@ -1,0 +1,59 @@
+//! Property tests over the full pipeline: random arithmetic programs must
+//! evaluate to the same value the host computes.
+
+use maya::Compiler;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum E {
+    N(i32),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = (0i32..100).prop_map(E::N);
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+impl E {
+    fn eval(&self) -> i64 {
+        match self {
+            E::N(n) => *n as i64,
+            E::Add(a, b) => (a.eval() as i32).wrapping_add(b.eval() as i32) as i64,
+            E::Sub(a, b) => (a.eval() as i32).wrapping_sub(b.eval() as i32) as i64,
+            E::Mul(a, b) => (a.eval() as i32).wrapping_mul(b.eval() as i32) as i64,
+        }
+    }
+
+    fn source(&self) -> String {
+        match self {
+            E::N(n) => n.to_string(),
+            E::Add(a, b) => format!("({} + {})", a.source(), b.source()),
+            E::Sub(a, b) => format!("({} - {})", a.source(), b.source()),
+            E::Mul(a, b) => format!("({} * {})", a.source(), b.source()),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_arithmetic_agrees_with_host(e in arb_expr()) {
+        let src = format!(
+            "class Main {{ static void main() {{ int r = {}; System.out.println(r); }} }}",
+            e.source()
+        );
+        let c = Compiler::new();
+        let out = c.compile_and_run("Main.maya", &src, "Main").unwrap();
+        prop_assert_eq!(out.trim().parse::<i64>().unwrap(), e.eval() as i32 as i64);
+    }
+}

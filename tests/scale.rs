@@ -1,0 +1,78 @@
+//! Scale sanity: the pipeline handles programs far larger than the paper's
+//! examples.
+
+use maya::Compiler;
+use std::fmt::Write as _;
+
+#[test]
+fn forty_classes_with_cross_references() {
+    let mut src = String::new();
+    for i in 0..40 {
+        let _ = writeln!(src, "class C{i} {{");
+        let _ = writeln!(src, "    int id() {{ return {i}; }}");
+        if i > 0 {
+            let _ = writeln!(
+                src,
+                "    int chained() {{ return new C{}().id() + id(); }}",
+                i - 1
+            );
+        }
+        for m in 0..8 {
+            let _ = writeln!(
+                src,
+                "    int m{m}(int a) {{ int t = a * {m} + id(); return t - a; }}"
+            );
+        }
+        let _ = writeln!(src, "}}");
+    }
+    let _ = writeln!(
+        src,
+        "class Main {{ static void main() {{ System.out.println(new C39().chained()); }} }}"
+    );
+    let c = Compiler::new();
+    let out = c.compile_and_run("Big.maya", &src, "Main").unwrap();
+    assert_eq!(out, "77\n"); // 38 + 39
+}
+
+#[test]
+fn deeply_nested_expressions_parse_and_run() {
+    let mut expr = String::from("1");
+    for i in 2..=60 {
+        expr = format!("({expr} + {i})");
+    }
+    let src = format!(
+        "class Main {{ static void main() {{ System.out.println({expr}); }} }}"
+    );
+    let c = Compiler::new();
+    let out = c.compile_and_run("Deep.maya", &src, "Main").unwrap();
+    assert_eq!(out.trim().parse::<i32>().unwrap(), (1..=60).sum::<i32>());
+}
+
+#[test]
+fn many_macro_expansions_in_one_method() {
+    let mut body = String::new();
+    for i in 0..25 {
+        let _ = writeln!(body, "v{i}.elements().foreach(String s{i}) {{ total += 1; }}");
+    }
+    let mut decls = String::new();
+    for i in 0..25 {
+        let _ = writeln!(decls, "Vector v{i} = new Vector(); v{i}.addElement(\"x\");");
+    }
+    let src = format!(
+        r#"
+        import java.util.*;
+        class Main {{
+            static void main() {{
+                int total = 0;
+                {decls}
+                use Foreach;
+                {body}
+                System.out.println(total);
+            }}
+        }}
+        "#
+    );
+    let c = maya::macrolib::compiler_with_macros();
+    let out = c.compile_and_run("Many.maya", &src, "Main").unwrap();
+    assert_eq!(out, "25\n");
+}
