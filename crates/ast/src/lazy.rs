@@ -52,6 +52,10 @@ pub struct LazyNode {
 impl LazyNode {
     /// Builds an unforced lazy node.
     pub fn new(goal: NodeKind, tree: DelimTree, env: Option<Rc<dyn Any>>) -> LazyNode {
+        maya_telemetry::count(maya_telemetry::Counter::LazyNodesCreated);
+        maya_telemetry::trace(maya_telemetry::TraceKind::MakeLazy, || {
+            (goal.name().to_owned(), format!("{} deferred", tree.delim.tree_name()))
+        });
         LazyNode {
             goal,
             cell: Rc::new(RefCell::new(LazyCell::Unforced { tree, env })),
@@ -117,6 +121,7 @@ impl LazyNode {
             matches!(*cell, LazyCell::InProgress),
             "fulfill on a lazy node that is not being forced"
         );
+        maya_telemetry::count(maya_telemetry::Counter::LazyNodesForced);
         *cell = LazyCell::Forced(node);
     }
 

@@ -1,23 +1,53 @@
-//! Property tests: the node-kind lattice and name normalization.
+//! Property-style tests: the node-kind lattice and name normalization.
+//!
+//! Lattice laws are checked exhaustively over all kind pairs; string inputs
+//! come from a deterministic xorshift PRNG (no registry access in the build
+//! container, so `proptest` is unavailable).
 
 use maya_ast::{normalize_generated_names, NodeKind};
-use proptest::prelude::*;
 
-fn any_kind() -> impl Strategy<Value = NodeKind> {
-    proptest::sample::select(NodeKind::all().to_vec())
-}
+struct Rng(u64);
 
-proptest! {
-    #[test]
-    fn subkind_is_reflexive_and_antisymmetric(a in any_kind(), b in any_kind()) {
-        prop_assert!(a.is_subkind_of(a));
-        if a != b && a.is_subkind_of(b) {
-            prop_assert!(!b.is_subkind_of(a), "{a:?} <:> {b:?}");
-        }
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(2685821657736338717).max(1))
     }
 
-    #[test]
-    fn subkind_is_transitive(a in any_kind()) {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn word(&mut self, max_len: u64) -> String {
+        let len = 1 + self.below(max_len);
+        (0..len).map(|_| (b'a' + self.below(26) as u8) as char).collect()
+    }
+}
+
+#[test]
+fn subkind_is_reflexive_and_antisymmetric() {
+    // Exhaustive over all ordered pairs — stronger than sampling.
+    for &a in NodeKind::all() {
+        assert!(a.is_subkind_of(a));
+        for &b in NodeKind::all() {
+            if a != b && a.is_subkind_of(b) {
+                assert!(!b.is_subkind_of(a), "{a:?} <:> {b:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn subkind_is_transitive() {
+    for &a in NodeKind::all() {
         // Walk to the root; every ancestor relation must hold transitively.
         let mut chain = vec![a];
         let mut k = a;
@@ -27,23 +57,42 @@ proptest! {
         }
         for i in 0..chain.len() {
             for j in i..chain.len() {
-                prop_assert!(chain[i].is_subkind_of(chain[j]));
+                assert!(chain[i].is_subkind_of(chain[j]));
             }
         }
-        prop_assert_eq!(*chain.last().unwrap(), NodeKind::Top);
+        assert_eq!(*chain.last().unwrap(), NodeKind::Top);
     }
+}
 
-    #[test]
-    fn normalization_is_idempotent(words in proptest::collection::vec("[a-z]{1,6}(\\$[0-9]{1,3})?", 0..20)) {
+#[test]
+fn normalization_is_idempotent() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let n = rng.below(20);
+        let words: Vec<String> = (0..n)
+            .map(|_| {
+                let mut w = rng.word(6);
+                if rng.below(2) == 0 {
+                    w.push('$');
+                    w.push_str(&rng.below(1000).to_string());
+                }
+                w
+            })
+            .collect();
         let text = words.join(" ");
         let once = normalize_generated_names(&text);
         let twice = normalize_generated_names(&once);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "seed {seed} text {text:?}");
     }
+}
 
-    #[test]
-    fn normalization_preserves_nongenerated_text(words in proptest::collection::vec("[a-z]{1,8}", 0..20)) {
+#[test]
+fn normalization_preserves_nongenerated_text() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let n = rng.below(20);
+        let words: Vec<String> = (0..n).map(|_| rng.word(8)).collect();
         let text = words.join(" ");
-        prop_assert_eq!(normalize_generated_names(&text), text);
+        assert_eq!(normalize_generated_names(&text), text, "seed {seed}");
     }
 }

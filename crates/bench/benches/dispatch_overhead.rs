@@ -1,8 +1,13 @@
 //! E14: Mayan dispatch cost per reduction, as the number of imported Mayans
 //! on one production grows (paper §4.4 is at the core of every reduce).
+//!
+//! Also measures the telemetry tax: the same workload with telemetry
+//! disabled (the default) and with a live collection session. The disabled
+//! path must be within noise of the pre-telemetry baseline — the counters
+//! are a single thread-local flag check away from free.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use maya_ast::{Expr, Node, NodeKind};
+use maya_bench::timing::bench;
 use maya_dispatch::{order_applicable, DispatchEnv, Mayan, Param, Specializer};
 use maya_grammar::ProdId;
 use maya_lexer::{sym, Span};
@@ -35,32 +40,50 @@ fn env_with_n(ct: &ClassTable, n: usize) -> DispatchEnv {
     b.finish()
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let ct = ClassTable::bootstrap();
     let arg = Node::from(Expr::name("x"));
     let obj = Type::Class(ct.by_fqcn_str("java.lang.Object").unwrap());
-    let mut group = c.benchmark_group("dispatch_overhead");
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(1200));
+    println!("dispatch_overhead");
     for n in [1usize, 4, 16, 64] {
         let env = env_with_n(&ct, n);
-        group.bench_with_input(BenchmarkId::new("mayans", n), &n, |b, _| {
-            b.iter(|| {
-                order_applicable(
-                    &env,
-                    &ct,
-                    ProdId(0),
-                    "Expression → x",
-                    std::slice::from_ref(&arg),
-                    &mut |_| Some(obj.clone()),
-                    Span::DUMMY,
-                )
-                .unwrap()
-            })
+        bench(&format!("mayans/{n}"), || {
+            order_applicable(
+                &env,
+                &ct,
+                ProdId(0),
+                "Expression → x",
+                std::slice::from_ref(&arg),
+                &mut |_| Some(obj.clone()),
+                Span::DUMMY,
+            )
+            .unwrap()
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+    // Telemetry tax at a representative size.
+    let env = env_with_n(&ct, 16);
+    let mut run = || {
+        order_applicable(
+            &env,
+            &ct,
+            ProdId(0),
+            "Expression → x",
+            std::slice::from_ref(&arg),
+            &mut |_| Some(obj.clone()),
+            Span::DUMMY,
+        )
+        .unwrap()
+    };
+    let off = bench("telemetry_disabled/16", &mut run);
+    let session = maya_telemetry::Session::start(maya_telemetry::Config::default());
+    let on = bench("telemetry_enabled/16", &mut run);
+    let report = session.finish();
+    let ratio = on.median.as_nanos() as f64 / off.median.as_nanos().max(1) as f64;
+    println!(
+        "telemetry tax: {:.1}% (enabled/disabled median ratio {ratio:.3}); \
+         {} dispatch reduction(s) recorded while enabled",
+        (ratio - 1.0) * 100.0,
+        report.counter(maya_telemetry::Counter::DispatchReductions),
+    );
+}

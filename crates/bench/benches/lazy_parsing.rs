@@ -3,36 +3,31 @@
 //! expected from the paper: lazy wins proportionally to the fraction of
 //! bodies never demanded.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use maya_bench::class_with_methods;
+use maya_bench::timing::{bench_with, Options};
 use maya_core::Compiler;
+use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lazy_parsing");
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(1200));
-    group.sample_size(10);
+fn main() {
+    let opts = Options {
+        warmup: Duration::from_millis(300),
+        measurement: Duration::from_millis(1200),
+        samples: 10,
+    };
+    println!("lazy_parsing");
     for n in [16usize, 64] {
         let src = class_with_methods("Big", n);
-        group.bench_with_input(BenchmarkId::new("shape_only_lazy", n), &src, |b, src| {
-            b.iter(|| {
-                let c = Compiler::new();
-                c.add_source("Big.maya", src).unwrap();
-                // Shaping parses signatures; bodies stay lazy.
-                c
-            })
+        bench_with(&format!("shape_only_lazy/{n}"), opts.clone(), || {
+            let c = Compiler::new();
+            c.add_source("Big.maya", &src).unwrap();
+            // Shaping parses signatures; bodies stay lazy.
+            c
         });
-        group.bench_with_input(BenchmarkId::new("full_compile_eager", n), &src, |b, src| {
-            b.iter(|| {
-                let c = Compiler::new();
-                c.add_source("Big.maya", src).unwrap();
-                c.compile().unwrap(); // forces and checks every body
-                c
-            })
+        bench_with(&format!("full_compile_eager/{n}"), opts.clone(), || {
+            let c = Compiler::new();
+            c.add_source("Big.maya", &src).unwrap();
+            c.compile().unwrap(); // forces and checks every body
+            c
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,15 +3,18 @@
 //! chain is competitive with (here: faster than) the double-dispatch
 //! visitor, since the visitor pays two virtual calls per dispatch.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maya_bench::timing::{bench_with, Options};
 use maya_bench::{multimethod_program, visitor_program};
 use maya_multijava::compiler_with_multijava;
+use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("multijava_vs_visitor");
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(1200));
-    group.sample_size(10);
+fn main() {
+    let opts = Options {
+        warmup: Duration::from_millis(300),
+        measurement: Duration::from_millis(1200),
+        samples: 10,
+    };
+    println!("multijava_vs_visitor");
     for pairs in [200usize, 1000] {
         let mm = compiler_with_multijava();
         mm.add_source("MM.maya", &multimethod_program(pairs)).unwrap();
@@ -22,15 +25,11 @@ fn bench(c: &mut Criterion) {
         // Sanity: both compute the same answer.
         assert_eq!(mm.run_main("Main").unwrap(), vis.run_main("Main").unwrap());
 
-        group.bench_with_input(BenchmarkId::new("multimethods", pairs), &pairs, |b, _| {
-            b.iter(|| mm.run_main("Main").unwrap())
+        bench_with(&format!("multimethods/{pairs}"), opts.clone(), || {
+            mm.run_main("Main").unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("visitor", pairs), &pairs, |b, _| {
-            b.iter(|| vis.run_main("Main").unwrap())
+        bench_with(&format!("visitor/{pairs}"), opts.clone(), || {
+            vis.run_main("Main").unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

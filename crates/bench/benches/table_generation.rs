@@ -1,57 +1,45 @@
 //! E15: LALR(1) table (re)generation — the cost of extending the grammar,
 //! which every `use` of a syntax-adding extension pays (paper §4.1).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use maya_ast::NodeKind;
+use maya_bench::timing::{bench_with, Options};
 use maya_core::Base;
 use maya_grammar::RhsItem;
 use maya_lexer::Delim;
+use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let base = Base::build();
-    let mut group = c.benchmark_group("table_generation");
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(1200));
-    group.sample_size(20);
+    let opts = Options {
+        warmup: Duration::from_millis(300),
+        measurement: Duration::from_millis(1200),
+        samples: 20,
+    };
+    println!("table_generation");
 
-    group.bench_function("base_grammar", |b| {
-        b.iter(|| {
-            // A fresh snapshot so tables are not cached.
-            let g = base.grammar.extend().finish();
-            g.tables().expect("LALR(1)")
-        })
+    bench_with("base_grammar", opts.clone(), || {
+        // A fresh snapshot so tables are not cached.
+        let g = base.grammar.extend().finish();
+        g.tables().expect("LALR(1)")
     });
 
     for n in [1usize, 4, 16] {
-        group.bench_with_input(
-            BenchmarkId::new("base_plus_n_productions", n),
-            &n,
-            |b, &n| {
-                b.iter(|| {
-                    let mut ext = base.grammar.extend();
-                    for i in 0..n {
-                        ext.add_production(
-                            NodeKind::Statement,
-                            &[
-                                RhsItem::word(Box::leak(format!("kw{i}").into_boxed_str())),
-                                RhsItem::Subtree(
-                                    Delim::Paren,
-                                    vec![RhsItem::Kind(NodeKind::Expression)],
-                                ),
-                                RhsItem::Lazy(Delim::Brace, NodeKind::BlockStmts),
-                            ],
-                            None,
-                        )
-                        .unwrap();
-                    }
-                    let g = ext.finish();
-                    g.tables().expect("LALR(1)")
-                })
-            },
-        );
+        bench_with(&format!("base_plus_n_productions/{n}"), opts.clone(), || {
+            let mut ext = base.grammar.extend();
+            for i in 0..n {
+                ext.add_production(
+                    NodeKind::Statement,
+                    &[
+                        RhsItem::word(Box::leak(format!("kw{i}").into_boxed_str())),
+                        RhsItem::Subtree(Delim::Paren, vec![RhsItem::Kind(NodeKind::Expression)]),
+                        RhsItem::Lazy(Delim::Brace, NodeKind::BlockStmts),
+                    ],
+                    None,
+                )
+                .unwrap();
+            }
+            let g = ext.finish();
+            g.tables().expect("LALR(1)")
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

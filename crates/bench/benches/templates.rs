@@ -2,8 +2,8 @@
 //! instantiation (the paper's templates are compiled to code that replays
 //! the parser's shifts and reductions, §4.2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use maya_ast::{Expr, Node, NodeKind};
+use maya_bench::timing::bench;
 use maya_core::{Compiler, CoreInstHost, Cx, EnvPair};
 use maya_template::Template;
 use maya_types::{ResolveCtx, Scope};
@@ -46,9 +46,7 @@ fn compile_template(compiler: &Compiler) -> Rc<Template> {
         }
     }
     let classes = compiler.classes();
-    let resolver = move |dotted: &str| {
-        classes.by_fqcn_str(dotted).map(|c| classes.fqcn(c))
-    };
+    let resolver = move |dotted: &str| classes.by_fqcn_str(dotted).map(|c| classes.fqcn(c));
     Rc::new(
         Template::compile(
             &cx.pair.grammar,
@@ -62,45 +60,35 @@ fn compile_template(compiler: &Compiler) -> Rc<Template> {
     )
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let compiler = Compiler::new();
-    let mut group = c.benchmark_group("templates");
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(1200));
+    println!("templates");
 
-    group.bench_function("compile", |b| b.iter(|| compile_template(&compiler)));
+    bench("compile", || compile_template(&compiler));
 
     let t = compile_template(&compiler);
     let enum_exp = Node::from(Expr::call_on(Expr::name("h"), "keys", vec![]));
     let body = Node::Stmt(maya_ast::Stmt::synth(maya_ast::StmtKind::Empty));
-    group.bench_function("instantiate", |b| {
-        b.iter(|| {
-            let mut host = CoreInstHost { c: cx_for(&compiler) };
-            t.instantiate(vec![enum_exp.clone(), body.clone()], &mut host)
-                .unwrap()
-        })
+    bench("instantiate", || {
+        let mut host = CoreInstHost { c: cx_for(&compiler) };
+        t.instantiate(vec![enum_exp.clone(), body.clone()], &mut host)
+            .unwrap()
     });
 
     // Baseline: hand-constructing an equivalent AST with no replay.
-    group.bench_function("hand_built_ast", |b| {
-        b.iter(|| {
-            maya_ast::Stmt::synth(maya_ast::StmtKind::For {
-                init: maya_ast::ForInit::Decl(
-                    maya_ast::TypeName::named("java.util.Enumeration"),
-                    vec![maya_ast::LocalDeclarator {
-                        name: maya_ast::Ident::from_str("enumVar"),
-                        dims: 0,
-                        init: enum_exp.clone().into_expr(),
-                    }],
-                ),
-                cond: Some(Expr::call_on(Expr::name("enumVar"), "hasMoreElements", vec![])),
-                update: vec![],
-                body: Box::new(maya_ast::Stmt::synth(maya_ast::StmtKind::Empty)),
-            })
+    bench("hand_built_ast", || {
+        maya_ast::Stmt::synth(maya_ast::StmtKind::For {
+            init: maya_ast::ForInit::Decl(
+                maya_ast::TypeName::named("java.util.Enumeration"),
+                vec![maya_ast::LocalDeclarator {
+                    name: maya_ast::Ident::from_str("enumVar"),
+                    dims: 0,
+                    init: enum_exp.clone().into_expr(),
+                }],
+            ),
+            cond: Some(Expr::call_on(Expr::name("enumVar"), "hasMoreElements", vec![])),
+            update: vec![],
+            body: Box::new(maya_ast::Stmt::synth(maya_ast::StmtKind::Empty)),
         })
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,8 +1,10 @@
-//! Benchmark support: shared workload generators for the experiment
-//! harness (see DESIGN.md's experiment index and EXPERIMENTS.md for the
-//! recorded results).
+//! Benchmark support: shared workload generators and a minimal timing
+//! harness for the experiment suite (see DESIGN.md's experiment index and
+//! EXPERIMENTS.md for the recorded results).
 
 use std::fmt::Write as _;
+
+pub mod timing;
 
 /// Generates a MayaJava class with `n` methods, each with a small body.
 pub fn class_with_methods(name: &str, n: usize) -> String {

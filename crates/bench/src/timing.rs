@@ -1,0 +1,122 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The container has no registry access, so `criterion` is unavailable;
+//! this module provides the small subset the experiment suite needs:
+//! warmup, batched measurement, and per-iteration statistics with a
+//! stable one-line report format.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-iteration statistics from one benchmark run.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub name: String,
+    /// Iterations per sample batch.
+    pub iters_per_sample: u32,
+    pub samples: usize,
+    /// Median per-iteration time across sample batches.
+    pub median: Duration,
+    /// Fastest per-iteration time across sample batches.
+    pub min: Duration,
+    /// Mean per-iteration time across sample batches.
+    pub mean: Duration,
+}
+
+impl Measurement {
+    /// `name  median 1.234µs  (min 1.1µs, mean 1.3µs, 10×100 iters)`.
+    pub fn report(&self) -> String {
+        format!(
+            "{:<40} median {:>12?}  (min {:?}, mean {:?}, {}x{} iters)",
+            self.name, self.median, self.min, self.mean, self.samples, self.iters_per_sample
+        )
+    }
+}
+
+/// Tuning knobs; the defaults mirror the old criterion configuration
+/// (short warmup, ~1.2s measurement).
+#[derive(Debug, Clone)]
+pub struct Options {
+    pub warmup: Duration,
+    pub measurement: Duration,
+    pub samples: usize,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            warmup: Duration::from_millis(300),
+            measurement: Duration::from_millis(1200),
+            samples: 10,
+        }
+    }
+}
+
+/// Runs `f` repeatedly and reports per-iteration statistics, printing the
+/// one-line report to stdout.
+pub fn bench<T>(name: &str, f: impl FnMut() -> T) -> Measurement {
+    bench_with(name, Options::default(), f)
+}
+
+/// [`bench`] with explicit options.
+pub fn bench_with<T>(name: &str, opts: Options, mut f: impl FnMut() -> T) -> Measurement {
+    // Warmup: run until the warmup budget elapses, counting iterations so
+    // we can size the measurement batches.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u32;
+    while warm_start.elapsed() < opts.warmup || warm_iters == 0 {
+        black_box(f());
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed() / warm_iters;
+    // Size batches so all samples fit in the measurement budget.
+    let budget_per_sample = opts.measurement / opts.samples as u32;
+    let iters = if per_iter.is_zero() {
+        1000
+    } else {
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u32
+    };
+    let mut per_sample: Vec<Duration> = Vec::with_capacity(opts.samples);
+    for _ in 0..opts.samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        per_sample.push(t0.elapsed() / iters);
+    }
+    per_sample.sort();
+    let m = Measurement {
+        name: name.to_owned(),
+        iters_per_sample: iters,
+        samples: opts.samples,
+        median: per_sample[per_sample.len() / 2],
+        min: per_sample[0],
+        mean: per_sample.iter().sum::<Duration>() / per_sample.len() as u32,
+    };
+    println!("{}", m.report());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let opts = Options {
+            warmup: Duration::from_millis(5),
+            measurement: Duration::from_millis(20),
+            samples: 4,
+        };
+        let m = bench_with("spin", opts, || {
+            let mut x = 0u64;
+            for i in 0..100 {
+                x = x.wrapping_add(black_box(i));
+            }
+            x
+        });
+        assert!(m.median > Duration::ZERO);
+        assert!(m.min <= m.median);
+        assert_eq!(m.samples, 4);
+    }
+}

@@ -145,7 +145,18 @@ impl CompilerInner {
                 span,
             )
         })?;
-        self.run_import(pair, program.as_ref())
+        let new = self.run_import(pair, program.as_ref())?;
+        maya_telemetry::trace(maya_telemetry::TraceKind::Import, || {
+            let dotted: Vec<&str> = path.iter().map(|i| i.as_str()).collect();
+            (
+                dotted.join("."),
+                format!(
+                    "metaprogram imported; grammar now has {} production(s)",
+                    new.grammar.productions().len()
+                ),
+            )
+        });
+        Ok(new)
     }
 }
 

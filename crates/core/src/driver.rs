@@ -196,6 +196,7 @@ impl Cx {
         span: Span,
     ) -> Result<Node, DispatchError> {
         let (mayan, bindings) = chain[idx].clone();
+        maya_telemetry::count(maya_telemetry::Counter::MayansFired);
         let mut expand = CoreExpand {
             c: self.clone(),
             chain,
@@ -381,6 +382,13 @@ pub fn force_lazy(
             Span::DUMMY,
         ));
     };
+    let _p = maya_telemetry::phase(maya_telemetry::Phase::Force);
+    maya_telemetry::trace(maya_telemetry::TraceKind::Force, || {
+        (
+            lazy.goal.name().to_owned(),
+            format!("forcing deferred {}", tree.delim.tree_name()),
+        )
+    });
     let result = force_payload(cx, lazy.goal, &tree, env.clone(), scope);
     match result {
         Ok(node) => {

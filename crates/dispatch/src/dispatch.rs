@@ -38,6 +38,16 @@ impl ParamOrder {
 /// Tries to match one parameter against one argument, collecting named
 /// bindings into `out`. Returns `false` (not an error) when the argument
 /// does not satisfy the parameter.
+/// Running tallies of applicability work, reported to telemetry once per
+/// dispatch so the hot matching loop stays free of thread-local traffic.
+#[derive(Default, Clone, Copy)]
+struct MatchStats {
+    /// Parameter matches attempted (including substructure recursion).
+    tests: u64,
+    /// Static-type tests specifically (each may force lazy context).
+    type_tests: u64,
+}
+
 fn match_param(
     env: &DispatchEnv,
     ct: &ClassTable,
@@ -45,7 +55,9 @@ fn match_param(
     arg: &Node,
     type_of: &mut TypeOf<'_>,
     out: &mut Bindings,
+    stats: &mut MatchStats,
 ) -> bool {
+    stats.tests += 1;
     // Node-kind check. Terminal parameters skip it (the grammar fixed the
     // token); unforced lazy arguments match on their goal kind without
     // being forced — that is the point of laziness.
@@ -71,14 +83,20 @@ fn match_param(
             _ => false,
         },
         Specializer::StaticType(t) => match arg {
-            Node::Expr(e) => match type_of(e) {
-                Some(ty) => ct.is_subtype(&ty, t),
-                None => false,
-            },
+            Node::Expr(e) => {
+                stats.type_tests += 1;
+                match type_of(e) {
+                    Some(ty) => ct.is_subtype(&ty, t),
+                    None => false,
+                }
+            }
             _ => false,
         },
         Specializer::ExactType(t) => match arg {
-            Node::Expr(e) => type_of(e).as_ref() == Some(t),
+            Node::Expr(e) => {
+                stats.type_tests += 1;
+                type_of(e).as_ref() == Some(t)
+            }
             _ => false,
         },
         Specializer::Structure { prod, children } => {
@@ -94,7 +112,7 @@ fn match_param(
             children
                 .iter()
                 .zip(&parts)
-                .all(|(p, a)| match_param(env, ct, p, a, type_of, out))
+                .all(|(p, a)| match_param(env, ct, p, a, type_of, out, stats))
         }
     };
     if !spec_ok {
@@ -190,8 +208,12 @@ pub fn order_applicable(
     type_of: &mut TypeOf<'_>,
     span: Span,
 ) -> Result<Vec<(Rc<Mayan>, Bindings)>, DispatchError> {
+    let _p = maya_telemetry::phase(maya_telemetry::Phase::Dispatch);
+    let mut stats = MatchStats::default();
+    let mut candidates: u64 = 0;
     let mut applicable: Vec<(usize, Rc<Mayan>, Bindings)> = Vec::new();
     for (i, m) in env.mayans_for(prod).iter().enumerate() {
+        candidates += 1;
         if m.params.len() != args.len() {
             continue;
         }
@@ -200,12 +222,28 @@ pub fn order_applicable(
             .params
             .iter()
             .zip(args)
-            .all(|(p, a)| match_param(env, ct, p, a, type_of, &mut bindings));
+            .all(|(p, a)| match_param(env, ct, p, a, type_of, &mut bindings, &mut stats));
         if ok {
             applicable.push((i, m.clone(), bindings));
         }
     }
+    if maya_telemetry::enabled() {
+        maya_telemetry::count(maya_telemetry::Counter::DispatchReductions);
+        maya_telemetry::add(maya_telemetry::Counter::DispatchCandidates, candidates);
+        maya_telemetry::add(maya_telemetry::Counter::DispatchTests, stats.tests);
+        maya_telemetry::add(maya_telemetry::Counter::DispatchTypeTests, stats.type_tests);
+    }
     if applicable.is_empty() {
+        maya_telemetry::trace(maya_telemetry::TraceKind::Dispatch, || {
+            (
+                format!("production {prod_desc}"),
+                format!(
+                    "no applicable Mayan among {candidates} candidate(s) \
+                     after {} applicability test(s)",
+                    stats.tests
+                ),
+            )
+        });
         return Err(DispatchError::new(
             format!("no applicable Mayan for production {prod_desc}"),
             span,
@@ -246,6 +284,25 @@ pub fn order_applicable(
         }
         ordered.insert(pos, item);
     }
+    maya_telemetry::trace(maya_telemetry::TraceKind::Dispatch, || {
+        let runners_up: Vec<&str> = ordered[1..]
+            .iter()
+            .map(|(_, m, _)| m.name.as_str())
+            .collect();
+        let chain = if runners_up.is_empty() {
+            String::new()
+        } else {
+            format!("; chain: {}", runners_up.join(", "))
+        };
+        (
+            format!("production {prod_desc}"),
+            format!(
+                "reduced by Mayan `{}` after {} applicability test(s) over \
+                 {candidates} candidate(s){chain}",
+                ordered[0].1.name, stats.tests
+            ),
+        )
+    });
     Ok(ordered.into_iter().map(|(_, m, b)| (m, b)).collect())
 }
 

@@ -151,6 +151,7 @@ impl Grammar {
 
     /// Starts an extension of this snapshot.
     pub fn extend(&self) -> GrammarBuilder {
+        maya_telemetry::count(maya_telemetry::Counter::GrammarExtensions);
         GrammarBuilder {
             data: (*self.inner).clone(),
         }

@@ -377,6 +377,8 @@ fn prod_prec(gen: &Gen<'_>, prod: u32) -> Option<(u16, Assoc)> {
 }
 
 pub(crate) fn build_tables(g: &GrammarData) -> Result<Tables, GrammarError> {
+    let _p = maya_telemetry::phase(maya_telemetry::Phase::TableBuild);
+    maya_telemetry::count(maya_telemetry::Counter::TablesBuilt);
     let t0 = std::time::Instant::now();
     let gen = Gen::new(g);
     let t1 = std::time::Instant::now();
@@ -384,9 +386,12 @@ pub(crate) fn build_tables(g: &GrammarData) -> Result<Tables, GrammarError> {
     let t2 = std::time::Instant::now();
     let (la, analyses) = lalr_lookaheads(&gen, &aut);
     let t3 = std::time::Instant::now();
-    if std::env::var("MAYA_LALR_TIMING").is_ok() {
-        eprintln!("gen={:?} lr0={:?} la={:?}", t1 - t0, t2 - t1, t3 - t2);
-    }
+    maya_telemetry::trace(maya_telemetry::TraceKind::TableBuild, || {
+        (
+            format!("{} productions, {} LR(0) states", g.prods.len(), aut.kernels.len()),
+            format!("gen={:?} lr0={:?} la={:?}", t1 - t0, t2 - t1, t3 - t2),
+        )
+    });
 
     let mut action: HashMap<(u32, TermId), ActionEntry> = HashMap::new();
     let mut goto_: HashMap<(u32, NtId), u32> = HashMap::new();

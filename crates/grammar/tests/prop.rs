@@ -1,19 +1,52 @@
-//! Property tests: grammar snapshots and LALR generation.
+//! Property-style tests: grammar snapshots and LALR generation.
+//!
+//! Inputs are enumerated exhaustively or drawn from a deterministic
+//! xorshift PRNG (no registry access in the build container, so `proptest`
+//! is unavailable); every failure reproduces exactly.
 
 use maya_ast::NodeKind;
 use maya_grammar::{Assoc, GrammarBuilder, RhsItem, Terminal};
 use maya_lexer::TokenKind;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+struct Rng(u64);
 
-    #[test]
-    fn stratified_binary_grammars_are_always_lalr1(ops in proptest::sample::subsequence(
-        vec![TokenKind::Plus, TokenKind::Minus, TokenKind::Star, TokenKind::Slash,
-             TokenKind::Amp, TokenKind::Pipe, TokenKind::Caret, TokenKind::Lt],
-        1..8,
-    )) {
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(2685821657736338717).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+}
+
+#[test]
+fn stratified_binary_grammars_are_always_lalr1() {
+    let pool = [
+        TokenKind::Plus,
+        TokenKind::Minus,
+        TokenKind::Star,
+        TokenKind::Slash,
+        TokenKind::Amp,
+        TokenKind::Pipe,
+        TokenKind::Caret,
+        TokenKind::Lt,
+    ];
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(seed);
+        // A random non-empty subsequence of the operator pool.
+        let mask = (rng.next() % 255) as u8 | 1;
+        let ops: Vec<TokenKind> = pool
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, t)| *t)
+            .collect();
         let mut b = GrammarBuilder::new();
         for (i, op) in ops.iter().enumerate() {
             b.set_prec(Terminal::Tok(*op), (i + 1) as u16, Assoc::Left);
@@ -25,47 +58,63 @@ proptest! {
                     RhsItem::Kind(NodeKind::Expression),
                 ],
                 None,
-            ).unwrap();
+            )
+            .unwrap();
         }
-        b.add_production(NodeKind::Expression, &[RhsItem::tok(TokenKind::IntLit)], None).unwrap();
+        b.add_production(NodeKind::Expression, &[RhsItem::tok(TokenKind::IntLit)], None)
+            .unwrap();
         let g = b.finish();
-        prop_assert!(g.tables().is_ok());
+        assert!(g.tables().is_ok(), "seed {seed} ops {ops:?}");
     }
+}
 
-    #[test]
-    fn extension_preserves_production_ids(extra in 1usize..6) {
+#[test]
+fn extension_preserves_production_ids() {
+    for extra in 1usize..6 {
         let mut b = GrammarBuilder::new();
-        b.add_production(NodeKind::Statement, &[RhsItem::tok(TokenKind::Semi)], None).unwrap();
-        b.add_production(NodeKind::Statement, &[RhsItem::tok(TokenKind::KwBreak), RhsItem::tok(TokenKind::Semi)], None).unwrap();
+        b.add_production(NodeKind::Statement, &[RhsItem::tok(TokenKind::Semi)], None)
+            .unwrap();
+        b.add_production(
+            NodeKind::Statement,
+            &[RhsItem::tok(TokenKind::KwBreak), RhsItem::tok(TokenKind::Semi)],
+            None,
+        )
+        .unwrap();
         let g1 = b.finish();
         let mut ext = g1.extend();
         for i in 0..extra {
             ext.add_production(
                 NodeKind::Statement,
-                &[RhsItem::word(Box::leak(format!("w{i}").into_boxed_str())), RhsItem::tok(TokenKind::Semi)],
+                &[
+                    RhsItem::word(Box::leak(format!("w{i}").into_boxed_str())),
+                    RhsItem::tok(TokenKind::Semi),
+                ],
                 None,
-            ).unwrap();
+            )
+            .unwrap();
         }
         let g2 = ext.finish();
         // Old ids denote the same productions in the extension.
         for i in 0..g1.productions().len() {
             let id = maya_grammar::ProdId(i as u32);
-            prop_assert_eq!(
-                g1.production(id).rhs.clone(),
-                g2.production(id).rhs.clone()
-            );
+            assert_eq!(g1.production(id).rhs, g2.production(id).rhs);
         }
-        prop_assert_eq!(g2.productions().len(), g1.productions().len() + extra);
+        assert_eq!(g2.productions().len(), g1.productions().len() + extra);
     }
+}
 
-    #[test]
-    fn duplicate_productions_dedup(n in 1usize..10) {
+#[test]
+fn duplicate_productions_dedup() {
+    for n in 1usize..10 {
         let mut b = GrammarBuilder::new();
         let mut ids = vec![];
         for _ in 0..n {
-            ids.push(b.add_production(NodeKind::Statement, &[RhsItem::tok(TokenKind::Semi)], None).unwrap());
+            ids.push(
+                b.add_production(NodeKind::Statement, &[RhsItem::tok(TokenKind::Semi)], None)
+                    .unwrap(),
+            );
         }
-        prop_assert!(ids.windows(2).all(|w| w[0] == w[1]));
-        prop_assert_eq!(b.finish().productions().len(), 1);
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(b.finish().productions().len(), 1);
     }
 }

@@ -375,6 +375,7 @@ impl Interp {
         args: Vec<Value>,
         span: Span,
     ) -> Eval {
+        maya_telemetry::count(maya_telemetry::Counter::InterpCalls);
         if let Some(key) = m.native {
             let f = self.natives.borrow().get(&key).cloned();
             let f = f.ok_or_else(|| {
@@ -518,6 +519,7 @@ impl Interp {
     ///
     /// Propagates runtime failures and uncaught exceptions.
     pub fn run_main(&self, class_fqcn: &str) -> Result<String, RuntimeError> {
+        let _p = maya_telemetry::phase(maya_telemetry::Phase::Interp);
         let class = self.ct.by_fqcn_str(class_fqcn).ok_or_else(|| {
             RuntimeError::new(format!("unknown class {class_fqcn}"), Span::DUMMY)
         })?;

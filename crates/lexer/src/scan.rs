@@ -292,6 +292,7 @@ fn is_ident_continue(c: u8) -> bool {
 /// Returns a [`LexError`] for unterminated comments/literals and characters
 /// outside the MayaJava alphabet.
 pub fn scan_tokens(sm: &SourceMap, file: FileId) -> Result<Vec<Token>, LexError> {
+    let _p = maya_telemetry::phase(maya_telemetry::Phase::Lex);
     let src = sm.file(file).src.clone();
     let mut scanner = Scanner {
         src: src.as_bytes(),
@@ -302,6 +303,8 @@ pub fn scan_tokens(sm: &SourceMap, file: FileId) -> Result<Vec<Token>, LexError>
     loop {
         scanner.skip_trivia()?;
         if scanner.pos >= scanner.src.len() {
+            maya_telemetry::count(maya_telemetry::Counter::FilesLexed);
+            maya_telemetry::add(maya_telemetry::Counter::TokensLexed, out.len() as u64);
             return Ok(out);
         }
         let c = scanner.peek();

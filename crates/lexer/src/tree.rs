@@ -185,6 +185,8 @@ fn delim_of_close(kind: TokenKind) -> Option<Delim> {
 ///
 /// Reports mismatched, unexpected, or unclosed delimiters.
 pub fn build_trees(tokens: &[Token]) -> Result<Vec<TokenTree>, LexError> {
+    let _p = maya_telemetry::phase(maya_telemetry::Phase::Lex);
+    let mut subtrees: u64 = 0;
     // Each stack frame is an open delimiter plus the trees accumulated inside.
     let mut stack: Vec<(Delim, Span, Vec<TokenTree>)> = Vec::new();
     let mut top: Vec<TokenTree> = Vec::new();
@@ -195,6 +197,7 @@ pub fn build_trees(tokens: &[Token]) -> Result<Vec<TokenTree>, LexError> {
             match stack.pop() {
                 Some((open_d, open_span, outer)) if open_d == d => {
                     let inner = std::mem::replace(&mut top, outer);
+                    subtrees += 1;
                     top.push(TokenTree::Delim(DelimTree::new(
                         d, inner, open_span, tok.span,
                     )));
@@ -226,6 +229,7 @@ pub fn build_trees(tokens: &[Token]) -> Result<Vec<TokenTree>, LexError> {
             span,
         ));
     }
+    maya_telemetry::add(maya_telemetry::Counter::TokenTreesBuilt, subtrees);
     Ok(top)
 }
 

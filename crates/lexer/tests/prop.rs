@@ -1,27 +1,68 @@
-//! Property tests: scanning and token-tree construction.
+//! Property-style tests: scanning and token-tree construction.
+//!
+//! Inputs are generated with a small deterministic xorshift PRNG (the
+//! container has no registry access, so `proptest` is unavailable); seeds
+//! are fixed, so failures reproduce exactly.
 
 use maya_lexer::{scan_tokens, stream_lex, SourceMap, TokenKind};
-use proptest::prelude::*;
+
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(2685821657736338717).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 /// Tokens chosen so that adjacent pairs never merge under maximal munch
 /// when separated by a space.
-fn token_text() -> impl Strategy<Value = String> {
-    prop_oneof![
-        "[a-z][a-z0-9_]{0,8}".prop_map(|s| s),
-        (0u32..100000).prop_map(|n| n.to_string()),
-        Just("\"str\"".to_owned()),
-        Just("+".to_owned()),
-        Just("==".to_owned()),
-        Just(">>>".to_owned()),
-        Just(";".to_owned()),
-        Just("class".to_owned()),
-        Just("instanceof".to_owned()),
-    ]
+fn token_text(rng: &mut Rng) -> String {
+    match rng.below(9) {
+        0 => {
+            let len = 1 + rng.below(8) as usize;
+            let mut s = String::new();
+            s.push((b'a' + rng.below(26) as u8) as char);
+            for _ in 1..len {
+                let c = match rng.below(3) {
+                    0 => (b'a' + rng.below(26) as u8) as char,
+                    1 => (b'0' + rng.below(10) as u8) as char,
+                    _ => '_',
+                };
+                s.push(c);
+            }
+            s
+        }
+        1 => rng.below(100000).to_string(),
+        2 => "\"str\"".to_owned(),
+        3 => "+".to_owned(),
+        4 => "==".to_owned(),
+        5 => ">>>".to_owned(),
+        6 => ";".to_owned(),
+        7 => "class".to_owned(),
+        _ => "instanceof".to_owned(),
+    }
 }
 
-proptest! {
-    #[test]
-    fn rescanning_rendered_tokens_is_identity(tokens in proptest::collection::vec(token_text(), 0..40)) {
+#[test]
+fn rescanning_rendered_tokens_is_identity() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let n = rng.below(40) as usize;
+        let tokens: Vec<String> = (0..n).map(|_| token_text(&mut rng)).collect();
         let src = tokens.join(" ");
         let mut sm = SourceMap::new();
         let f = sm.add_file("p", &src);
@@ -31,62 +72,85 @@ proptest! {
         let src2 = rendered.join(" ");
         let f2 = sm.add_file("p2", &src2);
         let second = scan_tokens(&sm, f2).unwrap();
-        prop_assert_eq!(first.len(), second.len());
+        assert_eq!(first.len(), second.len(), "seed {seed}");
         for (a, b) in first.iter().zip(&second) {
-            prop_assert_eq!(a.kind, b.kind);
-            prop_assert_eq!(a.text, b.text);
+            assert_eq!(a.kind, b.kind, "seed {seed}");
+            assert_eq!(a.text, b.text, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn balanced_delimiters_always_tree(
-        depth in 0usize..6,
-        width in 1usize..4,
-    ) {
-        // Build a nested balanced string like ( { [ x ] } ).
-        fn build(depth: usize, width: usize) -> String {
-            if depth == 0 {
-                return "x".into();
-            }
-            let inner = build(depth - 1, width);
-            let mut out = String::new();
-            for d in ["(", "{", "["].iter().take(width) {
-                let close = match *d { "(" => ")", "{" => "}", _ => "]" };
-                out.push_str(d);
-                out.push_str(&inner);
-                out.push_str(close);
-                out.push(' ');
-            }
-            out
+#[test]
+fn balanced_delimiters_always_tree() {
+    // Build a nested balanced string like ( { [ x ] } ).
+    fn build(depth: usize, width: usize) -> String {
+        if depth == 0 {
+            return "x".into();
         }
-        let src = build(depth, width);
-        let mut sm = SourceMap::new();
-        let f = sm.add_file("p", &src);
-        let trees = stream_lex(&sm, f).unwrap();
-        // Flatten back: token count must match the raw scan.
-        let mut toks = Vec::new();
-        for t in &trees {
-            t.flatten_into(&mut toks);
+        let inner = build(depth - 1, width);
+        let mut out = String::new();
+        for d in ["(", "{", "["].iter().take(width) {
+            let close = match *d {
+                "(" => ")",
+                "{" => "}",
+                _ => "]",
+            };
+            out.push_str(d);
+            out.push_str(&inner);
+            out.push_str(close);
+            out.push(' ');
         }
-        let raw = scan_tokens(&sm, f).unwrap();
-        prop_assert_eq!(toks.len(), raw.len());
+        out
     }
+    for depth in 0..6 {
+        for width in 1..4 {
+            let src = build(depth, width);
+            let mut sm = SourceMap::new();
+            let f = sm.add_file("p", &src);
+            let trees = stream_lex(&sm, f).unwrap();
+            // Flatten back: token count must match the raw scan.
+            let mut toks = Vec::new();
+            for t in &trees {
+                t.flatten_into(&mut toks);
+            }
+            let raw = scan_tokens(&sm, f).unwrap();
+            assert_eq!(toks.len(), raw.len(), "depth {depth} width {width}");
+        }
+    }
+}
 
-    #[test]
-    fn unbalanced_delimiters_always_error(n_open in 1usize..5) {
+#[test]
+fn unbalanced_delimiters_always_error() {
+    for n_open in 1..5 {
         let src = "( ".repeat(n_open);
         let mut sm = SourceMap::new();
         let f = sm.add_file("p", &src);
-        prop_assert!(stream_lex(&sm, f).is_err());
+        assert!(stream_lex(&sm, f).is_err(), "n_open {n_open}");
     }
+}
 
-    #[test]
-    fn keywords_never_scan_as_identifiers(word in "[a-z]{2,10}") {
+#[test]
+fn keywords_never_scan_as_identifiers() {
+    let mut words: Vec<String> = Vec::new();
+    let mut rng = Rng::new(7);
+    for _ in 0..200 {
+        let len = 2 + rng.below(9) as usize;
+        words.push(
+            (0..len)
+                .map(|_| (b'a' + rng.below(26) as u8) as char)
+                .collect(),
+        );
+    }
+    // Make sure actual keywords are exercised, not just random misses.
+    for kw in ["class", "instanceof", "while", "return", "int", "new"] {
+        words.push(kw.to_owned());
+    }
+    for word in &words {
         let mut sm = SourceMap::new();
-        let f = sm.add_file("p", &word);
+        let f = sm.add_file("p", word);
         let toks = scan_tokens(&sm, f).unwrap();
-        prop_assert_eq!(toks.len(), 1);
-        let is_kw = maya_lexer::keyword_kind(&word).is_some();
-        prop_assert_eq!(toks[0].kind == TokenKind::Ident, !is_kw);
+        assert_eq!(toks.len(), 1, "word {word}");
+        let is_kw = maya_lexer::keyword_kind(word).is_some();
+        assert_eq!(toks[0].kind == TokenKind::Ident, !is_kw, "word {word}");
     }
 }

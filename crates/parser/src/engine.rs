@@ -153,6 +153,7 @@ pub fn run_parse<D: Driver>(
     goal: NtId,
     driver: &mut D,
 ) -> Result<D::V, ParseError> {
+    let _p = maya_telemetry::phase(maya_telemetry::Phase::Parse);
     let tables = grammar
         .tables()
         .map_err(|e| ParseError::new(e.to_string(), Span::DUMMY))?;
@@ -265,6 +266,7 @@ pub fn run_parse<D: Driver>(
         match act {
             None => return Err(syntax_error(&tables, state!(), input.get(idx), span_here)),
             Some(ActionEntry::Shift(j)) => {
+                maya_telemetry::count(maya_telemetry::Counter::ParserShifts);
                 let v = match &input[idx] {
                     Input::Tok(t) => driver.shift_token(t),
                     Input::Tree(d, pat) => driver.shift_tree(d, pat.as_ref()),
@@ -298,6 +300,7 @@ fn do_reduce<D: Driver>(
     input: &[Input<D::V>],
     idx: &mut usize,
 ) -> Result<(), ParseError> {
+    maya_telemetry::count(maya_telemetry::Counter::ParserReductions);
     let prod = grammar.production(prod_id);
     let n = prod.rhs.len();
     let at = vals.len() - n;

@@ -1,0 +1,762 @@
+//! Compiler telemetry: phase timing, monotonic counters, and a structured
+//! expansion trace.
+//!
+//! The paper's central performance claims — that lazy parsing interleaved
+//! with lazy type checking avoids wasted work (§4), and that Mayan
+//! multimethod dispatch is cheap enough to drive every grammar production
+//! (§4.4) — are only checkable if the pipeline reports what it did. This
+//! crate is the zero-dependency measurement substrate every other crate
+//! reports through.
+//!
+//! # Design
+//!
+//! Telemetry is collected into a **thread-local session**. When no session
+//! is active (the default), every instrumentation call is a single
+//! thread-local boolean load and an early return, so the compiler pays no
+//! measurable cost for being instrumented. A session is opened with
+//! [`Session::start`] and closed with [`Session::finish`], which yields a
+//! [`Report`]:
+//!
+//! ```
+//! use maya_telemetry as telemetry;
+//!
+//! let session = telemetry::Session::start(telemetry::Config::default());
+//! telemetry::add(telemetry::Counter::TokensLexed, 3);
+//! {
+//!     let _p = telemetry::phase(telemetry::Phase::Lex);
+//!     // ... work ...
+//! }
+//! let report = session.finish();
+//! assert_eq!(report.counter(telemetry::Counter::TokensLexed), 3);
+//! assert_eq!(report.phase_calls(telemetry::Phase::Lex), 1);
+//! ```
+//!
+//! Three consumers sit on top:
+//!
+//! * `mayac --time-passes` prints [`Report::time_passes_table`];
+//! * `mayac --stats[=FILE]` emits [`Report::to_json`] (schema
+//!   `maya-telemetry/1`, documented in README.md);
+//! * `mayac --trace-expansion[=FILTER]` installs a streaming sink
+//!   ([`Config::sink`]) that receives each [`TraceEvent`] as it happens.
+//!
+//! Phases nest (a parse forces a lazy node which parses which dispatches
+//! which type-checks which parses …); a phase's wall-clock time is recorded
+//! for the *outermost* activation only, so the per-phase times in a report
+//! are true wall-clock totals, not double counted.
+
+use std::cell::{Cell, RefCell};
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+// ---- phases ------------------------------------------------------------------
+
+/// A compiler phase, for `--time-passes` accounting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Scanning and token-tree construction.
+    Lex,
+    /// LALR(1) table construction (base grammar and every extension).
+    TableBuild,
+    /// Table-driven parsing (including pattern parses and forced re-parses).
+    Parse,
+    /// Mayan applicability testing and chain ordering.
+    Dispatch,
+    /// Forcing lazy nodes (parse-on-demand).
+    Force,
+    /// Static type checking.
+    TypeCheck,
+    /// Template compilation (pattern parse, hygiene analysis, recipe).
+    TemplateCompile,
+    /// Template instantiation (recipe replay).
+    TemplateInstantiate,
+    /// Interpreter execution (metaprograms and the final `main`).
+    Interp,
+}
+
+impl Phase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; 9] = [
+        Phase::Lex,
+        Phase::TableBuild,
+        Phase::Parse,
+        Phase::Dispatch,
+        Phase::Force,
+        Phase::TypeCheck,
+        Phase::TemplateCompile,
+        Phase::TemplateInstantiate,
+        Phase::Interp,
+    ];
+
+    /// Stable snake_case name (the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Lex => "lex",
+            Phase::TableBuild => "table_build",
+            Phase::Parse => "parse",
+            Phase::Dispatch => "dispatch",
+            Phase::Force => "force",
+            Phase::TypeCheck => "type_check",
+            Phase::TemplateCompile => "template_compile",
+            Phase::TemplateInstantiate => "template_instantiate",
+            Phase::Interp => "interp",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            Phase::Lex => 0,
+            Phase::TableBuild => 1,
+            Phase::Parse => 2,
+            Phase::Dispatch => 3,
+            Phase::Force => 4,
+            Phase::TypeCheck => 5,
+            Phase::TemplateCompile => 6,
+            Phase::TemplateInstantiate => 7,
+            Phase::Interp => 8,
+        }
+    }
+}
+
+const N_PHASES: usize = Phase::ALL.len();
+
+// ---- counters ----------------------------------------------------------------
+
+/// A monotonic counter. The set mirrors the paper's cost model: lexing,
+/// parsing (eager vs. lazy), dispatch, templates, hygiene, interpretation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Counter {
+    /// Tokens produced by the scanner.
+    TokensLexed,
+    /// Delimiter subtrees built by the stream lexer.
+    TokenTreesBuilt,
+    /// Source files lexed.
+    FilesLexed,
+    /// LALR(1) table constructions (cache misses, not lookups).
+    TablesBuilt,
+    /// Grammar snapshots extended (one per syntax import).
+    GrammarExtensions,
+    /// Terminals/subtrees shifted by the parse engine.
+    ParserShifts,
+    /// Productions reduced by the parse engine.
+    ParserReductions,
+    /// Lazy nodes created (candidates for never being parsed).
+    LazyNodesCreated,
+    /// Lazy nodes actually forced. The paper's laziness claim is
+    /// `LazyNodesForced < LazyNodesCreated` on real programs.
+    LazyNodesForced,
+    /// Reductions routed through Mayan dispatch (vs. builtin actions).
+    DispatchReductions,
+    /// Mayan candidates considered across all dispatched reductions.
+    DispatchCandidates,
+    /// Individual applicability tests (parameter matches, including
+    /// substructure recursion) executed.
+    DispatchTests,
+    /// Static-type applicability tests specifically (the expensive kind:
+    /// each may force lazy context).
+    DispatchTypeTests,
+    /// Mayan bodies actually run (winners plus `nextRewrite` chains).
+    MayansFired,
+    /// Templates compiled (pattern-parsed into recipes).
+    TemplatesCompiled,
+    /// Template instantiations (recipe replays).
+    TemplatesInstantiated,
+    /// Hygiene renames: binders given fresh `name$N` identities at
+    /// instantiation.
+    HygieneRenames,
+    /// Interpreter method/constructor invocations.
+    InterpCalls,
+}
+
+impl Counter {
+    /// Every counter, in report order.
+    pub const ALL: [Counter; 18] = [
+        Counter::TokensLexed,
+        Counter::TokenTreesBuilt,
+        Counter::FilesLexed,
+        Counter::TablesBuilt,
+        Counter::GrammarExtensions,
+        Counter::ParserShifts,
+        Counter::ParserReductions,
+        Counter::LazyNodesCreated,
+        Counter::LazyNodesForced,
+        Counter::DispatchReductions,
+        Counter::DispatchCandidates,
+        Counter::DispatchTests,
+        Counter::DispatchTypeTests,
+        Counter::MayansFired,
+        Counter::TemplatesCompiled,
+        Counter::TemplatesInstantiated,
+        Counter::HygieneRenames,
+        Counter::InterpCalls,
+    ];
+
+    /// Stable snake_case name (the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::TokensLexed => "tokens_lexed",
+            Counter::TokenTreesBuilt => "token_trees_built",
+            Counter::FilesLexed => "files_lexed",
+            Counter::TablesBuilt => "tables_built",
+            Counter::GrammarExtensions => "grammar_extensions",
+            Counter::ParserShifts => "parser_shifts",
+            Counter::ParserReductions => "parser_reductions",
+            Counter::LazyNodesCreated => "lazy_nodes_created",
+            Counter::LazyNodesForced => "lazy_nodes_forced",
+            Counter::DispatchReductions => "dispatch_reductions",
+            Counter::DispatchCandidates => "dispatch_candidates",
+            Counter::DispatchTests => "dispatch_tests",
+            Counter::DispatchTypeTests => "dispatch_type_tests",
+            Counter::MayansFired => "mayans_fired",
+            Counter::TemplatesCompiled => "templates_compiled",
+            Counter::TemplatesInstantiated => "templates_instantiated",
+            Counter::HygieneRenames => "hygiene_renames",
+            Counter::InterpCalls => "interp_calls",
+        }
+    }
+
+    fn idx(self) -> usize {
+        Counter::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("counter listed in ALL")
+    }
+}
+
+const N_COUNTERS: usize = Counter::ALL.len();
+
+// ---- trace events ------------------------------------------------------------
+
+/// What a trace event describes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceKind {
+    /// A production reduced through Mayan dispatch.
+    Dispatch,
+    /// A lazy node forced (parsed on demand).
+    Force,
+    /// A lazy node created.
+    MakeLazy,
+    /// A metaprogram imported (`use`, `-use`, or `use_over`).
+    Import,
+    /// A template compiled.
+    TemplateCompile,
+    /// A template instantiated.
+    TemplateInstantiate,
+    /// An LALR table built.
+    TableBuild,
+}
+
+impl TraceKind {
+    /// Stable name (the JSON `kind` value and the trace-line tag).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Dispatch => "dispatch",
+            TraceKind::Force => "force",
+            TraceKind::MakeLazy => "make-lazy",
+            TraceKind::Import => "import",
+            TraceKind::TemplateCompile => "template-compile",
+            TraceKind::TemplateInstantiate => "template-instantiate",
+            TraceKind::TableBuild => "table-build",
+        }
+    }
+}
+
+/// One structured expansion-trace event: what happened (`kind`), to what
+/// (`target` — a production, node kind, or metaprogram name), and the
+/// human-readable outcome (`detail`).
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    pub kind: TraceKind,
+    pub target: String,
+    pub detail: String,
+}
+
+impl TraceEvent {
+    /// Renders the event as one trace line.
+    pub fn render(&self) -> String {
+        if self.detail.is_empty() {
+            format!("[{}] {}", self.kind.name(), self.target)
+        } else {
+            format!("[{}] {} — {}", self.kind.name(), self.target, self.detail)
+        }
+    }
+
+    /// Case-sensitive substring filter over kind, target, and detail.
+    pub fn matches(&self, filter: &str) -> bool {
+        filter.is_empty()
+            || self.kind.name().contains(filter)
+            || self.target.contains(filter)
+            || self.detail.contains(filter)
+    }
+}
+
+/// A streaming consumer of trace events.
+pub type TraceSink = Rc<dyn Fn(&TraceEvent)>;
+
+// ---- the collector -----------------------------------------------------------
+
+/// Session configuration.
+#[derive(Clone, Default)]
+pub struct Config {
+    /// Record [`TraceEvent`]s into the report (`--trace-expansion` and the
+    /// JSON `events` array). Counters and phases are always recorded.
+    pub capture_events: bool,
+    /// Substring filter applied to captured/streamed events.
+    pub event_filter: Option<String>,
+    /// Streaming sink, invoked for each (filter-passing) event as it is
+    /// recorded.
+    pub sink: Option<TraceSink>,
+}
+
+struct Collector {
+    phase_ns: [u64; N_PHASES],
+    phase_calls: [u64; N_PHASES],
+    phase_depth: [u32; N_PHASES],
+    phase_start: [Option<Instant>; N_PHASES],
+    counters: [u64; N_COUNTERS],
+    events: Vec<TraceEvent>,
+    config: Config,
+    started: Instant,
+}
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// True when a telemetry session is active on this thread. This is the
+/// fast path every instrumentation site checks first.
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
+fn with_collector<R>(f: impl FnOnce(&mut Collector) -> R) -> Option<R> {
+    COLLECTOR.with(|c| c.borrow_mut().as_mut().map(f))
+}
+
+/// Adds `n` to a counter. No-op without a session.
+#[inline]
+pub fn add(c: Counter, n: u64) {
+    if !enabled() {
+        return;
+    }
+    with_collector(|col| col.counters[c.idx()] += n);
+}
+
+/// Increments a counter by one. No-op without a session.
+#[inline]
+pub fn count(c: Counter) {
+    add(c, 1);
+}
+
+/// Records a structured trace event. The closure is only called when a
+/// session is active, so building the strings costs nothing when disabled.
+#[inline]
+pub fn trace(kind: TraceKind, make: impl FnOnce() -> (String, String)) {
+    if !enabled() {
+        return;
+    }
+    let (target, detail) = make();
+    let ev = TraceEvent {
+        kind,
+        target,
+        detail,
+    };
+    let sink = with_collector(|col| {
+        let passes = match &col.config.event_filter {
+            Some(f) => ev.matches(f),
+            None => true,
+        };
+        if !passes {
+            return None;
+        }
+        if col.config.capture_events {
+            col.events.push(ev.clone());
+        }
+        col.config.sink.clone()
+    })
+    .flatten();
+    // Run the sink outside the collector borrow so a sink that itself uses
+    // telemetry (or panics) cannot poison the session.
+    if let Some(sink) = sink {
+        sink(&ev);
+    }
+}
+
+/// RAII guard for a phase activation; records elapsed time on drop.
+pub struct PhaseGuard {
+    phase: Phase,
+    armed: bool,
+}
+
+/// Enters a phase. Nested activations of the same phase are counted but
+/// only the outermost contributes wall-clock time.
+#[inline]
+pub fn phase(p: Phase) -> PhaseGuard {
+    if !enabled() {
+        return PhaseGuard {
+            phase: p,
+            armed: false,
+        };
+    }
+    with_collector(|col| {
+        let i = p.idx();
+        col.phase_calls[i] += 1;
+        col.phase_depth[i] += 1;
+        if col.phase_depth[i] == 1 {
+            col.phase_start[i] = Some(Instant::now());
+        }
+    });
+    PhaseGuard {
+        phase: p,
+        armed: true,
+    }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        with_collector(|col| {
+            let i = self.phase.idx();
+            if col.phase_depth[i] == 0 {
+                return; // session restarted under our feet; ignore
+            }
+            col.phase_depth[i] -= 1;
+            if col.phase_depth[i] == 0 {
+                if let Some(t0) = col.phase_start[i].take() {
+                    col.phase_ns[i] += t0.elapsed().as_nanos() as u64;
+                }
+            }
+        });
+    }
+}
+
+// ---- sessions ----------------------------------------------------------------
+
+/// An active telemetry session on the current thread. Dropping the session
+/// without calling [`Session::finish`] discards the data and disables
+/// collection.
+pub struct Session {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Session {
+    /// Starts a session, replacing any session already active on this
+    /// thread (the previous session's data is discarded).
+    pub fn start(config: Config) -> Session {
+        COLLECTOR.with(|c| {
+            *c.borrow_mut() = Some(Collector {
+                phase_ns: [0; N_PHASES],
+                phase_calls: [0; N_PHASES],
+                phase_depth: [0; N_PHASES],
+                phase_start: [None; N_PHASES],
+                counters: [0; N_COUNTERS],
+                events: Vec::new(),
+                config,
+                started: Instant::now(),
+            });
+        });
+        ACTIVE.with(|a| a.set(true));
+        Session {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Ends the session and returns everything it collected.
+    pub fn finish(self) -> Report {
+        ACTIVE.with(|a| a.set(false));
+        let col = COLLECTOR
+            .with(|c| c.borrow_mut().take())
+            .expect("session collector present");
+        Report {
+            total: col.started.elapsed(),
+            phase_ns: col.phase_ns,
+            phase_calls: col.phase_calls,
+            counters: col.counters,
+            events: col.events,
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if enabled() {
+            ACTIVE.with(|a| a.set(false));
+            COLLECTOR.with(|c| c.borrow_mut().take());
+        }
+    }
+}
+
+// ---- reports -----------------------------------------------------------------
+
+/// Everything a session collected.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Wall-clock duration of the whole session.
+    pub total: Duration,
+    phase_ns: [u64; N_PHASES],
+    phase_calls: [u64; N_PHASES],
+    counters: [u64; N_COUNTERS],
+    /// Captured trace events (empty unless [`Config::capture_events`]).
+    pub events: Vec<TraceEvent>,
+}
+
+impl Report {
+    /// A counter's final value.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.idx()]
+    }
+
+    /// A phase's cumulative outermost wall-clock time.
+    pub fn phase_time(&self, p: Phase) -> Duration {
+        Duration::from_nanos(self.phase_ns[p.idx()])
+    }
+
+    /// How many times a phase was entered (nested activations included).
+    pub fn phase_calls(&self, p: Phase) -> u64 {
+        self.phase_calls[p.idx()]
+    }
+
+    /// The rustc-style `--time-passes` table.
+    pub fn time_passes_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<22} {:>12} {:>10}", "phase", "time", "calls");
+        for p in Phase::ALL {
+            let ns = self.phase_ns[p.idx()];
+            let calls = self.phase_calls[p.idx()];
+            if calls == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<22} {:>12} {:>10}",
+                p.name(),
+                fmt_duration(ns),
+                calls
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<22} {:>12}",
+            "total (wall)",
+            fmt_duration(self.total.as_nanos() as u64)
+        );
+        out
+    }
+
+    /// The machine-readable stats document (schema `maya-telemetry/1`).
+    ///
+    /// Layout:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "maya-telemetry/1",
+    ///   "total_ns": 123,
+    ///   "phases": { "lex": { "ns": 1, "calls": 2 }, ... },
+    ///   "counters": { "tokens_lexed": 42, ... },
+    ///   "events": [ { "kind": "dispatch", "target": "...", "detail": "..." } ]
+    /// }
+    /// ```
+    ///
+    /// `events` is present only when events were captured.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"maya-telemetry/1\",");
+        let _ = writeln!(out, "  \"total_ns\": {},", self.total.as_nanos());
+        out.push_str("  \"phases\": {\n");
+        let phases: Vec<String> = Phase::ALL
+            .iter()
+            .map(|p| {
+                format!(
+                    "    \"{}\": {{ \"ns\": {}, \"calls\": {} }}",
+                    p.name(),
+                    self.phase_ns[p.idx()],
+                    self.phase_calls[p.idx()]
+                )
+            })
+            .collect();
+        out.push_str(&phases.join(",\n"));
+        out.push_str("\n  },\n");
+        out.push_str("  \"counters\": {\n");
+        let counters: Vec<String> = Counter::ALL
+            .iter()
+            .map(|c| format!("    \"{}\": {}", c.name(), self.counters[c.idx()]))
+            .collect();
+        out.push_str(&counters.join(",\n"));
+        out.push_str("\n  }");
+        if !self.events.is_empty() {
+            out.push_str(",\n  \"events\": [\n");
+            let events: Vec<String> = self
+                .events
+                .iter()
+                .map(|e| {
+                    format!(
+                        "    {{ \"kind\": {}, \"target\": {}, \"detail\": {} }}",
+                        json_string(e.kind.name()),
+                        json_string(&e.target),
+                        json_string(&e.detail)
+                    )
+                })
+                .collect();
+            out.push_str(&events.join(",\n"));
+            out.push_str("\n  ]");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn fmt_duration(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---- minimal JSON reader (for the xtask regression gate) ---------------------
+
+/// Extracts the integer value of `"key": <digits>` from a JSON document
+/// produced by [`Report::to_json`]. This is a schema-specific reader, not a
+/// general JSON parser: keys are assumed unique and values non-negative
+/// integers.
+pub fn json_counter(doc: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)?;
+    let rest = doc[at + needle.len()..].trim_start();
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        assert!(!enabled());
+        // All of these must be harmless no-ops.
+        count(Counter::TokensLexed);
+        add(Counter::DispatchTests, 10);
+        let _p = phase(Phase::Parse);
+        trace(TraceKind::Dispatch, || panic!("must not be called"));
+    }
+
+    #[test]
+    fn counters_and_phases_round_trip() {
+        let s = Session::start(Config::default());
+        add(Counter::LazyNodesCreated, 5);
+        add(Counter::LazyNodesForced, 2);
+        {
+            let _outer = phase(Phase::Parse);
+            {
+                let _inner = phase(Phase::Parse); // nested: counted, not double-timed
+            }
+        }
+        let r = s.finish();
+        assert_eq!(r.counter(Counter::LazyNodesCreated), 5);
+        assert_eq!(r.counter(Counter::LazyNodesForced), 2);
+        assert_eq!(r.phase_calls(Phase::Parse), 2);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn events_capture_and_filter() {
+        let s = Session::start(Config {
+            capture_events: true,
+            event_filter: Some("Foreach".into()),
+            sink: None,
+        });
+        trace(TraceKind::Dispatch, || {
+            ("Statement → …".into(), "reduced by Mayan `Foreach.visit`".into())
+        });
+        trace(TraceKind::Dispatch, || {
+            ("Expression → …".into(), "reduced by Mayan `Other`".into())
+        });
+        let r = s.finish();
+        assert_eq!(r.events.len(), 1);
+        assert!(r.events[0].detail.contains("Foreach"));
+    }
+
+    #[test]
+    fn sink_streams_events() {
+        use std::cell::RefCell;
+        let seen: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+        let seen2 = seen.clone();
+        let s = Session::start(Config {
+            capture_events: false,
+            event_filter: None,
+            sink: Some(Rc::new(move |e: &TraceEvent| {
+                seen2.borrow_mut().push(e.render());
+            })),
+        });
+        trace(TraceKind::Import, || ("Foreach".into(), String::new()));
+        let _ = s.finish();
+        assert_eq!(seen.borrow().len(), 1);
+        assert!(seen.borrow()[0].contains("[import] Foreach"));
+    }
+
+    #[test]
+    fn json_shape_and_reader() {
+        let s = Session::start(Config::default());
+        add(Counter::DispatchTests, 7);
+        let r = s.finish();
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"maya-telemetry/1\""));
+        assert_eq!(json_counter(&json, "dispatch_tests"), Some(7));
+        assert_eq!(json_counter(&json, "no_such_key"), None);
+    }
+
+    #[test]
+    fn time_passes_table_lists_active_phases() {
+        let s = Session::start(Config::default());
+        {
+            let _p = phase(Phase::Lex);
+        }
+        let r = s.finish();
+        let table = r.time_passes_table();
+        assert!(table.contains("lex"));
+        assert!(!table.contains("interp"), "{table}");
+        assert!(table.contains("total (wall)"));
+    }
+
+    #[test]
+    fn session_drop_disables() {
+        let s = Session::start(Config::default());
+        drop(s);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -102,6 +102,8 @@ impl Template {
         body: &DelimTree,
         kinds: &mut dyn SlotKinds,
     ) -> Result<Template, TemplateError> {
+        let _p = maya_telemetry::phase(maya_telemetry::Phase::TemplateCompile);
+        maya_telemetry::count(maya_telemetry::Counter::TemplatesCompiled);
         let (input, slots) = crate::scan_unquotes(body, kinds)?;
         let goal_nt = grammar.nt_for_kind_lattice(goal).ok_or_else(|| {
             TemplateError::new(
@@ -119,6 +121,12 @@ impl Template {
             binders: &binders,
         };
         let recipe = cc.convert(&pat, IdentRole::Plain)?;
+        maya_telemetry::trace(maya_telemetry::TraceKind::TemplateCompile, || {
+            (
+                goal.name().to_owned(),
+                format!("{} slot(s), {} hygienic binder(s)", slots.len(), binders.len()),
+            )
+        });
         Ok(Template {
             goal,
             slots,

@@ -77,10 +77,30 @@ pub fn instantiate(
             Span::DUMMY,
         ));
     }
+    let _p = maya_telemetry::phase(maya_telemetry::Phase::TemplateInstantiate);
+    maya_telemetry::count(maya_telemetry::Counter::TemplatesInstantiated);
     let mut renames = HashMap::new();
     for b in &template.binders {
         renames.insert(*b, host.fresh(b.as_str()));
     }
+    maya_telemetry::add(
+        maya_telemetry::Counter::HygieneRenames,
+        renames.len() as u64,
+    );
+    maya_telemetry::trace(maya_telemetry::TraceKind::TemplateInstantiate, || {
+        let pairs: Vec<String> = renames
+            .iter()
+            .map(|(from, to)| format!("{from} → {to}"))
+            .collect();
+        (
+            template.goal.name().to_owned(),
+            if pairs.is_empty() {
+                "no hygienic binders".to_owned()
+            } else {
+                format!("hygiene renames: {}", pairs.join(", "))
+            },
+        )
+    });
     inst(&template.recipe, &Rc::new(values), &Rc::new(renames), host)
 }
 

@@ -91,6 +91,7 @@ impl<'a> Checker<'a> {
     /// Reports unresolved names, bad operand types, failed overload
     /// resolution, and errors from forcing lazy subterms.
     pub fn type_of_expr(&mut self, e: &Expr, scope: &mut Scope) -> Result<Type, TypeError> {
+        let _p = maya_telemetry::phase(maya_telemetry::Phase::TypeCheck);
         match self.denot_expr(e, scope)? {
             Denot::Val(t) => Ok(t),
             Denot::Class(c) => self.err(
@@ -907,6 +908,7 @@ impl<'a> Checker<'a> {
     ///
     /// Propagates the underlying check.
     pub fn check_node(&mut self, n: &Node, scope: &mut Scope) -> Result<(), TypeError> {
+        let _p = maya_telemetry::phase(maya_telemetry::Phase::TypeCheck);
         match n {
             Node::Expr(e) => self.type_of_expr(e, scope).map(|_| ()),
             Node::Stmt(s) => self.check_stmt(s, scope),

@@ -1,0 +1,226 @@
+//! Repo automation (`cargo xtask <command>`).
+//!
+//! `cargo xtask telemetry` runs the example workloads under a telemetry
+//! session, writes the counter snapshot to `BENCH_telemetry.json` at the
+//! repo root, and **fails** if the dispatch-test or forced-lazy-node
+//! totals regressed by more than 20% against the committed snapshot —
+//! catching "the compiler silently started doing much more work" before
+//! it lands. It also enforces the paper's laziness claim on the
+//! source-extension workload: forced lazy nodes must stay strictly below
+//! created lazy nodes.
+
+use maya::telemetry::{self, json_counter, json_string, Counter};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Counter totals gated against the committed baseline.
+const GATED: [Counter; 2] = [Counter::DispatchTests, Counter::LazyNodesForced];
+/// Allowed relative growth before the gate fails.
+const TOLERANCE: f64 = 0.20;
+
+struct WorkloadRun {
+    name: &'static str,
+    counters: Vec<(Counter, u64)>,
+}
+
+fn repo_root() -> PathBuf {
+    // crates/xtask -> crates -> root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels below the repo root")
+        .to_path_buf()
+}
+
+fn run_workload(name: &'static str, f: impl FnOnce()) -> WorkloadRun {
+    let s = telemetry::Session::start(telemetry::Config::default());
+    f();
+    let r = s.finish();
+    WorkloadRun {
+        name,
+        counters: Counter::ALL.iter().map(|c| (*c, r.counter(*c))).collect(),
+    }
+}
+
+fn source_extension_workload(root: &Path) {
+    let ext = std::fs::read_to_string(root.join("examples/maya/eforeach_ext.maya"))
+        .expect("examples/maya/eforeach_ext.maya");
+    let app = std::fs::read_to_string(root.join("examples/maya/eforeach_app.maya"))
+        .expect("examples/maya/eforeach_app.maya");
+    let c = maya::Compiler::new();
+    c.add_source("eforeach_ext.maya", &ext).expect("extension compiles");
+    c.add_source("eforeach_app.maya", &app).expect("application parses");
+    c.compile().expect("application compiles");
+    c.run_main("Main").expect("application runs");
+}
+
+fn macrolib_foreach_workload() {
+    let c = maya::macrolib::compiler_with_macros();
+    c.compile_and_run(
+        "Main.maya",
+        r#"
+        import java.util.*;
+        class Main {
+            static void main() {
+                Vector v = new Vector();
+                v.addElement("a");
+                v.addElement("b");
+                use Foreach;
+                v.elements().foreach(String st) {
+                    System.out.println(st);
+                }
+            }
+        }
+        "#,
+        "Main",
+    )
+    .expect("macrolib workload runs");
+}
+
+fn multijava_workload() {
+    let c = maya::multijava::compiler_with_multijava();
+    c.compile_and_run(
+        "Main.maya",
+        r#"
+        use MultiJava;
+        class Shape { }
+        class Circle extends Shape { }
+        class Rect extends Shape { }
+        class Intersect {
+            int test(Shape a, Shape b) { return 0; }
+            int test(Shape@Circle a, Shape@Rect b) { return 1; }
+            int test(Shape@Rect a, Shape@Circle b) { return 2; }
+        }
+        class Main {
+            static void main() {
+                Intersect it = new Intersect();
+                Shape c = new Circle();
+                Shape r = new Rect();
+                System.out.println(it.test(c, r) + it.test(r, c) + it.test(c, c));
+            }
+        }
+        "#,
+        "Main",
+    )
+    .expect("multijava workload runs");
+}
+
+/// Renders the snapshot. Totals come first so [`json_counter`] (first
+/// match wins) reads the aggregate, not a per-workload value.
+fn render(runs: &[WorkloadRun]) -> String {
+    let mut totals = vec![0u64; Counter::ALL.len()];
+    for run in runs {
+        for (i, (_, v)) in run.counters.iter().enumerate() {
+            totals[i] += v;
+        }
+    }
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"maya-telemetry-bench/1\",");
+    out.push_str("  \"totals\": {\n");
+    let lines: Vec<String> = Counter::ALL
+        .iter()
+        .zip(&totals)
+        .map(|(c, v)| format!("    \"{}\": {v}", c.name()))
+        .collect();
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n  },\n");
+    out.push_str("  \"workloads\": {\n");
+    let blocks: Vec<String> = runs
+        .iter()
+        .map(|run| {
+            let lines: Vec<String> = run
+                .counters
+                .iter()
+                .map(|(c, v)| format!("      \"{}\": {v}", c.name()))
+                .collect();
+            format!("    {}: {{\n{}\n    }}", json_string(run.name), lines.join(",\n"))
+        })
+        .collect();
+    out.push_str(&blocks.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+fn telemetry_gate() -> ExitCode {
+    let root = repo_root();
+    let runs = vec![
+        run_workload("source_extension", || source_extension_workload(&root)),
+        run_workload("macrolib_foreach", macrolib_foreach_workload),
+        run_workload("multijava", multijava_workload),
+    ];
+
+    // Laziness invariant on the source-extension workload (paper §4): the
+    // unused Mayan body must never be forced.
+    let src_ext = &runs[0];
+    let get = |run: &WorkloadRun, c: Counter| {
+        run.counters.iter().find(|(k, _)| *k == c).map_or(0, |(_, v)| *v)
+    };
+    let created = get(src_ext, Counter::LazyNodesCreated);
+    let forced = get(src_ext, Counter::LazyNodesForced);
+    if forced >= created {
+        eprintln!(
+            "xtask telemetry: laziness regression: source_extension forced {forced} of \
+             {created} lazy nodes (must be strictly fewer)"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let doc = render(&runs);
+    let baseline_path = root.join("BENCH_telemetry.json");
+    let mut failed = false;
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(baseline) => {
+            for c in GATED {
+                let old = json_counter(&baseline, c.name());
+                let new = json_counter(&doc, c.name()).expect("freshly rendered key");
+                let Some(old) = old else {
+                    println!("xtask telemetry: {} has no baseline yet (new counter)", c.name());
+                    continue;
+                };
+                let limit = (old as f64 * (1.0 + TOLERANCE)).ceil() as u64;
+                let status = if new > limit { "REGRESSED" } else { "ok" };
+                println!(
+                    "xtask telemetry: {:<22} baseline {old:>8}  now {new:>8}  (limit {limit})  {status}",
+                    c.name()
+                );
+                if new > limit {
+                    failed = true;
+                }
+            }
+        }
+        Err(_) => {
+            println!("xtask telemetry: no committed baseline; writing the first snapshot");
+        }
+    }
+    if failed {
+        eprintln!(
+            "xtask telemetry: counters regressed >{:.0}% vs {}; baseline left untouched",
+            TOLERANCE * 100.0,
+            baseline_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    std::fs::write(&baseline_path, &doc).expect("write BENCH_telemetry.json");
+    println!(
+        "xtask telemetry: snapshot written to {} (lazy: {forced}/{created} forced on source_extension)",
+        baseline_path.display()
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let cmd = std::env::args().nth(1);
+    match cmd.as_deref() {
+        Some("telemetry") => telemetry_gate(),
+        Some(other) => {
+            eprintln!("xtask: unknown command {other}");
+            eprintln!("usage: cargo xtask telemetry");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask telemetry");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -3,7 +3,9 @@
 //! Usage:
 //!
 //! ```text
-//! mayac [-use NAME]... [--main CLASS] [--expand] FILE...
+//! mayac [-use NAME]... [--main CLASS] [--expand]
+//!       [--time-passes] [--stats[=FILE]] [--trace-expansion[=FILTER]]
+//!       FILE...
 //! ```
 //!
 //! Compiles the given MayaJava sources with the macro library and MultiJava
@@ -11,74 +13,150 @@
 //! imports a metaprogram for the whole compilation (the paper's `-use`
 //! command-line option, §3.3); `--expand` prints every compiled method
 //! body after Mayan expansion.
+//!
+//! Observability flags (see README.md § Observability):
+//!
+//! * `--time-passes` — per-phase wall-clock table on stderr;
+//! * `--stats` — machine-readable counters (schema `maya-telemetry/1`) on
+//!   stderr, or to a file with `--stats=FILE`;
+//! * `--trace-expansion` — stream each dispatch/force/import/template
+//!   event to stderr as it happens; `--trace-expansion=FILTER` keeps only
+//!   events whose kind, target, or detail contains FILTER.
+//!
+//! Without these flags a successful run writes nothing to stderr.
 
 use maya::ast::{normalize_generated_names, pretty_node};
-use maya::{CompileOptions, Compiler};
+use maya::telemetry;
+use maya::{CompileError, CompileOptions, Compiler};
 use std::process::ExitCode;
+use std::rc::Rc;
 
-fn main() -> ExitCode {
-    let mut uses = Vec::new();
-    let mut files = Vec::new();
-    let mut main_class = "Main".to_owned();
-    let mut expand = false;
-    let mut args = std::env::args().skip(1);
+#[derive(Default)]
+struct Cli {
+    uses: Vec<String>,
+    files: Vec<String>,
+    main_class: Option<String>,
+    expand: bool,
+    time_passes: bool,
+    /// `Some(None)` = stats to stderr; `Some(Some(path))` = stats to file.
+    stats: Option<Option<String>>,
+    /// `Some(filter)`; an empty filter passes everything.
+    trace: Option<String>,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut args = args.peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
             "-use" | "--use" => match args.next() {
-                Some(n) => uses.push(n),
-                None => return usage("missing name after -use"),
+                Some(n) => cli.uses.push(n),
+                None => return Err("missing name after -use".into()),
             },
             "--main" => match args.next() {
-                Some(n) => main_class = n,
-                None => return usage("missing class after --main"),
+                Some(n) => cli.main_class = Some(n),
+                None => return Err("missing class after --main".into()),
             },
-            "--expand" => expand = true,
-            "-h" | "--help" => return usage(""),
-            f if !f.starts_with('-') => files.push(f.to_owned()),
-            other => return usage(&format!("unknown option {other}")),
+            "--expand" => cli.expand = true,
+            "--time-passes" => cli.time_passes = true,
+            "--stats" => cli.stats = Some(None),
+            "--trace-expansion" => cli.trace = Some(String::new()),
+            "-h" | "--help" => return Err(String::new()),
+            other => {
+                if let Some(path) = other.strip_prefix("--stats=") {
+                    if path.is_empty() {
+                        return Err("missing file after --stats=".into());
+                    }
+                    cli.stats = Some(Some(path.to_owned()));
+                } else if let Some(filter) = other.strip_prefix("--trace-expansion=") {
+                    cli.trace = Some(filter.to_owned());
+                } else if !other.starts_with('-') {
+                    cli.files.push(other.to_owned());
+                } else {
+                    return Err(format!("unknown option {other}"));
+                }
+            }
         }
     }
-    if files.is_empty() {
-        return usage("no input files");
+    if cli.files.is_empty() {
+        return Err("no input files".into());
     }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => return usage(&e),
+    };
+
+    let telemetry_on = cli.time_passes || cli.stats.is_some() || cli.trace.is_some();
+    let session = telemetry_on.then(|| {
+        telemetry::Session::start(telemetry::Config {
+            capture_events: false,
+            event_filter: cli.trace.clone().filter(|f| !f.is_empty()),
+            sink: cli.trace.is_some().then(|| {
+                Rc::new(|e: &telemetry::TraceEvent| eprintln!("mayac: {}", e.render()))
+                    as telemetry::TraceSink
+            }),
+        })
+    });
 
     let compiler = Compiler::with_options(CompileOptions {
         echo_output: false,
-        uses,
+        uses: cli.uses.clone(),
     });
     maya::macrolib::install(&compiler);
     maya::multijava::install(&compiler);
 
-    for f in &files {
-        let text = match std::fs::read_to_string(f) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("mayac: cannot read {f}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        if let Err(e) = compiler.add_source(f, &text) {
-            eprintln!("mayac: {f}: {}", e.message);
-            return ExitCode::FAILURE;
+    let result = run(&compiler, &cli);
+
+    // Telemetry output is emitted even when compilation fails: a phase
+    // table for a failing run is still a phase table.
+    if let Some(session) = session {
+        let report = session.finish();
+        if cli.time_passes {
+            eprint!("{}", report.time_passes_table());
         }
-    }
-    if let Err(e) = compiler.compile() {
-        eprintln!("mayac: {}", e.message);
-        return ExitCode::FAILURE;
+        match &cli.stats {
+            Some(Some(path)) => {
+                if let Err(e) = std::fs::write(path, report.to_json()) {
+                    eprintln!("mayac: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Some(None) => eprint!("{}", report.to_json()),
+            None => {}
+        }
     }
 
-    if expand {
-        let classes = compiler.classes();
-        for f in &files {
-            let _ = f;
+    match result {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
         }
+        Err(e) => {
+            eprintln!("mayac: {}", render_error(&compiler, &e));
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(compiler: &Compiler, cli: &Cli) -> Result<String, CompileError> {
+    for f in &cli.files {
+        let text = std::fs::read_to_string(f)
+            .map_err(|e| CompileError::new(format!("cannot read {f}: {e}"), maya::lexer::Span::DUMMY))?;
+        compiler.add_source(f, &text)?;
+    }
+    compiler.compile()?;
+
+    if cli.expand {
+        let classes = compiler.classes();
         for idx in 0..classes.len() {
             let id = maya::types::ClassId(idx as u32);
             let info = classes.info(id);
             let info = info.borrow();
-            if info.fqcn.as_str().starts_with("java.")
-                || info.fqcn.as_str().starts_with("maya.")
-            {
+            if info.fqcn.as_str().starts_with("java.") || info.fqcn.as_str().starts_with("maya.") {
                 continue;
             }
             for m in &info.methods {
@@ -92,23 +170,27 @@ fn main() -> ExitCode {
         }
     }
 
-    match compiler.run_main(&main_class) {
-        Ok(out) => {
-            print!("{out}");
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("mayac: {}", e.message);
-            ExitCode::FAILURE
-        }
+    let main_class = cli.main_class.as_deref().unwrap_or("Main");
+    compiler.run_main(main_class)
+}
+
+/// `file:line:col: message` when the error carries a real span.
+fn render_error(compiler: &Compiler, e: &CompileError) -> String {
+    if e.span.is_dummy() {
+        return e.message.clone();
     }
+    let loc = compiler.inner().sm.borrow().describe(e.span);
+    format!("{loc}: {}", e.message)
 }
 
 fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("mayac: {err}");
     }
-    eprintln!("usage: mayac [-use NAME]... [--main CLASS] [--expand] FILE...");
+    eprintln!(
+        "usage: mayac [-use NAME]... [--main CLASS] [--expand]\n\
+         \x20            [--time-passes] [--stats[=FILE]] [--trace-expansion[=FILTER]] FILE..."
+    );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -44,6 +44,7 @@ pub use maya_lexer as lexer;
 pub use maya_macrolib as macrolib;
 pub use maya_multijava as multijava;
 pub use maya_parser as parser;
+pub use maya_telemetry as telemetry;
 pub use maya_template as template;
 pub use maya_types as types;
 

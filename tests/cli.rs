@@ -89,3 +89,154 @@ fn main_class_selection() {
     assert!(out.status.success());
     assert_eq!(String::from_utf8_lossy(&out.stdout), "app\n");
 }
+
+// ---- observability flags -----------------------------------------------------
+
+const HELLO: &str = r#"class Main { static void main() { System.out.println("obs"); } }"#;
+
+#[test]
+fn successful_run_has_clean_stderr() {
+    let f = write_temp("clean.maya", HELLO);
+    let out = mayac().arg(&f).output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stderr), "", "stderr must be silent");
+}
+
+#[test]
+fn time_passes_prints_phase_table() {
+    let f = write_temp("tp.maya", HELLO);
+    let out = mayac().arg("--time-passes").arg(&f).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // Program output stays on stdout, the table on stderr.
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "obs\n");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for needle in ["phase", "parse", "dispatch", "interp", "total (wall)"] {
+        assert!(stderr.contains(needle), "missing {needle:?} in:\n{stderr}");
+    }
+}
+
+#[test]
+fn stats_prints_json_to_stderr() {
+    let f = write_temp("st.maya", HELLO);
+    let out = mayac().arg("--stats").arg(&f).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "obs\n");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("\"schema\": \"maya-telemetry/1\""), "{stderr}");
+    assert!(maya::telemetry::json_counter(&stderr, "tokens_lexed").unwrap() > 0);
+    assert!(maya::telemetry::json_counter(&stderr, "parser_reductions").unwrap() > 0);
+}
+
+#[test]
+fn stats_writes_file() {
+    let f = write_temp("stf.maya", HELLO);
+    let json_path = write_temp("stats-out.json", "");
+    let out = mayac()
+        .arg(format!("--stats={}", json_path.display()))
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stderr), "", "file mode keeps stderr clean");
+    let doc = std::fs::read_to_string(&json_path).unwrap();
+    assert!(doc.contains("\"schema\": \"maya-telemetry/1\""));
+    assert!(maya::telemetry::json_counter(&doc, "interp_calls").unwrap() > 0);
+}
+
+#[test]
+fn stats_shows_laziness_on_the_example_workload() {
+    // The shipped example workload imports two source Mayans but only uses
+    // one; the unused Mayan's body must never be forced (paper §4).
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let ext = root.join("examples/maya/eforeach_ext.maya");
+    let app = root.join("examples/maya/eforeach_app.maya");
+    let out = mayac().arg("--stats").arg(&ext).arg(&app).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let created = maya::telemetry::json_counter(&stderr, "lazy_nodes_created").unwrap();
+    let forced = maya::telemetry::json_counter(&stderr, "lazy_nodes_forced").unwrap();
+    assert!(
+        forced < created,
+        "expected strictly lazy compile: forced={forced} created={created}"
+    );
+}
+
+#[test]
+fn trace_expansion_streams_events() {
+    let f = write_temp(
+        "tr.maya",
+        r#"
+        import java.util.*;
+        class Main {
+            static void main() {
+                Vector v = new Vector();
+                v.addElement("t");
+                use Foreach;
+                v.elements().foreach(String s) { System.out.println(s); }
+            }
+        }
+        "#,
+    );
+    let out = mayac().arg("--trace-expansion").arg(&f).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("[dispatch]"), "{stderr}");
+    assert!(stderr.contains("[import] Foreach"), "{stderr}");
+    assert!(stderr.contains("reduced by Mayan"), "{stderr}");
+}
+
+#[test]
+fn trace_expansion_filter_narrows_output() {
+    let f = write_temp(
+        "trf.maya",
+        r#"
+        import java.util.*;
+        class Main {
+            static void main() {
+                Vector v = new Vector();
+                use Foreach;
+                v.elements().foreach(String s) { System.out.println(s); }
+            }
+        }
+        "#,
+    );
+    let all = mayac().arg("--trace-expansion").arg(&f).output().unwrap();
+    let filtered = mayac().arg("--trace-expansion=import").arg(&f).output().unwrap();
+    assert!(all.status.success() && filtered.status.success());
+    let all_lines = all.stderr.iter().filter(|b| **b == b'\n').count();
+    let filtered_stderr = String::from_utf8_lossy(&filtered.stderr);
+    let filtered_lines = filtered_stderr.lines().count();
+    assert!(filtered_lines > 0, "filter must keep matching events");
+    assert!(filtered_lines < all_lines, "filter must drop non-matching events");
+    for line in filtered_stderr.lines() {
+        assert!(line.contains("import"), "{line}");
+    }
+}
+
+#[test]
+fn bad_flags_error_cleanly() {
+    let cases: &[&[&str]] = &[
+        &["--stats=", "x.maya"],
+        &["--bogus", "x.maya"],
+        &["-use"],
+        &["--main"],
+        &[],
+    ];
+    for args in cases {
+        let out = mayac().args(*args).output().unwrap();
+        assert!(!out.status.success(), "args {args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("mayac:"), "args {args:?}: {stderr}");
+        assert!(stderr.contains("usage:"), "args {args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn errors_carry_source_locations() {
+    let f = write_temp("loc.maya", "class Main { static void main() { int x = ; } }");
+    let out = mayac().arg(&f).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // file:line:col rendering via the source map.
+    assert!(stderr.contains("loc.maya:1:"), "{stderr}");
+}

@@ -1,8 +1,32 @@
-//! Property tests over the full pipeline: random arithmetic programs must
-//! evaluate to the same value the host computes.
+//! Property-style tests over the full pipeline: random arithmetic programs
+//! must evaluate to the same value the host computes.
+//!
+//! Expression trees come from a deterministic xorshift PRNG (no registry
+//! access in the build container, so `proptest` is unavailable); seeds are
+//! fixed, so failures reproduce exactly.
 
 use maya::Compiler;
-use proptest::prelude::*;
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(2685821657736338717).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 #[derive(Debug, Clone)]
 enum E {
@@ -12,15 +36,17 @@ enum E {
     Mul(Box<E>, Box<E>),
 }
 
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = (0i32..100).prop_map(E::N);
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-        ]
-    })
+fn arb_expr(rng: &mut Rng, depth: u32) -> E {
+    if depth == 0 || rng.below(4) == 0 {
+        return E::N(rng.below(100) as i32);
+    }
+    let a = Box::new(arb_expr(rng, depth - 1));
+    let b = Box::new(arb_expr(rng, depth - 1));
+    match rng.below(3) {
+        0 => E::Add(a, b),
+        1 => E::Sub(a, b),
+        _ => E::Mul(a, b),
+    }
 }
 
 impl E {
@@ -43,17 +69,22 @@ impl E {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn random_arithmetic_agrees_with_host(e in arb_expr()) {
+#[test]
+fn random_arithmetic_agrees_with_host() {
+    for seed in 0..12u64 {
+        let mut rng = Rng::new(seed);
+        let e = arb_expr(&mut rng, 4);
         let src = format!(
             "class Main {{ static void main() {{ int r = {}; System.out.println(r); }} }}",
             e.source()
         );
         let c = Compiler::new();
         let out = c.compile_and_run("Main.maya", &src, "Main").unwrap();
-        prop_assert_eq!(out.trim().parse::<i64>().unwrap(), e.eval() as i32 as i64);
+        assert_eq!(
+            out.trim().parse::<i64>().unwrap(),
+            e.eval() as i32 as i64,
+            "seed {seed} expr {}",
+            e.source()
+        );
     }
 }

@@ -1,0 +1,150 @@
+//! End-to-end telemetry: the counters must make the paper's cost model
+//! observable through the public pipeline.
+
+use maya::telemetry::{self, Counter, Phase};
+use maya::Compiler;
+
+/// An extension library with two source Mayans sharing one production.
+const TWO_MAYAN_EXT: &str = r#"
+    abstract Statement syntax(MethodName(Formal) lazy(BraceTree, BlockStmts));
+
+    Statement syntax
+    EForEach(Expression:java.util.Enumeration enumExp
+             \. foreach(Formal var)
+             lazy(BraceTree, BlockStmts) body)
+    {
+        StrictTypeName castType = StrictTypeName.make(var.getType());
+
+        return new Statement {
+            for (java.util.Enumeration enumVar = $enumExp;
+                 enumVar.hasMoreElements(); ) {
+                $(DeclStmt.make(var))
+                $(Reference.makeExpr(var.getLocation()))
+                    = ($castType) enumVar.nextElement();
+                $body
+            }
+        };
+    }
+
+    Statement syntax
+    UnusedLog(Expression:java.lang.String msg
+              \. log(Formal var)
+              lazy(BraceTree, BlockStmts) body)
+    {
+        return new Statement {
+            { System.out.println($msg); $body }
+        };
+    }
+"#;
+
+const APP: &str = r#"
+    import java.util.*;
+    class Main {
+        static void main() {
+            Hashtable h = new Hashtable();
+            h.put("k", "v");
+            use EForEach;
+            h.keys().foreach(String st) {
+                System.out.println(st);
+            }
+        }
+    }
+"#;
+
+/// The paper's laziness claim (§4), measured: the `UnusedLog` Mayan is
+/// compiled into a lazy `expand` method body that is registered but never
+/// fired, so compiling eagerly would parse strictly more nodes than the
+/// lazy pipeline actually forces.
+#[test]
+fn unused_mayan_body_is_never_forced() {
+    let s = telemetry::Session::start(telemetry::Config::default());
+    let c = Compiler::new();
+    c.add_source("Ext.maya", TWO_MAYAN_EXT).unwrap();
+    c.add_source("Main.maya", APP).unwrap();
+    c.compile().unwrap();
+    let out = c.run_main("Main").unwrap();
+    let r = s.finish();
+    assert_eq!(out, "k\n");
+    let created = r.counter(Counter::LazyNodesCreated);
+    let forced = r.counter(Counter::LazyNodesForced);
+    assert!(
+        forced < created,
+        "an unused Mayan body must stay unforced: forced={forced} created={created}"
+    );
+    // And never more forced than created, by construction.
+    assert!(forced <= created);
+}
+
+/// The counters cover the whole pipeline on an ordinary compile.
+#[test]
+fn full_pipeline_counters_are_populated() {
+    let s = telemetry::Session::start(telemetry::Config::default());
+    let c = maya::macrolib::compiler_with_macros();
+    let out = c
+        .compile_and_run(
+            "Main.maya",
+            r#"
+            import java.util.*;
+            class Main {
+                static void main() {
+                    Vector v = new Vector();
+                    v.addElement("x");
+                    use Foreach;
+                    v.elements().foreach(String st) { System.out.println(st); }
+                }
+            }
+            "#,
+            "Main",
+        )
+        .unwrap();
+    let r = s.finish();
+    assert_eq!(out, "x\n");
+    for c in [
+        Counter::TokensLexed,
+        Counter::TokenTreesBuilt,
+        Counter::FilesLexed,
+        Counter::TablesBuilt,
+        Counter::GrammarExtensions,
+        Counter::ParserShifts,
+        Counter::ParserReductions,
+        Counter::LazyNodesCreated,
+        Counter::LazyNodesForced,
+        Counter::DispatchReductions,
+        Counter::DispatchCandidates,
+        Counter::DispatchTests,
+        Counter::MayansFired,
+        Counter::TemplatesCompiled,
+        Counter::TemplatesInstantiated,
+        Counter::HygieneRenames,
+        Counter::InterpCalls,
+    ] {
+        assert!(r.counter(c) > 0, "counter {} must be non-zero", c.name());
+    }
+    // The type-narrowed foreach dispatch runs static-type tests.
+    assert!(r.counter(Counter::DispatchTypeTests) > 0);
+    for p in [Phase::Lex, Phase::Parse, Phase::Dispatch, Phase::Force, Phase::Interp] {
+        assert!(r.phase_calls(p) > 0, "phase {} must be entered", p.name());
+    }
+}
+
+/// Dispatch traces identify the winning Mayan and the work done to pick it.
+#[test]
+fn dispatch_trace_names_the_winner() {
+    let s = telemetry::Session::start(telemetry::Config {
+        capture_events: true,
+        event_filter: Some("EForEach".into()),
+        sink: None,
+    });
+    let c = Compiler::new();
+    c.add_source("Ext.maya", TWO_MAYAN_EXT).unwrap();
+    c.add_source("Main.maya", APP).unwrap();
+    c.compile().unwrap();
+    let r = s.finish();
+    let dispatch = r
+        .events
+        .iter()
+        .find(|e| e.kind == telemetry::TraceKind::Dispatch)
+        .expect("a dispatch event naming EForEach");
+    assert!(dispatch.detail.contains("reduced by Mayan `EForEach`"), "{}", dispatch.detail);
+    assert!(dispatch.detail.contains("applicability test"), "{}", dispatch.detail);
+}
