@@ -222,6 +222,10 @@ pub enum Decl {
     Import(ImportDecl),
     /// A declaration that expands to nothing.
     Empty,
+    /// A poison node: a member or top-level declaration that failed to
+    /// parse. Spliced in during panic-mode recovery; downstream phases
+    /// skip it without cascading errors.
+    Error(Span),
 }
 
 impl Decl {
@@ -238,6 +242,7 @@ impl Decl {
             Decl::Use(..) => NodeKind::UseDecl,
             Decl::Import(_) => NodeKind::ImportDecl,
             Decl::Empty => NodeKind::EmptyDecl,
+            Decl::Error(_) => NodeKind::ErrorDecl,
         }
     }
 

@@ -57,6 +57,10 @@ pub enum NodeKind {
     TryStmt,
     UseStmt,
     EmptyStmt,
+    /// A poison statement produced by parser error recovery. Downstream
+    /// phases skip it; it participates in the lattice as a statement so
+    /// recovery can splice it back into a parse.
+    ErrorStmt,
 
     // ---- Type names --------------------------------------------------------
     TypeName,
@@ -84,6 +88,8 @@ pub enum NodeKind {
     /// A declaration that expands to nothing (used by extensions that only
     /// register side effects, e.g. MultiJava external methods).
     EmptyDecl,
+    /// A poison declaration produced by parser error recovery.
+    ErrorDecl,
 
     // ---- Other node types exposed to productions ---------------------------
     Identifier,
@@ -138,13 +144,15 @@ impl NodeKind {
             }
             BlockStmt | ExprStmt | DeclStmt | IfStmt | WhileStmt | DoStmt | ForStmt
             | ReturnStmt | BreakStmt | ContinueStmt | ThrowStmt | TryStmt | UseStmt
-            | EmptyStmt => Statement,
+            | EmptyStmt | ErrorStmt => Statement,
             PrimitiveTypeName | ClassTypeName | ArrayTypeName | StrictTypeName | VoidTypeName => {
                 TypeName
             }
             StrictClassName => StrictTypeName,
             ClassDecl | InterfaceDecl | MethodDecl | CtorDecl | FieldDecl | UseDecl
-            | ProductionDecl | MayanDecl | ImportDecl | PackageDecl | EmptyDecl => Declaration,
+            | ProductionDecl | MayanDecl | ImportDecl | PackageDecl | EmptyDecl | ErrorDecl => {
+                Declaration
+            }
             UnboundLocal => Identifier,
             _ => Top,
         })
@@ -238,10 +246,10 @@ kinds!(
     NewArrayExpr, BinaryExpr, UnaryExpr, IncDecExpr, AssignExpr, CondExpr, CastExpr,
     InstanceofExpr, ThisExpr, VarRefExpr, ClassRefExpr, TemplateExpr, Statement, BlockStmt,
     ExprStmt, DeclStmt, IfStmt, WhileStmt, DoStmt, ForStmt, ReturnStmt, BreakStmt, ContinueStmt,
-    ThrowStmt, TryStmt, UseStmt, EmptyStmt, TypeName, PrimitiveTypeName, ClassTypeName,
+    ThrowStmt, TryStmt, UseStmt, EmptyStmt, ErrorStmt, TypeName, PrimitiveTypeName, ClassTypeName,
     ArrayTypeName, StrictTypeName, StrictClassName, VoidTypeName, Declaration, ClassDecl,
     InterfaceDecl, MethodDecl, CtorDecl, FieldDecl, UseDecl, ProductionDecl, MayanDecl,
-    ImportDecl, PackageDecl, EmptyDecl, Identifier, UnboundLocal, MethodName, Formal, FormalList,
+    ImportDecl, PackageDecl, EmptyDecl, ErrorDecl, Identifier, UnboundLocal, MethodName, Formal, FormalList,
     ArgumentList, BlockStmts, Modifier, ModifierList, Throws, LocalDeclarator, QualifiedName,
     CompilationUnit, ClassBody, ForControl, ForInit, ForUpdate, CatchClause, UseHead, SwitchBody,
     ExtendsClause, ImplementsClause, TokenNode, ListNode, LazyNode, UnitNode,

@@ -224,6 +224,7 @@ impl Pretty {
                     self.line("<lazy statement>");
                 }
             }
+            StmtKind::Error => self.line("<error>;"),
         }
     }
 
@@ -368,6 +369,7 @@ impl Pretty {
                 self.line(&format!("import {}{star};", s.join(".")));
             }
             Decl::Empty => self.line(";"),
+            Decl::Error(_) => self.line("<error>;"),
         }
     }
 }

@@ -123,6 +123,10 @@ pub enum StmtKind {
     Empty,
     /// A lazily parsed block in statement position.
     Lazy(LazyNode),
+    /// A poison node: a statement that failed to parse (or expand). The
+    /// parser splices one in during panic-mode recovery; downstream phases
+    /// skip it without cascading errors, and it must never be executed.
+    Error,
 }
 
 /// A statement with its source span.
@@ -166,6 +170,7 @@ impl Stmt {
             StmtKind::Use(..) => NodeKind::UseStmt,
             StmtKind::Empty => NodeKind::EmptyStmt,
             StmtKind::Lazy(_) => NodeKind::Statement,
+            StmtKind::Error => NodeKind::ErrorStmt,
         }
     }
 }

@@ -2,6 +2,7 @@
 //! compiler) and the embedding API.
 
 use crate::base::Base;
+use crate::diag::{Diagnostic, Diagnostics};
 use crate::driver::{force_lazy, Cx, EnvPair, ForceHost};
 use crate::CompileError;
 use maya_ast::{
@@ -16,18 +17,42 @@ use maya_types::{
     Checker, ClassId, ClassInfo, ClassTable, CtorInfo, FieldInfo, MethodInfo, ResolveCtx, Scope,
     Type, VarBinding, VarKind,
 };
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Options for a compilation.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct CompileOptions {
     /// Echo interpreted output to the real stdout.
     pub echo_output: bool,
     /// Metaprogram names imported for every unit (the paper's `-use`
     /// command-line option, §3.3).
     pub uses: Vec<String>,
+    /// Maximum nested Mayan expansion depth before the compiler gives up
+    /// with a diagnostic (a Mayan expanding to syntax it matches itself).
+    pub max_expand_depth: u32,
+    /// Total nodes semantic actions may materialize in one compilation
+    /// (bounds Mayans that expand to ever-growing syntax).
+    pub expand_fuel: u64,
+    /// Interpreter steps allowed per metaprogram invocation or program run
+    /// (bounds `while (true)` in a metaprogram body).
+    pub interp_step_limit: u64,
+    /// Interpreter call-stack depth.
+    pub interp_stack_limit: u32,
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions {
+            echo_output: false,
+            uses: Vec::new(),
+            max_expand_depth: 200,
+            expand_fuel: 10_000_000,
+            interp_step_limit: 20_000_000,
+            interp_stack_limit: 128,
+        }
+    }
 }
 
 /// Per-class compile metadata.
@@ -61,10 +86,19 @@ pub struct CompilerInner {
     /// have extended the grammar the body must be shaped under).
     pub(crate) decl_envs: RefCell<HashMap<(maya_lexer::FileId, u32), EnvPair>>,
     units: RefCell<Vec<Unit>>,
+    /// Current nesting of Mayan expansions (depth guard state).
+    pub(crate) expand_depth: Cell<u32>,
+    /// Remaining expansion fuel (counts down; see `CompileOptions`).
+    pub(crate) expand_fuel: Cell<u64>,
+    /// Dotted names of imports currently being applied (cycle detection).
+    imports_in_progress: RefCell<Vec<String>>,
+    /// The active multi-error sink, when compiling through the
+    /// diagnostics API; `None` keeps the legacy fail-fast behavior.
+    pub(crate) diags: RefCell<Option<Diagnostics>>,
     /// Class-processing hooks, run as a class declaration leaves the shaper
     /// (paper §4: "Maya provides class-processing hooks").
     pub class_hooks: RefCell<Vec<Rc<dyn Fn(&Rc<CompilerInner>, ClassId) -> Result<(), CompileError>>>>,
-    options: CompileOptions,
+    pub(crate) options: CompileOptions,
     uses_applied: RefCell<bool>,
     /// Source-level `abstract … syntax(…)` declarations, in declaration
     /// order (extension compilation; see `source_mayan`).
@@ -138,14 +172,44 @@ impl CompilerInner {
         path: &[Ident],
         span: Span,
     ) -> Result<EnvPair, DispatchError> {
+        let dotted = {
+            let parts: Vec<&str> = path.iter().map(|i| i.as_str()).collect();
+            parts.join(".")
+        };
+        // Cycle guard: importing A can compile A's extension classes, which
+        // may `use` B, which may `use` A again. Without this the import
+        // recursion never terminates.
+        {
+            let stack = self.imports_in_progress.borrow();
+            if stack.contains(&dotted) {
+                maya_telemetry::count(maya_telemetry::Counter::ImportCycles);
+                return Err(DispatchError::new(
+                    format!(
+                        "import cycle detected: {} → {dotted}",
+                        stack.join(" → ")
+                    ),
+                    span,
+                ));
+            }
+        }
         let program = self.lookup_metaprogram(path).ok_or_else(|| {
-            let dotted: Vec<&str> = path.iter().map(|i| i.as_str()).collect();
             DispatchError::new(
-                format!("unknown metaprogram {} in use directive", dotted.join(".")),
+                format!("unknown metaprogram {dotted} in use directive"),
                 span,
             )
         })?;
-        let new = self.run_import(pair, program.as_ref())?;
+        self.imports_in_progress.borrow_mut().push(dotted);
+        let result = self.run_import(pair, program.as_ref());
+        self.imports_in_progress.borrow_mut().pop();
+        // Table-construction failures (grammar conflicts) have no source
+        // span of their own; point them at the `use` directive.
+        let new = result.map_err(|e| {
+            if e.span.is_dummy() {
+                DispatchError::new(e.message, span)
+            } else {
+                e
+            }
+        })?;
         maya_telemetry::trace(maya_telemetry::TraceKind::Import, || {
             let dotted: Vec<&str> = path.iter().map(|i| i.as_str()).collect();
             (
@@ -172,7 +236,7 @@ impl ImportEnv for CoreImportEnv {
             .builder
             .get_or_insert_with(|| self.grammar.extend());
         b.add_production(lhs, rhs, None)
-            .map_err(|e| DispatchError::new(e.to_string(), Span::DUMMY))
+            .map_err(|e| DispatchError::new(e.to_string(), e.span()))
     }
 
     fn import_mayan(&mut self, mayan: Rc<Mayan>) {
@@ -247,15 +311,24 @@ impl Compiler {
             class_meta: RefCell::new(HashMap::new()),
             decl_envs: RefCell::new(HashMap::new()),
             units: RefCell::new(Vec::new()),
+            expand_depth: Cell::new(0),
+            expand_fuel: Cell::new(options.expand_fuel),
+            imports_in_progress: RefCell::new(Vec::new()),
+            diags: RefCell::new(None),
             class_hooks: RefCell::new(Vec::new()),
             options,
             uses_applied: RefCell::new(false),
             declared_prods: RefCell::new(Vec::new()),
             expand_stack: RefCell::new(Vec::new()),
         });
+        inner
+            .interp
+            .set_stack_limit(inner.options.interp_stack_limit);
+        inner.interp.set_step_limit(inner.options.interp_step_limit);
         crate::extension::install_tree_bridge(&inner);
         let compiler = Compiler { inner };
         compiler.install_runtime_forcer();
+        compiler.install_frame_provider();
         compiler
     }
 
@@ -327,6 +400,9 @@ impl Compiler {
             let sm = self.inner.sm.borrow();
             stream_lex(&sm, file)?
         };
+        if let Err(m) = crate::faults::trip("lex") {
+            return Err(CompileError::new(m, Span::DUMMY));
+        }
         let pair = self.inner.global.borrow().clone();
         let cx = Cx {
             cx: self.inner.clone(),
@@ -339,10 +415,28 @@ impl Compiler {
             .grammar
             .nt_for_kind(NodeKind::CompilationUnit)
             .expect("CompilationUnit nt");
-        let unit_node = cx.parse_trees(&trees, goal)?;
+        // In multi-error mode, recover at member boundaries so every
+        // top-level syntax error in the file is reported.
+        let diags = self.inner.diags.borrow().clone();
+        let unit_node = match &diags {
+            Some(d) => {
+                crate::recover::parse_trees_recovering(
+                    &cx,
+                    &trees,
+                    goal,
+                    crate::recover::Poison::Decl,
+                    d,
+                )
+                .ok_or_else(|| CompileError::reported(Span::DUMMY))?
+            }
+            None => cx.parse_trees(&trees, goal)?,
+        };
         let Node::List(parts) = unit_node else {
             return Err(CompileError::new("internal: compilation unit shape", Span::DUMMY));
         };
+        if parts.len() != 3 {
+            return Err(CompileError::new("internal: compilation unit shape", Span::DUMMY));
+        }
         let package = match &parts[0] {
             Node::Name(p) => {
                 let s: Vec<&str> = p.iter().map(|i| i.as_str()).collect();
@@ -379,6 +473,161 @@ impl Compiler {
             decls,
         });
         Ok(())
+    }
+
+    /// [`Compiler::add_source`] in multi-error mode: errors are reported
+    /// into `diags` (with parser recovery at member boundaries) instead of
+    /// stopping at the first, and a panic becomes an internal-compiler-error
+    /// diagnostic. Returns `false` when the unit could not be added at all.
+    pub fn add_source_diags(&self, name: &str, text: &str, diags: &Diagnostics) -> bool {
+        *self.inner.diags.borrow_mut() = Some(diags.clone());
+        let result = crate::sandbox::catch(|| self.add_source(name, text));
+        *self.inner.diags.borrow_mut() = None;
+        match result {
+            Ok(Ok(())) => true,
+            Ok(Err(e)) => {
+                diags.compile_error(e);
+                false
+            }
+            Err(panic_msg) => {
+                diags.error(format!("internal: {panic_msg}"), Span::DUMMY);
+                false
+            }
+        }
+    }
+
+    /// [`Compiler::compile`] in multi-error mode: classes compile
+    /// independently, every error lands in `diags`, and a panic in any
+    /// phase becomes an internal-compiler-error diagnostic instead of an
+    /// abort.
+    pub fn compile_diags(&self, diags: &Diagnostics) {
+        *self.inner.diags.borrow_mut() = Some(diags.clone());
+        self.compile_diags_inner(diags);
+        *self.inner.diags.borrow_mut() = None;
+    }
+
+    fn compile_diags_inner(&self, diags: &Diagnostics) {
+        use std::collections::HashSet;
+        // Pass 1: declare every class, one unit at a time so a bad unit
+        // doesn't hide its siblings.
+        let mut shaped: Vec<(ClassId, Decl, ResolveCtx, usize)> = Vec::new();
+        let unit_count = self.inner.units.borrow().len();
+        for ui in 0..unit_count {
+            if diags.at_cap() {
+                return;
+            }
+            let (decls, ctx, package) = {
+                let units = self.inner.units.borrow();
+                (
+                    units[ui].decls.clone(),
+                    units[ui].ctx.clone(),
+                    units[ui].package.clone(),
+                )
+            };
+            match crate::sandbox::catch(|| {
+                self.declare_decls(&decls, &ctx, package.as_deref(), ui, &mut shaped)
+            }) {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => diags.compile_error(e),
+                Err(p) => diags.error(
+                    format!("internal: declaring classes panicked: {p}"),
+                    Span::DUMMY,
+                ),
+            }
+        }
+        // Pass 2: shape each class; a broken class is excluded from later
+        // passes so its errors don't cascade.
+        let mut broken: HashSet<ClassId> = HashSet::new();
+        for (class, decl, ctx, _ui) in &shaped {
+            if diags.at_cap() {
+                break;
+            }
+            match crate::sandbox::catch(|| self.shape_class(*class, decl, ctx)) {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    broken.insert(*class);
+                    diags.compile_error(e);
+                }
+                Err(p) => {
+                    broken.insert(*class);
+                    diags.error(
+                        format!("internal: class shaping panicked: {p}"),
+                        Span::DUMMY,
+                    );
+                }
+            }
+        }
+        // Pass 3: class-processing hooks.
+        let hooks = self.inner.class_hooks.borrow().clone();
+        for (class, ..) in &shaped {
+            if broken.contains(class) || diags.at_cap() {
+                continue;
+            }
+            for h in &hooks {
+                match crate::sandbox::catch(|| h(&self.inner, *class)) {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        broken.insert(*class);
+                        diags.compile_error(e);
+                        break;
+                    }
+                    Err(p) => {
+                        broken.insert(*class);
+                        diags.error(
+                            format!("internal: class hook panicked: {p}"),
+                            Span::DUMMY,
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+        // Pass 4: force + check every member, continuing across members.
+        for (class, ..) in &shaped {
+            if broken.contains(class) || diags.at_cap() {
+                continue;
+            }
+            if let Err(m) = crate::faults::trip("type_check") {
+                diags.error(m, Span::DUMMY);
+                continue;
+            }
+            match crate::sandbox::catch(|| self.check_class_with(*class, Some(diags))) {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => diags.compile_error(e),
+                Err(p) => diags.error(
+                    format!("internal: type checking panicked: {p}"),
+                    Span::DUMMY,
+                ),
+            }
+        }
+    }
+
+    /// [`Compiler::run_main`] in multi-error mode: a runtime failure
+    /// becomes a diagnostic carrying the Mayan expansion frames that were
+    /// active when the error surfaced.
+    pub fn run_main_diags(&self, class_fqcn: &str, diags: &Diagnostics) -> Option<String> {
+        *self.inner.diags.borrow_mut() = Some(diags.clone());
+        let result = crate::sandbox::catch(|| {
+            if let Err(m) = crate::faults::trip("interp") {
+                return Err(maya_interp::RuntimeError::new(m, Span::DUMMY));
+            }
+            self.inner.interp.reset_steps();
+            self.inner.interp.run_main(class_fqcn)
+        });
+        *self.inner.diags.borrow_mut() = None;
+        match result {
+            Ok(Ok(out)) => Some(out),
+            Ok(Err(e)) => {
+                let mut d = Diagnostic::error(e.message.clone(), e.span);
+                d.frames = e.frames.clone();
+                diags.report(d);
+                None
+            }
+            Err(p) => {
+                diags.error(format!("internal: {p}"), Span::DUMMY);
+                None
+            }
+        }
     }
 
     /// Runs the shaper and class compiler over everything added so far.
@@ -463,6 +712,8 @@ impl Compiler {
                     crate::extension::register_mayan_decl(&self.inner, m, ctx, package)?;
                 }
                 Decl::Import(_) | Decl::Empty => {}
+                // Poison node from parser recovery: already reported.
+                Decl::Error(_) => {}
                 other => {
                     return Err(CompileError::new(
                         format!(
@@ -673,6 +924,8 @@ impl Compiler {
                     crate::extension::register_mayan_decl(&self.inner, md, ctx, None)?;
                 }
                 Decl::Empty | Decl::Import(_) => {}
+                // Poison node from parser recovery: already reported.
+                Decl::Error(_) => {}
                 other => {
                     return Err(CompileError::new(
                         format!("unsupported member {}", other.node_kind().name()),
@@ -686,6 +939,29 @@ impl Compiler {
 
     /// Forces and type-checks every member of a class.
     fn check_class(&self, class: ClassId) -> Result<(), CompileError> {
+        self.check_class_with(class, None)
+    }
+
+    /// [`Compiler::check_class`], continuing past member errors when a
+    /// diagnostics sink is given (each member fails independently).
+    fn check_class_with(
+        &self,
+        class: ClassId,
+        diags: Option<&Diagnostics>,
+    ) -> Result<(), CompileError> {
+        // Ok(true) = reported and at the error cap, stop checking.
+        let settle = |r: Result<(), CompileError>| -> Result<bool, CompileError> {
+            match r {
+                Ok(()) => Ok(false),
+                Err(e) => match diags {
+                    Some(d) => {
+                        d.compile_error(e);
+                        Ok(d.at_cap())
+                    }
+                    None => Err(e),
+                },
+            }
+        };
         let meta = self
             .inner
             .class_meta
@@ -754,7 +1030,9 @@ impl Compiler {
                     .copied()
                     .zip(m.params.iter().cloned())
                     .collect();
-                check_body(body, &params, m.ret.clone(), m.is_static())?;
+                if settle(check_body(body, &params, m.ret.clone(), m.is_static()))? {
+                    return Ok(());
+                }
             }
         }
         for c in &ctors {
@@ -765,27 +1043,35 @@ impl Compiler {
                     .copied()
                     .zip(c.params.iter().cloned())
                     .collect();
-                check_body(body, &params, Type::Void, false)?;
+                if settle(check_body(body, &params, Type::Void, false))? {
+                    return Ok(());
+                }
             }
         }
         for f in &fields {
             if let Some(init) = &f.init {
-                let mut scope = Scope::new();
-                scope.this_class = Some(class);
-                scope.static_ctx = f.modifiers.is_static();
-                let mut host = ForceHost { c: cxc.clone() };
-                let mut checker = Checker::new(classes, &meta.ctx, &mut host);
-                let ty = checker.type_of_expr(init, &mut scope)?;
-                if !classes.is_assignable(&ty, &f.ty) {
-                    return Err(CompileError::new(
-                        format!(
-                            "cannot initialize field {} : {} with {}",
-                            f.name,
-                            classes.describe(&f.ty),
-                            classes.describe(&ty)
-                        ),
-                        init.span,
-                    ));
+                let r = (|| -> Result<(), CompileError> {
+                    let mut scope = Scope::new();
+                    scope.this_class = Some(class);
+                    scope.static_ctx = f.modifiers.is_static();
+                    let mut host = ForceHost { c: cxc.clone() };
+                    let mut checker = Checker::new(classes, &meta.ctx, &mut host);
+                    let ty = checker.type_of_expr(init, &mut scope)?;
+                    if !classes.is_assignable(&ty, &f.ty) {
+                        return Err(CompileError::new(
+                            format!(
+                                "cannot initialize field {} : {} with {}",
+                                f.name,
+                                classes.describe(&f.ty),
+                                classes.describe(&ty)
+                            ),
+                            init.span,
+                        ));
+                    }
+                    Ok(())
+                })();
+                if settle(r)? {
+                    return Ok(());
                 }
             }
         }
@@ -799,6 +1085,10 @@ impl Compiler {
     ///
     /// Compile errors, runtime errors, and uncaught exceptions.
     pub fn run_main(&self, class_fqcn: &str) -> Result<String, CompileError> {
+        if let Err(m) = crate::faults::trip("interp") {
+            return Err(CompileError::new(m, Span::DUMMY));
+        }
+        self.inner.interp.reset_steps();
         Ok(self.inner.interp.run_main(class_fqcn)?)
     }
 
@@ -810,6 +1100,30 @@ impl Compiler {
             let cell = Rc::new(RefCell::new(Scope::new()));
             force_lazy(&inner, lazy, cell)
                 .map_err(|e| maya_interp::RuntimeError::new(e.message, e.span))
+        }));
+    }
+
+    /// Points the interpreter's error-frame provider at the live Mayan
+    /// expansion stack, so runtime errors raised inside `expand` bodies
+    /// carry "in expansion of ..." notes.
+    fn install_frame_provider(&self) {
+        let w = Rc::downgrade(&self.inner);
+        self.inner.interp.set_frame_provider(Rc::new(move || {
+            let Some(inner) = w.upgrade() else {
+                return Vec::new();
+            };
+            let sm = inner.sm.borrow();
+            let frames: Vec<String> = inner
+                .expand_stack
+                .borrow()
+                .iter()
+                .rev()
+                .map(|s| {
+                    let (mayan, _) = &s.chain[s.idx];
+                    format!("Mayan {} at {}", mayan.name, sm.describe(s.span))
+                })
+                .collect();
+            frames
         }));
     }
 

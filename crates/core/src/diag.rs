@@ -1,0 +1,405 @@
+//! Multi-error diagnostics.
+//!
+//! The compiler historically stopped at the first `CompileError`. This
+//! module is the accumulating replacement used at the driver boundary:
+//! phases report into a shared [`Diagnostics`] sink and the driver keeps
+//! going (parser recovery, per-class isolation) until the error budget is
+//! exhausted, then renders every diagnostic at once — either as
+//! `file:line:col: severity: message` lines or as a JSON document.
+//!
+//! Internal errors (messages starting with `internal:`) are promoted to
+//! *internal compiler error* diagnostics that name the pipeline phase that
+//! was running (from `maya_telemetry`) and carry a "please report" note.
+
+use crate::error::CompileError;
+use maya_lexer::{SourceMap, Span};
+use maya_telemetry::{self as telemetry, json_string};
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Severity {
+    /// Compilation cannot succeed.
+    Error,
+    /// Suspicious but not fatal (fatal under `--deny-warnings`).
+    Warning,
+    /// Additional context attached to a preceding diagnostic.
+    Note,
+}
+
+impl Severity {
+    /// Lowercase label used in rendered output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+/// One reported problem.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    pub message: String,
+    pub span: Span,
+    /// True for internal compiler errors (bugs in mayac, not in user code).
+    pub ice: bool,
+    /// Pipeline phase that was running when the problem was detected.
+    pub phase: Option<&'static str>,
+    /// Mayan expansion frames (innermost first), when the error surfaced
+    /// inside a metaprogram.
+    pub frames: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Builds an error diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+            ice: false,
+            phase: None,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Builds a warning diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(message, span)
+        }
+    }
+}
+
+/// Message prefix that marks a compiler bug rather than a user error.
+const ICE_PREFIX: &str = "internal:";
+
+struct State {
+    diags: Vec<Diagnostic>,
+    /// Errors beyond this count are dropped (the cap itself is reported).
+    max_errors: usize,
+    errors: usize,
+    warnings: usize,
+    deny_warnings: bool,
+    /// Errors dropped because the cap was reached.
+    suppressed: usize,
+}
+
+/// Accumulating diagnostic sink, cheaply clonable (shared handle).
+#[derive(Clone)]
+pub struct Diagnostics {
+    state: Rc<RefCell<State>>,
+}
+
+impl Default for Diagnostics {
+    fn default() -> Diagnostics {
+        Diagnostics::new()
+    }
+}
+
+impl Diagnostics {
+    /// A sink with the default error budget (20, matching `--max-errors`).
+    pub fn new() -> Diagnostics {
+        Diagnostics::with_limits(20, false)
+    }
+
+    /// A sink with an explicit error cap and warning policy.
+    pub fn with_limits(max_errors: usize, deny_warnings: bool) -> Diagnostics {
+        Diagnostics {
+            state: Rc::new(RefCell::new(State {
+                diags: Vec::new(),
+                max_errors: max_errors.max(1),
+                errors: 0,
+                warnings: 0,
+                deny_warnings,
+                suppressed: 0,
+            })),
+        }
+    }
+
+    /// Reports a diagnostic, applying the error cap and ICE promotion.
+    pub fn report(&self, mut d: Diagnostic) {
+        // Recovery sites report in place and still propagate a sentinel
+        // failure; dropping it here prevents double reporting.
+        if d.message == crate::error::ALREADY_REPORTED {
+            return;
+        }
+        // Promote `internal:`-prefixed messages to ICEs tagged with the
+        // phase that was running (sticky: the phase guard has usually
+        // unwound by the time the error reaches the sink).
+        if let Some(rest) = d.message.strip_prefix(ICE_PREFIX) {
+            d.ice = true;
+            d.message = rest.trim_start().to_owned();
+        }
+        if d.phase.is_none() {
+            d.phase = telemetry::current_phase()
+                .or_else(telemetry::last_phase)
+                .map(|p| p.name());
+        }
+        let mut s = self.state.borrow_mut();
+        // Adjacent-duplicate suppression: independent passes over the same
+        // broken member tend to rediscover the identical failure.
+        if let Some(last) = s.diags.last() {
+            if last.severity == d.severity && last.message == d.message && last.span == d.span {
+                return;
+            }
+        }
+        match d.severity {
+            Severity::Error => {
+                if s.errors >= s.max_errors {
+                    s.suppressed += 1;
+                    return;
+                }
+                s.errors += 1;
+            }
+            Severity::Warning => s.warnings += 1,
+            Severity::Note => {}
+        }
+        s.diags.push(d);
+    }
+
+    /// Reports a `CompileError` as an error diagnostic. Sentinels from
+    /// recovery sites (already reported in place) are dropped.
+    pub fn compile_error(&self, e: CompileError) {
+        if e.is_reported_sentinel() {
+            return;
+        }
+        self.report(Diagnostic::error(e.message, e.span));
+    }
+
+    /// Reports an error with a message and span.
+    pub fn error(&self, message: impl Into<String>, span: Span) {
+        self.report(Diagnostic::error(message, span));
+    }
+
+    /// Reports a warning with a message and span.
+    pub fn warning(&self, message: impl Into<String>, span: Span) {
+        self.report(Diagnostic::warning(message, span));
+    }
+
+    /// Number of errors reported so far (capped reports included).
+    pub fn error_count(&self) -> usize {
+        let s = self.state.borrow();
+        s.errors + s.suppressed
+    }
+
+    /// Number of warnings reported so far.
+    pub fn warning_count(&self) -> usize {
+        self.state.borrow().warnings
+    }
+
+    /// True once the error budget is exhausted; the driver should stop
+    /// starting new work (already-started work may still report).
+    pub fn at_cap(&self) -> bool {
+        let s = self.state.borrow();
+        s.errors >= s.max_errors
+    }
+
+    /// True when compilation must fail: any error, or any warning under
+    /// `--deny-warnings`.
+    pub fn should_fail(&self) -> bool {
+        let s = self.state.borrow();
+        s.errors > 0 || s.suppressed > 0 || (s.deny_warnings && s.warnings > 0)
+    }
+
+    /// True when nothing at all has been reported.
+    pub fn is_empty(&self) -> bool {
+        self.state.borrow().diags.is_empty()
+    }
+
+    /// Snapshot of the accumulated diagnostics, in report order.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        self.state.borrow().diags.clone()
+    }
+
+    /// The first error, converted back to a `CompileError`, for callers of
+    /// the legacy fail-fast API.
+    pub fn first_error(&self) -> Option<CompileError> {
+        let s = self.state.borrow();
+        s.diags
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+            .map(|d| {
+                let msg = if d.ice {
+                    format!("internal: {}", d.message)
+                } else {
+                    d.message.clone()
+                };
+                CompileError::new(msg, d.span)
+            })
+    }
+
+    /// Renders every diagnostic as human-readable lines.
+    pub fn render_human(&self, sm: &SourceMap) -> String {
+        let s = self.state.borrow();
+        let mut out = String::new();
+        for d in &s.diags {
+            let loc = sm.describe(d.span);
+            if d.ice {
+                let _ = writeln!(out, "{loc}: error: internal compiler error: {}", d.message);
+                let phase = d.phase.unwrap_or("unknown");
+                let _ = writeln!(
+                    out,
+                    "{loc}: note: this is a compiler bug, please report it (phase: {phase})"
+                );
+            } else {
+                let _ = writeln!(out, "{loc}: {}: {}", d.severity.label(), d.message);
+            }
+            for f in &d.frames {
+                let _ = writeln!(out, "{loc}: note: in expansion of {f}");
+            }
+        }
+        if s.suppressed > 0 {
+            let _ = writeln!(
+                out,
+                "error: too many errors ({} not shown, --max-errors={})",
+                s.suppressed, s.max_errors
+            );
+        }
+        if s.errors > 0 || s.suppressed > 0 {
+            let total = s.errors + s.suppressed;
+            let _ = writeln!(
+                out,
+                "error: aborting due to {total} previous error{}",
+                if total == 1 { "" } else { "s" }
+            );
+        } else if s.deny_warnings && s.warnings > 0 {
+            let _ = writeln!(
+                out,
+                "error: aborting due to {} warning{} (--deny-warnings)",
+                s.warnings,
+                if s.warnings == 1 { "" } else { "s" }
+            );
+        }
+        out
+    }
+
+    /// Renders every diagnostic as a single-document JSON report
+    /// (schema `maya-diagnostics/1`).
+    pub fn render_json(&self, sm: &SourceMap) -> String {
+        let s = self.state.borrow();
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"maya-diagnostics/1\",");
+        let _ = writeln!(out, "  \"errors\": {},", s.errors + s.suppressed);
+        let _ = writeln!(out, "  \"warnings\": {},", s.warnings);
+        let _ = writeln!(out, "  \"suppressed\": {},", s.suppressed);
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in s.diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(out, "\"severity\": {}", json_string(d.severity.label()));
+            let _ = write!(out, ", \"message\": {}", json_string(&d.message));
+            if !d.span.is_dummy() {
+                let f = sm.file(d.span.file);
+                let lc = f.line_col(d.span.lo);
+                let _ = write!(out, ", \"file\": {}", json_string(&f.name));
+                let _ = write!(out, ", \"line\": {}, \"col\": {}", lc.line, lc.col);
+            }
+            let _ = write!(out, ", \"ice\": {}", d.ice);
+            if let Some(p) = d.phase {
+                let _ = write!(out, ", \"phase\": {}", json_string(p));
+            }
+            if !d.frames.is_empty() {
+                out.push_str(", \"frames\": [");
+                for (j, fr) in d.frames.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&json_string(fr));
+                }
+                out.push(']');
+            }
+            out.push('}');
+        }
+        if !s.diags.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sm_with(src: &str) -> (SourceMap, Span) {
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("t.maya", src);
+        (sm, Span::new(f, 0, 1))
+    }
+
+    #[test]
+    fn accumulates_multiple_errors() {
+        let d = Diagnostics::new();
+        let (sm, span) = sm_with("class A {}\n");
+        d.error("first", span);
+        d.error("second", span);
+        assert_eq!(d.error_count(), 2);
+        assert!(d.should_fail());
+        let text = d.render_human(&sm);
+        assert!(text.contains("t.maya:1:1: error: first"));
+        assert!(text.contains("t.maya:1:1: error: second"));
+        assert!(text.contains("aborting due to 2 previous errors"));
+    }
+
+    #[test]
+    fn max_errors_caps_reports() {
+        let d = Diagnostics::with_limits(1, false);
+        let (sm, span) = sm_with("x\n");
+        d.error("first", span);
+        d.error("second", span);
+        assert!(d.at_cap());
+        assert_eq!(d.error_count(), 2);
+        let text = d.render_human(&sm);
+        assert!(text.contains("first"));
+        assert!(!text.contains("second"));
+        assert!(text.contains("too many errors"));
+    }
+
+    #[test]
+    fn internal_prefix_becomes_ice() {
+        let d = Diagnostics::new();
+        let (sm, _) = sm_with("x\n");
+        d.error("internal: bad table", Span::DUMMY);
+        let text = d.render_human(&sm);
+        assert!(text.contains("internal compiler error: bad table"));
+        assert!(text.contains("this is a compiler bug, please report it"));
+    }
+
+    #[test]
+    fn deny_warnings_fails_without_errors() {
+        let d = Diagnostics::with_limits(20, true);
+        let (sm, span) = sm_with("x\n");
+        d.warning("sketchy", span);
+        assert!(d.should_fail());
+        assert_eq!(d.error_count(), 0);
+        let text = d.render_human(&sm);
+        assert!(text.contains("warning: sketchy"));
+        assert!(text.contains("--deny-warnings"));
+    }
+
+    #[test]
+    fn json_report_has_locations() {
+        let d = Diagnostics::new();
+        let (sm, span) = sm_with("class A\n");
+        d.error("missing brace", span);
+        d.warning("odd", Span::DUMMY);
+        let doc = d.render_json(&sm);
+        assert!(doc.contains("\"schema\": \"maya-diagnostics/1\""));
+        assert!(doc.contains("\"errors\": 1"));
+        assert!(doc.contains("\"file\": \"t.maya\""));
+        assert!(doc.contains("\"line\": 1, \"col\": 1"));
+        // Dummy span omits the location keys entirely.
+        assert!(doc.contains("{\"severity\": \"warning\", \"message\": \"odd\", \"ice\": false"));
+    }
+}

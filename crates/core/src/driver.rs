@@ -135,8 +135,17 @@ impl Cx {
     /// context.
     pub fn parse_trees(&self, trees: &[TokenTree], goal: NtId) -> Result<Node, ParseError> {
         let input: Vec<Input<Node>> = Input::from_token_trees(trees);
+        self.parse_input(&input, goal)
+    }
+
+    /// Parses prepared engine input — tokens, trees, or pre-built
+    /// nonterminal leaves (error recovery splices poison nodes this way).
+    pub fn parse_input(&self, input: &[Input<Node>], goal: NtId) -> Result<Node, ParseError> {
+        if let Err(m) = crate::faults::trip("parse") {
+            return Err(ParseError::new(m, Span::DUMMY));
+        }
         let mut driver = CoreDriver { c: self.clone() };
-        run_parse(&self.pair.grammar, &input, goal, &mut driver)
+        run_parse(&self.pair.grammar, input, goal, &mut driver)
     }
 
     /// Parses a delimiter tree's contents to a node kind.
@@ -168,6 +177,22 @@ impl Cx {
     /// Propagates dispatch failures ("no applicable Mayan", ambiguity,
     /// Mayan body errors).
     pub fn reduce(&self, prod: ProdId, args: Vec<Node>, span: Span) -> Result<Node, DispatchError> {
+        // Expansion fuel: every materialized node costs one unit, so a
+        // Mayan that expands to ever-growing syntax terminates with a
+        // diagnostic instead of consuming all memory.
+        let fuel = self.cx.expand_fuel.get();
+        if fuel == 0 {
+            maya_telemetry::count(maya_telemetry::Counter::FuelLimitHits);
+            return Err(DispatchError::new(
+                format!(
+                    "expansion fuel exhausted ({} nodes materialized); \
+                     a syntax extension may be expanding without bound",
+                    self.cx.options.expand_fuel
+                ),
+                span,
+            ));
+        }
+        self.cx.expand_fuel.set(fuel - 1);
         let action = self.pair.grammar.production(prod).action;
         match action {
             Action::Builtin(b) => self.apply_builtin(b, args, span),
@@ -196,14 +221,54 @@ impl Cx {
         span: Span,
     ) -> Result<Node, DispatchError> {
         let (mayan, bindings) = chain[idx].clone();
+        let name = mayan.name;
         maya_telemetry::count(maya_telemetry::Counter::MayansFired);
+        match crate::faults::check("dispatch") {
+            Some(crate::faults::FaultAction::Panic) => panic!("injected fault at dispatch"),
+            Some(crate::faults::FaultAction::Error) => {
+                return Err(DispatchError::new("internal: injected fault at dispatch", span))
+            }
+            // `loop` models a runaway expansion: burn the remaining fuel so
+            // the fuel guard must trip on the next materialized node.
+            Some(crate::faults::FaultAction::Loop) => self.cx.expand_fuel.set(0),
+            None => {}
+        }
+        // Depth guard: a Mayan whose expansion re-dispatches itself (via
+        // templates or re-parsing) recurses through here; cut it off with a
+        // diagnostic naming the Mayan instead of blowing the stack.
+        let limit = self.cx.options.max_expand_depth;
+        let depth = self.cx.expand_depth.get() + 1;
+        if depth > limit {
+            maya_telemetry::count(maya_telemetry::Counter::DepthLimitHits);
+            return Err(DispatchError::new(
+                format!(
+                    "expansion depth limit ({limit}) exceeded while expanding Mayan {name}; \
+                     is it expanding to syntax it matches itself?"
+                ),
+                span,
+            ));
+        }
+        self.cx.expand_depth.set(depth);
         let mut expand = CoreExpand {
             c: self.clone(),
             chain,
             idx,
             span,
         };
-        (mayan.body)(&bindings, &mut expand)
+        // Sandbox: a metaprogram bug (panic) becomes a located diagnostic
+        // naming the Mayan, never a compiler abort.
+        let result = crate::sandbox::catch(move || (mayan.body)(&bindings, &mut expand));
+        self.cx.expand_depth.set(self.cx.expand_depth.get() - 1);
+        match result {
+            Ok(r) => r,
+            Err(panic_msg) => {
+                maya_telemetry::count(maya_telemetry::Counter::MayanPanics);
+                Err(DispatchError::new(
+                    format!("internal: Mayan {name} panicked during expansion: {panic_msg}"),
+                    span,
+                ))
+            }
+        }
     }
 
     fn apply_builtin(
@@ -252,8 +317,21 @@ impl Cx {
     ///
     /// Propagates dispatch failures from replayed reductions.
     pub fn instantiate(&self, t: &Template, values: Vec<Node>) -> Result<Node, DispatchError> {
+        if let Err(m) = crate::faults::trip("template") {
+            return Err(DispatchError::new(m, Span::DUMMY));
+        }
         let mut host = CoreInstHost { c: self.clone() };
-        t.instantiate(values, &mut host)
+        let result = crate::sandbox::catch(move || t.instantiate(values, &mut host));
+        match result {
+            Ok(r) => r,
+            Err(panic_msg) => {
+                maya_telemetry::count(maya_telemetry::Counter::MayanPanics);
+                Err(DispatchError::new(
+                    format!("internal: template instantiation panicked: {panic_msg}"),
+                    Span::DUMMY,
+                ))
+            }
+        }
     }
 }
 
@@ -473,6 +551,25 @@ impl Cx {
                     tree.span(),
                 )
             })?;
+        // In multi-error mode, statement and member contexts synchronize at
+        // boundaries instead of failing the whole body on the first error.
+        if let Some(diags) = self.cx.diags.borrow().clone() {
+            let poison = if goal_kind == NodeKind::BlockStmts
+                || goal_kind.is_subkind_of(NodeKind::Statement)
+            {
+                Some(crate::recover::Poison::Stmt)
+            } else if goal_kind == NodeKind::ClassBody
+                || goal_kind.is_subkind_of(NodeKind::Declaration)
+            {
+                Some(crate::recover::Poison::Decl)
+            } else {
+                None
+            };
+            if let Some(poison) = poison {
+                return crate::recover::parse_tree_recovering(self, tree, goal, poison, &diags)
+                    .ok_or_else(|| CompileError::reported(tree.span()));
+            }
+        }
         self.parse_trees(&tree.trees, goal).map_err(CompileError::from)
     }
 }

@@ -11,6 +11,11 @@ pub struct CompileError {
     pub span: Span,
 }
 
+/// Sentinel message for errors whose diagnostics were already reported into
+/// an active [`crate::Diagnostics`] sink; the sink ignores it on re-report,
+/// so recovery sites can both report in place and still propagate failure.
+pub(crate) const ALREADY_REPORTED: &str = "<already-reported>";
+
 impl CompileError {
     /// Builds an error.
     pub fn new(message: impl Into<String>, span: Span) -> CompileError {
@@ -18,6 +23,17 @@ impl CompileError {
             message: message.into(),
             span,
         }
+    }
+
+    /// An error that was already reported into the diagnostics sink and
+    /// only propagates failure.
+    pub(crate) fn reported(span: Span) -> CompileError {
+        CompileError::new(ALREADY_REPORTED, span)
+    }
+
+    /// True for [`CompileError::reported`] sentinels.
+    pub(crate) fn is_reported_sentinel(&self) -> bool {
+        self.message == ALREADY_REPORTED
     }
 }
 
@@ -61,7 +77,8 @@ impl From<maya_template::TemplateError> for CompileError {
 
 impl From<maya_grammar::GrammarError> for CompileError {
     fn from(e: maya_grammar::GrammarError) -> CompileError {
-        CompileError::new(e.to_string(), Span::DUMMY)
+        let span = e.span();
+        CompileError::new(e.to_string(), span)
     }
 }
 

@@ -1,0 +1,90 @@
+//! Fault injection for robustness testing.
+//!
+//! The `MAYA_FAULTS` environment variable arms faults at named sites inside
+//! the compiler, e.g. `MAYA_FAULTS=dispatch:panic,type_check:error`. Each
+//! phase calls [`check`] at its fault site; the configured action then
+//! fires *once* per process. Release builds with the variable unset pay a
+//! single `OnceLock` read and an always-empty slice scan.
+//!
+//! Supported actions:
+//!
+//! - `panic` — `panic!` at the site (must surface as an ICE diagnostic,
+//!   never an abort).
+//! - `error` — return an `internal:` error from the site.
+//! - `loop` — enter an unbounded loop *in interpreted code terms*: the site
+//!   reports a poisoned value that makes the surrounding guard (step limit,
+//!   expansion fuel) trip. Sites that cannot loop safely treat it as
+//!   `panic`.
+//!
+//! This is test machinery, not a user feature; it is deliberately tiny and
+//! dependency-free.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// What an armed fault does when its site is reached.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultAction {
+    /// Panic at the site.
+    Panic,
+    /// Return an `internal:` error from the site.
+    Error,
+    /// Ask the site to consume unbounded resources (so a guard must trip).
+    Loop,
+}
+
+struct Fault {
+    site: String,
+    action: FaultAction,
+    fired: AtomicBool,
+}
+
+fn faults() -> &'static [Fault] {
+    static FAULTS: OnceLock<Vec<Fault>> = OnceLock::new();
+    FAULTS.get_or_init(|| {
+        let Ok(spec) = std::env::var("MAYA_FAULTS") else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let Some((site, action)) = part.split_once(':') else {
+                continue;
+            };
+            let action = match action.trim() {
+                "panic" => FaultAction::Panic,
+                "error" => FaultAction::Error,
+                "loop" => FaultAction::Loop,
+                _ => continue,
+            };
+            out.push(Fault {
+                site: site.trim().to_owned(),
+                action,
+                fired: AtomicBool::new(false),
+            });
+        }
+        out
+    })
+}
+
+/// Returns the armed action for `site`, at most once per process per site.
+pub fn check(site: &str) -> Option<FaultAction> {
+    for f in faults() {
+        if f.site == site && !f.fired.swap(true, Ordering::Relaxed) {
+            return Some(f.action);
+        }
+    }
+    None
+}
+
+/// Panics if a `panic` fault is armed at `site`; returns an `internal:`
+/// message for an `error` fault. The common prologue for fault sites that
+/// cannot loop.
+pub fn trip(site: &str) -> Result<(), String> {
+    match check(site) {
+        Some(FaultAction::Panic) | Some(FaultAction::Loop) => {
+            panic!("injected fault at {site}")
+        }
+        Some(FaultAction::Error) => Err(format!("internal: injected fault at {site}")),
+        None => Ok(()),
+    }
+}

@@ -16,8 +16,12 @@ mod base;
 mod bridge;
 mod builtins;
 mod compiler;
+mod diag;
 mod driver;
 mod error;
+pub mod faults;
+mod recover;
+mod sandbox;
 mod extension;
 mod literal;
 pub mod metagrammar;
@@ -31,9 +35,20 @@ pub fn describe_prod_pub(g: &maya_grammar::Grammar, p: maya_grammar::ProdId) -> 
 }
 pub use compiler::{Compiler, CompileOptions, CompilerInner};
 pub use driver::{expr_as_type, CoreExpand, CoreInstHost, Cx, EnvPair, ExpandSnapshot, ForceHost, LazyEnvPayload};
+pub use diag::{Diagnostic, Diagnostics, Severity};
 pub use error::CompileError;
 pub use extension::TreeValue;
 pub use literal::parse_literal;
+
+/// Runs `f`, converting a panic into an `Err` with the panic message.
+///
+/// This is the driver-boundary safety net: `mayac` wraps whole phases in
+/// it so a compiler bug surfaces as an internal-compiler-error diagnostic
+/// instead of a process abort. The default panic hook is suppressed while
+/// inside (the message is captured instead).
+pub fn catch_ice<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    sandbox::catch(f)
+}
 
 /// Maximally permissive parameters for a production (used by extensions
 /// that override built-in semantic actions and fall through with

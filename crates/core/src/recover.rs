@@ -1,0 +1,128 @@
+//! Parser error recovery: panic-mode synchronization at statement and
+//! member boundaries.
+//!
+//! When a parse fails and a [`Diagnostics`] sink is active, the failing
+//! region is replaced by a single *poison* nonterminal input
+//! (`Input::Nt` carrying `StmtKind::Error` / `Decl::Error`) and the parse
+//! is rerun. The engine shifts the poison node through the goto table
+//! exactly like the paper's pattern-mode nonterminal inputs (§4.2,
+//! Figure 6(b)), so sibling statements/members still parse and later
+//! errors in the same unit are still reported. Downstream phases skip
+//! poison nodes, preventing cascades.
+//!
+//! Synchronization points are the token-tree positions where a new
+//! statement or member can start: after a top-level `;` and after a
+//! brace tree. Delimiter trees reseal naturally — the lexer already
+//! matched the braces, so an error inside one never corrupts its
+//! siblings.
+
+use crate::diag::Diagnostics;
+use crate::driver::Cx;
+use maya_ast::{Decl, Node, NodeKind, Stmt, StmtKind};
+use maya_grammar::NtId;
+use maya_lexer::{Delim, TokenKind};
+use maya_parser::{Input, NtSel};
+
+/// Which poison node to splice over an unparseable region.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Poison {
+    /// Statement context (method bodies, blocks).
+    Stmt,
+    /// Declaration context (compilation units, class bodies).
+    Decl,
+}
+
+impl Poison {
+    fn kind(self) -> NodeKind {
+        match self {
+            Poison::Stmt => NodeKind::ErrorStmt,
+            Poison::Decl => NodeKind::ErrorDecl,
+        }
+    }
+
+    fn node(self, span: maya_lexer::Span) -> Node {
+        match self {
+            Poison::Stmt => Node::Stmt(Stmt::new(span, StmtKind::Error)),
+            Poison::Decl => Node::Decl(Decl::Error(span)),
+        }
+    }
+}
+
+/// True at input positions where a new statement/member may start.
+fn is_sync_boundary<V>(item: &Input<V>) -> bool {
+    match item {
+        Input::Tok(t) => t.kind == TokenKind::Semi,
+        Input::Tree(d, _) => d.delim == Delim::Brace,
+        Input::Nt(..) => true,
+    }
+}
+
+/// The failing region `[a, b)` around input index `at`: from the previous
+/// sync boundary (exclusive) to the next one (inclusive).
+fn error_range<V>(input: &[Input<V>], at: usize) -> (usize, usize) {
+    let at = at.min(input.len().saturating_sub(1));
+    let a = (0..at)
+        .rev()
+        .find(|&i| is_sync_boundary(&input[i]))
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let b = (at..input.len())
+        .find(|&i| is_sync_boundary(&input[i]))
+        .map(|i| i + 1)
+        .unwrap_or(input.len());
+    (a, b.max(a + 1))
+}
+
+/// Parses `trees` with panic-mode recovery, reporting every error into
+/// `diags`. Returns the (possibly poison-carrying) parse result, or `None`
+/// when the input is unrecoverable — in both cases every error has already
+/// been reported.
+pub(crate) fn parse_trees_recovering(
+    cx: &Cx,
+    trees: &[maya_lexer::TokenTree],
+    goal: NtId,
+    poison: Poison,
+    diags: &Diagnostics,
+) -> Option<Node> {
+    let mut input: Vec<Input<Node>> = Input::from_token_trees(trees);
+    loop {
+        let err = match cx.parse_input(&input, goal) {
+            Ok(node) => return Some(node),
+            Err(e) => e,
+        };
+        diags.error(err.message.clone(), err.span);
+        if diags.at_cap() {
+            return None;
+        }
+        let Some(at) = err.at else {
+            // No input anchor (table construction, internal errors):
+            // synchronizing is meaningless.
+            return None;
+        };
+        if input.is_empty() {
+            return None;
+        }
+        let (a, b) = error_range(&input, at);
+        // Non-progress guard: if the region is already a lone poison node,
+        // the error is *caused* by recovery (e.g. no grammar slot for the
+        // poison kind here) — bail instead of looping.
+        if b - a == 1 && matches!(&input[a], Input::Nt(NtSel::Kind(k), _, _) if *k == poison.kind())
+        {
+            return None;
+        }
+        let span = input[a].span().to(input[b - 1].span());
+        maya_telemetry::count(maya_telemetry::Counter::ParseRecoveries);
+        input.splice(a..b, [Input::Nt(NtSel::Kind(poison.kind()), poison.node(span), span)]);
+    }
+}
+
+/// [`parse_trees_recovering`] over a delimiter tree's contents.
+pub(crate) fn parse_tree_recovering(
+    cx: &Cx,
+    tree: &maya_lexer::DelimTree,
+    goal: NtId,
+    poison: Poison,
+    diags: &Diagnostics,
+) -> Option<Node> {
+    parse_trees_recovering(cx, &tree.trees, goal, poison, diags)
+}

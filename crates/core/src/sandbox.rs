@@ -1,0 +1,54 @@
+//! Panic sandboxing for metaprogram execution.
+//!
+//! Mayan bodies and template instantiation run arbitrary (meta)program
+//! logic; a bug there must surface as a *located diagnostic naming the
+//! Mayan*, not abort the whole compiler. [`catch`] wraps such calls in
+//! `catch_unwind` and suppresses the default panic hook's stderr banner
+//! while a sandbox is active (the panic becomes a diagnostic; the banner
+//! would be noise duplicated on every caught panic).
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+thread_local! {
+    /// Nesting depth of active sandboxes on this thread.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+fn install_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if DEPTH.with(|d| d.get()) == 0 {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Extracts a printable message from a panic payload.
+pub(crate) fn payload_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_owned()
+    }
+}
+
+/// Runs `f`, converting a panic into `Err(message)`.
+///
+/// The closure is asserted unwind-safe: callers only observe shared
+/// compiler state through `RefCell`s whose borrows are released by
+/// unwinding, and a caught panic always becomes a fatal diagnostic, so a
+/// half-updated expansion result is never used.
+pub(crate) fn catch<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_hook();
+    DEPTH.with(|d| d.set(d.get() + 1));
+    let r = panic::catch_unwind(AssertUnwindSafe(f));
+    DEPTH.with(|d| d.set(d.get() - 1));
+    r.map_err(|p| payload_message(p.as_ref()))
+}

@@ -101,7 +101,9 @@ impl MetaProgram for SourceMayan {
                 args.push(tree_value(node));
             }
             // Run the body on the interpreter with this expansion on the
-            // bridge's stack.
+            // bridge's stack. Each invocation gets a fresh step budget so
+            // one well-behaved expansion can't starve the next.
+            inner.interp.reset_steps();
             inner.expand_stack.borrow_mut().push(cx.snapshot());
             let result = inner
                 .interp
@@ -116,7 +118,18 @@ impl MetaProgram for SourceMayan {
                             span,
                         )
                     }),
-                Err(Control::Error(e)) => Err(DispatchError::new(e.message, e.span)),
+                Err(Control::Error(e)) => {
+                    // Anchor unlocated failures at the expansion site and
+                    // name the Mayan (once — nested expansions of the same
+                    // failure keep the innermost attribution).
+                    let err_span = if e.span.is_dummy() { span } else { e.span };
+                    let msg = if e.message.starts_with("error in expansion of Mayan ") {
+                        e.message
+                    } else {
+                        format!("error in expansion of Mayan {name}: {}", e.message)
+                    };
+                    Err(DispatchError::new(msg, err_span))
+                }
                 Err(Control::Throw(v)) => Err(DispatchError::new(
                     format!("Mayan {name} threw: {}", inner.interp.display(&v)),
                     span,

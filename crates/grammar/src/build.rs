@@ -5,7 +5,7 @@ use crate::prod::{Action, Assoc, BuiltinAction, ProdId, Production};
 use crate::symbol::{NtDef, NtId, Sym, Terminal};
 use crate::tables::{Conflict, Tables};
 use maya_ast::NodeKind;
-use maya_lexer::{sym, Delim, Symbol};
+use maya_lexer::{sym, Delim, Span, Symbol};
 use std::cell::OnceCell;
 use std::collections::HashMap;
 use std::fmt;
@@ -18,7 +18,54 @@ pub enum GrammarError {
     /// it (paper §4.1).
     Conflicts(Vec<Conflict>),
     /// A malformed production (bad LHS, empty alternatives, …).
-    Invalid(String),
+    Invalid {
+        message: String,
+        /// The offending production's LHS name, when known.
+        production: Option<String>,
+        /// The declaration's source location, when known.
+        span: Span,
+    },
+}
+
+impl GrammarError {
+    /// Builds an [`GrammarError::Invalid`] with no location yet.
+    pub fn invalid(message: impl Into<String>) -> GrammarError {
+        GrammarError::Invalid {
+            message: message.into(),
+            production: None,
+            span: Span::DUMMY,
+        }
+    }
+
+    /// Names the production the error occurred in (first writer wins, so
+    /// the innermost context is kept).
+    pub fn in_production(mut self, name: impl Into<String>) -> GrammarError {
+        if let GrammarError::Invalid { production, .. } = &mut self {
+            if production.is_none() {
+                *production = Some(name.into());
+            }
+        }
+        self
+    }
+
+    /// Attaches the declaration's source span (first writer wins).
+    pub fn with_span(mut self, s: Span) -> GrammarError {
+        if let GrammarError::Invalid { span, .. } = &mut self {
+            if span.is_dummy() {
+                *span = s;
+            }
+        }
+        self
+    }
+
+    /// The best-known source location (dummy for whole-grammar conflicts,
+    /// which have no single declaration site).
+    pub fn span(&self) -> Span {
+        match self {
+            GrammarError::Conflicts(_) => Span::DUMMY,
+            GrammarError::Invalid { span, .. } => *span,
+        }
+    }
 }
 
 impl fmt::Display for GrammarError {
@@ -31,7 +78,17 @@ impl fmt::Display for GrammarError {
                 }
                 Ok(())
             }
-            GrammarError::Invalid(msg) => f.write_str(msg),
+            GrammarError::Invalid {
+                message,
+                production,
+                ..
+            } => {
+                f.write_str(message)?;
+                if let Some(p) = production {
+                    write!(f, " (in production {p})")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -369,7 +426,7 @@ impl GrammarBuilder {
             RhsItem::Term(t) => Sym::T(*t),
             RhsItem::Kind(k) => {
                 if !k.is_definable() {
-                    return Err(GrammarError::Invalid(format!(
+                    return Err(GrammarError::invalid(format!(
                         "node kind {} may not appear in productions",
                         k.name()
                     )));
@@ -379,8 +436,8 @@ impl GrammarBuilder {
             RhsItem::Nt(nt) => Sym::N(*nt),
             RhsItem::Subtree(delim, inner_items) => {
                 if inner_items.is_empty() {
-                    return Err(GrammarError::Invalid(
-                        "subtree pattern must contain at least one symbol".into(),
+                    return Err(GrammarError::invalid(
+                        "subtree pattern must contain at least one symbol",
                     ));
                 }
                 let inner_syms = inner_items
@@ -391,7 +448,7 @@ impl GrammarBuilder {
                     match inner_syms[0] {
                         Sym::N(nt) => nt,
                         Sym::T(t) => {
-                            return Err(GrammarError::Invalid(format!(
+                            return Err(GrammarError::invalid(format!(
                                 "subtree contents must include a nonterminal, found only {t}"
                             )))
                         }
@@ -527,7 +584,7 @@ impl GrammarBuilder {
         prec: Option<(u16, Assoc)>,
     ) -> Result<ProdId, GrammarError> {
         if !lhs.is_definable() {
-            return Err(GrammarError::Invalid(format!(
+            return Err(GrammarError::invalid(format!(
                 "productions may not be defined on {}",
                 lhs.name()
             )));
@@ -535,7 +592,10 @@ impl GrammarBuilder {
         let lhs_nt = self.nt_for_kind(lhs);
         let mut rhs_syms = Vec::with_capacity(rhs.len());
         for item in rhs {
-            rhs_syms.push(self.lower_item(item)?);
+            rhs_syms.push(
+                self.lower_item(item)
+                    .map_err(|e| e.in_production(lhs.name()))?,
+            );
         }
         Ok(self.add_raw(Production {
             lhs: lhs_nt,

@@ -9,6 +9,9 @@ use std::fmt;
 pub struct RuntimeError {
     pub message: String,
     pub span: Span,
+    /// Human-readable expansion/call frames active when the error was
+    /// raised, innermost first (e.g. `Mayan unless at demo.maya:3:5`).
+    pub frames: Vec<String>,
 }
 
 impl RuntimeError {
@@ -17,7 +20,14 @@ impl RuntimeError {
         RuntimeError {
             message: message.into(),
             span,
+            frames: Vec::new(),
         }
+    }
+
+    /// Attaches expansion frames (innermost first).
+    pub fn with_frames(mut self, frames: Vec<String>) -> RuntimeError {
+        self.frames = frames;
+        self
     }
 }
 

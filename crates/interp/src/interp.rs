@@ -7,7 +7,7 @@ use maya_ast::{
 };
 use maya_lexer::{sym, Span, Symbol};
 use maya_types::{ClassId, ClassTable, CtorInfo, MethodInfo, ResolveCtx, Type};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
@@ -110,6 +110,16 @@ pub struct Interp {
         RefCell<Option<Rc<dyn Fn(&Interp, &maya_ast::TemplateLit, &mut Frame) -> Eval>>>,
     /// Call-depth guard.
     depth: RefCell<u32>,
+    /// Maximum interpreted call depth before a "stack overflow" error.
+    stack_limit: Cell<u32>,
+    /// Maximum statements executed before a "step limit" error
+    /// (`u64::MAX` = unlimited). Guards against runaway metaprograms.
+    step_limit: Cell<u64>,
+    /// Statements executed since the last [`Interp::reset_steps`].
+    steps: Cell<u64>,
+    /// Hook supplying expansion frames ("Mayan F at file:line:col") to
+    /// attach to runtime errors; installed by the compiler.
+    frame_provider: RefCell<Option<Rc<dyn Fn() -> Vec<String>>>>,
 }
 
 impl Interp {
@@ -129,6 +139,10 @@ impl Interp {
             forcer: RefCell::new(None),
             template_hook: RefCell::new(None),
             depth: RefCell::new(0),
+            stack_limit: Cell::new(128),
+            step_limit: Cell::new(u64::MAX),
+            steps: Cell::new(0),
+            frame_provider: RefCell::new(None),
         };
         crate::runtime::register_natives(&i);
         i
@@ -150,6 +164,28 @@ impl Interp {
         f: Rc<dyn Fn(&Interp, &maya_ast::TemplateLit, &mut Frame) -> Eval>,
     ) {
         *self.template_hook.borrow_mut() = Some(f);
+    }
+
+    /// Sets the maximum interpreted call depth.
+    pub fn set_stack_limit(&self, limit: u32) {
+        self.stack_limit.set(limit.max(1));
+    }
+
+    /// Sets the maximum statements per [`Interp::run_main`] /
+    /// metaprogram invocation (`u64::MAX` = unlimited).
+    pub fn set_step_limit(&self, limit: u64) {
+        self.step_limit.set(limit.max(1));
+    }
+
+    /// Resets the step budget (call before each top-level invocation).
+    pub fn reset_steps(&self) {
+        self.steps.set(0);
+    }
+
+    /// Installs the expansion-frame provider used to annotate runtime
+    /// errors raised inside metaprogram bodies.
+    pub fn set_frame_provider(&self, f: Rc<dyn Fn() -> Vec<String>>) {
+        *self.frame_provider.borrow_mut() = Some(f);
     }
 
     /// Records the lexical resolution context for a class's code.
@@ -295,6 +331,21 @@ impl Interp {
         self.ensure_init(class)?;
         let m = self.select_method(class, name, &args, span)?;
         self.invoke(None, class, &m, args, span)
+            .map_err(|c| self.attach_frames(c))
+    }
+
+    /// Annotates an error with the current expansion frames (innermost
+    /// first) if a provider is installed and none are attached yet.
+    fn attach_frames(&self, c: Control) -> Control {
+        match c {
+            Control::Error(mut e) if e.frames.is_empty() => {
+                if let Some(p) = self.frame_provider.borrow().clone() {
+                    e.frames = p();
+                }
+                Control::Error(e)
+            }
+            other => other,
+        }
     }
 
     fn select_method(
@@ -357,9 +408,14 @@ impl Interp {
             *d += 1;
             // Conservative: each interpreted frame uses many host frames,
             // and debug builds have large frames.
-            if *d > 128 {
+            let limit = self.stack_limit.get();
+            if *d > limit {
                 *d -= 1;
-                return Err(Control::error("stack overflow (call depth > 128)", span));
+                maya_telemetry::count(maya_telemetry::Counter::StepLimitHits);
+                return Err(Control::error(
+                    format!("stack overflow (call depth > {limit})"),
+                    span,
+                ));
             }
         }
         let result = self.invoke_inner(recv, class, m, args, span);
@@ -558,8 +614,28 @@ impl Interp {
         }
     }
 
+    /// Charges one step against the budget (statements are the unit:
+    /// every loop iteration executes at least one).
+    fn count_step(&self, span: Span) -> Result<(), Control> {
+        let n = self.steps.get() + 1;
+        self.steps.set(n);
+        let limit = self.step_limit.get();
+        if n > limit {
+            maya_telemetry::count(maya_telemetry::Counter::StepLimitHits);
+            return Err(Control::error(
+                format!(
+                    "interpreter step limit ({limit}) exceeded; \
+                     the program or a metaprogram may be stuck in an infinite loop"
+                ),
+                span,
+            ));
+        }
+        Ok(())
+    }
+
     /// Executes one statement.
     pub fn exec(&self, s: &Stmt, frame: &mut Frame) -> Result<(), Control> {
+        self.count_step(s.span)?;
         match &s.kind {
             StmtKind::Block(b) => {
                 frame.push();
@@ -738,6 +814,10 @@ impl Interp {
                 r
             }
             StmtKind::Empty => Ok(()),
+            StmtKind::Error => Err(Control::error(
+                "cannot execute code that failed to compile",
+                s.span,
+            )),
             StmtKind::Lazy(l) => {
                 if !l.is_forced() {
                     let class = frame.class.ok_or_else(|| {

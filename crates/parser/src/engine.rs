@@ -212,6 +212,7 @@ pub fn run_parse<D: Driver>(
                     format!("no grammar nonterminal for {}", input[idx].describe()),
                     *span,
                 )
+                .at_input(idx)
             })?;
             if let Some(j) = tables.goto(state!(), nt) {
                 // Case 1 (Figure 6(b)): a goto on X exists — shift X.
@@ -243,7 +244,7 @@ pub fn run_parse<D: Driver>(
                 }
             }
             let Some(prod) = reduction.filter(|_| ok) else {
-                return Err(syntax_error(&tables, state!(), input.get(idx), *span));
+                return Err(syntax_error(&tables, state!(), input.get(idx), *span).at_input(idx));
             };
             do_reduce(
                 grammar, &tables, prod, &mut states, &mut vals, driver, input, &mut idx,
@@ -264,7 +265,9 @@ pub fn run_parse<D: Driver>(
             .or_else(|| vals.last().map(|(_, s)| *s))
             .unwrap_or(Span::DUMMY);
         match act {
-            None => return Err(syntax_error(&tables, state!(), input.get(idx), span_here)),
+            None => {
+                return Err(syntax_error(&tables, state!(), input.get(idx), span_here).at_input(idx))
+            }
             Some(ActionEntry::Shift(j)) => {
                 maya_telemetry::count(maya_telemetry::Counter::ParserShifts);
                 let v = match &input[idx] {
@@ -315,7 +318,19 @@ fn do_reduce<D: Driver>(
         span
     };
 
-    let out = driver.reduce(grammar, prod_id, prod.action, args, span)?;
+    // Semantic-action failures (e.g. a panicking Mayan converted to a
+    // diagnostic) synchronize at the reduction site, like syntax errors.
+    let out = driver
+        .reduce(grammar, prod_id, prod.action, args, span)
+        .map_err(|e| {
+            if e.at.is_none() {
+                // Anchor at the last consumed item: the final token of the
+                // failing production, inside the statement being recovered.
+                e.at_input(idx.saturating_sub(1))
+            } else {
+                e
+            }
+        })?;
     let state = *states.last().expect("state stack never empty");
     let j = tables.goto(state, prod.lhs).ok_or_else(|| {
         ParseError::new(

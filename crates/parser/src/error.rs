@@ -8,6 +8,11 @@ use std::fmt;
 pub struct ParseError {
     pub message: String,
     pub span: Span,
+    /// Index into the engine's input slice where the failure was detected,
+    /// when known. Error recovery uses it to synchronize at the next
+    /// statement/member boundary; `None` means the error did not come from a
+    /// specific input position (table construction, internal errors).
+    pub at: Option<usize>,
 }
 
 impl ParseError {
@@ -16,7 +21,14 @@ impl ParseError {
         ParseError {
             message: message.into(),
             span,
+            at: None,
         }
+    }
+
+    /// Attaches the input index the failure was detected at.
+    pub fn at_input(mut self, idx: usize) -> ParseError {
+        self.at = Some(idx);
+        self
     }
 }
 

@@ -166,11 +166,25 @@ pub enum Counter {
     HygieneRenames,
     /// Interpreter method/constructor invocations.
     InterpCalls,
+    /// Mayan bodies (or template instantiations) that panicked and were
+    /// converted into diagnostics by the sandbox.
+    MayanPanics,
+    /// Expansions aborted by the expansion-depth limit.
+    DepthLimitHits,
+    /// Expansions aborted by the expansion-fuel limit.
+    FuelLimitHits,
+    /// Interpreter runs aborted by the step (or stack) limit.
+    StepLimitHits,
+    /// Import cycles detected and reported (`use A` → `use B` → `use A`).
+    ImportCycles,
+    /// Syntax/semantic errors the parser recovered from (panic-mode
+    /// synchronization at statement/member boundaries).
+    ParseRecoveries,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 24] = [
         Counter::TokensLexed,
         Counter::TokenTreesBuilt,
         Counter::FilesLexed,
@@ -189,6 +203,12 @@ impl Counter {
         Counter::TemplatesInstantiated,
         Counter::HygieneRenames,
         Counter::InterpCalls,
+        Counter::MayanPanics,
+        Counter::DepthLimitHits,
+        Counter::FuelLimitHits,
+        Counter::StepLimitHits,
+        Counter::ImportCycles,
+        Counter::ParseRecoveries,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -212,6 +232,12 @@ impl Counter {
             Counter::TemplatesInstantiated => "templates_instantiated",
             Counter::HygieneRenames => "hygiene_renames",
             Counter::InterpCalls => "interp_calls",
+            Counter::MayanPanics => "mayan_panics",
+            Counter::DepthLimitHits => "depth_limit_hits",
+            Counter::FuelLimitHits => "fuel_limit_hits",
+            Counter::StepLimitHits => "step_limit_hits",
+            Counter::ImportCycles => "import_cycles",
+            Counter::ParseRecoveries => "parse_recoveries",
         }
     }
 
@@ -322,6 +348,27 @@ struct Collector {
 thread_local! {
     static ACTIVE: Cell<bool> = const { Cell::new(false) };
     static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+    /// The stack of active phases, maintained even without a session so
+    /// internal-compiler-error reports can name the phase that was running.
+    static PHASE_STACK: RefCell<Vec<Phase>> = const { RefCell::new(Vec::new()) };
+    /// The most recently *entered* phase, never cleared on exit. Errors are
+    /// usually reported after the failing phase's guard has unwound; this
+    /// still names it.
+    static LAST_PHASE: Cell<Option<Phase>> = const { Cell::new(None) };
+}
+
+/// The most recently entered phase on this thread, sticky across phase
+/// exits. [`current_phase`] is precise while a phase is active; this is the
+/// fallback for error reports that fire after the stack has unwound.
+pub fn last_phase() -> Option<Phase> {
+    LAST_PHASE.with(|p| p.get())
+}
+
+/// The innermost phase currently active on this thread, if any. Unlike the
+/// timing data this is tracked unconditionally (a push/pop per phase entry),
+/// so diagnostics can name the failing phase without a session.
+pub fn current_phase() -> Option<Phase> {
+    PHASE_STACK.with(|s| s.borrow().last().copied())
 }
 
 /// True when a telemetry session is active on this thread. This is the
@@ -394,6 +441,8 @@ pub struct PhaseGuard {
 /// only the outermost contributes wall-clock time.
 #[inline]
 pub fn phase(p: Phase) -> PhaseGuard {
+    PHASE_STACK.with(|s| s.borrow_mut().push(p));
+    LAST_PHASE.with(|l| l.set(Some(p)));
     if !enabled() {
         return PhaseGuard {
             phase: p,
@@ -416,6 +465,13 @@ pub fn phase(p: Phase) -> PhaseGuard {
 
 impl Drop for PhaseGuard {
     fn drop(&mut self) {
+        PHASE_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Pop our own entry; a stray restart cannot underflow this.
+            if let Some(at) = s.iter().rposition(|p| *p == self.phase) {
+                s.remove(at);
+            }
+        });
         if !self.armed {
             return;
         }
@@ -753,6 +809,22 @@ mod tests {
         let s = Session::start(Config::default());
         drop(s);
         assert!(!enabled());
+    }
+
+    #[test]
+    fn current_phase_tracks_without_session() {
+        assert!(!enabled());
+        assert_eq!(current_phase(), None);
+        {
+            let _outer = phase(Phase::Parse);
+            assert_eq!(current_phase(), Some(Phase::Parse));
+            {
+                let _inner = phase(Phase::Dispatch);
+                assert_eq!(current_phase(), Some(Phase::Dispatch));
+            }
+            assert_eq!(current_phase(), Some(Phase::Parse));
+        }
+        assert_eq!(current_phase(), None);
     }
 
     #[test]

@@ -880,6 +880,9 @@ impl<'a> Checker<'a> {
                 r
             }
             StmtKind::Empty => Ok(()),
+            // A poison node from parser recovery: the error was already
+            // reported; checking it would only cascade.
+            StmtKind::Error => Ok(()),
             StmtKind::Lazy(l) => {
                 self.host.force_lazy(l, scope)?;
                 let node = l.forced_node().ok_or_else(|| {

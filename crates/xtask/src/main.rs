@@ -8,6 +8,13 @@
 //! it lands. It also enforces the paper's laziness claim on the
 //! source-extension workload: forced lazy nodes must stay strictly below
 //! created lazy nodes.
+//!
+//! `cargo xtask fuzz-lite [--cases=N] [--seed=S]` drives seeded random
+//! (often corrupt) sources through the full multi-error pipeline and
+//! fails if any input panics out of the driver boundary instead of
+//! producing a diagnostic or a clean run. Resource guards are tightened
+//! so pathological inputs terminate quickly; the whole run is
+//! deterministic for a given seed. Part of the pre-merge verify flow.
 
 use maya::telemetry::{self, json_counter, json_string, Counter};
 use std::fmt::Write as _;
@@ -209,17 +216,192 @@ fn telemetry_gate() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+// ---- fuzz-lite ---------------------------------------------------------------
+
+/// xorshift64: tiny, deterministic, dependency-free.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        XorShift(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+
+    fn pick<T: Copy>(&mut self, pool: &[T]) -> T {
+        pool[self.below(pool.len())]
+    }
+}
+
+/// Statement fragments, valid and broken alike.
+const STMTS: &[&str] = &[
+    "int x = 1;",
+    "int x = ;",
+    "System.out.println(\"s\");",
+    "x = x + 1;",
+    "int y = @;",
+    "if (x > 0) { x = x - 1; }",
+    "while (false) { }",
+    "boolean b = $;",
+    "use Foreach;",
+    "return;",
+    "for (int i = 0; i < 3; i = i + 1) { x = x + i; }",
+    "String s = null",
+    "{ int z = 2; z = z; }",
+    ";",
+    "} {",
+];
+
+/// Member fragments (some nonsense).
+const MEMBERS: &[&str] = &[
+    "static int f() { return 1; }",
+    "int field = 3;",
+    "void g(int a) { a = a + 1; }",
+    "static int broken() { return ; }",
+    "int = ;",
+    "syntax garbage here",
+];
+
+/// Raw tokens spliced in by the mutation pass.
+const SPLICE: &[&str] = &["@", "$", ";", "}", "{", "(", "class", "int", "=", "use", "\\."];
+
+/// One random MayaJava source: a `Main` class with random members and a
+/// `main` made of random statement fragments, then (sometimes) a raw
+/// token-splice corruption pass.
+fn gen_source(rng: &mut XorShift) -> String {
+    let mut src = String::from("class Main {\n");
+    for _ in 0..rng.below(3) {
+        src.push_str("    ");
+        src.push_str(rng.pick(MEMBERS));
+        src.push('\n');
+    }
+    src.push_str("    static void main() {\n        int x = 0;\n");
+    for _ in 0..1 + rng.below(5) {
+        src.push_str("        ");
+        src.push_str(rng.pick(STMTS));
+        src.push('\n');
+    }
+    src.push_str("    }\n}\n");
+    // Corruption pass: splice raw tokens at random char boundaries.
+    if rng.below(2) == 0 {
+        for _ in 0..1 + rng.below(3) {
+            let mut at = rng.below(src.len());
+            while !src.is_char_boundary(at) {
+                at -= 1;
+            }
+            src.insert_str(at, rng.pick(SPLICE));
+        }
+    }
+    // Truncation pass: chop the tail off.
+    if rng.below(4) == 0 {
+        let mut at = src.len() / 2 + rng.below(src.len() / 2);
+        while !src.is_char_boundary(at) {
+            at -= 1;
+        }
+        src.truncate(at);
+    }
+    src
+}
+
+/// Runs one source through the full multi-error driver with tight resource
+/// guards. `Ok(true)` = clean run, `Ok(false)` = diagnosed, `Err` = a panic
+/// escaped the driver boundary (the invariant violation fuzzing hunts for).
+fn fuzz_one(src: &str) -> Result<bool, String> {
+    maya::core::catch_ice(|| {
+        let c = maya::Compiler::with_options(maya::CompileOptions {
+            echo_output: false,
+            uses: vec![],
+            max_expand_depth: 50,
+            expand_fuel: 500_000,
+            interp_step_limit: 500_000,
+            interp_stack_limit: 64,
+        });
+        maya::macrolib::install(&c);
+        let diags = maya::core::Diagnostics::with_limits(10, false);
+        c.add_source_diags("fuzz.maya", src, &diags);
+        c.compile_diags(&diags);
+        if !diags.should_fail() {
+            c.run_main_diags("Main", &diags);
+        }
+        !diags.should_fail()
+    })
+}
+
+fn fuzz_lite(cases: usize, seed: u64) -> ExitCode {
+    let started = std::time::Instant::now();
+    let mut rng = XorShift::new(seed);
+    let (mut clean, mut diagnosed) = (0usize, 0usize);
+    for i in 0..cases {
+        let src = gen_source(&mut rng);
+        match fuzz_one(&src) {
+            Ok(true) => clean += 1,
+            Ok(false) => diagnosed += 1,
+            Err(panic_msg) => {
+                eprintln!(
+                    "xtask fuzz-lite: PANIC escaped the driver on case {i} (seed {seed}): \
+                     {panic_msg}\n--- input ---\n{src}\n-------------"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "xtask fuzz-lite: {cases} cases (seed {seed}) in {:.1}s: {clean} clean, \
+         {diagnosed} diagnosed, 0 panics",
+        started.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
-    let cmd = std::env::args().nth(1);
-    match cmd.as_deref() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
         Some("telemetry") => telemetry_gate(),
+        Some("fuzz-lite") => {
+            let mut cases = 300usize;
+            let mut seed = 0x6d61_7961_2d72_7321u64; // "maya-rs!"
+            for a in &args[1..] {
+                if let Some(n) = a.strip_prefix("--cases=") {
+                    match n.parse() {
+                        Ok(n) => cases = n,
+                        Err(_) => {
+                            eprintln!("xtask fuzz-lite: bad --cases value {n:?}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else if let Some(s) = a.strip_prefix("--seed=") {
+                    match s.parse() {
+                        Ok(s) => seed = s,
+                        Err(_) => {
+                            eprintln!("xtask fuzz-lite: bad --seed value {s:?}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else {
+                    eprintln!("xtask fuzz-lite: unknown option {a}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            fuzz_lite(cases, seed)
+        }
         Some(other) => {
             eprintln!("xtask: unknown command {other}");
-            eprintln!("usage: cargo xtask telemetry");
+            eprintln!("usage: cargo xtask telemetry | fuzz-lite [--cases=N] [--seed=S]");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask telemetry");
+            eprintln!("usage: cargo xtask telemetry | fuzz-lite [--cases=N] [--seed=S]");
             ExitCode::FAILURE
         }
     }

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! mayac [-use NAME]... [--main CLASS] [--expand]
+//!       [--max-errors=N] [--error-format=human|json] [--deny-warnings]
 //!       [--time-passes] [--stats[=FILE]] [--trace-expansion[=FILTER]]
 //!       FILE...
 //! ```
@@ -13,6 +14,17 @@
 //! imports a metaprogram for the whole compilation (the paper's `-use`
 //! command-line option, §3.3); `--expand` prints every compiled method
 //! body after Mayan expansion.
+//!
+//! Robustness flags (see README.md § Robustness):
+//!
+//! * `--max-errors=N` — stop reporting after N errors (default 20);
+//! * `--error-format=json` — emit diagnostics as one JSON document
+//!   (schema `maya-diagnostics/1`) on stderr instead of per-line text;
+//! * `--deny-warnings` — exit nonzero when any warning was reported.
+//!
+//! The driver never aborts on a compiler bug: panics anywhere in the
+//! pipeline (including inside Mayan expansion) become internal-compiler-
+//! error diagnostics and a clean nonzero exit.
 //!
 //! Observability flags (see README.md § Observability):
 //!
@@ -26,10 +38,18 @@
 //! Without these flags a successful run writes nothing to stderr.
 
 use maya::ast::{normalize_generated_names, pretty_node};
+use maya::core::Diagnostics;
 use maya::telemetry;
-use maya::{CompileError, CompileOptions, Compiler};
+use maya::{CompileOptions, Compiler};
 use std::process::ExitCode;
 use std::rc::Rc;
+
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+enum ErrorFormat {
+    #[default]
+    Human,
+    Json,
+}
 
 #[derive(Default)]
 struct Cli {
@@ -37,6 +57,9 @@ struct Cli {
     files: Vec<String>,
     main_class: Option<String>,
     expand: bool,
+    max_errors: Option<usize>,
+    error_format: ErrorFormat,
+    deny_warnings: bool,
     time_passes: bool,
     /// `Some(None)` = stats to stderr; `Some(Some(path))` = stats to file.
     stats: Option<Option<String>>,
@@ -58,6 +81,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                 None => return Err("missing class after --main".into()),
             },
             "--expand" => cli.expand = true,
+            "--deny-warnings" => cli.deny_warnings = true,
             "--time-passes" => cli.time_passes = true,
             "--stats" => cli.stats = Some(None),
             "--trace-expansion" => cli.trace = Some(String::new()),
@@ -70,6 +94,17 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                     cli.stats = Some(Some(path.to_owned()));
                 } else if let Some(filter) = other.strip_prefix("--trace-expansion=") {
                     cli.trace = Some(filter.to_owned());
+                } else if let Some(n) = other.strip_prefix("--max-errors=") {
+                    match n.parse::<usize>() {
+                        Ok(n) if n > 0 => cli.max_errors = Some(n),
+                        _ => return Err(format!("invalid --max-errors value {n:?}")),
+                    }
+                } else if let Some(fmt) = other.strip_prefix("--error-format=") {
+                    cli.error_format = match fmt {
+                        "human" => ErrorFormat::Human,
+                        "json" => ErrorFormat::Json,
+                        _ => return Err(format!("unknown error format {fmt:?}")),
+                    };
                 } else if !other.starts_with('-') {
                     cli.files.push(other.to_owned());
                 } else {
@@ -105,11 +140,21 @@ fn main() -> ExitCode {
     let compiler = Compiler::with_options(CompileOptions {
         echo_output: false,
         uses: cli.uses.clone(),
+        ..CompileOptions::default()
     });
     maya::macrolib::install(&compiler);
     maya::multijava::install(&compiler);
 
-    let result = run(&compiler, &cli);
+    let diags = Diagnostics::with_limits(cli.max_errors.unwrap_or(20), cli.deny_warnings);
+    // Last-resort safety net: any panic that escapes the per-phase
+    // sandboxes still becomes an ICE diagnostic, never an abort.
+    let output = match maya::core::catch_ice(|| run(&compiler, &cli, &diags)) {
+        Ok(out) => out,
+        Err(panic_msg) => {
+            diags.error(format!("internal: {panic_msg}"), maya::lexer::Span::DUMMY);
+            None
+        }
+    };
 
     // Telemetry output is emitted even when compilation fails: a phase
     // table for a failing run is still a phase table.
@@ -130,27 +175,47 @@ fn main() -> ExitCode {
         }
     }
 
-    match result {
-        Ok(out) => {
-            print!("{out}");
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("mayac: {}", render_error(&compiler, &e));
-            ExitCode::FAILURE
+    if !diags.is_empty() || diags.should_fail() {
+        let sm = compiler.inner().sm.borrow();
+        match cli.error_format {
+            ErrorFormat::Human => {
+                for line in diags.render_human(&sm).lines() {
+                    eprintln!("mayac: {line}");
+                }
+            }
+            ErrorFormat::Json => eprint!("{}", diags.render_json(&sm)),
         }
     }
+
+    if diags.should_fail() {
+        return ExitCode::FAILURE;
+    }
+    if let Some(out) = output {
+        print!("{out}");
+    }
+    ExitCode::SUCCESS
 }
 
-fn run(compiler: &Compiler, cli: &Cli) -> Result<String, CompileError> {
+/// The whole pipeline in multi-error mode: read, parse (with recovery),
+/// compile (per-class isolation), run. Returns the program output when
+/// everything succeeded.
+fn run(compiler: &Compiler, cli: &Cli, diags: &Diagnostics) -> Option<String> {
     for f in &cli.files {
-        let text = std::fs::read_to_string(f)
-            .map_err(|e| CompileError::new(format!("cannot read {f}: {e}"), maya::lexer::Span::DUMMY))?;
-        compiler.add_source(f, &text)?;
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                diags.error(format!("cannot read {f}: {e}"), maya::lexer::Span::DUMMY);
+                continue;
+            }
+        };
+        compiler.add_source_diags(f, &text, diags);
+        if diags.at_cap() {
+            return None;
+        }
     }
-    compiler.compile()?;
+    compiler.compile_diags(diags);
 
-    if cli.expand {
+    if cli.expand && !diags.should_fail() {
         let classes = compiler.classes();
         for idx in 0..classes.len() {
             let id = maya::types::ClassId(idx as u32);
@@ -170,17 +235,11 @@ fn run(compiler: &Compiler, cli: &Cli) -> Result<String, CompileError> {
         }
     }
 
-    let main_class = cli.main_class.as_deref().unwrap_or("Main");
-    compiler.run_main(main_class)
-}
-
-/// `file:line:col: message` when the error carries a real span.
-fn render_error(compiler: &Compiler, e: &CompileError) -> String {
-    if e.span.is_dummy() {
-        return e.message.clone();
+    if diags.should_fail() {
+        return None;
     }
-    let loc = compiler.inner().sm.borrow().describe(e.span);
-    format!("{loc}: {}", e.message)
+    let main_class = cli.main_class.as_deref().unwrap_or("Main");
+    compiler.run_main_diags(main_class, diags)
 }
 
 fn usage(err: &str) -> ExitCode {
@@ -189,6 +248,7 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: mayac [-use NAME]... [--main CLASS] [--expand]\n\
+         \x20            [--max-errors=N] [--error-format=human|json] [--deny-warnings]\n\
          \x20            [--time-passes] [--stats[=FILE]] [--trace-expansion[=FILTER]] FILE..."
     );
     if err.is_empty() {

@@ -1,0 +1,124 @@
+//! Multi-error diagnostics: golden CLI behavior for parser recovery,
+//! `--max-errors`, `--error-format=json`, and `--deny-warnings`.
+
+use std::process::Command;
+
+fn mayac() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mayac"))
+}
+
+fn write_temp(name: &str, text: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mayac-diag-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    std::fs::write(&p, text).unwrap();
+    p
+}
+
+/// Three independent syntax errors on lines 3, 4, and 5.
+const THREE_ERRORS: &str = "class Main {\n\
+                            \x20   static void main() {\n\
+                            \x20       int x = ;\n\
+                            \x20       int y = @;\n\
+                            \x20       boolean b = $;\n\
+                            \x20   }\n\
+                            }\n";
+
+#[test]
+fn three_errors_are_all_reported_with_locations() {
+    let f = write_temp("e3.maya", THREE_ERRORS);
+    let out = mayac().arg(&f).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for line in ["e3.maya:3:", "e3.maya:4:", "e3.maya:5:"] {
+        assert!(stderr.contains(line), "missing {line} in:\n{stderr}");
+    }
+    assert!(
+        stderr.contains("aborting due to 3 previous errors"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn max_errors_one_stops_after_the_first() {
+    let f = write_temp("cap.maya", THREE_ERRORS);
+    let out = mayac().arg("--max-errors=1").arg(&f).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cap.maya:3:"), "{stderr}");
+    assert!(!stderr.contains("cap.maya:4:"), "{stderr}");
+    assert!(!stderr.contains("cap.maya:5:"), "{stderr}");
+    assert!(stderr.contains("aborting due to 1 previous error"), "{stderr}");
+}
+
+#[test]
+fn json_format_reports_all_errors_with_locations() {
+    let f = write_temp("j3.maya", THREE_ERRORS);
+    let out = mayac().arg("--error-format=json").arg(&f).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("\"schema\": \"maya-diagnostics/1\""),
+        "{stderr}"
+    );
+    assert!(stderr.contains("\"errors\": 3"), "{stderr}");
+    for line in ["\"line\": 3,", "\"line\": 4,", "\"line\": 5,"] {
+        assert!(stderr.contains(line), "missing {line} in:\n{stderr}");
+    }
+    assert!(stderr.contains("\"severity\": \"error\""), "{stderr}");
+}
+
+#[test]
+fn recovery_spans_multiple_methods() {
+    // Errors in two different members: member-boundary recovery must let
+    // the second method's error surface too.
+    let src = "class Main {\n\
+               \x20   static void f() { int a = ; }\n\
+               \x20   static void g() { int b = @; }\n\
+               \x20   static void main() { }\n\
+               }\n";
+    let f = write_temp("mm.maya", src);
+    let out = mayac().arg(&f).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mm.maya:2:"), "{stderr}");
+    assert!(stderr.contains("mm.maya:3:"), "{stderr}");
+}
+
+#[test]
+fn deny_warnings_accepts_a_clean_program() {
+    let f = write_temp(
+        "dw.maya",
+        r#"class Main { static void main() { System.out.println("dw"); } }"#,
+    );
+    let out = mayac().arg("--deny-warnings").arg(&f).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "dw\n");
+}
+
+#[test]
+fn bad_robustness_flag_values_error_cleanly() {
+    for args in [
+        &["--max-errors=0", "x.maya"][..],
+        &["--max-errors=nope", "x.maya"][..],
+        &["--error-format=yaml", "x.maya"][..],
+    ] {
+        let out = mayac().args(args).output().unwrap();
+        assert!(!out.status.success(), "args {args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage:"), "args {args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn successful_run_stays_clean_under_json_format() {
+    // No diagnostics → no JSON document: stderr stays empty on success.
+    let f = write_temp(
+        "cleanj.maya",
+        r#"class Main { static void main() { System.out.println("cj"); } }"#,
+    );
+    let out = mayac().arg("--error-format=json").arg(&f).output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stderr), "");
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "cj\n");
+}

@@ -1,0 +1,240 @@
+//! Fault injection and sandboxing: every induced failure — a panicking
+//! Mayan, a runaway expansion, an import cycle, or a `MAYA_FAULTS`
+//! injection in any phase — must become a located diagnostic and a clean
+//! nonzero exit, never a process abort or a hang.
+
+use maya::core::{Compiler, Diagnostics};
+use maya::dispatch::{Bindings, DispatchError, ExpandCtx, ImportEnv, Mayan, MetaProgram, Param};
+use maya::grammar::RhsItem;
+use maya_ast::{Node, NodeKind};
+use maya_lexer::TokenKind;
+use std::cell::RefCell;
+use std::process::Command;
+use std::rc::Rc;
+
+fn mayac() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mayac"))
+}
+
+fn write_temp(name: &str, text: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mayac-fault-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    std::fs::write(&p, text).unwrap();
+    p
+}
+
+/// Exercises every phase: lexing, parsing, dispatch (Foreach fires),
+/// template instantiation, type checking, and the interpreter.
+const FOREACH: &str = r#"
+import java.util.*;
+class Main {
+    static void main() {
+        Vector v = new Vector();
+        v.addElement("x");
+        use Foreach;
+        v.elements().foreach(String s) { System.out.println(s); }
+    }
+}
+"#;
+
+// ---- MAYA_FAULTS: one induced fault per phase --------------------------------
+
+#[test]
+fn injected_panics_become_ice_diagnostics_in_every_phase() {
+    let f = write_temp("faults.maya", FOREACH);
+    for site in ["lex", "parse", "dispatch", "template", "type_check", "interp"] {
+        let out = mayac()
+            .env("MAYA_FAULTS", format!("{site}:panic"))
+            .arg(&f)
+            .output()
+            .unwrap();
+        // Exit code 1 — a diagnostic, not a signal/abort.
+        assert_eq!(out.status.code(), Some(1), "site {site}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("internal compiler error"),
+            "site {site}:\n{stderr}"
+        );
+        assert!(
+            stderr.contains("this is a compiler bug, please report it"),
+            "site {site}:\n{stderr}"
+        );
+        assert!(
+            stderr.contains(&format!("injected fault at {site}")),
+            "site {site}:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn injected_error_action_is_also_promoted_to_ice() {
+    let f = write_temp("faulterr.maya", FOREACH);
+    let out = mayac()
+        .env("MAYA_FAULTS", "lex:error")
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("internal compiler error"), "{stderr}");
+    assert!(stderr.contains("injected fault at lex"), "{stderr}");
+}
+
+#[test]
+fn dispatch_loop_fault_trips_the_fuel_guard() {
+    let f = write_temp("fuel.maya", FOREACH);
+    let out = mayac()
+        .env("MAYA_FAULTS", "dispatch:loop")
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("expansion fuel exhausted"), "{stderr}");
+}
+
+#[test]
+fn unset_faults_leave_the_compiler_untouched() {
+    let f = write_temp("nofault.maya", FOREACH);
+    let out = mayac().arg(&f).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "x\n");
+}
+
+// ---- runaway self-expansion ---------------------------------------------------
+
+#[test]
+fn infinitely_self_expanding_mayan_is_a_located_diagnostic() {
+    let ext = write_temp(
+        "runaway_ext.maya",
+        r#"
+abstract Statement syntax(MethodName(Formal) lazy(BraceTree, BlockStmts));
+
+Statement syntax
+Runaway(Expression:java.lang.Object e
+        \. runaway(Formal var)
+        lazy(BraceTree, BlockStmts) body)
+{
+    return new Statement {
+        $e.runaway(String z) { $body }
+    };
+}
+"#,
+    );
+    let app = write_temp(
+        "runaway_app.maya",
+        r#"
+class Main {
+    static void main() {
+        Object o = new Object();
+        use Runaway;
+        o.runaway(String s) { System.out.println(s); }
+    }
+}
+"#,
+    );
+    let out = mayac().arg(&ext).arg(&app).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // A resource guard cuts the recursion and the diagnostic names the
+    // Mayan and points at the expansion site.
+    assert!(
+        stderr.contains("error in expansion of Mayan Runaway"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("runaway_app.maya:"), "{stderr}");
+}
+
+// ---- panicking native Mayan ---------------------------------------------------
+
+/// `boom;` — a statement Mayan whose expansion body panics.
+struct PanickingMayan;
+
+impl MetaProgram for PanickingMayan {
+    fn run(&self, env: &mut dyn ImportEnv) -> Result<(), DispatchError> {
+        let prod = env.add_production(
+            NodeKind::Statement,
+            &[RhsItem::word("boom"), RhsItem::tok(TokenKind::Semi)],
+        )?;
+        let body = move |_b: &Bindings, _cx: &mut dyn ExpandCtx| -> Result<Node, DispatchError> {
+            panic!("extension bug in Boom")
+        };
+        env.import_mayan(Mayan::new(
+            "Boom",
+            prod,
+            vec![
+                Param::plain(NodeKind::TokenNode),
+                Param::plain(NodeKind::TokenNode),
+            ],
+            Rc::new(body),
+        ));
+        Ok(())
+    }
+}
+
+#[test]
+fn panicking_mayan_becomes_a_located_ice_diagnostic() {
+    let c = Compiler::new();
+    c.register_metaprogram("Boom", Rc::new(PanickingMayan));
+    let diags = Diagnostics::new();
+    assert!(c.add_source_diags(
+        "Main.maya",
+        "class Main { static void main() { use Boom; boom; } }",
+        &diags,
+    ));
+    c.compile_diags(&diags);
+    assert!(diags.should_fail());
+    let ds = diags.diagnostics();
+    let ice = ds
+        .iter()
+        .find(|d| d.ice)
+        .unwrap_or_else(|| panic!("no ICE diagnostic in {ds:?}"));
+    assert!(ice.message.contains("Mayan Boom panicked"), "{}", ice.message);
+    assert!(ice.message.contains("extension bug in Boom"), "{}", ice.message);
+    assert!(!ice.span.is_dummy(), "panic diagnostic must carry the site");
+}
+
+// ---- import cycles ------------------------------------------------------------
+
+/// A metaprogram that re-imports itself through the compiler.
+struct Cyclic {
+    holder: Rc<RefCell<Option<Compiler>>>,
+}
+
+impl MetaProgram for Cyclic {
+    fn run(&self, _env: &mut dyn ImportEnv) -> Result<(), DispatchError> {
+        let guard = self.holder.borrow();
+        let c = guard.as_ref().expect("compiler registered before use");
+        c.use_globally("Cycle")
+            .map(|_| ())
+            .map_err(|e| DispatchError::new(e.message, e.span))
+    }
+}
+
+#[test]
+fn import_cycle_is_detected_and_reported() {
+    let holder: Rc<RefCell<Option<Compiler>>> = Rc::new(RefCell::new(None));
+    let c = Compiler::new();
+    c.register_metaprogram(
+        "Cycle",
+        Rc::new(Cyclic {
+            holder: holder.clone(),
+        }),
+    );
+    let diags = Diagnostics::new();
+    c.add_source_diags(
+        "Main.maya",
+        "class Main { static void main() { use Cycle; } }",
+        &diags,
+    );
+    *holder.borrow_mut() = Some(c.clone());
+    let c = holder.borrow().as_ref().unwrap().clone();
+    c.compile_diags(&diags);
+    assert!(diags.should_fail());
+    let ds = diags.diagnostics();
+    assert!(
+        ds.iter().any(|d| d.message.contains("import cycle detected")),
+        "{ds:?}"
+    );
+}
