@@ -11,7 +11,9 @@ use maya_ast::{
 use maya_dispatch::{DestructorFn, DispatchError, ImportEnv, Mayan, MetaProgram};
 use maya_grammar::{Grammar, GrammarBuilder, ProdId, RhsItem};
 use maya_interp::{install_runtime, Interp};
-use maya_lexer::{stream_lex, FileId, SourceMap, Span, Symbol};
+use maya_lexer::{
+    stream_lex, stream_lex_send, FileId, LexError, SendTree, SourceMap, Span, Symbol, TokenTree,
+};
 use maya_template::__private_fresh::FreshNames;
 use maya_types::{
     Checker, ClassId, ClassInfo, ClassTable, CtorInfo, FieldInfo, MethodInfo, ResolveCtx, Scope,
@@ -40,6 +42,10 @@ pub struct CompileOptions {
     pub interp_step_limit: u64,
     /// Interpreter call-stack depth.
     pub interp_stack_limit: u32,
+    /// Worker threads for the front end (lexing + token-tree construction
+    /// of independent files in [`Compiler::add_sources_diags`]). `1`
+    /// disables the thread pool; output is identical either way.
+    pub jobs: usize,
 }
 
 impl Default for CompileOptions {
@@ -51,6 +57,7 @@ impl Default for CompileOptions {
             expand_fuel: 10_000_000,
             interp_step_limit: 20_000_000,
             interp_stack_limit: 128,
+            jobs: 1,
         }
     }
 }
@@ -148,9 +155,16 @@ impl CompilerInner {
         let grammar = match env.builder {
             Some(b) => {
                 let g = b.finish();
-                g.tables()
-                    .map_err(|e| DispatchError::new(e.to_string(), Span::DUMMY))?;
-                g
+                if g.content_hash() == pair.grammar.content_hash() {
+                    // Every added production deduplicated into an existing
+                    // one: keep the old snapshot (and its already-built,
+                    // already-validated tables).
+                    pair.grammar.clone()
+                } else {
+                    g.tables()
+                        .map_err(|e| DispatchError::new(e.to_string(), Span::DUMMY))?;
+                    g
+                }
             }
             None => env.grammar,
         };
@@ -382,6 +396,18 @@ impl Compiler {
         Ok(())
     }
 
+    /// Applies the global `-use` imports once per compilation (the first
+    /// source added triggers it).
+    fn ensure_uses_applied(&self) -> Result<(), CompileError> {
+        if !*self.inner.uses_applied.borrow() {
+            *self.inner.uses_applied.borrow_mut() = true;
+            for u in &self.inner.options.uses.clone() {
+                self.use_globally(u)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Reads one source file: lexes, parses the compilation unit (class
     /// bodies are left raw for the shaper), records imports.
     ///
@@ -389,17 +415,19 @@ impl Compiler {
     ///
     /// Lexical and syntax errors.
     pub fn add_source(&self, name: &str, text: &str) -> Result<(), CompileError> {
-        if !*self.inner.uses_applied.borrow() {
-            *self.inner.uses_applied.borrow_mut() = true;
-            for u in &self.inner.options.uses.clone() {
-                self.use_globally(u)?;
-            }
-        }
+        self.ensure_uses_applied()?;
         let file = self.inner.sm.borrow_mut().add_file(name, text);
         let trees = {
             let sm = self.inner.sm.borrow();
             stream_lex(&sm, file)?
         };
+        self.process_lexed(file, trees)
+    }
+
+    /// The post-lex half of [`Compiler::add_source`]: parse the compilation
+    /// unit and record it. Runs strictly in file order even when lexing was
+    /// parallel, because parsing can extend the global environment.
+    fn process_lexed(&self, file: FileId, trees: Vec<TokenTree>) -> Result<(), CompileError> {
         if let Err(m) = crate::faults::trip("lex") {
             return Err(CompileError::new(m, Span::DUMMY));
         }
@@ -494,6 +522,127 @@ impl Compiler {
                 false
             }
         }
+    }
+
+    /// Adds a batch of sources in multi-error mode, lexing independent
+    /// files on worker threads when [`CompileOptions::jobs`] `> 1`.
+    ///
+    /// Files are registered, parsed, and reported strictly in argument
+    /// order, so the observable output (units, diagnostics, expanded code)
+    /// is byte-identical to calling [`Compiler::add_source_diags`] once per
+    /// file — only lexing and token-tree construction, which are pure per
+    /// file, run concurrently. Returns `true` when every file was added
+    /// cleanly.
+    pub fn add_sources_diags(&self, sources: &[(String, String)], diags: &Diagnostics) -> bool {
+        *self.inner.diags.borrow_mut() = Some(diags.clone());
+        // Global `-use` imports first, exactly as the first `add_source`
+        // call would.
+        match crate::sandbox::catch(|| self.ensure_uses_applied()) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                diags.compile_error(e);
+                *self.inner.diags.borrow_mut() = None;
+                return false;
+            }
+            Err(p) => {
+                diags.error(format!("internal: {p}"), Span::DUMMY);
+                *self.inner.diags.borrow_mut() = None;
+                return false;
+            }
+        }
+        // Register every file up front: FileIds (and thus every span in
+        // every diagnostic) depend only on argument order.
+        let files: Vec<FileId> = sources
+            .iter()
+            .map(|(name, text)| self.inner.sm.borrow_mut().add_file(name, text))
+            .collect();
+        let lexed = self.lex_batch(&files);
+        // Everything after lexing stays sequential in file order: parsing
+        // a unit can extend the global environment (`use` at top level),
+        // and diagnostics must come out in file order.
+        let mut all_ok = true;
+        for (file, result) in files.into_iter().zip(lexed) {
+            if diags.at_cap() {
+                all_ok = false;
+                break;
+            }
+            let r = crate::sandbox::catch(|| -> Result<(), CompileError> {
+                let trees: Vec<TokenTree> =
+                    result?.into_iter().map(SendTree::into_tree).collect();
+                self.process_lexed(file, trees)
+            });
+            match r {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    diags.compile_error(e);
+                    all_ok = false;
+                }
+                Err(p) => {
+                    diags.error(format!("internal: {p}"), Span::DUMMY);
+                    all_ok = false;
+                }
+            }
+        }
+        *self.inner.diags.borrow_mut() = None;
+        all_ok
+    }
+
+    /// Lexes registered files to `Send`-safe token trees, fanning the work
+    /// out to scoped worker threads when more than one job is configured.
+    /// Results are returned in `files` order regardless of completion
+    /// order; worker telemetry is merged into this thread's session.
+    fn lex_batch(&self, files: &[FileId]) -> Vec<Result<Vec<SendTree>, LexError>> {
+        let sm = self.inner.sm.borrow();
+        let jobs = self.inner.options.jobs.max(1).min(files.len());
+        if jobs <= 1 {
+            return files.iter().map(|&f| stream_lex_send(&sm, f)).collect();
+        }
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let sm_ref: &SourceMap = &sm;
+        let telemetry_on = maya_telemetry::enabled();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<Vec<SendTree>, LexError>>>> =
+            files.iter().map(|_| Mutex::new(None)).collect();
+        let mut reports: Vec<maya_telemetry::Report> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    let next = &next;
+                    let slots = &slots;
+                    scope.spawn(move || {
+                        // Workers have their own thread-local telemetry;
+                        // collect into a session and hand the report back
+                        // for merging.
+                        let session = telemetry_on
+                            .then(|| maya_telemetry::Session::start(maya_telemetry::Config::default()));
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&file) = files.get(i) else { break };
+                            let r = stream_lex_send(sm_ref, file);
+                            *slots[i].lock().expect("lex slot poisoned") = Some(r);
+                        }
+                        session.map(maya_telemetry::Session::finish)
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Some(report) = h.join().expect("lexer worker panicked") {
+                    reports.push(report);
+                }
+            }
+        });
+        for r in &reports {
+            maya_telemetry::absorb(r);
+        }
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("lex slot poisoned")
+                    .expect("every file was lexed")
+            })
+            .collect()
     }
 
     /// [`Compiler::compile`] in multi-error mode: classes compile

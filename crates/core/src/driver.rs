@@ -197,14 +197,16 @@ impl Cx {
         match action {
             Action::Builtin(b) => self.apply_builtin(b, args, span),
             Action::Dispatch => {
-                let desc = describe_prod(&self.pair.grammar, prod);
                 let this = self.clone();
                 let mut type_of = move |e: &Expr| this.static_type(e).ok();
+                // The description is rendered lazily: only diagnostics and
+                // expansion traces pay for it, never the hot path.
+                let grammar = self.pair.grammar.clone();
                 let chain = order_applicable(
                     &self.pair.denv,
                     &self.cx.classes,
                     prod,
-                    &desc,
+                    || describe_prod(&grammar, prod),
                     &args,
                     &mut type_of,
                     span,

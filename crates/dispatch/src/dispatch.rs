@@ -1,16 +1,116 @@
 //! Applicability, symmetric specificity, and chain ordering (paper §4.4).
 
 use crate::{Bindings, DispatchEnv, DispatchError, Mayan, Param, Specializer};
-use maya_ast::{Expr, Node};
+use maya_ast::{Expr, Node, NodeKind};
 use maya_grammar::ProdId;
-use maya_lexer::Span;
+use maya_lexer::{Span, Symbol};
 use maya_types::{ClassTable, Type};
+use std::cell::Cell;
 use std::rc::Rc;
 
 /// Resolves static expression types during matching. Returning `None`
 /// makes the specializer fail to match (dispatch continues with other
 /// Mayans) rather than aborting compilation.
 pub type TypeOf<'a> = dyn FnMut(&Expr) -> Option<Type> + 'a;
+
+/// Lazily renders the production description used in dispatch diagnostics
+/// and traces, so the hot paths (index hits, quiet successful dispatches)
+/// never pay for string formatting.
+pub trait ProdDesc {
+    /// Renders the description.
+    fn render(&self) -> String;
+}
+
+impl ProdDesc for &str {
+    fn render(&self) -> String {
+        (*self).to_owned()
+    }
+}
+
+impl<F: Fn() -> String> ProdDesc for F {
+    fn render(&self) -> String {
+        self()
+    }
+}
+
+thread_local! {
+    /// Whether the per-production dispatch index/memo is consulted. On by
+    /// default; the benchmark harness turns it off to measure the seed
+    /// (linear-scan) path.
+    static INDEX_ENABLED: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Enables or disables the dispatch index/memo on this thread.
+pub fn set_dispatch_index_enabled(on: bool) {
+    INDEX_ENABLED.with(|c| c.set(on));
+}
+
+/// True when the dispatch index/memo is enabled on this thread.
+pub fn dispatch_index_enabled() -> bool {
+    INDEX_ENABLED.with(|c| c.get())
+}
+
+/// Total memoized signatures kept per environment snapshot before the memo
+/// is reset (defends against pathological signature churn).
+const MEMO_CAP: usize = 512;
+
+/// The dispatch-relevant shape of one argument: its effective node kind
+/// (a lazy node contributes its goal kind without being forced) plus the
+/// symbol a `TokenValue` specializer would compare against, when the
+/// argument has one of the four token-valued shapes.
+///
+/// For a "simple" production — every candidate parameter specialized only
+/// by `Specializer::None` or `Specializer::TokenValue` — the applicable
+/// set, the chain order, and every named binding are pure functions of the
+/// argument signatures, which is what makes the memo sound.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct ArgSig {
+    kind: NodeKind,
+    sym: Option<Symbol>,
+}
+
+fn arg_sig(arg: &Node) -> ArgSig {
+    let kind = match arg {
+        Node::Lazy(l) => l.goal,
+        other => other.node_kind(),
+    };
+    let sym = match arg {
+        Node::Token(t) => Some(t.text),
+        Node::Ident(i) => Some(i.sym),
+        Node::Expr(Expr {
+            kind: maya_ast::ExprKind::Name(i),
+            ..
+        }) => Some(i.sym),
+        Node::Name(parts) if parts.len() == 1 => Some(parts[0].sym),
+        _ => None,
+    };
+    ArgSig { kind, sym }
+}
+
+/// True when matching this parameter may invoke the type checker (and so
+/// should run after all cheap shape tests).
+fn needs_types(p: &Param) -> bool {
+    match &p.spec {
+        Specializer::StaticType(_) | Specializer::ExactType(_) => true,
+        Specializer::Structure { children, .. } => children.iter().any(needs_types),
+        Specializer::None | Specializer::TokenValue(_) => false,
+    }
+}
+
+/// Whether `prod`'s dispatch outcome is a pure function of argument
+/// signatures (cached per snapshot).
+fn prod_is_simple(env: &DispatchEnv, prod: ProdId) -> bool {
+    if let Some(&known) = env.caches().simple_prod.borrow().get(&prod) {
+        return known;
+    }
+    let simple = env.mayans_for(prod).iter().all(|m| {
+        m.params
+            .iter()
+            .all(|p| matches!(p.spec, Specializer::None | Specializer::TokenValue(_)))
+    });
+    env.caches().simple_prod.borrow_mut().insert(prod, simple);
+    simple
+}
 
 /// Pointwise specificity between two parameters.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -56,6 +156,7 @@ fn match_param(
     type_of: &mut TypeOf<'_>,
     out: &mut Bindings,
     stats: &mut MatchStats,
+    slot: Option<u32>,
 ) -> bool {
     stats.tests += 1;
     // Node-kind check. Terminal parameters skip it (the grammar fixed the
@@ -112,14 +213,47 @@ fn match_param(
             children
                 .iter()
                 .zip(&parts)
-                .all(|(p, a)| match_param(env, ct, p, a, type_of, out, stats))
+                .all(|(p, a)| match_param(env, ct, p, a, type_of, out, stats, None))
         }
     };
     if !spec_ok {
         return false;
     }
     if let Some(name) = param.name {
-        out.bind(name, arg.clone());
+        match slot {
+            // Top-level parameters alias the shared argument vector.
+            Some(i) => out.bind_arg(name, i),
+            // Substructure parts are transient destructor output; they
+            // must be owned by the bindings.
+            None => out.bind(name, arg.clone()),
+        }
+    }
+    true
+}
+
+/// Matches every parameter of `m` against `args`, cheap shape tests first
+/// and type-requiring parameters (which may force lazy contexts and run
+/// the type checker) last, so a cheap mismatch rejects the candidate
+/// before any type test runs. Order does not affect the outcome: all
+/// parameters must match, and a failed candidate's bindings are discarded.
+fn match_all(
+    env: &DispatchEnv,
+    ct: &ClassTable,
+    m: &Mayan,
+    args: &[Node],
+    type_of: &mut TypeOf<'_>,
+    out: &mut Bindings,
+    stats: &mut MatchStats,
+) -> bool {
+    for typed_pass in [false, true] {
+        for (slot, (p, a)) in m.params.iter().zip(args).enumerate() {
+            if needs_types(p) != typed_pass {
+                continue;
+            }
+            if !match_param(env, ct, p, a, type_of, out, stats, Some(slot as u32)) {
+                return false;
+            }
+        }
     }
     true
 }
@@ -199,31 +333,81 @@ pub fn cmp_mayans(ct: &ClassTable, a: &Mayan, b: &Mayan) -> ParamOrder {
 ///
 /// Returns an error when no Mayan applies (the paper signals an error when
 /// input reduces a production with no semantic actions) or on ambiguity.
-pub fn order_applicable(
+pub fn order_applicable<D: ProdDesc>(
     env: &DispatchEnv,
     ct: &ClassTable,
     prod: ProdId,
-    prod_desc: &str,
+    prod_desc: D,
     args: &[Node],
     type_of: &mut TypeOf<'_>,
     span: Span,
 ) -> Result<Vec<(Rc<Mayan>, Bindings)>, DispatchError> {
     let _p = maya_telemetry::phase(maya_telemetry::Phase::Dispatch);
+
+    // Index fast path: for simple productions the applicable set, chain
+    // order, and named bindings are pure functions of the argument
+    // signatures, so a previously computed order can be replayed with zero
+    // applicability tests.
+    let indexed = dispatch_index_enabled();
+    let sig: Option<Vec<ArgSig>> =
+        (indexed && prod_is_simple(env, prod)).then(|| args.iter().map(arg_sig).collect());
+    if let Some(sig) = &sig {
+        let cached = env
+            .caches()
+            .memo
+            .borrow()
+            .get(&prod)
+            .and_then(|by_sig| by_sig.get(sig.as_slice()))
+            .cloned();
+        if let Some(order) = cached {
+            if maya_telemetry::enabled() {
+                maya_telemetry::count(maya_telemetry::Counter::DispatchReductions);
+                maya_telemetry::count(maya_telemetry::Counter::DispatchIndexHits);
+            }
+            let shared: Rc<Vec<Node>> = Rc::new(args.to_vec());
+            let mayans = env.mayans_for(prod);
+            let chain: Vec<(Rc<Mayan>, Bindings)> = order
+                .iter()
+                .map(|&i| {
+                    let m = mayans[i as usize].clone();
+                    let mut b = Bindings::from_shared(shared.clone());
+                    // Simple productions bind only top-level parameters.
+                    for (slot, p) in m.params.iter().enumerate() {
+                        if let Some(name) = p.name {
+                            b.bind_arg(name, slot as u32);
+                        }
+                    }
+                    (m, b)
+                })
+                .collect();
+            maya_telemetry::trace(maya_telemetry::TraceKind::Dispatch, || {
+                (
+                    format!("production {}", prod_desc.render()),
+                    format!(
+                        "reduced by Mayan `{}` via dispatch index ({} in chain)",
+                        chain[0].0.name,
+                        chain.len()
+                    ),
+                )
+            });
+            return Ok(chain);
+        }
+    }
+    if indexed && maya_telemetry::enabled() {
+        maya_telemetry::count(maya_telemetry::Counter::DispatchIndexMisses);
+    }
+
     let mut stats = MatchStats::default();
     let mut candidates: u64 = 0;
+    let shared: Rc<Vec<Node>> = Rc::new(args.to_vec());
     let mut applicable: Vec<(usize, Rc<Mayan>, Bindings)> = Vec::new();
     for (i, m) in env.mayans_for(prod).iter().enumerate() {
         candidates += 1;
         if m.params.len() != args.len() {
             continue;
         }
-        let mut bindings = Bindings::new(args.to_vec());
-        let ok = m
-            .params
-            .iter()
-            .zip(args)
-            .all(|(p, a)| match_param(env, ct, p, a, type_of, &mut bindings, &mut stats));
-        if ok {
+        let mut bindings = Bindings::from_shared(shared.clone());
+        if match_all(env, ct, m, args, type_of, &mut bindings, &mut stats) {
             applicable.push((i, m.clone(), bindings));
         }
     }
@@ -236,7 +420,7 @@ pub fn order_applicable(
     if applicable.is_empty() {
         maya_telemetry::trace(maya_telemetry::TraceKind::Dispatch, || {
             (
-                format!("production {prod_desc}"),
+                format!("production {}", prod_desc.render()),
                 format!(
                     "no applicable Mayan among {candidates} candidate(s) \
                      after {} applicability test(s)",
@@ -245,7 +429,7 @@ pub fn order_applicable(
             )
         });
         return Err(DispatchError::new(
-            format!("no applicable Mayan for production {prod_desc}"),
+            format!("no applicable Mayan for production {}", prod_desc.render()),
             span,
         ));
     }
@@ -284,6 +468,20 @@ pub fn order_applicable(
         }
         ordered.insert(pos, item);
     }
+
+    // Memoize the computed order for simple productions. Only success
+    // reaches here: the no-applicable and ambiguity paths returned above,
+    // so errors are always re-derived (and re-reported) from scratch.
+    if let Some(sig) = sig {
+        let mut memo = env.caches().memo.borrow_mut();
+        let total: usize = memo.values().map(|by_sig| by_sig.len()).sum();
+        if total >= MEMO_CAP {
+            memo.clear();
+        }
+        let order: Vec<u32> = ordered.iter().map(|(i, _, _)| *i as u32).collect();
+        memo.entry(prod).or_default().insert(sig, Rc::new(order));
+    }
+
     maya_telemetry::trace(maya_telemetry::TraceKind::Dispatch, || {
         let runners_up: Vec<&str> = ordered[1..]
             .iter()
@@ -295,7 +493,7 @@ pub fn order_applicable(
             format!("; chain: {}", runners_up.join(", "))
         };
         (
-            format!("production {prod_desc}"),
+            format!("production {}", prod_desc.render()),
             format!(
                 "reduced by Mayan `{}` after {} applicability test(s) over \
                  {candidates} candidate(s){chain}",
@@ -312,11 +510,11 @@ pub fn order_applicable(
 /// # Errors
 ///
 /// Same as [`order_applicable`].
-pub fn dispatch(
+pub fn dispatch<D: ProdDesc>(
     env: &DispatchEnv,
     ct: &ClassTable,
     prod: ProdId,
-    prod_desc: &str,
+    prod_desc: D,
     args: &[Node],
     type_of: &mut TypeOf<'_>,
     span: Span,
@@ -565,6 +763,115 @@ mod tests {
             &env, &ct, ProdId(0), "p", &[wrong], &mut |_| None, Span::DUMMY
         )
         .is_err());
+    }
+
+    #[test]
+    fn dispatch_index_replays_chain_and_bindings() {
+        let (ct, _, _) = types();
+        let first = mayan("First", vec![Param::named(NodeKind::Expression, sym("e"))]);
+        let second = mayan("Second", vec![Param::named(NodeKind::Expression, sym("e"))]);
+        let env = env_with(vec![first, second]);
+        let arg = Node::from(Expr::name("x"));
+        let run = || {
+            order_applicable(
+                &env,
+                &ct,
+                ProdId(0),
+                "p",
+                std::slice::from_ref(&arg),
+                &mut |_| None,
+                Span::DUMMY,
+            )
+            .unwrap()
+        };
+        let cold = run();
+        let warm = run(); // memo hit: replayed without re-matching
+        assert_eq!(cold.len(), 2);
+        assert_eq!(cold.len(), warm.len());
+        for (c, w) in cold.iter().zip(&warm) {
+            assert!(Rc::ptr_eq(&c.0, &w.0), "same Mayans in the same order");
+            assert!(w.1.get("e").is_some(), "named bindings are rebuilt");
+        }
+        assert_eq!(warm[0].0.name.as_str(), "Second");
+    }
+
+    #[test]
+    fn dispatch_index_invalidated_by_new_import() {
+        let (ct, _, _) = types();
+        let env1 = env_with(vec![mayan("First", vec![Param::plain(NodeKind::Expression)])]);
+        let arg = Node::from(Expr::name("x"));
+        let run = |env: &DispatchEnv| {
+            order_applicable(
+                env,
+                &ct,
+                ProdId(0),
+                "p",
+                std::slice::from_ref(&arg),
+                &mut |_| None,
+                Span::DUMMY,
+            )
+            .unwrap()
+        };
+        // Warm env1's memo.
+        run(&env1);
+        assert_eq!(run(&env1)[0].0.name.as_str(), "First");
+        // Extending starts a cold snapshot: the later import must win.
+        let mut b = env1.extend();
+        b.import(mayan("Second", vec![Param::plain(NodeKind::Expression)]));
+        let env2 = b.finish();
+        let chain2 = run(&env2);
+        assert_eq!(chain2.len(), 2);
+        assert_eq!(chain2[0].0.name.as_str(), "Second");
+        // The restored outer scope still answers from its own (valid) memo.
+        let chain1 = run(&env1);
+        assert_eq!(chain1.len(), 1);
+        assert_eq!(chain1[0].0.name.as_str(), "First");
+    }
+
+    #[test]
+    fn dispatch_index_distinguishes_token_values() {
+        let (ct, _, _) = types();
+        let foreach = mayan(
+            "Foreach",
+            vec![Param::plain(NodeKind::Identifier)
+                .with_spec(Specializer::TokenValue(sym("foreach")))],
+        );
+        let env = env_with(vec![foreach]);
+        let yes = Node::Ident(Ident::from_str("foreach"));
+        let no = Node::Ident(Ident::from_str("map"));
+        for _ in 0..2 {
+            // Second round answers from the memo.
+            assert!(order_applicable(
+                &env,
+                &ct,
+                ProdId(0),
+                "p",
+                std::slice::from_ref(&yes),
+                &mut |_| None,
+                Span::DUMMY
+            )
+            .is_ok());
+            // A different token is a different signature — never a stale hit.
+            assert!(order_applicable(
+                &env,
+                &ct,
+                ProdId(0),
+                "p",
+                std::slice::from_ref(&no),
+                &mut |_| None,
+                Span::DUMMY
+            )
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn dispatch_index_switch_round_trips() {
+        assert!(dispatch_index_enabled());
+        set_dispatch_index_enabled(false);
+        assert!(!dispatch_index_enabled());
+        set_dispatch_index_enabled(true);
+        assert!(dispatch_index_enabled());
     }
 
     #[test]

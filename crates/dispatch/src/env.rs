@@ -1,11 +1,29 @@
 //! The dispatch environment: which Mayans are imported, in what order.
 
+use crate::dispatch::ArgSig;
 use crate::{DestructorFn, Mayan};
 use maya_ast::NodeKind;
 use maya_grammar::ProdId;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+
+/// Per-snapshot dispatch acceleration state, derived lazily from the
+/// snapshot's contents. It is deliberately *not* carried into extended
+/// snapshots: every `extend()`…`finish()` starts with cold caches, which is
+/// exactly the invalidation the caches need (a new import can change any
+/// production's candidate set), while restored outer scopes keep their own
+/// still-valid warm state.
+#[derive(Default)]
+pub(crate) struct DispatchCaches {
+    /// production → "every candidate parameter uses only shape specializers
+    /// (`None`/`TokenValue`)", i.e. the dispatch outcome is a pure function
+    /// of the argument signature and may be memoized.
+    pub(crate) simple_prod: RefCell<HashMap<ProdId, bool>>,
+    /// production → argument signature → candidate indices in chain order.
+    pub(crate) memo: RefCell<HashMap<ProdId, HashMap<Vec<ArgSig>, Rc<Vec<u32>>>>>,
+}
 
 #[derive(Default)]
 struct EnvData {
@@ -18,6 +36,7 @@ struct EnvData {
     /// LHS `Expression` but produces `CallExpr` nodes).
     produced_kinds: HashMap<ProdId, NodeKind>,
     version: u64,
+    caches: DispatchCaches,
 }
 
 impl Clone for EnvData {
@@ -27,6 +46,9 @@ impl Clone for EnvData {
             destructors: self.destructors.clone(),
             produced_kinds: self.produced_kinds.clone(),
             version: self.version,
+            // Cached dispatch state is snapshot-local; the clone (a new
+            // snapshot under construction) starts cold.
+            caches: DispatchCaches::default(),
         }
     }
 }
@@ -87,6 +109,11 @@ impl DispatchEnv {
     /// True when both handles are the same snapshot.
     pub fn same_snapshot(&self, other: &DispatchEnv) -> bool {
         Rc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// This snapshot's dispatch acceleration caches.
+    pub(crate) fn caches(&self) -> &DispatchCaches {
+        &self.inner.caches
     }
 }
 

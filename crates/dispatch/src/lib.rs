@@ -29,7 +29,10 @@ mod error;
 mod mayan;
 mod pattern;
 
-pub use dispatch::{cmp_mayans, dispatch, order_applicable, ParamOrder, TypeOf};
+pub use dispatch::{
+    cmp_mayans, dispatch, dispatch_index_enabled, order_applicable, set_dispatch_index_enabled,
+    ParamOrder, ProdDesc, TypeOf,
+};
 pub use env::{DispatchEnv, EnvBuilder};
 pub use error::DispatchError;
 pub use mayan::{Bindings, ExpandCtx, ImportEnv, Mayan, MayanBody, MetaProgram};

@@ -13,15 +13,35 @@ use std::rc::Rc;
 /// The values a matched Mayan receives: the production's right-hand-side
 /// values positionally, plus every named parameter (including names bound
 /// inside substructure, like `enumExp` inside EForEach's `MethodName`).
+///
+/// The positional arguments are behind an `Rc` shared by every candidate's
+/// bindings in a dispatch, and top-level named parameters are recorded as
+/// indices into them — so building and cloning `Bindings` (which happens
+/// per candidate and on every `nextRewrite` chain step) copies pointers,
+/// not nodes.
 #[derive(Clone, Debug, Default)]
 pub struct Bindings {
-    pub args: Vec<Node>,
-    named: HashMap<Symbol, Node>,
+    pub args: Rc<Vec<Node>>,
+    named: HashMap<Symbol, Bound>,
+}
+
+/// How a named parameter resolves to its value.
+#[derive(Clone, Debug)]
+enum Bound {
+    /// A top-level positional argument, referenced by index.
+    Arg(u32),
+    /// A node the bindings own (substructure parts).
+    Owned(Rc<Node>),
 }
 
 impl Bindings {
     /// Creates bindings from positional arguments.
     pub fn new(args: Vec<Node>) -> Bindings {
+        Bindings::from_shared(Rc::new(args))
+    }
+
+    /// Creates bindings over an already-shared argument vector.
+    pub fn from_shared(args: Rc<Vec<Node>>) -> Bindings {
         Bindings {
             args,
             named: HashMap::new(),
@@ -30,12 +50,20 @@ impl Bindings {
 
     /// Records a named binding.
     pub fn bind(&mut self, name: Symbol, value: Node) {
-        self.named.insert(name, value);
+        self.named.insert(name, Bound::Owned(Rc::new(value)));
+    }
+
+    /// Records a named binding that aliases positional argument `index`.
+    pub fn bind_arg(&mut self, name: Symbol, index: u32) {
+        self.named.insert(name, Bound::Arg(index));
     }
 
     /// A named binding.
     pub fn get(&self, name: &str) -> Option<&Node> {
-        self.named.get(&maya_lexer::sym(name))
+        match self.named.get(&maya_lexer::sym(name))? {
+            Bound::Arg(i) => self.args.get(*i as usize),
+            Bound::Owned(n) => Some(n),
+        }
     }
 
     /// A named binding, as an expression.
@@ -177,5 +205,10 @@ mod tests {
         assert!(b.expr("x").is_some());
         assert_eq!(b.args.len(), 1);
         assert_eq!(b.named_len(), 1);
+        // Positional aliases resolve through the shared argument vector.
+        b.bind_arg(sym("a0"), 0);
+        assert!(matches!(b.get("a0"), Some(Node::Unit)));
+        assert!(b.get("a0").is_some());
+        assert_eq!(b.named_len(), 2);
     }
 }

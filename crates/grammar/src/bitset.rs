@@ -68,6 +68,16 @@ impl BitSet {
     pub fn len(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
+
+    /// The backing words (for serialization).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a set from backing words (for deserialization).
+    pub(crate) fn from_words(words: Vec<u64>) -> BitSet {
+        BitSet { words }
+    }
 }
 
 impl FromIterator<u32> for BitSet {

@@ -1,6 +1,5 @@
 //! Grammar snapshots and the builder/lowering layer.
 
-use crate::lalr::build_tables;
 use crate::prod::{Action, Assoc, BuiltinAction, ProdId, Production};
 use crate::symbol::{NtDef, NtId, Sym, Terminal};
 use crate::tables::{Conflict, Tables};
@@ -149,6 +148,8 @@ pub(crate) struct GrammarData {
     pub(crate) term_prec: HashMap<Terminal, (u16, Assoc)>,
     version: u64,
     tables: OnceCell<Result<Rc<Tables>, GrammarError>>,
+    /// Lazily computed content hash (see [`crate::cache`]).
+    hash: OnceCell<u128>,
 }
 
 impl Clone for GrammarData {
@@ -163,6 +164,7 @@ impl Clone for GrammarData {
             term_prec: self.term_prec.clone(),
             version: self.version,
             tables: OnceCell::new(), // tables are per-snapshot
+            hash: OnceCell::new(),   // content may change under the builder
         }
     }
 }
@@ -285,8 +287,23 @@ impl Grammar {
     pub fn tables(&self) -> Result<Rc<Tables>, GrammarError> {
         self.inner
             .tables
-            .get_or_init(|| build_tables(&self.inner).map(Rc::new))
+            .get_or_init(|| crate::cache::tables_for(self))
             .clone()
+    }
+
+    /// A process-independent hash of this snapshot's content (productions,
+    /// actions, precedence) — the table-cache key. Equal hashes mean
+    /// equal grammars for every purpose table construction cares about.
+    pub fn content_hash(&self) -> u128 {
+        *self
+            .inner
+            .hash
+            .get_or_init(|| crate::cache::content_hash(&self.inner))
+    }
+
+    /// The raw snapshot payload (cache-internal).
+    pub(crate) fn data(&self) -> &GrammarData {
+        &self.inner
     }
 
     /// The helper nonterminal for a `lazy(delim, kind)` symbol, if this
@@ -372,7 +389,8 @@ impl GrammarBuilder {
                 helper_cache: HashMap::new(),
                 term_prec: HashMap::new(),
                 version: 0,
-            tables: OnceCell::new(),
+                tables: OnceCell::new(),
+                hash: OnceCell::new(),
             },
         }
     }

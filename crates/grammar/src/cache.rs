@@ -1,0 +1,643 @@
+//! Content-hash keyed caching of LALR(1) tables.
+//!
+//! Maya programs re-derive near-identical grammars constantly: every `use`
+//! of the same extension set composes the same productions onto the same
+//! base and would rebuild the same tables. This module gives table
+//! construction two cache layers in front of it, both keyed by a
+//! **content hash** of the grammar (productions, actions, precedence —
+//! everything [`build_tables`] reads):
+//!
+//! 1. an in-process, thread-local `hash → Rc<Tables>` memo, and
+//! 2. an optional on-disk cache (`mayac --table-cache=DIR`), versioned and
+//!    corruption-tolerant: any malformed, truncated, or stale cache file is
+//!    treated as a miss and rebuilt — a bad cache can cost time, never
+//!    correctness.
+//!
+//! The hash is computed from grammar *content* (strings, token-kind names,
+//! numeric ids), never from interner indices, so it is stable across
+//! processes and suitable as an on-disk key. Two snapshots with equal
+//! hashes have byte-identical production lists, so sharing one `Tables`
+//! between them is sound.
+//!
+//! Grammars that fail table construction (LALR conflicts) are never cached
+//! here; the per-snapshot `OnceCell` still memoizes the error locally.
+
+use crate::build::{Grammar, GrammarData, GrammarError};
+use crate::lalr::{build_tables, intern_terms};
+use crate::prod::{Action, Assoc, BuiltinAction};
+use crate::symbol::{NtId, Sym, Terminal};
+use crate::tables::{ActionEntry, Tables};
+use crate::BitSet;
+use maya_telemetry::Counter;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+// ---- the content hash --------------------------------------------------------
+
+/// Two independently seeded FNV-1a streams, combined into a `u128` key.
+/// FNV is weak alone; two decorrelated 64-bit streams make accidental
+/// collisions between real grammars implausible while staying dependency-
+/// free and byte-order independent.
+struct Hasher {
+    a: u64,
+    b: u64,
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Hasher {
+    fn new() -> Hasher {
+        Hasher {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0x6c62_272e_07bb_0142,
+        }
+    }
+
+    fn byte(&mut self, x: u8) {
+        self.a = (self.a ^ u64::from(x)).wrapping_mul(FNV_PRIME);
+        // The second stream sees each byte bit-rotated, so the streams
+        // diverge on content, not just on seed.
+        self.b = (self.b ^ u64::from(x.rotate_left(3))).wrapping_mul(FNV_PRIME);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &x in bs {
+            self.byte(x);
+        }
+    }
+
+    fn u32(&mut self, x: u32) {
+        self.bytes(&x.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes());
+    }
+
+    fn finish(&self) -> u128 {
+        (u128::from(self.a) << 64) | u128::from(self.b)
+    }
+}
+
+/// Encodes a terminal in a process-independent form: `Word` by its text,
+/// `Tok` by the token-kind name, trees by delimiter name, goal/end markers
+/// by nonterminal number.
+fn hash_terminal(h: &mut Hasher, t: &Terminal) {
+    match t {
+        Terminal::Tok(k) => {
+            h.byte(0);
+            h.str(k.name());
+        }
+        Terminal::Word(s) => {
+            h.byte(1);
+            h.str(s.as_str());
+        }
+        Terminal::Tree(d) => {
+            h.byte(2);
+            h.str(d.tree_name());
+        }
+        Terminal::Goal(nt) => {
+            h.byte(3);
+            h.u32(nt.0);
+        }
+        Terminal::EndOf(nt) => {
+            h.byte(4);
+            h.u32(nt.0);
+        }
+        Terminal::End => h.byte(5),
+    }
+}
+
+/// A stable sort key for precedence-table entries (hash maps iterate in
+/// arbitrary order; the hash must not depend on it).
+fn terminal_sort_key(t: &Terminal) -> (u8, String, u32) {
+    match t {
+        Terminal::Tok(k) => (0, k.name().to_owned(), 0),
+        Terminal::Word(s) => (1, s.as_str().to_owned(), 0),
+        Terminal::Tree(d) => (2, d.tree_name().to_owned(), 0),
+        Terminal::Goal(nt) => (3, String::new(), nt.0),
+        Terminal::EndOf(nt) => (4, String::new(), nt.0),
+        Terminal::End => (5, String::new(), 0),
+    }
+}
+
+fn hash_action(h: &mut Hasher, a: &Action) {
+    match a {
+        Action::Dispatch => h.byte(0),
+        Action::Builtin(b) => {
+            h.byte(1);
+            match b {
+                BuiltinAction::PassThrough(i) => {
+                    h.byte(0);
+                    h.u32(*i as u32);
+                }
+                BuiltinAction::EmptyList => h.byte(1),
+                BuiltinAction::ListSingle => h.byte(2),
+                BuiltinAction::ListAppend { with_sep } => {
+                    h.byte(3);
+                    h.byte(u8::from(*with_sep));
+                }
+                BuiltinAction::ParseSubtree { goal } => {
+                    h.byte(4);
+                    h.u32(goal.0);
+                }
+                BuiltinAction::LazySubtree { goal, kind } => {
+                    h.byte(5);
+                    h.u32(goal.0);
+                    h.str(kind.name());
+                }
+                BuiltinAction::StartAccept => h.byte(6),
+                BuiltinAction::Bundle => h.byte(7),
+            }
+        }
+    }
+}
+
+/// Hashes everything table construction reads from a grammar: the
+/// nonterminal list (names and node kinds), every production (LHS, RHS
+/// symbols, action, precedence), and the terminal precedence table.
+pub(crate) fn content_hash(g: &GrammarData) -> u128 {
+    let mut h = Hasher::new();
+    h.u32(g.nts.len() as u32);
+    for nt in &g.nts {
+        h.str(nt.name.as_str());
+        match nt.kind {
+            Some(k) => h.str(k.name()),
+            None => h.byte(0xff),
+        }
+    }
+    h.u32(g.prods.len() as u32);
+    for p in &g.prods {
+        h.u32(p.lhs.0);
+        h.u32(p.rhs.len() as u32);
+        for s in &p.rhs {
+            match s {
+                Sym::T(t) => {
+                    h.byte(0);
+                    hash_terminal(&mut h, t);
+                }
+                Sym::N(nt) => {
+                    h.byte(1);
+                    h.u32(nt.0);
+                }
+            }
+        }
+        hash_action(&mut h, &p.action);
+        match p.prec {
+            Some((level, assoc)) => {
+                h.byte(1);
+                h.u32(u32::from(level));
+                h.byte(assoc_tag(assoc));
+            }
+            None => h.byte(0),
+        }
+    }
+    let mut prec: Vec<(&Terminal, &(u16, Assoc))> = g.term_prec.iter().collect();
+    prec.sort_by_key(|(t, _)| terminal_sort_key(t));
+    h.u32(prec.len() as u32);
+    for (t, (level, assoc)) in prec {
+        hash_terminal(&mut h, t);
+        h.u32(u32::from(*level));
+        h.byte(assoc_tag(*assoc));
+    }
+    h.finish()
+}
+
+fn assoc_tag(a: Assoc) -> u8 {
+    match a {
+        Assoc::Left => 0,
+        Assoc::Right => 1,
+        Assoc::NonAssoc => 2,
+    }
+}
+
+// ---- cache state -------------------------------------------------------------
+
+/// In-process memo entries kept before the map is cleared wholesale. Real
+/// compilations use a handful of grammar compositions; the cap only guards
+/// against degenerate grammar-fuzzing loops.
+const MEMO_CAP: usize = 256;
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(true) };
+    static MEMO: RefCell<HashMap<u128, Rc<Tables>>> = RefCell::new(HashMap::new());
+    static DISK_DIR: RefCell<Option<PathBuf>> = const { RefCell::new(None) };
+}
+
+/// Turns the table cache (both layers) on or off for this thread. The
+/// cache is on by default; the perf harness turns it off to measure the
+/// seed path.
+pub fn set_table_cache_enabled(on: bool) {
+    ENABLED.with(|e| e.set(on));
+}
+
+/// Whether the table cache is enabled on this thread.
+pub fn table_cache_enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Sets (or clears) the on-disk cache directory for this thread
+/// (`mayac --table-cache=DIR`). The directory is created on first write.
+pub fn set_table_cache_dir(dir: Option<PathBuf>) {
+    DISK_DIR.with(|d| *d.borrow_mut() = dir);
+}
+
+/// Drops every in-process cache entry (test isolation; the on-disk cache
+/// is left alone).
+pub fn clear_table_cache() {
+    MEMO.with(|m| m.borrow_mut().clear());
+}
+
+/// The table lookup behind [`Grammar::tables`]: in-process memo, then
+/// on-disk cache, then a real build (whose result populates both layers).
+pub(crate) fn tables_for(g: &Grammar) -> Result<Rc<Tables>, GrammarError> {
+    if !table_cache_enabled() {
+        return build_tables(g.data()).map(Rc::new);
+    }
+    let hash = g.content_hash();
+    if let Some(t) = MEMO.with(|m| m.borrow().get(&hash).cloned()) {
+        maya_telemetry::count(Counter::TableCacheHits);
+        return Ok(t);
+    }
+    let dir = DISK_DIR.with(|d| d.borrow().clone());
+    if let Some(dir) = &dir {
+        if let Some(t) = load_disk(dir, hash, g.data()) {
+            maya_telemetry::count(Counter::TableCacheHits);
+            remember(hash, &t);
+            return Ok(t);
+        }
+    }
+    maya_telemetry::count(Counter::TableCacheMisses);
+    let t = build_tables(g.data()).map(Rc::new)?;
+    remember(hash, &t);
+    if let Some(dir) = &dir {
+        // Write failures (read-only dir, disk full) silently disable the
+        // disk layer for this entry; the next run rebuilds.
+        let _ = write_disk(dir, hash, &t);
+    }
+    Ok(t)
+}
+
+fn remember(hash: u128, t: &Rc<Tables>) {
+    MEMO.with(|m| {
+        let mut m = m.borrow_mut();
+        if m.len() >= MEMO_CAP {
+            m.clear();
+        }
+        m.insert(hash, t.clone());
+    });
+}
+
+// ---- the on-disk codec -------------------------------------------------------
+//
+// All integers little-endian. Layout:
+//
+//   magic    b"MAYATBLS"
+//   version  u32 (FORMAT_VERSION)
+//   hash     u128 (must match the requesting grammar)
+//   n_states u32
+//   n_terms  u32 (must match `intern_terms` on the requesting grammar)
+//   n_nts    u32 (must match the requesting grammar)
+//   actions  u32 count, then (state u32, term u32, tag u8, payload u32)*
+//   gotos    u32 count, then (state u32, nt u32, to u32)*
+//   first    per nonterminal: u32 word count, then u64 words
+//   nullable per nonterminal: u8
+//   defaults u32 count, then (state u32, prod u32)*
+//   checksum u64 FNV-1a over every preceding byte
+//
+// Terminal ids are *not* accompanied by terminal values: the interning
+// order is deterministic from the grammar (see `intern_terms`), and a
+// matching content hash implies a matching grammar, so the loader
+// recomputes the terminal vector and only stores dense ids.
+
+const MAGIC: &[u8; 8] = b"MAYATBLS";
+const FORMAT_VERSION: u32 = 1;
+
+const TAG_SHIFT: u8 = 0;
+const TAG_REDUCE: u8 = 1;
+const TAG_ACCEPT: u8 = 2;
+
+fn cache_path(dir: &Path, hash: u128) -> PathBuf {
+    dir.join(format!("{hash:032x}.mayatbl"))
+}
+
+fn write_disk(dir: &Path, hash: u128, t: &Tables) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut buf = Vec::with_capacity(64 + t.action.len() * 13);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&hash.to_le_bytes());
+    buf.extend_from_slice(&t.n_states.to_le_bytes());
+    buf.extend_from_slice(&(t.terms.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&(t.first_nt.len() as u32).to_le_bytes());
+
+    // Sorted entry order makes the file a deterministic function of the
+    // tables (hash-map iteration order is not).
+    let mut actions: Vec<(u32, u32, ActionEntry)> = t
+        .action
+        .iter()
+        .map(|((s, term), a)| (*s, *term, *a))
+        .collect();
+    actions.sort_unstable_by_key(|(s, term, _)| (*s, *term));
+    buf.extend_from_slice(&(actions.len() as u32).to_le_bytes());
+    for (state, term, entry) in actions {
+        buf.extend_from_slice(&state.to_le_bytes());
+        buf.extend_from_slice(&term.to_le_bytes());
+        let (tag, payload) = match entry {
+            ActionEntry::Shift(s) => (TAG_SHIFT, s),
+            ActionEntry::Reduce(p) => (TAG_REDUCE, p.0),
+            ActionEntry::Accept => (TAG_ACCEPT, 0),
+        };
+        buf.push(tag);
+        buf.extend_from_slice(&payload.to_le_bytes());
+    }
+
+    let mut gotos: Vec<(u32, u32, u32)> = t
+        .goto_
+        .iter()
+        .map(|((s, nt), to)| (*s, nt.0, *to))
+        .collect();
+    gotos.sort_unstable();
+    buf.extend_from_slice(&(gotos.len() as u32).to_le_bytes());
+    for (state, nt, to) in gotos {
+        buf.extend_from_slice(&state.to_le_bytes());
+        buf.extend_from_slice(&nt.to_le_bytes());
+        buf.extend_from_slice(&to.to_le_bytes());
+    }
+
+    for set in &t.first_nt {
+        let words = set.words();
+        buf.extend_from_slice(&(words.len() as u32).to_le_bytes());
+        for w in words {
+            buf.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+    for &n in &t.nullable_nt {
+        buf.push(u8::from(n));
+    }
+
+    let mut defaults: Vec<(u32, u32)> = t
+        .default_reduce
+        .iter()
+        .map(|(s, p)| (*s, p.0))
+        .collect();
+    defaults.sort_unstable();
+    buf.extend_from_slice(&(defaults.len() as u32).to_le_bytes());
+    for (state, prod) in defaults {
+        buf.extend_from_slice(&state.to_le_bytes());
+        buf.extend_from_slice(&prod.to_le_bytes());
+    }
+
+    buf.extend_from_slice(&fnv64(&buf).to_le_bytes());
+
+    // Write-then-rename so a crash mid-write leaves no torn file under the
+    // final name (readers tolerate torn files anyway).
+    let tmp = dir.join(format!("{hash:032x}.tmp{}", std::process::id()));
+    std::fs::write(&tmp, &buf)?;
+    std::fs::rename(&tmp, cache_path(dir, hash))
+}
+
+/// A bounds-checked little-endian reader; every decode failure is `None`.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let s = self.buf.get(self.at..end)?;
+        self.at = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn u128(&mut self) -> Option<u128> {
+        Some(u128::from_le_bytes(self.take(16)?.try_into().ok()?))
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.buf.len()
+    }
+}
+
+fn load_disk(dir: &Path, hash: u128, g: &GrammarData) -> Option<Rc<Tables>> {
+    let bytes = std::fs::read(cache_path(dir, hash)).ok()?;
+    decode(&bytes, hash, g).map(Rc::new)
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn decode(bytes: &[u8], hash: u128, g: &GrammarData) -> Option<Tables> {
+    // Checksum first: a flipped byte anywhere must read as a miss, not as
+    // bounds-valid-but-wrong tables.
+    let body = bytes.get(..bytes.len().checked_sub(8)?)?;
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().ok()?);
+    if fnv64(body) != stored {
+        return None;
+    }
+    let mut c = Cursor { buf: body, at: 0 };
+    if c.take(MAGIC.len())? != MAGIC || c.u32()? != FORMAT_VERSION || c.u128()? != hash {
+        return None;
+    }
+    let (terms, term_ids) = intern_terms(g);
+    let n_states = c.u32()?;
+    let n_nts = g.nts.len() as u32;
+    if c.u32()? != terms.len() as u32 || c.u32()? != n_nts || n_states == 0 {
+        return None;
+    }
+    let n_prods = g.prods.len() as u32;
+
+    let n_actions = c.u32()? as usize;
+    let mut action = HashMap::with_capacity(n_actions);
+    for _ in 0..n_actions {
+        let state = c.u32()?;
+        let term = c.u32()?;
+        let tag = c.u8()?;
+        let payload = c.u32()?;
+        if state >= n_states || term as usize >= terms.len() {
+            return None;
+        }
+        let entry = match tag {
+            TAG_SHIFT if payload < n_states => ActionEntry::Shift(payload),
+            TAG_REDUCE if payload < n_prods => ActionEntry::Reduce(crate::ProdId(payload)),
+            TAG_ACCEPT => ActionEntry::Accept,
+            _ => return None,
+        };
+        action.insert((state, term), entry);
+    }
+
+    let n_gotos = c.u32()? as usize;
+    let mut goto_ = HashMap::with_capacity(n_gotos);
+    for _ in 0..n_gotos {
+        let state = c.u32()?;
+        let nt = c.u32()?;
+        let to = c.u32()?;
+        if state >= n_states || nt >= n_nts || to >= n_states {
+            return None;
+        }
+        goto_.insert((state, NtId(nt)), to);
+    }
+
+    let mut first_nt = Vec::with_capacity(n_nts as usize);
+    for _ in 0..n_nts {
+        let n_words = c.u32()? as usize;
+        // A FIRST set only holds terminal ids; reject absurd word counts
+        // before allocating.
+        if n_words > terms.len() / 64 + 1 {
+            return None;
+        }
+        let mut words = Vec::with_capacity(n_words);
+        for _ in 0..n_words {
+            words.push(c.u64()?);
+        }
+        first_nt.push(BitSet::from_words(words));
+    }
+    let mut nullable_nt = Vec::with_capacity(n_nts as usize);
+    for _ in 0..n_nts {
+        nullable_nt.push(c.u8()? != 0);
+    }
+
+    let n_defaults = c.u32()? as usize;
+    let mut default_reduce = HashMap::with_capacity(n_defaults);
+    for _ in 0..n_defaults {
+        let state = c.u32()?;
+        let prod = c.u32()?;
+        if state >= n_states || prod >= n_prods {
+            return None;
+        }
+        default_reduce.insert(state, crate::ProdId(prod));
+    }
+    if !c.done() {
+        return None; // trailing garbage: treat as corrupt
+    }
+
+    Some(Tables {
+        n_states,
+        action,
+        goto_,
+        terms,
+        term_ids,
+        first_nt,
+        nullable_nt,
+        default_reduce,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GrammarBuilder, RhsItem};
+    use maya_ast::NodeKind;
+    use maya_lexer::TokenKind;
+
+    fn sample() -> Grammar {
+        let mut b = GrammarBuilder::new();
+        b.add_production(NodeKind::Statement, &[RhsItem::tok(TokenKind::Semi)], None)
+            .unwrap();
+        b.add_production(
+            NodeKind::Statement,
+            &[RhsItem::word("gizmo"), RhsItem::tok(TokenKind::Semi)],
+            None,
+        )
+        .unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn equal_content_equal_hash() {
+        let g1 = sample();
+        let g2 = sample();
+        assert!(!g1.same_snapshot(&g2));
+        assert_eq!(g1.content_hash(), g2.content_hash());
+    }
+
+    #[test]
+    fn different_content_different_hash() {
+        let g1 = sample();
+        let mut ext = g1.extend();
+        ext.add_production(NodeKind::Statement, &[RhsItem::tok(TokenKind::KwBreak)], None)
+            .unwrap();
+        let g2 = ext.finish();
+        assert_ne!(g1.content_hash(), g2.content_hash());
+    }
+
+    #[test]
+    fn memo_shares_tables_across_equal_snapshots() {
+        clear_table_cache();
+        let g1 = sample();
+        let g2 = sample();
+        let t1 = g1.tables().unwrap();
+        let t2 = g2.tables().unwrap();
+        assert!(Rc::ptr_eq(&t1, &t2), "same hash must share one Tables");
+        clear_table_cache();
+    }
+
+    #[test]
+    fn disabled_cache_builds_fresh() {
+        clear_table_cache();
+        set_table_cache_enabled(false);
+        let g1 = sample();
+        let g2 = sample();
+        let t1 = g1.tables().unwrap();
+        let t2 = g2.tables().unwrap();
+        assert!(!Rc::ptr_eq(&t1, &t2));
+        set_table_cache_enabled(true);
+        clear_table_cache();
+    }
+
+    #[test]
+    fn disk_round_trip_and_corruption_tolerance() {
+        let dir = std::env::temp_dir().join(format!("maya-tblcache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let g = sample();
+        let hash = g.content_hash();
+        let built = build_tables(g.data()).map(Rc::new).unwrap();
+        write_disk(&dir, hash, &built).unwrap();
+
+        let loaded = load_disk(&dir, hash, g.data()).expect("cache file loads");
+        assert_eq!(loaded.n_states(), built.n_states());
+        assert_eq!(loaded.action_entries(), built.action_entries());
+        assert_eq!(loaded.terms, built.terms);
+        assert_eq!(loaded.first_nt, built.first_nt);
+
+        // Truncation, bit flips, and garbage must all read as misses.
+        let path = cache_path(&dir, hash);
+        let good = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(load_disk(&dir, hash, g.data()).is_none(), "truncated file");
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xff;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(
+            load_disk(&dir, hash, g.data()).is_none(),
+            "checksum catches the bit flip"
+        );
+        std::fs::write(&path, b"not a cache file").unwrap();
+        assert!(load_disk(&dir, hash, g.data()).is_none(), "garbage file");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

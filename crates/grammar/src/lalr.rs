@@ -16,6 +16,38 @@ use std::collections::{HashMap, HashSet, VecDeque};
 /// `(extended production index, dot position)`.
 type Item = (u32, u16);
 
+/// Interns every terminal of the extended grammar in a deterministic order:
+/// the real productions' terminals in rhs order, then each synthetic start
+/// production's `Goal(nt)` marker, then the per-goal `EndOf(nt)` terminals.
+/// This order is a pure function of [`GrammarData`], which is what lets the
+/// on-disk table cache store bare [`TermId`]s and recompute the terminal
+/// vector on load instead of serializing interner state.
+pub(crate) fn intern_terms(g: &GrammarData) -> (Vec<Terminal>, HashMap<Terminal, TermId>) {
+    let mut terms = Vec::new();
+    let mut term_ids = HashMap::new();
+    let mut intern = |t: Terminal, terms: &mut Vec<Terminal>| {
+        term_ids.entry(t).or_insert_with(|| {
+            terms.push(t);
+            (terms.len() - 1) as TermId
+        });
+    };
+    for p in &g.prods {
+        for s in &p.rhs {
+            if let Sym::T(t) = s {
+                intern(*t, &mut terms);
+            }
+        }
+    }
+    for nt_idx in 1..g.nts.len() {
+        intern(Terminal::Goal(NtId(nt_idx as u32)), &mut terms);
+    }
+    // Per-goal end terminals (see Terminal::EndOf).
+    for nt_idx in 1..g.nts.len() {
+        intern(Terminal::EndOf(NtId(nt_idx as u32)), &mut terms);
+    }
+    (terms, term_ids)
+}
+
 struct Gen<'g> {
     g: &'g GrammarData,
     /// Real productions followed by synthetic start productions
@@ -50,29 +82,7 @@ impl<'g> Gen<'g> {
             ));
         }
 
-        let mut terms = Vec::new();
-        let mut term_ids = HashMap::new();
-        let intern = |t: Terminal, terms: &mut Vec<Terminal>, ids: &mut HashMap<Terminal, TermId>| {
-            *ids.entry(t).or_insert_with(|| {
-                terms.push(t);
-                (terms.len() - 1) as TermId
-            })
-        };
-        for (_, rhs) in &ext {
-            for s in rhs {
-                if let Sym::T(t) = s {
-                    intern(*t, &mut terms, &mut term_ids);
-                }
-            }
-        }
-        // Per-goal end terminals (see Terminal::EndOf).
-        for nt_idx in 1..g.nts.len() {
-            intern(
-                Terminal::EndOf(NtId(nt_idx as u32)),
-                &mut terms,
-                &mut term_ids,
-            );
-        }
+        let (terms, term_ids) = intern_terms(g);
         let hash_id = terms.len() as TermId;
 
         let mut prods_by_lhs: HashMap<NtId, Vec<u32>> = HashMap::new();

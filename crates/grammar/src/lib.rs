@@ -24,6 +24,7 @@
 
 mod bitset;
 mod build;
+mod cache;
 mod lalr;
 mod prod;
 mod symbol;
@@ -31,6 +32,9 @@ mod tables;
 
 pub use bitset::BitSet;
 pub use build::{Grammar, GrammarBuilder, GrammarError, RhsItem};
+pub use cache::{
+    clear_table_cache, set_table_cache_dir, set_table_cache_enabled, table_cache_enabled,
+};
 pub use prod::{Action, Assoc, BuiltinAction, ProdId, Production};
 pub use symbol::{NtDef, NtId, Sym, Terminal};
 pub use tables::{ActionEntry, Conflict, Tables, TermId};

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{OnceLock, RwLock};
 
 /// An interned string.
 ///
@@ -31,10 +31,10 @@ struct Interner {
     strings: Vec<&'static str>,
 }
 
-fn interner() -> &'static Mutex<Interner> {
-    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
     INTERNER.get_or_init(|| {
-        Mutex::new(Interner {
+        RwLock::new(Interner {
             map: HashMap::new(),
             strings: Vec::new(),
         })
@@ -43,8 +43,17 @@ fn interner() -> &'static Mutex<Interner> {
 
 impl Symbol {
     /// Interns `s`, returning its canonical [`Symbol`].
+    ///
+    /// Re-interning an already-known string (by far the common case once a
+    /// compilation is underway) takes only the shared read lock, so lexer
+    /// worker threads do not serialize on the interner.
     pub fn intern(s: &str) -> Symbol {
-        let mut int = interner().lock().expect("interner poisoned");
+        if let Some(&id) = interner().read().expect("interner poisoned").map.get(s) {
+            return Symbol(id);
+        }
+        let mut int = interner().write().expect("interner poisoned");
+        // Re-check under the write lock: another thread may have interned
+        // `s` between our two lock acquisitions.
         if let Some(&id) = int.map.get(s) {
             return Symbol(id);
         }
@@ -57,7 +66,7 @@ impl Symbol {
 
     /// Returns the interned string.
     pub fn as_str(self) -> &'static str {
-        let int = interner().lock().expect("interner poisoned");
+        let int = interner().read().expect("interner poisoned");
         int.strings[self.0 as usize]
     }
 
@@ -109,6 +118,24 @@ mod tests {
     fn empty_and_unicode() {
         assert_eq!(sym("").as_str(), "");
         assert_eq!(sym("λx→x").as_str(), "λx→x");
+    }
+
+    #[test]
+    fn concurrent_interning_agrees_across_threads() {
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    (0..200)
+                        .map(|i| Symbol::intern(&format!("cc-sym-{i}")))
+                        .collect::<Vec<Symbol>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Symbol>> = workers.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results[1..] {
+            assert_eq!(r, &results[0], "every thread resolves the same symbols");
+        }
+        assert_eq!(results[0][7].as_str(), "cc-sym-7");
     }
 
     #[test]

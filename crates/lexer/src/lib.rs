@@ -31,4 +31,7 @@ pub use intern::{sym, Symbol};
 pub use loc::{FileId, LineCol, SourceFile, SourceMap, Span};
 pub use scan::{scan_tokens, LexError};
 pub use token::{keyword_kind, Token, TokenKind};
-pub use tree::{stream_lex, tree_lex_str, Delim, DelimTree, TokenTree};
+pub use tree::{
+    build_send_trees, build_trees, stream_lex, stream_lex_send, tree_lex_str, Delim, DelimTree,
+    SendTree, TokenTree,
+};

@@ -179,17 +179,55 @@ fn delim_of_close(kind: TokenKind) -> Option<Delim> {
     }
 }
 
-/// Builds token trees from a flat token slice.
+/// A `Send`-safe token tree, as produced by parallel front-end workers.
+///
+/// [`TokenTree`] shares subtree contents via `Rc` and cannot cross threads;
+/// workers build `SendTree`s instead, and the main thread converts them with
+/// [`SendTree::into_tree`] (one pass, preserving structure and spans
+/// exactly).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SendTree {
+    Token(Token),
+    Delim {
+        delim: Delim,
+        trees: Vec<SendTree>,
+        open: Span,
+        close: Span,
+    },
+}
+
+impl SendTree {
+    /// Converts into the `Rc`-shared form used by the rest of the pipeline.
+    pub fn into_tree(self) -> TokenTree {
+        match self {
+            SendTree::Token(t) => TokenTree::Token(t),
+            SendTree::Delim {
+                delim,
+                trees,
+                open,
+                close,
+            } => TokenTree::Delim(DelimTree::new(
+                delim,
+                trees.into_iter().map(SendTree::into_tree).collect(),
+                open,
+                close,
+            )),
+        }
+    }
+}
+
+/// Builds `Send`-safe token trees from a flat token slice. This is the one
+/// delimiter-folding algorithm; [`build_trees`] is a conversion over it.
 ///
 /// # Errors
 ///
 /// Reports mismatched, unexpected, or unclosed delimiters.
-pub fn build_trees(tokens: &[Token]) -> Result<Vec<TokenTree>, LexError> {
+pub fn build_send_trees(tokens: &[Token]) -> Result<Vec<SendTree>, LexError> {
     let _p = maya_telemetry::phase(maya_telemetry::Phase::Lex);
     let mut subtrees: u64 = 0;
     // Each stack frame is an open delimiter plus the trees accumulated inside.
-    let mut stack: Vec<(Delim, Span, Vec<TokenTree>)> = Vec::new();
-    let mut top: Vec<TokenTree> = Vec::new();
+    let mut stack: Vec<(Delim, Span, Vec<SendTree>)> = Vec::new();
+    let mut top: Vec<SendTree> = Vec::new();
     for tok in tokens {
         if let Some(d) = delim_of_open(tok.kind) {
             stack.push((d, tok.span, std::mem::take(&mut top)));
@@ -198,9 +236,12 @@ pub fn build_trees(tokens: &[Token]) -> Result<Vec<TokenTree>, LexError> {
                 Some((open_d, open_span, outer)) if open_d == d => {
                     let inner = std::mem::replace(&mut top, outer);
                     subtrees += 1;
-                    top.push(TokenTree::Delim(DelimTree::new(
-                        d, inner, open_span, tok.span,
-                    )));
+                    top.push(SendTree::Delim {
+                        delim: d,
+                        trees: inner,
+                        open: open_span,
+                        close: tok.span,
+                    });
                 }
                 Some((open_d, open_span, _)) => {
                     return Err(LexError::new(
@@ -220,7 +261,7 @@ pub fn build_trees(tokens: &[Token]) -> Result<Vec<TokenTree>, LexError> {
                 }
             }
         } else {
-            top.push(TokenTree::Token(*tok));
+            top.push(SendTree::Token(*tok));
         }
     }
     if let Some((d, span, _)) = stack.pop() {
@@ -233,6 +274,18 @@ pub fn build_trees(tokens: &[Token]) -> Result<Vec<TokenTree>, LexError> {
     Ok(top)
 }
 
+/// Builds token trees from a flat token slice.
+///
+/// # Errors
+///
+/// Reports mismatched, unexpected, or unclosed delimiters.
+pub fn build_trees(tokens: &[Token]) -> Result<Vec<TokenTree>, LexError> {
+    Ok(build_send_trees(tokens)?
+        .into_iter()
+        .map(SendTree::into_tree)
+        .collect())
+}
+
 /// Runs the stream lexer on a registered file: scan, then fold delimiters.
 ///
 /// # Errors
@@ -241,6 +294,16 @@ pub fn build_trees(tokens: &[Token]) -> Result<Vec<TokenTree>, LexError> {
 pub fn stream_lex(sm: &SourceMap, file: crate::FileId) -> Result<Vec<TokenTree>, LexError> {
     let tokens = scan_tokens(sm, file)?;
     build_trees(&tokens)
+}
+
+/// Runs the stream lexer to the `Send`-safe form (for worker threads).
+///
+/// # Errors
+///
+/// Propagates scan errors and delimiter-matching errors.
+pub fn stream_lex_send(sm: &SourceMap, file: crate::FileId) -> Result<Vec<SendTree>, LexError> {
+    let tokens = scan_tokens(sm, file)?;
+    build_send_trees(&tokens)
 }
 
 /// Convenience for tests and tools: stream-lex a string using a throwaway
@@ -301,6 +364,21 @@ mod tests {
         let trees = tree_lex_str("f ( a , b )").unwrap();
         let s: Vec<String> = trees.iter().map(|t| t.to_string()).collect();
         assert_eq!(s.join(" "), "f (a , b)");
+    }
+
+    #[test]
+    fn send_trees_are_send_and_convert_identically() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SendTree>();
+        let mut sm = SourceMap::new();
+        let f = sm.add_file("<s>", "f(a, g(b)) { x[1]; }");
+        let direct = stream_lex(&sm, f).unwrap();
+        let via_send: Vec<TokenTree> = stream_lex_send(&sm, f)
+            .unwrap()
+            .into_iter()
+            .map(SendTree::into_tree)
+            .collect();
+        assert_eq!(direct, via_send);
     }
 
     #[test]

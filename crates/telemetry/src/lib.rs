@@ -180,11 +180,22 @@ pub enum Counter {
     /// Syntax/semantic errors the parser recovered from (panic-mode
     /// synchronization at statement/member boundaries).
     ParseRecoveries,
+    /// LALR table requests answered from the content-hash cache (in-process
+    /// or on-disk) without running table construction.
+    TableCacheHits,
+    /// LALR table requests that missed every cache layer and built tables.
+    TableCacheMisses,
+    /// Dispatched reductions answered from the `(production, argument
+    /// signature) → ordered candidates` memo with zero applicability tests.
+    DispatchIndexHits,
+    /// Dispatched reductions that ran the full applicability scan (and, for
+    /// memoizable productions, populated the memo).
+    DispatchIndexMisses,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 28] = [
         Counter::TokensLexed,
         Counter::TokenTreesBuilt,
         Counter::FilesLexed,
@@ -209,6 +220,10 @@ impl Counter {
         Counter::StepLimitHits,
         Counter::ImportCycles,
         Counter::ParseRecoveries,
+        Counter::TableCacheHits,
+        Counter::TableCacheMisses,
+        Counter::DispatchIndexHits,
+        Counter::DispatchIndexMisses,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -238,6 +253,10 @@ impl Counter {
             Counter::StepLimitHits => "step_limit_hits",
             Counter::ImportCycles => "import_cycles",
             Counter::ParseRecoveries => "parse_recoveries",
+            Counter::TableCacheHits => "table_cache_hits",
+            Counter::TableCacheMisses => "table_cache_misses",
+            Counter::DispatchIndexHits => "dispatch_index_hits",
+            Counter::DispatchIndexMisses => "dispatch_index_misses",
         }
     }
 
@@ -431,6 +450,28 @@ pub fn trace(kind: TraceKind, make: impl FnOnce() -> (String, String)) {
     }
 }
 
+/// Merges a finished worker [`Report`] into the session active on this
+/// thread: counters add up, phase times and call counts add up. The parallel
+/// front end runs one short-lived session per lexer worker and folds each
+/// worker's report back into the driving session here, so `--stats` totals
+/// are identical whatever `--jobs` was. (Phase times from concurrent
+/// workers sum, so `lex` may exceed wall clock under `--jobs>1`.) No-op
+/// without a session.
+pub fn absorb(r: &Report) {
+    if !enabled() {
+        return;
+    }
+    with_collector(|col| {
+        for i in 0..N_COUNTERS {
+            col.counters[i] += r.counters[i];
+        }
+        for i in 0..N_PHASES {
+            col.phase_ns[i] += r.phase_ns[i];
+            col.phase_calls[i] += r.phase_calls[i];
+        }
+    });
+}
+
 /// RAII guard for a phase activation; records elapsed time on drop.
 pub struct PhaseGuard {
     phase: Phase,
@@ -613,6 +654,7 @@ impl Report {
     ///   "total_ns": 123,
     ///   "phases": { "lex": { "ns": 1, "calls": 2 }, ... },
     ///   "counters": { "tokens_lexed": 42, ... },
+    ///   "derived": { "dispatch_tests_per_reduction": 1.5, ... },
     ///   "events": [ { "kind": "dispatch", "target": "...", "detail": "..." } ]
     /// }
     /// ```
@@ -642,7 +684,38 @@ impl Report {
             .map(|c| format!("    \"{}\": {}", c.name(), self.counters[c.idx()]))
             .collect();
         out.push_str(&counters.join(",\n"));
-        out.push_str("\n  }");
+        out.push_str("\n  },\n");
+        out.push_str("  \"derived\": {\n");
+        let ratio = |num: u64, den: u64| {
+            if den == 0 {
+                "0.000".to_owned()
+            } else {
+                format!("{:.3}", num as f64 / den as f64)
+            }
+        };
+        let hits = self.counter(Counter::TableCacheHits);
+        let misses = self.counter(Counter::TableCacheMisses);
+        let _ = writeln!(
+            out,
+            "    \"dispatch_tests_per_reduction\": {},",
+            ratio(
+                self.counter(Counter::DispatchTests),
+                self.counter(Counter::DispatchReductions)
+            )
+        );
+        let _ = writeln!(
+            out,
+            "    \"table_cache_hit_ratio\": {},",
+            ratio(hits, hits + misses)
+        );
+        let ihits = self.counter(Counter::DispatchIndexHits);
+        let imisses = self.counter(Counter::DispatchIndexMisses);
+        let _ = writeln!(
+            out,
+            "    \"dispatch_index_hit_ratio\": {}",
+            ratio(ihits, ihits + imisses)
+        );
+        out.push_str("  }");
         if !self.events.is_empty() {
             out.push_str(",\n  \"events\": [\n");
             let events: Vec<String> = self
@@ -825,6 +898,39 @@ mod tests {
             assert_eq!(current_phase(), Some(Phase::Parse));
         }
         assert_eq!(current_phase(), None);
+    }
+
+    #[test]
+    fn absorb_merges_worker_reports() {
+        // Simulate a worker session finishing, then fold it into a fresh
+        // driving session.
+        let worker = Session::start(Config::default());
+        add(Counter::TokensLexed, 10);
+        {
+            let _p = phase(Phase::Lex);
+        }
+        let worker_report = worker.finish();
+
+        let main = Session::start(Config::default());
+        add(Counter::TokensLexed, 1);
+        absorb(&worker_report);
+        let r = main.finish();
+        assert_eq!(r.counter(Counter::TokensLexed), 11);
+        assert_eq!(r.phase_calls(Phase::Lex), 1);
+    }
+
+    #[test]
+    fn derived_ratios_in_json() {
+        let s = Session::start(Config::default());
+        add(Counter::DispatchTests, 3);
+        add(Counter::DispatchReductions, 2);
+        add(Counter::TableCacheHits, 1);
+        add(Counter::TableCacheMisses, 1);
+        let r = s.finish();
+        let json = r.to_json();
+        assert!(json.contains("\"dispatch_tests_per_reduction\": 1.500"), "{json}");
+        assert!(json.contains("\"table_cache_hit_ratio\": 0.500"), "{json}");
+        assert!(json.contains("\"dispatch_index_hit_ratio\": 0.000"), "{json}");
     }
 
     #[test]

@@ -9,6 +9,13 @@
 //! source-extension workload: forced lazy nodes must stay strictly below
 //! created lazy nodes.
 //!
+//! `cargo xtask perf` times every workload with the fast paths (table
+//! cache, dispatch index) off and on, writes `BENCH_perf.json` at the
+//! repo root, and fails if (a) warm runs do not skip table builds, (b)
+//! indexed dispatch does not beat the seed's 782/470 tests-per-reduction
+//! linear scan, or (c) any fast-path run's wall clock regressed more than
+//! 20% against the committed snapshot. Part of the pre-merge verify flow.
+//!
 //! `cargo xtask fuzz-lite [--cases=N] [--seed=S]` drives seeded random
 //! (often corrupt) sources through the full multi-error pipeline and
 //! fails if any input panics out of the driver boundary instead of
@@ -216,6 +223,247 @@ fn telemetry_gate() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+// ---- perf --------------------------------------------------------------------
+
+/// Counters reported per perf run (the fast-path machinery plus the work
+/// it is supposed to eliminate).
+const PERF_COUNTERS: [Counter; 7] = [
+    Counter::TablesBuilt,
+    Counter::TableCacheHits,
+    Counter::TableCacheMisses,
+    Counter::DispatchReductions,
+    Counter::DispatchTests,
+    Counter::DispatchIndexHits,
+    Counter::DispatchIndexMisses,
+];
+/// Wall-clock reps per configuration; best-of is reported.
+const PERF_REPS: usize = 3;
+/// Allowed relative wall-clock growth of a fast-path run before the gate
+/// fails (self-relative, against the committed BENCH_perf.json).
+const PERF_TOLERANCE: f64 = 0.20;
+/// The seed's dispatch cost: 782 tests over 470 reductions. The indexed
+/// dispatcher must stay strictly below this ratio.
+const SEED_TESTS_PER_REDUCTION: f64 = 782.0 / 470.0;
+
+struct PerfMeasure {
+    /// Best wall-clock over the reps, in milliseconds.
+    ms: f64,
+    /// Counters from the last rep (reps are deterministic per configuration).
+    counters: Vec<(Counter, u64)>,
+}
+
+fn perf_measure(reps: usize, f: &dyn Fn()) -> PerfMeasure {
+    let mut best = f64::INFINITY;
+    let mut counters = Vec::new();
+    for _ in 0..reps {
+        let s = telemetry::Session::start(telemetry::Config::default());
+        let started = std::time::Instant::now();
+        f();
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        let r = s.finish();
+        best = best.min(ms);
+        counters = PERF_COUNTERS.iter().map(|c| (*c, r.counter(*c))).collect();
+    }
+    PerfMeasure { ms: best, counters }
+}
+
+struct PerfRow {
+    name: &'static str,
+    seed: PerfMeasure,
+    fast_cold: PerfMeasure,
+    fast_warm: PerfMeasure,
+}
+
+impl PerfRow {
+    fn speedup(&self) -> f64 {
+        self.seed.ms / self.fast_warm.ms.max(1e-9)
+    }
+}
+
+/// Measures one workload three ways: with the fast paths off (the seed's
+/// behaviour), with them on but every cache cold, and with them on after
+/// the caches warmed up.
+fn perf_workload(name: &'static str, f: &dyn Fn()) -> PerfRow {
+    maya::grammar::set_table_cache_enabled(false);
+    maya::dispatch::set_dispatch_index_enabled(false);
+    maya::grammar::clear_table_cache();
+    let seed = perf_measure(PERF_REPS, f);
+
+    maya::grammar::set_table_cache_enabled(true);
+    maya::dispatch::set_dispatch_index_enabled(true);
+    maya::grammar::clear_table_cache();
+    let fast_cold = perf_measure(1, f);
+    let fast_warm = perf_measure(PERF_REPS, f);
+    PerfRow { name, seed, fast_cold, fast_warm }
+}
+
+/// The extension-heavy workload: many small compilations that all import
+/// the same source extension, so the same extended grammar is demanded
+/// over and over — the case the table cache exists for.
+fn extension_heavy_workload(root: &Path) {
+    let ext = std::fs::read_to_string(root.join("examples/maya/eforeach_ext.maya"))
+        .expect("examples/maya/eforeach_ext.maya");
+    let app = std::fs::read_to_string(root.join("examples/maya/eforeach_app.maya"))
+        .expect("examples/maya/eforeach_app.maya");
+    for _ in 0..8 {
+        let c = maya::Compiler::new();
+        c.add_source("eforeach_ext.maya", &ext).expect("extension compiles");
+        c.add_source("eforeach_app.maya", &app).expect("application parses");
+        c.compile().expect("application compiles");
+        c.run_main("Main").expect("application runs");
+    }
+}
+
+fn perf_counter(m: &PerfMeasure, c: Counter) -> u64 {
+    m.counters.iter().find(|(k, _)| *k == c).map_or(0, |(_, v)| *v)
+}
+
+fn render_perf(rows: &[PerfRow]) -> String {
+    let counter_block = |m: &PerfMeasure, indent: &str| {
+        let lines: Vec<String> = m
+            .counters
+            .iter()
+            .map(|(c, v)| format!("{indent}  \"{}\": {v}", c.name()))
+            .collect();
+        format!("{{\n{}\n{indent}}}", lines.join(",\n"))
+    };
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"maya-perf-bench/1\",");
+    out.push_str("  \"workloads\": {\n");
+    let blocks: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            let tests = perf_counter(&row.fast_warm, Counter::DispatchTests);
+            let reds = perf_counter(&row.fast_warm, Counter::DispatchReductions);
+            format!(
+                "    {}: {{\n      \"seed_ms\": {:.2},\n      \"fast_cold_ms\": {:.2},\n      \
+                 \"fast_warm_ms\": {:.2},\n      \"speedup\": {:.2},\n      \
+                 \"fast_warm_tests_per_reduction\": {:.3},\n      \
+                 \"seed_counters\": {},\n      \"fast_warm_counters\": {}\n    }}",
+                json_string(row.name),
+                row.seed.ms,
+                row.fast_cold.ms,
+                row.fast_warm.ms,
+                row.speedup(),
+                if reds == 0 { 0.0 } else { tests as f64 / reds as f64 },
+                counter_block(&row.seed, "      "),
+                counter_block(&row.fast_warm, "      "),
+            )
+        })
+        .collect();
+    out.push_str(&blocks.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Pulls `"field": <number>` out of `doc`, scoped to the named workload
+/// object (first occurrence after the workload key).
+fn perf_baseline_ms(doc: &str, workload: &str, field: &str) -> Option<f64> {
+    let at = doc.find(&format!("{}:", json_string(workload)))?;
+    let rest = &doc[at..];
+    let key = format!("\"{field}\":");
+    let at = rest.find(&key)?;
+    let rest = rest[at + key.len()..].trim_start();
+    let end = rest.find(|c: char| c != '.' && !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn perf_gate() -> ExitCode {
+    let root = repo_root();
+    let workloads: Vec<(&'static str, Box<dyn Fn()>)> = {
+        let r1 = root.clone();
+        let r2 = root.clone();
+        vec![
+            ("source_extension", Box::new(move || source_extension_workload(&r1))),
+            ("macrolib_foreach", Box::new(macrolib_foreach_workload)),
+            ("multijava", Box::new(multijava_workload)),
+            ("extension_heavy", Box::new(move || extension_heavy_workload(&r2))),
+        ]
+    };
+    let rows: Vec<PerfRow> =
+        workloads.iter().map(|(name, f)| perf_workload(name, f.as_ref())).collect();
+    // Leave the thread the way we found it: fast paths on.
+    maya::grammar::set_table_cache_enabled(true);
+    maya::dispatch::set_dispatch_index_enabled(true);
+    maya::grammar::clear_table_cache();
+
+    let mut failed = false;
+    for row in &rows {
+        println!(
+            "xtask perf: {:<18} seed {:>8.2}ms  fast cold {:>8.2}ms  warm {:>8.2}ms  ({:.2}x)",
+            row.name,
+            row.seed.ms,
+            row.fast_cold.ms,
+            row.fast_warm.ms,
+            row.speedup()
+        );
+    }
+
+    // Gate 1 (deterministic): warm runs must actually skip table builds.
+    let seed_built: u64 = rows.iter().map(|r| perf_counter(&r.seed, Counter::TablesBuilt)).sum();
+    let warm_built: u64 =
+        rows.iter().map(|r| perf_counter(&r.fast_warm, Counter::TablesBuilt)).sum();
+    if warm_built >= seed_built {
+        eprintln!(
+            "xtask perf: table cache ineffective: {warm_built} tables built warm vs \
+             {seed_built} without the cache"
+        );
+        failed = true;
+    }
+
+    // Gate 2 (deterministic): indexed dispatch must test fewer candidates
+    // per reduction than the seed's linear scan (782 tests / 470 reductions).
+    let tests: u64 = rows.iter().map(|r| perf_counter(&r.fast_warm, Counter::DispatchTests)).sum();
+    let reds: u64 =
+        rows.iter().map(|r| perf_counter(&r.fast_warm, Counter::DispatchReductions)).sum();
+    let ratio = if reds == 0 { 0.0 } else { tests as f64 / reds as f64 };
+    println!(
+        "xtask perf: dispatch {tests} tests / {reds} reductions = {ratio:.3} per reduction \
+         (seed baseline {SEED_TESTS_PER_REDUCTION:.3})"
+    );
+    if reds == 0 || ratio >= SEED_TESTS_PER_REDUCTION {
+        eprintln!("xtask perf: dispatch index ineffective (ratio must be strictly below the seed)");
+        failed = true;
+    }
+
+    // Gate 3 (wall clock, self-relative): no fast-path run may regress more
+    // than PERF_TOLERANCE against the committed snapshot.
+    let doc = render_perf(&rows);
+    let baseline_path = root.join("BENCH_perf.json");
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(baseline) => {
+            for row in &rows {
+                let Some(old) = perf_baseline_ms(&baseline, row.name, "fast_warm_ms") else {
+                    println!("xtask perf: {} has no baseline yet (new workload)", row.name);
+                    continue;
+                };
+                let limit = old * (1.0 + PERF_TOLERANCE);
+                if row.fast_warm.ms > limit {
+                    eprintln!(
+                        "xtask perf: {} REGRESSED: warm {:.2}ms vs baseline {old:.2}ms \
+                         (limit {limit:.2}ms)",
+                        row.name, row.fast_warm.ms
+                    );
+                    failed = true;
+                }
+            }
+        }
+        Err(_) => println!("xtask perf: no committed baseline; writing the first snapshot"),
+    }
+
+    if failed {
+        eprintln!("xtask perf: FAILED; baseline left untouched");
+        return ExitCode::FAILURE;
+    }
+    std::fs::write(&baseline_path, &doc).expect("write BENCH_perf.json");
+    let best = rows.iter().map(PerfRow::speedup).fold(0.0f64, f64::max);
+    println!(
+        "xtask perf: snapshot written to {} (best speedup {best:.2}x)",
+        baseline_path.display()
+    );
+    ExitCode::SUCCESS
+}
+
 // ---- fuzz-lite ---------------------------------------------------------------
 
 /// xorshift64: tiny, deterministic, dependency-free.
@@ -326,6 +574,7 @@ fn fuzz_one(src: &str) -> Result<bool, String> {
             expand_fuel: 500_000,
             interp_step_limit: 500_000,
             interp_stack_limit: 64,
+            jobs: 1,
         });
         maya::macrolib::install(&c);
         let diags = maya::core::Diagnostics::with_limits(10, false);
@@ -368,6 +617,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("telemetry") => telemetry_gate(),
+        Some("perf") => perf_gate(),
         Some("fuzz-lite") => {
             let mut cases = 300usize;
             let mut seed = 0x6d61_7961_2d72_7321u64; // "maya-rs!"
@@ -397,11 +647,11 @@ fn main() -> ExitCode {
         }
         Some(other) => {
             eprintln!("xtask: unknown command {other}");
-            eprintln!("usage: cargo xtask telemetry | fuzz-lite [--cases=N] [--seed=S]");
+            eprintln!("usage: cargo xtask telemetry | perf | fuzz-lite [--cases=N] [--seed=S]");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask telemetry | fuzz-lite [--cases=N] [--seed=S]");
+            eprintln!("usage: cargo xtask telemetry | perf | fuzz-lite [--cases=N] [--seed=S]");
             ExitCode::FAILURE
         }
     }

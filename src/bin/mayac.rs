@@ -6,6 +6,7 @@
 //! mayac [-use NAME]... [--main CLASS] [--expand]
 //!       [--max-errors=N] [--error-format=human|json] [--deny-warnings]
 //!       [--time-passes] [--stats[=FILE]] [--trace-expansion[=FILTER]]
+//!       [--jobs=N] [--table-cache=DIR]
 //!       FILE...
 //! ```
 //!
@@ -36,6 +37,15 @@
 //!   events whose kind, target, or detail contains FILTER.
 //!
 //! Without these flags a successful run writes nothing to stderr.
+//!
+//! Performance flags (see README.md § Performance):
+//!
+//! * `--jobs=N` — lex independent source files on N worker threads
+//!   (default: available parallelism). Output, diagnostics, and their
+//!   order are identical for every N.
+//! * `--table-cache=DIR` — persist built LALR tables under DIR, keyed by
+//!   a grammar content hash, so later runs skip table construction. A
+//!   corrupt or stale cache file is ignored and rebuilt silently.
 
 use maya::ast::{normalize_generated_names, pretty_node};
 use maya::core::Diagnostics;
@@ -65,6 +75,10 @@ struct Cli {
     stats: Option<Option<String>>,
     /// `Some(filter)`; an empty filter passes everything.
     trace: Option<String>,
+    /// Front-end worker threads; `None` = available parallelism.
+    jobs: Option<usize>,
+    /// On-disk LALR table cache directory.
+    table_cache: Option<String>,
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
@@ -99,6 +113,16 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                         Ok(n) if n > 0 => cli.max_errors = Some(n),
                         _ => return Err(format!("invalid --max-errors value {n:?}")),
                     }
+                } else if let Some(n) = other.strip_prefix("--jobs=") {
+                    match n.parse::<usize>() {
+                        Ok(n) if n > 0 => cli.jobs = Some(n),
+                        _ => return Err(format!("invalid --jobs value {n:?}")),
+                    }
+                } else if let Some(dir) = other.strip_prefix("--table-cache=") {
+                    if dir.is_empty() {
+                        return Err("missing directory after --table-cache=".into());
+                    }
+                    cli.table_cache = Some(dir.to_owned());
                 } else if let Some(fmt) = other.strip_prefix("--error-format=") {
                     cli.error_format = match fmt {
                         "human" => ErrorFormat::Human,
@@ -137,9 +161,18 @@ fn main() -> ExitCode {
         })
     });
 
+    if let Some(dir) = &cli.table_cache {
+        maya::grammar::set_table_cache_dir(Some(std::path::PathBuf::from(dir)));
+    }
+    let jobs = cli.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
     let compiler = Compiler::with_options(CompileOptions {
         echo_output: false,
         uses: cli.uses.clone(),
+        jobs,
         ..CompileOptions::default()
     });
     maya::macrolib::install(&compiler);
@@ -200,18 +233,20 @@ fn main() -> ExitCode {
 /// compile (per-class isolation), run. Returns the program output when
 /// everything succeeded.
 fn run(compiler: &Compiler, cli: &Cli, diags: &Diagnostics) -> Option<String> {
+    // Read everything up front (read errors come out first, in file
+    // order), then hand the batch to the compiler so independent files can
+    // be lexed on worker threads. Units, diagnostics, and output stay in
+    // file order regardless of --jobs.
+    let mut sources: Vec<(String, String)> = Vec::new();
     for f in &cli.files {
-        let text = match std::fs::read_to_string(f) {
-            Ok(t) => t,
-            Err(e) => {
-                diags.error(format!("cannot read {f}: {e}"), maya::lexer::Span::DUMMY);
-                continue;
-            }
-        };
-        compiler.add_source_diags(f, &text, diags);
-        if diags.at_cap() {
-            return None;
+        match std::fs::read_to_string(f) {
+            Ok(t) => sources.push((f.clone(), t)),
+            Err(e) => diags.error(format!("cannot read {f}: {e}"), maya::lexer::Span::DUMMY),
         }
+    }
+    compiler.add_sources_diags(&sources, diags);
+    if diags.at_cap() {
+        return None;
     }
     compiler.compile_diags(diags);
 
@@ -249,7 +284,8 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: mayac [-use NAME]... [--main CLASS] [--expand]\n\
          \x20            [--max-errors=N] [--error-format=human|json] [--deny-warnings]\n\
-         \x20            [--time-passes] [--stats[=FILE]] [--trace-expansion[=FILTER]] FILE..."
+         \x20            [--time-passes] [--stats[=FILE]] [--trace-expansion[=FILTER]]\n\
+         \x20            [--jobs=N] [--table-cache=DIR] FILE..."
     );
     if err.is_empty() {
         ExitCode::SUCCESS
