@@ -46,6 +46,10 @@ pub struct CompileOptions {
     /// of independent files in [`Compiler::add_sources_diags`]). `1`
     /// disables the thread pool; output is identical either way.
     pub jobs: usize,
+    /// A cross-compilation memo of pure lazy-body parses (see
+    /// [`ForceCache`]); an incremental [`crate::Session`] threads one
+    /// cache through every compiler it creates.
+    pub force_cache: Option<Rc<ForceCache>>,
 }
 
 impl Default for CompileOptions {
@@ -58,8 +62,122 @@ impl Default for CompileOptions {
             interp_step_limit: 20_000_000,
             interp_stack_limit: 128,
             jobs: 1,
+            force_cache: None,
         }
     }
+}
+
+/// A memo of **pure** lazy-body parses, keyed by goal kind and the token
+/// trees' content hash (spans included).
+///
+/// Forcing a lazy node re-parses its deferred token trees under the
+/// environment captured at creation time. When that environment is the
+/// compiler's pristine base environment (no syntax extensions in scope),
+/// and the parse neither imports a metaprogram, creates a nested lazy
+/// node, nor emits a diagnostic, the result is a pure function of the
+/// tokens — every semantic action that ran was a built-in constructor.
+/// Such results are safe to replay in a *different* compiler given the
+/// same tokens, which is exactly what an incremental [`crate::Session`]
+/// does: unchanged files keep their spans, so their method bodies hit this
+/// cache and skip the parse/dispatch machinery entirely on warm
+/// recompiles. Impure parses (anything under a `use`, anything that
+/// expands a Mayan) are recomputed every time, preserving byte-identical
+/// diagnostics and expansion behaviour.
+pub struct ForceCache {
+    map: RefCell<HashMap<(NodeKind, u128), Node>>,
+    /// Whole-file compilation-unit parses, keyed by the file's token-tree
+    /// hash. Templates are stored with unforced lazy cells; every lookup
+    /// rebuilds the lazies with fresh cells and a payload pointing at the
+    /// borrowing compiler's own pristine environment (see
+    /// `driver::refresh_unit`), so no state is shared across compilers.
+    units: RefCell<HashMap<u128, Node>>,
+    /// Class-body member-list parses, keyed by the body's delimiter-tree
+    /// hash. Stored and refreshed exactly like `units` (the member
+    /// signatures and their nested formal-list sub-parses dominate warm
+    /// recompiles once units and lazy bodies are cached).
+    bodies: RefCell<HashMap<u128, Node>>,
+}
+
+impl ForceCache {
+    /// An empty cache.
+    pub fn new() -> ForceCache {
+        ForceCache {
+            map: RefCell::new(HashMap::new()),
+            units: RefCell::new(HashMap::new()),
+            bodies: RefCell::new(HashMap::new()),
+        }
+    }
+
+    pub(crate) fn get(&self, key: &(NodeKind, u128)) -> Option<Node> {
+        self.map.borrow().get(key).cloned()
+    }
+
+    pub(crate) fn insert(&self, key: (NodeKind, u128), node: Node) {
+        self.map.borrow_mut().insert(key, node);
+    }
+
+    pub(crate) fn get_unit(&self, key: u128) -> Option<Node> {
+        self.units.borrow().get(&key).cloned()
+    }
+
+    pub(crate) fn insert_unit(&self, key: u128, node: Node) {
+        self.units.borrow_mut().insert(key, node);
+    }
+
+    pub(crate) fn get_body(&self, key: u128) -> Option<Node> {
+        self.bodies.borrow().get(&key).cloned()
+    }
+
+    pub(crate) fn insert_body(&self, key: u128, node: Node) {
+        self.bodies.borrow_mut().insert(key, node);
+    }
+
+    /// Number of memoized parses (lazy bodies, class bodies, whole units).
+    pub fn len(&self) -> usize {
+        self.map.borrow().len() + self.units.borrow().len() + self.bodies.borrow().len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for ForceCache {
+    fn default() -> ForceCache {
+        ForceCache::new()
+    }
+}
+
+impl std::fmt::Debug for ForceCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ForceCache({} entries)", self.len())
+    }
+}
+
+/// One recorded syntax-import event (`use Name;` with a real source span):
+/// which file imported which metaprogram, where that metaprogram was
+/// declared, and the grammar/dispatch identity that resulted.
+///
+/// The incremental session replays this log after every compilation to
+/// rebuild its file-dependency graph: an edge `importer → origin` means
+/// editing `origin` must recompile `importer`, while the grammar content
+/// hash and dispatch-env version identify the environment snapshot the
+/// import produced (invalidation keys on grammar identity, not file
+/// identity).
+#[derive(Clone, Debug)]
+pub struct DepEdge {
+    /// File containing the `use` directive.
+    pub importer: FileId,
+    /// Dotted metaprogram name as written in the directive.
+    pub name: String,
+    /// File whose source `syntax` declaration registered the metaprogram;
+    /// `None` for native (built-in) metaprograms, which have no source file.
+    pub origin: Option<FileId>,
+    /// Content hash of the grammar snapshot the import produced.
+    pub grammar_hash: u128,
+    /// Version of the dispatch environment the import produced.
+    pub denv_version: u64,
 }
 
 /// Per-class compile metadata.
@@ -86,7 +204,10 @@ pub struct CompilerInner {
     pub base: Base,
     pub global: RefCell<EnvPair>,
     fresh: RefCell<FreshNames>,
-    registry: RefCell<HashMap<String, Rc<dyn MetaProgram>>>,
+    registry: RefCell<HashMap<String, (Rc<dyn MetaProgram>, Option<FileId>)>>,
+    /// Syntax-import events observed during this compilation, in import
+    /// order (see [`DepEdge`]).
+    pub(crate) dep_log: RefCell<Vec<DepEdge>>,
     pub(crate) class_meta: RefCell<HashMap<ClassId, ClassMeta>>,
     /// Environment snapshots captured when class declarations were parsed,
     /// keyed by the body tree's span start (a `use` earlier in the file may
@@ -102,6 +223,14 @@ pub struct CompilerInner {
     /// The active multi-error sink, when compiling through the
     /// diagnostics API; `None` keeps the legacy fail-fast behavior.
     pub(crate) diags: RefCell<Option<Diagnostics>>,
+    /// Grammar content hash and dispatch-env version of the pristine base
+    /// environment this compiler was constructed with (before any global
+    /// `-use` import); the force cache only serves parses performed under
+    /// exactly this environment.
+    pub(crate) pristine_env: (u128, u64),
+    /// Lazy nodes created so far (the force cache's purity gate: a parse
+    /// that defers work captures an environment and is not memoizable).
+    pub(crate) lazy_created: Cell<u64>,
     /// Class-processing hooks, run as a class declaration leaves the shaper
     /// (paper §4: "Maya provides class-processing hooks").
     pub class_hooks: RefCell<Vec<Rc<dyn Fn(&Rc<CompilerInner>, ClassId) -> Result<(), CompileError>>>>,
@@ -124,14 +253,33 @@ impl CompilerInner {
 
     /// Registers an importable metaprogram under a dotted name.
     pub fn register_metaprogram(&self, name: &str, program: Rc<dyn MetaProgram>) {
-        self.registry.borrow_mut().insert(name.to_owned(), program);
+        self.register_metaprogram_at(name, program, None);
+    }
+
+    /// [`CompilerInner::register_metaprogram`], recording the source file
+    /// whose declaration produced the metaprogram (dependency tracking for
+    /// incremental recompilation).
+    pub fn register_metaprogram_at(
+        &self,
+        name: &str,
+        program: Rc<dyn MetaProgram>,
+        origin: Option<FileId>,
+    ) {
+        self.registry
+            .borrow_mut()
+            .insert(name.to_owned(), (program, origin));
     }
 
     /// Looks up a metaprogram by the name used in a `use` directive.
     pub fn lookup_metaprogram(&self, path: &[Ident]) -> Option<Rc<dyn MetaProgram>> {
         let dotted: Vec<&str> = path.iter().map(|i| i.as_str()).collect();
         let dotted = dotted.join(".");
-        self.registry.borrow().get(&dotted).cloned()
+        self.registry.borrow().get(&dotted).map(|(p, _)| p.clone())
+    }
+
+    /// The source file that declared the metaprogram `dotted`, if any.
+    pub fn metaprogram_origin(&self, dotted: &str) -> Option<FileId> {
+        self.registry.borrow().get(dotted).and_then(|(_, o)| *o)
     }
 
     /// Runs a metaprogram against an environment pair, producing the
@@ -238,6 +386,71 @@ impl CompilerInner {
     }
 }
 
+/// Lexes `files` (already registered in `sm`) to `Send`-safe token trees,
+/// fanning the work out to scoped worker threads when `jobs > 1`. Results
+/// are returned in `files` order regardless of completion order; worker
+/// telemetry is merged into this thread's session.
+///
+/// This is the whole front end as a pure function of the source map, so
+/// both [`Compiler::add_sources_diags`] and the incremental
+/// [`crate::Session`] (which lexes changed files into a scratch map to
+/// compare token streams) share one implementation.
+pub fn lex_files(
+    sm: &SourceMap,
+    files: &[FileId],
+    jobs: usize,
+) -> Vec<Result<Vec<SendTree>, LexError>> {
+    let jobs = jobs.max(1).min(files.len());
+    if jobs <= 1 {
+        return files.iter().map(|&f| stream_lex_send(sm, f)).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let telemetry_on = maya_telemetry::enabled();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<Vec<SendTree>, LexError>>>> =
+        files.iter().map(|_| Mutex::new(None)).collect();
+    let mut reports: Vec<maya_telemetry::Report> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                let next = &next;
+                let slots = &slots;
+                scope.spawn(move || {
+                    // Workers have their own thread-local telemetry;
+                    // collect into a session and hand the report back
+                    // for merging.
+                    let session = telemetry_on
+                        .then(|| maya_telemetry::Session::start(maya_telemetry::Config::default()));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&file) = files.get(i) else { break };
+                        let r = stream_lex_send(sm, file);
+                        *slots[i].lock().expect("lex slot poisoned") = Some(r);
+                    }
+                    session.map(maya_telemetry::Session::finish)
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Some(report) = h.join().expect("lexer worker panicked") {
+                reports.push(report);
+            }
+        }
+    });
+    for r in &reports {
+        maya_telemetry::absorb(r);
+    }
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("lex slot poisoned")
+                .expect("every file was lexed")
+        })
+        .collect()
+}
+
 struct CoreImportEnv {
     grammar: Grammar,
     builder: Option<GrammarBuilder>,
@@ -314,6 +527,7 @@ impl Compiler {
             grammar: base.grammar.clone(),
             denv: base.denv.clone(),
         };
+        let pristine_env = (global.grammar.content_hash(), global.denv.version());
         let inner = Rc::new(CompilerInner {
             classes,
             interp,
@@ -322,6 +536,7 @@ impl Compiler {
             global: RefCell::new(global),
             fresh: RefCell::new(FreshNames::new()),
             registry: RefCell::new(HashMap::new()),
+            dep_log: RefCell::new(Vec::new()),
             class_meta: RefCell::new(HashMap::new()),
             decl_envs: RefCell::new(HashMap::new()),
             units: RefCell::new(Vec::new()),
@@ -329,6 +544,8 @@ impl Compiler {
             expand_fuel: Cell::new(options.expand_fuel),
             imports_in_progress: RefCell::new(Vec::new()),
             diags: RefCell::new(None),
+            pristine_env,
+            lazy_created: Cell::new(0),
             class_hooks: RefCell::new(Vec::new()),
             options,
             uses_applied: RefCell::new(false),
@@ -349,6 +566,12 @@ impl Compiler {
     /// The shared state (for extension crates).
     pub fn inner(&self) -> &Rc<CompilerInner> {
         &self.inner
+    }
+
+    /// Syntax-import events recorded during this compilation, in import
+    /// order (see [`DepEdge`]).
+    pub fn dep_log(&self) -> Vec<DepEdge> {
+        self.inner.dep_log.borrow().clone()
     }
 
     /// The class table.
@@ -446,18 +669,67 @@ impl Compiler {
         // In multi-error mode, recover at member boundaries so every
         // top-level syntax error in the file is reported.
         let diags = self.inner.diags.borrow().clone();
-        let unit_node = match &diags {
-            Some(d) => {
-                crate::recover::parse_trees_recovering(
+        // Unit cache: under the pristine base environment a unit parse is a
+        // pure function of the token trees, so a session can replay it into
+        // this compiler (with fresh lazy cells) instead of re-parsing.
+        let cache = self.inner.options.force_cache.clone();
+        let unit_key = match &cache {
+            Some(_)
+                if (pair.grammar.content_hash(), pair.denv.version())
+                    == self.inner.pristine_env =>
+            {
+                Some(crate::fingerprint::token_trees_hash(&trees))
+            }
+            _ => None,
+        };
+        let fresh_payload = Rc::new(crate::driver::LazyEnvPayload {
+            pair: pair.clone(),
+            ctx: ResolveCtx::default(),
+            class: None,
+        });
+        let cached_unit = match (&cache, unit_key) {
+            (Some(c), Some(key)) => c.get_unit(key).and_then(|template| {
+                crate::driver::refresh_unit(&template, self.inner.pristine_env, &fresh_payload)
+            }),
+            _ => None,
+        };
+        let unit_node = if let Some(unit) = cached_unit {
+            maya_telemetry::count(maya_telemetry::Counter::UnitCacheHits);
+            unit
+        } else {
+            let deps_before = self.inner.dep_log.borrow().len();
+            let diags_before = diags.as_ref().map(|d| (d.error_count(), d.warning_count()));
+            let unit_node = match &diags {
+                Some(d) => crate::recover::parse_trees_recovering(
                     &cx,
                     &trees,
                     goal,
                     crate::recover::Poison::Decl,
                     d,
                 )
-                .ok_or_else(|| CompileError::reported(Span::DUMMY))?
+                .ok_or_else(|| CompileError::reported(Span::DUMMY))?,
+                None => cx.parse_trees(&trees, goal)?,
+            };
+            let diags_after = diags.as_ref().map(|d| (d.error_count(), d.warning_count()));
+            if let (Some(c), Some(key)) = (&cache, unit_key) {
+                let global = self.inner.global.borrow();
+                let still_pristine = (global.grammar.content_hash(), global.denv.version())
+                    == self.inner.pristine_env;
+                drop(global);
+                if still_pristine
+                    && self.inner.dep_log.borrow().len() == deps_before
+                    && diags_before == diags_after
+                {
+                    if let Some(template) = crate::driver::refresh_unit(
+                        &unit_node,
+                        self.inner.pristine_env,
+                        &fresh_payload,
+                    ) {
+                        c.insert_unit(key, template);
+                    }
+                }
             }
-            None => cx.parse_trees(&trees, goal)?,
+            unit_node
         };
         let Node::List(parts) = unit_node else {
             return Err(CompileError::new("internal: compilation unit shape", Span::DUMMY));
@@ -534,6 +806,27 @@ impl Compiler {
     /// file, run concurrently. Returns `true` when every file was added
     /// cleanly.
     pub fn add_sources_diags(&self, sources: &[(String, String)], diags: &Diagnostics) -> bool {
+        let prelexed = sources.iter().map(|_| None).collect();
+        self.add_sources_prelexed_diags(sources, prelexed, diags)
+    }
+
+    /// [`Compiler::add_sources_diags`] with some files already lexed.
+    ///
+    /// `prelexed[i]`, when `Some`, is the lex result for `sources[i]` —
+    /// typically a cached token-tree vector from an incremental
+    /// [`crate::Session`] whose file content did not change. Those slots
+    /// skip the front end entirely (their lex telemetry was counted when
+    /// they were first lexed); `None` slots are lexed here, in parallel
+    /// when [`CompileOptions::jobs`] `> 1`. Everything downstream —
+    /// registration order, parsing, diagnostics — is byte-identical to the
+    /// all-`None` call, because lexing is pure per file.
+    pub fn add_sources_prelexed_diags(
+        &self,
+        sources: &[(String, String)],
+        prelexed: Vec<Option<Result<Vec<SendTree>, LexError>>>,
+        diags: &Diagnostics,
+    ) -> bool {
+        assert_eq!(sources.len(), prelexed.len(), "one prelexed slot per source");
         *self.inner.diags.borrow_mut() = Some(diags.clone());
         // Global `-use` imports first, exactly as the first `add_source`
         // call would.
@@ -556,7 +849,22 @@ impl Compiler {
             .iter()
             .map(|(name, text)| self.inner.sm.borrow_mut().add_file(name, text))
             .collect();
-        let lexed = self.lex_batch(&files);
+        // Lex only the files without a prelexed result, then stitch the
+        // two result sets back into registration order.
+        let need: Vec<FileId> = files
+            .iter()
+            .zip(&prelexed)
+            .filter(|(_, p)| p.is_none())
+            .map(|(&f, _)| f)
+            .collect();
+        let mut fresh = {
+            let sm = self.inner.sm.borrow();
+            lex_files(&sm, &need, self.inner.options.jobs).into_iter()
+        };
+        let lexed: Vec<Result<Vec<SendTree>, LexError>> = prelexed
+            .into_iter()
+            .map(|p| p.unwrap_or_else(|| fresh.next().expect("one lex result per needed file")))
+            .collect();
         // Everything after lexing stays sequential in file order: parsing
         // a unit can extend the global environment (`use` at top level),
         // and diagnostics must come out in file order.
@@ -585,64 +893,6 @@ impl Compiler {
         }
         *self.inner.diags.borrow_mut() = None;
         all_ok
-    }
-
-    /// Lexes registered files to `Send`-safe token trees, fanning the work
-    /// out to scoped worker threads when more than one job is configured.
-    /// Results are returned in `files` order regardless of completion
-    /// order; worker telemetry is merged into this thread's session.
-    fn lex_batch(&self, files: &[FileId]) -> Vec<Result<Vec<SendTree>, LexError>> {
-        let sm = self.inner.sm.borrow();
-        let jobs = self.inner.options.jobs.max(1).min(files.len());
-        if jobs <= 1 {
-            return files.iter().map(|&f| stream_lex_send(&sm, f)).collect();
-        }
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        use std::sync::Mutex;
-        let sm_ref: &SourceMap = &sm;
-        let telemetry_on = maya_telemetry::enabled();
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<Vec<SendTree>, LexError>>>> =
-            files.iter().map(|_| Mutex::new(None)).collect();
-        let mut reports: Vec<maya_telemetry::Report> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..jobs)
-                .map(|_| {
-                    let next = &next;
-                    let slots = &slots;
-                    scope.spawn(move || {
-                        // Workers have their own thread-local telemetry;
-                        // collect into a session and hand the report back
-                        // for merging.
-                        let session = telemetry_on
-                            .then(|| maya_telemetry::Session::start(maya_telemetry::Config::default()));
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(&file) = files.get(i) else { break };
-                            let r = stream_lex_send(sm_ref, file);
-                            *slots[i].lock().expect("lex slot poisoned") = Some(r);
-                        }
-                        session.map(maya_telemetry::Session::finish)
-                    })
-                })
-                .collect();
-            for h in handles {
-                if let Some(report) = h.join().expect("lexer worker panicked") {
-                    reports.push(report);
-                }
-            }
-        });
-        for r in &reports {
-            maya_telemetry::absorb(r);
-        }
-        slots
-            .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .expect("lex slot poisoned")
-                    .expect("every file was lexed")
-            })
-            .collect()
     }
 
     /// [`Compiler::compile`] in multi-error mode: classes compile
@@ -966,7 +1216,82 @@ impl Compiler {
             .grammar
             .nt_for_kind(NodeKind::ClassBody)
             .expect("ClassBody nt");
-        let members_node = cx.parse_trees(&tree.trees, goal)?;
+        // Class-body cache: under the pristine base environment the member
+        // list is a pure function of the body tree; replay it (with fresh
+        // lazy cells bound to *this* class) instead of re-parsing.
+        let cache = self.inner.options.force_cache.clone();
+        let body_key = match &cache {
+            Some(_)
+                if (pair.grammar.content_hash(), pair.denv.version())
+                    == self.inner.pristine_env =>
+            {
+                Some(crate::fingerprint::delim_tree_hash(&tree))
+            }
+            _ => None,
+        };
+        // Templates are stored class-agnostic (`class: None` payloads):
+        // class ids are per-compiler and shift under edits, so the borrower
+        // rebinds every lazy to its own class id here.
+        let fresh_payload = Rc::new(crate::driver::LazyEnvPayload {
+            pair: pair.clone(),
+            ctx: class_ctx.clone(),
+            class: Some(class),
+        });
+        let cached_members = match (&cache, body_key) {
+            (Some(c), Some(key)) => c.get_body(key).and_then(|template| {
+                crate::driver::refresh_members(
+                    &template,
+                    self.inner.pristine_env,
+                    &fresh_payload,
+                    None,
+                )
+            }),
+            _ => None,
+        };
+        let members_node = if let Some(m) = cached_members {
+            maya_telemetry::count(maya_telemetry::Counter::ClassBodyCacheHits);
+            m
+        } else {
+            let deps_before = self.inner.dep_log.borrow().len();
+            let diags_before = self
+                .inner
+                .diags
+                .borrow()
+                .as_ref()
+                .map(|d| (d.error_count(), d.warning_count()));
+            let members_node = cx.parse_trees(&tree.trees, goal)?;
+            let diags_after = self
+                .inner
+                .diags
+                .borrow()
+                .as_ref()
+                .map(|d| (d.error_count(), d.warning_count()));
+            if let (Some(c), Some(key)) = (&cache, body_key) {
+                let global = self.inner.global.borrow();
+                let still_pristine = (global.grammar.content_hash(), global.denv.version())
+                    == self.inner.pristine_env;
+                drop(global);
+                if still_pristine
+                    && self.inner.dep_log.borrow().len() == deps_before
+                    && diags_before == diags_after
+                {
+                    let canonical = Rc::new(crate::driver::LazyEnvPayload {
+                        pair: pair.clone(),
+                        ctx: ResolveCtx::default(),
+                        class: None,
+                    });
+                    if let Some(template) = crate::driver::refresh_members(
+                        &members_node,
+                        self.inner.pristine_env,
+                        &canonical,
+                        Some(class),
+                    ) {
+                        c.insert_body(key, template);
+                    }
+                }
+            }
+            members_node
+        };
         let members = match members_node {
             Node::Decls(d) => d,
             Node::List(items) => items

@@ -5,7 +5,8 @@
 use crate::compiler::CompilerInner;
 use crate::CompileError;
 use maya_ast::{
-    Expr, ExprKind, LazyNode, Node, NodeKind, TypeName, TypeNameKind,
+    ClassDecl, CtorDecl, Decl, Expr, ExprKind, InterfaceDecl, LazyCell, LazyNode, MethodDecl,
+    Node, NodeKind, TypeName, TypeNameKind,
 };
 use maya_dispatch::{
     order_applicable, Bindings, DispatchEnv, DispatchError, ExpandCtx, Mayan,
@@ -303,6 +304,7 @@ impl Cx {
             }
             BuiltinAction::LazySubtree { kind, .. } => {
                 let tree = tree_arg(&args, span)?;
+                self.cx.lazy_created.set(self.cx.lazy_created.get() + 1);
                 Ok(Node::Lazy(LazyNode::new(kind, tree, Some(self.payload()))))
             }
         }
@@ -310,6 +312,7 @@ impl Cx {
 
     /// Creates a lazy node capturing this context's environment.
     pub fn make_lazy(&self, tree: DelimTree, kind: NodeKind) -> Node {
+        self.cx.lazy_created.set(self.cx.lazy_created.get() + 1);
         Node::Lazy(LazyNode::new(kind, tree, Some(self.payload())))
     }
 
@@ -400,6 +403,24 @@ impl Driver for CoreDriver {
                 .cx
                 .import_named(&self.c.pair, &self.c.ctx, &path, span)
                 .map_err(|e| ParseError::new(e.message, e.span))?;
+            // Dependency tracking: every `use` with a real source span is
+            // an edge from the importing file to the metaprogram's
+            // declaring file, tagged with the grammar/dispatch identity it
+            // produced (the incremental session's invalidation input).
+            if !span.is_dummy() {
+                let dotted = {
+                    let parts: Vec<&str> = path.iter().map(|i| i.as_str()).collect();
+                    parts.join(".")
+                };
+                let origin = self.c.cx.metaprogram_origin(&dotted);
+                self.c.cx.dep_log.borrow_mut().push(crate::compiler::DepEdge {
+                    importer: span.file,
+                    name: dotted,
+                    origin,
+                    grammar_hash: new_pair.grammar.content_hash(),
+                    denv_version: new_pair.denv.version(),
+                });
+            }
             self.c.pair = new_pair;
             let goals: Vec<NtId> = vec![
                 self.c.cx.base.use_tail_stmts,
@@ -523,7 +544,7 @@ fn force_payload(
                 class: p.class,
                 scope,
             };
-            return c.parse_tree_kind_goal(goal_kind, tree);
+            return forced_parse_memo(&c, goal_kind, tree);
         }
     }
     // No payload: use the global environment.
@@ -534,7 +555,198 @@ fn force_payload(
         class: None,
         scope,
     };
-    c.parse_tree_kind_goal(goal_kind, tree)
+    forced_parse_memo(&c, goal_kind, tree)
+}
+
+/// [`Cx::parse_tree_kind_goal`] through the session's [`ForceCache`],
+/// when one is attached and the parse is provably pure.
+///
+/// A memoized result may only be served or recorded when the forcing
+/// environment is the compiler's pristine base environment (grammar
+/// content hash and dispatch-env version both match construction time):
+/// under that environment every reachable semantic action is a built-in
+/// constructor whose output is a function of the tokens alone. Recording
+/// additionally requires that the parse imported no metaprogram (the
+/// dep log did not grow), created no lazy node (nothing captured an
+/// environment), and emitted no diagnostic — any of those makes the
+/// result context-dependent, so it is recomputed on every run exactly as
+/// a cold compiler would.
+fn forced_parse_memo(
+    c: &Cx,
+    goal_kind: NodeKind,
+    tree: &DelimTree,
+) -> Result<Node, CompileError> {
+    let Some(cache) = c.cx.options.force_cache.clone() else {
+        return c.parse_tree_kind_goal(goal_kind, tree);
+    };
+    if (c.pair.grammar.content_hash(), c.pair.denv.version()) != c.cx.pristine_env {
+        return c.parse_tree_kind_goal(goal_kind, tree);
+    }
+    let key = (goal_kind, crate::fingerprint::delim_tree_hash(tree));
+    if let Some(hit) = cache.get(&key) {
+        maya_telemetry::count(maya_telemetry::Counter::ForceCacheHits);
+        return Ok(hit);
+    }
+    let deps_before = c.cx.dep_log.borrow().len();
+    let lazies_before = c.cx.lazy_created.get();
+    let diags_before = c
+        .cx
+        .diags
+        .borrow()
+        .as_ref()
+        .map(|d| (d.error_count(), d.warning_count()));
+    let node = c.parse_tree_kind_goal(goal_kind, tree)?;
+    let diags_after = c
+        .cx
+        .diags
+        .borrow()
+        .as_ref()
+        .map(|d| (d.error_count(), d.warning_count()));
+    if c.cx.dep_log.borrow().len() == deps_before
+        && c.cx.lazy_created.get() == lazies_before
+        && diags_before == diags_after
+    {
+        cache.insert(key, node.clone());
+    }
+    Ok(node)
+}
+
+/// Rebuilds a cached compilation-unit AST for reuse by another compiler.
+///
+/// A unit parsed under the pristine base environment is pure syntax, *except*
+/// for its lazy method/constructor bodies: their cells are interior-mutable
+/// (forcing memoizes into them) and their payloads capture the parsing
+/// compiler's environment. This walker deep-copies the declaration structure,
+/// giving every lazy a brand-new unforced cell whose payload is `fresh` —
+/// the borrowing compiler's own pristine environment — so nothing is shared
+/// across compilers and every body re-forces (and re-logs dependencies)
+/// exactly as a cold parse would.
+///
+/// Returns `None` when the unit contains anything the cache cannot prove
+/// pure: grammar-extending declarations (`use`, `syntax`), recovery poison
+/// nodes, already-forced lazies, lazies whose captured environment is not
+/// pristine, or a lazy field initializer (impossible under the base grammar,
+/// rejected defensively). `None` means the caller must re-parse.
+pub(crate) fn refresh_unit(
+    node: &Node,
+    pristine: (u128, u64),
+    fresh: &Rc<LazyEnvPayload>,
+) -> Option<Node> {
+    let Node::List(parts) = node else { return None };
+    if parts.len() != 3 {
+        return None;
+    }
+    let Node::Decls(decls) = &parts[2] else { return None };
+    let mut out = Vec::with_capacity(decls.len());
+    for d in decls {
+        out.push(refresh_decl(d, pristine, fresh, None)?);
+    }
+    Some(Node::List(vec![
+        parts[0].clone(),
+        parts[1].clone(),
+        Node::Decls(out),
+    ]))
+}
+
+/// [`refresh_unit`] for a class-body member list (the `shape_class` parse):
+/// the same walk, with an explicit `expected` class. Lazies parsed inside a
+/// class body capture that class in their payload, so the inserting
+/// compiler verifies `expected = Some(its class)` while canonicalizing the
+/// template to `class: None`; a borrowing compiler verifies
+/// `expected = None` and rebinds the lazies to *its own* class via `fresh`
+/// (class ids are per-compiler and shift when an edit adds or removes a
+/// class). The member list comes back as `Node::Decls` or a `Node::List`
+/// of declarations.
+pub(crate) fn refresh_members(
+    node: &Node,
+    pristine: (u128, u64),
+    fresh: &Rc<LazyEnvPayload>,
+    expected: Option<ClassId>,
+) -> Option<Node> {
+    match node {
+        Node::Decls(decls) => {
+            let mut out = Vec::with_capacity(decls.len());
+            for d in decls {
+                out.push(refresh_decl(d, pristine, fresh, expected)?);
+            }
+            Some(Node::Decls(out))
+        }
+        Node::List(items) => {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                let Node::Decl(d) = item else { return None };
+                out.push(Node::Decl(refresh_decl(d, pristine, fresh, expected)?));
+            }
+            Some(Node::List(out))
+        }
+        _ => None,
+    }
+}
+
+fn refresh_decl(
+    d: &Decl,
+    pristine: (u128, u64),
+    fresh: &Rc<LazyEnvPayload>,
+    expected: Option<ClassId>,
+) -> Option<Decl> {
+    Some(match d {
+        Decl::Class(c) => {
+            let mut members = Vec::with_capacity(c.members.len());
+            for m in &c.members {
+                members.push(refresh_decl(m, pristine, fresh, expected)?);
+            }
+            Decl::Class(ClassDecl { members, ..c.clone() })
+        }
+        Decl::Interface(i) => {
+            let mut members = Vec::with_capacity(i.members.len());
+            for m in &i.members {
+                members.push(refresh_decl(m, pristine, fresh, expected)?);
+            }
+            Decl::Interface(InterfaceDecl { members, ..i.clone() })
+        }
+        Decl::Method(m) => {
+            let body = match &m.body {
+                Some(l) => Some(refresh_lazy(l, pristine, fresh, expected)?),
+                None => None,
+            };
+            Decl::Method(MethodDecl { body, ..m.clone() })
+        }
+        Decl::Ctor(c) => Decl::Ctor(CtorDecl {
+            body: refresh_lazy(&c.body, pristine, fresh, expected)?,
+            ..c.clone()
+        }),
+        Decl::Field(f) => {
+            if matches!(f.init.as_ref().map(|e| &e.kind), Some(ExprKind::Lazy(_))) {
+                return None;
+            }
+            d.clone()
+        }
+        Decl::Import(_) | Decl::Empty => d.clone(),
+        // Anything that can touch the environment — or that failed to
+        // parse — is never cached.
+        Decl::Production(_) | Decl::Mayan(_) | Decl::Use(..) | Decl::Error(_) => return None,
+    })
+}
+
+fn refresh_lazy(
+    l: &LazyNode,
+    pristine: (u128, u64),
+    fresh: &Rc<LazyEnvPayload>,
+    expected: Option<ClassId>,
+) -> Option<LazyNode> {
+    let cell = l.cell.borrow();
+    let LazyCell::Unforced { tree, env } = &*cell else { return None };
+    let payload = env.as_ref()?.downcast_ref::<LazyEnvPayload>()?;
+    if (payload.pair.grammar.content_hash(), payload.pair.denv.version()) != pristine
+        || payload.class != expected
+    {
+        return None;
+    }
+    Some(LazyNode::new(
+        l.goal,
+        tree.clone(),
+        Some(fresh.clone() as Rc<dyn std::any::Any>),
+    ))
 }
 
 impl Cx {
@@ -945,6 +1157,7 @@ impl CoreExpand {
             ctx: self.c.ctx.clone(),
             class: self.c.class,
         });
+        self.c.cx.lazy_created.set(self.c.cx.lazy_created.get() + 1);
         Ok(Node::Lazy(LazyNode::new(kind, tree, Some(payload))))
     }
 }

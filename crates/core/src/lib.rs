@@ -20,11 +20,14 @@ mod diag;
 mod driver;
 mod error;
 pub mod faults;
+mod fingerprint;
+pub mod json;
 mod recover;
 mod sandbox;
 mod extension;
 mod literal;
 pub mod metagrammar;
+mod session;
 mod source_mayan;
 
 pub use base::{Base, BaseProds};
@@ -33,7 +36,8 @@ pub use base::{Base, BaseProds};
 pub fn describe_prod_pub(g: &maya_grammar::Grammar, p: maya_grammar::ProdId) -> String {
     crate::driver::describe_prod(g, p)
 }
-pub use compiler::{Compiler, CompileOptions, CompilerInner};
+pub use compiler::{lex_files, CompileOptions, Compiler, CompilerInner, DepEdge, ForceCache};
+pub use session::{ErrorFormat, Outcome, RequestOpts, Session, SessionStats};
 pub use driver::{expr_as_type, CoreExpand, CoreInstHost, Cx, EnvPair, ExpandSnapshot, ForceHost, LazyEnvPayload};
 pub use diag::{Diagnostic, Diagnostics, Severity};
 pub use error::CompileError;

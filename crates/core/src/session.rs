@@ -1,0 +1,517 @@
+//! The incremental compile session behind `mayad` and `mayac --watch`.
+//!
+//! Maya compilation is stateful by design — every syntax import composes a
+//! new grammar, new LALR tables, and a new dispatch environment — which
+//! makes cold starts expensive and warm state valuable. A [`Session`]
+//! keeps that state alive across compile requests:
+//!
+//! * the **process-global interner** and the **thread-local LALR table
+//!   memo** (`maya_grammar::cache`) survive because the session keeps its
+//!   compiler on one thread;
+//! * each source file's **token trees** are cached and reused when the
+//!   file did not change;
+//! * a **dependency graph** rebuilt from [`crate::compiler::DepEdge`]
+//!   records, per `use` directive, which file imported a metaprogram
+//!   declared in which other file, so an **invalidation pass** can
+//!   recompile exactly the downstream cone of a change;
+//! * when *nothing* changed, the previous outcome is returned verbatim
+//!   and no compiler is even constructed.
+//!
+//! Change detection is two-level: a raw byte hash first, and for files
+//! whose bytes changed, a token-stream hash that *includes spans*. A
+//! formatting-neutral edit (for example retyping a comment with the same
+//! length) therefore hashes equal and reuses everything — and because
+//! spans participate in the hash, reuse can never alter diagnostics.
+//!
+//! Correctness bar: a warm [`Session::compile`] must be **byte-identical**
+//! to a cold `mayac` run — stdout (expanded code and interpreter output),
+//! stderr (human or JSON diagnostics), and exit status. The session
+//! guarantees this by re-running every semantic phase on every request
+//! (parse, dispatch, check, run are cheap next to the front end and the
+//! table builds) and reusing only results that are pure functions of
+//! unchanged inputs: token trees, LALR tables, interned strings, and — in
+//! the nothing-changed case — the entire previous outcome.
+
+use crate::compiler::lex_files;
+use crate::fingerprint::{hash64, token_stream_hash};
+use crate::diag::Diagnostics;
+use crate::{CompileOptions, Compiler};
+use maya_lexer::{FileId, LexError, SendTree, SourceMap, Span};
+use maya_telemetry::{add as count_by, Counter};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::rc::Rc;
+
+/// How diagnostics are rendered into [`Outcome::stderr`].
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub enum ErrorFormat {
+    /// Per-line text, each line prefixed `mayac: ` (the CLI default).
+    #[default]
+    Human,
+    /// One `maya-diagnostics/1` JSON document.
+    Json,
+}
+
+/// Per-request options (the per-invocation subset of the `mayac` command
+/// line). Two requests with equal options and unchanged files are
+/// answered from cache.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RequestOpts {
+    /// Metaprogram names imported for every unit (`-use NAME`).
+    pub uses: Vec<String>,
+    /// Class whose `main` is run (`--main`, default `Main`).
+    pub main_class: String,
+    /// Run `main` after a successful compile. `mayac` always does; a
+    /// server client may want check-only requests.
+    pub run: bool,
+    /// Render every compiled method body after expansion (`--expand`).
+    pub expand: bool,
+    /// Diagnostic rendering for [`Outcome::stderr`].
+    pub error_format: ErrorFormat,
+    /// Stop reporting after this many errors (`--max-errors`).
+    pub max_errors: usize,
+    /// Exit nonzero on any warning (`--deny-warnings`).
+    pub deny_warnings: bool,
+}
+
+impl Default for RequestOpts {
+    fn default() -> RequestOpts {
+        RequestOpts {
+            uses: Vec::new(),
+            main_class: "Main".to_owned(),
+            run: true,
+            expand: false,
+            error_format: ErrorFormat::Human,
+            max_errors: 20,
+            deny_warnings: false,
+        }
+    }
+}
+
+/// The result of one compile request: exactly what a cold `mayac` run
+/// would have produced, plus incremental accounting.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Process stdout: expanded bodies (`--expand`) then program output.
+    pub stdout: String,
+    /// Process stderr: rendered diagnostics (telemetry excluded).
+    pub stderr: String,
+    /// Whether `mayac` would have exited 0.
+    pub success: bool,
+    /// The request was answered entirely from the previous outcome.
+    pub full_reuse: bool,
+    /// Files whose token stream differed from the previous request.
+    pub files_changed: usize,
+    /// Files whose cached token trees were reused (front end skipped).
+    pub files_reused: usize,
+    /// Files whose front end re-ran (changed files plus their
+    /// invalidation cone).
+    pub files_recompiled: usize,
+    /// Syntax imports answered by an already-seen grammar snapshot.
+    pub grammar_reuses: usize,
+}
+
+/// Cumulative per-session counters (mirrored into telemetry as
+/// `server_requests` / `incr_*`).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SessionStats {
+    pub requests: u64,
+    pub full_reuses: u64,
+    pub files_changed: u64,
+    pub files_reused: u64,
+    pub files_recompiled: u64,
+    pub grammar_reuses: u64,
+}
+
+/// Per-file incremental state.
+struct SessionFile {
+    name: String,
+    /// `false` when the last request could not read the file (the read
+    /// error is part of the cached behavior).
+    ok: bool,
+    /// Hash of the raw bytes (or of the read-error message).
+    raw_hash: u64,
+    /// Hash of the token stream *including spans*; equal hashes make
+    /// byte-different contents behaviorally identical.
+    token_hash: u128,
+    /// Cached front-end result for `ok` files.
+    lexed: Option<Rc<Result<Vec<SendTree>, LexError>>>,
+}
+
+/// An incremental compile session. See the module docs.
+///
+/// A session owns no threads and is deliberately single-threaded
+/// (`Compiler` is `!Send`); `mayad` keeps one session on its main thread
+/// and feeds it requests from a queue.
+pub struct Session {
+    /// Template for per-request [`CompileOptions`]; `uses` is replaced by
+    /// the request's.
+    base_options: CompileOptions,
+    /// Registers native metaprograms on each fresh compiler (the binaries
+    /// pass `macrolib::install` + `multijava::install`).
+    installer: Option<Rc<dyn Fn(&Compiler)>>,
+    files: Vec<SessionFile>,
+    /// Reverse dependency edges from the last compile: metaprogram-
+    /// declaring file name → names of files that imported from it.
+    rdeps: BTreeMap<String, BTreeSet<String>>,
+    /// Grammar content hashes produced by imports in earlier requests.
+    seen_grammars: HashSet<u128>,
+    /// The previous outcome, valid while nothing changes.
+    cached: Option<(RequestOpts, Outcome)>,
+    stats: SessionStats,
+}
+
+impl Session {
+    /// Creates a session. `installer` runs once per fresh compiler, before
+    /// any source is added.
+    pub fn new(mut base_options: CompileOptions, installer: Option<Rc<dyn Fn(&Compiler)>>) -> Session {
+        // Every compiler this session spawns shares one force cache, so
+        // unchanged method bodies parse once per session, not once per
+        // request.
+        if base_options.force_cache.is_none() {
+            base_options.force_cache = Some(Rc::new(crate::compiler::ForceCache::new()));
+        }
+        Session {
+            base_options,
+            installer,
+            files: Vec::new(),
+            rdeps: BTreeMap::new(),
+            seen_grammars: HashSet::new(),
+            cached: None,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Compiles `paths` (reading them from disk), reusing session state.
+    ///
+    /// A panic anywhere in the pipeline is converted into the same
+    /// internal-compiler-error outcome `mayac` would print, and the
+    /// outcome cache is dropped so the next request recomputes.
+    pub fn compile(&mut self, paths: &[String], opts: &RequestOpts) -> Outcome {
+        let inputs: Vec<(String, Result<String, String>)> = paths
+            .iter()
+            .map(|p| {
+                (
+                    p.clone(),
+                    std::fs::read_to_string(p).map_err(|e| e.to_string()),
+                )
+            })
+            .collect();
+        self.compile_inputs(&inputs, opts)
+    }
+
+    /// [`Session::compile`] over in-memory sources (tests, fuzzing).
+    pub fn compile_sources(&mut self, sources: &[(String, String)], opts: &RequestOpts) -> Outcome {
+        let inputs: Vec<(String, Result<String, String>)> = sources
+            .iter()
+            .map(|(n, t)| (n.clone(), Ok(t.clone())))
+            .collect();
+        self.compile_inputs(&inputs, opts)
+    }
+
+    fn compile_inputs(
+        &mut self,
+        inputs: &[(String, Result<String, String>)],
+        opts: &RequestOpts,
+    ) -> Outcome {
+        maya_telemetry::count(Counter::ServerRequests);
+        self.stats.requests += 1;
+
+        // ---- change detection ------------------------------------------------
+        // The file *structure* (names, order, readability) is part of the
+        // session identity: when it shifts, FileIds shift, so every cached
+        // span would lie. Drop everything and start cold.
+        let structure_same = self.files.len() == inputs.len()
+            && self
+                .files
+                .iter()
+                .zip(inputs)
+                .all(|(f, (name, text))| f.name == *name && f.ok == text.is_ok());
+        if !structure_same {
+            self.files.clear();
+            self.rdeps.clear();
+            self.cached = None;
+        }
+
+        // Raw-byte pass: which files even need re-lexing?
+        let mut relex: Vec<usize> = Vec::new();
+        if self.files.is_empty() {
+            for (name, text) in inputs {
+                let (raw, ok) = match text {
+                    Ok(t) => (hash64(t.as_bytes()), true),
+                    Err(e) => (hash64(e.as_bytes()), false),
+                };
+                self.files.push(SessionFile {
+                    name: name.clone(),
+                    ok,
+                    raw_hash: raw,
+                    token_hash: 0,
+                    lexed: None,
+                });
+            }
+            relex = (0..inputs.len()).filter(|&i| self.files[i].ok).collect();
+        } else {
+            for (i, (_, text)) in inputs.iter().enumerate() {
+                let raw = match text {
+                    Ok(t) => hash64(t.as_bytes()),
+                    Err(e) => hash64(e.as_bytes()),
+                };
+                if self.files[i].raw_hash != raw {
+                    self.files[i].raw_hash = raw;
+                    if self.files[i].ok {
+                        relex.push(i);
+                    } else {
+                        // A read error with a different message is a
+                        // behavioral change (the diagnostic text differs).
+                        self.files[i].token_hash = hash64(b"read-error") as u128;
+                        self.cached = None;
+                    }
+                }
+            }
+        }
+
+        // Token pass: lex byte-changed files into a scratch map laid out
+        // exactly like the compiler's (same registration order → same
+        // FileIds → identical spans), then compare token-stream hashes.
+        let mut changed: BTreeSet<String> = BTreeSet::new();
+        if !relex.is_empty() {
+            let mut scratch = SourceMap::new();
+            let mut ids: BTreeMap<usize, FileId> = BTreeMap::new();
+            let mut ok_index = 0usize;
+            for (i, (name, text)) in inputs.iter().enumerate() {
+                if let Ok(t) = text {
+                    let id = scratch.add_file(name, t);
+                    debug_assert_eq!(id.0 as usize, ok_index);
+                    ok_index += 1;
+                    if relex.contains(&i) {
+                        ids.insert(i, id);
+                    }
+                }
+            }
+            let need: Vec<FileId> = ids.values().copied().collect();
+            let results = lex_files(&scratch, &need, self.base_options.jobs);
+            for ((&i, _), result) in ids.iter().zip(results) {
+                let h = token_stream_hash(&result);
+                let f = &mut self.files[i];
+                if f.token_hash != h || f.lexed.is_none() {
+                    f.token_hash = h;
+                    f.lexed = Some(Rc::new(result));
+                    changed.insert(f.name.clone());
+                }
+                // Token-identical content (e.g. a retyped same-length
+                // comment): keep the cached trees — spans are part of the
+                // hash, so they are interchangeable.
+            }
+        }
+
+        count_by(Counter::IncrFilesChanged, changed.len() as u64);
+        self.stats.files_changed += changed.len() as u64;
+
+        // ---- full reuse ------------------------------------------------------
+        if changed.is_empty() {
+            if let Some((cached_opts, outcome)) = &self.cached {
+                if cached_opts == opts {
+                    maya_telemetry::count(Counter::IncrFullReuses);
+                    self.stats.full_reuses += 1;
+                    let mut out = outcome.clone();
+                    out.full_reuse = true;
+                    out.files_changed = 0;
+                    out.files_reused = self.files.len();
+                    out.files_recompiled = 0;
+                    out.grammar_reuses = 0;
+                    return out;
+                }
+            }
+        }
+
+        // ---- invalidation ----------------------------------------------------
+        // The cone of a change: the changed files themselves plus, via the
+        // reverse import edges of the last compile, every file that
+        // imported a metaprogram declared in one — transitively, because
+        // an importer may itself declare metaprograms for others.
+        let mut cone: BTreeSet<String> = changed.clone();
+        let mut frontier: Vec<String> = cone.iter().cloned().collect();
+        while let Some(name) = frontier.pop() {
+            if let Some(importers) = self.rdeps.get(&name) {
+                for imp in importers {
+                    if cone.insert(imp.clone()) {
+                        frontier.push(imp.clone());
+                    }
+                }
+            }
+        }
+
+        // ---- compile ---------------------------------------------------------
+        // A fresh compiler per request: class tables and interpreter state
+        // hold `Rc` closures into their compiler and cannot migrate. The
+        // expensive state (interner, LALR table memo, base environment,
+        // token trees) all lives outside the compiler and carries over.
+        let compiler = Compiler::with_options(CompileOptions {
+            uses: opts.uses.clone(),
+            ..self.base_options.clone()
+        });
+        if let Some(install) = &self.installer {
+            install(&compiler);
+        }
+        let diags = Diagnostics::with_limits(opts.max_errors, opts.deny_warnings);
+
+        let mut sources: Vec<(String, String)> = Vec::new();
+        let mut prelexed: Vec<Option<Result<Vec<SendTree>, LexError>>> = Vec::new();
+        let mut reused = 0usize;
+        let mut recompiled = 0usize;
+        for (i, (name, text)) in inputs.iter().enumerate() {
+            match text {
+                Ok(t) => {
+                    sources.push((name.clone(), t.clone()));
+                    let f = &self.files[i];
+                    if cone.contains(name) {
+                        recompiled += 1;
+                        // Changed files were already lexed this request
+                        // (the scratch pass); unchanged cone members are
+                        // re-lexed by the compiler, a genuinely cold front
+                        // end for the whole cone.
+                        if changed.contains(name) {
+                            prelexed.push(f.lexed.as_deref().cloned());
+                        } else {
+                            prelexed.push(None);
+                        }
+                    } else if let Some(lexed) = &f.lexed {
+                        reused += 1;
+                        prelexed.push(Some((**lexed).clone()));
+                    } else {
+                        // No cached trees (first sighting): cold path.
+                        recompiled += 1;
+                        prelexed.push(None);
+                    }
+                }
+                Err(e) => diags.error(format!("cannot read {name}: {e}"), Span::DUMMY),
+            }
+        }
+        count_by(Counter::IncrFilesReused, reused as u64);
+        count_by(Counter::IncrFilesRecompiled, recompiled as u64);
+        self.stats.files_reused += reused as u64;
+        self.stats.files_recompiled += recompiled as u64;
+
+        // The same last-resort safety net as `mayac`: a panic becomes an
+        // ICE diagnostic, never an abort (and never a poisoned session —
+        // the outcome cache is simply not populated).
+        let piped = crate::sandbox::catch(|| {
+            compiler.add_sources_prelexed_diags(&sources, prelexed, &diags);
+            if diags.at_cap() {
+                return (String::new(), None);
+            }
+            compiler.compile_diags(&diags);
+            let mut expand_text = String::new();
+            if opts.expand && !diags.should_fail() {
+                expand_text = render_expansions(&compiler);
+            }
+            if diags.should_fail() || !opts.run {
+                return (expand_text, None);
+            }
+            let out = compiler.run_main_diags(&opts.main_class, &diags);
+            (expand_text, out)
+        });
+        let (expand_text, program_out, ice) = match piped {
+            Ok((e, o)) => (e, o, false),
+            Err(panic_msg) => {
+                diags.error(format!("internal: {panic_msg}"), Span::DUMMY);
+                (String::new(), None, true)
+            }
+        };
+
+        // ---- dependency graph + grammar accounting ---------------------------
+        let mut grammar_reuses = 0usize;
+        if !ice {
+            let ok_file_names: Vec<&str> = sources.iter().map(|(n, _)| n.as_str()).collect();
+            let name_of = |id: FileId| ok_file_names.get(id.0 as usize).map(|s| (*s).to_owned());
+            self.rdeps.clear();
+            for edge in compiler.dep_log() {
+                if self.seen_grammars.contains(&edge.grammar_hash) {
+                    grammar_reuses += 1;
+                }
+                self.seen_grammars.insert(edge.grammar_hash);
+                if let (Some(importer), Some(origin)) =
+                    (name_of(edge.importer), edge.origin.and_then(name_of))
+                {
+                    if importer != origin {
+                        self.rdeps.entry(origin).or_default().insert(importer);
+                    }
+                }
+            }
+        }
+        count_by(Counter::IncrGrammarReuses, grammar_reuses as u64);
+        self.stats.grammar_reuses += grammar_reuses as u64;
+
+        // ---- render (byte-identical to mayac) --------------------------------
+        let mut stderr = String::new();
+        if !diags.is_empty() || diags.should_fail() {
+            let sm = compiler.inner().sm.borrow();
+            match opts.error_format {
+                ErrorFormat::Human => {
+                    for line in diags.render_human(&sm).lines() {
+                        stderr.push_str("mayac: ");
+                        stderr.push_str(line);
+                        stderr.push('\n');
+                    }
+                }
+                ErrorFormat::Json => stderr.push_str(&diags.render_json(&sm)),
+            }
+        }
+        let success = !diags.should_fail();
+        let mut stdout = expand_text;
+        if success {
+            if let Some(out) = program_out {
+                stdout.push_str(&out);
+            }
+        }
+        let outcome = Outcome {
+            stdout,
+            stderr,
+            success,
+            full_reuse: false,
+            files_changed: changed.len(),
+            files_reused: reused,
+            files_recompiled: recompiled,
+            grammar_reuses,
+        };
+        if ice {
+            self.cached = None;
+        } else {
+            self.cached = Some((opts.clone(), outcome.clone()));
+        }
+        outcome
+    }
+}
+
+/// `mayac --expand` as a string: every compiled method body of every
+/// user class, pretty-printed after Mayan expansion.
+fn render_expansions(compiler: &Compiler) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let classes = compiler.classes();
+    for idx in 0..classes.len() {
+        let id = maya_types::ClassId(idx as u32);
+        let info = classes.info(id);
+        let info = info.borrow();
+        if info.fqcn.as_str().starts_with("java.") || info.fqcn.as_str().starts_with("maya.") {
+            continue;
+        }
+        for m in &info.methods {
+            if let Some(body) = &m.body {
+                if let Some(node) = body.forced_node() {
+                    let _ = writeln!(out, "--- {}.{} ---", info.fqcn, m.name);
+                    let _ = writeln!(
+                        out,
+                        "{}",
+                        maya_ast::normalize_generated_names(&maya_ast::pretty_node(&node))
+                    );
+                }
+            }
+        }
+    }
+    out
+}

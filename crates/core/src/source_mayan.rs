@@ -252,6 +252,7 @@ pub fn register_mayan(
             cx.classes.by_fqcn_str(fq).expect("bridge class"),
         ));
     }
+    cx.lazy_created.set(cx.lazy_created.get() + 1);
     let body = LazyNode::new(
         NodeKind::BlockStmts,
         decl.body.clone(),
@@ -292,9 +293,10 @@ pub fn register_mayan(
         ext_class,
         arg_names,
     });
-    cx.register_metaprogram(&decl.name.to_string(), program.clone());
+    let origin = (!decl.span.is_dummy()).then_some(decl.span.file);
+    cx.register_metaprogram_at(&decl.name.to_string(), program.clone(), origin);
     if let Some(p) = package {
-        cx.register_metaprogram(&format!("{p}.{}", decl.name), program);
+        cx.register_metaprogram_at(&format!("{p}.{}", decl.name), program, origin);
     }
     Ok(())
 }

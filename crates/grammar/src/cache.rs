@@ -251,6 +251,23 @@ pub fn clear_table_cache() {
     MEMO.with(|m| m.borrow_mut().clear());
 }
 
+/// Number of table sets currently held by this thread's in-process memo.
+///
+/// A persistent compile session (`mayad`, `mayac --watch`) keeps its
+/// compiler on one thread precisely so this memo survives across requests;
+/// the count is surfaced in server stats so warm-cache retention is
+/// observable.
+pub fn table_cache_len() -> usize {
+    MEMO.with(|m| m.borrow().len())
+}
+
+/// Whether this thread's memo already holds tables for `hash` (a grammar
+/// content hash). Used by the incremental session to classify re-imports
+/// as grammar reuses without touching the build path.
+pub fn table_cache_contains(hash: u128) -> bool {
+    MEMO.with(|m| m.borrow().contains_key(&hash))
+}
+
 /// The table lookup behind [`Grammar::tables`]: in-process memo, then
 /// on-disk cache, then a real build (whose result populates both layers).
 pub(crate) fn tables_for(g: &Grammar) -> Result<Rc<Tables>, GrammarError> {

@@ -191,11 +191,41 @@ pub enum Counter {
     /// Dispatched reductions that ran the full applicability scan (and, for
     /// memoizable productions, populated the memo).
     DispatchIndexMisses,
+    /// Compile requests served by a persistent [`Session`] (the `mayad`
+    /// server, `mayac --watch`, or the embedding API).
+    ServerRequests,
+    /// Session requests answered entirely from the previous outcome: no
+    /// file changed (byte- or token-identical), so nothing was rebuilt.
+    IncrFullReuses,
+    /// Files whose token stream actually changed since the last request.
+    IncrFilesChanged,
+    /// Files re-lexed/re-parsed because they were in the invalidation cone
+    /// of a changed file (including the changed files themselves).
+    IncrFilesRecompiled,
+    /// Files outside every invalidation cone whose cached token trees were
+    /// reused (the front end never touches their text again).
+    IncrFilesReused,
+    /// Syntax imports whose resulting grammar content hash was already
+    /// seen by this session — the LALR table memo serves them for free.
+    IncrGrammarReuses,
+    /// Lazy-body parses served from the session's force cache: the body's
+    /// token trees were unchanged and its previous parse was provably
+    /// pure, so the memoized AST is returned without re-parsing.
+    ForceCacheHits,
+    /// Whole-file compilation-unit parses served from the session's force
+    /// cache: the file's token trees were unchanged and its previous
+    /// parse was provably pure, so the AST is rebuilt from the memo (with
+    /// fresh lazy cells) without re-parsing.
+    UnitCacheHits,
+    /// Class-body member-list parses served from the session's force
+    /// cache (same purity regime as `UnitCacheHits`, applied to the
+    /// deferred `ClassBody` parse that shapes a class's members).
+    ClassBodyCacheHits,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 28] = [
+    pub const ALL: [Counter; 37] = [
         Counter::TokensLexed,
         Counter::TokenTreesBuilt,
         Counter::FilesLexed,
@@ -224,6 +254,15 @@ impl Counter {
         Counter::TableCacheMisses,
         Counter::DispatchIndexHits,
         Counter::DispatchIndexMisses,
+        Counter::ServerRequests,
+        Counter::IncrFullReuses,
+        Counter::IncrFilesChanged,
+        Counter::IncrFilesRecompiled,
+        Counter::IncrFilesReused,
+        Counter::IncrGrammarReuses,
+        Counter::ForceCacheHits,
+        Counter::UnitCacheHits,
+        Counter::ClassBodyCacheHits,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -257,6 +296,15 @@ impl Counter {
             Counter::TableCacheMisses => "table_cache_misses",
             Counter::DispatchIndexHits => "dispatch_index_hits",
             Counter::DispatchIndexMisses => "dispatch_index_misses",
+            Counter::ServerRequests => "server_requests",
+            Counter::IncrFullReuses => "incr_full_reuses",
+            Counter::IncrFilesChanged => "incr_files_changed",
+            Counter::IncrFilesRecompiled => "incr_files_recompiled",
+            Counter::IncrFilesReused => "incr_files_reused",
+            Counter::IncrGrammarReuses => "incr_grammar_reuses",
+            Counter::ForceCacheHits => "force_cache_hits",
+            Counter::UnitCacheHits => "unit_cache_hits",
+            Counter::ClassBodyCacheHits => "class_body_cache_hits",
         }
     }
 

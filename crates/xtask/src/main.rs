@@ -314,11 +314,119 @@ fn extension_heavy_workload(root: &Path) {
     }
 }
 
+// ---- compile-server bench ----------------------------------------------------
+
+/// Warm single-file recompiles through the session must beat a cold
+/// compile of the whole workload by at least this factor.
+const SERVER_MIN_SPEEDUP: f64 = 5.0;
+
+/// The `tests/scale.rs` forty-class workload split one class per file, so
+/// a single-file edit leaves a large reusable remainder — the compile
+/// server's bread-and-butter shape.
+fn server_workload_sources() -> Vec<(String, String)> {
+    let mut files = Vec::new();
+    for i in 0..40 {
+        let mut src = format!("class C{i} {{\n    int id() {{ return {i}; }}\n");
+        if i > 0 {
+            let _ = writeln!(src, "    int chained() {{ return new C{}().id() + id(); }}", i - 1);
+        }
+        for m in 0..8 {
+            let _ =
+                writeln!(src, "    int m{m}(int a) {{ int t = a * {m} + id(); return t - a; }}");
+        }
+        src.push_str("}\n");
+        files.push((format!("c{i:02}.maya"), src));
+    }
+    files.push((
+        "main.maya".to_owned(),
+        "class Main { static void main() { System.out.println(new C39().chained()); } }\n"
+            .to_owned(),
+    ));
+    files
+}
+
+struct ServerBench {
+    cold_ms: f64,
+    warm_recompile_ms: f64,
+    full_reuse_ms: f64,
+}
+
+impl ServerBench {
+    fn speedup(&self) -> f64 {
+        self.cold_ms / self.warm_recompile_ms.max(1e-9)
+    }
+}
+
+fn server_session() -> maya::Session {
+    maya::Session::new(
+        maya::CompileOptions { echo_output: false, jobs: 1, ..Default::default() },
+        None,
+    )
+}
+
+/// Times the compile-server path three ways on the scale workload: a cold
+/// compile on a fresh thread (fresh thread-local table memo and AST cache,
+/// i.e. what a standalone `mayac` process pays), a warm single-file
+/// recompile through a live session, and a full-reuse round trip.
+fn server_bench() -> ServerBench {
+    let sources = server_workload_sources();
+    let opts = maya::RequestOpts::default();
+
+    let mut cold_ms = f64::INFINITY;
+    for _ in 0..PERF_REPS {
+        let srcs = sources.clone();
+        let ms = std::thread::spawn(move || {
+            let started = std::time::Instant::now();
+            let mut s = server_session();
+            let out = s.compile_sources(&srcs, &maya::RequestOpts::default());
+            assert!(out.success, "cold server workload failed:\n{}", out.stderr);
+            assert_eq!(out.stdout, "77\n");
+            started.elapsed().as_secs_f64() * 1e3
+        })
+        .join()
+        .expect("cold bench thread");
+        cold_ms = cold_ms.min(ms);
+    }
+
+    let mut session = server_session();
+    let mut edited = sources.clone();
+    assert!(session.compile_sources(&edited, &opts).success);
+
+    let mut warm_recompile_ms = f64::INFINITY;
+    for rep in 0..PERF_REPS {
+        // Append a fresh class to one middle file each rep so every rep is
+        // a genuine one-file recompile, never a cached round trip.
+        let _ = writeln!(edited[20].1, "class Warm{rep} {{ }}");
+        let started = std::time::Instant::now();
+        let out = session.compile_sources(&edited, &opts);
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        assert!(out.success, "{}", out.stderr);
+        assert_eq!(out.stdout, "77\n");
+        assert_eq!(
+            (out.files_changed, out.files_recompiled, out.files_reused),
+            (1, 1, 40),
+            "warm rep must recompile exactly the edited file"
+        );
+        warm_recompile_ms = warm_recompile_ms.min(ms);
+    }
+
+    let mut full_reuse_ms = f64::INFINITY;
+    for _ in 0..PERF_REPS {
+        let started = std::time::Instant::now();
+        let out = session.compile_sources(&edited, &opts);
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        assert!(out.full_reuse, "identical request must be a full reuse");
+        full_reuse_ms = full_reuse_ms.min(ms);
+    }
+
+    ServerBench { cold_ms, warm_recompile_ms, full_reuse_ms }
+}
+
 fn perf_counter(m: &PerfMeasure, c: Counter) -> u64 {
     m.counters.iter().find(|(k, _)| *k == c).map_or(0, |(_, v)| *v)
 }
 
-fn render_perf(rows: &[PerfRow]) -> String {
+fn render_perf(rows: &[PerfRow], server: &ServerBench) -> String {
     let counter_block = |m: &PerfMeasure, indent: &str| {
         let lines: Vec<String> = m
             .counters
@@ -352,7 +460,17 @@ fn render_perf(rows: &[PerfRow]) -> String {
         })
         .collect();
     out.push_str(&blocks.join(",\n"));
-    out.push_str("\n  }\n}\n");
+    out.push_str("\n  },\n");
+    let _ = writeln!(
+        out,
+        "  \"server\": {{\n    \"cold_ms\": {:.2},\n    \"warm_recompile_ms\": {:.2},\n    \
+         \"full_reuse_ms\": {:.2},\n    \"warm_speedup\": {:.2}\n  }}",
+        server.cold_ms,
+        server.warm_recompile_ms,
+        server.full_reuse_ms,
+        server.speedup(),
+    );
+    out.push_str("}\n");
     out
 }
 
@@ -426,9 +544,29 @@ fn perf_gate() -> ExitCode {
         failed = true;
     }
 
-    // Gate 3 (wall clock, self-relative): no fast-path run may regress more
+    // Gate 3 (absolute): warm single-file recompiles through the compile
+    // server must beat a cold whole-workload compile by SERVER_MIN_SPEEDUP.
+    let server = server_bench();
+    println!(
+        "xtask perf: server             cold {:>8.2}ms  warm recompile {:>8.2}ms  \
+         full reuse {:>8.2}ms  ({:.2}x)",
+        server.cold_ms,
+        server.warm_recompile_ms,
+        server.full_reuse_ms,
+        server.speedup()
+    );
+    if server.speedup() < SERVER_MIN_SPEEDUP {
+        eprintln!(
+            "xtask perf: compile server too slow: warm recompile only {:.2}x faster than \
+             cold (need {SERVER_MIN_SPEEDUP:.1}x)",
+            server.speedup()
+        );
+        failed = true;
+    }
+
+    // Gate 4 (wall clock, self-relative): no fast-path run may regress more
     // than PERF_TOLERANCE against the committed snapshot.
-    let doc = render_perf(&rows);
+    let doc = render_perf(&rows, &server);
     let baseline_path = root.join("BENCH_perf.json");
     match std::fs::read_to_string(&baseline_path) {
         Ok(baseline) => {
@@ -575,6 +713,7 @@ fn fuzz_one(src: &str) -> Result<bool, String> {
             interp_step_limit: 500_000,
             interp_stack_limit: 64,
             jobs: 1,
+            ..Default::default()
         });
         maya::macrolib::install(&c);
         let diags = maya::core::Diagnostics::with_limits(10, false);
@@ -585,6 +724,57 @@ fn fuzz_one(src: &str) -> Result<bool, String> {
         }
         !diags.should_fail()
     })
+}
+
+/// Replays the conformance corpus through the compile-server path: each
+/// program cold, warm (must be a byte-identical full reuse), and after an
+/// appended-class edit, all inside the ICE boundary. A panic escaping the
+/// session, or a warm replay diverging from its cold run, fails the fuzz
+/// run — the same invariants the random cases hunt for, on real programs.
+fn fuzz_corpus_server(root: &Path) -> Result<(usize, usize), String> {
+    let dir = root.join("tests/corpus");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("read {}: {e}", dir.display()))?
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.ends_with(".maya").then_some(name)
+        })
+        .collect();
+    names.sort();
+    let installer: std::rc::Rc<dyn Fn(&maya::Compiler)> = std::rc::Rc::new(|c| {
+        maya::macrolib::install(c);
+        maya::multijava::install(c);
+    });
+    let mut session = maya::Session::new(
+        maya::CompileOptions { echo_output: false, jobs: 1, ..Default::default() },
+        Some(installer),
+    );
+    let opts = maya::RequestOpts::default();
+    let (mut clean, mut diagnosed) = (0usize, 0usize);
+    for name in &names {
+        let src = std::fs::read_to_string(dir.join(name)).map_err(|e| format!("{name}: {e}"))?;
+        let noedit = src.lines().any(|l| l.trim() == "// noedit");
+        let sources = vec![(name.clone(), src.clone())];
+        let replay = maya::core::catch_ice(std::panic::AssertUnwindSafe(|| {
+            let cold = session.compile_sources(&sources, &opts);
+            let warm = session.compile_sources(&sources, &opts);
+            if !warm.full_reuse || warm.stdout != cold.stdout || warm.stderr != cold.stderr {
+                return Err(format!("{name}: warm server replay diverged from cold run"));
+            }
+            if !noedit {
+                let edited = vec![(name.clone(), format!("{src}\nclass ZZFuzz {{ }}\n"))];
+                session.compile_sources(&edited, &opts);
+            }
+            Ok(cold.success)
+        }))
+        .map_err(|panic_msg| format!("{name}: PANIC escaped the compile server: {panic_msg}"))??;
+        if replay {
+            clean += 1;
+        } else {
+            diagnosed += 1;
+        }
+    }
+    Ok((clean, diagnosed))
 }
 
 fn fuzz_lite(cases: usize, seed: u64) -> ExitCode {
@@ -610,7 +800,20 @@ fn fuzz_lite(cases: usize, seed: u64) -> ExitCode {
          {diagnosed} diagnosed, 0 panics",
         started.elapsed().as_secs_f64()
     );
-    ExitCode::SUCCESS
+    match fuzz_corpus_server(&repo_root()) {
+        Ok((clean, diagnosed)) => {
+            println!(
+                "xtask fuzz-lite: corpus server replay: {} programs ({clean} clean, \
+                 {diagnosed} diagnosed), warm == cold, 0 panics",
+                clean + diagnosed
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask fuzz-lite: corpus server replay FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {

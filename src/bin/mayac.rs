@@ -6,7 +6,7 @@
 //! mayac [-use NAME]... [--main CLASS] [--expand]
 //!       [--max-errors=N] [--error-format=human|json] [--deny-warnings]
 //!       [--time-passes] [--stats[=FILE]] [--trace-expansion[=FILTER]]
-//!       [--jobs=N] [--table-cache=DIR]
+//!       [--jobs=N] [--table-cache=DIR] [--watch]
 //!       FILE...
 //! ```
 //!
@@ -31,7 +31,8 @@
 //!
 //! * `--time-passes` — per-phase wall-clock table on stderr;
 //! * `--stats` — machine-readable counters (schema `maya-telemetry/1`) on
-//!   stderr, or to a file with `--stats=FILE`;
+//!   stderr, or to a file with `--stats=FILE` (missing parent directories
+//!   are created);
 //! * `--trace-expansion` — stream each dispatch/force/import/template
 //!   event to stderr as it happens; `--trace-expansion=FILTER` keeps only
 //!   events whose kind, target, or detail contains FILTER.
@@ -44,22 +45,24 @@
 //!   (default: available parallelism). Output, diagnostics, and their
 //!   order are identical for every N.
 //! * `--table-cache=DIR` — persist built LALR tables under DIR, keyed by
-//!   a grammar content hash, so later runs skip table construction. A
-//!   corrupt or stale cache file is ignored and rebuilt silently.
+//!   a grammar content hash, so later runs skip table construction. The
+//!   directory (with any missing parents) is created; a corrupt or stale
+//!   cache file is ignored and rebuilt silently.
+//!
+//! Incremental mode (see README.md § Incremental compilation):
+//!
+//! * `--watch` — stay resident after the first compile, poll the input
+//!   files, and recompile through the incremental [`Session`] whenever
+//!   one changes. Only the downstream cone of the change is rebuilt; a
+//!   byte-identical (or token-identical) rewrite rebuilds nothing.
+//!   Each round's output is exactly what a cold run would print.
+//!   `mayad` offers the same engine as a unix-socket server.
 
-use maya::ast::{normalize_generated_names, pretty_node};
-use maya::core::Diagnostics;
+use maya::core::{ErrorFormat, RequestOpts, Session};
 use maya::telemetry;
 use maya::{CompileOptions, Compiler};
 use std::process::ExitCode;
 use std::rc::Rc;
-
-#[derive(Clone, Copy, PartialEq, Eq, Default)]
-enum ErrorFormat {
-    #[default]
-    Human,
-    Json,
-}
 
 #[derive(Default)]
 struct Cli {
@@ -79,6 +82,8 @@ struct Cli {
     jobs: Option<usize>,
     /// On-disk LALR table cache directory.
     table_cache: Option<String>,
+    /// Stay resident and recompile on change.
+    watch: bool,
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
@@ -99,6 +104,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
             "--time-passes" => cli.time_passes = true,
             "--stats" => cli.stats = Some(None),
             "--trace-expansion" => cli.trace = Some(String::new()),
+            "--watch" => cli.watch = true,
             "-h" | "--help" => return Err(String::new()),
             other => {
                 if let Some(path) = other.strip_prefix("--stats=") {
@@ -143,14 +149,31 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
     Ok(cli)
 }
 
-fn main() -> ExitCode {
-    let cli = match parse_args(std::env::args().skip(1)) {
-        Ok(cli) => cli,
-        Err(e) => return usage(&e),
-    };
+/// Writes `contents` to `path`, creating missing parent directories.
+fn write_creating_dirs(path: &str, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, contents)
+}
 
+fn request_opts(cli: &Cli) -> RequestOpts {
+    RequestOpts {
+        uses: cli.uses.clone(),
+        main_class: cli.main_class.clone().unwrap_or_else(|| "Main".to_owned()),
+        run: true,
+        expand: cli.expand,
+        error_format: cli.error_format,
+        max_errors: cli.max_errors.unwrap_or(20),
+        deny_warnings: cli.deny_warnings,
+    }
+}
+
+fn start_telemetry(cli: &Cli) -> Option<telemetry::Session> {
     let telemetry_on = cli.time_passes || cli.stats.is_some() || cli.trace.is_some();
-    let session = telemetry_on.then(|| {
+    telemetry_on.then(|| {
         telemetry::Session::start(telemetry::Config {
             capture_events: false,
             event_filter: cli.trace.clone().filter(|f| !f.is_empty()),
@@ -159,9 +182,44 @@ fn main() -> ExitCode {
                     as telemetry::TraceSink
             }),
         })
-    });
+    })
+}
+
+/// Emits telemetry output for one compile round. Returns `false` when the
+/// stats file could not be written.
+fn finish_telemetry(cli: &Cli, session: Option<telemetry::Session>) -> bool {
+    let Some(session) = session else { return true };
+    let report = session.finish();
+    if cli.time_passes {
+        eprint!("{}", report.time_passes_table());
+    }
+    match &cli.stats {
+        Some(Some(path)) => {
+            if let Err(e) = write_creating_dirs(path, &report.to_json()) {
+                eprintln!("mayac: cannot write {path}: {e}");
+                return false;
+            }
+            true
+        }
+        Some(None) => {
+            eprint!("{}", report.to_json());
+            true
+        }
+        None => true,
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => return usage(&e),
+    };
 
     if let Some(dir) = &cli.table_cache {
+        // Create the directory (with missing parents) eagerly so the disk
+        // layer works on first use; a failure here only disables caching,
+        // exactly like any later cache-write failure.
+        let _ = std::fs::create_dir_all(dir);
         maya::grammar::set_table_cache_dir(Some(std::path::PathBuf::from(dir)));
     }
     let jobs = cli.jobs.unwrap_or_else(|| {
@@ -169,112 +227,86 @@ fn main() -> ExitCode {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
     });
-    let compiler = Compiler::with_options(CompileOptions {
-        echo_output: false,
-        uses: cli.uses.clone(),
-        jobs,
-        ..CompileOptions::default()
-    });
-    maya::macrolib::install(&compiler);
-    maya::multijava::install(&compiler);
+    let installer = Rc::new(|c: &Compiler| {
+        maya::macrolib::install(c);
+        maya::multijava::install(c);
+    }) as Rc<dyn Fn(&Compiler)>;
+    let mut session = Session::new(
+        CompileOptions {
+            echo_output: false,
+            jobs,
+            ..CompileOptions::default()
+        },
+        Some(installer),
+    );
+    let opts = request_opts(&cli);
 
-    let diags = Diagnostics::with_limits(cli.max_errors.unwrap_or(20), cli.deny_warnings);
-    // Last-resort safety net: any panic that escapes the per-phase
-    // sandboxes still becomes an ICE diagnostic, never an abort.
-    let output = match maya::core::catch_ice(|| run(&compiler, &cli, &diags)) {
-        Ok(out) => out,
-        Err(panic_msg) => {
-            diags.error(format!("internal: {panic_msg}"), maya::lexer::Span::DUMMY);
-            None
-        }
-    };
+    if cli.watch {
+        return watch(&mut session, &cli, &opts);
+    }
 
+    let tsession = start_telemetry(&cli);
+    let outcome = session.compile(&cli.files, &opts);
     // Telemetry output is emitted even when compilation fails: a phase
     // table for a failing run is still a phase table.
-    if let Some(session) = session {
-        let report = session.finish();
-        if cli.time_passes {
-            eprint!("{}", report.time_passes_table());
-        }
-        match &cli.stats {
-            Some(Some(path)) => {
-                if let Err(e) = std::fs::write(path, report.to_json()) {
-                    eprintln!("mayac: cannot write {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            }
-            Some(None) => eprint!("{}", report.to_json()),
-            None => {}
-        }
-    }
-
-    if !diags.is_empty() || diags.should_fail() {
-        let sm = compiler.inner().sm.borrow();
-        match cli.error_format {
-            ErrorFormat::Human => {
-                for line in diags.render_human(&sm).lines() {
-                    eprintln!("mayac: {line}");
-                }
-            }
-            ErrorFormat::Json => eprint!("{}", diags.render_json(&sm)),
-        }
-    }
-
-    if diags.should_fail() {
+    let stats_ok = finish_telemetry(&cli, tsession);
+    eprint!("{}", outcome.stderr);
+    if !stats_ok {
         return ExitCode::FAILURE;
     }
-    if let Some(out) = output {
-        print!("{out}");
+    if !outcome.success {
+        return ExitCode::FAILURE;
     }
+    print!("{}", outcome.stdout);
     ExitCode::SUCCESS
 }
 
-/// The whole pipeline in multi-error mode: read, parse (with recovery),
-/// compile (per-class isolation), run. Returns the program output when
-/// everything succeeded.
-fn run(compiler: &Compiler, cli: &Cli, diags: &Diagnostics) -> Option<String> {
-    // Read everything up front (read errors come out first, in file
-    // order), then hand the batch to the compiler so independent files can
-    // be lexed on worker threads. Units, diagnostics, and output stay in
-    // file order regardless of --jobs.
-    let mut sources: Vec<(String, String)> = Vec::new();
-    for f in &cli.files {
-        match std::fs::read_to_string(f) {
-            Ok(t) => sources.push((f.clone(), t)),
-            Err(e) => diags.error(format!("cannot read {f}: {e}"), maya::lexer::Span::DUMMY),
+/// `--watch`: compile, then poll the inputs (mtime + size at 200ms) and
+/// recompile through the same [`Session`] on every change. Each round
+/// prints exactly what a cold run would, preceded by a `mayac: [watch]`
+/// status line on stderr.
+fn watch(session: &mut Session, cli: &Cli, opts: &RequestOpts) -> ExitCode {
+    use std::io::Write as _;
+    let mut round = 0u64;
+    loop {
+        round += 1;
+        let tsession = start_telemetry(cli);
+        let outcome = session.compile(&cli.files, opts);
+        finish_telemetry(cli, tsession);
+        eprint!("{}", outcome.stderr);
+        if outcome.success {
+            print!("{}", outcome.stdout);
         }
-    }
-    compiler.add_sources_diags(&sources, diags);
-    if diags.at_cap() {
-        return None;
-    }
-    compiler.compile_diags(diags);
-
-    if cli.expand && !diags.should_fail() {
-        let classes = compiler.classes();
-        for idx in 0..classes.len() {
-            let id = maya::types::ClassId(idx as u32);
-            let info = classes.info(id);
-            let info = info.borrow();
-            if info.fqcn.as_str().starts_with("java.") || info.fqcn.as_str().starts_with("maya.") {
-                continue;
-            }
-            for m in &info.methods {
-                if let Some(body) = &m.body {
-                    if let Some(node) = body.forced_node() {
-                        println!("--- {}.{} ---", info.fqcn, m.name);
-                        println!("{}", normalize_generated_names(&pretty_node(&node)));
-                    }
-                }
+        let _ = std::io::stdout().flush();
+        eprintln!(
+            "mayac: [watch] round {round}: {} ({} changed, {} recompiled, {} reused{})",
+            if outcome.success { "ok" } else { "failed" },
+            outcome.files_changed,
+            outcome.files_recompiled,
+            outcome.files_reused,
+            if outcome.full_reuse { ", full reuse" } else { "" },
+        );
+        let baseline = fingerprint(&cli.files);
+        loop {
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            if fingerprint(&cli.files) != baseline {
+                break;
             }
         }
     }
+}
 
-    if diags.should_fail() {
-        return None;
-    }
-    let main_class = cli.main_class.as_deref().unwrap_or("Main");
-    compiler.run_main_diags(main_class, diags)
+/// A cheap change fingerprint: (mtime, size) per file; unreadable files
+/// fingerprint as `None` so appearing/disappearing also triggers.
+fn fingerprint(files: &[String]) -> Vec<Option<(std::time::SystemTime, u64)>> {
+    files
+        .iter()
+        .map(|f| {
+            std::fs::metadata(f)
+                .ok()
+                .and_then(|m| m.modified().ok().map(|t| (t, m.len())))
+        })
+        .collect()
 }
 
 fn usage(err: &str) -> ExitCode {
@@ -285,7 +317,7 @@ fn usage(err: &str) -> ExitCode {
         "usage: mayac [-use NAME]... [--main CLASS] [--expand]\n\
          \x20            [--max-errors=N] [--error-format=human|json] [--deny-warnings]\n\
          \x20            [--time-passes] [--stats[=FILE]] [--trace-expansion[=FILTER]]\n\
-         \x20            [--jobs=N] [--table-cache=DIR] FILE..."
+         \x20            [--jobs=N] [--table-cache=DIR] [--watch] FILE..."
     );
     if err.is_empty() {
         ExitCode::SUCCESS

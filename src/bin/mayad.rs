@@ -1,0 +1,363 @@
+//! `mayad`: the persistent Maya compile server.
+//!
+//! Usage:
+//!
+//! ```text
+//! mayad --socket=PATH [--max-inflight=N] [--jobs=N]
+//!       [--table-cache=DIR] [--stats=FILE]
+//! ```
+//!
+//! `mayad` keeps one incremental [`Session`] resident and serves compile
+//! requests over a unix domain socket, one newline-delimited JSON object
+//! per request (see README.md § Incremental compilation). Because the
+//! session, the process-global interner, and the thread-local LALR table
+//! memo all stay warm, a request that recompiles one changed file skips
+//! most of the work a cold `mayac` run would do — while producing
+//! byte-identical `stdout`/`stderr`.
+//!
+//! ## Protocol
+//!
+//! Compile request (any field but `files` may be omitted):
+//!
+//! ```json
+//! {"files": ["a.maya"], "main": "Main", "run": true, "expand": false,
+//!  "error_format": "human", "max_errors": 20, "deny_warnings": false,
+//!  "uses": []}
+//! ```
+//!
+//! Response:
+//!
+//! ```json
+//! {"ok": true, "success": true, "stdout": "...", "stderr": "...",
+//!  "full_reuse": false, "files_changed": 1, "files_reused": 2,
+//!  "files_recompiled": 1, "grammar_reuses": 3}
+//! ```
+//!
+//! Control requests: `{"cmd": "ping"}`, `{"cmd": "stats"}` (cumulative
+//! session counters plus the warm LALR memo size), `{"cmd": "shutdown"}`.
+//! A malformed line gets `{"ok": false, "error": "..."}` and the
+//! connection stays open.
+//!
+//! ## Concurrency
+//!
+//! The compiler is single-threaded by design (`Rc` everywhere), so the
+//! session lives on the main thread. An acceptor thread takes
+//! connections; one reader thread per connection decodes lines and feeds
+//! them through a bounded queue of `--max-inflight` (default 8) pending
+//! requests — the batching knob: past that, clients block in `write`
+//! rather than ballooning the server's memory. Requests are answered in
+//! queue order.
+
+use maya::core::json::{parse_json, Json};
+use maya::core::{ErrorFormat, Outcome, RequestOpts, Session, SessionStats};
+use maya::telemetry::{self, json_string};
+use maya::{CompileOptions, Compiler};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::process::ExitCode;
+use std::rc::Rc;
+use std::sync::mpsc;
+
+#[derive(Default)]
+struct Cli {
+    socket: Option<String>,
+    max_inflight: Option<usize>,
+    jobs: Option<usize>,
+    table_cache: Option<String>,
+    stats: Option<String>,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    for a in args {
+        match a.as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            other => {
+                if let Some(p) = other.strip_prefix("--socket=") {
+                    if p.is_empty() {
+                        return Err("missing path after --socket=".into());
+                    }
+                    cli.socket = Some(p.to_owned());
+                } else if let Some(n) = other.strip_prefix("--max-inflight=") {
+                    match n.parse::<usize>() {
+                        Ok(n) if n > 0 => cli.max_inflight = Some(n),
+                        _ => return Err(format!("invalid --max-inflight value {n:?}")),
+                    }
+                } else if let Some(n) = other.strip_prefix("--jobs=") {
+                    match n.parse::<usize>() {
+                        Ok(n) if n > 0 => cli.jobs = Some(n),
+                        _ => return Err(format!("invalid --jobs value {n:?}")),
+                    }
+                } else if let Some(d) = other.strip_prefix("--table-cache=") {
+                    if d.is_empty() {
+                        return Err("missing directory after --table-cache=".into());
+                    }
+                    cli.table_cache = Some(d.to_owned());
+                } else if let Some(f) = other.strip_prefix("--stats=") {
+                    if f.is_empty() {
+                        return Err("missing file after --stats=".into());
+                    }
+                    cli.stats = Some(f.to_owned());
+                } else {
+                    return Err(format!("unknown option {other}"));
+                }
+            }
+        }
+    }
+    if cli.socket.is_none() {
+        return Err("missing --socket=PATH".into());
+    }
+    Ok(cli)
+}
+
+/// One decoded line from some connection, awaiting the session's answer.
+enum Job {
+    Request {
+        line: String,
+        reply: mpsc::Sender<String>,
+    },
+    /// The client asked to shut down; its reader already flushed the
+    /// farewell reply.
+    Shutdown,
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => return usage(&e),
+    };
+    let socket_path = cli.socket.clone().expect("validated");
+
+    if let Some(dir) = &cli.table_cache {
+        let _ = std::fs::create_dir_all(dir);
+        maya::grammar::set_table_cache_dir(Some(std::path::PathBuf::from(dir)));
+    }
+    let jobs = cli.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    let installer = Rc::new(|c: &Compiler| {
+        maya::macrolib::install(c);
+        maya::multijava::install(c);
+    }) as Rc<dyn Fn(&Compiler)>;
+    let mut session = Session::new(
+        CompileOptions {
+            echo_output: false,
+            jobs,
+            ..CompileOptions::default()
+        },
+        Some(installer),
+    );
+    // One telemetry session for the server's lifetime; the report lands in
+    // `--stats=FILE` at shutdown.
+    let tsession = cli.stats.is_some().then(|| {
+        telemetry::Session::start(telemetry::Config::default())
+    });
+
+    // A stale socket file from a crashed server would make bind fail.
+    let _ = std::fs::remove_file(&socket_path);
+    let listener = match UnixListener::bind(&socket_path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("mayad: cannot bind {socket_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("mayad: listening on {socket_path}");
+
+    let max_inflight = cli.max_inflight.unwrap_or(8);
+    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(max_inflight);
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(stream) = conn else { break };
+            let tx = job_tx.clone();
+            std::thread::spawn(move || serve_connection(stream, &tx));
+        }
+    });
+
+    // The session loop: single-threaded, in queue order, so every request
+    // sees the warm caches of the one before it.
+    for job in job_rx {
+        match job {
+            Job::Request { line, reply } => {
+                let response = handle_line(&mut session, &line);
+                let _ = reply.send(response);
+            }
+            Job::Shutdown => break,
+        }
+    }
+
+    if let Some(t) = tsession {
+        let path = cli.stats.as_deref().expect("stats implies path");
+        if let Err(e) = write_creating_dirs(path, &t.finish().to_json()) {
+            eprintln!("mayad: cannot write {path}: {e}");
+        }
+    }
+    let _ = std::fs::remove_file(&socket_path);
+    eprintln!("mayad: shut down");
+    ExitCode::SUCCESS
+}
+
+/// Reader thread: one line in, one line out, until EOF. The farewell for
+/// `shutdown` is written *and flushed* before the main loop is told, so
+/// the client always sees its reply.
+fn serve_connection(stream: UnixStream, jobs: &mpsc::SyncSender<Job>) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut writer = std::io::BufWriter::new(write_half);
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let is_shutdown = parse_json(&line)
+            .ok()
+            .and_then(|v| v.get("cmd").and_then(Json::as_str).map(|c| c == "shutdown"))
+            .unwrap_or(false);
+        if is_shutdown {
+            let _ = writeln!(writer, "{}", r#"{"ok": true, "bye": true}"#);
+            let _ = writer.flush();
+            let _ = jobs.send(Job::Shutdown);
+            return;
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if jobs
+            .send(Job::Request {
+                line,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            return;
+        }
+        let Ok(response) = reply_rx.recv() else { return };
+        if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// Decodes one request line, runs it against the session, encodes the
+/// response. Never panics the server: a malformed request is an `ok:
+/// false` reply, and the session converts compiler panics into ICE
+/// diagnostics itself.
+fn handle_line(session: &mut Session, line: &str) -> String {
+    let parsed = match parse_json(line) {
+        Ok(v) => v,
+        Err(e) => return error_response(&format!("malformed request: {e}")),
+    };
+    match parsed.get("cmd").and_then(Json::as_str) {
+        Some("ping") => return r#"{"ok": true, "pong": true}"#.to_owned(),
+        Some("stats") => return stats_response(&session.stats()),
+        Some(other) => return error_response(&format!("unknown cmd {other:?}")),
+        None => {}
+    }
+    let Some(files) = parsed.get("files").and_then(Json::as_arr) else {
+        return error_response("missing \"files\" array");
+    };
+    let mut paths = Vec::new();
+    for f in files {
+        match f.as_str() {
+            Some(s) => paths.push(s.to_owned()),
+            None => return error_response("\"files\" entries must be strings"),
+        }
+    }
+    if paths.is_empty() {
+        return error_response("\"files\" must not be empty");
+    }
+    let mut opts = RequestOpts::default();
+    if let Some(m) = parsed.get("main").and_then(Json::as_str) {
+        opts.main_class = m.to_owned();
+    }
+    if let Some(r) = parsed.get("run").and_then(Json::as_bool) {
+        opts.run = r;
+    }
+    if let Some(x) = parsed.get("expand").and_then(Json::as_bool) {
+        opts.expand = x;
+    }
+    if let Some(d) = parsed.get("deny_warnings").and_then(Json::as_bool) {
+        opts.deny_warnings = d;
+    }
+    if let Some(n) = parsed.get("max_errors").and_then(Json::as_u64) {
+        if n == 0 {
+            return error_response("\"max_errors\" must be positive");
+        }
+        opts.max_errors = n as usize;
+    }
+    match parsed.get("error_format").and_then(Json::as_str) {
+        None | Some("human") => opts.error_format = ErrorFormat::Human,
+        Some("json") => opts.error_format = ErrorFormat::Json,
+        Some(other) => return error_response(&format!("unknown error format {other:?}")),
+    }
+    if let Some(uses) = parsed.get("uses").and_then(Json::as_arr) {
+        for u in uses {
+            match u.as_str() {
+                Some(s) => opts.uses.push(s.to_owned()),
+                None => return error_response("\"uses\" entries must be strings"),
+            }
+        }
+    }
+    let outcome = session.compile(&paths, &opts);
+    compile_response(&outcome)
+}
+
+fn error_response(message: &str) -> String {
+    format!("{{\"ok\": false, \"error\": {}}}", json_string(message))
+}
+
+fn compile_response(o: &Outcome) -> String {
+    format!(
+        "{{\"ok\": true, \"success\": {}, \"stdout\": {}, \"stderr\": {}, \
+         \"full_reuse\": {}, \"files_changed\": {}, \"files_reused\": {}, \
+         \"files_recompiled\": {}, \"grammar_reuses\": {}}}",
+        o.success,
+        json_string(&o.stdout),
+        json_string(&o.stderr),
+        o.full_reuse,
+        o.files_changed,
+        o.files_reused,
+        o.files_recompiled,
+        o.grammar_reuses,
+    )
+}
+
+fn stats_response(s: &SessionStats) -> String {
+    format!(
+        "{{\"ok\": true, \"stats\": {{\"requests\": {}, \"full_reuses\": {}, \
+         \"files_changed\": {}, \"files_reused\": {}, \"files_recompiled\": {}, \
+         \"grammar_reuses\": {}, \"table_memo\": {}}}}}",
+        s.requests,
+        s.full_reuses,
+        s.files_changed,
+        s.files_reused,
+        s.files_recompiled,
+        s.grammar_reuses,
+        maya::grammar::table_cache_len(),
+    )
+}
+
+/// Writes `contents` to `path`, creating missing parent directories.
+fn write_creating_dirs(path: &str, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, contents)
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("mayad: {err}");
+    }
+    eprintln!(
+        "usage: mayad --socket=PATH [--max-inflight=N] [--jobs=N]\n\
+         \x20            [--table-cache=DIR] [--stats=FILE]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -48,4 +48,7 @@ pub use maya_telemetry as telemetry;
 pub use maya_template as template;
 pub use maya_types as types;
 
-pub use maya_core::{CompileError, CompileOptions, Compiler};
+pub use maya_core::{
+    CompileError, CompileOptions, Compiler, ErrorFormat, Outcome, RequestOpts, Session,
+    SessionStats,
+};

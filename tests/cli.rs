@@ -240,3 +240,52 @@ fn errors_carry_source_locations() {
     // file:line:col rendering via the source map.
     assert!(stderr.contains("loc.maya:1:"), "{stderr}");
 }
+
+#[test]
+fn stats_file_creates_missing_parent_dirs() {
+    let f = write_temp(
+        "statdir.maya",
+        r#"class Main { static void main() { System.out.println("s"); } }"#,
+    );
+    let stats = f
+        .parent()
+        .unwrap()
+        .join("deep/nested/dirs")
+        .join("stats.json");
+    let out = mayac()
+        .arg(format!("--stats={}", stats.display()))
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let body = std::fs::read_to_string(&stats).expect("stats file written under created dirs");
+    assert!(body.contains("\"counters\""), "{body}");
+}
+
+#[test]
+fn table_cache_creates_missing_parent_dirs() {
+    let f = write_temp(
+        "cachedir.maya",
+        r#"class Main { static void main() { System.out.println("c"); } }"#,
+    );
+    let cache = f.parent().unwrap().join("cache/goes/here");
+    let out = mayac()
+        .arg(format!("--table-cache={}", cache.display()))
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(cache.is_dir(), "--table-cache must create the directory tree");
+    let entries = std::fs::read_dir(&cache).unwrap().count();
+    assert!(entries >= 1, "at least one LALR table should be cached on disk");
+}
+
+#[test]
+fn watch_flag_is_accepted_in_usage() {
+    // `--watch` never exits on its own, so only pin that the usage string
+    // advertises it (a bad flag prints usage and fails).
+    let out = mayac().arg("--definitely-bogus").output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--watch"), "usage must mention --watch: {stderr}");
+}

@@ -1,0 +1,299 @@
+//! Conformance corpus: every program under `tests/corpus/` is pinned to
+//! golden stdout/stderr snapshots, and the warm compile-server path is
+//! differentially tested against cold `mayac` on the same inputs.
+//!
+//! Regenerate the goldens with `MAYA_BLESS=1 cargo test --test conformance`.
+//!
+//! Corpus directives (leading `//` comment lines of each `.maya` file):
+//!
+//! - `// mayac: <args>`  — extra command-line arguments for the run
+//! - `// status: fail`   — the program is expected to exit non-zero
+//! - `// noedit`         — skip the append-edit differential steps (used
+//!   for programs whose diagnostics span to end-of-file)
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+
+use maya::core::json::{parse_json, Json};
+use maya::telemetry::json_string;
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_programs(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| {
+            let name = e.unwrap().file_name().into_string().unwrap();
+            name.ends_with(".maya").then_some(name)
+        })
+        .collect();
+    names.sort();
+    assert!(
+        names.len() >= 25,
+        "conformance corpus shrank below 25 programs ({} found)",
+        names.len()
+    );
+    names
+}
+
+#[derive(Default)]
+struct Directives {
+    args: Vec<String>,
+    expect_fail: bool,
+    noedit: bool,
+}
+
+fn parse_directives(src: &str) -> Directives {
+    let mut d = Directives::default();
+    for line in src.lines() {
+        let Some(rest) = line.trim().strip_prefix("//") else { break };
+        let rest = rest.trim();
+        if let Some(args) = rest.strip_prefix("mayac:") {
+            d.args = args.split_whitespace().map(str::to_string).collect();
+        } else if rest == "status: fail" {
+            d.expect_fail = true;
+        } else if rest == "noedit" {
+            d.noedit = true;
+        }
+    }
+    d
+}
+
+fn run_mayac(cwd: &Path, d: &Directives, file: &str) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mayac"))
+        .current_dir(cwd)
+        .args(&d.args)
+        .arg(file)
+        .output()
+        .unwrap()
+}
+
+/// Golden runner: each corpus program's stdout and stderr must match its
+/// checked-in `NAME.stdout` / `NAME.stderr` snapshot (a missing snapshot
+/// means "empty"), and its exit status must match the `status:` directive.
+#[test]
+fn corpus_matches_goldens() {
+    let dir = corpus_dir();
+    let bless = std::env::var("MAYA_BLESS").is_ok();
+    let mut failures = Vec::new();
+    for name in corpus_programs(&dir) {
+        let src = std::fs::read_to_string(dir.join(&name)).unwrap();
+        let d = parse_directives(&src);
+        let out = run_mayac(&dir, &d, &name);
+        if out.status.success() == d.expect_fail {
+            failures.push(format!(
+                "{name}: expected {} but got exit status {:?}\nstderr:\n{}",
+                if d.expect_fail { "failure" } else { "success" },
+                out.status.code(),
+                String::from_utf8_lossy(&out.stderr)
+            ));
+        }
+        let stem = name.trim_end_matches(".maya");
+        for (channel, bytes) in [("stdout", &out.stdout), ("stderr", &out.stderr)] {
+            let golden = dir.join(format!("{stem}.{channel}"));
+            if bless {
+                if bytes.is_empty() {
+                    let _ = std::fs::remove_file(&golden);
+                } else {
+                    std::fs::write(&golden, bytes).unwrap();
+                }
+                continue;
+            }
+            let expected = std::fs::read(&golden).unwrap_or_default();
+            if expected != **bytes {
+                failures.push(format!(
+                    "{name}: {channel} drifted from golden {stem}.{channel}\n\
+                     --- expected ---\n{}\n--- actual ---\n{}",
+                    String::from_utf8_lossy(&expected),
+                    String::from_utf8_lossy(bytes)
+                ));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n======\n"));
+}
+
+/// A mayad instance serving a scratch directory, shut down on drop.
+struct Mayad {
+    child: Child,
+    sock: PathBuf,
+}
+
+impl Mayad {
+    fn start(cwd: &Path) -> Mayad {
+        let sock = cwd.join("mayad.sock");
+        let child = Command::new(env!("CARGO_BIN_EXE_mayad"))
+            .current_dir(cwd)
+            .arg(format!("--socket={}", sock.display()))
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        for _ in 0..400 {
+            if UnixStream::connect(&sock).is_ok() {
+                return Mayad { child, sock };
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        panic!("mayad did not come up on {}", sock.display());
+    }
+
+    fn request(&self, line: &str) -> Json {
+        let mut s = UnixStream::connect(&self.sock).unwrap();
+        s.write_all(line.as_bytes()).unwrap();
+        s.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        BufReader::new(s).read_line(&mut reply).unwrap();
+        let parsed = parse_json(&reply).unwrap();
+        assert_eq!(
+            parsed.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "server error for {line}: {reply}"
+        );
+        parsed
+    }
+}
+
+impl Drop for Mayad {
+    fn drop(&mut self) {
+        if UnixStream::connect(&self.sock)
+            .and_then(|mut s| s.write_all(b"{\"cmd\":\"shutdown\"}\n"))
+            .is_ok()
+        {
+            let _ = self.child.wait();
+        } else {
+            let _ = self.child.kill();
+        }
+    }
+}
+
+/// Translate a corpus directive line into a mayad compile request.
+fn request_line(file: &str, d: &Directives) -> String {
+    let mut expand = false;
+    let mut error_format = "human";
+    let mut max_errors = 20u64;
+    let mut uses = Vec::new();
+    let mut it = d.args.iter();
+    while let Some(a) = it.next() {
+        if a == "--expand" {
+            expand = true;
+        } else if let Some(fmt) = a.strip_prefix("--error-format=") {
+            error_format = if fmt == "json" { "json" } else { "human" };
+        } else if let Some(n) = a.strip_prefix("--max-errors=") {
+            max_errors = n.parse().unwrap();
+        } else if a == "-use" {
+            uses.push(json_string(it.next().expect("-use needs a value")));
+        } else {
+            panic!("corpus directive arg {a:?} has no mayad protocol mapping");
+        }
+    }
+    format!(
+        "{{\"files\":[{}],\"expand\":{expand},\"error_format\":{},\
+         \"max_errors\":{max_errors},\"uses\":[{}]}}",
+        json_string(file),
+        json_string(error_format),
+        uses.join(",")
+    )
+}
+
+fn assert_matches_cold(name: &str, step: &str, warm: &Json, cold: &Output) {
+    assert_eq!(
+        warm.get("stdout").and_then(Json::as_str).unwrap(),
+        String::from_utf8_lossy(&cold.stdout),
+        "{name}: warm {step} stdout differs from cold mayac"
+    );
+    assert_eq!(
+        warm.get("stderr").and_then(Json::as_str).unwrap(),
+        String::from_utf8_lossy(&cold.stderr),
+        "{name}: warm {step} stderr differs from cold mayac"
+    );
+    assert_eq!(
+        warm.get("success").and_then(Json::as_bool).unwrap(),
+        cold.status.success(),
+        "{name}: warm {step} success flag differs from cold mayac exit status"
+    );
+}
+
+/// Differential pinning: for every corpus program the warm server output is
+/// byte-identical to cold `mayac`; an identical re-request is a full reuse;
+/// touching the file without changing it rebuilds nothing; a token-identical
+/// edit (trailing comment) still rebuilds nothing; a real edit recompiles
+/// and again matches a cold run on the edited source.
+#[test]
+fn corpus_cold_warm_differential() {
+    let corpus = corpus_dir();
+    let scratch = std::env::temp_dir().join(format!("maya-conf-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+    let server = Mayad::start(&scratch);
+
+    for name in corpus_programs(&corpus) {
+        let src = std::fs::read_to_string(corpus.join(&name)).unwrap();
+        let d = parse_directives(&src);
+        let local = scratch.join(&name);
+        std::fs::write(&local, &src).unwrap();
+        let req = request_line(&name, &d);
+
+        // Cold reference vs first warm-server compile.
+        let cold = run_mayac(&scratch, &d, &name);
+        let warm = server.request(&req);
+        assert_matches_cold(&name, "first", &warm, &cold);
+
+        // Identical request: everything is reused, output unchanged.
+        let again = server.request(&req);
+        assert_matches_cold(&name, "reuse", &again, &cold);
+        assert_eq!(
+            again.get("full_reuse").and_then(Json::as_bool),
+            Some(true),
+            "{name}: identical second request was not a full reuse"
+        );
+
+        // Touch without change: same bytes rewritten, nothing rebuilds.
+        std::fs::write(&local, &src).unwrap();
+        let touched = server.request(&req);
+        assert_matches_cold(&name, "touch", &touched, &cold);
+        assert_eq!(
+            touched.get("full_reuse").and_then(Json::as_bool),
+            Some(true),
+            "{name}: touch-without-change triggered a rebuild"
+        );
+
+        if d.noedit {
+            continue;
+        }
+
+        // Trailing comment: bytes change but the token stream does not, so
+        // the server detects zero changed files and reuses everything.
+        std::fs::write(&local, format!("{src}\n// warmed over\n")).unwrap();
+        let commented = server.request(&req);
+        assert_matches_cold(&name, "comment-edit", &commented, &cold);
+        assert_eq!(
+            commented.get("full_reuse").and_then(Json::as_bool),
+            Some(true),
+            "{name}: token-identical comment edit triggered a rebuild"
+        );
+
+        // Real edit: the server recompiles and must match a fresh cold run
+        // on the edited source byte-for-byte.
+        let edited = format!("{src}\nclass ZZTouched {{ }}\n");
+        std::fs::write(&local, &edited).unwrap();
+        let cold_edited = run_mayac(&scratch, &d, &name);
+        let recompiled = server.request(&req);
+        assert_matches_cold(&name, "real-edit", &recompiled, &cold_edited);
+        assert_eq!(
+            recompiled.get("full_reuse").and_then(Json::as_bool),
+            Some(false),
+            "{name}: real edit was wrongly treated as a full reuse"
+        );
+        assert!(
+            recompiled.get("files_recompiled").and_then(Json::as_u64).unwrap() >= 1,
+            "{name}: real edit recompiled no files"
+        );
+    }
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&scratch);
+}

@@ -1,0 +1,253 @@
+//! The compile server: mayad's NDJSON protocol over a unix socket, and the
+//! incremental session's invalidation cone — editing one file of an import
+//! chain recompiles exactly that file and its downstream dependents, pinned
+//! by the `incr_*` telemetry counters.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use maya::core::json::{parse_json, Json};
+use maya::telemetry::{self, Counter};
+use maya::{CompileOptions, RequestOpts, Session};
+
+// ---- mayad protocol ----------------------------------------------------------
+
+struct Mayad {
+    child: Child,
+    sock: PathBuf,
+}
+
+impl Mayad {
+    fn start(extra: &[String]) -> Mayad {
+        let dir = std::env::temp_dir().join(format!("mayad-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("srv.sock");
+        let _ = std::fs::remove_file(&sock);
+        let child = Command::new(env!("CARGO_BIN_EXE_mayad"))
+            .current_dir(&dir)
+            .arg(format!("--socket={}", sock.display()))
+            .args(extra)
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        for _ in 0..400 {
+            if UnixStream::connect(&sock).is_ok() {
+                return Mayad { child, sock };
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        panic!("mayad did not come up");
+    }
+
+    fn raw_request(&self, line: &str) -> Json {
+        let mut s = UnixStream::connect(&self.sock).unwrap();
+        s.write_all(line.as_bytes()).unwrap();
+        s.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        BufReader::new(s).read_line(&mut reply).unwrap();
+        parse_json(&reply).unwrap_or_else(|e| panic!("unparseable reply {reply:?}: {e}"))
+    }
+
+    fn dir(&self) -> &std::path::Path {
+        self.sock.parent().unwrap()
+    }
+}
+
+impl Drop for Mayad {
+    fn drop(&mut self) {
+        if UnixStream::connect(&self.sock)
+            .and_then(|mut s| s.write_all(b"{\"cmd\":\"shutdown\"}\n"))
+            .is_ok()
+        {
+            let _ = self.child.wait();
+        } else {
+            let _ = self.child.kill();
+        }
+    }
+}
+
+fn ok(v: &Json) -> bool {
+    v.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+#[test]
+fn mayad_protocol_round_trip() {
+    let srv = Mayad::start(&["--max-inflight=2".to_owned()]);
+
+    // ping
+    let pong = srv.raw_request(r#"{"cmd":"ping"}"#);
+    assert!(ok(&pong) && pong.get("pong").and_then(Json::as_bool) == Some(true));
+
+    // malformed JSON and protocol violations are error replies, not hangs
+    for bad in [
+        "{not json",
+        r#"{"cmd":"frobnicate"}"#,
+        r#"{"no_files": true}"#,
+        r#"{"files": []}"#,
+        r#"{"files": [7]}"#,
+        r#"{"files": ["x.maya"], "max_errors": 0}"#,
+        r#"{"files": ["x.maya"], "error_format": "xml"}"#,
+    ] {
+        let resp = srv.raw_request(bad);
+        assert!(!ok(&resp), "expected error reply for {bad}: {resp:?}");
+        assert!(resp.get("error").and_then(Json::as_str).is_some());
+    }
+
+    // a compile of a missing file fails gracefully with a diagnostic
+    let resp = srv.raw_request(r#"{"files": ["absent.maya"]}"#);
+    assert!(ok(&resp));
+    assert_eq!(resp.get("success").and_then(Json::as_bool), Some(false));
+    assert!(resp
+        .get("stderr")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("cannot read absent.maya"));
+
+    // a real compile, twice: second is a full reuse
+    std::fs::write(
+        srv.dir().join("hello.maya"),
+        r#"class Main { static void main() { System.out.println("srv"); } }"#,
+    )
+    .unwrap();
+    let first = srv.raw_request(r#"{"files": ["hello.maya"]}"#);
+    assert!(ok(&first));
+    assert_eq!(first.get("stdout").and_then(Json::as_str), Some("srv\n"));
+    assert_eq!(first.get("full_reuse").and_then(Json::as_bool), Some(false));
+    let second = srv.raw_request(r#"{"files": ["hello.maya"]}"#);
+    assert_eq!(second.get("stdout").and_then(Json::as_str), Some("srv\n"));
+    assert_eq!(second.get("full_reuse").and_then(Json::as_bool), Some(true));
+
+    // stats reflect the traffic and the retained LALR table memo
+    let stats = srv.raw_request(r#"{"cmd":"stats"}"#);
+    assert!(ok(&stats));
+    let s = stats.get("stats").unwrap();
+    assert!(s.get("requests").and_then(Json::as_u64).unwrap() >= 3);
+    assert_eq!(s.get("full_reuses").and_then(Json::as_u64), Some(1));
+    assert!(s.get("table_memo").and_then(Json::as_u64).unwrap() >= 1);
+}
+
+// ---- invalidation cone -------------------------------------------------------
+
+/// a.maya declares the `TickA` extension; b.maya imports it and declares
+/// `TickB`; c.maya imports `TickB` and holds `Main`. The dependency chain
+/// is a <- b <- c.
+fn chain_sources(b_label: &str, c_label: &str) -> Vec<(String, String)> {
+    let a = r#"
+        abstract Statement syntax(ticka(Expression) lazy(BraceTree, BlockStmts));
+
+        Statement syntax
+        TickA(ticka(Expression n) lazy(BraceTree, BlockStmts) body)
+        {
+            return new Statement {
+                for (int ia = 0; ia < $n; ia++) { $body }
+            };
+        }
+    "#
+    .to_owned();
+    let b = format!(
+        r#"
+        abstract Statement syntax(tickb(Expression) lazy(BraceTree, BlockStmts));
+
+        Statement syntax
+        TickB(tickb(Expression n) lazy(BraceTree, BlockStmts) body)
+        {{
+            return new Statement {{
+                for (int ib = 0; ib < $n; ib++) {{ $body }}
+            }};
+        }}
+
+        class Bee {{
+            static void poke() {{
+                use TickA;
+                ticka (2) {{ System.out.println("{b_label}"); }}
+            }}
+        }}
+    "#
+    );
+    let c = format!(
+        r#"
+        class Main {{
+            static void main() {{
+                Bee.poke();
+                use TickB;
+                tickb (2) {{ System.out.println("{c_label}"); }}
+            }}
+        }}
+    "#
+    );
+    vec![
+        ("a.maya".to_owned(), a),
+        ("b.maya".to_owned(), b),
+        ("c.maya".to_owned(), c),
+    ]
+}
+
+#[test]
+fn invalidation_cone_recompiles_exact_dependents() {
+    let mut session = Session::new(CompileOptions::default(), None);
+    let opts = RequestOpts::default();
+
+    let cold = session.compile_sources(&chain_sources("bee", "sea"), &opts);
+    assert!(cold.success, "cold chain compile failed:\n{}", cold.stderr);
+    assert_eq!(cold.stdout, "bee\nbee\nsea\nsea\n");
+
+    // Edit the middle file: b itself and its dependent c recompile; a, which
+    // b depends on but which depends on nothing changed, is reused.
+    let t = telemetry::Session::start(telemetry::Config::default());
+    let edited = session.compile_sources(&chain_sources("buzz", "sea"), &opts);
+    let r = t.finish();
+    assert!(edited.success, "{}", edited.stderr);
+    assert_eq!(edited.stdout, "buzz\nbuzz\nsea\nsea\n");
+    assert!(!edited.full_reuse);
+    assert_eq!(
+        (edited.files_changed, edited.files_recompiled, edited.files_reused),
+        (1, 2, 1),
+        "editing b.maya must recompile exactly {{b, c}} and reuse a"
+    );
+    assert_eq!(r.counter(Counter::IncrFilesChanged), 1);
+    assert_eq!(r.counter(Counter::IncrFilesRecompiled), 2);
+    assert_eq!(r.counter(Counter::IncrFilesReused), 1);
+    assert_eq!(r.counter(Counter::IncrFullReuses), 0);
+
+    // Edit the leaf: only c recompiles.
+    let t = telemetry::Session::start(telemetry::Config::default());
+    let leaf = session.compile_sources(&chain_sources("buzz", "surf"), &opts);
+    let r = t.finish();
+    assert_eq!(leaf.stdout, "buzz\nbuzz\nsurf\nsurf\n");
+    assert_eq!(
+        (leaf.files_changed, leaf.files_recompiled, leaf.files_reused),
+        (1, 1, 2),
+        "editing c.maya must recompile only c"
+    );
+    assert_eq!(r.counter(Counter::IncrFilesRecompiled), 1);
+
+    // Edit the root: the whole cone (a, b, c) recompiles.
+    let mut rooted = chain_sources("buzz", "surf");
+    rooted[0].1.push_str("\n// root tweak forcing a token change\nclass ARoot { }\n");
+    let root = session.compile_sources(&rooted, &opts);
+    assert_eq!(root.stdout, "buzz\nbuzz\nsurf\nsurf\n");
+    assert_eq!(
+        (root.files_changed, root.files_recompiled, root.files_reused),
+        (1, 3, 0),
+        "editing a.maya must recompile the full downstream cone"
+    );
+
+    // Comment-only edit: the token stream is unchanged, so the whole
+    // compilation is reused without recompiling anything.
+    let t = telemetry::Session::start(telemetry::Config::default());
+    let mut commented = rooted.clone();
+    commented[1].1.push_str("\n// harmless trailing comment\n");
+    let reused = session.compile_sources(&commented, &opts);
+    let r = t.finish();
+    assert!(reused.full_reuse, "comment-only edit must be a full reuse");
+    assert_eq!(reused.stdout, root.stdout);
+    assert_eq!(reused.stderr, root.stderr);
+    assert_eq!(r.counter(Counter::IncrFullReuses), 1);
+    assert_eq!(r.counter(Counter::IncrFilesRecompiled), 0);
+
+    let stats = session.stats();
+    assert_eq!(stats.requests, 5);
+    assert_eq!(stats.full_reuses, 1);
+}
