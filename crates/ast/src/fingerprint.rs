@@ -1,0 +1,486 @@
+//! Structural fingerprints for method bodies.
+//!
+//! The runtime lowering layer (crate `maya-interp`) caches lowered bodies in
+//! the session force cache so that warm `mayad` runs skip re-lowering.  The
+//! cache key must identify a body *structurally*: two compilations of the
+//! same unchanged file produce distinct `Block` allocations but the same
+//! syntax.  `fingerprint_block` hashes the full shape of a block — every
+//! statement, expression, operator, literal, name, **and span** — into a
+//! 128-bit FNV-1a value.  Spans participate because lowered code reuses them
+//! for runtime error messages; two bodies that differ only in position must
+//! not share a lowered form.
+//!
+//! Returns `None` when the body contains syntax the lowerer cannot commit to
+//! a stable shape: unforced lazy nodes (the tree is not final), templates
+//! (carry opaque compiled state), or poison nodes from error recovery.
+
+use crate::{
+    Block, CatchClause, Expr, ExprKind, ForInit, Formal, Ident, Lit, LocalDeclarator, MethodName,
+    Stmt, StmtKind, TypeName, TypeNameKind, UseTarget,
+};
+use maya_lexer::Span;
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013B;
+
+/// Incremental 128-bit FNV-1a.
+struct Fnv(u128);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ u128::from(b)).wrapping_mul(FNV_PRIME);
+    }
+
+    fn u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// A discriminant tag; separates variants and guards against
+    /// concatenation ambiguity between sibling lists.
+    fn tag(&mut self, t: u8) {
+        self.byte(t);
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        for b in s.as_bytes() {
+            self.byte(*b);
+        }
+    }
+
+    fn span(&mut self, s: Span) {
+        self.u32(s.file.0);
+        self.u32(s.lo);
+        self.u32(s.hi);
+    }
+
+    fn ident(&mut self, i: &Ident) {
+        self.str(i.sym.as_str());
+        self.span(i.span);
+    }
+}
+
+/// `Err(Opaque)` aborts the walk: the body has no stable structural identity.
+struct Opaque;
+
+type Walk = Result<(), Opaque>;
+
+/// Fingerprints a statement block, or `None` if it contains opaque syntax
+/// (lazy nodes, templates, poison nodes).
+pub fn fingerprint_block(block: &Block) -> Option<u128> {
+    let mut h = Fnv::new();
+    hash_block(&mut h, block).ok()?;
+    Some(h.0)
+}
+
+fn hash_block(h: &mut Fnv, b: &Block) -> Walk {
+    h.tag(0xB0);
+    h.span(b.span);
+    h.usize(b.stmts.len());
+    for s in &b.stmts {
+        hash_stmt(h, s)?;
+    }
+    Ok(())
+}
+
+fn hash_stmt(h: &mut Fnv, s: &Stmt) -> Walk {
+    h.span(s.span);
+    match &s.kind {
+        StmtKind::Block(b) => {
+            h.tag(1);
+            hash_block(h, b)
+        }
+        StmtKind::Expr(e) => {
+            h.tag(2);
+            hash_expr(h, e)
+        }
+        StmtKind::Decl(ty, decls) => {
+            h.tag(3);
+            hash_tyname(h, ty);
+            h.usize(decls.len());
+            for d in decls {
+                hash_declarator(h, d)?;
+            }
+            Ok(())
+        }
+        StmtKind::If(c, t, e) => {
+            h.tag(4);
+            hash_expr(h, c)?;
+            hash_stmt(h, t)?;
+            hash_opt(h, e.as_deref(), hash_stmt)
+        }
+        StmtKind::While(c, body) => {
+            h.tag(5);
+            hash_expr(h, c)?;
+            hash_stmt(h, body)
+        }
+        StmtKind::Do(body, c) => {
+            h.tag(6);
+            hash_stmt(h, body)?;
+            hash_expr(h, c)
+        }
+        StmtKind::For {
+            init,
+            cond,
+            update,
+            body,
+        } => {
+            h.tag(7);
+            match init {
+                ForInit::None => h.tag(0),
+                ForInit::Decl(ty, decls) => {
+                    h.tag(1);
+                    hash_tyname(h, ty);
+                    h.usize(decls.len());
+                    for d in decls {
+                        hash_declarator(h, d)?;
+                    }
+                }
+                ForInit::Exprs(es) => {
+                    h.tag(2);
+                    h.usize(es.len());
+                    for e in es {
+                        hash_expr(h, e)?;
+                    }
+                }
+            }
+            hash_opt(h, cond.as_ref(), hash_expr)?;
+            h.usize(update.len());
+            for e in update {
+                hash_expr(h, e)?;
+            }
+            hash_stmt(h, body)
+        }
+        StmtKind::Return(e) => {
+            h.tag(8);
+            hash_opt(h, e.as_ref(), hash_expr)
+        }
+        StmtKind::Break => {
+            h.tag(9);
+            Ok(())
+        }
+        StmtKind::Continue => {
+            h.tag(10);
+            Ok(())
+        }
+        StmtKind::Throw(e) => {
+            h.tag(11);
+            hash_expr(h, e)
+        }
+        StmtKind::Try {
+            body,
+            catches,
+            finally,
+        } => {
+            h.tag(12);
+            hash_block(h, body)?;
+            h.usize(catches.len());
+            for c in catches {
+                hash_catch(h, c)?;
+            }
+            hash_opt(h, finally.as_ref(), hash_block)
+        }
+        StmtKind::Use(target, body) => {
+            h.tag(13);
+            match target {
+                // The interpreter treats `use` as a scope; the target only
+                // matters at expansion time, so a constant tag for opaque
+                // instances cannot make behaviourally different bodies
+                // collide.
+                UseTarget::Named(path) => {
+                    h.tag(1);
+                    h.usize(path.len());
+                    for i in path {
+                        h.ident(i);
+                    }
+                }
+                UseTarget::Instance(_) => h.tag(2),
+            }
+            hash_block(h, body)
+        }
+        StmtKind::Empty => {
+            h.tag(14);
+            Ok(())
+        }
+        StmtKind::Lazy(_) | StmtKind::Error => Err(Opaque),
+    }
+}
+
+fn hash_declarator(h: &mut Fnv, d: &LocalDeclarator) -> Walk {
+    h.ident(&d.name);
+    h.u32(d.dims);
+    hash_opt(h, d.init.as_ref(), hash_expr)
+}
+
+fn hash_catch(h: &mut Fnv, c: &CatchClause) -> Walk {
+    hash_formal(h, &c.param)?;
+    hash_block(h, &c.body)
+}
+
+fn hash_formal(h: &mut Fnv, f: &Formal) -> Walk {
+    h.span(f.span);
+    h.byte(u8::from(f.is_final));
+    hash_tyname(h, &f.ty);
+    h.ident(&f.name);
+    match &f.specializer {
+        None => h.tag(0),
+        Some(t) => {
+            h.tag(1);
+            hash_tyname(h, t);
+        }
+    }
+    Ok(())
+}
+
+fn hash_expr(h: &mut Fnv, e: &Expr) -> Walk {
+    h.span(e.span);
+    match &e.kind {
+        ExprKind::Literal(l) => {
+            h.tag(1);
+            hash_lit(h, l);
+            Ok(())
+        }
+        ExprKind::Name(i) => {
+            h.tag(2);
+            h.ident(i);
+            Ok(())
+        }
+        ExprKind::FieldAccess(t, name) => {
+            h.tag(3);
+            hash_expr(h, t)?;
+            h.ident(name);
+            Ok(())
+        }
+        ExprKind::Call(mn, args) => {
+            h.tag(4);
+            hash_method_name(h, mn)?;
+            h.usize(args.len());
+            for a in args {
+                hash_expr(h, a)?;
+            }
+            Ok(())
+        }
+        ExprKind::ArrayAccess(a, i) => {
+            h.tag(5);
+            hash_expr(h, a)?;
+            hash_expr(h, i)
+        }
+        ExprKind::New(ty, args) => {
+            h.tag(6);
+            hash_tyname(h, ty);
+            h.usize(args.len());
+            for a in args {
+                hash_expr(h, a)?;
+            }
+            Ok(())
+        }
+        ExprKind::NewArray {
+            elem,
+            dims,
+            extra_dims,
+        } => {
+            h.tag(7);
+            hash_tyname(h, elem);
+            h.u32(*extra_dims);
+            h.usize(dims.len());
+            for d in dims {
+                hash_expr(h, d)?;
+            }
+            Ok(())
+        }
+        ExprKind::Binary(op, l, r) => {
+            h.tag(8);
+            h.byte(*op as u8);
+            hash_expr(h, l)?;
+            hash_expr(h, r)
+        }
+        ExprKind::Unary(op, x) => {
+            h.tag(9);
+            h.byte(*op as u8);
+            hash_expr(h, x)
+        }
+        ExprKind::IncDec(op, prefix, x) => {
+            h.tag(10);
+            h.byte(*op as u8);
+            h.byte(u8::from(*prefix));
+            hash_expr(h, x)
+        }
+        ExprKind::Assign(op, lhs, rhs) => {
+            h.tag(11);
+            match op {
+                None => h.tag(0),
+                Some(o) => {
+                    h.tag(1);
+                    h.byte(*o as u8);
+                }
+            }
+            hash_expr(h, lhs)?;
+            hash_expr(h, rhs)
+        }
+        ExprKind::Cond(c, t, f) => {
+            h.tag(12);
+            hash_expr(h, c)?;
+            hash_expr(h, t)?;
+            hash_expr(h, f)
+        }
+        ExprKind::Cast(ty, x) => {
+            h.tag(13);
+            hash_tyname(h, ty);
+            hash_expr(h, x)
+        }
+        ExprKind::Instanceof(x, ty) => {
+            h.tag(14);
+            hash_expr(h, x)?;
+            hash_tyname(h, ty);
+            Ok(())
+        }
+        ExprKind::This => {
+            h.tag(15);
+            Ok(())
+        }
+        ExprKind::VarRef(s) => {
+            h.tag(16);
+            h.str(s.as_str());
+            Ok(())
+        }
+        ExprKind::ClassRef(s) => {
+            h.tag(17);
+            h.str(s.as_str());
+            Ok(())
+        }
+        ExprKind::Template(_) | ExprKind::Lazy(_) | ExprKind::TypeDims(_) => Err(Opaque),
+    }
+}
+
+fn hash_method_name(h: &mut Fnv, mn: &MethodName) -> Walk {
+    h.span(mn.span);
+    h.byte(u8::from(mn.super_recv));
+    hash_opt(h, mn.receiver.as_deref(), hash_expr)?;
+    h.ident(&mn.name);
+    Ok(())
+}
+
+fn hash_lit(h: &mut Fnv, l: &Lit) {
+    match l {
+        Lit::Int(v) => {
+            h.tag(1);
+            h.u32(*v as u32);
+        }
+        Lit::Long(v) => {
+            h.tag(2);
+            h.u64(*v as u64);
+        }
+        Lit::Float(v) => {
+            h.tag(3);
+            h.u32(v.to_bits());
+        }
+        Lit::Double(v) => {
+            h.tag(4);
+            h.u64(v.to_bits());
+        }
+        Lit::Bool(v) => {
+            h.tag(5);
+            h.byte(u8::from(*v));
+        }
+        Lit::Char(c) => {
+            h.tag(6);
+            h.u32(*c as u32);
+        }
+        Lit::Str(s) => {
+            h.tag(7);
+            h.str(s.as_str());
+        }
+        Lit::Null => h.tag(8),
+    }
+}
+
+fn hash_tyname(h: &mut Fnv, t: &TypeName) {
+    h.span(t.span);
+    match &t.kind {
+        TypeNameKind::Prim(p) => {
+            h.tag(1);
+            h.byte(*p as u8);
+        }
+        TypeNameKind::Void => h.tag(2),
+        TypeNameKind::Named(parts) => {
+            h.tag(3);
+            h.usize(parts.len());
+            for p in parts {
+                h.ident(p);
+            }
+        }
+        TypeNameKind::Array(el) => {
+            h.tag(4);
+            hash_tyname(h, el);
+        }
+        TypeNameKind::Strict(fqcn) => {
+            h.tag(5);
+            h.str(fqcn.as_str());
+        }
+    }
+}
+
+fn hash_opt<T>(h: &mut Fnv, v: Option<&T>, f: impl FnOnce(&mut Fnv, &T) -> Walk) -> Walk {
+    match v {
+        None => {
+            h.tag(0);
+            Ok(())
+        }
+        Some(x) => {
+            h.tag(1);
+            f(h, x)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, StmtKind};
+
+    fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::synth(ExprKind::Binary(op, Box::new(l), Box::new(r)))
+    }
+
+    #[test]
+    fn identical_blocks_agree() {
+        let mk = || Block::synth(vec![Stmt::expr(bin(BinOp::Add, Expr::int(1), Expr::int(2)))]);
+        assert_eq!(fingerprint_block(&mk()), fingerprint_block(&mk()));
+        assert!(fingerprint_block(&mk()).is_some());
+    }
+
+    #[test]
+    fn structure_and_spans_distinguish() {
+        let a = Block::synth(vec![Stmt::expr(Expr::int(1))]);
+        let b = Block::synth(vec![Stmt::expr(Expr::int(2))]);
+        assert_ne!(fingerprint_block(&a), fingerprint_block(&b));
+
+        let spanned = Block::new(
+            Span::new(maya_lexer::FileId(0), 0, 5),
+            vec![Stmt::expr(Expr::int(1))],
+        );
+        assert_ne!(fingerprint_block(&a), fingerprint_block(&spanned));
+    }
+
+    #[test]
+    fn poison_is_opaque() {
+        let b = Block::synth(vec![Stmt::synth(StmtKind::Error)]);
+        assert_eq!(fingerprint_block(&b), None);
+    }
+}

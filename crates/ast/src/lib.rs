@@ -17,6 +17,7 @@
 
 mod decl;
 mod expr;
+mod fingerprint;
 mod kind;
 mod lazy;
 mod node;
@@ -30,6 +31,7 @@ pub use decl::{
     MethodDecl, Modifier, Modifiers, ProductionDecl,
 };
 pub use expr::{Expr, ExprKind, Formal, Ident, Lit, MethodName, TemplateLit};
+pub use fingerprint::fingerprint_block;
 pub use kind::NodeKind;
 pub use lazy::{LazyCell, LazyNode};
 pub use node::Node;

@@ -85,6 +85,11 @@ impl Default for CompileOptions {
 /// diagnostics and expansion behaviour.
 pub struct ForceCache {
     map: RefCell<HashMap<(NodeKind, u128), Node>>,
+    /// Lowered method/ctor bodies keyed by structural fingerprint (see
+    /// `maya_interp::LowerStore`).  Lowered code is environment-free, so it
+    /// is shared verbatim across the session's compilers — warm runs skip
+    /// re-lowering entirely.
+    lowered: Rc<maya_interp::LowerStore>,
     /// Whole-file compilation-unit parses, keyed by the file's token-tree
     /// hash. Templates are stored with unforced lazy cells; every lookup
     /// rebuilds the lazies with fresh cells and a payload pointing at the
@@ -103,9 +108,15 @@ impl ForceCache {
     pub fn new() -> ForceCache {
         ForceCache {
             map: RefCell::new(HashMap::new()),
+            lowered: Rc::new(maya_interp::LowerStore::new()),
             units: RefCell::new(HashMap::new()),
             bodies: RefCell::new(HashMap::new()),
         }
+    }
+
+    /// The session-shared lowered-body store.
+    pub fn lower_store(&self) -> Rc<maya_interp::LowerStore> {
+        self.lowered.clone()
     }
 
     pub(crate) fn get(&self, key: &(NodeKind, u128)) -> Option<Node> {
@@ -522,6 +533,9 @@ impl Compiler {
         let classes = Rc::new(ClassTable::new());
         install_runtime(&classes);
         let interp = Rc::new(Interp::new(classes.clone()));
+        if let Some(cache) = &options.force_cache {
+            interp.set_lower_store(cache.lower_store());
+        }
         let base = Base::cached();
         let global = EnvPair {
             grammar: base.grammar.clone(),

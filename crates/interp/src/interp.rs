@@ -1,5 +1,18 @@
 //! The evaluator.
+//!
+//! Two execution paths share this file.  The *legacy* tree-walker executes
+//! typed AST directly (and re-clones each lazy body per call); the *fast*
+//! path lowers a body once (`lower.rs`) and then runs slot-resolved code
+//! with inline-cached dispatch.  Both paths must be observationally
+//! identical — same output bytes, same error text, same spans, same step
+//! counts; `MAYA_NO_LOWER=1` (or [`Interp::set_lowering`]) pins the legacy
+//! path for differential testing.
 
+use crate::layout::RuntimeCaches;
+use crate::lower::{
+    self, class_key, CallSite, LCallee, LExpr, LExprKind, LStmt, LStmtKind, LTarget, LowerStore,
+    LoweredBody, TypeSlot,
+};
 use crate::{NativeFn, Obj, RuntimeError, Value};
 use maya_ast::{
     BinOp, Expr, ExprKind, ForInit, IncDecOp, LazyNode, Lit, MethodName, Node, Stmt, StmtKind,
@@ -19,14 +32,16 @@ pub enum Control {
     Continue,
     /// A MayaJava exception value in flight.
     Throw(Value),
-    /// An internal failure (bad program state, missing native, …).
-    Error(RuntimeError),
+    /// An internal failure (bad program state, missing native, …).  Boxed
+    /// so the happy-path [`Eval`] stays a couple of machine words; the
+    /// error payload is only touched when something actually went wrong.
+    Error(Box<RuntimeError>),
 }
 
 impl Control {
     /// Builds an internal error.
     pub fn error(msg: impl Into<String>, span: Span) -> Control {
-        Control::Error(RuntimeError::new(msg, span))
+        Control::Error(Box::new(RuntimeError::new(msg, span)))
     }
 }
 
@@ -94,8 +109,8 @@ pub struct Interp {
     pub ct: Rc<ClassTable>,
     natives: RefCell<HashMap<Symbol, NativeFn>>,
     statics: RefCell<HashMap<(ClassId, Symbol), Value>>,
-    initializing: RefCell<HashSet<ClassId>>,
-    initialized: RefCell<HashSet<ClassId>>,
+    initializing: RefCell<HashSet<ClassId, BuildPtrHasher>>,
+    initialized: RefCell<HashSet<ClassId, BuildPtrHasher>>,
     /// Captured program output (`System.out` / `System.err`).
     pub out: RefCell<String>,
     /// Echo output to the real stdout as well.
@@ -109,7 +124,7 @@ pub struct Interp {
     template_hook:
         RefCell<Option<Rc<dyn Fn(&Interp, &maya_ast::TemplateLit, &mut Frame) -> Eval>>>,
     /// Call-depth guard.
-    depth: RefCell<u32>,
+    depth: Cell<u32>,
     /// Maximum interpreted call depth before a "stack overflow" error.
     stack_limit: Cell<u32>,
     /// Maximum statements executed before a "step limit" error
@@ -120,6 +135,64 @@ pub struct Interp {
     /// Hook supplying expansion frames ("Mayan F at file:line:col") to
     /// attach to runtime errors; installed by the compiler.
     frame_provider: RefCell<Option<Rc<dyn Fn() -> Vec<String>>>>,
+    /// Shape caches (field layouts, method rows, ctor rows), epoch-guarded
+    /// against class-table mutation.
+    caches: RuntimeCaches,
+    /// Per-interpreter memo: lazy-body cell pointer → lowering outcome.
+    /// The entry pins its [`LazyNode`] so the keyed allocation stays alive.
+    lowered: RefCell<HashMap<usize, LoweredEntry, BuildPtrHasher>>,
+    /// Session-wide lowered-body store (shared via the force cache so warm
+    /// `mayad` runs reuse lowered code across compilers).
+    lower_store: RefCell<Rc<LowerStore>>,
+    /// Master switch for the fast path (`MAYA_NO_LOWER=1` turns it off).
+    lower_enabled: Cell<bool>,
+    /// Recycled slot buffers: argument vectors become lowered frames, and
+    /// finished frames come back here, so steady-state lowered calls do not
+    /// touch the allocator at all.
+    frame_pool: RefCell<Vec<Vec<Value>>>,
+}
+
+struct LoweredEntry {
+    _pin: LazyNode,
+    result: Option<Rc<LoweredBody>>,
+}
+
+/// Hashes a single integer key (body-cell address, class id) by
+/// multiplication alone.  These maps are probed on every method invocation;
+/// SipHash on a word-sized key is measurable overhead there, and the keys
+/// are already well distributed.
+#[derive(Default)]
+struct PtrHasher(u64);
+
+impl std::hash::Hasher for PtrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("PtrHasher only hashes integer keys");
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+type BuildPtrHasher = std::hash::BuildHasherDefault<PtrHasher>;
+
+/// One activation record of the fast path: a flat slot frame.
+struct LFrame {
+    slots: Vec<Value>,
+    this: Option<Value>,
+    class: Option<ClassId>,
 }
 
 impl Interp {
@@ -130,22 +203,52 @@ impl Interp {
             ct,
             natives: RefCell::new(HashMap::new()),
             statics: RefCell::new(HashMap::new()),
-            initializing: RefCell::new(HashSet::new()),
-            initialized: RefCell::new(HashSet::new()),
+            initializing: RefCell::new(HashSet::default()),
+            initialized: RefCell::new(HashSet::default()),
             out: RefCell::new(String::new()),
             echo: false,
             class_ctx: RefCell::new(HashMap::new()),
             default_ctx: RefCell::new(ResolveCtx::default()),
             forcer: RefCell::new(None),
             template_hook: RefCell::new(None),
-            depth: RefCell::new(0),
+            depth: Cell::new(0),
             stack_limit: Cell::new(128),
             step_limit: Cell::new(u64::MAX),
             steps: Cell::new(0),
             frame_provider: RefCell::new(None),
+            caches: RuntimeCaches::new(),
+            lowered: RefCell::new(HashMap::default()),
+            lower_store: RefCell::new(Rc::new(LowerStore::new())),
+            lower_enabled: Cell::new(
+                std::env::var("MAYA_NO_LOWER").map_or(true, |v| v.is_empty() || v == "0"),
+            ),
+            frame_pool: RefCell::new(Vec::new()),
         };
         crate::runtime::register_natives(&i);
         i
+    }
+
+    /// Turns the lowering fast path on or off (the `MAYA_NO_LOWER`
+    /// environment variable sets the initial state).
+    pub fn set_lowering(&self, on: bool) {
+        self.lower_enabled.set(on);
+    }
+
+    /// True when the lowering fast path is active.
+    pub fn lowering_enabled(&self) -> bool {
+        self.lower_enabled.get()
+    }
+
+    /// Installs a shared lowered-body store (the compiler wires the session
+    /// force cache's store here so lowered bodies survive across compilers).
+    pub fn set_lower_store(&self, store: Rc<LowerStore>) {
+        *self.lower_store.borrow_mut() = store;
+    }
+
+    /// The current field layout of `class` (epoch-synced, memoized).
+    pub(crate) fn layout_of(&self, class: ClassId) -> Rc<crate::FieldLayout> {
+        self.caches.sync(&self.ct);
+        self.caches.layout(&self.ct, class)
     }
 
     /// Registers a native method implementation.
@@ -354,10 +457,22 @@ impl Interp {
         name: Symbol,
         args: &[Value],
         span: Span,
-    ) -> Result<MethodInfo, Control> {
-        let candidates = self.ct.methods_named(class, name);
+    ) -> Result<Rc<MethodInfo>, Control> {
+        self.caches.sync(&self.ct);
+        let row = self.caches.row(&self.ct, class, name);
+        self.select_from_row(&row, class, name, args, span)
+    }
+
+    fn select_from_row(
+        &self,
+        row: &[(ClassId, Rc<MethodInfo>)],
+        class: ClassId,
+        name: Symbol,
+        args: &[Value],
+        span: Span,
+    ) -> Result<Rc<MethodInfo>, Control> {
         let arg_types: Vec<Type> = args.iter().map(|a| a.runtime_type(&self.ct)).collect();
-        let applicable: Vec<&(ClassId, MethodInfo)> = candidates
+        let applicable: Vec<&(ClassId, Rc<MethodInfo>)> = row
             .iter()
             .filter(|(_, m)| {
                 m.params.len() == args.len()
@@ -394,6 +509,82 @@ impl Interp {
         }
     }
 
+    /// Dispatches through a call-site inline cache.
+    ///
+    /// A cached target is only trusted after re-verifying the actual
+    /// argument types against its parameters (dynamic values may be more
+    /// specific than the cache's fill-time arguments were), and the cache is
+    /// only filled when the target is the *sole* candidate at this arity —
+    /// together this guarantees the fast path picks exactly what the full
+    /// search would.
+    fn invoke_ic(
+        &self,
+        recv: Option<Value>,
+        class: ClassId,
+        name: Symbol,
+        args: Vec<Value>,
+        site: &CallSite,
+        span: Span,
+    ) -> Eval {
+        let epoch = self.caches.sync(&self.ct);
+        let ck = class_key(Some(class));
+        if let Some(m) = site.get(epoch, ck) {
+            let ok = m.params.len() == args.len()
+                && m.params
+                    .iter()
+                    .zip(args.iter())
+                    .all(|(p, a)| self.ct.is_assignable(&a.runtime_type(&self.ct), p));
+            if ok {
+                maya_telemetry::count(maya_telemetry::Counter::IcHits);
+                // Monomorphic fast path: the target's lowered body is cached
+                // on the site, so a verified hit goes straight to lowered
+                // execution.  Mirrors `invoke`/`invoke_inner` exactly (same
+                // depth guard and error, same counters).
+                if let Some(lb) = site.lowered_body() {
+                    let d = self.depth.get() + 1;
+                    let limit = self.stack_limit.get();
+                    if d > limit {
+                        maya_telemetry::count(maya_telemetry::Counter::StepLimitHits);
+                        return Err(Control::error(
+                            format!("stack overflow (call depth > {limit})"),
+                            span,
+                        ));
+                    }
+                    self.depth.set(d);
+                    maya_telemetry::count(maya_telemetry::Counter::InterpCalls);
+                    let result = self.exec_lowered(&lb, recv, class, args);
+                    self.depth.set(self.depth.get() - 1);
+                    return result;
+                }
+                let r = self.invoke(recv, class, &m, args, span);
+                // The body is forced (and lowered, when lowerable) after the
+                // first full invoke; remember the lowered form so later hits
+                // skip the per-body memo.  `fill` resets this cache, so it
+                // can never pair with a different target.
+                if let Some(body) = &m.body {
+                    if m.native.is_none() && body.is_forced() {
+                        if let Some(lb) = self.lowered_body(body, &m.param_names) {
+                            site.set_lowered(lb);
+                        }
+                    }
+                }
+                return r;
+            }
+        }
+        maya_telemetry::count(maya_telemetry::Counter::IcMisses);
+        let row = self.caches.row(&self.ct, class, name);
+        let m = self.select_from_row(&row, class, name, &args, span)?;
+        let sole_at_arity = row
+            .iter()
+            .filter(|(_, c)| c.params.len() == args.len())
+            .count()
+            == 1;
+        if sole_at_arity {
+            site.fill(epoch, ck, m.clone());
+        }
+        self.invoke(recv, class, &m, args, span)
+    }
+
     /// Invokes a resolved method.
     pub fn invoke(
         &self,
@@ -403,23 +594,20 @@ impl Interp {
         args: Vec<Value>,
         span: Span,
     ) -> Eval {
-        {
-            let mut d = self.depth.borrow_mut();
-            *d += 1;
-            // Conservative: each interpreted frame uses many host frames,
-            // and debug builds have large frames.
-            let limit = self.stack_limit.get();
-            if *d > limit {
-                *d -= 1;
-                maya_telemetry::count(maya_telemetry::Counter::StepLimitHits);
-                return Err(Control::error(
-                    format!("stack overflow (call depth > {limit})"),
-                    span,
-                ));
-            }
+        let d = self.depth.get() + 1;
+        // Conservative: each interpreted frame uses many host frames,
+        // and debug builds have large frames.
+        let limit = self.stack_limit.get();
+        if d > limit {
+            maya_telemetry::count(maya_telemetry::Counter::StepLimitHits);
+            return Err(Control::error(
+                format!("stack overflow (call depth > {limit})"),
+                span,
+            ));
         }
+        self.depth.set(d);
         let result = self.invoke_inner(recv, class, m, args, span);
-        *self.depth.borrow_mut() -= 1;
+        self.depth.set(self.depth.get() - 1);
         result
     }
 
@@ -446,6 +634,9 @@ impl Interp {
             ));
         };
         self.force_body(body, class, span)?;
+        if let Some(lb) = self.lowered_body(body, &m.param_names) {
+            return self.exec_lowered(&lb, recv, class, args);
+        }
         let node = body.forced_node().ok_or_else(|| {
             Control::error("internal error: body not forced", span)
         })?;
@@ -462,13 +653,549 @@ impl Interp {
         }
     }
 
+    /// The lowered form of a (forced) lazy body, or `None` when lowering is
+    /// disabled or the body is unlowerable.  Memoized per body cell, and
+    /// shared across interpreters through the [`LowerStore`] keyed by the
+    /// body's structural fingerprint.
+    fn lowered_body(&self, body: &LazyNode, params: &[Symbol]) -> Option<Rc<LoweredBody>> {
+        if !self.lower_enabled.get() {
+            return None;
+        }
+        let key = Rc::as_ptr(&body.cell) as usize;
+        if let Some(e) = self.lowered.borrow().get(&key) {
+            return e.result.clone();
+        }
+        let result = self.lower_uncached(body, params);
+        self.lowered.borrow_mut().insert(
+            key,
+            LoweredEntry {
+                _pin: body.clone(),
+                result: result.clone(),
+            },
+        );
+        result
+    }
+
+    fn lower_uncached(&self, body: &LazyNode, params: &[Symbol]) -> Option<Rc<LoweredBody>> {
+        let node = body.forced_node()?;
+        let Node::Block(block) = node else {
+            return None;
+        };
+        // Unfingerprintable bodies (unforced lazy statements, templates,
+        // poison nodes) are exactly the unlowerable ones.
+        let fp = lower::body_fingerprint(&block)?;
+        let store = self.lower_store.borrow().clone();
+        if let Some(hit) = store.get(fp, params) {
+            return hit;
+        }
+        let result = lower::lower_body(&block, params).ok().map(Rc::new);
+        store.insert(fp, params, result.clone());
+        result
+    }
+
+    /// Runs a lowered body: a flat slot frame, argument slots first.  The
+    /// argument vector *becomes* the frame (extended with null slots), so
+    /// the hot call path performs no extra allocation.
+    fn exec_lowered(
+        &self,
+        lb: &LoweredBody,
+        this: Option<Value>,
+        class: ClassId,
+        mut args: Vec<Value>,
+    ) -> Eval {
+        args.truncate(lb.n_params);
+        args.resize(lb.n_slots, Value::Null);
+        let mut f = LFrame {
+            slots: args,
+            this,
+            class: Some(class),
+        };
+        let r = self.exec_l_stmts(&lb.code, &mut f);
+        let mut slots = f.slots;
+        slots.clear();
+        {
+            let mut pool = self.frame_pool.borrow_mut();
+            if pool.len() < 32 {
+                pool.push(slots);
+            }
+        }
+        match r {
+            Ok(()) => Ok(Value::Null), // void fall-through
+            Err(Control::Return(v)) => Ok(v),
+            Err(other) => Err(other),
+        }
+    }
+
+    // ---- lowered statements -------------------------------------------------
+    //
+    // Every arm mirrors its `exec`/`eval` counterpart: same step charges,
+    // same evaluation order, same error strings and spans.
+
+    fn exec_l_stmts(&self, stmts: &[LStmt], f: &mut LFrame) -> Result<(), Control> {
+        for s in stmts {
+            self.exec_l(s, f)?;
+        }
+        Ok(())
+    }
+
+    fn exec_l(&self, s: &LStmt, f: &mut LFrame) -> Result<(), Control> {
+        self.count_step(s.span)?;
+        match &s.kind {
+            LStmtKind::Block(stmts) => self.exec_l_stmts(stmts, f),
+            LStmtKind::Expr(e) => self.eval_l(e, f).map(|_| ()),
+            LStmtKind::Decl { ty, decls } => {
+                let base = self.resolve_type_slot(ty, f.class, s.span)?;
+                for d in decls {
+                    let v = match &d.init {
+                        Some(e) => self.eval_l(e, f)?,
+                        None => {
+                            let mut t = base.clone();
+                            for _ in 0..d.dims {
+                                t = t.array_of();
+                            }
+                            Value::default_for(&t)
+                        }
+                    };
+                    f.slots[d.slot as usize] = v;
+                }
+                Ok(())
+            }
+            LStmtKind::If(c, t, e) => {
+                if self.truthy_l(c, f)? {
+                    self.exec_l(t, f)
+                } else if let Some(e) = e {
+                    self.exec_l(e, f)
+                } else {
+                    Ok(())
+                }
+            }
+            LStmtKind::While(c, body) => {
+                while self.truthy_l(c, f)? {
+                    match self.exec_l(body, f) {
+                        Ok(()) | Err(Control::Continue) => {}
+                        Err(Control::Break) => break,
+                        Err(other) => return Err(other),
+                    }
+                }
+                Ok(())
+            }
+            LStmtKind::Do(body, c) => {
+                loop {
+                    match self.exec_l(body, f) {
+                        Ok(()) | Err(Control::Continue) => {}
+                        Err(Control::Break) => break,
+                        Err(other) => return Err(other),
+                    }
+                    if !self.truthy_l(c, f)? {
+                        break;
+                    }
+                }
+                Ok(())
+            }
+            LStmtKind::For {
+                init_decl,
+                init_exprs,
+                cond,
+                update,
+                body,
+            } => {
+                if let Some(d) = init_decl {
+                    self.exec_l(d, f)?;
+                }
+                for e in init_exprs {
+                    self.eval_l(e, f)?;
+                }
+                loop {
+                    if let Some(c) = cond {
+                        if !self.truthy_l(c, f)? {
+                            break;
+                        }
+                    }
+                    match self.exec_l(body, f) {
+                        Ok(()) | Err(Control::Continue) => {}
+                        Err(Control::Break) => break,
+                        Err(other) => return Err(other),
+                    }
+                    for u in update {
+                        self.eval_l(u, f)?;
+                    }
+                }
+                Ok(())
+            }
+            LStmtKind::Return(e) => {
+                let value = match e {
+                    Some(e) => self.eval_l(e, f)?,
+                    None => Value::Null,
+                };
+                Err(Control::Return(value))
+            }
+            LStmtKind::Break => Err(Control::Break),
+            LStmtKind::Continue => Err(Control::Continue),
+            LStmtKind::Throw(e) => {
+                let v = self.eval_l(e, f)?;
+                Err(Control::Throw(v))
+            }
+            LStmtKind::Try {
+                body,
+                catches,
+                finally,
+            } => {
+                let mut result = self.exec_l_stmts(body, f);
+                if let Err(Control::Throw(exc)) = &result {
+                    let exc = exc.clone();
+                    let exc_class = exc.class_of(&self.ct);
+                    for c in catches {
+                        // Legacy resolves each catch type at exception time,
+                        // reporting errors at the try statement's span.
+                        let catch_ty = self.resolve_type_slot(&c.ty, f.class, s.span)?;
+                        let matches = match (&catch_ty, exc_class) {
+                            (Type::Class(want), Some(have)) => {
+                                self.ct.is_subclass_or_eq(have, *want)
+                            }
+                            _ => false,
+                        };
+                        if matches {
+                            f.slots[c.param_slot as usize] = exc;
+                            result = self.exec_l_stmts(&c.body, f);
+                            break;
+                        }
+                    }
+                }
+                if let Some(fin) = finally {
+                    self.exec_l_stmts(fin, f)?;
+                }
+                result
+            }
+            LStmtKind::Empty => Ok(()),
+        }
+    }
+
+    fn truthy_l(&self, e: &LExpr, f: &mut LFrame) -> Result<bool, Control> {
+        match self.eval_l(e, f)? {
+            Value::Bool(b) => Ok(b),
+            other => Err(Control::error(
+                format!("condition evaluated to non-boolean {other:?}"),
+                e.span,
+            )),
+        }
+    }
+
+    /// Resolves a lowered type reference through its per-site cache.
+    fn resolve_type_slot(
+        &self,
+        ts: &TypeSlot,
+        class: Option<ClassId>,
+        span: Span,
+    ) -> Result<Type, Control> {
+        let epoch = self.caches.sync(&self.ct);
+        let ck = class_key(class);
+        if let Some(t) = ts.get(epoch, ck) {
+            return Ok(t);
+        }
+        let ctx = self.ctx_for(class);
+        let t = self
+            .ct
+            .resolve_type_name(&ts.tn, &ctx)
+            .map_err(|e| Control::error(e.message, span))?;
+        ts.fill(epoch, ck, t.clone());
+        Ok(t)
+    }
+
+    // ---- lowered expressions ------------------------------------------------
+
+    fn eval_l(&self, e: &LExpr, f: &mut LFrame) -> Eval {
+        match &e.kind {
+            LExprKind::Const(v) => Ok(v.clone()),
+            LExprKind::Local(slot) => Ok(f.slots[*slot as usize].clone()),
+            LExprKind::EnvName(name) => self.env_name(*name, f.this.as_ref(), f.class, e.span),
+            LExprKind::This => f
+                .this
+                .clone()
+                .ok_or_else(|| Control::error("no `this` in scope", e.span)),
+            LExprKind::ClassRefName(fqcn) => {
+                let c = self
+                    .ct
+                    .by_fqcn(*fqcn)
+                    .ok_or_else(|| Control::error(format!("unknown class {fqcn}"), e.span))?;
+                Ok(Value::ClassRef(c))
+            }
+            LExprKind::FieldGet { target, name, site } => {
+                let t = self.eval_l(target, f)?;
+                match t {
+                    Value::Object(obj) => {
+                        let lp = Rc::as_ptr(&obj.layout) as usize;
+                        if let Some(off) = site.get(lp) {
+                            return Ok(obj.get_slot(off));
+                        }
+                        if let Some(off) = obj.layout.offset(*name) {
+                            site.fill(lp, off);
+                            return Ok(obj.get_slot(off));
+                        }
+                        obj.get(*name)
+                            .ok_or_else(|| Control::error(format!("no field {name}"), e.span))
+                    }
+                    other => self.field_of(other, *name, e.span),
+                }
+            }
+            LExprKind::ArrayGet(a, i) => {
+                let arr = self.eval_l(a, f)?;
+                let idx = self.int_of(self.eval_l(i, f)?, i.span)?;
+                match arr {
+                    Value::Array(a) => {
+                        let data = a.data.borrow();
+                        data.get(idx as usize).cloned().ok_or_else(|| {
+                            self.throw_simple("java.lang.ArrayIndexOutOfBoundsException", e.span)
+                        })
+                    }
+                    Value::Null => Err(self.throw_simple("java.lang.NullPointerException", e.span)),
+                    other => Err(Control::error(format!("not an array: {other:?}"), e.span)),
+                }
+            }
+            LExprKind::New { ty, args } => {
+                let t = self.resolve_type_slot(ty, f.class, e.span)?;
+                let Type::Class(c) = t else {
+                    return Err(Control::error("cannot instantiate non-class", e.span));
+                };
+                let vals = args
+                    .iter()
+                    .map(|a| self.eval_l(a, f))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.construct(c, vals, e.span)
+            }
+            LExprKind::NewArray {
+                elem,
+                extra_dims,
+                dims,
+            } => {
+                let base = self.resolve_type_slot(elem, f.class, e.span)?;
+                let mut elem_ty = base;
+                for _ in 0..*extra_dims {
+                    elem_ty = elem_ty.array_of();
+                }
+                let sizes = dims
+                    .iter()
+                    .map(|d| {
+                        let v = self.eval_l(d, f)?;
+                        self.int_of(v, d.span)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.alloc_array(&elem_ty, &sizes, e.span)
+            }
+            LExprKind::Binary(op, l, r) => {
+                if *op == BinOp::And {
+                    return Ok(Value::Bool(
+                        self.truthy_l(l, f)? && self.truthy_l(r, f)?,
+                    ));
+                }
+                if *op == BinOp::Or {
+                    return Ok(Value::Bool(
+                        self.truthy_l(l, f)? || self.truthy_l(r, f)?,
+                    ));
+                }
+                let lv = self.eval_l(l, f)?;
+                let rv = self.eval_l(r, f)?;
+                self.binary_l_values(*op, &lv, &rv, e.span)
+            }
+            LExprKind::Unary(op, x) => {
+                let v = self.eval_l(x, f)?;
+                self.eval_unary(*op, v, e.span)
+            }
+            LExprKind::IncDec {
+                op,
+                prefix,
+                read,
+                write,
+            } => {
+                let old = self.eval_l(read, f)?;
+                let delta = if *op == IncDecOp::Inc { 1 } else { -1 };
+                let new = match old {
+                    Value::Int(v) => Value::Int(v.wrapping_add(delta)),
+                    Value::Long(v) => Value::Long(v.wrapping_add(delta as i64)),
+                    Value::Double(v) => Value::Double(v + delta as f64),
+                    Value::Float(v) => Value::Float(v + delta as f32),
+                    Value::Char(c) => Value::Int(c as i32 + delta),
+                    other => {
+                        return Err(Control::error(format!("cannot ++/-- {other:?}"), e.span))
+                    }
+                };
+                self.assign_l(write, new.clone(), f)?;
+                Ok(if *prefix { new } else { old })
+            }
+            LExprKind::Assign {
+                op,
+                read,
+                write,
+                value,
+            } => {
+                let rv = self.eval_l(value, f)?;
+                let out = match op {
+                    None => rv,
+                    Some(binop) => {
+                        let read = read.as_ref().expect("compound assign has a read");
+                        let lv = self.eval_l(read, f)?;
+                        self.binary_l_values(*binop, &lv, &rv, e.span)?
+                    }
+                };
+                self.assign_l(write, out.clone(), f)?;
+                Ok(out)
+            }
+            LExprKind::Cond(c, t, el) => {
+                if self.truthy_l(c, f)? {
+                    self.eval_l(t, f)
+                } else {
+                    self.eval_l(el, f)
+                }
+            }
+            LExprKind::Cast { ty, x } => {
+                let v = self.eval_l(x, f)?;
+                let target = self.resolve_type_slot(ty, f.class, e.span)?;
+                self.cast(v, &target, e.span)
+            }
+            LExprKind::Instanceof { x, ty } => {
+                let v = self.eval_l(x, f)?;
+                let target = self.resolve_type_slot(ty, f.class, e.span)?;
+                Ok(Value::Bool(self.value_instanceof(&v, &target)))
+            }
+            LExprKind::Call { callee, args, site } => {
+                // Arguments first, then the receiver — legacy order.  The
+                // buffer comes from (and returns to) the frame pool.
+                let mut vals = self.frame_pool.borrow_mut().pop().unwrap_or_default();
+                for a in args {
+                    match self.eval_l(a, f) {
+                        Ok(v) => vals.push(v),
+                        Err(c) => {
+                            vals.clear();
+                            self.frame_pool.borrow_mut().push(vals);
+                            return Err(c);
+                        }
+                    }
+                }
+                self.eval_l_call(callee, vals, site, f, e.span)
+            }
+        }
+    }
+
+    fn eval_l_call(
+        &self,
+        callee: &LCallee,
+        vals: Vec<Value>,
+        site: &CallSite,
+        f: &mut LFrame,
+        span: Span,
+    ) -> Eval {
+        match callee {
+            LCallee::Super(name) => {
+                let this = f
+                    .this
+                    .clone()
+                    .ok_or_else(|| Control::error("super call without this", span))?;
+                let class = f
+                    .class
+                    .ok_or_else(|| Control::error("super call without class", span))?;
+                let sup = self
+                    .ct
+                    .info(class)
+                    .borrow()
+                    .superclass
+                    .ok_or_else(|| Control::error("no superclass", span))?;
+                self.invoke_ic(Some(this), sup, *name, vals, site, span)
+            }
+            LCallee::Recv(recv, name) => {
+                let r = self.eval_l(recv, f)?;
+                match r {
+                    Value::ClassRef(c) => {
+                        self.ensure_init(c)?;
+                        self.invoke_ic(None, c, *name, vals, site, span)
+                            .map_err(|c| self.attach_frames(c))
+                    }
+                    Value::Null => Err(self.throw_simple("java.lang.NullPointerException", span)),
+                    other => {
+                        let class = other.class_of(&self.ct).ok_or_else(|| {
+                            Control::error(format!("cannot invoke {name} on {:?}", other), span)
+                        })?;
+                        self.invoke_ic(Some(other), class, *name, vals, site, span)
+                    }
+                }
+            }
+            LCallee::Implicit(name) => {
+                let class = f
+                    .class
+                    .ok_or_else(|| Control::error("call without enclosing class", span))?;
+                match f.this.clone() {
+                    Some(this) => {
+                        let dyn_class = this.class_of(&self.ct).ok_or_else(|| {
+                            Control::error(format!("cannot invoke {name} on {:?}", this), span)
+                        })?;
+                        self.invoke_ic(Some(this), dyn_class, *name, vals, site, span)
+                    }
+                    None => {
+                        self.ensure_init(class)?;
+                        self.invoke_ic(None, class, *name, vals, site, span)
+                            .map_err(|c| self.attach_frames(c))
+                    }
+                }
+            }
+        }
+    }
+
+    fn assign_l(&self, target: &LTarget, v: Value, f: &mut LFrame) -> Result<(), Control> {
+        match target {
+            LTarget::Local(slot) => {
+                f.slots[*slot as usize] = v;
+                Ok(())
+            }
+            LTarget::EnvName(name, span) => {
+                self.env_assign_name(*name, v, f.this.as_ref(), f.class, *span)
+            }
+            LTarget::Field { target, name, span } => {
+                let tv = self.eval_l(target, f)?;
+                match tv {
+                    Value::Object(obj) => {
+                        obj.set(*name, v);
+                        Ok(())
+                    }
+                    Value::ClassRef(c) => self.set_static_field(c, *name, v),
+                    Value::Null => {
+                        Err(self.throw_simple("java.lang.NullPointerException", *span))
+                    }
+                    other => Err(Control::error(
+                        format!("cannot assign field of {other:?}"),
+                        *span,
+                    )),
+                }
+            }
+            LTarget::Array { arr, idx, span } => {
+                let av = self.eval_l(arr, f)?;
+                let i = self.int_of(self.eval_l(idx, f)?, idx.span)?;
+                match av {
+                    Value::Array(a) => {
+                        let mut data = a.data.borrow_mut();
+                        let len = data.len();
+                        match data.get_mut(i as usize) {
+                            Some(slot) => {
+                                *slot = v;
+                                Ok(())
+                            }
+                            None => Err(Control::error(
+                                format!("array index {i} out of bounds ({len})"),
+                                *span,
+                            )),
+                        }
+                    }
+                    _ => Err(Control::error("not an array", *span)),
+                }
+            }
+            LTarget::Invalid(span) => Err(Control::error("invalid assignment target", *span)),
+        }
+    }
+
     fn force_body(&self, body: &LazyNode, class: ClassId, span: Span) -> Result<(), Control> {
         if body.is_forced() {
             return Ok(());
         }
         let f = self.forcer.borrow().clone();
         match f {
-            Some(f) => f(self, body, class).map_err(Control::Error),
+            Some(f) => f(self, body, class).map_err(|e| Control::Error(Box::new(e))),
             None => Err(Control::error(
                 "method body is unforced and no forcer is installed",
                 span,
@@ -480,18 +1207,16 @@ impl Interp {
     pub fn construct(&self, class: ClassId, args: Vec<Value>, span: Span) -> Eval {
         self.ensure_init(class)?;
         // Native classes construct through a native ctor.
-        let ctors = self.ct.ctors(class);
+        self.caches.sync(&self.ct);
+        let ctors = self.caches.ctor_row(&self.ct, class);
         let arg_types: Vec<Type> = args.iter().map(|a| a.runtime_type(&self.ct)).collect();
-        let ctor: Option<CtorInfo> = ctors
-            .iter()
-            .find(|c| {
-                c.params.len() == args.len()
-                    && c.params
-                        .iter()
-                        .zip(&arg_types)
-                        .all(|(p, a)| self.ct.is_assignable(a, p))
-            })
-            .cloned();
+        let ctor: Option<&CtorInfo> = ctors.iter().find(|c| {
+            c.params.len() == args.len()
+                && c.params
+                    .iter()
+                    .zip(&arg_types)
+                    .all(|(p, a)| self.ct.is_assignable(a, p))
+        });
         if let Some(c) = &ctor {
             if let Some(key) = c.native {
                 let f = self.natives.borrow().get(&key).cloned().ok_or_else(|| {
@@ -506,15 +1231,19 @@ impl Interp {
             ));
         }
 
-        let obj = Rc::new(Obj {
-            class,
-            fields: RefCell::new(HashMap::new()),
-        });
-        let this = Value::Object(obj.clone());
+        let layout = self.caches.layout(&self.ct, class);
+        let obj = Rc::new(Obj::new(class, layout));
+        let this = Value::Object(obj);
         self.init_fields(class, &this)?;
         if let Some(c) = ctor {
             if let Some(body) = &c.body {
                 self.force_body(body, class, span)?;
+                if let Some(lb) = self.lowered_body(body, &c.param_names) {
+                    // A ctor's return value (fall-through or `return`) is
+                    // discarded; only abnormal completions propagate.
+                    self.exec_lowered(&lb, Some(this.clone()), class, args)?;
+                    return Ok(this);
+                }
                 let node = body
                     .forced_node()
                     .ok_or_else(|| Control::error("ctor body not forced", span))?;
@@ -563,7 +1292,7 @@ impl Interp {
                 }
                 None => Value::default_for(&ty),
             };
-            obj.fields.borrow_mut().insert(name, v);
+            obj.set(name, v);
         }
         Ok(())
     }
@@ -585,7 +1314,7 @@ impl Interp {
                 format!("uncaught exception: {}", self.display(&v)),
                 Span::DUMMY,
             )),
-            Err(Control::Error(e)) => Err(e),
+            Err(Control::Error(e)) => Err(*e),
             Err(other) => Err(RuntimeError::new(
                 format!("abnormal completion: {other:?}"),
                 Span::DUMMY,
@@ -940,7 +1669,7 @@ impl Interp {
                     None => rv,
                     Some(binop) => {
                         let lv = self.eval(l, frame)?;
-                        self.binary_values(*binop, lv, rv, e.span)?
+                        self.binary_values(*binop, &lv, &rv, e.span)?
                     }
                 };
                 self.assign_to(l, value.clone(), frame)?;
@@ -1109,19 +1838,30 @@ impl Interp {
         if let Some(v) = frame.lookup(name) {
             return Ok(v.clone());
         }
-        if let Some(this) = &frame.this {
-            if let Value::Object(obj) = this {
-                if let Some(v) = obj.fields.borrow().get(&name) {
-                    return Ok(v.clone());
-                }
+        self.env_name(name, frame.this.as_ref(), frame.class, span)
+    }
+
+    /// The environment tail of name resolution — everything after locals:
+    /// implicit-`this` field, then (static) class field, then class name.
+    /// Shared by both execution paths.
+    fn env_name(
+        &self,
+        name: Symbol,
+        this: Option<&Value>,
+        class: Option<ClassId>,
+        span: Span,
+    ) -> Eval {
+        if let Some(Value::Object(obj)) = this {
+            if let Some(v) = obj.get(name) {
+                return Ok(v);
             }
         }
-        if let Some(class) = frame.class {
+        if let Some(class) = class {
             if self.ct.lookup_field(class, name).is_some() {
                 return self.static_field(class, name);
             }
         }
-        let ctx = self.ctx_for(frame.class);
+        let ctx = self.ctx_for(class);
         if let Some(c) = self.ct.resolve_simple(name, &ctx) {
             return Ok(Value::ClassRef(c));
         }
@@ -1132,10 +1872,7 @@ impl Interp {
         match target {
             Value::ClassRef(c) => self.static_field(c, name),
             Value::Object(obj) => obj
-                .fields
-                .borrow()
-                .get(&name)
-                .cloned()
+                .get(name)
                 .ok_or_else(|| Control::error(format!("no field {name}"), span)),
             Value::Array(a) if name.as_str() == "length" => {
                 Ok(Value::Int(a.data.borrow().len() as i32))
@@ -1201,7 +1938,7 @@ impl Interp {
                 let tv = self.eval(t, frame)?;
                 match tv {
                     Value::Object(obj) => {
-                        obj.fields.borrow_mut().insert(name.sym, v);
+                        obj.set(name.sym, v);
                         Ok(())
                     }
                     Value::ClassRef(c) => self.set_static_field(c, name.sym, v),
@@ -1249,13 +1986,26 @@ impl Interp {
         if frame.assign(name, v.clone()) {
             return Ok(());
         }
-        if let Some(Value::Object(obj)) = &frame.this {
-            if obj.fields.borrow().contains_key(&name) {
-                obj.fields.borrow_mut().insert(name, v);
+        self.env_assign_name(name, v, frame.this.as_ref(), frame.class, span)
+    }
+
+    /// The environment tail of name assignment (after locals): `this`
+    /// field, then static field.  Shared by both execution paths.
+    fn env_assign_name(
+        &self,
+        name: Symbol,
+        v: Value,
+        this: Option<&Value>,
+        class: Option<ClassId>,
+        span: Span,
+    ) -> Result<(), Control> {
+        if let Some(Value::Object(obj)) = this {
+            if obj.get(name).is_some() {
+                obj.set(name, v);
                 return Ok(());
             }
         }
-        if let Some(class) = frame.class {
+        if let Some(class) = class {
             if let Some((owner, f)) = self.ct.lookup_field(class, name) {
                 if f.modifiers.is_static() {
                     return self.set_static_field(owner, name, v);
@@ -1302,28 +2052,66 @@ impl Interp {
         }
         let lv = self.eval(l, frame)?;
         let rv = self.eval(r, frame)?;
+        self.binary_values(op, &lv, &rv, span)
+    }
+
+    /// Applies a binary operator to already-evaluated values (borrowed —
+    /// numeric and boolean results never need the operands moved).
+    /// [`Interp::binary_values`] with an `int`⊗`int` fast path for the
+    /// lowered engine.  The specialized arms reproduce the generic path's
+    /// promotion results exactly (all `i32` pairs are exact in `f64`, so
+    /// even `==`/`!=` agree); anything fallible (`/`, `%`) or non-int falls
+    /// through to the generic code.
+    #[inline]
+    fn binary_l_values(&self, op: BinOp, lv: &Value, rv: &Value, span: Span) -> Eval {
+        use BinOp::*;
+        if let (Value::Int(a), Value::Int(b)) = (lv, rv) {
+            let (a, b) = (*a, *b);
+            match op {
+                Add => return Ok(Value::Int(a.wrapping_add(b))),
+                Sub => return Ok(Value::Int(a.wrapping_sub(b))),
+                Mul => return Ok(Value::Int(a.wrapping_mul(b))),
+                Shl => return Ok(Value::Int(a.wrapping_shl(b as u32 & 31))),
+                Shr => return Ok(Value::Int(a.wrapping_shr(b as u32 & 31))),
+                Ushr => return Ok(Value::Int(((a as u32) >> (b as u32 & 31)) as i32)),
+                BitAnd => return Ok(Value::Int(a & b)),
+                BitOr => return Ok(Value::Int(a | b)),
+                BitXor => return Ok(Value::Int(a ^ b)),
+                Lt => return Ok(Value::Bool(a < b)),
+                Gt => return Ok(Value::Bool(a > b)),
+                Le => return Ok(Value::Bool(a <= b)),
+                Ge => return Ok(Value::Bool(a >= b)),
+                Eq => return Ok(Value::Bool(a == b)),
+                Ne => return Ok(Value::Bool(a != b)),
+                // Division by zero throws; only that case needs the
+                // generic path.  Wrapping div/rem matches the promoted
+                // `i64` computation on the MIN/-1 edge.
+                Div if b != 0 => return Ok(Value::Int(a.wrapping_div(b))),
+                Rem if b != 0 => return Ok(Value::Int(a.wrapping_rem(b))),
+                Div | Rem | And | Or => {}
+            }
+        }
         self.binary_values(op, lv, rv, span)
     }
 
-    /// Applies a binary operator to already-evaluated values.
-    pub fn binary_values(&self, op: BinOp, lv: Value, rv: Value, span: Span) -> Eval {
+    pub fn binary_values(&self, op: BinOp, lv: &Value, rv: &Value, span: Span) -> Eval {
         use BinOp::*;
         // String concatenation.
         if op == Add && (matches!(lv, Value::Str(_)) || matches!(rv, Value::Str(_))) {
-            let s = format!("{}{}", self.display(&lv), self.display(&rv));
+            let s = format!("{}{}", self.display(lv), self.display(rv));
             return Ok(Value::str(&s));
         }
         if matches!(op, Eq | Ne) {
-            let both_num = is_numeric(&lv) && is_numeric(&rv);
+            let both_num = is_numeric(lv) && is_numeric(rv);
             let eq = if both_num {
-                num_as_f64(&lv) == num_as_f64(&rv)
+                num_as_f64(lv) == num_as_f64(rv)
             } else {
-                lv.ref_eq(&rv)
+                lv.ref_eq(rv)
             };
             return Ok(Value::Bool(if op == Eq { eq } else { !eq }));
         }
         if matches!(lv, Value::Bool(_)) || matches!(rv, Value::Bool(_)) {
-            let (Value::Bool(a), Value::Bool(b)) = (&lv, &rv) else {
+            let (Value::Bool(a), Value::Bool(b)) = (lv, rv) else {
                 return Err(Control::error("boolean operand mismatch", span));
             };
             return Ok(Value::Bool(match op {
@@ -1333,7 +2121,7 @@ impl Interp {
                 _ => return Err(Control::error(format!("bad boolean operator {op}"), span)),
             }));
         }
-        if !is_numeric(&lv) || !is_numeric(&rv) {
+        if !is_numeric(lv) || !is_numeric(rv) {
             return Err(Control::error(
                 format!("invalid operands {lv:?} {op} {rv:?}"),
                 span,
@@ -1346,12 +2134,12 @@ impl Interp {
             Value::Long(_) => 2,
             _ => 1,
         };
-        let r = rank(&lv).max(rank(&rv));
+        let r = rank(lv).max(rank(rv));
         let div_zero = |c: Control| c;
         match r {
             4 | 3 => {
-                let a = num_as_f64(&lv);
-                let b = num_as_f64(&rv);
+                let a = num_as_f64(lv);
+                let b = num_as_f64(rv);
                 let out = match op {
                     Add => a + b,
                     Sub => a - b,
@@ -1376,8 +2164,8 @@ impl Interp {
                 })
             }
             2 => {
-                let a = num_as_i64(&lv);
-                let b = num_as_i64(&rv);
+                let a = num_as_i64(lv);
+                let b = num_as_i64(rv);
                 self.int_like_op(op, a, b, span)
                     .map(|v| match v {
                         IntOut::Num(n) => Value::Long(n),
@@ -1388,8 +2176,8 @@ impl Interp {
             _ => {
                 // 32-bit semantics: shifts mask to 5 bits, >>> is unsigned
                 // in the 32-bit domain.
-                let a = num_as_i64(&lv) as i32;
-                let b = num_as_i64(&rv) as i32;
+                let a = num_as_i64(lv) as i32;
+                let b = num_as_i64(rv) as i32;
                 use BinOp::*;
                 let out = match op {
                     Shl => Value::Int(a.wrapping_shl(b as u32 & 31)),

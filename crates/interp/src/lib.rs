@@ -13,12 +13,16 @@
 
 mod error;
 mod interp;
+mod layout;
+mod lower;
 mod native;
 mod runtime;
 mod value;
 
 pub use error::RuntimeError;
 pub use interp::{Control, Eval, Frame, Interp};
+pub use layout::{FieldLayout, RuntimeCaches};
+pub use lower::{LowerStore, LoweredBody};
 pub use native::{native_as, NativeFn, NativeObject};
 pub use runtime::{install_runtime, EnumObj, HashObj, PrintObj, SbObj, VecObj};
 pub use value::{ArrayObj, Obj, Value};

@@ -434,7 +434,9 @@ pub(crate) fn register_natives(i: &Interp) {
         let s = match &recv {
             Value::Object(o) => {
                 let fqcn = i.ct.fqcn(o.class);
-                match o.fields.borrow().get(&sym("message")) {
+                // The `message` field sits at a pre-resolved layout offset;
+                // the overflow lookup only runs for layouts without one.
+                match o.message().or_else(|| o.get(sym("message"))) {
                     Some(Value::Str(m)) => format!("{fqcn}: {m}"),
                     _ => format!("{fqcn}@obj"),
                 }
@@ -556,10 +558,8 @@ pub(crate) fn register_natives(i: &Interp) {
     }
     reg(i, "thr.getMessage", |_, recv, _| match recv {
         Value::Object(o) => Ok(o
-            .fields
-            .borrow()
-            .get(&sym("message"))
-            .cloned()
+            .message()
+            .or_else(|| o.get(sym("message")))
             .unwrap_or(Value::Null)),
         _ => Err(err("not a throwable")),
     });
@@ -709,14 +709,13 @@ fn make_exception(i: &Interp, fqcn: Symbol, message: Option<Value>) -> Eval {
         .ct
         .by_fqcn(fqcn)
         .ok_or_else(|| err(&format!("unknown exception class {fqcn}")))?;
-    let obj = Rc::new(crate::Obj {
-        class,
-        fields: RefCell::new(std::collections::HashMap::new()),
-    });
-    obj.fields
-        .borrow_mut()
-        .insert(sym("message"), message.unwrap_or(Value::Null));
-    Ok(Value::Object(obj))
+    let obj = crate::Obj::new(class, i.layout_of(class));
+    let msg = message.unwrap_or(Value::Null);
+    match obj.layout.message {
+        Some(off) => obj.set_slot(off, msg),
+        None => obj.set(sym("message"), msg),
+    }
+    Ok(Value::Object(obj.into()))
 }
 
 fn throw_named(i: &Interp, fqcn: &str) -> Control {

@@ -1,17 +1,83 @@
 //! Runtime values.
 
+use crate::layout::FieldLayout;
 use crate::NativeObject;
 use maya_lexer::Symbol;
 use maya_types::{ClassId, ClassTable, Type};
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
 /// An instance of a source-defined class.
+///
+/// Declared fields live in `slots` at the fixed offsets of the class's
+/// [`FieldLayout`]; `extra` is a rarely used overflow for names assigned at
+/// runtime that the layout does not know (e.g. intercession adding a field
+/// after instances already exist).
 pub struct Obj {
     pub class: ClassId,
-    pub fields: RefCell<HashMap<Symbol, Value>>,
+    pub layout: Rc<FieldLayout>,
+    slots: RefCell<Vec<Value>>,
+    extra: RefCell<Vec<(Symbol, Value)>>,
+}
+
+impl Obj {
+    /// A fresh instance: every declared slot starts as `null`.
+    pub fn new(class: ClassId, layout: Rc<FieldLayout>) -> Obj {
+        let slots = vec![Value::Null; layout.len()];
+        Obj {
+            class,
+            layout,
+            slots: RefCell::new(slots),
+            extra: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// An instance with no declared fields (tests, synthetic objects).
+    pub fn empty(class: ClassId) -> Obj {
+        Obj::new(class, FieldLayout::empty(class))
+    }
+
+    /// Reads a field by name (declared slot first, then overflow).
+    pub fn get(&self, name: Symbol) -> Option<Value> {
+        if let Some(off) = self.layout.offset(name) {
+            return Some(self.slots.borrow()[off as usize].clone());
+        }
+        self.extra
+            .borrow()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.clone())
+    }
+
+    /// Writes a field by name (declared slot first, then overflow).
+    pub fn set(&self, name: Symbol, v: Value) {
+        if let Some(off) = self.layout.offset(name) {
+            self.slots.borrow_mut()[off as usize] = v;
+            return;
+        }
+        let mut extra = self.extra.borrow_mut();
+        if let Some(slot) = extra.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = v;
+        } else {
+            extra.push((name, v));
+        }
+    }
+
+    /// Reads a declared slot directly (offset from the layout).
+    pub fn get_slot(&self, off: u32) -> Value {
+        self.slots.borrow()[off as usize].clone()
+    }
+
+    /// Writes a declared slot directly.
+    pub fn set_slot(&self, off: u32, v: Value) {
+        self.slots.borrow_mut()[off as usize] = v;
+    }
+
+    /// The `message` field through its pre-resolved offset (exceptions).
+    pub fn message(&self) -> Option<Value> {
+        self.layout.message.map(|off| self.get_slot(off))
+    }
 }
 
 /// An array instance.
@@ -151,15 +217,9 @@ mod tests {
         assert!(Value::Int(3).ref_eq(&Value::Int(3)));
         assert!(!Value::Int(3).ref_eq(&Value::Long(3)));
         assert!(Value::str("a").ref_eq(&Value::str("a")));
-        let o = Rc::new(Obj {
-            class: ClassId(0),
-            fields: RefCell::new(HashMap::new()),
-        });
+        let o = Rc::new(Obj::empty(ClassId(0)));
         assert!(Value::Object(o.clone()).ref_eq(&Value::Object(o.clone())));
-        let o2 = Rc::new(Obj {
-            class: ClassId(0),
-            fields: RefCell::new(HashMap::new()),
-        });
+        let o2 = Rc::new(Obj::empty(ClassId(0)));
         assert!(!Value::Object(o).ref_eq(&Value::Object(o2)));
     }
 

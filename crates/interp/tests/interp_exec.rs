@@ -392,7 +392,7 @@ fn string_equality_and_concat_semantics() {
     let b = Value::str("ab");
     assert!(a.ref_eq(&b), "string values compare by contents");
     let joined = interp
-        .binary_values(BinOp::Add, Value::str("n="), Value::Int(5), Span::DUMMY)
+        .binary_values(BinOp::Add, &Value::str("n="), &Value::Int(5), Span::DUMMY)
         .unwrap();
     assert!(matches!(joined, Value::Str(s) if &*s == "n=5"));
 }

@@ -221,11 +221,24 @@ pub enum Counter {
     /// cache (same purity regime as `UnitCacheHits`, applied to the
     /// deferred `ClassBody` parse that shapes a class's members).
     ClassBodyCacheHits,
+    /// Virtual-call sites answered by their monomorphic inline cache
+    /// (receiver class matched and the cached target re-verified).
+    IcHits,
+    /// Virtual-call sites that fell back to full by-name method
+    /// selection (first execution, polymorphic receiver, or a class
+    /// shape change since the cache was filled).
+    IcMisses,
+    /// Local/parameter references resolved to fixed frame slots by the
+    /// runtime lowering pass.
+    SlotsResolved,
+    /// Expressions folded to constants by the lowering pre-pass
+    /// (literal arithmetic, constant string concat, trivial tests).
+    ConstsFolded,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 37] = [
+    pub const ALL: [Counter; 41] = [
         Counter::TokensLexed,
         Counter::TokenTreesBuilt,
         Counter::FilesLexed,
@@ -263,6 +276,10 @@ impl Counter {
         Counter::ForceCacheHits,
         Counter::UnitCacheHits,
         Counter::ClassBodyCacheHits,
+        Counter::IcHits,
+        Counter::IcMisses,
+        Counter::SlotsResolved,
+        Counter::ConstsFolded,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -305,6 +322,10 @@ impl Counter {
             Counter::ForceCacheHits => "force_cache_hits",
             Counter::UnitCacheHits => "unit_cache_hits",
             Counter::ClassBodyCacheHits => "class_body_cache_hits",
+            Counter::IcHits => "ic_hits",
+            Counter::IcMisses => "ic_misses",
+            Counter::SlotsResolved => "slots_resolved",
+            Counter::ConstsFolded => "consts_folded",
         }
     }
 

@@ -4,7 +4,7 @@
 use crate::{Type, TypeError};
 use maya_ast::{Expr, LazyNode, Modifiers, PrimKind, TypeName, TypeNameKind};
 use maya_lexer::{sym, Span, Symbol};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
@@ -127,6 +127,11 @@ pub struct ResolveCtx {
 pub struct ClassTable {
     classes: RefCell<Vec<Rc<RefCell<ClassInfo>>>>,
     by_fqcn: RefCell<HashMap<Symbol, ClassId>>,
+    /// Bumped on every structural mutation (declare / add or remove
+    /// members).  Runtime caches keyed on class shape — field layouts,
+    /// vtable rows, inline caches — compare this to decide whether their
+    /// entries are still valid.
+    version: Cell<u64>,
 }
 
 impl ClassTable {
@@ -164,7 +169,18 @@ impl ClassTable {
         let id = ClassId(classes.len() as u32);
         by_fqcn.insert(info.fqcn, id);
         classes.push(Rc::new(RefCell::new(info)));
+        self.bump_version();
         Ok(id)
+    }
+
+    /// Current structural version of the table (see the `version` field).
+    pub fn version(&self) -> u64 {
+        self.version.get()
+    }
+
+    /// Records a structural change so shape-dependent caches re-validate.
+    pub fn bump_version(&self) {
+        self.version.set(self.version.get() + 1);
     }
 
     /// Number of declared classes.
@@ -209,21 +225,25 @@ impl ClassTable {
     /// Adds a method to a class (intercession).
     pub fn add_method(&self, id: ClassId, m: MethodInfo) {
         self.info(id).borrow_mut().methods.push(m);
+        self.bump_version();
     }
 
     /// Removes methods matching a predicate (intercession).
     pub fn retain_methods(&self, id: ClassId, keep: impl FnMut(&MethodInfo) -> bool) {
         self.info(id).borrow_mut().methods.retain(keep);
+        self.bump_version();
     }
 
     /// Adds a field to a class (intercession).
     pub fn add_field(&self, id: ClassId, f: FieldInfo) {
         self.info(id).borrow_mut().fields.push(f);
+        self.bump_version();
     }
 
     /// Adds a constructor to a class.
     pub fn add_ctor(&self, id: ClassId, c: CtorInfo) {
         self.info(id).borrow_mut().ctors.push(c);
+        self.bump_version();
     }
 
     /// True iff `a` equals `b` or `b` is reachable from `a` through
@@ -308,6 +328,31 @@ impl ClassTable {
             cur = info.superclass;
         }
         None
+    }
+
+    /// All instance fields of `id` in *layout order*: superclass fields
+    /// first (recursively), then own fields in declaration order, with
+    /// re-declared names collapsed onto the first (inherited) occurrence.
+    /// Runtimes can use this to assign every field a fixed offset such
+    /// that a subclass layout is a prefix-extension of its superclass's.
+    pub fn fields_in_layout_order(&self, id: ClassId) -> Vec<(ClassId, FieldInfo)> {
+        let mut chain = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            chain.push(c);
+            cur = self.info(c).borrow().superclass;
+        }
+        let mut out: Vec<(ClassId, FieldInfo)> = Vec::new();
+        for c in chain.into_iter().rev() {
+            let info = self.info(c);
+            let info = info.borrow();
+            for f in &info.fields {
+                if !out.iter().any(|(_, g)| g.name == f.name) {
+                    out.push((c, f.clone()));
+                }
+            }
+        }
+        out
     }
 
     /// All methods with the given name visible on `id` (own + inherited,

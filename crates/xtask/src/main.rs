@@ -14,14 +14,21 @@
 //! repo root, and fails if (a) warm runs do not skip table builds, (b)
 //! indexed dispatch does not beat the seed's 782/470 tests-per-reduction
 //! linear scan, or (c) any fast-path run's wall clock regressed more than
-//! 20% against the committed snapshot. Part of the pre-merge verify flow.
+//! 20% against the committed snapshot. It also times the `interp_hot`
+//! workload (the interpreter-bound corpus programs) through the legacy
+//! tree walker and the lowered fast runtime, and fails unless the lowered
+//! runtime is at least 3x faster with a >= 90% inline-cache hit rate.
+//! Part of the pre-merge verify flow.
 //!
 //! `cargo xtask fuzz-lite [--cases=N] [--seed=S]` drives seeded random
 //! (often corrupt) sources through the full multi-error pipeline and
 //! fails if any input panics out of the driver boundary instead of
 //! producing a diagnostic or a clean run. Resource guards are tightened
 //! so pathological inputs terminate quickly; the whole run is
-//! deterministic for a given seed. Part of the pre-merge verify flow.
+//! deterministic for a given seed. The corpus replay runs every program
+//! through two compile-server sessions — lowered runtime and legacy tree
+//! walker — and fails on any output divergence between them. Part of the
+//! pre-merge verify flow.
 
 use maya::telemetry::{self, json_counter, json_string, Counter};
 use std::fmt::Write as _;
@@ -422,11 +429,110 @@ fn server_bench() -> ServerBench {
     ServerBench { cold_ms, warm_recompile_ms, full_reuse_ms }
 }
 
+// ---- interpreter bench -------------------------------------------------------
+
+/// The lowered runtime must beat the legacy tree walker by at least this
+/// factor on the interpreter-bound workload.
+const INTERP_MIN_SPEEDUP: f64 = 3.0;
+/// Minimum inline-cache hit rate over the interp_hot workload.
+const INTERP_MIN_IC_HIT_RATE: f64 = 0.90;
+
+/// The interpreter-bound corpus programs and their expected output; the
+/// bench asserts the output so a wrong-but-fast runtime can never pass.
+const INTERP_HOT_PROGRAMS: [(&str, &str); 3] = [
+    ("interp_hot_arith.maya", "total=2808302378\ncheck=1116585465\nfold=14/3\n"),
+    ("interp_hot_calls.maya", "total=1478800\nsquare=99 rect=47\n"),
+    ("interp_hot_strings.maya", "letters=6000\nlast=a:901234567890|b:78901234\n"),
+];
+
+struct InterpBench {
+    /// Best wall-clock for one pass over the programs, legacy tree walker.
+    seed_ms: f64,
+    /// Best wall-clock for one pass, lowered fast runtime.
+    fast_ms: f64,
+    ic_hits: u64,
+    ic_misses: u64,
+    slots_resolved: u64,
+    consts_folded: u64,
+}
+
+impl InterpBench {
+    fn speedup(&self) -> f64 {
+        self.seed_ms / self.fast_ms.max(1e-9)
+    }
+
+    fn ic_hit_rate(&self) -> f64 {
+        let total = self.ic_hits + self.ic_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.ic_hits as f64 / total as f64
+        }
+    }
+}
+
+/// One pass over the interp_hot programs: compile untimed, then time only
+/// `run_main` — the compile front end is identical in both configurations,
+/// so timing it would just dilute the interpreter speedup being measured.
+fn interp_hot_pass(root: &Path, lowering: bool) -> f64 {
+    let mut ms = 0.0;
+    for (name, expected) in INTERP_HOT_PROGRAMS {
+        let src = std::fs::read_to_string(root.join("tests/corpus").join(name))
+            .unwrap_or_else(|e| panic!("tests/corpus/{name}: {e}"));
+        let c = maya::Compiler::with_options(maya::CompileOptions {
+            echo_output: false,
+            jobs: 1,
+            ..Default::default()
+        });
+        c.interp().set_lowering(lowering);
+        c.add_source(name, &src).expect("interp_hot program compiles");
+        c.compile().expect("interp_hot program compiles");
+        let started = std::time::Instant::now();
+        let out = c.run_main("Main").expect("interp_hot program runs");
+        let one = started.elapsed().as_secs_f64() * 1e3;
+        if std::env::var("XTASK_INTERP_DEBUG").is_ok() {
+            eprintln!("  {name} lowering={lowering}: {one:.2}ms");
+        }
+        ms += one;
+        assert_eq!(out, expected, "{name}: wrong output (lowering={lowering})");
+    }
+    ms
+}
+
+/// Times the interpreter-bound workload through the legacy tree walker and
+/// the lowered fast runtime, capturing the lowering/IC counters from the
+/// fast configuration.
+fn interp_bench(root: &Path) -> InterpBench {
+    // Counter capture first, untimed: a live telemetry collector taxes every
+    // counter bump, so the wall-clock reps below run without a session and
+    // both configurations pay identical instrumentation costs (none).
+    let s = telemetry::Session::start(telemetry::Config::default());
+    interp_hot_pass(root, true);
+    let r = s.finish();
+
+    // Interleaved reps: a background load spike lands on both
+    // configurations instead of skewing the ratio one way.
+    let mut seed_ms = f64::INFINITY;
+    let mut fast_ms = f64::INFINITY;
+    for _ in 0..PERF_REPS {
+        seed_ms = seed_ms.min(interp_hot_pass(root, false));
+        fast_ms = fast_ms.min(interp_hot_pass(root, true));
+    }
+    InterpBench {
+        seed_ms,
+        fast_ms,
+        ic_hits: r.counter(Counter::IcHits),
+        ic_misses: r.counter(Counter::IcMisses),
+        slots_resolved: r.counter(Counter::SlotsResolved),
+        consts_folded: r.counter(Counter::ConstsFolded),
+    }
+}
+
 fn perf_counter(m: &PerfMeasure, c: Counter) -> u64 {
     m.counters.iter().find(|(k, _)| *k == c).map_or(0, |(_, v)| *v)
 }
 
-fn render_perf(rows: &[PerfRow], server: &ServerBench) -> String {
+fn render_perf(rows: &[PerfRow], server: &ServerBench, interp: &InterpBench) -> String {
     let counter_block = |m: &PerfMeasure, indent: &str| {
         let lines: Vec<String> = m
             .counters
@@ -464,11 +570,25 @@ fn render_perf(rows: &[PerfRow], server: &ServerBench) -> String {
     let _ = writeln!(
         out,
         "  \"server\": {{\n    \"cold_ms\": {:.2},\n    \"warm_recompile_ms\": {:.2},\n    \
-         \"full_reuse_ms\": {:.2},\n    \"warm_speedup\": {:.2}\n  }}",
+         \"full_reuse_ms\": {:.2},\n    \"warm_speedup\": {:.2}\n  }},",
         server.cold_ms,
         server.warm_recompile_ms,
         server.full_reuse_ms,
         server.speedup(),
+    );
+    let _ = writeln!(
+        out,
+        "  \"interp_hot\": {{\n    \"interp_seed_ms\": {:.2},\n    \"interp_fast_ms\": {:.2},\n    \
+         \"speedup\": {:.2},\n    \"ic_hits\": {},\n    \"ic_misses\": {},\n    \
+         \"ic_hit_rate\": {:.4},\n    \"slots_resolved\": {},\n    \"consts_folded\": {}\n  }}",
+        interp.seed_ms,
+        interp.fast_ms,
+        interp.speedup(),
+        interp.ic_hits,
+        interp.ic_misses,
+        interp.ic_hit_rate(),
+        interp.slots_resolved,
+        interp.consts_folded,
     );
     out.push_str("}\n");
     out
@@ -564,9 +684,40 @@ fn perf_gate() -> ExitCode {
         failed = true;
     }
 
-    // Gate 4 (wall clock, self-relative): no fast-path run may regress more
+    // Gate 4 (absolute): the lowered runtime must beat the legacy tree
+    // walker on the interpreter-bound workload, with a healthy inline-cache
+    // hit rate (the fast path must actually be taken, not just exist).
+    let interp = interp_bench(&root);
+    println!(
+        "xtask perf: interp_hot         seed {:>8.2}ms  fast {:>8.2}ms  ({:.2}x)  \
+         IC {}/{} hits ({:.1}%)",
+        interp.seed_ms,
+        interp.fast_ms,
+        interp.speedup(),
+        interp.ic_hits,
+        interp.ic_hits + interp.ic_misses,
+        interp.ic_hit_rate() * 100.0,
+    );
+    if interp.speedup() < INTERP_MIN_SPEEDUP {
+        eprintln!(
+            "xtask perf: lowered runtime too slow: only {:.2}x faster than the legacy \
+             tree walker (need {INTERP_MIN_SPEEDUP:.1}x)",
+            interp.speedup()
+        );
+        failed = true;
+    }
+    if interp.ic_hit_rate() < INTERP_MIN_IC_HIT_RATE {
+        eprintln!(
+            "xtask perf: inline caches ineffective: hit rate {:.1}% (need {:.0}%)",
+            interp.ic_hit_rate() * 100.0,
+            INTERP_MIN_IC_HIT_RATE * 100.0
+        );
+        failed = true;
+    }
+
+    // Gate 5 (wall clock, self-relative): no fast-path run may regress more
     // than PERF_TOLERANCE against the committed snapshot.
-    let doc = render_perf(&rows, &server);
+    let doc = render_perf(&rows, &server, &interp);
     let baseline_path = root.join("BENCH_perf.json");
     match std::fs::read_to_string(&baseline_path) {
         Ok(baseline) => {
@@ -727,10 +878,13 @@ fn fuzz_one(src: &str) -> Result<bool, String> {
 }
 
 /// Replays the conformance corpus through the compile-server path: each
-/// program cold, warm (must be a byte-identical full reuse), and after an
-/// appended-class edit, all inside the ICE boundary. A panic escaping the
-/// session, or a warm replay diverging from its cold run, fails the fuzz
-/// run — the same invariants the random cases hunt for, on real programs.
+/// program cold, warm (must be a byte-identical full reuse), through a
+/// second session pinned to the legacy tree-walking interpreter (must be
+/// byte-identical to the lowered run), and after an appended-class edit,
+/// all inside the ICE boundary. A panic escaping a session, a warm replay
+/// diverging from its cold run, or the lowered runtime diverging from the
+/// legacy one fails the fuzz run — the same invariants the random cases
+/// hunt for, on real programs.
 fn fuzz_corpus_server(root: &Path) -> Result<(usize, usize), String> {
     let dir = root.join("tests/corpus");
     let mut names: Vec<String> = std::fs::read_dir(&dir)
@@ -745,10 +899,16 @@ fn fuzz_corpus_server(root: &Path) -> Result<(usize, usize), String> {
         maya::macrolib::install(c);
         maya::multijava::install(c);
     });
-    let mut session = maya::Session::new(
-        maya::CompileOptions { echo_output: false, jobs: 1, ..Default::default() },
-        Some(installer),
-    );
+    // Same extensions, but every compiler the session creates runs the
+    // legacy tree walker instead of the lowered fast runtime.
+    let legacy_installer: std::rc::Rc<dyn Fn(&maya::Compiler)> = std::rc::Rc::new(|c| {
+        maya::macrolib::install(c);
+        maya::multijava::install(c);
+        c.interp().set_lowering(false);
+    });
+    let session_opts = maya::CompileOptions { echo_output: false, jobs: 1, ..Default::default() };
+    let mut session = maya::Session::new(session_opts.clone(), Some(installer));
+    let mut legacy_session = maya::Session::new(session_opts, Some(legacy_installer));
     let opts = maya::RequestOpts::default();
     let (mut clean, mut diagnosed) = (0usize, 0usize);
     for name in &names {
@@ -760,6 +920,18 @@ fn fuzz_corpus_server(root: &Path) -> Result<(usize, usize), String> {
             let warm = session.compile_sources(&sources, &opts);
             if !warm.full_reuse || warm.stdout != cold.stdout || warm.stderr != cold.stderr {
                 return Err(format!("{name}: warm server replay diverged from cold run"));
+            }
+            let legacy = legacy_session.compile_sources(&sources, &opts);
+            if legacy.success != cold.success
+                || legacy.stdout != cold.stdout
+                || legacy.stderr != cold.stderr
+            {
+                return Err(format!(
+                    "{name}: lowered runtime diverged from the legacy tree walker\n\
+                     --- lowered stdout ---\n{}\n--- legacy stdout ---\n{}\n\
+                     --- lowered stderr ---\n{}\n--- legacy stderr ---\n{}",
+                    cold.stdout, legacy.stdout, cold.stderr, legacy.stderr
+                ));
             }
             if !noedit {
                 let edited = vec![(name.clone(), format!("{src}\nclass ZZFuzz {{ }}\n"))];
@@ -804,7 +976,7 @@ fn fuzz_lite(cases: usize, seed: u64) -> ExitCode {
         Ok((clean, diagnosed)) => {
             println!(
                 "xtask fuzz-lite: corpus server replay: {} programs ({clean} clean, \
-                 {diagnosed} diagnosed), warm == cold, 0 panics",
+                 {diagnosed} diagnosed), warm == cold, lowered == legacy, 0 panics",
                 clean + diagnosed
             );
             ExitCode::SUCCESS
