@@ -14,6 +14,7 @@ use maya_interp::{install_runtime, Interp};
 use maya_lexer::{
     stream_lex, stream_lex_send, FileId, LexError, SendTree, SourceMap, Span, Symbol, TokenTree,
 };
+use maya_telemetry as telemetry;
 use maya_template::__private_fresh::FreshNames;
 use maya_types::{
     Checker, ClassId, ClassInfo, ClassTable, CtorInfo, FieldInfo, MethodInfo, ResolveCtx, Scope,
@@ -120,27 +121,48 @@ impl ForceCache {
     }
 
     pub(crate) fn get(&self, key: &(NodeKind, u128)) -> Option<Node> {
-        self.map.borrow().get(key).cloned()
+        let hit = self.map.borrow().get(key).cloned();
+        if hit.is_some() {
+            telemetry::cache_hit(telemetry::CacheId::ForceCache);
+        } else {
+            telemetry::cache_miss(telemetry::CacheId::ForceCache);
+        }
+        hit
     }
 
     pub(crate) fn insert(&self, key: (NodeKind, u128), node: Node) {
         self.map.borrow_mut().insert(key, node);
+        telemetry::cache_sized(telemetry::CacheId::ForceCache, self.map.borrow().len());
     }
 
     pub(crate) fn get_unit(&self, key: u128) -> Option<Node> {
-        self.units.borrow().get(&key).cloned()
+        let hit = self.units.borrow().get(&key).cloned();
+        if hit.is_some() {
+            telemetry::cache_hit(telemetry::CacheId::UnitCache);
+        } else {
+            telemetry::cache_miss(telemetry::CacheId::UnitCache);
+        }
+        hit
     }
 
     pub(crate) fn insert_unit(&self, key: u128, node: Node) {
         self.units.borrow_mut().insert(key, node);
+        telemetry::cache_sized(telemetry::CacheId::UnitCache, self.units.borrow().len());
     }
 
     pub(crate) fn get_body(&self, key: u128) -> Option<Node> {
-        self.bodies.borrow().get(&key).cloned()
+        let hit = self.bodies.borrow().get(&key).cloned();
+        if hit.is_some() {
+            telemetry::cache_hit(telemetry::CacheId::ClassBodyCache);
+        } else {
+            telemetry::cache_miss(telemetry::CacheId::ClassBodyCache);
+        }
+        hit
     }
 
     pub(crate) fn insert_body(&self, key: u128, node: Node) {
         self.bodies.borrow_mut().insert(key, node);
+        telemetry::cache_sized(telemetry::CacheId::ClassBodyCache, self.bodies.borrow().len());
     }
 
     /// Number of memoized parses (lazy bodies, class bodies, whole units).
@@ -413,11 +435,14 @@ pub fn lex_files(
 ) -> Vec<Result<Vec<SendTree>, LexError>> {
     let jobs = jobs.max(1).min(files.len());
     if jobs <= 1 {
-        return files.iter().map(|&f| stream_lex_send(sm, f)).collect();
+        return files.iter().map(|&f| lex_one(sm, f)).collect();
     }
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
     let telemetry_on = maya_telemetry::enabled();
+    // Workers inherit the driving session's span capture so a merged
+    // `--jobs=N` trace shows every per-file lex on its worker's track.
+    let capture_spans = maya_telemetry::spans_enabled();
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<Vec<SendTree>, LexError>>>> =
         files.iter().map(|_| Mutex::new(None)).collect();
@@ -431,12 +456,16 @@ pub fn lex_files(
                     // Workers have their own thread-local telemetry;
                     // collect into a session and hand the report back
                     // for merging.
-                    let session = telemetry_on
-                        .then(|| maya_telemetry::Session::start(maya_telemetry::Config::default()));
+                    let session = telemetry_on.then(|| {
+                        maya_telemetry::Session::start(maya_telemetry::Config {
+                            capture_spans,
+                            ..maya_telemetry::Config::default()
+                        })
+                    });
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&file) = files.get(i) else { break };
-                        let r = stream_lex_send(sm, file);
+                        let r = lex_one(sm, file);
                         *slots[i].lock().expect("lex slot poisoned") = Some(r);
                     }
                     session.map(maya_telemetry::Session::finish)
@@ -460,6 +489,19 @@ pub fn lex_files(
                 .expect("every file was lexed")
         })
         .collect()
+}
+
+/// Lexes one file under a `lex_file` span (tagged with the file name) and
+/// records the duration into the `lex_file_ns` histogram.
+fn lex_one(sm: &SourceMap, file: FileId) -> Result<Vec<SendTree>, LexError> {
+    let span = telemetry::span_with("lex_file", || {
+        vec![("file", sm.file(file).name.clone())]
+    });
+    let t0 = std::time::Instant::now();
+    let r = stream_lex_send(sm, file);
+    telemetry::record_hist("lex_file_ns", t0.elapsed().as_nanos() as u64);
+    drop(span);
+    r
 }
 
 struct CoreImportEnv {
@@ -656,7 +698,14 @@ impl Compiler {
         let file = self.inner.sm.borrow_mut().add_file(name, text);
         let trees = {
             let sm = self.inner.sm.borrow();
-            stream_lex(&sm, file)?
+            let span = telemetry::span_with("lex_file", || {
+                vec![("file", sm.file(file).name.clone())]
+            });
+            let t0 = std::time::Instant::now();
+            let r = stream_lex(&sm, file);
+            telemetry::record_hist("lex_file_ns", t0.elapsed().as_nanos() as u64);
+            drop(span);
+            r?
         };
         self.process_lexed(file, trees)
     }

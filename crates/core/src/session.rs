@@ -220,6 +220,21 @@ impl Session {
     ) -> Outcome {
         maya_telemetry::count(Counter::ServerRequests);
         self.stats.requests += 1;
+        let n_files = inputs.len();
+        let _request = maya_telemetry::span_with("request", || {
+            vec![("files", n_files.to_string())]
+        });
+        let req_start = std::time::Instant::now();
+        let outcome = self.compile_inputs_inner(inputs, opts);
+        maya_telemetry::record_hist("request_ns", req_start.elapsed().as_nanos() as u64);
+        outcome
+    }
+
+    fn compile_inputs_inner(
+        &mut self,
+        inputs: &[(String, Result<String, String>)],
+        opts: &RequestOpts,
+    ) -> Outcome {
 
         // ---- change detection ------------------------------------------------
         // The file *structure* (names, order, readability) is part of the

@@ -360,6 +360,7 @@ pub fn order_applicable<D: ProdDesc>(
             .and_then(|by_sig| by_sig.get(sig.as_slice()))
             .cloned();
         if let Some(order) = cached {
+            maya_telemetry::cache_hit(maya_telemetry::CacheId::DispatchMemo);
             if maya_telemetry::enabled() {
                 maya_telemetry::count(maya_telemetry::Counter::DispatchReductions);
                 maya_telemetry::count(maya_telemetry::Counter::DispatchIndexHits);
@@ -393,8 +394,11 @@ pub fn order_applicable<D: ProdDesc>(
             return Ok(chain);
         }
     }
-    if indexed && maya_telemetry::enabled() {
-        maya_telemetry::count(maya_telemetry::Counter::DispatchIndexMisses);
+    if indexed {
+        maya_telemetry::cache_miss(maya_telemetry::CacheId::DispatchMemo);
+        if maya_telemetry::enabled() {
+            maya_telemetry::count(maya_telemetry::Counter::DispatchIndexMisses);
+        }
     }
 
     let mut stats = MatchStats::default();
@@ -476,10 +480,13 @@ pub fn order_applicable<D: ProdDesc>(
         let mut memo = env.caches().memo.borrow_mut();
         let total: usize = memo.values().map(|by_sig| by_sig.len()).sum();
         if total >= MEMO_CAP {
+            maya_telemetry::cache_eviction(maya_telemetry::CacheId::DispatchMemo);
             memo.clear();
         }
         let order: Vec<u32> = ordered.iter().map(|(i, _, _)| *i as u32).collect();
         memo.entry(prod).or_default().insert(sig, Rc::new(order));
+        let total: usize = memo.values().map(|by_sig| by_sig.len()).sum();
+        maya_telemetry::cache_sized(maya_telemetry::CacheId::DispatchMemo, total);
     }
 
     maya_telemetry::trace(maya_telemetry::TraceKind::Dispatch, || {

@@ -277,17 +277,20 @@ pub(crate) fn tables_for(g: &Grammar) -> Result<Rc<Tables>, GrammarError> {
     let hash = g.content_hash();
     if let Some(t) = MEMO.with(|m| m.borrow().get(&hash).cloned()) {
         maya_telemetry::count(Counter::TableCacheHits);
+        maya_telemetry::cache_hit(maya_telemetry::CacheId::LalrMemo);
         return Ok(t);
     }
     let dir = DISK_DIR.with(|d| d.borrow().clone());
     if let Some(dir) = &dir {
         if let Some(t) = load_disk(dir, hash, g.data()) {
             maya_telemetry::count(Counter::TableCacheHits);
+            maya_telemetry::cache_hit(maya_telemetry::CacheId::LalrMemo);
             remember(hash, &t);
             return Ok(t);
         }
     }
     maya_telemetry::count(Counter::TableCacheMisses);
+    maya_telemetry::cache_miss(maya_telemetry::CacheId::LalrMemo);
     let t = build_tables(g.data()).map(Rc::new)?;
     remember(hash, &t);
     if let Some(dir) = &dir {
@@ -302,9 +305,11 @@ fn remember(hash: u128, t: &Rc<Tables>) {
     MEMO.with(|m| {
         let mut m = m.borrow_mut();
         if m.len() >= MEMO_CAP {
+            maya_telemetry::cache_eviction(maya_telemetry::CacheId::LalrMemo);
             m.clear();
         }
         m.insert(hash, t.clone());
+        maya_telemetry::cache_sized(maya_telemetry::CacheId::LalrMemo, m.len());
     });
 }
 

@@ -146,6 +146,10 @@ pub struct Interp {
     lower_store: RefCell<Rc<LowerStore>>,
     /// Master switch for the fast path (`MAYA_NO_LOWER=1` turns it off).
     lower_enabled: Cell<bool>,
+    /// Mirror of `maya_telemetry::profiling()`, synced at the public entry
+    /// points so the per-call and per-binary-op hooks cost one field load
+    /// instead of a thread-local lookup.
+    profile: Cell<bool>,
     /// Recycled slot buffers: argument vectors become lowered frames, and
     /// finished frames come back here, so steady-state lowered calls do not
     /// touch the allocator at all.
@@ -222,6 +226,7 @@ impl Interp {
             lower_enabled: Cell::new(
                 std::env::var("MAYA_NO_LOWER").map_or(true, |v| v.is_empty() || v == "0"),
             ),
+            profile: Cell::new(false),
             frame_pool: RefCell::new(Vec::new()),
         };
         crate::runtime::register_natives(&i);
@@ -416,9 +421,26 @@ impl Interp {
 
     // ---- invocation ---------------------------------------------------------
 
+    /// Re-reads the thread's profiler switch into the interpreter's cached
+    /// mirror. Called at the public entry points; everything below them
+    /// reads the cached field.
+    fn sync_profile(&self) {
+        self.profile.set(maya_telemetry::profiling());
+    }
+
+    /// The profiler label of a resolved method. Only ever called from
+    /// inside a lazy profiler closure, so it is kept out of the hot
+    /// instruction stream.
+    #[cold]
+    #[inline(never)]
+    fn method_label(&self, class: ClassId, m: &MethodInfo) -> String {
+        format!("{}.{}/{}", self.ct.fqcn(class), m.name, m.params.len())
+    }
+
     /// Invokes the best matching method named `name` on `recv` with `args`
     /// (virtual dispatch on the receiver's dynamic class).
     pub fn invoke_by_name(&self, recv: Value, name: Symbol, args: Vec<Value>, span: Span) -> Eval {
+        self.sync_profile();
         let class = recv.class_of(&self.ct).ok_or_else(|| {
             Control::error(
                 format!("cannot invoke {name} on {:?}", recv),
@@ -431,6 +453,7 @@ impl Interp {
 
     /// Invokes a static method of a class.
     pub fn invoke_static(&self, class: ClassId, name: Symbol, args: Vec<Value>, span: Span) -> Eval {
+        self.sync_profile();
         self.ensure_init(class)?;
         let m = self.select_method(class, name, &args, span)?;
         self.invoke(None, class, &m, args, span)
@@ -536,6 +559,12 @@ impl Interp {
                     .all(|(p, a)| self.ct.is_assignable(&a.runtime_type(&self.ct), p));
             if ok {
                 maya_telemetry::count(maya_telemetry::Counter::IcHits);
+                let profiled = self.profile.get();
+                if profiled {
+                    maya_telemetry::prof_site(site as *const CallSite as usize, true, || {
+                        format!("{}.{}/{}", self.ct.fqcn(class), name, args.len())
+                    });
+                }
                 // Monomorphic fast path: the target's lowered body is cached
                 // on the site, so a verified hit goes straight to lowered
                 // execution.  Mirrors `invoke`/`invoke_inner` exactly (same
@@ -552,7 +581,15 @@ impl Interp {
                     }
                     self.depth.set(d);
                     maya_telemetry::count(maya_telemetry::Counter::InterpCalls);
+                    if profiled {
+                        maya_telemetry::prof_enter(Rc::as_ptr(&m) as usize, || {
+                            self.method_label(class, &m)
+                        });
+                    }
                     let result = self.exec_lowered(&lb, recv, class, args);
+                    if profiled {
+                        maya_telemetry::prof_exit();
+                    }
                     self.depth.set(self.depth.get() - 1);
                     return result;
                 }
@@ -572,6 +609,11 @@ impl Interp {
             }
         }
         maya_telemetry::count(maya_telemetry::Counter::IcMisses);
+        if self.profile.get() {
+            maya_telemetry::prof_site(site as *const CallSite as usize, false, || {
+                format!("{}.{}/{}", self.ct.fqcn(class), name, args.len())
+            });
+        }
         let row = self.caches.row(&self.ct, class, name);
         let m = self.select_from_row(&row, class, name, &args, span)?;
         let sole_at_arity = row
@@ -606,7 +648,16 @@ impl Interp {
             ));
         }
         self.depth.set(d);
+        let profiled = self.profile.get();
+        if profiled {
+            maya_telemetry::prof_enter(m as *const MethodInfo as usize, || {
+                self.method_label(class, m)
+            });
+        }
         let result = self.invoke_inner(recv, class, m, args, span);
+        if profiled {
+            maya_telemetry::prof_exit();
+        }
         self.depth.set(self.depth.get() - 1);
         result
     }
@@ -982,6 +1033,9 @@ impl Interp {
                 self.alloc_array(&elem_ty, &sizes, e.span)
             }
             LExprKind::Binary(op, l, r) => {
+                if self.profile.get() {
+                    self.prof_binop_l(*op, l, r);
+                }
                 if *op == BinOp::And {
                     return Ok(Value::Bool(
                         self.truthy_l(l, f)? && self.truthy_l(r, f)?,
@@ -2042,7 +2096,32 @@ impl Interp {
         })
     }
 
+    /// Records nested binary-operator pairs for the profiler: an operand
+    /// that is itself a binary operation forms an `(outer, inner)` pair —
+    /// the candidate set for superinstruction fusion (ROADMAP item 2).
+    /// `#[cold]` keeps the recording code out of the line of the
+    /// interpreter's hottest loop; when profiling is off the caller pays
+    /// one predictable untaken branch.
+    #[cold]
+    #[inline(never)]
+    fn prof_binop_l(&self, op: BinOp, l: &LExpr, r: &LExpr) {
+        if let LExprKind::Binary(inner, ..) = &l.kind {
+            maya_telemetry::prof_binop_pair(op.as_str(), inner.as_str());
+        }
+        if let LExprKind::Binary(inner, ..) = &r.kind {
+            maya_telemetry::prof_binop_pair(op.as_str(), inner.as_str());
+        }
+    }
+
     fn eval_binary(&self, op: BinOp, l: &Expr, r: &Expr, frame: &mut Frame, span: Span) -> Eval {
+        if self.profile.get() {
+            if let ExprKind::Binary(inner, ..) = &l.kind {
+                maya_telemetry::prof_binop_pair(op.as_str(), inner.as_str());
+            }
+            if let ExprKind::Binary(inner, ..) = &r.kind {
+                maya_telemetry::prof_binop_pair(op.as_str(), inner.as_str());
+            }
+        }
         // Short-circuit first.
         if op == BinOp::And {
             return Ok(Value::Bool(self.truthy(l, frame)? && self.truthy(r, frame)?));

@@ -34,6 +34,7 @@ use maya_ast::{
     Stmt, StmtKind, TypeName, TypeNameKind, UnOp,
 };
 use maya_lexer::{Span, Symbol};
+use maya_telemetry as telemetry;
 use maya_types::Type;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -347,10 +348,17 @@ impl LowerStore {
 
     /// Looks up a memoized outcome.
     pub fn get(&self, fp: u128, params: &[Symbol]) -> Option<Option<Rc<LoweredBody>>> {
-        self.map
+        let hit = self
+            .map
             .borrow()
             .get(&(fp, params.to_vec().into_boxed_slice()))
-            .cloned()
+            .cloned();
+        if hit.is_some() {
+            telemetry::cache_hit(telemetry::CacheId::LowerStore);
+        } else {
+            telemetry::cache_miss(telemetry::CacheId::LowerStore);
+        }
+        hit
     }
 
     /// Records an outcome.
@@ -358,6 +366,7 @@ impl LowerStore {
         self.map
             .borrow_mut()
             .insert((fp, params.to_vec().into_boxed_slice()), outcome);
+        telemetry::cache_sized(telemetry::CacheId::LowerStore, self.map.borrow().len());
     }
 
     /// Number of memoized bodies.

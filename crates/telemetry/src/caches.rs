@@ -1,0 +1,182 @@
+//! The cache metrics registry: uniform hit/miss/size/eviction gauges for
+//! every memo in the pipeline.
+//!
+//! The compiler's fast paths are all caches — the LALR table memo, the
+//! session force cache (lazy bodies, whole units, class bodies), the
+//! shared lowered-body store, and the dispatch candidate memo. Each
+//! already bumps its own [`crate::Counter`]s, but those are scattered and
+//! asymmetric (several caches count hits only). This registry gives every
+//! cache the same four gauges, updated *at the cache itself* (get/insert),
+//! so `--stats` and the `mayad` `stats` command can render one uniform
+//! table.
+//!
+//! Unlike session counters, the registry is **cumulative per thread** and
+//! needs no active session: a long-lived server reports its lifetime cache
+//! behaviour, while a [`crate::Report`] carries the delta between session
+//! start and finish (sizes are absolute, not deltas). None of the caches
+//! currently evicts, so `evictions` is an honest zero everywhere — the
+//! column exists so a future bounded cache reports through the same pipe.
+
+use std::cell::RefCell;
+
+/// Every instrumented cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheId {
+    /// The thread-local LALR table memo (in-process tier; disk hits count
+    /// here too — both answer without building tables).
+    LalrMemo,
+    /// The session force cache's pure lazy-body parse memo.
+    ForceCache,
+    /// The session force cache's whole-file compilation-unit memo.
+    UnitCache,
+    /// The session force cache's class-body member-list memo.
+    ClassBodyCache,
+    /// The session-shared lowered-body store.
+    LowerStore,
+    /// The dispatch `(production, signature) → ordered candidates` memo.
+    DispatchMemo,
+}
+
+impl CacheId {
+    /// Every cache, in report order.
+    pub const ALL: [CacheId; 6] = [
+        CacheId::LalrMemo,
+        CacheId::ForceCache,
+        CacheId::UnitCache,
+        CacheId::ClassBodyCache,
+        CacheId::LowerStore,
+        CacheId::DispatchMemo,
+    ];
+
+    /// Stable snake_case name (the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheId::LalrMemo => "lalr_memo",
+            CacheId::ForceCache => "force_cache",
+            CacheId::UnitCache => "unit_cache",
+            CacheId::ClassBodyCache => "class_body_cache",
+            CacheId::LowerStore => "lower_store",
+            CacheId::DispatchMemo => "dispatch_memo",
+        }
+    }
+
+    fn idx(self) -> usize {
+        CacheId::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("cache listed in ALL")
+    }
+}
+
+/// Number of instrumented caches.
+pub const N_CACHES: usize = CacheId::ALL.len();
+
+/// One cache's gauges. `hits`/`misses`/`evictions` are monotonic;
+/// `size` is the current entry count (a gauge, set on insert).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub size: u64,
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// hits / (hits + misses), or 0.0 with no traffic.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+thread_local! {
+    static CACHES: RefCell<[CacheStats; N_CACHES]> =
+        const { RefCell::new([CacheStats { hits: 0, misses: 0, size: 0, evictions: 0 }; N_CACHES]) };
+}
+
+/// Records a cache hit.
+#[inline]
+pub fn cache_hit(c: CacheId) {
+    CACHES.with(|s| s.borrow_mut()[c.idx()].hits += 1);
+}
+
+/// Records a cache miss.
+#[inline]
+pub fn cache_miss(c: CacheId) {
+    CACHES.with(|s| s.borrow_mut()[c.idx()].misses += 1);
+}
+
+/// Records an eviction (no current cache evicts; see module docs).
+#[inline]
+pub fn cache_eviction(c: CacheId) {
+    CACHES.with(|s| s.borrow_mut()[c.idx()].evictions += 1);
+}
+
+/// Sets a cache's current entry count.
+#[inline]
+pub fn cache_sized(c: CacheId, entries: usize) {
+    CACHES.with(|s| s.borrow_mut()[c.idx()].size = entries as u64);
+}
+
+/// This thread's cumulative gauges for one cache.
+pub fn cache_stats(c: CacheId) -> CacheStats {
+    CACHES.with(|s| s.borrow()[c.idx()])
+}
+
+/// This thread's cumulative gauges for every cache, in [`CacheId::ALL`]
+/// order.
+pub fn cache_snapshot() -> [CacheStats; N_CACHES] {
+    CACHES.with(|s| *s.borrow())
+}
+
+/// The delta `now − base` for the monotonic gauges; sizes stay absolute
+/// (a session reports the cache's current size, not its growth).
+pub(crate) fn cache_delta(
+    now: &[CacheStats; N_CACHES],
+    base: &[CacheStats; N_CACHES],
+) -> [CacheStats; N_CACHES] {
+    let mut out = *now;
+    for (o, b) in out.iter_mut().zip(base) {
+        o.hits = o.hits.saturating_sub(b.hits);
+        o.misses = o.misses.saturating_sub(b.misses);
+        o.evictions = o.evictions.saturating_sub(b.evictions);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_accumulates_per_thread() {
+        // Run on a private thread so parallel tests cannot interleave.
+        std::thread::spawn(|| {
+            cache_hit(CacheId::LalrMemo);
+            cache_hit(CacheId::LalrMemo);
+            cache_miss(CacheId::LalrMemo);
+            cache_sized(CacheId::LalrMemo, 7);
+            let s = cache_stats(CacheId::LalrMemo);
+            assert_eq!((s.hits, s.misses, s.size, s.evictions), (2, 1, 7, 0));
+            assert!((s.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+            assert_eq!(cache_stats(CacheId::DispatchMemo), CacheStats::default());
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn delta_subtracts_monotonic_keeps_size() {
+        let base = [CacheStats { hits: 2, misses: 1, size: 3, evictions: 0 }; N_CACHES];
+        let mut now = base;
+        now[0].hits = 10;
+        now[0].size = 9;
+        let d = cache_delta(&now, &base);
+        assert_eq!(d[0], CacheStats { hits: 8, misses: 0, size: 9, evictions: 0 });
+        assert_eq!(d[1], CacheStats { hits: 0, misses: 0, size: 3, evictions: 0 });
+    }
+}

@@ -1,0 +1,245 @@
+//! Log₂-bucketed duration histograms.
+//!
+//! The server (`mayad`) answers `stats` requests with per-request latency
+//! percentiles; a fixed array of power-of-two buckets gives O(1) record,
+//! O(1) merge, and percentile estimates good to a factor of two worst-case
+//! (linear interpolation inside the winning bucket does much better in
+//! practice) — without allocating or depending on anything.
+
+use std::fmt::Write as _;
+
+/// Number of buckets: bucket `i` holds values whose highest set bit is
+/// `i-1` (bucket 0 holds the value 0). Covers the full `u64` range.
+const N_BUCKETS: usize = 65;
+
+/// A histogram of non-negative integer samples (nanoseconds, by
+/// convention). Buckets are powers of two; exact count/sum/min/max are
+/// tracked alongside so means and extremes are not bucket-quantized.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: [u64; N_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Histogram(count={}, min={}, max={}, p50={})",
+            self.count,
+            self.min(),
+            self.max(),
+            self.percentile(50.0)
+        )
+    }
+}
+
+/// The bucket index of a sample: 0 for 0, else one past the highest set
+/// bit, so bucket `i` spans `[2^(i-1), 2^i)`.
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// The half-open value range `[lo, hi)` of bucket `i`.
+fn bucket_range(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 1)
+    } else {
+        (1u64 << (i - 1), (1u64 << (i - 1)).saturating_mul(2))
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: [0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `p`-th percentile (0–100), estimated by linear interpolation
+    /// inside the winning bucket and clamped to the observed min/max.
+    /// Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (p.clamp(0.0, 100.0) / 100.0) * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if (seen + n) as f64 >= rank {
+                let (lo, hi) = bucket_range(i);
+                let into = ((rank - seen as f64) / n as f64).clamp(0.0, 1.0);
+                let est = lo as f64 + into * (hi - lo) as f64;
+                return (est as u64).clamp(self.min(), self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// The non-empty buckets as `(lo, hi, count)` triples, low to high
+    /// (`[lo, hi)` half-open value ranges).
+    pub fn buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let (lo, hi) = bucket_range(i);
+                (lo, hi, n)
+            })
+            .collect()
+    }
+
+    /// A one-line human summary (`count`, mean, p50/p95/p99, max), with
+    /// nanosecond samples rendered as durations.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "n={} mean={} p50={} p95={} p99={} max={}",
+            self.count,
+            crate::fmt_duration(self.mean() as u64),
+            crate::fmt_duration(self.percentile(50.0)),
+            crate::fmt_duration(self.percentile(95.0)),
+            crate::fmt_duration(self.percentile(99.0)),
+            crate::fmt_duration(self.max())
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn percentiles_are_monotonic_and_bounded() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 100, 1000, 5000, 100_000] {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0);
+        let p95 = h.percentile(95.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p50 >= h.min() && p99 <= h.max());
+        assert_eq!(h.percentile(100.0), h.max());
+    }
+
+    #[test]
+    fn merge_equals_recording_everything() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [5u64, 9, 17, 33] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2u64, 1000, 70] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum(), all.sum());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.buckets(), all.buckets());
+    }
+
+    #[test]
+    fn buckets_cover_samples() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(7);
+        h.record(8);
+        let buckets = h.buckets();
+        let total: u64 = buckets.iter().map(|(_, _, n)| n).sum();
+        assert_eq!(total, 4);
+        for (lo, hi, _) in buckets {
+            assert!(lo < hi);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! A comma-tracking JSON writer.
+//!
+//! `mayad` used to assemble its protocol replies with `format!` strings;
+//! every new field was a chance to emit a stray comma or an unescaped
+//! quote. This writer owns the structural syntax (commas, braces,
+//! escaping) so callers only state keys and values. It is a writer, not a
+//! serializer: values are emitted in call order, nesting is tracked by an
+//! explicit stack, and misuse (closing an object that is not open) panics
+//! in debug builds rather than emitting garbage.
+
+use crate::json_string;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Ctx {
+    Obj,
+    Arr,
+}
+
+/// An incremental JSON document builder. Start with [`JsonWriter::new`],
+/// open one object or array, fill it, and [`JsonWriter::finish`].
+#[derive(Default)]
+pub struct JsonWriter {
+    out: String,
+    /// Open containers; the bool is "this container already has an entry"
+    /// (so the next entry needs a comma).
+    stack: Vec<(Ctx, bool)>,
+    /// A `key` was just written; the next value must not emit a comma.
+    raw_pending: bool,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    fn comma(&mut self) {
+        if let Some((_, has_entries)) = self.stack.last_mut() {
+            if *has_entries {
+                self.out.push_str(", ");
+            }
+            *has_entries = true;
+        }
+    }
+
+    /// The opening brace of a container either consumes the separator a
+    /// preceding [`JsonWriter::key`] wrote, or needs its own comma when it
+    /// is a non-first array element.
+    fn open_separator(&mut self) {
+        if self.raw_pending {
+            self.raw_pending = false;
+        } else if matches!(self.stack.last(), Some((Ctx::Arr, _))) {
+            self.comma();
+        }
+    }
+
+    /// Opens an object — at the top level, as an array element, or (via
+    /// [`JsonWriter::key`]) as an object member.
+    pub fn begin_obj(&mut self) -> &mut Self {
+        self.open_separator();
+        self.out.push('{');
+        self.stack.push((Ctx::Obj, false));
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_obj(&mut self) -> &mut Self {
+        debug_assert!(matches!(self.stack.last(), Some((Ctx::Obj, _))), "end_obj without begin_obj");
+        self.stack.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Opens an array.
+    pub fn begin_arr(&mut self) -> &mut Self {
+        self.open_separator();
+        self.out.push('[');
+        self.stack.push((Ctx::Arr, false));
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_arr(&mut self) -> &mut Self {
+        debug_assert!(matches!(self.stack.last(), Some((Ctx::Arr, _))), "end_arr without begin_arr");
+        self.stack.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Emits `"k": ` inside an object; follow with a value call or
+    /// `begin_obj`/`begin_arr`.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        debug_assert!(matches!(self.stack.last(), Some((Ctx::Obj, _))), "key outside an object");
+        self.comma();
+        self.out.push_str(&json_string(k));
+        self.out.push_str(": ");
+        // The key's comma is spent; the value that follows must not add one.
+        if let Some((_, has_entries)) = self.stack.last_mut() {
+            *has_entries = true;
+        }
+        self.raw_pending = true;
+        self
+    }
+
+    /// Emits a string value (escaped).
+    pub fn str_val(&mut self, v: &str) -> &mut Self {
+        self.value(&json_string(v))
+    }
+
+    /// Emits an unsigned integer value.
+    pub fn u64_val(&mut self, v: u64) -> &mut Self {
+        self.value(&v.to_string())
+    }
+
+    /// Emits a float value with three decimals (the schema's convention
+    /// for milliseconds and ratios).
+    pub fn f64_val(&mut self, v: f64) -> &mut Self {
+        let s = if v.is_finite() { format!("{v:.3}") } else { "0.000".to_owned() };
+        self.value(&s)
+    }
+
+    /// Emits a boolean value.
+    pub fn bool_val(&mut self, v: bool) -> &mut Self {
+        self.value(if v { "true" } else { "false" })
+    }
+
+    fn value(&mut self, rendered: &str) -> &mut Self {
+        if self.raw_pending {
+            // Directly after `key`: the separator is already written.
+            self.raw_pending = false;
+        } else {
+            self.comma();
+        }
+        self.out.push_str(rendered);
+        self
+    }
+
+    /// `key` + string value.
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k).str_val(v)
+    }
+
+    /// `key` + unsigned integer value.
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k).u64_val(v)
+    }
+
+    /// `key` + three-decimal float value.
+    pub fn field_f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k).f64_val(v)
+    }
+
+    /// `key` + boolean value.
+    pub fn field_bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k).bool_val(v)
+    }
+
+    /// The finished document. Panics (debug) if containers are still open.
+    pub fn finish(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unclosed container in JsonWriter");
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_object() {
+        let mut w = JsonWriter::new();
+        w.begin_obj()
+            .field_bool("ok", true)
+            .field_u64("n", 3)
+            .field_str("s", "a\"b")
+            .end_obj();
+        assert_eq!(w.finish(), r#"{"ok": true, "n": 3, "s": "a\"b"}"#);
+    }
+
+    #[test]
+    fn nested_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_obj().key("xs").begin_arr();
+        w.u64_val(1).u64_val(2);
+        w.begin_obj().field_str("k", "v").end_obj();
+        w.end_arr().field_f64("r", 0.5).end_obj();
+        assert_eq!(w.finish(), r#"{"xs": [1, 2, {"k": "v"}], "r": 0.500}"#);
+    }
+
+    #[test]
+    fn empty_object_as_array_element_still_gets_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_obj().key("xs").begin_arr();
+        w.begin_obj().end_obj();
+        w.u64_val(5);
+        w.end_arr().end_obj();
+        assert_eq!(w.finish(), r#"{"xs": [{}, 5]}"#);
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_obj().key("a").begin_arr().end_arr().key("b").begin_obj().end_obj().end_obj();
+        assert_eq!(w.finish(), r#"{"a": [], "b": {}}"#);
+    }
+}

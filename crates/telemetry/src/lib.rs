@@ -44,10 +44,30 @@
 //! for the *outermost* activation only, so the per-phase times in a report
 //! are true wall-clock totals, not double counted.
 
+use std::borrow::Cow;
 use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
+
+mod caches;
+mod hist;
+mod jsonw;
+mod profile;
+mod spans;
+
+pub use caches::{
+    cache_eviction, cache_hit, cache_miss, cache_sized, cache_snapshot, cache_stats, CacheId,
+    CacheStats, N_CACHES,
+};
+pub use hist::Histogram;
+pub use jsonw::JsonWriter;
+pub use profile::{
+    prof_binop_pair, prof_enter, prof_exit, prof_site, profiling, InterpProfile, MethodStat,
+    SiteStat,
+};
+pub use spans::{SpanRec, NO_PARENT};
 
 // ---- phases ------------------------------------------------------------------
 
@@ -410,7 +430,7 @@ pub type TraceSink = Rc<dyn Fn(&TraceEvent)>;
 // ---- the collector -----------------------------------------------------------
 
 /// Session configuration.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Config {
     /// Record [`TraceEvent`]s into the report (`--trace-expansion` and the
     /// JSON `events` array). Counters and phases are always recorded.
@@ -420,6 +440,28 @@ pub struct Config {
     /// Streaming sink, invoked for each (filter-passing) event as it is
     /// recorded.
     pub sink: Option<TraceSink>,
+    /// Record hierarchical [`SpanRec`]s (`--trace-out`, `--time-passes=tree`).
+    /// Phase entries open spans automatically when this is on.
+    pub capture_spans: bool,
+    /// Span buffer cap; spans past it are counted in
+    /// [`Report::spans_dropped`] rather than recorded.
+    pub max_spans: usize,
+    /// Enable the interpreter profiler, reporting the top N methods, call
+    /// sites, and binary-op pairs (`--profile-interp[=N]`).
+    pub profile_interp: Option<usize>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            capture_events: false,
+            event_filter: None,
+            sink: None,
+            capture_spans: false,
+            max_spans: 1_048_576,
+            profile_interp: None,
+        }
+    }
 }
 
 struct Collector {
@@ -429,6 +471,14 @@ struct Collector {
     phase_start: [Option<Instant>; N_PHASES],
     counters: [u64; N_COUNTERS],
     events: Vec<TraceEvent>,
+    spans: Vec<SpanRec>,
+    /// Indices into `spans` of the currently open spans, innermost last.
+    span_stack: Vec<u32>,
+    spans_dropped: u64,
+    hists: BTreeMap<&'static str, Histogram>,
+    /// Cache-registry snapshot at session start; the report carries the
+    /// delta (the registry itself is cumulative per thread).
+    cache_base: [CacheStats; N_CACHES],
     config: Config,
     started: Instant,
 }
@@ -436,6 +486,14 @@ struct Collector {
 thread_local! {
     static ACTIVE: Cell<bool> = const { Cell::new(false) };
     static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+    /// Span capture on/off — split from ACTIVE so the disabled-span fast
+    /// path (a session collecting only counters) is one boolean load.
+    static SPANS_ON: Cell<bool> = const { Cell::new(false) };
+    /// Session generation, bumped by every `Session::start`. Span guards
+    /// remember the generation they opened under so a guard that outlives
+    /// its session (the session was replaced) cannot close a stranger's
+    /// span.
+    static GEN: Cell<u64> = const { Cell::new(0) };
     /// The stack of active phases, maintained even without a session so
     /// internal-compiler-error reports can name the phase that was running.
     static PHASE_STACK: RefCell<Vec<Phase>> = const { RefCell::new(Vec::new()) };
@@ -519,13 +577,131 @@ pub fn trace(kind: TraceKind, make: impl FnOnce() -> (String, String)) {
     }
 }
 
+// ---- spans -------------------------------------------------------------------
+
+/// True when the active session is capturing spans. The parallel front end
+/// reads this on the driving thread to configure its worker sessions.
+#[inline]
+pub fn spans_enabled() -> bool {
+    SPANS_ON.with(|s| s.get())
+}
+
+/// RAII guard for an open span; closes it (records the duration and pops
+/// the span stack) on drop.
+pub struct SpanGuard {
+    /// Index into the collector's span vector; `None` when spans are off
+    /// or the buffer cap was hit.
+    idx: Option<u32>,
+    gen: u64,
+}
+
+impl SpanGuard {
+    const INERT: SpanGuard = SpanGuard { idx: None, gen: 0 };
+
+    /// Attaches one key/value argument to the span. The closure only runs
+    /// when the span is live.
+    pub fn arg(&self, key: &'static str, make: impl FnOnce() -> String) {
+        let Some(idx) = self.idx else { return };
+        if GEN.with(|g| g.get()) != self.gen {
+            return;
+        }
+        with_collector(|col| {
+            if let Some(s) = col.spans.get_mut(idx as usize) {
+                s.args.push((key, make()));
+            }
+        });
+    }
+}
+
+fn open_span(name: Cow<'static, str>, args: Vec<(&'static str, String)>) -> SpanGuard {
+    let idx = with_collector(|col| {
+        if col.spans.len() >= col.config.max_spans {
+            col.spans_dropped += 1;
+            return None;
+        }
+        let idx = col.spans.len() as u32;
+        let parent = col.span_stack.last().copied().unwrap_or(NO_PARENT);
+        col.spans.push(SpanRec {
+            name,
+            start_ns: col.started.elapsed().as_nanos() as u64,
+            dur_ns: 0,
+            parent,
+            tid: spans::current_tid(),
+            args,
+        });
+        col.span_stack.push(idx);
+        Some(idx)
+    })
+    .flatten();
+    SpanGuard {
+        idx,
+        gen: GEN.with(|g| g.get()),
+    }
+}
+
+/// Opens a span. One boolean load when spans are off.
+#[inline]
+pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
+    if !spans_enabled() {
+        return SpanGuard::INERT;
+    }
+    open_span(name.into(), Vec::new())
+}
+
+/// Opens a span with key/value arguments; the closure only runs when
+/// spans are being captured.
+#[inline]
+pub fn span_with(
+    name: impl Into<Cow<'static, str>>,
+    make_args: impl FnOnce() -> Vec<(&'static str, String)>,
+) -> SpanGuard {
+    if !spans_enabled() {
+        return SpanGuard::INERT;
+    }
+    open_span(name.into(), make_args())
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(idx) = self.idx else { return };
+        if GEN.with(|g| g.get()) != self.gen {
+            return; // session replaced under our feet
+        }
+        with_collector(|col| {
+            let end = col.started.elapsed().as_nanos() as u64;
+            if let Some(s) = col.spans.get_mut(idx as usize) {
+                s.dur_ns = end.saturating_sub(s.start_ns);
+            }
+            // Truncate at our own stack entry: children leaked past their
+            // parent close with it rather than dangling open.
+            if let Some(at) = col.span_stack.iter().rposition(|&i| i == idx) {
+                col.span_stack.truncate(at);
+            }
+        });
+    }
+}
+
+/// Records one sample into a named session histogram (nanoseconds by
+/// convention). No-op without a session.
+#[inline]
+pub fn record_hist(name: &'static str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    with_collector(|col| col.hists.entry(name).or_default().record(v));
+}
+
 /// Merges a finished worker [`Report`] into the session active on this
-/// thread: counters add up, phase times and call counts add up. The parallel
-/// front end runs one short-lived session per lexer worker and folds each
-/// worker's report back into the driving session here, so `--stats` totals
-/// are identical whatever `--jobs` was. (Phase times from concurrent
-/// workers sum, so `lex` may exceed wall clock under `--jobs>1`.) No-op
-/// without a session.
+/// thread: counters add up, phase times and call counts add up, histograms
+/// merge, and (when this session captures spans) the worker's span tree is
+/// spliced in with its timestamps shifted onto this session's clock and its
+/// thread ids preserved. The parallel front end runs one short-lived
+/// session per lexer worker and folds each worker's report back into the
+/// driving session here, so `--stats` totals and `--trace-out` trees are
+/// identical whatever `--jobs` was. (Phase times from concurrent workers
+/// sum, so `lex` may exceed wall clock under `--jobs>1`.) Cache-registry
+/// gauges are *not* merged: the registry is per-thread and cumulative, and
+/// the session caches live on the driving thread. No-op without a session.
 pub fn absorb(r: &Report) {
     if !enabled() {
         return;
@@ -538,6 +714,31 @@ pub fn absorb(r: &Report) {
             col.phase_ns[i] += r.phase_ns[i];
             col.phase_calls[i] += r.phase_calls[i];
         }
+        for (name, h) in &r.hists {
+            col.hists.entry(name).or_default().merge(h);
+        }
+        col.spans_dropped += r.spans_dropped;
+        if col.config.capture_spans && !r.spans.is_empty() {
+            let base = col.spans.len() as u32;
+            let shift = r
+                .started
+                .saturating_duration_since(col.started)
+                .as_nanos() as u64;
+            let room = col.config.max_spans.saturating_sub(col.spans.len());
+            if r.spans.len() > room {
+                col.spans_dropped += (r.spans.len() - room) as u64;
+            }
+            // Taking a prefix is safe: a parent always precedes its
+            // children, so no retained span links past `room`.
+            for s in r.spans.iter().take(room) {
+                let mut s = s.clone();
+                s.start_ns += shift;
+                if s.parent != NO_PARENT {
+                    s.parent += base;
+                }
+                col.spans.push(s);
+            }
+        }
     });
 }
 
@@ -545,10 +746,15 @@ pub fn absorb(r: &Report) {
 pub struct PhaseGuard {
     phase: Phase,
     armed: bool,
+    /// The phase's span when the session captures spans; closes with us.
+    _span: SpanGuard,
 }
 
 /// Enters a phase. Nested activations of the same phase are counted but
-/// only the outermost contributes wall-clock time.
+/// only the outermost contributes wall-clock time. When the session
+/// captures spans, every activation (nested ones included) also opens a
+/// span named after the phase, so the span tree shows the real nesting
+/// the flat table collapses.
 #[inline]
 pub fn phase(p: Phase) -> PhaseGuard {
     PHASE_STACK.with(|s| s.borrow_mut().push(p));
@@ -557,6 +763,7 @@ pub fn phase(p: Phase) -> PhaseGuard {
         return PhaseGuard {
             phase: p,
             armed: false,
+            _span: SpanGuard::INERT,
         };
     }
     with_collector(|col| {
@@ -570,6 +777,7 @@ pub fn phase(p: Phase) -> PhaseGuard {
     PhaseGuard {
         phase: p,
         armed: true,
+        _span: span(p.name()),
     }
 }
 
@@ -613,6 +821,9 @@ impl Session {
     /// Starts a session, replacing any session already active on this
     /// thread (the previous session's data is discarded).
     pub fn start(config: Config) -> Session {
+        GEN.with(|g| g.set(g.get() + 1));
+        SPANS_ON.with(|s| s.set(config.capture_spans));
+        profile::set_profiling(config.profile_interp.map(|_| Default::default()));
         COLLECTOR.with(|c| {
             *c.borrow_mut() = Some(Collector {
                 phase_ns: [0; N_PHASES],
@@ -621,6 +832,11 @@ impl Session {
                 phase_start: [None; N_PHASES],
                 counters: [0; N_COUNTERS],
                 events: Vec::new(),
+                spans: Vec::new(),
+                span_stack: Vec::new(),
+                spans_dropped: 0,
+                hists: BTreeMap::new(),
+                cache_base: caches::cache_snapshot(),
                 config,
                 started: Instant::now(),
             });
@@ -634,15 +850,32 @@ impl Session {
     /// Ends the session and returns everything it collected.
     pub fn finish(self) -> Report {
         ACTIVE.with(|a| a.set(false));
-        let col = COLLECTOR
+        SPANS_ON.with(|s| s.set(false));
+        let mut col = COLLECTOR
             .with(|c| c.borrow_mut().take())
             .expect("session collector present");
+        // Close any spans still open (a report taken mid-pipeline).
+        let end = col.started.elapsed().as_nanos() as u64;
+        for &idx in &col.span_stack {
+            if let Some(s) = col.spans.get_mut(idx as usize) {
+                s.dur_ns = end.saturating_sub(s.start_ns);
+            }
+        }
+        let interp_profile = profile::take_profiling()
+            .map(|st| st.into_profile(col.config.profile_interp.unwrap_or(10)));
+        let caches_now = caches::cache_snapshot();
         Report {
             total: col.started.elapsed(),
+            started: col.started,
             phase_ns: col.phase_ns,
             phase_calls: col.phase_calls,
             counters: col.counters,
             events: col.events,
+            spans: col.spans,
+            spans_dropped: col.spans_dropped,
+            hists: col.hists,
+            caches: caches::cache_delta(&caches_now, &col.cache_base),
+            interp_profile,
         }
     }
 }
@@ -651,6 +884,8 @@ impl Drop for Session {
     fn drop(&mut self) {
         if enabled() {
             ACTIVE.with(|a| a.set(false));
+            SPANS_ON.with(|s| s.set(false));
+            profile::set_profiling(None);
             COLLECTOR.with(|c| c.borrow_mut().take());
         }
     }
@@ -663,17 +898,80 @@ impl Drop for Session {
 pub struct Report {
     /// Wall-clock duration of the whole session.
     pub total: Duration,
+    /// When the session started; [`absorb`] uses it to shift a worker's
+    /// span timestamps onto the absorbing session's clock.
+    started: Instant,
     phase_ns: [u64; N_PHASES],
     phase_calls: [u64; N_PHASES],
     counters: [u64; N_COUNTERS],
     /// Captured trace events (empty unless [`Config::capture_events`]).
     pub events: Vec<TraceEvent>,
+    /// Captured spans (empty unless [`Config::capture_spans`]).
+    pub spans: Vec<SpanRec>,
+    /// Spans lost to the [`Config::max_spans`] cap.
+    pub spans_dropped: u64,
+    hists: BTreeMap<&'static str, Histogram>,
+    /// Cache-registry deltas over the session (sizes absolute).
+    pub caches: [CacheStats; N_CACHES],
+    /// The interpreter profile (present iff [`Config::profile_interp`]).
+    pub interp_profile: Option<InterpProfile>,
 }
 
 impl Report {
     /// A counter's final value.
     pub fn counter(&self, c: Counter) -> u64 {
         self.counters[c.idx()]
+    }
+
+    /// A named session histogram, if any samples were recorded.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Every named histogram, in name order.
+    pub fn hists(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
+        self.hists.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// One cache's session delta.
+    pub fn cache(&self, c: CacheId) -> CacheStats {
+        self.caches[CacheId::ALL.iter().position(|x| *x == c).expect("cache in ALL")]
+    }
+
+    /// Folds another report into this one for cross-request aggregation
+    /// (the `mayad` server's lifetime stats): totals, counters, phase
+    /// times, and histograms add; cache hit/miss/eviction deltas add with
+    /// sizes last-wins. Spans and interpreter profiles are per-run views
+    /// and are not merged.
+    pub fn merge(&mut self, other: &Report) {
+        self.total += other.total;
+        for i in 0..N_COUNTERS {
+            self.counters[i] += other.counters[i];
+        }
+        for i in 0..N_PHASES {
+            self.phase_ns[i] += other.phase_ns[i];
+            self.phase_calls[i] += other.phase_calls[i];
+        }
+        for (name, h) in &other.hists {
+            self.hists.entry(name).or_default().merge(h);
+        }
+        for (a, b) in self.caches.iter_mut().zip(&other.caches) {
+            a.hits += b.hits;
+            a.misses += b.misses;
+            a.evictions += b.evictions;
+            a.size = b.size;
+        }
+    }
+
+    /// The Chrome trace-event JSON document (`mayac --trace-out=FILE`),
+    /// loadable in Perfetto or `chrome://tracing`.
+    pub fn chrome_trace_json(&self) -> String {
+        spans::render_chrome_trace(&self.spans)
+    }
+
+    /// The indented aggregate span tree (`--time-passes=tree`).
+    pub fn time_passes_tree(&self) -> String {
+        spans::render_tree(&self.spans, self.total.as_nanos() as u64, self.spans_dropped)
     }
 
     /// A phase's cumulative outermost wall-clock time.
@@ -784,7 +1082,25 @@ impl Report {
             "    \"dispatch_index_hit_ratio\": {}",
             ratio(ihits, ihits + imisses)
         );
-        out.push_str("  }");
+        out.push_str("  },\n");
+        out.push_str("  \"caches\": {\n");
+        let cache_rows: Vec<String> = CacheId::ALL
+            .iter()
+            .zip(&self.caches)
+            .map(|(c, s)| {
+                format!(
+                    "    \"{}\": {{ \"hits\": {}, \"misses\": {}, \"size\": {}, \"evictions\": {}, \"hit_ratio\": {:.3} }}",
+                    c.name(),
+                    s.hits,
+                    s.misses,
+                    s.size,
+                    s.evictions,
+                    s.hit_ratio()
+                )
+            })
+            .collect();
+        out.push_str(&cache_rows.join(",\n"));
+        out.push_str("\n  }");
         if !self.events.is_empty() {
             out.push_str(",\n  \"events\": [\n");
             let events: Vec<String> = self
@@ -807,7 +1123,9 @@ impl Report {
     }
 }
 
-fn fmt_duration(ns: u64) -> String {
+/// Renders nanoseconds with an adaptive unit (`42ns`, `1.5µs`, `3.000ms`,
+/// `1.200s`).
+pub fn fmt_duration(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.3}s", ns as f64 / 1e9)
     } else if ns >= 1_000_000 {
@@ -891,7 +1209,7 @@ mod tests {
         let s = Session::start(Config {
             capture_events: true,
             event_filter: Some("Foreach".into()),
-            sink: None,
+            ..Config::default()
         });
         trace(TraceKind::Dispatch, || {
             ("Statement → …".into(), "reduced by Mayan `Foreach.visit`".into())
@@ -910,11 +1228,10 @@ mod tests {
         let seen: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
         let seen2 = seen.clone();
         let s = Session::start(Config {
-            capture_events: false,
-            event_filter: None,
             sink: Some(Rc::new(move |e: &TraceEvent| {
                 seen2.borrow_mut().push(e.render());
             })),
+            ..Config::default()
         });
         trace(TraceKind::Import, || ("Foreach".into(), String::new()));
         let _ = s.finish();
@@ -1005,5 +1322,216 @@ mod tests {
     #[test]
     fn json_string_escapes() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    fn span_config() -> Config {
+        Config {
+            capture_spans: true,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn spans_off_by_default() {
+        let s = Session::start(Config::default());
+        {
+            let g = span("nothing");
+            g.arg("k", || panic!("arg closure must not run"));
+        }
+        let _ = span_with("also nothing", || panic!("args closure must not run"));
+        let r = s.finish();
+        assert!(r.spans.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_close_in_order() {
+        let s = Session::start(span_config());
+        {
+            let root = span("request");
+            root.arg("file", || "a.my".into());
+            {
+                let _p = span("parse");
+                let _d = span("dispatch");
+            }
+            let _p2 = span("parse");
+        }
+        let r = s.finish();
+        assert_eq!(r.spans.len(), 4);
+        assert_eq!(r.spans[0].name, "request");
+        assert_eq!(r.spans[0].parent, NO_PARENT);
+        assert_eq!(r.spans[0].args, vec![("file", "a.my".to_owned())]);
+        assert_eq!(r.spans[1].parent, 0); // parse under request
+        assert_eq!(r.spans[2].parent, 1); // dispatch under parse
+        assert_eq!(r.spans[3].parent, 0); // second parse under request
+        for s in &r.spans {
+            assert!(s.start_ns + s.dur_ns <= r.total.as_nanos() as u64 + 1_000_000);
+        }
+        // Parents contain their children.
+        let p = &r.spans[1];
+        let d = &r.spans[2];
+        assert!(d.start_ns >= p.start_ns);
+        assert!(d.start_ns + d.dur_ns <= p.start_ns + p.dur_ns);
+    }
+
+    #[test]
+    fn phases_open_spans_when_capturing() {
+        let s = Session::start(span_config());
+        {
+            let _outer = phase(Phase::Parse);
+            let _inner = phase(Phase::Dispatch);
+        }
+        let r = s.finish();
+        assert_eq!(r.spans.len(), 2);
+        assert_eq!(r.spans[0].name, "parse");
+        assert_eq!(r.spans[1].name, "dispatch");
+        assert_eq!(r.spans[1].parent, 0);
+        // The flat table is unchanged by span capture.
+        assert_eq!(r.phase_calls(Phase::Parse), 1);
+    }
+
+    #[test]
+    fn span_cap_drops_and_counts() {
+        let s = Session::start(Config {
+            capture_spans: true,
+            max_spans: 2,
+            ..Config::default()
+        });
+        {
+            let _a = span("a");
+            let _b = span("b");
+            let _c = span("c");
+            let _d = span("d");
+        }
+        let r = s.finish();
+        assert_eq!(r.spans.len(), 2);
+        assert_eq!(r.spans_dropped, 2);
+    }
+
+    #[test]
+    fn unfinished_spans_are_closed_at_session_end() {
+        let s = Session::start(span_config());
+        let _leaked = span("open-at-finish");
+        let r = s.finish();
+        assert_eq!(r.spans.len(), 1);
+        // finish() assigned a duration even though the guard is still live.
+        assert!(r.spans[0].start_ns + r.spans[0].dur_ns <= r.total.as_nanos() as u64);
+        drop(_leaked); // stale guard: generation check makes this a no-op
+    }
+
+    #[test]
+    fn stale_guard_cannot_touch_new_session() {
+        let s1 = Session::start(span_config());
+        let stale = span("from-first-session");
+        drop(s1);
+        let s2 = Session::start(span_config());
+        drop(stale);
+        let r = s2.finish();
+        assert!(r.spans.is_empty());
+    }
+
+    #[test]
+    fn absorb_merges_spans_and_hists() {
+        let worker = Session::start(span_config());
+        {
+            let _f = span("lex_file");
+            let _t = span("tokenize");
+        }
+        record_hist("lex_file_ns", 500);
+        let wr = worker.finish();
+
+        let main = Session::start(span_config());
+        let _root = span("request");
+        record_hist("lex_file_ns", 300);
+        absorb(&wr);
+        drop(_root);
+        let r = main.finish();
+        // 1 root + 2 worker spans, worker parent links shifted by 1.
+        assert_eq!(r.spans.len(), 3);
+        assert_eq!(r.spans[0].name, "request");
+        assert_eq!(r.spans[1].name, "lex_file");
+        assert_eq!(r.spans[1].parent, NO_PARENT, "worker roots stay roots");
+        assert_eq!(r.spans[2].parent, 1, "intra-worker links shifted");
+        let h = r.hist("lex_file_ns").expect("histogram merged");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 800);
+    }
+
+    #[test]
+    fn chrome_trace_parses_shape() {
+        let s = Session::start(span_config());
+        {
+            let _a = span_with("request", || vec![("file", "x.my".to_owned())]);
+            let _b = span("parse");
+        }
+        let r = s.finish();
+        let doc = r.chrome_trace_json();
+        assert!(doc.contains("\"traceEvents\""), "{doc}");
+        assert!(doc.contains("\"request\""), "{doc}");
+        assert!(doc.contains("\"parse\""), "{doc}");
+        let tree = r.time_passes_tree();
+        assert!(tree.contains("request"), "{tree}");
+        assert!(tree.contains("  parse"), "{tree}");
+    }
+
+    #[test]
+    fn report_merge_aggregates() {
+        let s1 = Session::start(Config::default());
+        add(Counter::ServerRequests, 1);
+        record_hist("request_ns", 1_000);
+        let mut a = s1.finish();
+        let s2 = Session::start(Config::default());
+        add(Counter::ServerRequests, 2);
+        record_hist("request_ns", 3_000);
+        let b = s2.finish();
+        a.merge(&b);
+        assert_eq!(a.counter(Counter::ServerRequests), 3);
+        assert_eq!(a.hist("request_ns").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn json_includes_cache_table() {
+        let s = Session::start(Config::default());
+        cache_hit(CacheId::LalrMemo);
+        cache_miss(CacheId::LalrMemo);
+        cache_sized(CacheId::LalrMemo, 4);
+        let r = s.finish();
+        let json = r.to_json();
+        assert!(json.contains("\"caches\""), "{json}");
+        assert!(
+            json.contains("\"lalr_memo\": { \"hits\": 1, \"misses\": 1, \"size\": 4, \"evictions\": 0, \"hit_ratio\": 0.500 }"),
+            "{json}"
+        );
+        // The report carries the delta from session start, not all-time.
+        let s2 = Session::start(Config::default());
+        let r2 = s2.finish();
+        assert_eq!(r2.cache(CacheId::LalrMemo).hits, 0);
+        assert_eq!(r2.cache(CacheId::LalrMemo).size, 4, "sizes stay absolute");
+    }
+
+    #[test]
+    fn profile_flows_through_session() {
+        let s = Session::start(Config {
+            profile_interp: Some(5),
+            ..Config::default()
+        });
+        assert!(profiling());
+        prof_enter(1, || "Main.main/0".into());
+        prof_site(2, true, || "site".into());
+        prof_binop_pair("+", "*");
+        prof_exit();
+        let r = s.finish();
+        assert!(!profiling());
+        let p = r.interp_profile.expect("profile captured");
+        assert_eq!(p.top, 5);
+        assert_eq!(p.methods.len(), 1);
+        assert_eq!(p.sites.len(), 1);
+        assert_eq!(p.pairs.len(), 1);
+
+        // Without the flag, no profile is collected.
+        let s = Session::start(Config::default());
+        prof_enter(1, || panic!("must not run"));
+        prof_exit();
+        let r = s.finish();
+        assert!(r.interp_profile.is_none());
     }
 }

@@ -1,0 +1,211 @@
+//! Hierarchical span records and their renderers.
+//!
+//! A span is one timed region with a name, optional key/value arguments,
+//! and a parent — the innermost span open on the same thread when it
+//! started. The collector stores spans as a flat `Vec<SpanRec>` in open
+//! order; because a parent necessarily opens before its children, every
+//! `parent` index points *backwards* in the vector, which is what lets
+//! [`crate::absorb`] splice a worker's spans in with a constant index
+//! shift and lets a full buffer drop a suffix without dangling links.
+//!
+//! Two renderers sit on the flat form: the Chrome trace-event JSON
+//! document behind `mayac --trace-out=FILE` (loadable in Perfetto or
+//! `chrome://tracing`) and the indented aggregate tree behind
+//! `--time-passes=tree`.
+
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::jsonw::JsonWriter;
+
+/// `parent` value of a root span.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// One recorded span. `start_ns` is the offset from the session start;
+/// `parent` indexes the owning report's span vector (always a smaller
+/// index, or [`NO_PARENT`]).
+#[derive(Clone, Debug)]
+pub struct SpanRec {
+    pub name: Cow<'static, str>,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    pub parent: u32,
+    /// Stable per-thread id (1-based, assigned on first span).
+    pub tid: u32,
+    pub args: Vec<(&'static str, String)>,
+}
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static TID: Cell<u32> = const { Cell::new(0) };
+}
+
+/// This thread's span tid, assigned on first use. Worker threads get their
+/// own ids, so a merged `--jobs=N` trace shows one track per thread.
+pub(crate) fn current_tid() -> u32 {
+    TID.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            return v;
+        }
+        let v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        t.set(v);
+        v
+    })
+}
+
+/// Renders spans as a Chrome trace-event JSON document: one `"X"`
+/// (complete) event per span, timestamps in microseconds.
+pub(crate) fn render_chrome_trace(spans: &[SpanRec]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj().key("traceEvents").begin_arr();
+    for s in spans {
+        w.begin_obj()
+            .field_str("name", &s.name)
+            .field_str("cat", "maya")
+            .field_str("ph", "X")
+            .field_f64("ts", s.start_ns as f64 / 1_000.0)
+            .field_f64("dur", s.dur_ns as f64 / 1_000.0)
+            .field_u64("pid", 1)
+            .field_u64("tid", s.tid as u64);
+        if !s.args.is_empty() {
+            w.key("args").begin_obj();
+            for (k, v) in &s.args {
+                w.field_str(k, v);
+            }
+            w.end_obj();
+        }
+        w.end_obj();
+    }
+    w.end_arr().field_str("displayTimeUnit", "ms").end_obj();
+    let mut out = w.finish();
+    out.push('\n');
+    out
+}
+
+/// Renders the aggregate self-profile tree: sibling spans with the same
+/// name merge into one line (calls, total time, self time), children
+/// indent under their parent group.
+pub(crate) fn render_tree(spans: &[SpanRec], total_ns: u64, dropped: u64) -> String {
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        if s.parent == NO_PARENT {
+            roots.push(i);
+        } else {
+            children[s.parent as usize].push(i);
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<42} {:>8} {:>12} {:>12}",
+        "span", "calls", "total", "self"
+    );
+    tree_level(spans, &roots, &children, 0, &mut out);
+    if dropped > 0 {
+        let _ = writeln!(out, "({dropped} spans dropped at the buffer cap)");
+    }
+    let _ = writeln!(
+        out,
+        "{:<42} {:>8} {:>12}",
+        "total (wall)",
+        "",
+        crate::fmt_duration(total_ns)
+    );
+    out
+}
+
+fn tree_level(
+    spans: &[SpanRec],
+    idxs: &[usize],
+    children: &[Vec<usize>],
+    depth: usize,
+    out: &mut String,
+) {
+    // Group siblings by name, preserving first-appearance order.
+    let mut order: Vec<&str> = Vec::new();
+    let mut groups: HashMap<&str, Vec<usize>> = HashMap::new();
+    for &i in idxs {
+        let name = spans[i].name.as_ref();
+        if !groups.contains_key(name) {
+            order.push(name);
+        }
+        groups.entry(name).or_default().push(i);
+    }
+    for name in order {
+        let g = &groups[name];
+        let calls = g.len() as u64;
+        let total: u64 = g.iter().map(|&i| spans[i].dur_ns).sum();
+        let kids: Vec<usize> = g
+            .iter()
+            .flat_map(|&i| children[i].iter().copied())
+            .collect();
+        let kids_total: u64 = kids.iter().map(|&i| spans[i].dur_ns).sum();
+        let self_ns = total.saturating_sub(kids_total);
+        let label = format!("{}{}", "  ".repeat(depth), name);
+        let _ = writeln!(
+            out,
+            "{:<42} {:>8} {:>12} {:>12}",
+            label,
+            calls,
+            crate::fmt_duration(total),
+            crate::fmt_duration(self_ns)
+        );
+        tree_level(spans, &kids, children, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &'static str, start: u64, dur: u64, parent: u32) -> SpanRec {
+        SpanRec {
+            name: Cow::Borrowed(name),
+            start_ns: start,
+            dur_ns: dur,
+            parent,
+            tid: 1,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let spans = vec![
+            SpanRec {
+                args: vec![("file", "a.my".to_owned())],
+                ..rec("request", 0, 5_000, NO_PARENT)
+            },
+            rec("lex", 1_000, 2_000, 0),
+        ];
+        let doc = render_chrome_trace(&spans);
+        assert!(doc.contains(r#""traceEvents": ["#), "{doc}");
+        assert!(doc.contains(r#""ph": "X""#), "{doc}");
+        assert!(doc.contains(r#""ts": 1.000"#), "{doc}");
+        assert!(doc.contains(r#""args": {"file": "a.my"}"#), "{doc}");
+    }
+
+    #[test]
+    fn tree_merges_siblings_and_subtracts_children() {
+        let spans = vec![
+            rec("request", 0, 10_000, NO_PARENT),
+            rec("parse", 0, 3_000, 0),
+            rec("parse", 4_000, 1_000, 0),
+            rec("dispatch", 4_200, 500, 2),
+        ];
+        let tree = render_tree(&spans, 12_000, 0);
+        // The two parse activations merge into one line with calls=2.
+        assert!(tree.contains("  parse"), "{tree}");
+        let parse_line = tree.lines().find(|l| l.trim_start().starts_with("parse")).unwrap();
+        assert!(parse_line.contains("2"), "{parse_line}");
+        // dispatch nests two levels deep.
+        assert!(tree.contains("    dispatch"), "{tree}");
+        assert!(tree.contains("total (wall)"), "{tree}");
+    }
+}

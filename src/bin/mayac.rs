@@ -5,7 +5,8 @@
 //! ```text
 //! mayac [-use NAME]... [--main CLASS] [--expand]
 //!       [--max-errors=N] [--error-format=human|json] [--deny-warnings]
-//!       [--time-passes] [--stats[=FILE]] [--trace-expansion[=FILTER]]
+//!       [--time-passes[=tree]] [--stats[=FILE]] [--trace-expansion[=FILTER]]
+//!       [--trace-out=FILE] [--profile-interp[=N]]
 //!       [--jobs=N] [--table-cache=DIR] [--watch]
 //!       FILE...
 //! ```
@@ -30,12 +31,19 @@
 //! Observability flags (see README.md § Observability):
 //!
 //! * `--time-passes` — per-phase wall-clock table on stderr;
+//!   `--time-passes=tree` prints the hierarchical span tree instead
+//!   (nested activations, calls, total and self time);
 //! * `--stats` — machine-readable counters (schema `maya-telemetry/1`) on
 //!   stderr, or to a file with `--stats=FILE` (missing parent directories
 //!   are created);
 //! * `--trace-expansion` — stream each dispatch/force/import/template
 //!   event to stderr as it happens; `--trace-expansion=FILTER` keeps only
-//!   events whose kind, target, or detail contains FILTER.
+//!   events whose kind, target, or detail contains FILTER;
+//! * `--trace-out=FILE` — write the compile's span tree as Chrome
+//!   trace-event JSON to FILE, loadable in Perfetto or `chrome://tracing`;
+//! * `--profile-interp[=N]` — profile the interpreter: top-N methods by
+//!   exclusive time, call sites with inline-cache hit rates, and hot
+//!   nested binary-op pairs, printed to stderr (default N = 10).
 //!
 //! Without these flags a successful run writes nothing to stderr.
 //!
@@ -74,10 +82,16 @@ struct Cli {
     error_format: ErrorFormat,
     deny_warnings: bool,
     time_passes: bool,
+    /// `--time-passes=tree`: print the span tree instead of the flat table.
+    time_passes_tree: bool,
     /// `Some(None)` = stats to stderr; `Some(Some(path))` = stats to file.
     stats: Option<Option<String>>,
     /// `Some(filter)`; an empty filter passes everything.
     trace: Option<String>,
+    /// Chrome trace-event JSON output file.
+    trace_out: Option<String>,
+    /// Interpreter profiler: report the top N entries.
+    profile_interp: Option<usize>,
     /// Front-end worker threads; `None` = available parallelism.
     jobs: Option<usize>,
     /// On-disk LALR table cache directory.
@@ -102,8 +116,13 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
             "--expand" => cli.expand = true,
             "--deny-warnings" => cli.deny_warnings = true,
             "--time-passes" => cli.time_passes = true,
+            "--time-passes=tree" => {
+                cli.time_passes = true;
+                cli.time_passes_tree = true;
+            }
             "--stats" => cli.stats = Some(None),
             "--trace-expansion" => cli.trace = Some(String::new()),
+            "--profile-interp" => cli.profile_interp = Some(10),
             "--watch" => cli.watch = true,
             "-h" | "--help" => return Err(String::new()),
             other => {
@@ -114,6 +133,18 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                     cli.stats = Some(Some(path.to_owned()));
                 } else if let Some(filter) = other.strip_prefix("--trace-expansion=") {
                     cli.trace = Some(filter.to_owned());
+                } else if let Some(path) = other.strip_prefix("--trace-out=") {
+                    if path.is_empty() {
+                        return Err("missing file after --trace-out=".into());
+                    }
+                    cli.trace_out = Some(path.to_owned());
+                } else if let Some(n) = other.strip_prefix("--profile-interp=") {
+                    match n.parse::<usize>() {
+                        Ok(n) if n > 0 => cli.profile_interp = Some(n),
+                        _ => return Err(format!("invalid --profile-interp value {n:?}")),
+                    }
+                } else if let Some(mode) = other.strip_prefix("--time-passes=") {
+                    return Err(format!("unknown --time-passes mode {mode:?} (try tree)"));
                 } else if let Some(n) = other.strip_prefix("--max-errors=") {
                     match n.parse::<usize>() {
                         Ok(n) if n > 0 => cli.max_errors = Some(n),
@@ -172,41 +203,56 @@ fn request_opts(cli: &Cli) -> RequestOpts {
 }
 
 fn start_telemetry(cli: &Cli) -> Option<telemetry::Session> {
-    let telemetry_on = cli.time_passes || cli.stats.is_some() || cli.trace.is_some();
+    let telemetry_on = cli.time_passes
+        || cli.stats.is_some()
+        || cli.trace.is_some()
+        || cli.trace_out.is_some()
+        || cli.profile_interp.is_some();
     telemetry_on.then(|| {
         telemetry::Session::start(telemetry::Config {
-            capture_events: false,
             event_filter: cli.trace.clone().filter(|f| !f.is_empty()),
             sink: cli.trace.is_some().then(|| {
                 Rc::new(|e: &telemetry::TraceEvent| eprintln!("mayac: {}", e.render()))
                     as telemetry::TraceSink
             }),
+            capture_spans: cli.trace_out.is_some() || cli.time_passes_tree,
+            profile_interp: cli.profile_interp,
+            ..telemetry::Config::default()
         })
     })
 }
 
 /// Emits telemetry output for one compile round. Returns `false` when the
-/// stats file could not be written.
+/// stats or trace file could not be written.
 fn finish_telemetry(cli: &Cli, session: Option<telemetry::Session>) -> bool {
     let Some(session) = session else { return true };
     let report = session.finish();
-    if cli.time_passes {
+    if cli.time_passes_tree {
+        eprint!("{}", report.time_passes_tree());
+    } else if cli.time_passes {
         eprint!("{}", report.time_passes_table());
+    }
+    if let Some(profile) = &report.interp_profile {
+        eprint!("{}", profile.render());
+    }
+    let mut ok = true;
+    if let Some(path) = &cli.trace_out {
+        if let Err(e) = write_creating_dirs(path, &report.chrome_trace_json()) {
+            eprintln!("mayac: cannot write {path}: {e}");
+            ok = false;
+        }
     }
     match &cli.stats {
         Some(Some(path)) => {
             if let Err(e) = write_creating_dirs(path, &report.to_json()) {
                 eprintln!("mayac: cannot write {path}: {e}");
-                return false;
+                ok = false;
             }
-            true
         }
-        Some(None) => {
-            eprint!("{}", report.to_json());
-            true
-        }
-        None => true,
+        Some(None) => eprint!("{}", report.to_json()),
+        None => {}
     }
+    ok
 }
 
 fn main() -> ExitCode {
@@ -316,7 +362,8 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: mayac [-use NAME]... [--main CLASS] [--expand]\n\
          \x20            [--max-errors=N] [--error-format=human|json] [--deny-warnings]\n\
-         \x20            [--time-passes] [--stats[=FILE]] [--trace-expansion[=FILTER]]\n\
+         \x20            [--time-passes[=tree]] [--stats[=FILE]] [--trace-expansion[=FILTER]]\n\
+         \x20            [--trace-out=FILE] [--profile-interp[=N]]\n\
          \x20            [--jobs=N] [--table-cache=DIR] [--watch] FILE..."
     );
     if err.is_empty() {

@@ -33,10 +33,18 @@
 //!  "files_recompiled": 1, "grammar_reuses": 3}
 //! ```
 //!
-//! Control requests: `{"cmd": "ping"}`, `{"cmd": "stats"}` (cumulative
-//! session counters plus the warm LALR memo size), `{"cmd": "shutdown"}`.
-//! A malformed line gets `{"ok": false, "error": "..."}` and the
-//! connection stays open.
+//! Control requests: `{"cmd": "ping"}`, `{"cmd": "stats"}`, and
+//! `{"cmd": "shutdown"}`. A malformed line gets
+//! `{"ok": false, "error": "..."}` and the connection stays open.
+//!
+//! `stats` reports the cumulative session counters plus the warm LALR memo
+//! size, a per-request latency histogram (`count`, `mean_ms`,
+//! `p50_ms`/`p95_ms`/`p99_ms`, and the non-empty log₂ `buckets`), the
+//! per-phase time breakdown aggregated over every compile request, and the
+//! lifetime hit/miss/size gauges of each pipeline cache — every compile
+//! request runs under its own telemetry session, merged into one
+//! aggregate. `--stats=FILE` writes that aggregate (schema
+//! `maya-telemetry/1`) at shutdown.
 //!
 //! ## Concurrency
 //!
@@ -50,7 +58,7 @@
 
 use maya::core::json::{parse_json, Json};
 use maya::core::{ErrorFormat, Outcome, RequestOpts, Session, SessionStats};
-use maya::telemetry::{self, json_string};
+use maya::telemetry::{self, CacheId, Histogram, JsonWriter, Phase, Report};
 use maya::{CompileOptions, Compiler};
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -121,6 +129,30 @@ enum Job {
     Shutdown,
 }
 
+/// Lifetime aggregates over every request served, fed by the per-request
+/// telemetry sessions in the main loop.
+#[derive(Default)]
+struct ServerMetrics {
+    /// Wall time of each compile request, in nanoseconds (control
+    /// requests carry no `request_ns` sample and don't land here).
+    latency: Histogram,
+    /// Every per-request [`Report`] merged together: phase times and
+    /// counters accumulate across requests.
+    aggregate: Option<Report>,
+}
+
+impl ServerMetrics {
+    fn record(&mut self, report: Report) {
+        if let Some(h) = report.hist("request_ns") {
+            self.latency.merge(h);
+        }
+        match &mut self.aggregate {
+            Some(agg) => agg.merge(&report),
+            None => self.aggregate = Some(report),
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let cli = match parse_args(std::env::args().skip(1)) {
         Ok(cli) => cli,
@@ -149,11 +181,7 @@ fn main() -> ExitCode {
         },
         Some(installer),
     );
-    // One telemetry session for the server's lifetime; the report lands in
-    // `--stats=FILE` at shutdown.
-    let tsession = cli.stats.is_some().then(|| {
-        telemetry::Session::start(telemetry::Config::default())
-    });
+    let mut metrics = ServerMetrics::default();
 
     // A stale socket file from a crashed server would make bind fail.
     let _ = std::fs::remove_file(&socket_path);
@@ -177,20 +205,27 @@ fn main() -> ExitCode {
     });
 
     // The session loop: single-threaded, in queue order, so every request
-    // sees the warm caches of the one before it.
+    // sees the warm caches of the one before it. Each request runs under
+    // its own telemetry session; the per-request reports are merged into
+    // one lifetime aggregate so `stats` can serve latency percentiles and
+    // phase breakdowns at any point.
     for job in job_rx {
         match job {
             Job::Request { line, reply } => {
-                let response = handle_line(&mut session, &line);
+                let t = telemetry::Session::start(telemetry::Config::default());
+                let response = handle_line(&mut session, &metrics, &line);
+                metrics.record(t.finish());
                 let _ = reply.send(response);
             }
             Job::Shutdown => break,
         }
     }
 
-    if let Some(t) = tsession {
-        let path = cli.stats.as_deref().expect("stats implies path");
-        if let Err(e) = write_creating_dirs(path, &t.finish().to_json()) {
+    if let Some(path) = cli.stats.as_deref() {
+        let report = metrics.aggregate.take().unwrap_or_else(|| {
+            telemetry::Session::start(telemetry::Config::default()).finish()
+        });
+        if let Err(e) = write_creating_dirs(path, &report.to_json()) {
             eprintln!("mayad: cannot write {path}: {e}");
         }
     }
@@ -242,14 +277,14 @@ fn serve_connection(stream: UnixStream, jobs: &mpsc::SyncSender<Job>) {
 /// response. Never panics the server: a malformed request is an `ok:
 /// false` reply, and the session converts compiler panics into ICE
 /// diagnostics itself.
-fn handle_line(session: &mut Session, line: &str) -> String {
+fn handle_line(session: &mut Session, metrics: &ServerMetrics, line: &str) -> String {
     let parsed = match parse_json(line) {
         Ok(v) => v,
         Err(e) => return error_response(&format!("malformed request: {e}")),
     };
     match parsed.get("cmd").and_then(Json::as_str) {
         Some("ping") => return r#"{"ok": true, "pong": true}"#.to_owned(),
-        Some("stats") => return stats_response(&session.stats()),
+        Some("stats") => return stats_response(&session.stats(), metrics),
         Some(other) => return error_response(&format!("unknown cmd {other:?}")),
         None => {}
     }
@@ -303,38 +338,96 @@ fn handle_line(session: &mut Session, line: &str) -> String {
 }
 
 fn error_response(message: &str) -> String {
-    format!("{{\"ok\": false, \"error\": {}}}", json_string(message))
+    let mut w = JsonWriter::new();
+    w.begin_obj()
+        .field_bool("ok", false)
+        .field_str("error", message)
+        .end_obj();
+    w.finish()
 }
 
 fn compile_response(o: &Outcome) -> String {
-    format!(
-        "{{\"ok\": true, \"success\": {}, \"stdout\": {}, \"stderr\": {}, \
-         \"full_reuse\": {}, \"files_changed\": {}, \"files_reused\": {}, \
-         \"files_recompiled\": {}, \"grammar_reuses\": {}}}",
-        o.success,
-        json_string(&o.stdout),
-        json_string(&o.stderr),
-        o.full_reuse,
-        o.files_changed,
-        o.files_reused,
-        o.files_recompiled,
-        o.grammar_reuses,
-    )
+    let mut w = JsonWriter::new();
+    w.begin_obj()
+        .field_bool("ok", true)
+        .field_bool("success", o.success)
+        .field_str("stdout", &o.stdout)
+        .field_str("stderr", &o.stderr)
+        .field_bool("full_reuse", o.full_reuse)
+        .field_u64("files_changed", o.files_changed as u64)
+        .field_u64("files_reused", o.files_reused as u64)
+        .field_u64("files_recompiled", o.files_recompiled as u64)
+        .field_u64("grammar_reuses", o.grammar_reuses as u64)
+        .end_obj();
+    w.finish()
 }
 
-fn stats_response(s: &SessionStats) -> String {
-    format!(
-        "{{\"ok\": true, \"stats\": {{\"requests\": {}, \"full_reuses\": {}, \
-         \"files_changed\": {}, \"files_reused\": {}, \"files_recompiled\": {}, \
-         \"grammar_reuses\": {}, \"table_memo\": {}}}}}",
-        s.requests,
-        s.full_reuses,
-        s.files_changed,
-        s.files_reused,
-        s.files_recompiled,
-        s.grammar_reuses,
-        maya::grammar::table_cache_len(),
-    )
+fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn stats_response(s: &SessionStats, m: &ServerMetrics) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj().field_bool("ok", true).key("stats").begin_obj();
+    w.field_u64("requests", s.requests)
+        .field_u64("full_reuses", s.full_reuses)
+        .field_u64("files_changed", s.files_changed)
+        .field_u64("files_reused", s.files_reused)
+        .field_u64("files_recompiled", s.files_recompiled)
+        .field_u64("grammar_reuses", s.grammar_reuses)
+        .field_u64("table_memo", maya::grammar::table_cache_len() as u64);
+
+    // Compile-request latency: percentiles over every served request.
+    let h = &m.latency;
+    w.key("latency").begin_obj();
+    w.field_u64("count", h.count())
+        .field_f64("mean_ms", h.mean() / 1e6)
+        .field_f64("p50_ms", ns_to_ms(h.percentile(50.0)))
+        .field_f64("p95_ms", ns_to_ms(h.percentile(95.0)))
+        .field_f64("p99_ms", ns_to_ms(h.percentile(99.0)))
+        .field_f64("max_ms", ns_to_ms(h.max()));
+    w.key("buckets").begin_arr();
+    for (lo, hi, n) in h.buckets() {
+        w.begin_obj()
+            .field_f64("lo_ms", ns_to_ms(lo))
+            .field_f64("hi_ms", ns_to_ms(hi))
+            .field_u64("count", n)
+            .end_obj();
+    }
+    w.end_arr().end_obj();
+
+    // Per-phase breakdown, aggregated across requests.
+    w.key("phases").begin_obj();
+    if let Some(agg) = &m.aggregate {
+        for p in Phase::ALL {
+            let calls = agg.phase_calls(p);
+            if calls == 0 {
+                continue;
+            }
+            w.key(p.name()).begin_obj();
+            w.field_f64("ms", agg.phase_time(p).as_secs_f64() * 1e3)
+                .field_u64("calls", calls)
+                .end_obj();
+        }
+    }
+    w.end_obj();
+
+    // Lifetime cache gauges (cumulative since server start, not deltas).
+    w.key("caches").begin_obj();
+    let snap = telemetry::cache_snapshot();
+    for (id, cs) in CacheId::ALL.iter().zip(snap.iter()) {
+        w.key(id.name()).begin_obj();
+        w.field_u64("hits", cs.hits)
+            .field_u64("misses", cs.misses)
+            .field_u64("size", cs.size)
+            .field_u64("evictions", cs.evictions)
+            .field_f64("hit_ratio", cs.hit_ratio())
+            .end_obj();
+    }
+    w.end_obj();
+
+    w.end_obj().end_obj();
+    w.finish()
 }
 
 /// Writes `contents` to `path`, creating missing parent directories.

@@ -213,6 +213,119 @@ fn trace_expansion_filter_narrows_output() {
     }
 }
 
+/// Parses a `--trace-out` file and returns its traceEvents array,
+/// validating the fields every Chrome trace viewer requires.
+fn read_trace(path: &std::path::Path) -> Vec<maya::core::json::Json> {
+    use maya::core::json::{parse_json, Json};
+    let text = std::fs::read_to_string(path).expect("trace file written");
+    let doc = parse_json(&text).expect("trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array")
+        .to_vec();
+    for e in &events {
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"), "complete events only");
+        assert!(e.get("name").and_then(Json::as_str).is_some());
+        assert!(e.get("ts").is_some() && e.get("dur").is_some());
+        assert!(e.get("pid").and_then(Json::as_u64).is_some());
+        assert!(e.get("tid").and_then(Json::as_u64).is_some());
+    }
+    events
+}
+
+fn trace_names(events: &[maya::core::json::Json]) -> Vec<String> {
+    use maya::core::json::Json;
+    events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str).map(str::to_owned))
+        .collect()
+}
+
+#[test]
+fn trace_out_writes_chrome_trace() {
+    let f = write_temp("trace.maya", HELLO);
+    let trace = f.parent().unwrap().join("trace-out/pipeline.json");
+    let out = mayac()
+        .arg(format!("--trace-out={}", trace.display()))
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "obs\n");
+    assert_eq!(String::from_utf8_lossy(&out.stderr), "", "trace mode keeps stderr clean");
+    let events = read_trace(&trace);
+    let names = trace_names(&events);
+    for want in ["lex_file", "parse", "interp"] {
+        assert!(names.iter().any(|n| n == want), "missing {want:?} in {names:?}");
+    }
+}
+
+#[test]
+fn trace_out_merges_worker_threads_under_jobs() {
+    // Two files lexed on two workers: the merged trace must still carry
+    // one lex_file event per file (satellite: absorb splices span trees).
+    let a = write_temp(
+        "jobs_a.maya",
+        r#"class Helper { static int twice(int n) { return n * 2; } }"#,
+    );
+    let b = write_temp(
+        "jobs_b.maya",
+        r#"class Main { static void main() { System.out.println(Helper.twice(21)); } }"#,
+    );
+    let trace = a.parent().unwrap().join("trace-jobs.json");
+    let out = mayac()
+        .arg("--jobs=2")
+        .arg(format!("--trace-out={}", trace.display()))
+        .arg(&a)
+        .arg(&b)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "42\n");
+    let events = read_trace(&trace);
+    let lexes = trace_names(&events).iter().filter(|n| *n == "lex_file").count();
+    assert_eq!(lexes, 2, "one lex_file event per input file");
+}
+
+#[test]
+fn time_passes_tree_prints_nested_spans() {
+    let f = write_temp("tree.maya", HELLO);
+    let out = mayac().arg("--time-passes=tree").arg(&f).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "obs\n");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for needle in ["span", "calls", "total", "self", "total (wall)"] {
+        assert!(stderr.contains(needle), "missing {needle:?} in:\n{stderr}");
+    }
+    // Nesting shows as two-space indentation under a parent span.
+    assert!(
+        stderr.lines().any(|l| l.starts_with("  ") && !l.trim().is_empty()),
+        "tree mode must indent child spans:\n{stderr}"
+    );
+}
+
+#[test]
+fn profile_interp_reports_hot_methods() {
+    let f = write_temp(
+        "prof.maya",
+        r#"
+        class Main {
+            static int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+            static void main() { System.out.println(fib(12)); }
+        }
+        "#,
+    );
+    let out = mayac().arg("--profile-interp=5").arg(&f).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "144\n");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("interpreter profile (top 5)"), "{stderr}");
+    assert!(stderr.contains("Main.fib/1"), "{stderr}");
+    assert!(stderr.contains("call sites (inline caches)"), "{stderr}");
+    assert!(stderr.contains("hot binary-op pairs"), "{stderr}");
+}
+
 #[test]
 fn bad_flags_error_cleanly() {
     let cases: &[&[&str]] = &[
@@ -220,6 +333,9 @@ fn bad_flags_error_cleanly() {
         &["--bogus", "x.maya"],
         &["-use"],
         &["--main"],
+        &["--trace-out=", "x.maya"],
+        &["--time-passes=bogus", "x.maya"],
+        &["--profile-interp=0", "x.maya"],
         &[],
     ];
     for args in cases {

@@ -126,6 +126,67 @@ fn mayad_protocol_round_trip() {
     assert!(s.get("requests").and_then(Json::as_u64).unwrap() >= 3);
     assert_eq!(s.get("full_reuses").and_then(Json::as_u64), Some(1));
     assert!(s.get("table_memo").and_then(Json::as_u64).unwrap() >= 1);
+
+    fn num(v: Option<&Json>) -> f64 {
+        match v {
+            Some(Json::Num(n)) => *n,
+            other => panic!("expected a number, got {other:?}"),
+        }
+    }
+
+    // Latency: every compile request lands one sample; the percentile
+    // ladder is monotone and every bucket interval is well-formed.
+    let lat = s.get("latency").expect("latency object");
+    let count = lat.get("count").and_then(Json::as_u64).unwrap();
+    assert!(count >= 3, "3 compile requests served, latency count = {count}");
+    let p50 = num(lat.get("p50_ms"));
+    let p95 = num(lat.get("p95_ms"));
+    let p99 = num(lat.get("p99_ms"));
+    let max = num(lat.get("max_ms"));
+    assert!(num(lat.get("mean_ms")) > 0.0);
+    assert!(p50 > 0.0 && p50 <= p95 && p95 <= p99 && p99 <= max, "{p50} {p95} {p99} {max}");
+    let buckets = lat.get("buckets").and_then(Json::as_arr).expect("buckets array");
+    assert!(!buckets.is_empty());
+    let mut in_buckets = 0;
+    for b in buckets {
+        assert!(num(b.get("lo_ms")) <= num(b.get("hi_ms")));
+        in_buckets += b.get("count").and_then(Json::as_u64).unwrap();
+    }
+    assert_eq!(in_buckets, count, "bucket counts must sum to the sample count");
+
+    // Per-phase breakdown aggregated across requests.
+    let phases = s.get("phases").expect("phases object");
+    for p in ["lex", "parse", "interp"] {
+        let ph = phases.get(p).unwrap_or_else(|| panic!("phase {p} missing"));
+        assert!(ph.get("calls").and_then(Json::as_u64).unwrap() > 0);
+        assert!(num(ph.get("ms")) >= 0.0);
+    }
+
+    // Uniform cache gauges; the LALR memo saw real traffic.
+    let caches = s.get("caches").expect("caches object");
+    for c in [
+        "lalr_memo",
+        "force_cache",
+        "unit_cache",
+        "class_body_cache",
+        "lower_store",
+        "dispatch_memo",
+    ] {
+        let g = caches.get(c).unwrap_or_else(|| panic!("cache {c} missing"));
+        for k in ["hits", "misses", "size", "evictions"] {
+            assert!(g.get(k).and_then(Json::as_u64).is_some(), "{c}.{k}");
+        }
+        let ratio = num(g.get("hit_ratio"));
+        assert!((0.0..=1.0).contains(&ratio), "{c} hit_ratio {ratio}");
+    }
+    let lalr = caches.get("lalr_memo").unwrap();
+    assert!(
+        lalr.get("hits").and_then(Json::as_u64).unwrap()
+            + lalr.get("misses").and_then(Json::as_u64).unwrap()
+            >= 1,
+        "LALR memo must have seen traffic"
+    );
+    assert!(lalr.get("size").and_then(Json::as_u64).unwrap() >= 1);
 }
 
 // ---- invalidation cone -------------------------------------------------------

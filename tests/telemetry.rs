@@ -127,13 +127,103 @@ fn full_pipeline_counters_are_populated() {
     }
 }
 
+/// With `capture_spans` on, the pipeline produces a well-formed span
+/// forest: parents always open before their children (backward indices),
+/// children lie inside their parent's interval, and every phase that ran
+/// has a span.
+#[test]
+fn spans_nest_and_cover_phases() {
+    let s = telemetry::Session::start(telemetry::Config {
+        capture_spans: true,
+        ..telemetry::Config::default()
+    });
+    let c = Compiler::new();
+    c.add_source("Ext.maya", TWO_MAYAN_EXT).unwrap();
+    c.add_source("Main.maya", APP).unwrap();
+    c.compile().unwrap();
+    let out = c.run_main("Main").unwrap();
+    let r = s.finish();
+    assert_eq!(out, "k\n");
+    assert!(!r.spans.is_empty(), "span capture must record spans");
+
+    let names: Vec<&str> = r.spans.iter().map(|sp| sp.name.as_ref()).collect();
+    for want in ["lex", "parse", "dispatch", "interp", "lex_file"] {
+        assert!(names.contains(&want), "missing span {want:?} in {names:?}");
+    }
+    // lex_file spans carry the source file name as an argument.
+    let lex_file = r
+        .spans
+        .iter()
+        .find(|sp| sp.name == "lex_file")
+        .expect("lex_file span");
+    assert!(
+        lex_file.args.iter().any(|(k, v)| *k == "file" && v.contains(".maya")),
+        "lex_file args: {:?}",
+        lex_file.args
+    );
+
+    let mut saw_nested = false;
+    for (i, sp) in r.spans.iter().enumerate() {
+        if sp.parent == telemetry::NO_PARENT {
+            continue;
+        }
+        saw_nested = true;
+        let p = sp.parent as usize;
+        assert!(p < i, "parent {p} of span {i} must open earlier");
+        let parent = &r.spans[p];
+        assert!(sp.start_ns >= parent.start_ns, "child starts inside parent");
+        assert!(
+            sp.start_ns + sp.dur_ns <= parent.start_ns + parent.dur_ns,
+            "child {:?} ends inside parent {:?}",
+            sp.name,
+            parent.name
+        );
+    }
+    assert!(saw_nested, "at least one span must nest");
+
+    // Per-file lexing also lands in the lex_file_ns histogram.
+    let h = r.hist("lex_file_ns").expect("lex_file_ns histogram");
+    assert!(h.count() >= 2, "two files lexed, got {}", h.count());
+}
+
+/// The Chrome trace export is valid JSON with one complete ("X") event per
+/// span, parseable by the repo's own JSON parser.
+#[test]
+fn chrome_trace_json_round_trips() {
+    use maya::core::json::{parse_json, Json};
+
+    let s = telemetry::Session::start(telemetry::Config {
+        capture_spans: true,
+        ..telemetry::Config::default()
+    });
+    let c = Compiler::new();
+    c.add_source("Ext.maya", TWO_MAYAN_EXT).unwrap();
+    c.add_source("Main.maya", APP).unwrap();
+    c.compile().unwrap();
+    let r = s.finish();
+
+    let doc = parse_json(&r.chrome_trace_json()).expect("trace must parse");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), r.spans.len());
+    for e in events {
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+        assert!(e.get("name").and_then(Json::as_str).is_some());
+        assert!(e.get("ts").is_some() && e.get("dur").is_some());
+        assert!(e.get("pid").and_then(Json::as_u64).is_some());
+        assert!(e.get("tid").and_then(Json::as_u64).is_some());
+    }
+}
+
 /// Dispatch traces identify the winning Mayan and the work done to pick it.
 #[test]
 fn dispatch_trace_names_the_winner() {
     let s = telemetry::Session::start(telemetry::Config {
         capture_events: true,
         event_filter: Some("EForEach".into()),
-        sink: None,
+        ..telemetry::Config::default()
     });
     let c = Compiler::new();
     c.add_source("Ext.maya", TWO_MAYAN_EXT).unwrap();
