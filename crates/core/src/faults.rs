@@ -19,6 +19,7 @@
 //! This is test machinery, not a user feature; it is deliberately tiny and
 //! dependency-free.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
@@ -50,11 +51,8 @@ fn faults() -> &'static [Fault] {
             let Some((site, action)) = part.split_once(':') else {
                 continue;
             };
-            let action = match action.trim() {
-                "panic" => FaultAction::Panic,
-                "error" => FaultAction::Error,
-                "loop" => FaultAction::Loop,
-                _ => continue,
+            let Some(action) = parse_action(action) else {
+                continue;
             };
             out.push(Fault {
                 site: site.trim().to_owned(),
@@ -66,8 +64,67 @@ fn faults() -> &'static [Fault] {
     })
 }
 
-/// Returns the armed action for `site`, at most once per process per site.
+thread_local! {
+    /// Programmatically armed faults, scoped to the arming thread so
+    /// in-process harnesses (fuzzer, tests) cannot interfere with each
+    /// other across test threads. Each entry fires once per [`arm`] call.
+    static ARMED: RefCell<Vec<(String, FaultAction, bool)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn parse_action(action: &str) -> Option<FaultAction> {
+    match action.trim() {
+        "panic" => Some(FaultAction::Panic),
+        "error" => Some(FaultAction::Error),
+        "loop" => Some(FaultAction::Loop),
+        _ => None,
+    }
+}
+
+/// Arms faults programmatically on the *current thread*, replacing any
+/// previous programmatic arming. `spec` uses the same grammar as
+/// `MAYA_FAULTS` (`site:action[,site:action…]`); unknown actions are
+/// ignored. Each armed fault fires at most once per call to `arm`.
+///
+/// Compilations driven with `jobs=1` run entirely on the calling thread,
+/// so thread-locality makes in-process fault campaigns deterministic and
+/// isolated from concurrently running tests.
+pub fn arm(spec: &str) {
+    let mut out = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        if let Some((site, action)) = part.split_once(':') {
+            if let Some(action) = parse_action(action) {
+                out.push((site.trim().to_owned(), action, false));
+            }
+        }
+    }
+    ARMED.with(|a| *a.borrow_mut() = out);
+}
+
+/// Clears any programmatic arming on the current thread.
+pub fn disarm() {
+    ARMED.with(|a| a.borrow_mut().clear());
+}
+
+fn check_armed(site: &str) -> Option<FaultAction> {
+    ARMED.with(|a| {
+        let mut armed = a.borrow_mut();
+        for (s, action, fired) in armed.iter_mut() {
+            if s == site && !*fired {
+                *fired = true;
+                return Some(*action);
+            }
+        }
+        None
+    })
+}
+
+/// Returns the armed action for `site`: programmatic faults fire at most
+/// once per [`arm`] call on the arming thread; `MAYA_FAULTS` faults fire
+/// at most once per process per site.
 pub fn check(site: &str) -> Option<FaultAction> {
+    if let Some(action) = check_armed(site) {
+        return Some(action);
+    }
     for f in faults() {
         if f.site == site && !f.fired.swap(true, Ordering::Relaxed) {
             return Some(f.action);

@@ -186,6 +186,22 @@ impl Session {
         self.stats
     }
 
+    /// Drops all per-file state (cached token trees, dependency edges,
+    /// seen grammars, the memoized outcome) while keeping the session's
+    /// interner, force cache, and options. The next request behaves like
+    /// the first one on a fresh session.
+    ///
+    /// Used after a request is abandoned mid-flight (e.g. a panic caught
+    /// outside the compile sandbox may leave change-detection state half
+    /// updated) and by differential harnesses that want a cold-equivalent
+    /// request without paying for a new interner.
+    pub fn reset(&mut self) {
+        self.files.clear();
+        self.rdeps.clear();
+        self.seen_grammars.clear();
+        self.cached = None;
+    }
+
     /// Compiles `paths` (reading them from disk), reusing session state.
     ///
     /// A panic anywhere in the pipeline is converted into the same

@@ -415,11 +415,20 @@ fn write_disk(dir: &Path, hash: u128, t: &Tables) -> std::io::Result<()> {
 
     buf.extend_from_slice(&fnv64(&buf).to_le_bytes());
 
-    // Write-then-rename so a crash mid-write leaves no torn file under the
-    // final name (readers tolerate torn files anyway).
-    let tmp = dir.join(format!("{hash:032x}.tmp{}", std::process::id()));
-    std::fs::write(&tmp, &buf)?;
-    std::fs::rename(&tmp, cache_path(dir, hash))
+    // Write-then-rename so no reader — in this process or another one
+    // sharing the cache dir — can ever observe a torn file under the
+    // final name. The tmp name carries the pid *and* a process-global
+    // sequence number: two `--jobs=N` workers writing the same hash from
+    // one process would otherwise share a tmp path and interleave.
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = dir.join(format!("{hash:032x}.tmp{}.{seq}", std::process::id()));
+    let r = std::fs::write(&tmp, &buf).and_then(|()| std::fs::rename(&tmp, cache_path(dir, hash)));
+    if r.is_err() {
+        // Don't leave the orphaned tmp file behind on failure.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    r
 }
 
 /// A bounds-checked little-endian reader; every decode failure is `None`.
@@ -659,6 +668,56 @@ mod tests {
         );
         std::fs::write(&path, b"not a cache file").unwrap();
         assert!(load_disk(&dir, hash, g.data()).is_none(), "garbage file");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_never_expose_a_torn_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "maya-tblcache-race-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let g = sample();
+        let hash = g.content_hash();
+        let built = build_tables(g.data()).map(Rc::new).unwrap();
+        // Seed the final path so the reader below always finds a file:
+        // from then on a miss could only mean it observed a torn write.
+        write_disk(&dir, hash, &built).unwrap();
+
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let dir = dir.clone();
+                s.spawn(move || {
+                    let g = sample();
+                    let t = build_tables(g.data()).map(Rc::new).unwrap();
+                    for _ in 0..50 {
+                        write_disk(&dir, g.content_hash(), &t).unwrap();
+                    }
+                });
+            }
+            let dir = dir.clone();
+            s.spawn(move || {
+                let g = sample();
+                for _ in 0..200 {
+                    assert!(
+                        load_disk(&dir, hash, g.data()).is_some(),
+                        "reader observed a torn or missing table file"
+                    );
+                }
+            });
+        });
+
+        // Every tmp file was either renamed into place or cleaned up.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "orphaned tmp files: {leftovers:?}");
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -254,11 +254,15 @@ pub enum Counter {
     /// Expressions folded to constants by the lowering pre-pass
     /// (literal arithmetic, constant string concat, trivial tests).
     ConstsFolded,
+    /// `mayad` requests that panicked outside the compile sandbox and
+    /// were isolated by the server's request-level catch (the client got
+    /// a JSON error response; the server kept running).
+    ServerPanicsIsolated,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 41] = [
+    pub const ALL: [Counter; 42] = [
         Counter::TokensLexed,
         Counter::TokenTreesBuilt,
         Counter::FilesLexed,
@@ -300,6 +304,7 @@ impl Counter {
         Counter::IcMisses,
         Counter::SlotsResolved,
         Counter::ConstsFolded,
+        Counter::ServerPanicsIsolated,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -346,6 +351,7 @@ impl Counter {
             Counter::IcMisses => "ic_misses",
             Counter::SlotsResolved => "slots_resolved",
             Counter::ConstsFolded => "consts_folded",
+            Counter::ServerPanicsIsolated => "server_panics_isolated",
         }
     }
 

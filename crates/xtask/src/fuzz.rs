@@ -1,0 +1,1252 @@
+//! Grammar-aware differential fuzzing (`cargo xtask fuzz`).
+//!
+//! The generator derives structurally valid MayaJava programs — and
+//! random Mayan extensions — directly from the base grammar's
+//! productions, then layers splice/truncate/duplicate mutations on top
+//! for the invalid-input half. Every case runs through four differential
+//! oracles, each an invariant the system already promises:
+//!
+//! * **engine** — the lowered fast runtime vs the legacy tree walker
+//!   (`Interp::set_lowering`, the in-process face of `MAYA_NO_LOWER`)
+//!   must produce byte-identical outcomes;
+//! * **warm/post-edit** — a persistent [`Session`] (the `mayad` shape)
+//!   fed hundreds of unrelated programs must match a cold batch compile,
+//!   including after an edit/revert cycle through the same session;
+//! * **jobs** — `--jobs=1` vs `--jobs=4` must be byte-identical;
+//! * **faults** — under a sampled `MAYA_FAULTS`-style injection, armed
+//!   identically on both engines, diagnostics may differ from the clean
+//!   run but the engines must still agree, and no panic may escape the
+//!   driver boundary.
+//!
+//! Coverage feedback comes from the telemetry counters and cache gauges
+//! that already exist: a case that lights a (counter, log2-magnitude)
+//! pair never seen before is kept as a seed for later mutation. Any
+//! diverging or panicking case is auto-minimized by a delta-debugging
+//! pass at file and line (≈ statement/member/extension) granularity;
+//! real divergences land under `tests/corpus/regressions/`, induced ones
+//! (`--induce`, used to prove the minimizer end to end) stay in
+//! `target/fuzz/`. Everything is summarized in `BENCH_fuzz.json`; the
+//! whole run is deterministic for a given seed.
+
+use crate::XorShift;
+use maya::ast::NodeKind;
+use maya::grammar::{Action, BuiltinAction, NtId, Sym, Terminal};
+use maya::lexer::{Delim, TokenKind};
+use maya::telemetry::{self, json_string, CacheId, Counter};
+use maya::{CompileOptions, Compiler, Outcome, RequestOpts, Session};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::panic::AssertUnwindSafe;
+use std::path::Path;
+use std::process::ExitCode;
+use std::rc::Rc;
+
+pub(crate) const DEFAULT_CASES: usize = 300;
+pub(crate) const DEFAULT_SEED: u64 = 7;
+
+/// Hard cap on minimizer predicate evaluations per divergence (each
+/// evaluation is a handful of compiles).
+const MAX_MIN_EVALS: usize = 250;
+
+pub(crate) struct FuzzConfig {
+    pub cases: usize,
+    pub seed: u64,
+    /// Wall-clock budget; generation stops early when exceeded.
+    pub budget_secs: Option<u64>,
+    /// Arm a one-sided fault on the legacy engine every few cases to
+    /// *induce* divergences — proves detection + minimization end to end.
+    pub induce: bool,
+}
+
+// ---- grammar-derived generation ----------------------------------------------
+
+/// Derives token text straight from the base grammar's productions, the
+/// same tables the pattern parser runs on.
+struct GrammarGen {
+    grammar: maya::grammar::Grammar,
+    /// Derivable production indices per LHS nonterminal (goal-marker and
+    /// start plumbing excluded).
+    by_nt: Vec<Vec<usize>>,
+    /// Minimum derivation cost (symbols expanded) per nonterminal;
+    /// `u64::MAX` marks nonterminals with no terminal derivation.
+    cost: Vec<u64>,
+}
+
+/// Identifier pool; the `main` prelude declares the first few so grammar
+/// derivations have semantically live names to land on.
+const IDENTS: &[&str] = &["a", "b", "s", "v", "t", "u"];
+
+impl GrammarGen {
+    fn new() -> GrammarGen {
+        let base = maya::core::Base::cached();
+        let grammar = base.grammar.clone();
+        let prods = grammar.productions();
+        let n = grammar.nt_count();
+        let mut by_nt = vec![Vec::new(); n];
+        for (i, p) in prods.iter().enumerate() {
+            let internal = matches!(p.action, Action::Builtin(BuiltinAction::StartAccept))
+                || p.rhs.iter().any(|s| {
+                    matches!(
+                        s,
+                        Sym::T(Terminal::Goal(_) | Terminal::EndOf(_) | Terminal::End)
+                    )
+                });
+            if !internal {
+                by_nt[p.lhs.0 as usize].push(i);
+            }
+        }
+        // Min-cost fixpoint: cost(nt) = min over its productions of
+        // 1 + Σ cost(sym), terminals costing 1. Nonterminals that never
+        // converge (production-less markers) keep MAX and derive as ε.
+        let mut cost = vec![u64::MAX; n];
+        loop {
+            let mut changed = false;
+            for (nt, options) in by_nt.iter().enumerate() {
+                let mut best = u64::MAX;
+                for &pi in options {
+                    best = best.min(prod_cost(&prods[pi].rhs, &cost));
+                }
+                if best < cost[nt] {
+                    cost[nt] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        GrammarGen { grammar, by_nt, cost }
+    }
+
+    fn nt(&self, kind: NodeKind) -> NtId {
+        self.grammar
+            .nt_for_kind(kind)
+            .unwrap_or_else(|| panic!("base grammar registers {}", kind.name()))
+    }
+
+    /// Appends one derivation of `nt` to `out`. `budget` bounds the
+    /// derivation size; at or below the nonterminal's minimum cost the
+    /// cheapest production is forced, so recursion always terminates.
+    fn derive(&self, rng: &mut XorShift, nt: NtId, budget: u64, out: &mut String) {
+        let options = &self.by_nt[nt.0 as usize];
+        if options.is_empty() || self.cost[nt.0 as usize] == u64::MAX {
+            return; // production-less marker: derive ε
+        }
+        let prods = self.grammar.productions();
+        let eb = budget.max(self.cost[nt.0 as usize]);
+        let within: Vec<usize> = options
+            .iter()
+            .copied()
+            .filter(|&pi| prod_cost(&prods[pi].rhs, &self.cost) <= eb)
+            .collect();
+        let pi = if within.is_empty() {
+            // Unreachable given eb >= cost[nt], but stay total.
+            *options
+                .iter()
+                .min_by_key(|&&pi| prod_cost(&prods[pi].rhs, &self.cost))
+                .expect("non-empty options")
+        } else {
+            within[rng.below(within.len())]
+        };
+        let p = &prods[pi];
+        let mut slack = eb.saturating_sub(prod_cost(&p.rhs, &self.cost));
+
+        // Subtree helpers carry their goal in the action; the single
+        // Tree terminal is rendered as delimiters around a goal derivation.
+        if let Action::Builtin(
+            BuiltinAction::ParseSubtree { goal } | BuiltinAction::LazySubtree { goal, .. },
+        ) = p.action
+        {
+            if let Some(Sym::T(Terminal::Tree(d))) = p.rhs.first() {
+                let (open, close) = delim_chars(*d);
+                out.push(open);
+                out.push(' ');
+                self.derive(rng, goal, self.cost.get(goal.0 as usize).copied().unwrap_or(0).saturating_add(slack), out);
+                out.push(close);
+                out.push(' ');
+                return;
+            }
+        }
+
+        for sym in &p.rhs {
+            match sym {
+                Sym::T(t) => self.render_terminal(rng, *t, out),
+                Sym::N(child) => {
+                    let extra = if slack == 0 { 0 } else { rng.next() % (slack + 1) };
+                    slack -= extra;
+                    let child_min = self.cost.get(child.0 as usize).copied().unwrap_or(0);
+                    let child_budget = if child_min == u64::MAX {
+                        0
+                    } else {
+                        child_min.saturating_add(extra)
+                    };
+                    self.derive(rng, *child, child_budget, out);
+                }
+            }
+        }
+    }
+
+    fn render_terminal(&self, rng: &mut XorShift, t: Terminal, out: &mut String) {
+        match t {
+            Terminal::Tok(k) => {
+                match k {
+                    TokenKind::Ident => out.push_str(IDENTS[rng.below(IDENTS.len())]),
+                    TokenKind::IntLit => {
+                        let _ = write!(out, "{}", rng.below(10));
+                    }
+                    TokenKind::LongLit => {
+                        let _ = write!(out, "{}L", rng.below(10));
+                    }
+                    TokenKind::FloatLit => {
+                        let _ = write!(out, "{}.5f", rng.below(4));
+                    }
+                    TokenKind::DoubleLit => {
+                        let _ = write!(out, "{}.25", rng.below(4));
+                    }
+                    TokenKind::CharLit => out.push_str("'x'"),
+                    TokenKind::StringLit => {
+                        let _ = write!(out, "\"s{}\"", rng.below(4));
+                    }
+                    // Keywords and punctuators name themselves.
+                    _ => out.push_str(k.name()),
+                }
+                out.push(' ');
+            }
+            Terminal::Word(w) => {
+                out.push_str(w.as_str());
+                out.push(' ');
+            }
+            // A raw delimiter tree with no goal (`(...)` expressions,
+            // `[...]` array syntax): fill with something token-shaped.
+            Terminal::Tree(d) => {
+                let (open, close) = delim_chars(d);
+                out.push(open);
+                out.push(' ');
+                match rng.below(3) {
+                    0 => {}
+                    1 => {
+                        let _ = write!(out, "{} ", rng.below(10));
+                    }
+                    _ => {
+                        out.push_str(IDENTS[rng.below(IDENTS.len())]);
+                        out.push(' ');
+                    }
+                }
+                out.push(close);
+                out.push(' ');
+            }
+            Terminal::Goal(_) | Terminal::EndOf(_) | Terminal::End => {}
+        }
+    }
+}
+
+fn prod_cost(rhs: &[Sym], cost: &[u64]) -> u64 {
+    let mut total = 1u64;
+    for s in rhs {
+        total = total.saturating_add(match s {
+            Sym::T(_) => 1,
+            Sym::N(nt) => cost.get(nt.0 as usize).copied().unwrap_or(u64::MAX),
+        });
+    }
+    total
+}
+
+fn delim_chars(d: Delim) -> (char, char) {
+    match d {
+        Delim::Paren => ('(', ')'),
+        Delim::Brace => ('{', '}'),
+        Delim::Brack => ('[', ']'),
+    }
+}
+
+// ---- generated Mayan extensions ----------------------------------------------
+
+/// One pattern item of a generated extension. The same items render three
+/// ways — abstract production RHS, concrete Mayan parameter list, and
+/// use-site text — so the loop is closed by construction: whatever
+/// pattern the generator declares, it also exercises.
+enum ExtItem {
+    /// `Expression[:java.lang.String] <name>` — a node parameter,
+    /// optionally specialized on a static type.
+    Expr { name: String, typed: bool },
+    /// `(Formal <name>)` — a delimiter subtree around a formal.
+    FormalSub { name: String },
+    /// `lazy(BraceTree, BlockStmts) <name>` — a lazily parsed body.
+    Lazy { name: String },
+    /// A literal `;` terminator.
+    Semi,
+}
+
+struct ExtSpec {
+    /// Mayan name (`Gx3`), what the application `use`s.
+    name: String,
+    /// Leading contextual keyword; unique per extension so generated
+    /// productions never collide in the LALR tables.
+    marker: String,
+    items: Vec<ExtItem>,
+    /// Splice the lazy body twice (when present) — exercises template
+    /// re-instantiation of the same lazy subtree.
+    twice: bool,
+    /// Drop every parameter: the body expands to `;`, so lazily parsed
+    /// arguments must never be forced.
+    drop_all: bool,
+}
+
+impl ExtSpec {
+    fn gen(rng: &mut XorShift, tag: usize) -> ExtSpec {
+        let mut items = Vec::new();
+        let n_mid = 1 + rng.below(2);
+        for k in 0..n_mid {
+            match rng.below(3) {
+                0 => items.push(ExtItem::Expr { name: format!("pe{k}"), typed: false }),
+                1 => items.push(ExtItem::Expr { name: format!("pe{k}"), typed: true }),
+                _ => items.push(ExtItem::FormalSub { name: format!("pf{k}") }),
+            }
+        }
+        let lazy_tail = rng.below(5) != 0;
+        if lazy_tail {
+            items.push(ExtItem::Lazy { name: "body".to_owned() });
+        } else {
+            items.push(ExtItem::Semi);
+        }
+        ExtSpec {
+            name: format!("Gx{tag}"),
+            marker: format!("gxm{tag}"),
+            items,
+            twice: lazy_tail && rng.below(3) == 0,
+            drop_all: rng.below(6) == 0,
+        }
+    }
+
+    /// The extension-library source: abstract production + concrete Mayan.
+    fn decl_source(&self) -> String {
+        let mut rhs = vec![self.marker.clone()];
+        let mut params = vec![self.marker.clone()];
+        for item in &self.items {
+            match item {
+                ExtItem::Expr { name, typed } => {
+                    rhs.push("Expression".to_owned());
+                    params.push(if *typed {
+                        format!("Expression:java.lang.String {name}")
+                    } else {
+                        format!("Expression {name}")
+                    });
+                }
+                ExtItem::FormalSub { name } => {
+                    rhs.push("(Formal)".to_owned());
+                    params.push(format!("(Formal {name})"));
+                }
+                ExtItem::Lazy { name } => {
+                    rhs.push("lazy(BraceTree, BlockStmts)".to_owned());
+                    params.push(format!("lazy(BraceTree, BlockStmts) {name}"));
+                }
+                ExtItem::Semi => {
+                    rhs.push(";".to_owned());
+                    params.push(";".to_owned());
+                }
+            }
+        }
+        let mut body_stmts = Vec::new();
+        if !self.drop_all {
+            for item in &self.items {
+                match item {
+                    ExtItem::Expr { name, .. } => {
+                        body_stmts.push(format!("System.out.println(${name});"));
+                    }
+                    ExtItem::FormalSub { name } => {
+                        body_stmts.push(format!("$(DeclStmt.make({name}))"));
+                    }
+                    ExtItem::Lazy { name } => {
+                        body_stmts.push(format!("${name}"));
+                        if self.twice {
+                            body_stmts.push(format!("${name}"));
+                        }
+                    }
+                    ExtItem::Semi => {}
+                }
+            }
+        }
+        let body = if body_stmts.is_empty() {
+            "    return new Statement { ; };".to_owned()
+        } else {
+            format!(
+                "    return new Statement {{ {{ {} }} }};",
+                body_stmts.join(" ")
+            )
+        };
+        format!(
+            "abstract Statement syntax({});\n\nStatement syntax\n{}({})\n{{\n{body}\n}}\n",
+            rhs.join(" "),
+            self.name,
+            params.join(" ")
+        )
+    }
+
+    /// One use-site statement matching the declared pattern.
+    fn use_site(&self, rng: &mut XorShift, gen: &GrammarGen) -> String {
+        let mut out = self.marker.clone();
+        out.push(' ');
+        for (k, item) in self.items.iter().enumerate() {
+            match item {
+                ExtItem::Expr { typed, .. } => {
+                    if *typed {
+                        let _ = write!(out, "\"x{}\" ", rng.below(4));
+                    } else {
+                        match rng.below(3) {
+                            0 => {
+                                let _ = write!(out, "{} + {} ", rng.below(5), rng.below(5));
+                            }
+                            1 => out.push_str("a "),
+                            _ => {
+                                let _ = write!(out, "\"y{}\" ", rng.below(4));
+                            }
+                        }
+                    }
+                }
+                ExtItem::FormalSub { .. } => {
+                    let _ = write!(out, "(int q{k}) ");
+                }
+                ExtItem::Lazy { .. } => {
+                    out.push_str("{ ");
+                    match rng.below(3) {
+                        0 => out.push_str("System.out.println(\"in\"); "),
+                        1 => out.push_str("a = a + 1; "),
+                        _ => {
+                            let snt = gen.nt(NodeKind::Statement);
+                            gen.derive(rng, snt, 8, &mut out);
+                        }
+                    }
+                    out.push_str("} ");
+                }
+                ExtItem::Semi => out.push_str("; "),
+            }
+        }
+        out
+    }
+}
+
+// ---- case generation ---------------------------------------------------------
+
+struct Case {
+    sources: Vec<(String, String)>,
+    /// Number of generated Mayan extensions in this case.
+    extensions: usize,
+}
+
+fn gen_case(rng: &mut XorShift, gen: &GrammarGen, tag: usize) -> Case {
+    let with_ext = rng.below(100) < 40;
+    let mut sources = Vec::new();
+    let mut ext_specs = Vec::new();
+    if with_ext {
+        let n = if rng.below(10) == 0 { 2 } else { 1 };
+        let mut ext_src = String::new();
+        for k in 0..n {
+            let spec = ExtSpec::gen(rng, tag * 4 + k);
+            ext_src.push_str(&spec.decl_source());
+            ext_src.push('\n');
+            ext_specs.push(spec);
+        }
+        sources.push(("fuzz_ext.maya".to_owned(), ext_src));
+    }
+
+    // The application: a Main with grammar-derived members and statements
+    // over a small declared-local prelude, plus use sites for every
+    // generated extension.
+    let mut app = String::from("class Main {\n");
+    let dnt = gen.nt(NodeKind::Declaration);
+    if rng.below(10) < 3 {
+        app.push_str("    ");
+        let budget = 10 + rng.next() % 12;
+        gen.derive(rng, dnt, budget, &mut app);
+        app.push('\n');
+    }
+    app.push_str("    static void main() {\n");
+    app.push_str("        int a = 1; int b = 2; String s = \"seed\";\n");
+    let snt = gen.nt(NodeKind::Statement);
+    for _ in 0..1 + rng.below(5) {
+        app.push_str("        ");
+        // Half the statements come from a semantically valid pool over
+        // the prelude locals, so a good share of cases type-check and
+        // actually reach both interpreters; the grammar-derived half
+        // covers the front half of the pipeline.
+        if rng.below(2) == 0 {
+            app.push_str(VALID_STMTS[rng.below(VALID_STMTS.len())]);
+            app.push(' ');
+        } else {
+            let budget = 6 + rng.next() % 18;
+            gen.derive(rng, snt, budget, &mut app);
+        }
+        app.push('\n');
+    }
+    for spec in &ext_specs {
+        let _ = writeln!(app, "        use {};", spec.name);
+        app.push_str("        ");
+        app.push_str(&spec.use_site(rng, gen));
+        app.push('\n');
+    }
+    app.push_str("    }\n}\n");
+    sources.push(("fuzz_app.maya".to_owned(), app));
+
+    // Mutation layer: the invalid-input half. Token splices, line
+    // duplication/deletion, tail truncation.
+    if rng.below(100) < 35 {
+        mutate(rng, &mut sources);
+    }
+    Case { sources, extensions: ext_specs.len() }
+}
+
+/// Statements that type-check and run over the `main` prelude locals
+/// (`int a`, `int b`, `String s`): interleaved with grammar-derived
+/// statements so a healthy share of cases reaches both interpreters.
+const VALID_STMTS: &[&str] = &[
+    "a = a + 1;",
+    "b = a * 2 + b;",
+    "s = s + \"!\";",
+    "System.out.println(s);",
+    "System.out.println(a + b);",
+    "if (a > b) { a = a - b; } else { b = b - 1; }",
+    "while (a < 5) { a = a + 1; }",
+    "for (int i = 0; i < 3; i = i + 1) { b = b + i; }",
+    "{ int c = a; a = b; b = c; }",
+    "if (s != null) { System.out.println(\"ok\"); }",
+];
+
+/// Raw fragments spliced in by the corruption pass.
+const SPLICE: &[&str] = &["@", "$", ";", "}", "{", "(", "class", "syntax", "=", "use", "\\.", "abstract"];
+
+fn mutate(rng: &mut XorShift, sources: &mut [(String, String)]) {
+    let which = rng.below(sources.len());
+    let src = &mut sources[which].1;
+    for _ in 0..1 + rng.below(3) {
+        match rng.below(4) {
+            0 => {
+                // Splice raw tokens at a char boundary.
+                let mut at = rng.below(src.len().max(1));
+                while at > 0 && !src.is_char_boundary(at) {
+                    at -= 1;
+                }
+                src.insert_str(at, SPLICE[rng.below(SPLICE.len())]);
+            }
+            1 => {
+                // Duplicate a random line.
+                let lines: Vec<&str> = src.lines().collect();
+                if !lines.is_empty() {
+                    let l = lines[rng.below(lines.len())].to_owned();
+                    let mut rebuilt: Vec<String> =
+                        lines.iter().map(|s| (*s).to_owned()).collect();
+                    rebuilt.insert(rng.below(rebuilt.len() + 1), l);
+                    *src = rebuilt.join("\n");
+                    src.push('\n');
+                }
+            }
+            2 => {
+                // Delete a random line.
+                let mut lines: Vec<String> = src.lines().map(str::to_owned).collect();
+                if lines.len() > 1 {
+                    lines.remove(rng.below(lines.len()));
+                    *src = lines.join("\n");
+                    src.push('\n');
+                }
+            }
+            _ => {
+                // Truncate the tail.
+                let mut at = src.len() / 2 + rng.below(src.len() / 2 + 1);
+                while at > 0 && !src.is_char_boundary(at) {
+                    at -= 1;
+                }
+                src.truncate(at);
+            }
+        }
+    }
+}
+
+// ---- differential driver -----------------------------------------------------
+
+fn fuzz_options(jobs: usize) -> CompileOptions {
+    CompileOptions {
+        echo_output: false,
+        jobs,
+        max_expand_depth: 50,
+        expand_fuel: 500_000,
+        interp_step_limit: 500_000,
+        interp_stack_limit: 64,
+        ..Default::default()
+    }
+}
+
+fn installer(lowered: bool) -> Rc<dyn Fn(&Compiler)> {
+    Rc::new(move |c: &Compiler| {
+        maya::macrolib::install(c);
+        maya::multijava::install(c);
+        if !lowered {
+            c.interp().set_lowering(false);
+        }
+    })
+}
+
+fn fresh_session(lowered: bool, jobs: usize) -> Session {
+    Session::new(fuzz_options(jobs), Some(installer(lowered)))
+}
+
+fn req_opts() -> RequestOpts {
+    RequestOpts::default()
+}
+
+fn outcome_sig(o: &Outcome) -> (bool, &str, &str) {
+    (o.success, o.stdout.as_str(), o.stderr.as_str())
+}
+
+/// Compiles `sources` in a fresh session. `Err` means a panic escaped
+/// the driver boundary — the invariant violation the fuzzer hunts for.
+fn run_fresh(
+    sources: &[(String, String)],
+    lowered: bool,
+    jobs: usize,
+    fault: Option<&str>,
+) -> Result<Outcome, String> {
+    let r = maya::core::catch_ice(AssertUnwindSafe(|| {
+        if let Some(spec) = fault {
+            maya::core::faults::arm(spec);
+        }
+        let mut s = fresh_session(lowered, jobs);
+        s.compile_sources(sources, &req_opts())
+    }));
+    maya::core::faults::disarm();
+    r
+}
+
+fn diff_block(an: &str, a: &Outcome, bn: &str, b: &Outcome) -> String {
+    format!(
+        "--- {an}: success={} ---\nstdout:\n{}stderr:\n{}\
+         --- {bn}: success={} ---\nstdout:\n{}stderr:\n{}",
+        a.success, a.stdout, a.stderr, b.success, b.stdout, b.stderr
+    )
+}
+
+fn compare(
+    a: Result<Outcome, String>,
+    b: Result<Outcome, String>,
+    an: &str,
+    bn: &str,
+) -> Option<String> {
+    match (a, b) {
+        (Ok(x), Ok(y)) => {
+            if outcome_sig(&x) == outcome_sig(&y) {
+                None
+            } else {
+                Some(diff_block(an, &x, bn, &y))
+            }
+        }
+        (Err(m), _) => Some(format!("{an} panicked out of the driver: {m}")),
+        (_, Err(m)) => Some(format!("{bn} panicked out of the driver: {m}")),
+    }
+}
+
+/// Which invariant a divergence violated — also the stateless reproduction
+/// recipe the minimizer re-runs.
+#[derive(Clone)]
+enum Oracle {
+    /// A fresh lowered compile panicked out of the driver.
+    Panic,
+    /// Lowered runtime vs legacy tree walker.
+    Engine,
+    /// Same session, same input, compiled twice: replay must match.
+    WarmReplay,
+    /// Edit then revert through one session vs the original outcome.
+    PostEdit,
+    /// `--jobs=1` vs `--jobs=4`.
+    Jobs,
+    /// Both engines under the same armed fault.
+    Faults(String),
+    /// Fault armed on the legacy side only (`--induce`): a guaranteed
+    /// divergence that proves the minimizer.
+    Induced(String),
+}
+
+impl Oracle {
+    fn name(&self) -> &'static str {
+        match self {
+            Oracle::Panic => "panic",
+            Oracle::Engine => "engine",
+            Oracle::WarmReplay => "warm_replay",
+            Oracle::PostEdit => "post_edit",
+            Oracle::Jobs => "jobs",
+            Oracle::Faults(_) => "faults",
+            Oracle::Induced(_) => "induced",
+        }
+    }
+}
+
+/// Stateless check: does `sources` still violate `oracle`? Returns the
+/// divergence detail when it does. Everything runs in fresh sessions so a
+/// minimization step can't poison campaign state.
+fn diverges(sources: &[(String, String)], oracle: &Oracle) -> Option<String> {
+    match oracle {
+        Oracle::Panic => run_fresh(sources, true, 1, None)
+            .err()
+            .map(|m| format!("panic escaped the driver: {m}")),
+        Oracle::Engine => compare(
+            run_fresh(sources, true, 1, None),
+            run_fresh(sources, false, 1, None),
+            "lowered",
+            "legacy",
+        ),
+        Oracle::Jobs => compare(
+            run_fresh(sources, true, 1, None),
+            run_fresh(sources, true, 4, None),
+            "jobs=1",
+            "jobs=4",
+        ),
+        Oracle::Faults(spec) => compare(
+            run_fresh(sources, true, 1, Some(spec)),
+            run_fresh(sources, false, 1, Some(spec)),
+            "lowered+fault",
+            "legacy+fault",
+        ),
+        Oracle::Induced(spec) => compare(
+            run_fresh(sources, true, 1, None),
+            run_fresh(sources, false, 1, Some(spec)),
+            "lowered",
+            "legacy+fault",
+        ),
+        Oracle::WarmReplay => {
+            let r = maya::core::catch_ice(AssertUnwindSafe(|| {
+                let mut s = fresh_session(true, 1);
+                let first = s.compile_sources(sources, &req_opts());
+                let replay = s.compile_sources(sources, &req_opts());
+                (first, replay)
+            }));
+            match r {
+                Err(m) => Some(format!("warm replay panicked: {m}")),
+                Ok((first, replay)) => {
+                    if outcome_sig(&first) == outcome_sig(&replay) {
+                        None
+                    } else {
+                        Some(diff_block("first", &first, "replay", &replay))
+                    }
+                }
+            }
+        }
+        Oracle::PostEdit => {
+            let r = maya::core::catch_ice(AssertUnwindSafe(|| {
+                let mut s = fresh_session(true, 1);
+                let first = s.compile_sources(sources, &req_opts());
+                let mut edited = sources.to_vec();
+                if let Some(last) = edited.last_mut() {
+                    last.1.push_str("\nclass ZZFuzzEdit { }\n");
+                }
+                s.compile_sources(&edited, &req_opts());
+                let back = s.compile_sources(sources, &req_opts());
+                (first, back)
+            }));
+            match r {
+                Err(m) => Some(format!("post-edit cycle panicked: {m}")),
+                Ok((first, back)) => {
+                    if outcome_sig(&first) == outcome_sig(&back) {
+                        None
+                    } else {
+                        Some(diff_block("original", &first, "post-edit revert", &back))
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---- minimization ------------------------------------------------------------
+
+/// Delta-debugs `sources` down while `oracle` still diverges: whole files
+/// first, then ddmin over each file's lines (one generated statement,
+/// member, or extension item per line). Bounded by `MAX_MIN_EVALS`
+/// predicate evaluations.
+fn minimize(mut sources: Vec<(String, String)>, oracle: &Oracle) -> Vec<(String, String)> {
+    let mut evals = 0usize;
+    let check = |cand: &[(String, String)], evals: &mut usize| -> bool {
+        if *evals >= MAX_MIN_EVALS {
+            return false;
+        }
+        *evals += 1;
+        diverges(cand, oracle).is_some()
+    };
+
+    // File granularity.
+    let mut i = 0;
+    while sources.len() > 1 && i < sources.len() {
+        let mut cand = sources.clone();
+        cand.remove(i);
+        if check(&cand, &mut evals) {
+            sources = cand;
+        } else {
+            i += 1;
+        }
+    }
+
+    // Line granularity (ddmin) per file.
+    for fi in 0..sources.len() {
+        let mut lines: Vec<String> = sources[fi].1.lines().map(str::to_owned).collect();
+        let mut n = 2usize;
+        while lines.len() >= 2 && n <= lines.len() && evals < MAX_MIN_EVALS {
+            let chunk = lines.len().div_ceil(n);
+            let mut removed_any = false;
+            let mut start = 0;
+            while start < lines.len() {
+                let end = (start + chunk).min(lines.len());
+                let mut cand_lines = lines.clone();
+                cand_lines.drain(start..end);
+                let mut cand = sources.clone();
+                cand[fi].1 = format!("{}\n", cand_lines.join("\n"));
+                if check(&cand, &mut evals) {
+                    lines = cand_lines;
+                    sources = cand;
+                    removed_any = true;
+                    // Same start now addresses the next chunk.
+                } else {
+                    start = end;
+                }
+            }
+            if removed_any {
+                n = n.saturating_sub(1).max(2);
+            } else {
+                n *= 2;
+            }
+        }
+    }
+    sources
+}
+
+// ---- coverage signal ---------------------------------------------------------
+
+/// Buckets a per-case telemetry report into (dimension, log2-magnitude)
+/// pairs. A case is kept as a corpus seed iff it lights a pair no earlier
+/// case lit — counters answer "did new machinery run", the magnitude
+/// bucket answers "did it run at a new order of magnitude".
+fn coverage_pairs(r: &telemetry::Report) -> Vec<(u16, u8)> {
+    let mut pairs = Vec::new();
+    for (i, c) in Counter::ALL.iter().enumerate() {
+        let v = r.counter(*c);
+        if v > 0 {
+            pairs.push((i as u16, v.ilog2() as u8));
+        }
+    }
+    let base = Counter::ALL.len() as u16;
+    for (i, id) in CacheId::ALL.iter().enumerate() {
+        let cs = r.cache(*id);
+        if cs.hits > 0 {
+            pairs.push((base + i as u16, cs.hits.ilog2() as u8));
+        }
+        if cs.misses > 0 {
+            pairs.push((base + 64 + i as u16, cs.misses.ilog2() as u8));
+        }
+    }
+    pairs
+}
+
+// ---- the campaign ------------------------------------------------------------
+
+struct DivergenceReport {
+    oracle: &'static str,
+    case_index: usize,
+    induced: bool,
+    /// The stateless predicate reproduced the divergence and ddmin ran.
+    minimized: bool,
+    files: Vec<(String, String)>,
+    detail: String,
+}
+
+#[derive(Default)]
+struct Stats {
+    cases: usize,
+    clean: usize,
+    diagnosed: usize,
+    extension_cases: usize,
+    generated_extensions: usize,
+    escaped_panics: usize,
+    corpus_kept: usize,
+    engine_runs: usize,
+    warm_runs: usize,
+    post_edit_runs: usize,
+    jobs_runs: usize,
+    fault_runs: usize,
+}
+
+pub(crate) fn run(cfg: &FuzzConfig) -> ExitCode {
+    let started = std::time::Instant::now();
+    let root = crate::repo_root();
+    let gen = GrammarGen::new();
+    let opts = req_opts();
+
+    // The persistent pair: a lowered session and a legacy session that
+    // live across the whole campaign, like a long-running `mayad` fed
+    // hundreds of unrelated requests.
+    let mut warm = fresh_session(true, 1);
+    let mut legacy = fresh_session(false, 1);
+
+    let mut stats = Stats::default();
+    let mut seen_pairs: HashSet<(u16, u8)> = HashSet::new();
+    let mut corpus: Vec<Vec<(String, String)>> = Vec::new();
+    let mut reports: Vec<DivergenceReport> = Vec::new();
+
+    let fault_pool = [
+        "lex:error",
+        "lex:panic",
+        "parse:error",
+        "parse:panic",
+        "dispatch:error",
+        "dispatch:panic",
+        "template:error",
+        "template:panic",
+        "type_check:error",
+        "type_check:panic",
+        "interp:error",
+        "interp:panic",
+        "dispatch:loop",
+        "interp:loop",
+    ];
+
+    let record = |oracle: Oracle,
+                      case_index: usize,
+                      sources: &[(String, String)],
+                      detail: String,
+                      reports: &mut Vec<DivergenceReport>,
+                      stats: &mut Stats| {
+        let induced = matches!(oracle, Oracle::Induced(_));
+        if matches!(oracle, Oracle::Panic) {
+            stats.escaped_panics += 1;
+        }
+        eprintln!(
+            "xtask fuzz: case {case_index}: {} divergence{}",
+            oracle.name(),
+            if induced { " (induced)" } else { "" }
+        );
+        // Reproduce statelessly, then shrink.
+        let reproduced = diverges(sources, &oracle).is_some();
+        let (files, minimized) = if reproduced {
+            (minimize(sources.to_vec(), &oracle), true)
+        } else {
+            (sources.to_vec(), false)
+        };
+        let final_detail = if minimized {
+            diverges(&files, &oracle).unwrap_or(detail)
+        } else {
+            detail
+        };
+        reports.push(DivergenceReport {
+            oracle: oracle.name(),
+            case_index,
+            induced,
+            minimized,
+            files,
+            detail: final_detail,
+        });
+    };
+
+    for i in 0..cfg.cases {
+        if let Some(limit) = cfg.budget_secs {
+            if started.elapsed().as_secs() >= limit {
+                eprintln!("xtask fuzz: budget exhausted after {i} cases");
+                break;
+            }
+        }
+        stats.cases += 1;
+        let mut rng = XorShift::new(cfg.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+
+        // Generate: fresh from the grammar, or mutate a kept seed.
+        let case = if !corpus.is_empty() && rng.below(100) < 20 {
+            let mut sources = corpus[rng.below(corpus.len())].clone();
+            mutate(&mut rng, &mut sources);
+            Case { sources, extensions: 0 }
+        } else {
+            gen_case(&mut rng, &gen, i)
+        };
+        if case.extensions > 0 {
+            stats.extension_cases += 1;
+            stats.generated_extensions += case.extensions;
+        }
+        let sources = &case.sources;
+        if std::env::var_os("MAYA_FUZZ_DUMP").is_some() {
+            for (name, src) in sources {
+                eprintln!("=== case {i}: {name} ===\n{src}");
+            }
+        }
+
+        let t = telemetry::Session::start(telemetry::Config::default());
+
+        // Baseline: a cold batch compile (fresh session, lowered).
+        let cold = run_fresh(sources, true, 1, None);
+        let cold = match cold {
+            Err(m) => {
+                record(
+                    Oracle::Panic,
+                    i,
+                    sources,
+                    format!("panic escaped the driver: {m}"),
+                    &mut reports,
+                    &mut stats,
+                );
+                t.finish();
+                continue;
+            }
+            Ok(o) => o,
+        };
+        if cold.success {
+            stats.clean += 1;
+        } else {
+            stats.diagnosed += 1;
+        }
+
+        // Oracle: warm persistent session must match the cold batch.
+        stats.warm_runs += 1;
+        let warm_out = maya::core::catch_ice(AssertUnwindSafe(|| {
+            warm.compile_sources(sources, &opts)
+        }));
+        if let Some(detail) = compare(Ok(cold.clone()), warm_out, "cold", "warm session") {
+            warm.reset();
+            record(Oracle::WarmReplay, i, sources, detail, &mut reports, &mut stats);
+        }
+
+        // Oracle: legacy tree walker (persistent session) must match.
+        stats.engine_runs += 1;
+        let legacy_out = maya::core::catch_ice(AssertUnwindSafe(|| {
+            legacy.compile_sources(sources, &opts)
+        }));
+        if let Some(detail) = compare(Ok(cold.clone()), legacy_out, "lowered", "legacy") {
+            legacy.reset();
+            record(Oracle::Engine, i, sources, detail, &mut reports, &mut stats);
+        }
+
+        // Oracle: --jobs=N must be byte-identical.
+        stats.jobs_runs += 1;
+        if let Some(detail) =
+            compare(Ok(cold.clone()), run_fresh(sources, true, 4, None), "jobs=1", "jobs=4")
+        {
+            record(Oracle::Jobs, i, sources, detail, &mut reports, &mut stats);
+        }
+
+        // Oracle: edit + revert through the warm session lands back on the
+        // cold outcome (the invalidation cone must be exact both ways).
+        stats.post_edit_runs += 1;
+        let back = maya::core::catch_ice(AssertUnwindSafe(|| {
+            let mut edited = sources.to_vec();
+            if let Some(last) = edited.last_mut() {
+                last.1.push_str("\nclass ZZFuzzEdit { }\n");
+            }
+            warm.compile_sources(&edited, &opts);
+            warm.compile_sources(sources, &opts)
+        }));
+        if let Some(detail) = compare(Ok(cold.clone()), back, "cold", "post-edit revert") {
+            warm.reset();
+            record(Oracle::PostEdit, i, sources, detail, &mut reports, &mut stats);
+        }
+
+        // Oracle: sampled fault injection, armed identically on both
+        // engines. Diagnostics may differ from the clean run; the engines
+        // must still agree, and no panic may escape.
+        if i % 4 == 0 {
+            stats.fault_runs += 1;
+            let spec = fault_pool[rng.below(fault_pool.len())].to_owned();
+            let oracle = Oracle::Faults(spec.clone());
+            if let Some(detail) = diverges(sources, &oracle) {
+                if detail.contains("panicked out of the driver") {
+                    stats.escaped_panics += 1;
+                }
+                record(oracle, i, sources, detail, &mut reports, &mut stats);
+            }
+        }
+
+        // Induced divergence (--induce): fault the legacy side only, so a
+        // divergence is guaranteed whenever the site is reached — proves
+        // the detector and the minimizer against a known-bad world.
+        if cfg.induce && i % 10 == 5 {
+            let oracle = Oracle::Induced("dispatch:error".to_owned());
+            if let Some(detail) = diverges(sources, &oracle) {
+                record(oracle, i, sources, detail, &mut reports, &mut stats);
+            }
+        }
+
+        // Coverage: keep the case as a seed iff it lit a new
+        // (counter, magnitude) pair.
+        let report = t.finish();
+        let mut new_pair = false;
+        for p in coverage_pairs(&report) {
+            if seen_pairs.insert(p) {
+                new_pair = true;
+            }
+        }
+        if new_pair {
+            corpus.push(sources.clone());
+            stats.corpus_kept += 1;
+        }
+    }
+
+    // Land minimized real divergences as regression cases; induced ones
+    // are the minimizer's proof and stay out of the committed tree.
+    let real: Vec<&DivergenceReport> = reports.iter().filter(|r| !r.induced).collect();
+    let induced: Vec<&DivergenceReport> = reports.iter().filter(|r| r.induced).collect();
+    for (k, r) in real.iter().enumerate() {
+        let dir = root.join("tests/corpus/regressions").join(format!(
+            "{}_seed{}_case{}_{k}",
+            r.oracle, cfg.seed, r.case_index
+        ));
+        if let Err(e) = write_divergence(&dir, r) {
+            eprintln!("xtask fuzz: cannot write {}: {e}", dir.display());
+        } else {
+            eprintln!("xtask fuzz: minimized case written to {}", dir.display());
+        }
+    }
+    for (k, r) in induced.iter().enumerate() {
+        let dir = root
+            .join("target/fuzz/minimized")
+            .join(format!("{}_seed{}_case{}_{k}", r.oracle, cfg.seed, r.case_index));
+        let _ = write_divergence(&dir, r);
+    }
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let unminimized = reports.iter().filter(|r| !r.minimized).count();
+    let doc = render_report(cfg, &stats, &reports, unminimized, elapsed);
+    let out_path = root.join("BENCH_fuzz.json");
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("xtask fuzz: cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "xtask fuzz: {} cases (seed {}) in {elapsed:.1}s: {} clean, {} diagnosed, \
+         {} with generated extensions ({} extensions), {} corpus seeds kept",
+        stats.cases,
+        cfg.seed,
+        stats.clean,
+        stats.diagnosed,
+        stats.extension_cases,
+        stats.generated_extensions,
+        stats.corpus_kept
+    );
+    println!(
+        "xtask fuzz: oracle runs: engine {}, warm {}, post-edit {}, jobs {}, faults {}",
+        stats.engine_runs, stats.warm_runs, stats.post_edit_runs, stats.jobs_runs, stats.fault_runs
+    );
+    println!(
+        "xtask fuzz: {} escaped panics, {} divergences ({} induced), {} unminimized; \
+         report at {}",
+        stats.escaped_panics,
+        reports.len(),
+        induced.len(),
+        unminimized,
+        out_path.display()
+    );
+
+    // Gates. Real divergences and escaped panics always fail; induced
+    // divergences are expected under --induce but must all have minimized.
+    let mut failed = false;
+    if stats.escaped_panics > 0 {
+        eprintln!("xtask fuzz: FAILED: {} panics escaped the driver", stats.escaped_panics);
+        failed = true;
+    }
+    if !real.is_empty() {
+        eprintln!("xtask fuzz: FAILED: {} real divergences (see BENCH_fuzz.json)", real.len());
+        failed = true;
+    }
+    if unminimized > 0 {
+        eprintln!("xtask fuzz: FAILED: {unminimized} divergences could not be minimized");
+        failed = true;
+    }
+    if cfg.induce && induced.is_empty() {
+        eprintln!("xtask fuzz: FAILED: --induce produced no divergence (detector is blind)");
+        failed = true;
+    }
+    if stats.cases >= 10 && stats.extension_cases * 10 < stats.cases {
+        eprintln!(
+            "xtask fuzz: FAILED: only {}/{} cases carried a generated Mayan extension \
+             (need at least 1 in 10)",
+            stats.extension_cases, stats.cases
+        );
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn write_divergence(dir: &Path, r: &DivergenceReport) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (name, src) in &r.files {
+        std::fs::write(dir.join(name), src)?;
+    }
+    let mut repro = String::new();
+    let _ = writeln!(repro, "oracle: {}", r.oracle);
+    let _ = writeln!(repro, "case: {}", r.case_index);
+    let _ = writeln!(repro, "induced: {}", r.induced);
+    let _ = writeln!(repro, "minimized: {}", r.minimized);
+    let _ = writeln!(repro, "\n{}", r.detail);
+    std::fs::write(dir.join("REPRO.txt"), repro)
+}
+
+fn render_report(
+    cfg: &FuzzConfig,
+    s: &Stats,
+    reports: &[DivergenceReport],
+    unminimized: usize,
+    elapsed: f64,
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"maya-fuzz/1\",");
+    let _ = writeln!(out, "  \"cases\": {},", s.cases);
+    let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(out, "  \"induce\": {},", cfg.induce);
+    let _ = writeln!(out, "  \"clean\": {},", s.clean);
+    let _ = writeln!(out, "  \"diagnosed\": {},", s.diagnosed);
+    let _ = writeln!(out, "  \"extension_cases\": {},", s.extension_cases);
+    let _ = writeln!(out, "  \"generated_extensions\": {},", s.generated_extensions);
+    let _ = writeln!(out, "  \"oracle_runs\": {{");
+    let _ = writeln!(out, "    \"engine\": {},", s.engine_runs);
+    let _ = writeln!(out, "    \"warm_replay\": {},", s.warm_runs);
+    let _ = writeln!(out, "    \"post_edit\": {},", s.post_edit_runs);
+    let _ = writeln!(out, "    \"jobs\": {},", s.jobs_runs);
+    let _ = writeln!(out, "    \"faults\": {}", s.fault_runs);
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"escaped_panics\": {},", s.escaped_panics);
+    let _ = writeln!(out, "  \"divergences\": {},", reports.len());
+    let _ = writeln!(
+        out,
+        "  \"induced_divergences\": {},",
+        reports.iter().filter(|r| r.induced).count()
+    );
+    let _ = writeln!(out, "  \"unminimized_divergences\": {unminimized},");
+    let _ = writeln!(out, "  \"corpus_kept\": {},", s.corpus_kept);
+    let _ = writeln!(out, "  \"elapsed_secs\": {elapsed:.1},");
+    out.push_str("  \"divergence_reports\": [");
+    let blocks: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            let files: Vec<String> = r
+                .files
+                .iter()
+                .map(|(n, src)| {
+                    format!(
+                        "        {{\"name\": {}, \"source\": {}}}",
+                        json_string(n),
+                        json_string(src)
+                    )
+                })
+                .collect();
+            format!(
+                "\n    {{\n      \"oracle\": {},\n      \"case\": {},\n      \
+                 \"induced\": {},\n      \"minimized\": {},\n      \"detail\": {},\n      \
+                 \"files\": [\n{}\n      ]\n    }}",
+                json_string(r.oracle),
+                r.case_index,
+                r.induced,
+                r.minimized,
+                json_string(&r.detail),
+                files.join(",\n")
+            )
+        })
+        .collect();
+    out.push_str(&blocks.join(","));
+    if !reports.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}

@@ -38,11 +38,25 @@
 //! through two compile-server sessions — lowered runtime and legacy tree
 //! walker — and fails on any output divergence between them. Part of the
 //! pre-merge verify flow.
+//!
+//! `cargo xtask fuzz [--cases=N] [--seed=S] [--budget=SECS] [--induce]`
+//! is the grammar-aware differential layer (see `fuzz.rs`): programs and
+//! Mayan extensions derived from the base grammar's productions, four
+//! oracles (engines, warm/post-edit session, jobs, fault injection),
+//! telemetry-driven coverage seeds, and auto-minimization of any
+//! divergence into `tests/corpus/regressions/`. Writes `BENCH_fuzz.json`.
+//!
+//! `cargo xtask verify` chains telemetry → perf → fuzz-lite →
+//! `fuzz --cases=300 --seed=7`, each in its own process, then re-asserts
+//! the zero-panic / zero-divergence gates from the written
+//! `BENCH_fuzz.json`.
 
 use maya::telemetry::{self, json_counter, json_string, Counter};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+mod fuzz;
 
 /// Counter totals gated against the committed baseline.
 const GATED: [Counter; 2] = [Counter::DispatchTests, Counter::LazyNodesForced];
@@ -1218,6 +1232,80 @@ fn fuzz_lite(cases: usize, seed: u64) -> ExitCode {
     }
 }
 
+// ---- verify ------------------------------------------------------------------
+
+/// Reads a top-level `"key": <integer>` field out of a hand-rendered
+/// JSON report. Good enough for the documents xtask itself writes.
+fn json_uint_field(doc: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = doc.find(&pat)? + pat.len();
+    let rest = doc[at..].trim_start();
+    let end = rest.find(|c: char| !c.is_ascii_digit())?;
+    rest[..end].parse().ok()
+}
+
+/// The pre-merge gauntlet: every gate command in sequence, each in its
+/// own process so one command's global state (telemetry collectors,
+/// armed faults, env) cannot leak into the next. After the bounded fuzz
+/// smoke, the `BENCH_fuzz.json` it wrote is re-read and the robustness
+/// gates re-asserted from the committed artifact itself.
+fn verify() -> ExitCode {
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("xtask verify: cannot locate own binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let steps: &[&[&str]] = &[
+        &["telemetry"],
+        &["perf"],
+        &["fuzz-lite"],
+        &["fuzz", "--cases=300", "--seed=7"],
+    ];
+    for step in steps {
+        println!("xtask verify: running {}", step.join(" "));
+        match std::process::Command::new(&exe).args(*step).status() {
+            Ok(st) if st.success() => {}
+            Ok(st) => {
+                eprintln!("xtask verify: FAILED at `{}` ({st})", step.join(" "));
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("xtask verify: cannot spawn `{}`: {e}", step.join(" "));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report_path = repo_root().join("BENCH_fuzz.json");
+    let doc = match std::fs::read_to_string(&report_path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("xtask verify: fuzz ran but left no {}: {e}", report_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ok = true;
+    for (key, want) in [("escaped_panics", 0), ("divergences", 0), ("unminimized_divergences", 0)] {
+        match json_uint_field(&doc, key) {
+            Some(v) if v == want => {}
+            Some(v) => {
+                eprintln!("xtask verify: FAILED: BENCH_fuzz.json has {key} = {v}, want {want}");
+                ok = false;
+            }
+            None => {
+                eprintln!("xtask verify: FAILED: BENCH_fuzz.json is missing {key}");
+                ok = false;
+            }
+        }
+    }
+    if !ok {
+        return ExitCode::FAILURE;
+    }
+    println!("xtask verify: all gates green");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -1268,18 +1356,62 @@ fn main() -> ExitCode {
             }
             fuzz_lite(cases, seed)
         }
+        Some("fuzz") => {
+            let mut cfg = fuzz::FuzzConfig {
+                cases: fuzz::DEFAULT_CASES,
+                seed: fuzz::DEFAULT_SEED,
+                budget_secs: None,
+                induce: false,
+            };
+            for a in &args[1..] {
+                if let Some(n) = a.strip_prefix("--cases=") {
+                    match n.parse() {
+                        Ok(n) => cfg.cases = n,
+                        Err(_) => {
+                            eprintln!("xtask fuzz: bad --cases value {n:?}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else if let Some(s) = a.strip_prefix("--seed=") {
+                    match s.parse() {
+                        Ok(s) => cfg.seed = s,
+                        Err(_) => {
+                            eprintln!("xtask fuzz: bad --seed value {s:?}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else if let Some(b) = a.strip_prefix("--budget=") {
+                    match b.parse() {
+                        Ok(b) => cfg.budget_secs = Some(b),
+                        Err(_) => {
+                            eprintln!("xtask fuzz: bad --budget value {b:?}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else if a == "--induce" {
+                    cfg.induce = true;
+                } else {
+                    eprintln!("xtask fuzz: unknown option {a}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            fuzz::run(&cfg)
+        }
+        Some("verify") => verify(),
         Some(other) => {
             eprintln!("xtask: unknown command {other}");
             eprintln!(
                 "usage: cargo xtask telemetry | perf | profile [--top=N] | \
-                 fuzz-lite [--cases=N] [--seed=S]"
+                 fuzz-lite [--cases=N] [--seed=S] | \
+                 fuzz [--cases=N] [--seed=S] [--budget=SECS] [--induce] | verify"
             );
             ExitCode::FAILURE
         }
         None => {
             eprintln!(
                 "usage: cargo xtask telemetry | perf | profile [--top=N] | \
-                 fuzz-lite [--cases=N] [--seed=S]"
+                 fuzz-lite [--cases=N] [--seed=S] | \
+                 fuzz [--cases=N] [--seed=S] [--budget=SECS] [--induce] | verify"
             );
             ExitCode::FAILURE
         }

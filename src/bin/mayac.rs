@@ -307,10 +307,12 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `--watch`: compile, then poll the inputs (mtime + size at 200ms) and
-/// recompile through the same [`Session`] on every change. Each round
-/// prints exactly what a cold run would, preceded by a `mayac: [watch]`
-/// status line on stderr.
+/// `--watch`: compile, then poll the inputs (mtime + size + inode at
+/// 200ms) and recompile through the same [`Session`] on every change.
+/// Each round prints exactly what a cold run would, preceded by a
+/// `mayac: [watch]` status line on stderr. A file deleted and re-created
+/// between polls is detected by its inode; one that stays deleted gets a
+/// grace window, then a diagnostic and a rebuild without it.
 fn watch(session: &mut Session, cli: &Cli, opts: &RequestOpts) -> ExitCode {
     use std::io::Write as _;
     let mut round = 0u64;
@@ -333,24 +335,56 @@ fn watch(session: &mut Session, cli: &Cli, opts: &RequestOpts) -> ExitCode {
             if outcome.full_reuse { ", full reuse" } else { "" },
         );
         let baseline = fingerprint(&cli.files);
-        loop {
+        // Editors commonly save by delete-then-create (or rename-over), so
+        // a file vanishing between polls is usually transient. Give each
+        // disappeared file a short grace window before rebuilding: if it
+        // reappears unchanged nothing happens, if it reappears changed the
+        // inode in the fingerprint catches it even when (mtime, size)
+        // round-trips identically, and if it stays gone we say so once and
+        // rebuild (the read error becomes an ordinary diagnostic while the
+        // file keeps being watched for re-creation).
+        const GRACE_POLLS: u32 = 10; // × 200ms = 2s
+        let mut missing_polls = vec![0u32; cli.files.len()];
+        'poll: loop {
             std::thread::sleep(std::time::Duration::from_millis(200));
-            if fingerprint(&cli.files) != baseline {
-                break;
+            let now = fingerprint(&cli.files);
+            if now == baseline {
+                missing_polls.iter_mut().for_each(|p| *p = 0);
+                continue;
+            }
+            for (i, (b, n)) in baseline.iter().zip(now.iter()).enumerate() {
+                if b.is_some() && n.is_none() {
+                    missing_polls[i] += 1;
+                    if missing_polls[i] == GRACE_POLLS {
+                        eprintln!(
+                            "mayac: [watch] {} disappeared and did not come back; \
+                             rebuilding without it (still watching for re-creation)",
+                            cli.files[i]
+                        );
+                        break 'poll;
+                    }
+                } else if n != b {
+                    // Changed, appeared, or re-created (new inode even if
+                    // mtime and size happen to match).
+                    break 'poll;
+                }
             }
         }
     }
 }
 
-/// A cheap change fingerprint: (mtime, size) per file; unreadable files
-/// fingerprint as `None` so appearing/disappearing also triggers.
-fn fingerprint(files: &[String]) -> Vec<Option<(std::time::SystemTime, u64)>> {
+/// A cheap change fingerprint: (mtime, size, inode) per file; unreadable
+/// files fingerprint as `None` so appearing/disappearing also triggers,
+/// and the inode distinguishes a re-created file from the original even
+/// when (mtime, size) collide.
+fn fingerprint(files: &[String]) -> Vec<Option<(std::time::SystemTime, u64, u64)>> {
+    use std::os::unix::fs::MetadataExt as _;
     files
         .iter()
         .map(|f| {
             std::fs::metadata(f)
                 .ok()
-                .and_then(|m| m.modified().ok().map(|t| (t, m.len())))
+                .and_then(|m| m.modified().ok().map(|t| (t, m.len(), m.ino())))
         })
         .collect()
 }

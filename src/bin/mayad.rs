@@ -213,7 +213,22 @@ fn main() -> ExitCode {
         match job {
             Job::Request { line, reply } => {
                 let t = telemetry::Session::start(telemetry::Config::default());
-                let response = handle_line(&mut session, &metrics, &line);
+                // The session sandboxes the compile pipeline itself, but a
+                // panic in request decoding, change detection, or response
+                // rendering would otherwise unwind past this loop and kill
+                // the server for every client. Isolate it: the one client
+                // gets an error reply, the session is reset to a coherent
+                // (cold) state, and the server keeps serving.
+                let response = match maya::core::catch_ice(std::panic::AssertUnwindSafe(|| {
+                    handle_line(&mut session, &metrics, &line)
+                })) {
+                    Ok(r) => r,
+                    Err(panic_msg) => {
+                        telemetry::count(telemetry::Counter::ServerPanicsIsolated);
+                        session.reset();
+                        error_response(&format!("request panicked (isolated): {panic_msg}"))
+                    }
+                };
                 metrics.record(t.finish());
                 let _ = reply.send(response);
             }
@@ -332,6 +347,12 @@ fn handle_line(session: &mut Session, metrics: &ServerMetrics, line: &str) -> St
                 None => return error_response("\"uses\" entries must be strings"),
             }
         }
+    }
+    // Fault site for the request-level isolation above: a panic here is
+    // outside the session's compile sandbox, exactly the class of failure
+    // the catch in the main loop exists for.
+    if let Err(e) = maya::core::faults::trip("server") {
+        return error_response(&e);
     }
     let outcome = session.compile(&paths, &opts);
     compile_response(&outcome)

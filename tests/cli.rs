@@ -405,3 +405,74 @@ fn watch_flag_is_accepted_in_usage() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("--watch"), "usage must mention --watch: {stderr}");
 }
+
+#[test]
+fn watch_survives_delete_and_detects_recreation() {
+    use std::io::Read as _;
+    use std::sync::{Arc, Mutex};
+
+    let dir = std::env::temp_dir().join(format!("mayac-watch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let f = dir.join("watched.maya");
+    std::fs::write(&f, r#"class Main { static void main() { System.out.println("one"); } }"#)
+        .unwrap();
+
+    let mut child = mayac()
+        .current_dir(&dir)
+        .arg("--watch")
+        .arg("watched.maya")
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // Drain both pipes into shared buffers so the child never blocks.
+    let collect = |mut pipe: Box<dyn std::io::Read + Send>| {
+        let buf = Arc::new(Mutex::new(String::new()));
+        let b = buf.clone();
+        std::thread::spawn(move || {
+            let mut chunk = [0u8; 1024];
+            while let Ok(n) = pipe.read(&mut chunk) {
+                if n == 0 {
+                    break;
+                }
+                b.lock().unwrap().push_str(&String::from_utf8_lossy(&chunk[..n]));
+            }
+        });
+        buf
+    };
+    let stdout = collect(Box::new(child.stdout.take().unwrap()));
+    let stderr = collect(Box::new(child.stderr.take().unwrap()));
+    let wait_for = |buf: &Arc<Mutex<String>>, needle: &str, secs: u64| {
+        for _ in 0..secs * 20 {
+            if buf.lock().unwrap().contains(needle) {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        panic!(
+            "timed out waiting for {needle:?}\n-- stdout --\n{}\n-- stderr --\n{}",
+            stdout.lock().unwrap(),
+            stderr.lock().unwrap()
+        );
+    };
+
+    // Round 1: the initial build runs the program.
+    wait_for(&stdout, "one", 20);
+    wait_for(&stderr, "round 1: ok", 20);
+
+    // Delete the file and leave it deleted: after the grace window the
+    // watcher says so and rebuilds without it (a diagnostic, not a hang
+    // or an exit).
+    std::fs::remove_file(&f).unwrap();
+    wait_for(&stderr, "disappeared and did not come back", 20);
+    wait_for(&stderr, "round 2: failed", 20);
+
+    // Re-create the file (new inode): the watcher notices and rebuilds.
+    std::fs::write(&f, r#"class Main { static void main() { System.out.println("two"); } }"#)
+        .unwrap();
+    wait_for(&stdout, "two", 20);
+
+    let _ = child.kill();
+    let _ = child.wait();
+}

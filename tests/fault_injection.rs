@@ -238,3 +238,68 @@ fn import_cycle_is_detected_and_reported() {
         "{ds:?}"
     );
 }
+
+// ---- engine agreement under injected faults ----------------------------------
+
+/// The conformance corpus through the walker-vs-lowered differential
+/// oracle with a fault armed identically on both sides. The injected
+/// failure changes the outcome — that is the point — but it must change
+/// it *the same way* in both engines: identical success flag, stdout,
+/// and stderr, or it is a silent engine divergence hiding behind the
+/// fault. Programmatic arming (`faults::arm`) is thread-local and
+/// `jobs=1` compiles run on the arming thread, so concurrent tests
+/// cannot see each other's faults.
+#[test]
+fn corpus_engines_agree_under_injected_faults() {
+    use maya::{CompileOptions, RequestOpts, Session};
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let name = e.unwrap().file_name().into_string().unwrap();
+            name.ends_with(".maya").then_some(name)
+        })
+        .collect();
+    names.sort();
+    assert!(names.len() >= 25, "corpus shrank ({} programs)", names.len());
+
+    let installer = |lowered: bool| -> Rc<dyn Fn(&Compiler)> {
+        Rc::new(move |c: &Compiler| {
+            maya::macrolib::install(c);
+            maya::multijava::install(c);
+            if !lowered {
+                c.interp().set_lowering(false);
+            }
+        })
+    };
+    let opts = CompileOptions { echo_output: false, jobs: 1, ..Default::default() };
+    let req = RequestOpts::default();
+
+    let sites = ["lex", "parse", "dispatch", "template", "type_check", "interp"];
+    for (i, name) in names.iter().enumerate() {
+        // The interpreter-bound stress programs take seconds per run;
+        // the faulted pass does not need them.
+        if name.starts_with("interp_hot") {
+            continue;
+        }
+        let src = std::fs::read_to_string(dir.join(name)).unwrap();
+        let sources = vec![(name.clone(), src)];
+        let spec = format!("{}:{}", sites[i % sites.len()], if i % 2 == 0 { "panic" } else { "error" });
+
+        maya::core::faults::arm(&spec);
+        let mut lowered = Session::new(opts.clone(), Some(installer(true)));
+        let a = lowered.compile_sources(&sources, &req);
+
+        maya::core::faults::arm(&spec);
+        let mut legacy = Session::new(opts.clone(), Some(installer(false)));
+        let b = legacy.compile_sources(&sources, &req);
+        maya::core::faults::disarm();
+
+        assert_eq!(
+            (a.success, &a.stdout, &a.stderr),
+            (b.success, &b.stdout, &b.stderr),
+            "{name}: engines diverged under injected fault {spec}"
+        );
+    }
+}

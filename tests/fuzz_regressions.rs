@@ -1,0 +1,93 @@
+//! Replays every minimized case under `tests/corpus/regressions/` —
+//! divergences the fuzzer once found and that were then fixed — through
+//! the full oracle battery: no panic may escape, and the cold batch,
+//! warm replay, legacy tree walker, `--jobs=4`, and post-edit outcomes
+//! must all be byte-identical. A case that starts diverging again is a
+//! regression of the original fix.
+
+use std::panic::AssertUnwindSafe;
+use std::path::Path;
+use std::rc::Rc;
+
+use maya::{CompileOptions, Compiler, Outcome, RequestOpts, Session};
+
+fn installer(lowered: bool) -> Rc<dyn Fn(&Compiler)> {
+    Rc::new(move |c: &Compiler| {
+        maya::macrolib::install(c);
+        maya::multijava::install(c);
+        if !lowered {
+            c.interp().set_lowering(false);
+        }
+    })
+}
+
+fn session(lowered: bool, jobs: usize) -> Session {
+    let opts = CompileOptions {
+        echo_output: false,
+        jobs,
+        max_expand_depth: 50,
+        expand_fuel: 500_000,
+        interp_step_limit: 500_000,
+        interp_stack_limit: 64,
+        ..Default::default()
+    };
+    Session::new(opts, Some(installer(lowered)))
+}
+
+fn sig(o: &Outcome) -> (bool, String, String) {
+    (o.success, o.stdout.clone(), o.stderr.clone())
+}
+
+#[test]
+fn committed_regression_cases_no_longer_diverge() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/regressions");
+    assert!(dir.is_dir(), "regression corpus directory missing");
+    let req = RequestOpts::default();
+
+    let mut cases = 0usize;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let case_dir = entry.unwrap().path();
+        if !case_dir.is_dir() {
+            continue;
+        }
+        let mut names: Vec<String> = std::fs::read_dir(&case_dir)
+            .unwrap()
+            .filter_map(|e| {
+                let name = e.unwrap().file_name().into_string().unwrap();
+                name.ends_with(".maya").then_some(name)
+            })
+            .collect();
+        names.sort();
+        assert!(!names.is_empty(), "{}: no sources", case_dir.display());
+        let sources: Vec<(String, String)> = names
+            .iter()
+            .map(|n| (n.clone(), std::fs::read_to_string(case_dir.join(n)).unwrap()))
+            .collect();
+        let label = case_dir.file_name().unwrap().to_string_lossy().into_owned();
+        cases += 1;
+
+        // No panic may escape any oracle run, and every run must agree
+        // with the cold baseline.
+        let runs = maya::core::catch_ice(AssertUnwindSafe(|| {
+            let cold = session(true, 1).compile_sources(&sources, &req);
+            let legacy = session(false, 1).compile_sources(&sources, &req);
+            let jobs4 = session(true, 4).compile_sources(&sources, &req);
+            let mut warm = session(true, 1);
+            warm.compile_sources(&sources, &req);
+            let replay = warm.compile_sources(&sources, &req);
+            let mut edited = sources.clone();
+            edited.last_mut().unwrap().1.push_str("\nclass ZZFuzzEdit { }\n");
+            warm.compile_sources(&edited, &req);
+            let back = warm.compile_sources(&sources, &req);
+            (cold, legacy, jobs4, replay, back)
+        }));
+        let (cold, legacy, jobs4, replay, back) =
+            runs.unwrap_or_else(|m| panic!("{label}: panic escaped the driver: {m}"));
+        let want = sig(&cold);
+        assert_eq!(want, sig(&legacy), "{label}: legacy walker diverged again");
+        assert_eq!(want, sig(&jobs4), "{label}: --jobs=4 diverged again");
+        assert_eq!(want, sig(&replay), "{label}: warm replay diverged again");
+        assert_eq!(want, sig(&back), "{label}: post-edit revert diverged again");
+    }
+    println!("replayed {cases} regression cases");
+}

@@ -21,17 +21,25 @@ struct Mayad {
 
 impl Mayad {
     fn start(extra: &[String]) -> Mayad {
-        let dir = std::env::temp_dir().join(format!("mayad-test-{}", std::process::id()));
+        Mayad::start_env(extra, &[])
+    }
+
+    fn start_env(extra: &[String], envs: &[(&str, &str)]) -> Mayad {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("mayad-test-{}-{seq}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let sock = dir.join("srv.sock");
         let _ = std::fs::remove_file(&sock);
-        let child = Command::new(env!("CARGO_BIN_EXE_mayad"))
-            .current_dir(&dir)
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_mayad"));
+        cmd.current_dir(&dir)
             .arg(format!("--socket={}", sock.display()))
             .args(extra)
-            .stderr(Stdio::null())
-            .spawn()
-            .unwrap();
+            .stderr(Stdio::null());
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let child = cmd.spawn().unwrap();
         for _ in 0..400 {
             if UnixStream::connect(&sock).is_ok() {
                 return Mayad { child, sock };
@@ -311,4 +319,39 @@ fn invalidation_cone_recompiles_exact_dependents() {
     let stats = session.stats();
     assert_eq!(stats.requests, 5);
     assert_eq!(stats.full_reuses, 1);
+}
+
+// ---- request crash isolation -------------------------------------------------
+
+/// A request that panics outside the per-file compile sandbox must come
+/// back as a JSON error reply — and the server must keep serving. The
+/// `server` fault site injects exactly such a panic on the next compile
+/// request; control requests are untouched.
+#[test]
+fn panicking_request_is_isolated_and_server_survives() {
+    let srv = Mayad::start_env(&[], &[("MAYA_FAULTS", "server:panic")]);
+
+    std::fs::write(
+        srv.dir().join("ok.maya"),
+        r#"class Main { static void main() { System.out.println("alive"); } }"#,
+    )
+    .unwrap();
+
+    // First compile request trips the armed fault and panics in the
+    // request handler. The client still gets a structured error reply.
+    let hit = srv.raw_request(r#"{"files": ["ok.maya"]}"#);
+    assert!(!ok(&hit), "panicked request must be an error reply: {hit:?}");
+    let msg = hit.get("error").and_then(Json::as_str).unwrap();
+    assert!(
+        msg.contains("request panicked (isolated)"),
+        "error should name the isolated panic: {msg:?}"
+    );
+
+    // The server survived: control requests and fresh compiles work.
+    let pong = srv.raw_request(r#"{"cmd":"ping"}"#);
+    assert!(ok(&pong) && pong.get("pong").and_then(Json::as_bool) == Some(true));
+    let resp = srv.raw_request(r#"{"files": ["ok.maya"]}"#);
+    assert!(ok(&resp), "server must keep compiling after isolation: {resp:?}");
+    assert_eq!(resp.get("success").and_then(Json::as_bool), Some(true));
+    assert_eq!(resp.get("stdout").and_then(Json::as_str), Some("alive\n"));
 }
