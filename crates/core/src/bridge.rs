@@ -48,7 +48,7 @@ fn node_of(v: &Value) -> Result<Node, Control> {
 }
 
 pub(crate) fn tree_value(node: Node) -> Value {
-    Value::Native(Rc::new(TreeValue { node }))
+    Value::native(TreeValue { node })
 }
 
 /// Installs the `maya.tree` classes, their natives, and the template

@@ -65,6 +65,10 @@ pub struct RequestOpts {
     pub run: bool,
     /// Render every compiled method body after expansion (`--expand`).
     pub expand: bool,
+    /// Disassemble compiled bytecode after the run (`--dump-bytecode`).
+    /// `Some("")` dumps every method; `Some(name)` filters by method name
+    /// or `Class.method`.
+    pub dump_bytecode: Option<String>,
     /// Diagnostic rendering for [`Outcome::stderr`].
     pub error_format: ErrorFormat,
     /// Stop reporting after this many errors (`--max-errors`).
@@ -80,6 +84,7 @@ impl Default for RequestOpts {
             main_class: "Main".to_owned(),
             run: true,
             expand: false,
+            dump_bytecode: None,
             error_format: ErrorFormat::Human,
             max_errors: 20,
             deny_warnings: false,
@@ -433,7 +438,7 @@ impl Session {
         let piped = crate::sandbox::catch(|| {
             compiler.add_sources_prelexed_diags(&sources, prelexed, &diags);
             if diags.at_cap() {
-                return (String::new(), None);
+                return (String::new(), None, String::new());
             }
             compiler.compile_diags(&diags);
             let mut expand_text = String::new();
@@ -441,16 +446,22 @@ impl Session {
                 expand_text = render_expansions(&compiler);
             }
             if diags.should_fail() || !opts.run {
-                return (expand_text, None);
+                return (expand_text, None, String::new());
             }
             let out = compiler.run_main_diags(&opts.main_class, &diags);
-            (expand_text, out)
+            // Disassembled after the run: by then every reachable body is
+            // forced and the inline caches carry their observed shapes.
+            let bc_text = match (&opts.dump_bytecode, diags.should_fail()) {
+                (Some(filter), false) => render_bytecode(&compiler, filter),
+                _ => String::new(),
+            };
+            (expand_text, out, bc_text)
         });
-        let (expand_text, program_out, ice) = match piped {
-            Ok((e, o)) => (e, o, false),
+        let (expand_text, program_out, bc_text, ice) = match piped {
+            Ok((e, o, b)) => (e, o, b, false),
             Err(panic_msg) => {
                 diags.error(format!("internal: {panic_msg}"), Span::DUMMY);
-                (String::new(), None, true)
+                (String::new(), None, String::new(), true)
             }
         };
 
@@ -498,6 +509,7 @@ impl Session {
             if let Some(out) = program_out {
                 stdout.push_str(&out);
             }
+            stdout.push_str(&bc_text);
         }
         let outcome = Outcome {
             stdout,
@@ -520,6 +532,43 @@ impl Session {
 
 /// `mayac --expand` as a string: every compiled method body of every
 /// user class, pretty-printed after Mayan expansion.
+/// Renders `mayac --dump-bytecode[=FILTER]`: one disassembly block per
+/// forced, bytecode-compilable method (same class walk and library-package
+/// skip as `--expand`).  An empty filter passes everything; otherwise the
+/// method name or `Class.method` must match.
+fn render_bytecode(compiler: &Compiler, filter: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let interp = compiler.interp();
+    let classes = compiler.classes();
+    for idx in 0..classes.len() {
+        let id = maya_types::ClassId(idx as u32);
+        let info = classes.info(id);
+        let info = info.borrow();
+        if info.fqcn.as_str().starts_with("java.") || info.fqcn.as_str().starts_with("maya.") {
+            continue;
+        }
+        for m in &info.methods {
+            let label = format!("{}.{}", info.fqcn, m.name);
+            if !filter.is_empty() && m.name.as_str() != filter && label != filter {
+                continue;
+            }
+            let Some(body) = &m.body else { continue };
+            if m.native.is_some() || !body.is_forced() {
+                continue;
+            }
+            if let Some(text) = interp.bytecode_listing(body, &m.param_names) {
+                let _ = writeln!(out, "--- bytecode {label} ---");
+                let _ = write!(out, "{text}");
+                if !text.ends_with('\n') {
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    out
+}
+
 fn render_expansions(compiler: &Compiler) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();

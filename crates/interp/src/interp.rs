@@ -124,9 +124,9 @@ pub struct Interp {
     template_hook:
         RefCell<Option<Rc<dyn Fn(&Interp, &maya_ast::TemplateLit, &mut Frame) -> Eval>>>,
     /// Call-depth guard.
-    depth: Cell<u32>,
+    pub(crate) depth: Cell<u32>,
     /// Maximum interpreted call depth before a "stack overflow" error.
-    stack_limit: Cell<u32>,
+    pub(crate) stack_limit: Cell<u32>,
     /// Maximum statements executed before a "step limit" error
     /// (`u64::MAX` = unlimited). Guards against runaway metaprograms.
     step_limit: Cell<u64>,
@@ -137,7 +137,7 @@ pub struct Interp {
     frame_provider: RefCell<Option<Rc<dyn Fn() -> Vec<String>>>>,
     /// Shape caches (field layouts, method rows, ctor rows), epoch-guarded
     /// against class-table mutation.
-    caches: RuntimeCaches,
+    pub(crate) caches: RuntimeCaches,
     /// Per-interpreter memo: lazy-body cell pointer → lowering outcome.
     /// The entry pins its [`LazyNode`] so the keyed allocation stays alive.
     lowered: RefCell<HashMap<usize, LoweredEntry, BuildPtrHasher>>,
@@ -146,14 +146,17 @@ pub struct Interp {
     lower_store: RefCell<Rc<LowerStore>>,
     /// Master switch for the fast path (`MAYA_NO_LOWER=1` turns it off).
     lower_enabled: Cell<bool>,
+    /// Master switch for the bytecode tier (`MAYA_NO_BYTECODE=1` turns it
+    /// off; lowered bodies then run on the tree walker).
+    bc_enabled: Cell<bool>,
     /// Mirror of `maya_telemetry::profiling()`, synced at the public entry
     /// points so the per-call and per-binary-op hooks cost one field load
     /// instead of a thread-local lookup.
-    profile: Cell<bool>,
+    pub(crate) profile: Cell<bool>,
     /// Recycled slot buffers: argument vectors become lowered frames, and
     /// finished frames come back here, so steady-state lowered calls do not
     /// touch the allocator at all.
-    frame_pool: RefCell<Vec<Vec<Value>>>,
+    pub(crate) frame_pool: RefCell<Vec<Vec<Value>>>,
 }
 
 struct LoweredEntry {
@@ -226,6 +229,9 @@ impl Interp {
             lower_enabled: Cell::new(
                 std::env::var("MAYA_NO_LOWER").map_or(true, |v| v.is_empty() || v == "0"),
             ),
+            bc_enabled: Cell::new(
+                std::env::var("MAYA_NO_BYTECODE").map_or(true, |v| v.is_empty() || v == "0"),
+            ),
             profile: Cell::new(false),
             frame_pool: RefCell::new(Vec::new()),
         };
@@ -237,6 +243,18 @@ impl Interp {
     /// environment variable sets the initial state).
     pub fn set_lowering(&self, on: bool) {
         self.lower_enabled.set(on);
+    }
+
+    /// Turns the bytecode tier on or off (the `MAYA_NO_BYTECODE`
+    /// environment variable sets the initial state). Only meaningful when
+    /// lowering is also enabled — the tier compiles lowered bodies.
+    pub fn set_bytecode(&self, on: bool) {
+        self.bc_enabled.set(on);
+    }
+
+    /// Whether the bytecode tier is enabled.
+    pub fn bytecode_enabled(&self) -> bool {
+        self.bc_enabled.get()
     }
 
     /// True when the lowering fast path is active.
@@ -357,7 +375,7 @@ impl Interp {
 
     // ---- class initialization ---------------------------------------------
 
-    fn ensure_init(&self, class: ClassId) -> Result<(), Control> {
+    pub(crate) fn ensure_init(&self, class: ClassId) -> Result<(), Control> {
         if self.initialized.borrow().contains(&class)
             || self.initializing.borrow().contains(&class)
         {
@@ -433,7 +451,7 @@ impl Interp {
     /// instruction stream.
     #[cold]
     #[inline(never)]
-    fn method_label(&self, class: ClassId, m: &MethodInfo) -> String {
+    pub(crate) fn method_label(&self, class: ClassId, m: &MethodInfo) -> String {
         format!("{}.{}/{}", self.ct.fqcn(class), m.name, m.params.len())
     }
 
@@ -462,7 +480,7 @@ impl Interp {
 
     /// Annotates an error with the current expansion frames (innermost
     /// first) if a provider is installed and none are attached yet.
-    fn attach_frames(&self, c: Control) -> Control {
+    pub(crate) fn attach_frames(&self, c: Control) -> Control {
         match c {
             Control::Error(mut e) if e.frames.is_empty() => {
                 if let Some(p) = self.frame_provider.borrow().clone() {
@@ -486,7 +504,7 @@ impl Interp {
         self.select_from_row(&row, class, name, args, span)
     }
 
-    fn select_from_row(
+    pub(crate) fn select_from_row(
         &self,
         row: &[(ClassId, Rc<MethodInfo>)],
         class: ClassId,
@@ -552,12 +570,21 @@ impl Interp {
         let epoch = self.caches.sync(&self.ct);
         let ck = class_key(Some(class));
         if let Some(m) = site.get(epoch, ck) {
-            let ok = m.params.len() == args.len()
-                && m.params
-                    .iter()
-                    .zip(args.iter())
-                    .all(|(p, a)| self.ct.is_assignable(&a.runtime_type(&self.ct), p));
+            // Exactness fast path: if the current arguments classify
+            // identically to the last verified hit's, their runtime types
+            // are identical, so the per-argument assignability loop would
+            // return the same verdict — skip it.
+            let exact = site.exact_hit(&args);
+            let ok = exact
+                || (m.params.len() == args.len()
+                    && m.params
+                        .iter()
+                        .zip(args.iter())
+                        .all(|(p, a)| self.ct.is_assignable(&a.runtime_type(&self.ct), p)));
             if ok {
+                if !exact {
+                    site.note_exact(&args);
+                }
                 maya_telemetry::count(maya_telemetry::Counter::IcHits);
                 let profiled = self.profile.get();
                 if profiled {
@@ -601,7 +628,7 @@ impl Interp {
                 if let Some(body) = &m.body {
                     if m.native.is_none() && body.is_forced() {
                         if let Some(lb) = self.lowered_body(body, &m.param_names) {
-                            site.set_lowered(lb);
+                            site.set_lowered(&m, lb);
                         }
                     }
                 }
@@ -708,7 +735,7 @@ impl Interp {
     /// disabled or the body is unlowerable.  Memoized per body cell, and
     /// shared across interpreters through the [`LowerStore`] keyed by the
     /// body's structural fingerprint.
-    fn lowered_body(&self, body: &LazyNode, params: &[Symbol]) -> Option<Rc<LoweredBody>> {
+    pub(crate) fn lowered_body(&self, body: &LazyNode, params: &[Symbol]) -> Option<Rc<LoweredBody>> {
         if !self.lower_enabled.get() {
             return None;
         }
@@ -747,13 +774,21 @@ impl Interp {
     /// Runs a lowered body: a flat slot frame, argument slots first.  The
     /// argument vector *becomes* the frame (extended with null slots), so
     /// the hot call path performs no extra allocation.
-    fn exec_lowered(
+    pub(crate) fn exec_lowered(
         &self,
         lb: &LoweredBody,
         this: Option<Value>,
         class: ClassId,
         mut args: Vec<Value>,
     ) -> Eval {
+        // Third tier: run compiled bytecode when available. The VM mirrors
+        // the tree walker below exactly; bodies that can't compile (e.g.
+        // try/catch) memoize `Unsupported` and keep taking this path.
+        if self.bc_enabled.get() {
+            if let Some(bc) = self.bytecode_for(lb) {
+                return self.run_bc(&bc, this, class, args);
+            }
+        }
         args.truncate(lb.n_params);
         args.resize(lb.n_slots, Value::Null);
         let mut f = LFrame {
@@ -932,7 +967,7 @@ impl Interp {
     }
 
     /// Resolves a lowered type reference through its per-site cache.
-    fn resolve_type_slot(
+    pub(crate) fn resolve_type_slot(
         &self,
         ts: &TypeSlot,
         class: Option<ClassId>,
@@ -1399,7 +1434,7 @@ impl Interp {
 
     /// Charges one step against the budget (statements are the unit:
     /// every loop iteration executes at least one).
-    fn count_step(&self, span: Span) -> Result<(), Control> {
+    pub(crate) fn count_step(&self, span: Span) -> Result<(), Control> {
         let n = self.steps.get() + 1;
         self.steps.set(n);
         let limit = self.step_limit.get();
@@ -1792,7 +1827,7 @@ impl Interp {
         self.ct.is_subtype(&rt, ty)
     }
 
-    fn throw_simple(&self, class_fqcn: &str, span: Span) -> Control {
+    pub(crate) fn throw_simple(&self, class_fqcn: &str, span: Span) -> Control {
         match self.ct.by_fqcn_str(class_fqcn) {
             Some(c) => match self.construct(c, vec![], span) {
                 Ok(v) => Control::Throw(v),
@@ -1802,7 +1837,7 @@ impl Interp {
         }
     }
 
-    fn alloc_array(&self, elem: &Type, sizes: &[i32], span: Span) -> Eval {
+    pub(crate) fn alloc_array(&self, elem: &Type, sizes: &[i32], span: Span) -> Eval {
         let (first, rest) = match sizes.split_first() {
             Some(x) => x,
             None => return Ok(Value::default_for(elem)),
@@ -1833,7 +1868,7 @@ impl Interp {
         })))
     }
 
-    fn cast(&self, v: Value, target: &Type, span: Span) -> Eval {
+    pub(crate) fn cast(&self, v: Value, target: &Type, span: Span) -> Eval {
         use maya_ast::PrimKind::*;
         match target {
             Type::Prim(p) => {
@@ -1898,7 +1933,7 @@ impl Interp {
     /// The environment tail of name resolution — everything after locals:
     /// implicit-`this` field, then (static) class field, then class name.
     /// Shared by both execution paths.
-    fn env_name(
+    pub(crate) fn env_name(
         &self,
         name: Symbol,
         this: Option<&Value>,
@@ -1922,7 +1957,7 @@ impl Interp {
         Err(Control::error(format!("unresolved name {name}"), span))
     }
 
-    fn field_of(&self, target: Value, name: Symbol, span: Span) -> Eval {
+    pub(crate) fn field_of(&self, target: Value, name: Symbol, span: Span) -> Eval {
         match target {
             Value::ClassRef(c) => self.static_field(c, name),
             Value::Object(obj) => obj
@@ -2045,7 +2080,7 @@ impl Interp {
 
     /// The environment tail of name assignment (after locals): `this`
     /// field, then static field.  Shared by both execution paths.
-    fn env_assign_name(
+    pub(crate) fn env_assign_name(
         &self,
         name: Symbol,
         v: Value,
@@ -2069,7 +2104,7 @@ impl Interp {
         Err(Control::error(format!("unresolved assignment to {name}"), span))
     }
 
-    fn int_of(&self, v: Value, span: Span) -> Result<i32, Control> {
+    pub(crate) fn int_of(&self, v: Value, span: Span) -> Result<i32, Control> {
         match v {
             Value::Int(i) => Ok(i),
             Value::Char(c) => Ok(c as i32),
@@ -2077,7 +2112,7 @@ impl Interp {
         }
     }
 
-    fn eval_unary(&self, op: UnOp, v: Value, span: Span) -> Eval {
+    pub(crate) fn eval_unary(&self, op: UnOp, v: Value, span: Span) -> Eval {
         Ok(match (op, v) {
             (UnOp::Neg, Value::Int(i)) => Value::Int(i.wrapping_neg()),
             (UnOp::Neg, Value::Long(l)) => Value::Long(l.wrapping_neg()),
@@ -2142,7 +2177,7 @@ impl Interp {
     /// even `==`/`!=` agree); anything fallible (`/`, `%`) or non-int falls
     /// through to the generic code.
     #[inline]
-    fn binary_l_values(&self, op: BinOp, lv: &Value, rv: &Value, span: Span) -> Eval {
+    pub(crate) fn binary_l_values(&self, op: BinOp, lv: &Value, rv: &Value, span: Span) -> Eval {
         use BinOp::*;
         if let (Value::Int(a), Value::Int(b)) = (lv, rv) {
             let (a, b) = (*a, *b);
@@ -2170,6 +2205,39 @@ impl Interp {
                 Div | Rem | And | Or => {}
             }
         }
+        // `long` fast path, including the int→long promoted pairs.  Same
+        // contract as the int path: every arm reproduces the generic
+        // promotion result bit for bit.  Eq/Ne stay in `f64` because the
+        // generic path compares all numeric pairs there — an exact `i64`
+        // compare would *diverge* from the tree walker above 2^53.
+        let wide = match (lv, rv) {
+            (Value::Long(a), Value::Long(b)) => Some((*a, *b)),
+            (Value::Long(a), Value::Int(b)) => Some((*a, i64::from(*b))),
+            (Value::Int(a), Value::Long(b)) => Some((i64::from(*a), *b)),
+            _ => None,
+        };
+        if let Some((a, b)) = wide {
+            match op {
+                Add => return Ok(Value::Long(a.wrapping_add(b))),
+                Sub => return Ok(Value::Long(a.wrapping_sub(b))),
+                Mul => return Ok(Value::Long(a.wrapping_mul(b))),
+                Shl => return Ok(Value::Long(a.wrapping_shl(b as u32 & 63))),
+                Shr => return Ok(Value::Long(a.wrapping_shr(b as u32 & 63))),
+                Ushr => return Ok(Value::Long(((a as u64) >> (b as u32 & 63)) as i64)),
+                BitAnd => return Ok(Value::Long(a & b)),
+                BitOr => return Ok(Value::Long(a | b)),
+                BitXor => return Ok(Value::Long(a ^ b)),
+                Lt => return Ok(Value::Bool(a < b)),
+                Gt => return Ok(Value::Bool(a > b)),
+                Le => return Ok(Value::Bool(a <= b)),
+                Ge => return Ok(Value::Bool(a >= b)),
+                Eq => return Ok(Value::Bool(a as f64 == b as f64)),
+                Ne => return Ok(Value::Bool(a as f64 != b as f64)),
+                Div if b != 0 => return Ok(Value::Long(a.wrapping_div(b))),
+                Rem if b != 0 => return Ok(Value::Long(a.wrapping_rem(b))),
+                Div | Rem | And | Or => {}
+            }
+        }
         self.binary_values(op, lv, rv, span)
     }
 
@@ -2178,7 +2246,7 @@ impl Interp {
         // String concatenation.
         if op == Add && (matches!(lv, Value::Str(_)) || matches!(rv, Value::Str(_))) {
             let s = format!("{}{}", self.display(lv), self.display(rv));
-            return Ok(Value::str(&s));
+            return Ok(Value::owned_str(s));
         }
         if matches!(op, Eq | Ne) {
             let both_num = is_numeric(lv) && is_numeric(rv);

@@ -11,6 +11,7 @@
 //! parse/check a body on its first call — the runtime continuation of
 //! mayac's lazy compilation.
 
+mod bytecode;
 mod error;
 mod interp;
 mod layout;
@@ -18,11 +19,12 @@ mod lower;
 mod native;
 mod runtime;
 mod value;
+mod vm;
 
 pub use error::RuntimeError;
 pub use interp::{Control, Eval, Frame, Interp};
 pub use layout::{FieldLayout, RuntimeCaches};
-pub use lower::{LowerStore, LoweredBody};
+pub use lower::{ArgKey, LowerStore, LoweredBody};
 pub use native::{native_as, NativeFn, NativeObject};
 pub use runtime::{install_runtime, EnumObj, HashObj, PrintObj, SbObj, VecObj};
-pub use value::{ArrayObj, Obj, Value};
+pub use value::{ArrayObj, Obj, RtStr, Value};

@@ -50,6 +50,10 @@ pub struct LoweredBody {
     pub n_slots: usize,
     /// Top-level statements (the body block's statements).
     pub code: Vec<LStmt>,
+    /// Bytecode-tier state for this body (cold / compiled / unsupported).
+    /// Lives on the lowered body so it rides the [`LowerStore`] memo keying
+    /// and is shared between compilers in a session.
+    pub(crate) bc: RefCell<crate::bytecode::BcState>,
 }
 
 /// A lowered statement.
@@ -258,6 +262,48 @@ pub struct CallSite {
     /// memo.  Reset by [`CallSite::fill`], so it can never outlive the
     /// target it was derived from.
     lowered: RefCell<Option<Rc<LoweredBody>>>,
+    /// Exactness cache: the [`ArgKey`]s of the last *verified* hit's
+    /// arguments.  If the current arguments have identical keys, their
+    /// runtime types are identical too, so the per-argument assignability
+    /// re-check would return the same verdict and can be skipped.  Reset
+    /// by [`CallSite::fill`] (a new target invalidates old verdicts).
+    exact: RefCell<Box<[ArgKey]>>,
+}
+
+/// A compact classification of a runtime argument, precise enough that two
+/// arguments with equal non-[`ArgKey::Other`] keys are guaranteed to have
+/// the same [`Value::runtime_type`].  `Other` (arrays, natives) never
+/// matches, so such arguments always take the full re-verification path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArgKey {
+    Null,
+    Prim(PrimKind),
+    Str,
+    Class(maya_types::ClassId),
+    Other,
+}
+
+impl ArgKey {
+    /// Classifies a runtime value.
+    pub fn of(v: &Value) -> ArgKey {
+        match v {
+            Value::Null => ArgKey::Null,
+            Value::Bool(_) => ArgKey::Prim(PrimKind::Boolean),
+            Value::Char(_) => ArgKey::Prim(PrimKind::Char),
+            Value::Int(_) => ArgKey::Prim(PrimKind::Int),
+            Value::Long(_) => ArgKey::Prim(PrimKind::Long),
+            Value::Float(_) => ArgKey::Prim(PrimKind::Float),
+            Value::Double(_) => ArgKey::Prim(PrimKind::Double),
+            Value::Str(_) => ArgKey::Str,
+            Value::Object(o) => ArgKey::Class(o.class),
+            _ => ArgKey::Other,
+        }
+    }
+
+    /// Whether `v` is classified by this key.  `Other` matches nothing.
+    pub fn matches(&self, v: &Value) -> bool {
+        !matches!(self, ArgKey::Other) && *self == ArgKey::of(v)
+    }
 }
 
 impl CallSite {
@@ -266,6 +312,7 @@ impl CallSite {
             guard: Cell::new((0, u64::MAX)),
             target: RefCell::new(None),
             lowered: RefCell::new(None),
+            exact: RefCell::new(Box::from([])),
         }
     }
 
@@ -282,6 +329,19 @@ impl CallSite {
         self.guard.set((epoch, class));
         *self.target.borrow_mut() = Some(m);
         *self.lowered.borrow_mut() = None;
+        *self.exact.borrow_mut() = Box::from([]);
+    }
+
+    /// Whether `args` match the last verified hit's argument keys exactly.
+    /// Only meaningful right after [`CallSite::get`] returned a target.
+    pub fn exact_hit(&self, args: &[Value]) -> bool {
+        let keys = self.exact.borrow();
+        keys.len() == args.len() && keys.iter().zip(args).all(|(k, a)| k.matches(a))
+    }
+
+    /// Records the keys of a freshly verified hit's arguments.
+    pub fn note_exact(&self, args: &[Value]) {
+        *self.exact.borrow_mut() = args.iter().map(ArgKey::of).collect();
     }
 
     /// The cached target's lowered body.  Only meaningful right after
@@ -290,9 +350,20 @@ impl CallSite {
         self.lowered.borrow().clone()
     }
 
-    /// Remembers the current target's lowered body.
-    pub fn set_lowered(&self, lb: Rc<LoweredBody>) {
-        *self.lowered.borrow_mut() = Some(lb);
+    /// Remembers `m`'s lowered body — but only if `m` is still the cached
+    /// target.  The caller derives `lb` *after* invoking `m`, and a
+    /// recursive call through this same site may have re-filled it with a
+    /// different target in between; pairing that target with `m`'s body
+    /// would execute the wrong method on later hits.
+    pub fn set_lowered(&self, m: &Rc<maya_types::MethodInfo>, lb: Rc<LoweredBody>) {
+        if self
+            .target
+            .borrow()
+            .as_ref()
+            .is_some_and(|t| Rc::ptr_eq(t, m))
+        {
+            *self.lowered.borrow_mut() = Some(lb);
+        }
     }
 }
 
@@ -306,7 +377,7 @@ pub struct FieldSite {
 }
 
 impl FieldSite {
-    fn new() -> FieldSite {
+    pub(crate) fn new() -> FieldSite {
         FieldSite {
             layout: Cell::new(0),
             offset: Cell::new(0),
@@ -403,6 +474,7 @@ pub(crate) fn lower_body(block: &Block, params: &[Symbol]) -> Result<LoweredBody
         n_params: params.len(),
         n_slots: lw.next_slot as usize,
         code,
+        bc: RefCell::new(crate::bytecode::BcState::Cold),
     })
 }
 

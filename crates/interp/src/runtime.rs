@@ -35,9 +35,9 @@ pub struct EnumObj {
 impl EnumObj {
     /// Builds an enumeration over a snapshot.
     pub fn over(items: Vec<Value>) -> Value {
-        Value::Native(Rc::new(EnumObj {
+        Value::native(EnumObj {
             items: RefCell::new((items, 0)),
-        }))
+        })
     }
 }
 
@@ -413,7 +413,7 @@ fn err(msg: &str) -> Control {
     Control::error(msg.to_owned(), Span::DUMMY)
 }
 
-fn as_str(v: &Value) -> Result<Rc<str>, Control> {
+fn as_str(v: &Value) -> Result<crate::RtStr, Control> {
     match v {
         Value::Str(s) => Ok(s.clone()),
         other => Err(err(&format!("expected String, got {other:?}"))),
@@ -444,7 +444,7 @@ pub(crate) fn register_natives(i: &Interp) {
             Value::Native(n) => n.display(),
             other => format!("{other:?}"),
         };
-        Ok(Value::str(&s))
+        Ok(Value::owned_str(s))
     });
     reg(i, "obj.equals", |_, recv, args| {
         Ok(Value::Bool(recv.ref_eq(&args[0])))
@@ -470,7 +470,7 @@ pub(crate) fn register_natives(i: &Interp) {
     reg(i, "str.concat", |_, recv, args| {
         let a = as_str(&recv)?;
         let b = as_str(&args[0])?;
-        Ok(Value::str(&format!("{a}{b}")))
+        Ok(Value::owned_str(format!("{a}{b}")))
     });
     reg(i, "str.toString", |_, recv, _| Ok(recv));
     reg(i, "str.substring", |_, recv, args| {
@@ -480,7 +480,7 @@ pub(crate) fn register_natives(i: &Interp) {
             _ => return Err(err("substring bounds")),
         };
         s.get(a..b)
-            .map(Value::str)
+            .map(|t| Value::owned_str(t.to_string()))
             .ok_or_else(|| err("substring out of range"))
     });
     reg(i, "str.indexOf", |_, recv, args| {
@@ -512,9 +512,9 @@ pub(crate) fn register_natives(i: &Interp) {
 
     // StringBuffer -----------------------------------------------------------
     reg(i, "sb.new", |_, _, _| {
-        Ok(Value::Native(Rc::new(SbObj {
+        Ok(Value::native(SbObj {
             s: RefCell::new(String::new()),
-        })))
+        }))
     });
     reg(i, "sb.append", |i, recv, args| {
         let text = i.display(&args[0]);
@@ -533,7 +533,7 @@ pub(crate) fn register_natives(i: &Interp) {
     reg(i, "sb.toString", |_, recv, _| {
         let sb = native_as::<SbObj>(&recv).ok_or_else(|| err("not a StringBuffer"))?;
         let s = sb.s.borrow().clone();
-        Ok(Value::str(&s))
+        Ok(Value::owned_str(s))
     });
 
     // Exceptions -------------------------------------------------------------
@@ -566,7 +566,7 @@ pub(crate) fn register_natives(i: &Interp) {
 
     // Integer / Math -----------------------------------------------------------
     reg(i, "int.toString", |_, _, args| match args[0] {
-        Value::Int(v) => Ok(Value::str(&v.to_string())),
+        Value::Int(v) => Ok(Value::owned_str(v.to_string())),
         _ => Err(err("Integer.toString")),
     });
     reg(i, "int.parseInt", |_, _, args| {
@@ -609,16 +609,16 @@ pub(crate) fn register_natives(i: &Interp) {
 
     // Vector ----------------------------------------------------------------------
     reg(i, "vec.new.java.util.Vector", |_, _, _| {
-        Ok(Value::Native(Rc::new(VecObj {
+        Ok(Value::native(VecObj {
             fqcn: "java.util.Vector",
             data: RefCell::new(Vec::new()),
-        })))
+        }))
     });
     reg(i, "vec.new.maya.util.Vector", |_, _, _| {
-        Ok(Value::Native(Rc::new(VecObj {
+        Ok(Value::native(VecObj {
             fqcn: "maya.util.Vector",
             data: RefCell::new(Vec::new()),
-        })))
+        }))
     });
     reg(i, "vec.addElement", |_, recv, args| {
         let v = native_as::<VecObj>(&recv).ok_or_else(|| err("not a Vector"))?;
@@ -659,9 +659,9 @@ pub(crate) fn register_natives(i: &Interp) {
 
     // Hashtable ---------------------------------------------------------------------
     reg(i, "ht.new", |_, _, _| {
-        Ok(Value::Native(Rc::new(HashObj {
+        Ok(Value::native(HashObj {
             data: RefCell::new(Vec::new()),
-        })))
+        }))
     });
     reg(i, "ht.put", |_, recv, mut args| {
         let h = native_as::<HashObj>(&recv).ok_or_else(|| err("not a Hashtable"))?;
@@ -699,8 +699,8 @@ pub(crate) fn register_natives(i: &Interp) {
 
     // Seed System.out / System.err.
     if let Some(system) = i.ct.by_fqcn_str("java.lang.System") {
-        let _ = i.set_static_field(system, sym("out"), Value::Native(Rc::new(PrintObj)));
-        let _ = i.set_static_field(system, sym("err"), Value::Native(Rc::new(PrintObj)));
+        let _ = i.set_static_field(system, sym("out"), Value::native(PrintObj));
+        let _ = i.set_static_field(system, sym("err"), Value::native(PrintObj));
     }
 }
 

@@ -5,8 +5,108 @@ use crate::NativeObject;
 use maya_lexer::Symbol;
 use maya_types::{ClassId, ClassTable, Type};
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+
+/// A thin, reference-counted runtime string.
+///
+/// `Rc<str>` is a fat pointer (16 bytes), which forced [`Value`] to 24
+/// bytes; boxing the text behind a thin `Rc` brings `Value` down to 16, so
+/// two frame slots share a cache line.  String *literals* are interned
+/// through a per-thread table, which makes repeated literals pointer-equal
+/// (a fast path for `==`/`equals`) and allocation-free; computed strings
+/// (concatenation results) are never interned — hashing every intermediate
+/// concat would cost more than it saves.  Equality is always by contents,
+/// so interning is invisible to program semantics.
+#[derive(Clone)]
+pub struct RtStr(Rc<Box<str>>);
+
+/// Interner bounds: pathological programs (fuzz campaigns) must not grow
+/// the table without limit, and long strings are unlikely to repeat.
+const INTERN_CAP: usize = 4096;
+const INTERN_MAX_LEN: usize = 128;
+
+thread_local! {
+    static INTERNED: RefCell<HashMap<Box<str>, RtStr>> = RefCell::new(HashMap::new());
+}
+
+impl RtStr {
+    /// A fresh (uninterned) runtime string.
+    pub fn new(s: &str) -> RtStr {
+        RtStr(Rc::new(Box::from(s)))
+    }
+
+    /// A fresh runtime string taking ownership of `s` (no copy).
+    pub fn from_string(s: String) -> RtStr {
+        RtStr(Rc::new(s.into_boxed_str()))
+    }
+
+    /// The interned string for `s`: repeated literals share one allocation
+    /// and compare by pointer.  Over-long strings and overflow past the
+    /// table cap fall back to fresh allocations (still correct — equality
+    /// is by contents).
+    pub fn intern(s: &str) -> RtStr {
+        if s.len() > INTERN_MAX_LEN {
+            return RtStr::new(s);
+        }
+        INTERNED.with(|m| {
+            let mut m = m.borrow_mut();
+            if let Some(r) = m.get(s) {
+                return r.clone();
+            }
+            let r = RtStr::new(s);
+            if m.len() < INTERN_CAP {
+                m.insert(Box::from(s), r.clone());
+            }
+            r
+        })
+    }
+
+    /// The text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Pointer identity (interned literals hit this fast path).
+    pub fn ptr_eq(a: &RtStr, b: &RtStr) -> bool {
+        Rc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl std::ops::Deref for RtStr {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq for RtStr {
+    fn eq(&self, other: &RtStr) -> bool {
+        RtStr::ptr_eq(self, other) || self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for RtStr {}
+
+impl PartialEq<str> for RtStr {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl fmt::Display for RtStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for RtStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
 
 /// An instance of a source-defined class.
 ///
@@ -87,6 +187,11 @@ pub struct ArrayObj {
 }
 
 /// A MayaJava runtime value.
+///
+/// Kept to 16 bytes (tag + one word of payload): small ints/longs/doubles
+/// are stored inline ("tagged"), and strings are thin [`RtStr`] handles —
+/// so a slot frame of N locals spans N*16 bytes and stays cache-resident
+/// in the bytecode VM's register file.
 #[derive(Clone)]
 pub enum Value {
     Null,
@@ -96,20 +201,33 @@ pub enum Value {
     Long(i64),
     Float(f32),
     Double(f64),
-    Str(Rc<str>),
+    Str(RtStr),
     Object(Rc<Obj>),
     Array(Rc<ArrayObj>),
     /// A runtime-library or bridge object (Vector, Enumeration, AST node…).
-    Native(Rc<dyn NativeObject>),
+    /// The trait object is boxed behind a thin `Rc` (like [`RtStr`]) so the
+    /// fat vtable pointer does not widen every `Value`.
+    Native(Rc<Box<dyn NativeObject>>),
     /// A class used in a receiver position (`System.out`); internal, never
     /// a first-class value.
     ClassRef(ClassId),
 }
 
 impl Value {
-    /// A string value.
+    /// A string value (interned — use for literals and repeated names).
     pub fn str(s: &str) -> Value {
-        Value::Str(Rc::from(s))
+        Value::Str(RtStr::intern(s))
+    }
+
+    /// A computed string value (never interned — use for concat results
+    /// and other run-time-built strings).
+    pub fn owned_str(s: String) -> Value {
+        Value::Str(RtStr::from_string(s))
+    }
+
+    /// A native-object value.
+    pub fn native(n: impl NativeObject + 'static) -> Value {
+        Value::Native(Rc::new(Box::new(n)))
     }
 
     /// The default value for a type (`0`, `false`, `null`).
@@ -182,6 +300,10 @@ impl Value {
     }
 }
 
+// The whole point of RtStr and the boxed native payload: a Value is a tag
+// plus one 8-byte word, so frames stay cache-resident.
+const _: () = assert!(std::mem::size_of::<Value>() == 16);
+
 impl fmt::Debug for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -217,10 +339,26 @@ mod tests {
         assert!(Value::Int(3).ref_eq(&Value::Int(3)));
         assert!(!Value::Int(3).ref_eq(&Value::Long(3)));
         assert!(Value::str("a").ref_eq(&Value::str("a")));
+        // Interned literal vs computed string: contents equality holds
+        // even without pointer identity.
+        assert!(Value::str("ab").ref_eq(&Value::owned_str("ab".to_string())));
         let o = Rc::new(Obj::empty(ClassId(0)));
         assert!(Value::Object(o.clone()).ref_eq(&Value::Object(o.clone())));
         let o2 = Rc::new(Obj::empty(ClassId(0)));
         assert!(!Value::Object(o).ref_eq(&Value::Object(o2)));
+    }
+
+    #[test]
+    fn literal_interning() {
+        let (Value::Str(a), Value::Str(b)) = (Value::str("lit"), Value::str("lit")) else {
+            panic!("strings");
+        };
+        assert!(RtStr::ptr_eq(&a, &b));
+        let Value::Str(c) = Value::owned_str("lit".to_string()) else {
+            panic!("string");
+        };
+        assert!(!RtStr::ptr_eq(&a, &c));
+        assert!(a == c);
     }
 
     #[test]

@@ -1,0 +1,760 @@
+//! The bytecode VM — third execution tier.
+//!
+//! [`crate::bytecode`] compiles a [`LoweredBody`] into flat register
+//! bytecode; this module executes it.  The dispatch loop below must remain
+//! *observationally identical* to the lowered tree walker in `interp.rs`
+//! (same output bytes, same error text and spans, same step counts, same
+//! telemetry call counters) — `MAYA_NO_BYTECODE=1` pins the tree walker for
+//! differential testing, and the fuzzer runs all three tiers against each
+//! other.
+//!
+//! Call dispatch goes through [`PolySite`] polymorphic inline caches keyed
+//! by (receiver class, exact argument keys): exact keys mean identical
+//! runtime types, so the full `select_from_row` search is deterministic for
+//! a hit and can be skipped entirely.  Monomorphic sites with compiled
+//! callees are additionally *spliced inline* by the refine pass; the
+//! [`Instr::GuardInline`] handler re-validates the snapshot (epoch, receiver
+//! class, argument keys) and falls back to the generic call on mismatch.
+
+use crate::bytecode::{self, BcBody, BcState, Instr, PolySite, REFINE_EXECS};
+use crate::interp::{Control, Eval, Interp};
+use crate::lower::{class_key, ArgKey, LoweredBody};
+use crate::value::Value;
+use maya_ast::LazyNode;
+use maya_lexer::{Span, Symbol};
+use maya_telemetry::Counter;
+use maya_types::{ClassId, MethodInfo, Type};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Where Break/Continue routed to (see `route_control`).
+enum Route {
+    /// Jump to this pc inside the current bytecode frame.
+    Jump(u32),
+    /// Not ours — propagate to the caller.
+    Out(Control),
+}
+
+/// `++`/`--` on a value; shared by `IncDecVal` and `IncLocal`.  Mirrors the
+/// tree walker's `LExprKind::IncDec` arm exactly.
+fn incdec_value(v: &Value, delta: i32, span: Span) -> Eval {
+    Ok(match v {
+        Value::Int(v) => Value::Int(v.wrapping_add(delta)),
+        Value::Long(v) => Value::Long(v.wrapping_add(delta as i64)),
+        Value::Double(v) => Value::Double(v + delta as f64),
+        Value::Float(v) => Value::Float(v + delta as f32),
+        Value::Char(c) => Value::Int(*c as i32 + delta),
+        other => return Err(Control::error(format!("cannot ++/-- {other:?}"), span)),
+    })
+}
+
+impl Interp {
+    /// Bytecode for `lb`: compiles cold on first execution, and recompiles
+    /// *once* with inline splicing after [`REFINE_EXECS`] runs (by then the
+    /// PICs are warm, so monomorphic sites are visible).  The refine pass
+    /// reuses the cold pass's call sites, keeping warmed cache lines.
+    pub(crate) fn bytecode_for(&self, lb: &LoweredBody) -> Option<Rc<BcBody>> {
+        enum Plan {
+            Use(Rc<BcBody>),
+            Cold,
+            Refine(Rc<BcBody>),
+        }
+        let plan = match &*lb.bc.borrow() {
+            BcState::Unsupported => return None,
+            BcState::Cold => Plan::Cold,
+            BcState::Ready { bc, execs, refined } => {
+                if refined.get() {
+                    Plan::Use(Rc::clone(bc))
+                } else {
+                    let n = execs.get() + 1;
+                    execs.set(n);
+                    if n >= REFINE_EXECS {
+                        // Mark refined *before* compiling: the splicer calls
+                        // back into `bc_of` for callee bodies, and a
+                        // self-recursive callee must see a settled state.
+                        refined.set(true);
+                        Plan::Refine(Rc::clone(bc))
+                    } else {
+                        Plan::Use(Rc::clone(bc))
+                    }
+                }
+            }
+        };
+        match plan {
+            Plan::Use(bc) => Some(bc),
+            Plan::Cold => bytecode::bc_of(lb),
+            Plan::Refine(old) => match bytecode::compile(lb, &old.sites, true) {
+                Ok(bc) => {
+                    let bc = Rc::new(bc);
+                    maya_telemetry::count(Counter::BcCompiled);
+                    maya_telemetry::add(Counter::BcSuperinsts, bc.super_pcs.len() as u64);
+                    *lb.bc.borrow_mut() = BcState::Ready {
+                        bc: Rc::clone(&bc),
+                        execs: Cell::new(REFINE_EXECS),
+                        refined: Cell::new(true),
+                    };
+                    Some(bc)
+                }
+                // A refine failure keeps the (working) cold bytecode.
+                Err(_) => Some(old),
+            },
+        }
+    }
+
+    /// Disassembly of `body`'s bytecode for `mayac --dump-bytecode`,
+    /// compiling cold if needed.  `None` when the body can't be lowered or
+    /// can't be compiled (e.g. contains try/catch).
+    pub fn bytecode_listing(&self, body: &LazyNode, params: &[Symbol]) -> Option<String> {
+        let lb = self.lowered_body(body, params)?;
+        let bc = bytecode::bc_of(&lb)?;
+        Some(bytecode::disasm(&bc, &self.ct))
+    }
+
+    /// The lowered body for a resolved method, if it is already forced and
+    /// lowerable.  Used to prime/backfill PIC entries so hits dispatch
+    /// straight to lowered (and thence bytecode) execution.
+    fn lowered_for_method(&self, m: &Rc<MethodInfo>) -> Option<Rc<LoweredBody>> {
+        if m.native.is_some() {
+            return None;
+        }
+        let body = m.body.as_ref()?;
+        if !body.is_forced() {
+            return None;
+        }
+        self.lowered_body(body, &m.param_names)
+    }
+
+    /// Dispatches through a polymorphic inline cache — the bytecode tier's
+    /// analog of `invoke_ic`.  Entries are keyed by (receiver class, exact
+    /// [`ArgKey`]s): an exact-key hit implies the arguments' runtime types
+    /// are identical to the install-time ones, so `select_from_row` would
+    /// pick the same target — no per-argument assignability re-check needed.
+    pub(crate) fn invoke_pic(
+        &self,
+        recv: Option<Value>,
+        class: ClassId,
+        name: Symbol,
+        args: Vec<Value>,
+        site: &Rc<PolySite>,
+        span: Span,
+    ) -> Eval {
+        let epoch = self.caches.sync(&self.ct);
+        let ck = class_key(Some(class));
+        if let Some((m, lowered)) = site.lookup(epoch, ck, &args) {
+            maya_telemetry::count(Counter::PicHits);
+            let profiled = self.profile.get();
+            if profiled {
+                maya_telemetry::prof_site(Rc::as_ptr(site) as usize, true, || {
+                    format!("{}.{}/{}", self.ct.fqcn(class), name, args.len())
+                });
+            }
+            // Fast path: the entry carries the target's lowered body, so a
+            // hit goes straight to lowered/bytecode execution.  Mirrors
+            // `invoke`/`invoke_inner` exactly (same depth guard and error,
+            // same counters).
+            if let Some(lb) = lowered {
+                let d = self.depth.get() + 1;
+                let limit = self.stack_limit.get();
+                if d > limit {
+                    maya_telemetry::count(Counter::StepLimitHits);
+                    return Err(Control::error(
+                        format!("stack overflow (call depth > {limit})"),
+                        span,
+                    ));
+                }
+                self.depth.set(d);
+                maya_telemetry::count(Counter::InterpCalls);
+                if profiled {
+                    maya_telemetry::prof_enter(Rc::as_ptr(&m) as usize, || {
+                        self.method_label(class, &m)
+                    });
+                }
+                let result = self.exec_lowered(&lb, recv, class, args);
+                if profiled {
+                    maya_telemetry::prof_exit();
+                }
+                self.depth.set(self.depth.get() - 1);
+                return result;
+            }
+            let r = self.invoke(recv, class, &m, args, span);
+            // The first full invoke forces (and lowers, when lowerable) the
+            // body; backfill the entry so later hits take the fast path.
+            // Keyed by target identity — recursion through this site may
+            // have reordered or refilled the line meanwhile.
+            if let Some(lb) = self.lowered_for_method(&m) {
+                site.backfill_lowered(&m, lb);
+            }
+            return r;
+        }
+        maya_telemetry::count(Counter::PicMisses);
+        if self.profile.get() {
+            maya_telemetry::prof_site(Rc::as_ptr(site) as usize, false, || {
+                format!("{}.{}/{}", self.ct.fqcn(class), name, args.len())
+            });
+        }
+        let row = self.caches.row(&self.ct, class, name);
+        let m = self.select_from_row(&row, class, name, &args, span)?;
+        let keys: Box<[ArgKey]> = args.iter().map(ArgKey::of).collect();
+        // Install before invoking so recursive calls through this site warm
+        // up immediately; the lowered body is attached now if already known,
+        // else backfilled after the invoke forces it.
+        if site.install(ck, class, keys, Rc::clone(&m), self.lowered_for_method(&m)) {
+            maya_telemetry::count(Counter::PicEvictions);
+        }
+        let r = self.invoke(recv, class, &m, args, span);
+        if let Some(lb) = self.lowered_for_method(&m) {
+            site.backfill_lowered(&m, lb);
+        }
+        r
+    }
+
+    /// Pop `n` spliced inline frames: profiler exits + call-depth credits.
+    fn unwind_inline(&self, n: u16, profiled: bool) {
+        for _ in 0..n {
+            if profiled {
+                maya_telemetry::prof_exit();
+            }
+            self.depth.set(self.depth.get() - 1);
+        }
+    }
+
+    /// Route a `Control` raised at `pc`.  Break/Continue inside a loop
+    /// region jump to the region's targets after restoring the ty-stack and
+    /// inline-frame depths recorded for that region; everything else (and
+    /// Break/Continue with no enclosing region) propagates to the caller.
+    fn route_control(
+        &self,
+        bc: &BcBody,
+        pc: u32,
+        c: Control,
+        tys: &mut Vec<Type>,
+        inline_depth: &mut u16,
+        profiled: bool,
+    ) -> Route {
+        let is_break = match c {
+            Control::Break => true,
+            Control::Continue => false,
+            other => return Route::Out(other),
+        };
+        match bc.innermost_region(pc) {
+            Some(r) => {
+                self.unwind_inline(*inline_depth - r.inline_depth, profiled);
+                *inline_depth = r.inline_depth;
+                tys.truncate(r.ty_depth as usize);
+                Route::Jump(if is_break { r.brk } else { r.cont })
+            }
+            None => Route::Out(if is_break {
+                Control::Break
+            } else {
+                Control::Continue
+            }),
+        }
+    }
+}
+
+impl Interp {
+    /// Executes a compiled body.  `args` becomes the register file (locals
+    /// first, then preloaded constants, then temporaries); the buffer comes
+    /// from — and returns to — the frame pool shared with the tree walker.
+    pub(crate) fn run_bc(
+        &self,
+        bc: &BcBody,
+        this: Option<Value>,
+        class: ClassId,
+        mut regs: Vec<Value>,
+    ) -> Eval {
+        regs.truncate(bc.n_params as usize);
+        regs.resize(bc.n_regs as usize, Value::Null);
+        for (r, v) in &bc.preloads {
+            regs[*r as usize] = v.clone();
+        }
+        let profiled = self.profile.get();
+        let cls = Some(class);
+        // Type stack for New/NewArray/Decl sequences (balanced by compile).
+        let mut tys: Vec<Type> = Vec::new();
+        // Spliced inline frames currently entered (see CallEnter/CallExit).
+        let mut inline_depth: u16 = 0;
+        let mut pc: u32 = 0;
+        let result: Eval;
+
+        // Route a fallible handler's Err through `route_control`: loop
+        // break/continue jumps within the frame, everything else unwinds.
+        macro_rules! tryc {
+            ($r:expr) => {
+                match $r {
+                    Ok(v) => v,
+                    Err(c) => {
+                        match self.route_control(bc, pc, c, &mut tys, &mut inline_depth, profiled)
+                        {
+                            // Unlabeled on purpose: every tryc! use site
+                            // sits directly in the 'run loop (labels are
+                            // hygienic in macros and can't be named here).
+                            Route::Jump(to) => {
+                                pc = to;
+                                continue;
+                            }
+                            Route::Out(c) => {
+                                result = Err(c);
+                                break;
+                            }
+                        }
+                    }
+                }
+            };
+        }
+
+        'run: loop {
+            let ins = bc.code[pc as usize];
+            if profiled {
+                maya_telemetry::prof_opcode(ins.mnemonic());
+                // prof_binop_l parity: hot-pair samples are recorded before
+                // the operands evaluate, so they hang off the first
+                // instruction of the expression, not the Binary itself.
+                if let Some(pairs) = bc.pairs.get(&pc) {
+                    for (a, b) in pairs {
+                        maya_telemetry::prof_binop_pair(a, b);
+                    }
+                }
+            }
+            match ins {
+                Instr::Move { dst, src } => {
+                    regs[dst as usize] = regs[src as usize].clone();
+                }
+                Instr::LoadThis { dst, span } => {
+                    let r = this
+                        .clone()
+                        .ok_or_else(|| Control::error("no `this` in scope", span));
+                    regs[dst as usize] = tryc!(r);
+                }
+                Instr::EnvLoad { dst, name, site, span } => {
+                    // Fast path mirrors `env_name`'s first probe —
+                    // `this.<field>` by declared layout slot — through the
+                    // per-site (layout → offset) cache; anything else
+                    // (overflow fields, statics, class refs) falls back to
+                    // the full name resolution for identical semantics.
+                    let r = match &this {
+                        Some(Value::Object(o)) => {
+                            let fs = &bc.field_sites[site as usize];
+                            let lp = Rc::as_ptr(&o.layout) as usize;
+                            if let Some(off) = fs.get(lp) {
+                                Ok(o.get_slot(off))
+                            } else if let Some(off) = o.layout.offset(name) {
+                                fs.fill(lp, off);
+                                Ok(o.get_slot(off))
+                            } else {
+                                self.env_name(name, this.as_ref(), cls, span)
+                            }
+                        }
+                        _ => self.env_name(name, this.as_ref(), cls, span),
+                    };
+                    regs[dst as usize] = tryc!(r);
+                }
+                Instr::EnvStore { src, name, span } => {
+                    let v = regs[src as usize].clone();
+                    tryc!(self.env_assign_name(name, v, this.as_ref(), cls, span));
+                }
+                Instr::ClassRef { dst, fqcn, span } => {
+                    let r = self
+                        .ct
+                        .by_fqcn(fqcn)
+                        .ok_or_else(|| Control::error(format!("unknown class {fqcn}"), span));
+                    regs[dst as usize] = Value::ClassRef(tryc!(r));
+                }
+                Instr::FieldGet { dst, obj, name, site, span } => {
+                    let r = match &regs[obj as usize] {
+                        Value::Object(o) => {
+                            let fs = &bc.field_sites[site as usize];
+                            let lp = Rc::as_ptr(&o.layout) as usize;
+                            if let Some(off) = fs.get(lp) {
+                                Ok(o.get_slot(off))
+                            } else if let Some(off) = o.layout.offset(name) {
+                                fs.fill(lp, off);
+                                Ok(o.get_slot(off))
+                            } else {
+                                o.get(name).ok_or_else(|| {
+                                    Control::error(format!("no field {name}"), span)
+                                })
+                            }
+                        }
+                        other => self.field_of(other.clone(), name, span),
+                    };
+                    regs[dst as usize] = tryc!(r);
+                }
+                Instr::FieldSet { obj, val, name, span } => {
+                    let r = match regs[obj as usize].clone() {
+                        Value::Object(o) => {
+                            o.set(name, regs[val as usize].clone());
+                            Ok(())
+                        }
+                        Value::ClassRef(c) => {
+                            self.set_static_field(c, name, regs[val as usize].clone())
+                        }
+                        Value::Null => {
+                            Err(self.throw_simple("java.lang.NullPointerException", span))
+                        }
+                        other => Err(Control::error(
+                            format!("cannot assign field of {other:?}"),
+                            span,
+                        )),
+                    };
+                    tryc!(r);
+                }
+                Instr::ArrGet { dst, arr, idx, spans } => {
+                    let (espan, ispan) = bc.span_pairs[spans as usize];
+                    let r = self
+                        .int_of(regs[idx as usize].clone(), ispan)
+                        .and_then(|i| match &regs[arr as usize] {
+                            Value::Array(a) => {
+                                let v = a.data.borrow().get(i as usize).cloned();
+                                v.ok_or_else(|| {
+                                    self.throw_simple(
+                                        "java.lang.ArrayIndexOutOfBoundsException",
+                                        espan,
+                                    )
+                                })
+                            }
+                            Value::Null => {
+                                Err(self.throw_simple("java.lang.NullPointerException", espan))
+                            }
+                            other => {
+                                Err(Control::error(format!("not an array: {other:?}"), espan))
+                            }
+                        });
+                    regs[dst as usize] = tryc!(r);
+                }
+                Instr::ArrSet { arr, idx, val, spans } => {
+                    let (espan, ispan) = bc.span_pairs[spans as usize];
+                    let r = self
+                        .int_of(regs[idx as usize].clone(), ispan)
+                        .and_then(|i| match &regs[arr as usize] {
+                            Value::Array(a) => {
+                                let mut data = a.data.borrow_mut();
+                                let len = data.len();
+                                match data.get_mut(i as usize) {
+                                    Some(slot) => {
+                                        *slot = regs[val as usize].clone();
+                                        Ok(())
+                                    }
+                                    None => Err(Control::error(
+                                        format!("array index {i} out of bounds ({len})"),
+                                        espan,
+                                    )),
+                                }
+                            }
+                            _ => Err(Control::error("not an array", espan)),
+                        });
+                    tryc!(r);
+                }
+                Instr::NewClass { ty, span } => {
+                    let r = self
+                        .resolve_type_slot(&bc.tys[ty as usize], cls, span)
+                        .and_then(|t| match t {
+                            Type::Class(_) => Ok(t),
+                            _ => Err(Control::error("cannot instantiate non-class", span)),
+                        });
+                    tys.push(tryc!(r));
+                }
+                Instr::NewFinish { dst, base, n, span } => {
+                    let Some(Type::Class(c)) = tys.pop() else {
+                        unreachable!("NewClass pushed a class type");
+                    };
+                    let vals = regs[base as usize..(base + n) as usize].to_vec();
+                    let r = self.construct(c, vals, span);
+                    regs[dst as usize] = tryc!(r);
+                }
+                Instr::TyElem { ty, extra_dims, span } => {
+                    let r = self.resolve_type_slot(&bc.tys[ty as usize], cls, span);
+                    let mut t = tryc!(r);
+                    for _ in 0..extra_dims {
+                        t = t.array_of();
+                    }
+                    tys.push(t);
+                }
+                Instr::NewArrayFinish { dst, base, n, span } => {
+                    let elem = tys.pop().expect("TyElem pushed the element type");
+                    let mut sizes = Vec::with_capacity(n as usize);
+                    for k in 0..n {
+                        match regs[(base + k) as usize] {
+                            Value::Int(i) => sizes.push(i),
+                            _ => unreachable!("ToInt coerced every dimension"),
+                        }
+                    }
+                    let r = self.alloc_array(&elem, &sizes, span);
+                    regs[dst as usize] = tryc!(r);
+                }
+                Instr::ToInt { reg, span } => {
+                    let r = self.int_of(regs[reg as usize].clone(), span);
+                    regs[reg as usize] = Value::Int(tryc!(r));
+                }
+                Instr::TyDecl { ty, span } => {
+                    let r = self.resolve_type_slot(&bc.tys[ty as usize], cls, span);
+                    tys.push(tryc!(r));
+                }
+                Instr::DefaultVal { dst, dims } => {
+                    let mut t = tys.last().expect("TyDecl pushed the decl type").clone();
+                    for _ in 0..dims {
+                        t = t.array_of();
+                    }
+                    regs[dst as usize] = Value::default_for(&t);
+                }
+                Instr::TyPop => {
+                    tys.pop();
+                }
+                Instr::Binary { op, dst, a, b, span } => {
+                    let r =
+                        self.binary_l_values(op, &regs[a as usize], &regs[b as usize], span);
+                    regs[dst as usize] = tryc!(r);
+                }
+                Instr::Unary { op, dst, src, span } => {
+                    let r = self.eval_unary(op, regs[src as usize].clone(), span);
+                    regs[dst as usize] = tryc!(r);
+                }
+                Instr::IncDecVal { dst, src, delta, span } => {
+                    let r = incdec_value(&regs[src as usize], delta, span);
+                    regs[dst as usize] = tryc!(r);
+                }
+                Instr::IncLocal { slot, delta, span } => {
+                    let r = incdec_value(&regs[slot as usize], delta, span);
+                    regs[slot as usize] = tryc!(r);
+                }
+                Instr::CastV { dst, src, ty, span } => {
+                    let r = self
+                        .resolve_type_slot(&bc.tys[ty as usize], cls, span)
+                        .and_then(|target| self.cast(regs[src as usize].clone(), &target, span));
+                    regs[dst as usize] = tryc!(r);
+                }
+                Instr::InstOf { dst, src, ty, span } => {
+                    let r = self.resolve_type_slot(&bc.tys[ty as usize], cls, span);
+                    let target = tryc!(r);
+                    regs[dst as usize] =
+                        Value::Bool(self.value_instanceof(&regs[src as usize], &target));
+                }
+                Instr::Jmp { target } => {
+                    pc = target;
+                    continue 'run;
+                }
+                Instr::JmpIfFalse { src, target, span } => {
+                    let b = match &regs[src as usize] {
+                        Value::Bool(b) => *b,
+                        other => {
+                            let r: Result<bool, Control> = Err(Control::error(
+                                format!("condition evaluated to non-boolean {other:?}"),
+                                span,
+                            ));
+                            tryc!(r)
+                        }
+                    };
+                    if !b {
+                        pc = target;
+                        continue 'run;
+                    }
+                }
+                Instr::JmpIfTrue { src, target, span } => {
+                    let b = match &regs[src as usize] {
+                        Value::Bool(b) => *b,
+                        other => {
+                            let r: Result<bool, Control> = Err(Control::error(
+                                format!("condition evaluated to non-boolean {other:?}"),
+                                span,
+                            ));
+                            tryc!(r)
+                        }
+                    };
+                    if b {
+                        pc = target;
+                        continue 'run;
+                    }
+                }
+                Instr::JmpIfCmp { op, a, b, when, target, span } => {
+                    let r =
+                        self.binary_l_values(op, &regs[a as usize], &regs[b as usize], span);
+                    let t = match tryc!(r) {
+                        Value::Bool(b) => b,
+                        other => {
+                            let r: Result<bool, Control> = Err(Control::error(
+                                format!("condition evaluated to non-boolean {other:?}"),
+                                span,
+                            ));
+                            tryc!(r)
+                        }
+                    };
+                    if t == when {
+                        pc = target;
+                        continue 'run;
+                    }
+                }
+                Instr::Step { span } => {
+                    tryc!(self.count_step(span));
+                }
+                Instr::Ret { src } => {
+                    result = Ok(regs[src as usize].clone());
+                    break 'run;
+                }
+                Instr::RetNull => {
+                    result = Ok(Value::Null);
+                    break 'run;
+                }
+                Instr::RaiseBreak => {
+                    let r: Result<(), Control> = Err(Control::Break);
+                    tryc!(r);
+                }
+                Instr::RaiseContinue => {
+                    let r: Result<(), Control> = Err(Control::Continue);
+                    tryc!(r);
+                }
+                Instr::Throw { src } => {
+                    let r: Result<(), Control> =
+                        Err(Control::Throw(regs[src as usize].clone()));
+                    tryc!(r);
+                }
+                Instr::RaiseInvalidAssign { span } => {
+                    let r: Result<(), Control> =
+                        Err(Control::error("invalid assignment target", span));
+                    tryc!(r);
+                }
+                Instr::CallRecv { dst, recv, base, n, name, site, span } => {
+                    let mut vals = self.frame_pool.borrow_mut().pop().unwrap_or_default();
+                    vals.extend_from_slice(&regs[base as usize..(base + n) as usize]);
+                    let site = &bc.sites[site as usize];
+                    let r = match regs[recv as usize].clone() {
+                        Value::ClassRef(c) => self.ensure_init(c).and_then(|()| {
+                            self.invoke_pic(None, c, name, vals, site, span)
+                                .map_err(|c| self.attach_frames(c))
+                        }),
+                        Value::Null => {
+                            Err(self.throw_simple("java.lang.NullPointerException", span))
+                        }
+                        other => match other.class_of(&self.ct) {
+                            Some(dyn_class) => {
+                                self.invoke_pic(Some(other), dyn_class, name, vals, site, span)
+                            }
+                            None => Err(Control::error(
+                                format!("cannot invoke {name} on {:?}", other),
+                                span,
+                            )),
+                        },
+                    };
+                    regs[dst as usize] = tryc!(r);
+                }
+                Instr::CallSuper { dst, base, n, name, site, span } => {
+                    let mut vals = self.frame_pool.borrow_mut().pop().unwrap_or_default();
+                    vals.extend_from_slice(&regs[base as usize..(base + n) as usize]);
+                    let site = &bc.sites[site as usize];
+                    let r = this
+                        .clone()
+                        .ok_or_else(|| Control::error("super call without this", span))
+                        .and_then(|t| {
+                            let sup = self
+                                .ct
+                                .info(class)
+                                .borrow()
+                                .superclass
+                                .ok_or_else(|| Control::error("no superclass", span))?;
+                            self.invoke_pic(Some(t), sup, name, vals, site, span)
+                        });
+                    regs[dst as usize] = tryc!(r);
+                }
+                Instr::CallImplicit { dst, base, n, name, site, span } => {
+                    let mut vals = self.frame_pool.borrow_mut().pop().unwrap_or_default();
+                    vals.extend_from_slice(&regs[base as usize..(base + n) as usize]);
+                    let site = &bc.sites[site as usize];
+                    let r = match this.clone() {
+                        Some(t) => match t.class_of(&self.ct) {
+                            Some(dyn_class) => {
+                                self.invoke_pic(Some(t), dyn_class, name, vals, site, span)
+                            }
+                            None => Err(Control::error(
+                                format!("cannot invoke {name} on {:?}", t),
+                                span,
+                            )),
+                        },
+                        None => self.ensure_init(class).and_then(|()| {
+                            self.invoke_pic(None, class, name, vals, site, span)
+                                .map_err(|c| self.attach_frames(c))
+                        }),
+                    };
+                    regs[dst as usize] = tryc!(r);
+                }
+                Instr::GuardInline { guard, fallback } => {
+                    let g = &bc.guards[guard as usize];
+                    let ok = self.caches.sync(&self.ct) == g.epoch && {
+                        let recv_v = match g.recv {
+                            Some(r) => Some(&regs[r as usize]),
+                            None => this.as_ref(),
+                        };
+                        match recv_v {
+                            Some(Value::Object(o)) => {
+                                class_key(Some(o.class)) == g.ck
+                                    && g.keys.iter().enumerate().all(|(i, k)| {
+                                        k.matches(&regs[g.base as usize + i])
+                                    })
+                            }
+                            _ => false,
+                        }
+                    };
+                    if ok {
+                        // The splice is a verified PIC hit: same counter and
+                        // profiler sample as the generic path would record.
+                        maya_telemetry::count(Counter::PicHits);
+                        if profiled {
+                            maya_telemetry::prof_site(Rc::as_ptr(&g.site) as usize, true, || {
+                                format!(
+                                    "{}.{}/{}",
+                                    self.ct.fqcn(g.class),
+                                    g.name,
+                                    g.keys.len()
+                                )
+                            });
+                        }
+                    } else {
+                        pc = fallback;
+                        continue 'run;
+                    }
+                }
+                Instr::CallEnter { m, span } => {
+                    // Entering a spliced callee frame: same depth guard,
+                    // error, and counters as `invoke`/`invoke_inner`.
+                    let d = self.depth.get() + 1;
+                    let limit = self.stack_limit.get();
+                    if d > limit {
+                        maya_telemetry::count(Counter::StepLimitHits);
+                        let r: Result<(), Control> = Err(Control::error(
+                            format!("stack overflow (call depth > {limit})"),
+                            span,
+                        ));
+                        tryc!(r);
+                    } else {
+                        self.depth.set(d);
+                        maya_telemetry::count(Counter::InterpCalls);
+                        if profiled {
+                            let (mi, mc) = &bc.methods[m as usize];
+                            maya_telemetry::prof_enter(Rc::as_ptr(mi) as usize, || {
+                                self.method_label(*mc, mi)
+                            });
+                        }
+                        inline_depth += 1;
+                    }
+                }
+                Instr::CallExit => {
+                    if profiled {
+                        maya_telemetry::prof_exit();
+                    }
+                    self.depth.set(self.depth.get() - 1);
+                    inline_depth -= 1;
+                }
+            }
+            pc += 1;
+        }
+
+        // A Control that escaped the frame (throw, error, step limit, or a
+        // Break/Continue with no enclosing loop) may have left spliced
+        // callee frames entered — pop them before returning.
+        self.unwind_inline(inline_depth, profiled);
+        regs.clear();
+        let mut pool = self.frame_pool.borrow_mut();
+        if pool.len() < 32 {
+            pool.push(regs);
+        }
+        result
+    }
+}

@@ -64,8 +64,8 @@ pub use caches::{
 pub use hist::Histogram;
 pub use jsonw::JsonWriter;
 pub use profile::{
-    prof_binop_pair, prof_enter, prof_exit, prof_site, profiling, InterpProfile, MethodStat,
-    SiteStat,
+    prof_binop_pair, prof_enter, prof_exit, prof_opcode, prof_site, profiling, InterpProfile,
+    MethodStat, SiteStat,
 };
 pub use spans::{SpanRec, NO_PARENT};
 
@@ -258,11 +258,25 @@ pub enum Counter {
     /// were isolated by the server's request-level catch (the client got
     /// a JSON error response; the server kept running).
     ServerPanicsIsolated,
+    /// Lowered bodies compiled to register bytecode by the VM tier.
+    BcCompiled,
+    /// Superinstructions emitted during bytecode compilation (fused
+    /// load+load+op, compare+branch, local increment, store-fused ops).
+    BcSuperinsts,
+    /// Bytecode call sites answered by their polymorphic inline cache
+    /// (receiver class and argument keys matched a cache entry).
+    PicHits,
+    /// Bytecode call sites that missed every polymorphic cache entry and
+    /// ran full method selection.
+    PicMisses,
+    /// Polymorphic-cache entries evicted (LRU) to make room for a new
+    /// receiver class at an already-full site.
+    PicEvictions,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 42] = [
+    pub const ALL: [Counter; 47] = [
         Counter::TokensLexed,
         Counter::TokenTreesBuilt,
         Counter::FilesLexed,
@@ -305,6 +319,11 @@ impl Counter {
         Counter::SlotsResolved,
         Counter::ConstsFolded,
         Counter::ServerPanicsIsolated,
+        Counter::BcCompiled,
+        Counter::BcSuperinsts,
+        Counter::PicHits,
+        Counter::PicMisses,
+        Counter::PicEvictions,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -352,6 +371,11 @@ impl Counter {
             Counter::SlotsResolved => "slots_resolved",
             Counter::ConstsFolded => "consts_folded",
             Counter::ServerPanicsIsolated => "server_panics_isolated",
+            Counter::BcCompiled => "bc_compiled",
+            Counter::BcSuperinsts => "bc_superinsts",
+            Counter::PicHits => "pic_hits",
+            Counter::PicMisses => "pic_misses",
+            Counter::PicEvictions => "pic_evictions",
         }
     }
 

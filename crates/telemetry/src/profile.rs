@@ -72,6 +72,7 @@ pub(crate) struct ProfState {
     sites: HashMap<usize, SiteStat>,
     site_names: HashMap<usize, String>,
     pairs: HashMap<(&'static str, &'static str), u64>,
+    opcodes: HashMap<&'static str, u64>,
 }
 
 thread_local! {
@@ -168,6 +169,15 @@ pub fn prof_binop_pair(outer: &'static str, inner: &'static str) {
     });
 }
 
+/// Tallies one executed bytecode instruction by mnemonic. The VM reads its
+/// profiled flag once per body execution, so the disabled cost is one
+/// predictable branch per instruction.
+pub fn prof_opcode(name: &'static str) {
+    with_prof(|st| {
+        *st.opcodes.entry(name).or_insert(0) += 1;
+    });
+}
+
 /// The finished interpreter profile carried by a [`crate::Report`].
 #[derive(Clone, Debug, Default)]
 pub struct InterpProfile {
@@ -177,6 +187,8 @@ pub struct InterpProfile {
     pub sites: Vec<(String, SiteStat)>,
     /// `("outer≺inner", count)` sorted by count, descending.
     pub pairs: Vec<(String, u64)>,
+    /// `(mnemonic, executed count)` sorted by count, descending.
+    pub opcodes: Vec<(String, u64)>,
     /// Requested report width (`--profile-interp=N`).
     pub top: usize,
 }
@@ -233,10 +245,17 @@ impl ProfState {
             .map(|((o, i), n)| (format!("{o} \u{227A} {i}"), n))
             .collect();
         pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut opcodes: Vec<(String, u64)> = self
+            .opcodes
+            .into_iter()
+            .map(|(k, n)| (k.to_owned(), n))
+            .collect();
+        opcodes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         InterpProfile {
             methods,
             sites,
             pairs,
+            opcodes,
             top,
         }
     }
@@ -292,6 +311,13 @@ impl InterpProfile {
         }
         if self.pairs.is_empty() {
             let _ = writeln!(out, "  (no nested binary operations)");
+        }
+        if !self.opcodes.is_empty() {
+            let total: u64 = self.opcodes.iter().map(|(_, n)| n).sum();
+            let _ = writeln!(out, "  bytecode opcodes ({total} executed):");
+            for (name, count) in self.opcodes.iter().take(n) {
+                let _ = writeln!(out, "  {:<40} {:>10}", name, count);
+            }
         }
         out
     }

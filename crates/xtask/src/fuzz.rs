@@ -6,17 +6,19 @@
 //! for the invalid-input half. Every case runs through four differential
 //! oracles, each an invariant the system already promises:
 //!
-//! * **engine** — the lowered fast runtime vs the legacy tree walker
-//!   (`Interp::set_lowering`, the in-process face of `MAYA_NO_LOWER`)
-//!   must produce byte-identical outcomes;
+//! * **engine** — all three execution tiers must produce byte-identical
+//!   outcomes: the bytecode VM (default), the lowered tree walker
+//!   (`Interp::set_bytecode(false)`, the in-process face of
+//!   `MAYA_NO_BYTECODE`), and the legacy tree walker
+//!   (`Interp::set_lowering(false)`, the face of `MAYA_NO_LOWER`);
 //! * **warm/post-edit** — a persistent [`Session`] (the `mayad` shape)
 //!   fed hundreds of unrelated programs must match a cold batch compile,
 //!   including after an edit/revert cycle through the same session;
 //! * **jobs** — `--jobs=1` vs `--jobs=4` must be byte-identical;
 //! * **faults** — under a sampled `MAYA_FAULTS`-style injection, armed
-//!   identically on both engines, diagnostics may differ from the clean
-//!   run but the engines must still agree, and no panic may escape the
-//!   driver boundary.
+//!   identically on all three engines, diagnostics may differ from the
+//!   clean run but the engines must still agree, and no panic may escape
+//!   the driver boundary.
 //!
 //! Coverage feedback comes from the telemetry counters and cache gauges
 //! that already exist: a case that lights a (counter, log2-magnitude)
@@ -574,18 +576,53 @@ fn fuzz_options(jobs: usize) -> CompileOptions {
     }
 }
 
-fn installer(lowered: bool) -> Rc<dyn Fn(&Compiler)> {
+/// One execution tier of the interpreter (see `maya_interp`): the engine
+/// oracle requires all three to be observationally identical.
+#[derive(Clone, Copy, PartialEq)]
+enum Engine {
+    /// Legacy tree walker (`MAYA_NO_LOWER=1`).
+    Legacy,
+    /// Lowered fast runtime on the tree walker (`MAYA_NO_BYTECODE=1`).
+    Lowered,
+    /// Lowered + compiled register bytecode — the default tier.
+    Bytecode,
+}
+
+impl Engine {
+    fn name(self) -> &'static str {
+        match self {
+            Engine::Legacy => "legacy",
+            Engine::Lowered => "lowered",
+            Engine::Bytecode => "bytecode",
+        }
+    }
+}
+
+fn installer(engine: Engine) -> Rc<dyn Fn(&Compiler)> {
     Rc::new(move |c: &Compiler| {
         maya::macrolib::install(c);
         maya::multijava::install(c);
-        if !lowered {
-            c.interp().set_lowering(false);
+        // Explicit on both axes so ambient MAYA_NO_LOWER/MAYA_NO_BYTECODE
+        // can't skew the differential.
+        let i = c.interp();
+        match engine {
+            Engine::Legacy => {
+                i.set_lowering(false);
+            }
+            Engine::Lowered => {
+                i.set_lowering(true);
+                i.set_bytecode(false);
+            }
+            Engine::Bytecode => {
+                i.set_lowering(true);
+                i.set_bytecode(true);
+            }
         }
     })
 }
 
-fn fresh_session(lowered: bool, jobs: usize) -> Session {
-    Session::new(fuzz_options(jobs), Some(installer(lowered)))
+fn fresh_session(engine: Engine, jobs: usize) -> Session {
+    Session::new(fuzz_options(jobs), Some(installer(engine)))
 }
 
 fn req_opts() -> RequestOpts {
@@ -600,7 +637,7 @@ fn outcome_sig(o: &Outcome) -> (bool, &str, &str) {
 /// the driver boundary — the invariant violation the fuzzer hunts for.
 fn run_fresh(
     sources: &[(String, String)],
-    lowered: bool,
+    engine: Engine,
     jobs: usize,
     fault: Option<&str>,
 ) -> Result<Outcome, String> {
@@ -608,11 +645,31 @@ fn run_fresh(
         if let Some(spec) = fault {
             maya::core::faults::arm(spec);
         }
-        let mut s = fresh_session(lowered, jobs);
+        let mut s = fresh_session(engine, jobs);
         s.compile_sources(sources, &req_opts())
     }));
     maya::core::faults::disarm();
     r
+}
+
+/// The engine oracle's pairwise sweep: the bytecode tier (the default)
+/// against each other tier, under an optional shared fault.  Returns the
+/// first divergence.
+fn compare_engines(sources: &[(String, String)], fault: Option<&str>) -> Option<String> {
+    let suffix = if fault.is_some() { "+fault" } else { "" };
+    let bc = run_fresh(sources, Engine::Bytecode, 1, fault);
+    for other in [Engine::Legacy, Engine::Lowered] {
+        let detail = compare(
+            bc.clone(),
+            run_fresh(sources, other, 1, fault),
+            &format!("bytecode{suffix}"),
+            &format!("{}{suffix}", other.name()),
+        );
+        if detail.is_some() {
+            return detail;
+        }
+    }
+    None
 }
 
 fn diff_block(an: &str, a: &Outcome, bn: &str, b: &Outcome) -> String {
@@ -646,9 +703,10 @@ fn compare(
 /// recipe the minimizer re-runs.
 #[derive(Clone)]
 enum Oracle {
-    /// A fresh lowered compile panicked out of the driver.
+    /// A fresh bytecode-tier compile panicked out of the driver.
     Panic,
-    /// Lowered runtime vs legacy tree walker.
+    /// Three-engine sweep: bytecode VM vs legacy tree walker and vs the
+    /// lowered runtime.
     Engine,
     /// Same session, same input, compiled twice: replay must match.
     WarmReplay,
@@ -656,7 +714,7 @@ enum Oracle {
     PostEdit,
     /// `--jobs=1` vs `--jobs=4`.
     Jobs,
-    /// Both engines under the same armed fault.
+    /// All three engines under the same armed fault.
     Faults(String),
     /// Fault armed on the legacy side only (`--induce`): a guaranteed
     /// divergence that proves the minimizer.
@@ -682,36 +740,26 @@ impl Oracle {
 /// minimization step can't poison campaign state.
 fn diverges(sources: &[(String, String)], oracle: &Oracle) -> Option<String> {
     match oracle {
-        Oracle::Panic => run_fresh(sources, true, 1, None)
+        Oracle::Panic => run_fresh(sources, Engine::Bytecode, 1, None)
             .err()
             .map(|m| format!("panic escaped the driver: {m}")),
-        Oracle::Engine => compare(
-            run_fresh(sources, true, 1, None),
-            run_fresh(sources, false, 1, None),
-            "lowered",
-            "legacy",
-        ),
+        Oracle::Engine => compare_engines(sources, None),
         Oracle::Jobs => compare(
-            run_fresh(sources, true, 1, None),
-            run_fresh(sources, true, 4, None),
+            run_fresh(sources, Engine::Bytecode, 1, None),
+            run_fresh(sources, Engine::Bytecode, 4, None),
             "jobs=1",
             "jobs=4",
         ),
-        Oracle::Faults(spec) => compare(
-            run_fresh(sources, true, 1, Some(spec)),
-            run_fresh(sources, false, 1, Some(spec)),
-            "lowered+fault",
-            "legacy+fault",
-        ),
+        Oracle::Faults(spec) => compare_engines(sources, Some(spec)),
         Oracle::Induced(spec) => compare(
-            run_fresh(sources, true, 1, None),
-            run_fresh(sources, false, 1, Some(spec)),
-            "lowered",
+            run_fresh(sources, Engine::Bytecode, 1, None),
+            run_fresh(sources, Engine::Legacy, 1, Some(spec)),
+            "bytecode",
             "legacy+fault",
         ),
         Oracle::WarmReplay => {
             let r = maya::core::catch_ice(AssertUnwindSafe(|| {
-                let mut s = fresh_session(true, 1);
+                let mut s = fresh_session(Engine::Bytecode, 1);
                 let first = s.compile_sources(sources, &req_opts());
                 let replay = s.compile_sources(sources, &req_opts());
                 (first, replay)
@@ -729,7 +777,7 @@ fn diverges(sources: &[(String, String)], oracle: &Oracle) -> Option<String> {
         }
         Oracle::PostEdit => {
             let r = maya::core::catch_ice(AssertUnwindSafe(|| {
-                let mut s = fresh_session(true, 1);
+                let mut s = fresh_session(Engine::Bytecode, 1);
                 let first = s.compile_sources(sources, &req_opts());
                 let mut edited = sources.to_vec();
                 if let Some(last) = edited.last_mut() {
@@ -875,11 +923,12 @@ pub(crate) fn run(cfg: &FuzzConfig) -> ExitCode {
     let gen = GrammarGen::new();
     let opts = req_opts();
 
-    // The persistent pair: a lowered session and a legacy session that
-    // live across the whole campaign, like a long-running `mayad` fed
-    // hundreds of unrelated requests.
-    let mut warm = fresh_session(true, 1);
-    let mut legacy = fresh_session(false, 1);
+    // The persistent trio: one session per execution tier, all living
+    // across the whole campaign like a long-running `mayad` fed hundreds
+    // of unrelated requests.
+    let mut warm = fresh_session(Engine::Bytecode, 1);
+    let mut lowered = fresh_session(Engine::Lowered, 1);
+    let mut legacy = fresh_session(Engine::Legacy, 1);
 
     let mut stats = Stats::default();
     let mut seen_pairs: HashSet<(u16, u8)> = HashSet::new();
@@ -971,8 +1020,8 @@ pub(crate) fn run(cfg: &FuzzConfig) -> ExitCode {
 
         let t = telemetry::Session::start(telemetry::Config::default());
 
-        // Baseline: a cold batch compile (fresh session, lowered).
-        let cold = run_fresh(sources, true, 1, None);
+        // Baseline: a cold batch compile (fresh session, bytecode tier).
+        let cold = run_fresh(sources, Engine::Bytecode, 1, None);
         let cold = match cold {
             Err(m) => {
                 record(
@@ -1004,20 +1053,28 @@ pub(crate) fn run(cfg: &FuzzConfig) -> ExitCode {
             record(Oracle::WarmReplay, i, sources, detail, &mut reports, &mut stats);
         }
 
-        // Oracle: legacy tree walker (persistent session) must match.
+        // Oracle: the other two tiers (persistent sessions) must match the
+        // bytecode baseline byte for byte.
         stats.engine_runs += 1;
         let legacy_out = maya::core::catch_ice(AssertUnwindSafe(|| {
             legacy.compile_sources(sources, &opts)
         }));
-        if let Some(detail) = compare(Ok(cold.clone()), legacy_out, "lowered", "legacy") {
+        if let Some(detail) = compare(Ok(cold.clone()), legacy_out, "bytecode", "legacy") {
             legacy.reset();
+            record(Oracle::Engine, i, sources, detail, &mut reports, &mut stats);
+        }
+        let lowered_out = maya::core::catch_ice(AssertUnwindSafe(|| {
+            lowered.compile_sources(sources, &opts)
+        }));
+        if let Some(detail) = compare(Ok(cold.clone()), lowered_out, "bytecode", "lowered") {
+            lowered.reset();
             record(Oracle::Engine, i, sources, detail, &mut reports, &mut stats);
         }
 
         // Oracle: --jobs=N must be byte-identical.
         stats.jobs_runs += 1;
         if let Some(detail) =
-            compare(Ok(cold.clone()), run_fresh(sources, true, 4, None), "jobs=1", "jobs=4")
+            compare(Ok(cold.clone()), run_fresh(sources, Engine::Bytecode, 4, None), "jobs=1", "jobs=4")
         {
             record(Oracle::Jobs, i, sources, detail, &mut reports, &mut stats);
         }
@@ -1038,7 +1095,7 @@ pub(crate) fn run(cfg: &FuzzConfig) -> ExitCode {
             record(Oracle::PostEdit, i, sources, detail, &mut reports, &mut stats);
         }
 
-        // Oracle: sampled fault injection, armed identically on both
+        // Oracle: sampled fault injection, armed identically on all three
         // engines. Diagnostics may differ from the clean run; the engines
         // must still agree, and no panic may escape.
         if i % 4 == 0 {

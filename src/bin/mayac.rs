@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! mayac [-use NAME]... [--main CLASS] [--expand]
+//! mayac [-use NAME]... [--main CLASS] [--expand] [--dump-bytecode[=METHOD]]
 //!       [--max-errors=N] [--error-format=human|json] [--deny-warnings]
 //!       [--time-passes[=tree]] [--stats[=FILE]] [--trace-expansion[=FILTER]]
 //!       [--trace-out=FILE] [--profile-interp[=N]]
@@ -15,7 +15,8 @@
 //! registered, then runs `CLASS.main()` (default `Main`). `-use NAME`
 //! imports a metaprogram for the whole compilation (the paper's `-use`
 //! command-line option, §3.3); `--expand` prints every compiled method
-//! body after Mayan expansion.
+//! body after Mayan expansion; `--dump-bytecode[=METHOD]` disassembles the
+//! register bytecode of every forced method (or just METHOD) after the run.
 //!
 //! Robustness flags (see README.md § Robustness):
 //!
@@ -78,6 +79,8 @@ struct Cli {
     files: Vec<String>,
     main_class: Option<String>,
     expand: bool,
+    /// `Some("")` = dump all methods; `Some(name)` = filter.
+    dump_bytecode: Option<String>,
     max_errors: Option<usize>,
     error_format: ErrorFormat,
     deny_warnings: bool,
@@ -114,6 +117,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                 None => return Err("missing class after --main".into()),
             },
             "--expand" => cli.expand = true,
+            "--dump-bytecode" => cli.dump_bytecode = Some(String::new()),
             "--deny-warnings" => cli.deny_warnings = true,
             "--time-passes" => cli.time_passes = true,
             "--time-passes=tree" => {
@@ -126,7 +130,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
             "--watch" => cli.watch = true,
             "-h" | "--help" => return Err(String::new()),
             other => {
-                if let Some(path) = other.strip_prefix("--stats=") {
+                if let Some(name) = other.strip_prefix("--dump-bytecode=") {
+                    if name.is_empty() {
+                        return Err("missing method after --dump-bytecode=".into());
+                    }
+                    cli.dump_bytecode = Some(name.to_owned());
+                } else if let Some(path) = other.strip_prefix("--stats=") {
                     if path.is_empty() {
                         return Err("missing file after --stats=".into());
                     }
@@ -196,6 +205,7 @@ fn request_opts(cli: &Cli) -> RequestOpts {
         main_class: cli.main_class.clone().unwrap_or_else(|| "Main".to_owned()),
         run: true,
         expand: cli.expand,
+        dump_bytecode: cli.dump_bytecode.clone(),
         error_format: cli.error_format,
         max_errors: cli.max_errors.unwrap_or(20),
         deny_warnings: cli.deny_warnings,
@@ -394,7 +404,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("mayac: {err}");
     }
     eprintln!(
-        "usage: mayac [-use NAME]... [--main CLASS] [--expand]\n\
+        "usage: mayac [-use NAME]... [--main CLASS] [--expand] [--dump-bytecode[=METHOD]]\n\
          \x20            [--max-errors=N] [--error-format=human|json] [--deny-warnings]\n\
          \x20            [--time-passes[=tree]] [--stats[=FILE]] [--trace-expansion[=FILTER]]\n\
          \x20            [--trace-out=FILE] [--profile-interp[=N]]\n\

@@ -71,6 +71,41 @@ fn expand_prints_expansions() {
 }
 
 #[test]
+fn dump_bytecode_disassembles_methods() {
+    let f = write_temp(
+        "bc.maya",
+        r#"
+        class Main {
+            static int add(int a, int b) { return a + b; }
+            static void main() {
+                int s = 0;
+                for (int i = 0; i < 5; i++) { s = add(s, i); }
+                System.out.println(s);
+            }
+        }
+        "#,
+    );
+    let out = mayac().arg("--dump-bytecode").arg(&f).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Program output precedes the disassembly.
+    assert!(stdout.starts_with("10
+"), "{stdout}");
+    assert!(stdout.contains("--- bytecode Main.main ---"), "{stdout}");
+    assert!(stdout.contains("--- bytecode Main.add ---"), "{stdout}");
+    // Register/header shape of the listing.
+    assert!(stdout.contains("params=2"), "{stdout}");
+    assert!(stdout.contains("ret_null"), "{stdout}");
+
+    // `--dump-bytecode=METHOD` filters to one method.
+    let out = mayac().arg("--dump-bytecode=add").arg(&f).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("--- bytecode Main.add ---"), "{stdout}");
+    assert!(!stdout.contains("--- bytecode Main.main ---"), "{stdout}");
+}
+
+#[test]
 fn errors_exit_nonzero_with_message() {
     let f = write_temp("bad.maya", "class Main { static void main() { int x = ; } }");
     let out = mayac().arg(&f).output().unwrap();

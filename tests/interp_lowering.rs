@@ -1,10 +1,16 @@
-//! Differential testing of the lowered fast runtime.
+//! Differential testing of the fast runtimes.
 //!
-//! Every program in `tests/corpus/` is executed twice through `mayac`: once
-//! with the default (lowered, slot-resolved, inline-cached) interpreter and
-//! once with `MAYA_NO_LOWER=1`, which pins the legacy tree-walking path.
-//! Stdout, stderr, and the exit status must be byte-identical — the fast
-//! runtime is an optimization, never a semantic change.
+//! Every program in `tests/corpus/` is executed through `mayac` once per
+//! execution tier:
+//!
+//! * **legacy** — `MAYA_NO_LOWER=1`: the tree-walking interpreter;
+//! * **lowered** — `MAYA_NO_BYTECODE=1`: slot-resolved, inline-cached
+//!   lowered execution on the tree walker;
+//! * **bytecode** — the default: lowered bodies compiled to flat register
+//!   bytecode with polymorphic inline caches and superinstructions.
+//!
+//! Stdout, stderr, and the exit status must be byte-identical across all
+//! three — each tier is an optimization, never a semantic change.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
@@ -28,19 +34,42 @@ fn parse_directives(src: &str) -> Directives {
     Directives { args }
 }
 
-fn run(cwd: &Path, d: &Directives, file: &str, lowering: bool) -> Output {
+#[derive(Clone, Copy)]
+enum Tier {
+    Legacy,
+    Lowered,
+    Bytecode,
+}
+
+impl Tier {
+    fn name(self) -> &'static str {
+        match self {
+            Tier::Legacy => "legacy",
+            Tier::Lowered => "lowered",
+            Tier::Bytecode => "bytecode",
+        }
+    }
+}
+
+fn run(cwd: &Path, d: &Directives, file: &str, tier: Tier) -> Output {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_mayac"));
     cmd.current_dir(cwd).args(&d.args).arg(file);
-    // The variable is set on the child only; the test process environment
+    // The variables are set on the child only; the test process environment
     // is never mutated.
-    cmd.env("MAYA_NO_LOWER", if lowering { "0" } else { "1" });
+    let (no_lower, no_bc) = match tier {
+        Tier::Legacy => ("1", "1"),
+        Tier::Lowered => ("0", "1"),
+        Tier::Bytecode => ("0", "0"),
+    };
+    cmd.env("MAYA_NO_LOWER", no_lower);
+    cmd.env("MAYA_NO_BYTECODE", no_bc);
     cmd.output().unwrap()
 }
 
 /// One test over the whole corpus (not one per program) so the report shows
 /// every divergence at once and the corpus never partially runs.
 #[test]
-fn lowered_and_legacy_interpreters_agree() {
+fn all_three_tiers_agree() {
     let dir = corpus_dir();
     let mut names: Vec<String> = std::fs::read_dir(&dir)
         .unwrap()
@@ -56,26 +85,31 @@ fn lowered_and_legacy_interpreters_agree() {
     for name in &names {
         let src = std::fs::read_to_string(dir.join(name)).unwrap();
         let d = parse_directives(&src);
-        let fast = run(&dir, &d, name, true);
-        let legacy = run(&dir, &d, name, false);
-        if fast.status.code() != legacy.status.code() {
-            failures.push(format!(
-                "{name}: exit status diverged (lowered {:?}, legacy {:?})",
-                fast.status.code(),
-                legacy.status.code()
-            ));
-        }
-        for (channel, a, b) in [
-            ("stdout", &fast.stdout, &legacy.stdout),
-            ("stderr", &fast.stderr, &legacy.stderr),
-        ] {
-            if a != b {
+        let baseline = run(&dir, &d, name, Tier::Legacy);
+        for tier in [Tier::Lowered, Tier::Bytecode] {
+            let fast = run(&dir, &d, name, tier);
+            if fast.status.code() != baseline.status.code() {
                 failures.push(format!(
-                    "{name}: {channel} diverged between lowered and legacy\n\
-                     --- lowered ---\n{}\n--- legacy ---\n{}",
-                    String::from_utf8_lossy(a),
-                    String::from_utf8_lossy(b)
+                    "{name}: exit status diverged ({} {:?}, legacy {:?})",
+                    tier.name(),
+                    fast.status.code(),
+                    baseline.status.code()
                 ));
+            }
+            for (channel, a, b) in [
+                ("stdout", &fast.stdout, &baseline.stdout),
+                ("stderr", &fast.stderr, &baseline.stderr),
+            ] {
+                if a != b {
+                    failures.push(format!(
+                        "{name}: {channel} diverged between {} and legacy\n\
+                         --- {} ---\n{}\n--- legacy ---\n{}",
+                        tier.name(),
+                        tier.name(),
+                        String::from_utf8_lossy(a),
+                        String::from_utf8_lossy(b)
+                    ));
+                }
             }
         }
     }
