@@ -66,6 +66,15 @@ pub(crate) fn hash64(bytes: &[u8]) -> u64 {
     h.a
 }
 
+/// 128-bit byte hash — the process-global lex-share key. Both FNV streams
+/// are kept because entries are shared across every client of a compile
+/// service, a far larger collision surface than one session's files.
+pub(crate) fn hash128(bytes: &[u8]) -> u128 {
+    let mut h = Fnv2::new();
+    h.bytes(bytes);
+    h.finish()
+}
+
 /// Hashes a lex result, spans included.
 pub(crate) fn token_stream_hash(result: &Result<Vec<SendTree>, LexError>) -> u128 {
     let mut h = Fnv2::new();

@@ -28,6 +28,7 @@ mod extension;
 mod literal;
 pub mod metagrammar;
 mod session;
+pub mod service;
 mod source_mayan;
 
 pub use base::{Base, BaseProds};
@@ -37,7 +38,10 @@ pub fn describe_prod_pub(g: &maya_grammar::Grammar, p: maya_grammar::ProdId) -> 
     crate::driver::describe_prod(g, p)
 }
 pub use compiler::{lex_files, CompileOptions, Compiler, CompilerInner, DepEdge, ForceCache};
-pub use session::{ErrorFormat, Outcome, RequestOpts, Session, SessionStats};
+pub use session::{
+    clear_lex_share, lex_share_enabled, set_lex_share_enabled, ErrorFormat, Outcome, RequestOpts,
+    Session, SessionStats,
+};
 pub use driver::{expr_as_type, CoreExpand, CoreInstHost, Cx, EnvPair, ExpandSnapshot, ForceHost, LazyEnvPayload};
 pub use diag::{Diagnostic, Diagnostics, Severity};
 pub use error::CompileError;

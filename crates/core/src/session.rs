@@ -33,13 +33,15 @@
 //! the nothing-changed case — the entire previous outcome.
 
 use crate::compiler::lex_files;
-use crate::fingerprint::{hash64, token_stream_hash};
+use crate::fingerprint::{hash128, hash64, token_stream_hash};
 use crate::diag::Diagnostics;
 use crate::{CompileOptions, Compiler};
 use maya_lexer::{FileId, LexError, SendTree, SourceMap, Span};
 use maya_telemetry::{add as count_by, Counter};
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// How diagnostics are rendered into [`Outcome::stderr`].
 #[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
@@ -75,6 +77,12 @@ pub struct RequestOpts {
     pub max_errors: usize,
     /// Exit nonzero on any warning (`--deny-warnings`).
     pub deny_warnings: bool,
+    /// Per-request Mayan expansion fuel quota. `None` uses the session's
+    /// configured fuel; `Some(f)` caps this request at `min(f, session
+    /// fuel)` — a client can only lower its own budget, never raise it
+    /// past the server's. Participates in the full-reuse key (a request
+    /// that ran out of fuel must not be answered from a cached success).
+    pub fuel: Option<u64>,
 }
 
 impl Default for RequestOpts {
@@ -88,6 +96,7 @@ impl Default for RequestOpts {
             error_format: ErrorFormat::Human,
             max_errors: 20,
             deny_warnings: false,
+            fuel: None,
         }
     }
 }
@@ -127,6 +136,14 @@ pub struct SessionStats {
     pub grammar_reuses: u64,
 }
 
+/// One lexed file: the front-end result plus its (span-inclusive) token
+/// stream hash, computed once and carried together so a share hit skips
+/// both the lex *and* the hash.
+struct LexEntry {
+    token_hash: u128,
+    result: Result<Vec<SendTree>, LexError>,
+}
+
 /// Per-file incremental state.
 struct SessionFile {
     name: String,
@@ -138,8 +155,49 @@ struct SessionFile {
     /// Hash of the token stream *including spans*; equal hashes make
     /// byte-different contents behaviorally identical.
     token_hash: u128,
-    /// Cached front-end result for `ok` files.
-    lexed: Option<Rc<Result<Vec<SendTree>, LexError>>>,
+    /// Cached front-end result for `ok` files. `Arc` (not `Rc`) so the
+    /// same trees can sit in the process-global lex share below.
+    lexed: Option<Arc<LexEntry>>,
+}
+
+// ---- the process-global lex share -------------------------------------------
+//
+// Lexing is a pure function of (file content, positional `FileId`): token
+// trees embed spans whose `file` field is the registration index, and the
+// file *name* never reaches the lexer. A compile-service worker pool can
+// therefore share lexed trees across threads — client A's worker lexes
+// `main.maya`, client B's worker reuses the trees — as long as the key
+// carries both the 128-bit content hash and the `FileId` the spans were
+// minted under. Opt-in per thread (like the grammar crate's shared table
+// memo) so single-session paths and tests keep thread-local behavior.
+
+/// Share entries kept before the map is cleared wholesale; bounds memory
+/// under adversarial many-distinct-files traffic.
+const LEX_SHARE_CAP: usize = 512;
+
+thread_local! {
+    static LEX_SHARE_ON: Cell<bool> = const { Cell::new(false) };
+}
+
+fn lex_share() -> &'static RwLock<HashMap<(u128, u32), Arc<LexEntry>>> {
+    static SHARE: OnceLock<RwLock<HashMap<(u128, u32), Arc<LexEntry>>>> = OnceLock::new();
+    SHARE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Opts this thread into (or out of) the process-global lexed-tree share.
+/// Off by default; compile-service workers turn it on.
+pub fn set_lex_share_enabled(on: bool) {
+    LEX_SHARE_ON.with(|s| s.set(on));
+}
+
+/// Whether this thread participates in the global lex share.
+pub fn lex_share_enabled() -> bool {
+    LEX_SHARE_ON.with(|s| s.get())
+}
+
+/// Drops every entry in the global lex share (test isolation).
+pub fn clear_lex_share() {
+    lex_share().write().expect("lex share poisoned").clear();
 }
 
 /// An incremental compile session. See the module docs.
@@ -328,14 +386,55 @@ impl Session {
                     }
                 }
             }
-            let need: Vec<FileId> = ids.values().copied().collect();
+            // Global share probe first: another pool worker may have
+            // already lexed identical content under the same FileId.
+            let share_on = lex_share_enabled();
+            let mut entries: BTreeMap<usize, Arc<LexEntry>> = BTreeMap::new();
+            let mut need: Vec<FileId> = Vec::new();
+            let mut need_at: Vec<(usize, u128)> = Vec::new();
+            for (&i, &id) in &ids {
+                let content = match &inputs[i].1 {
+                    Ok(t) => hash128(t.as_bytes()),
+                    Err(_) => unreachable!("only ok files are relexed"),
+                };
+                if share_on {
+                    let hit = lex_share()
+                        .read()
+                        .expect("lex share poisoned")
+                        .get(&(content, id.0))
+                        .cloned();
+                    if let Some(e) = hit {
+                        maya_telemetry::cache_hit(maya_telemetry::CacheId::LexShare);
+                        entries.insert(i, e);
+                        continue;
+                    }
+                    maya_telemetry::cache_miss(maya_telemetry::CacheId::LexShare);
+                }
+                need.push(id);
+                need_at.push((i, content));
+            }
             let results = lex_files(&scratch, &need, self.base_options.jobs);
-            for ((&i, _), result) in ids.iter().zip(results) {
-                let h = token_stream_hash(&result);
+            for ((&(i, content), id), result) in need_at.iter().zip(&need).zip(results) {
+                let e = Arc::new(LexEntry {
+                    token_hash: token_stream_hash(&result),
+                    result,
+                });
+                if share_on {
+                    let mut share = lex_share().write().expect("lex share poisoned");
+                    if share.len() >= LEX_SHARE_CAP {
+                        maya_telemetry::cache_eviction(maya_telemetry::CacheId::LexShare);
+                        share.clear();
+                    }
+                    share.insert((content, id.0), e.clone());
+                    maya_telemetry::cache_sized(maya_telemetry::CacheId::LexShare, share.len());
+                }
+                entries.insert(i, e);
+            }
+            for (i, e) in entries {
                 let f = &mut self.files[i];
-                if f.token_hash != h || f.lexed.is_none() {
-                    f.token_hash = h;
-                    f.lexed = Some(Rc::new(result));
+                if f.token_hash != e.token_hash || f.lexed.is_none() {
+                    f.token_hash = e.token_hash;
+                    f.lexed = Some(e);
                     changed.insert(f.name.clone());
                 }
                 // Token-identical content (e.g. a retyped same-length
@@ -388,6 +487,11 @@ impl Session {
         // token trees) all lives outside the compiler and carries over.
         let compiler = Compiler::with_options(CompileOptions {
             uses: opts.uses.clone(),
+            expand_fuel: opts
+                .fuel
+                .map_or(self.base_options.expand_fuel, |f| {
+                    f.min(self.base_options.expand_fuel)
+                }),
             ..self.base_options.clone()
         });
         if let Some(install) = &self.installer {
@@ -411,13 +515,13 @@ impl Session {
                         // re-lexed by the compiler, a genuinely cold front
                         // end for the whole cone.
                         if changed.contains(name) {
-                            prelexed.push(f.lexed.as_deref().cloned());
+                            prelexed.push(f.lexed.as_ref().map(|e| e.result.clone()));
                         } else {
                             prelexed.push(None);
                         }
                     } else if let Some(lexed) = &f.lexed {
                         reused += 1;
-                        prelexed.push(Some((**lexed).clone()));
+                        prelexed.push(Some(lexed.result.clone()));
                     } else {
                         // No cached trees (first sighting): cold path.
                         recompiled += 1;

@@ -9,6 +9,7 @@ use std::cell::OnceCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// An error from grammar construction or table generation.
 #[derive(Clone, Debug)]
@@ -147,7 +148,7 @@ pub(crate) struct GrammarData {
     helper_cache: HashMap<HelperKey, NtId>,
     pub(crate) term_prec: HashMap<Terminal, (u16, Assoc)>,
     version: u64,
-    tables: OnceCell<Result<Rc<Tables>, GrammarError>>,
+    tables: OnceCell<Result<Arc<Tables>, GrammarError>>,
     /// Lazily computed content hash (see [`crate::cache`]).
     hash: OnceCell<u128>,
 }
@@ -284,7 +285,7 @@ impl Grammar {
     ///
     /// Returns [`GrammarError::Conflicts`] when the grammar has conflicts
     /// that operator precedence does not resolve.
-    pub fn tables(&self) -> Result<Rc<Tables>, GrammarError> {
+    pub fn tables(&self) -> Result<Arc<Tables>, GrammarError> {
         self.inner
             .tables
             .get_or_init(|| crate::cache::tables_for(self))

@@ -3,12 +3,18 @@
 //! Maya programs re-derive near-identical grammars constantly: every `use`
 //! of the same extension set composes the same productions onto the same
 //! base and would rebuild the same tables. This module gives table
-//! construction two cache layers in front of it, both keyed by a
+//! construction three cache layers in front of it, all keyed by a
 //! **content hash** of the grammar (productions, actions, precedence —
 //! everything [`build_tables`] reads):
 //!
-//! 1. an in-process, thread-local `hash → Rc<Tables>` memo, and
-//! 2. an optional on-disk cache (`mayac --table-cache=DIR`), versioned and
+//! 1. an in-process, thread-local `hash → Arc<Tables>` memo,
+//! 2. an opt-in **process-global** memo ([`set_table_cache_shared`])
+//!    behind an `RwLock`, so the worker threads of a compile-service pool
+//!    share one warm set of tables instead of building N cold ones —
+//!    `Tables` is immutable plain data, so handing the same `Arc` to every
+//!    thread is sound by construction (content-hash keys never need
+//!    invalidation), and
+//! 3. an optional on-disk cache (`mayac --table-cache=DIR`), versioned and
 //!    corruption-tolerant: any malformed, truncated, or stale cache file is
 //!    treated as a miss and rebuilt — a bad cache can cost time, never
 //!    correctness.
@@ -32,7 +38,7 @@ use maya_telemetry::Counter;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
+use std::sync::{Arc, OnceLock, RwLock};
 
 // ---- the content hash --------------------------------------------------------
 
@@ -223,8 +229,19 @@ const MEMO_CAP: usize = 256;
 
 thread_local! {
     static ENABLED: Cell<bool> = const { Cell::new(true) };
-    static MEMO: RefCell<HashMap<u128, Rc<Tables>>> = RefCell::new(HashMap::new());
+    static SHARED: Cell<bool> = const { Cell::new(false) };
+    static MEMO: RefCell<HashMap<u128, Arc<Tables>>> = RefCell::new(HashMap::new());
     static DISK_DIR: RefCell<Option<PathBuf>> = const { RefCell::new(None) };
+}
+
+/// The process-global memo behind the thread-local one. Only threads that
+/// opted in with [`set_table_cache_shared`] read or write it, so unit
+/// tests (which rely on thread-local cold starts for their hit/miss
+/// assertions) keep their isolation while service worker pools share one
+/// warm table set.
+fn shared_memo() -> &'static RwLock<HashMap<u128, Arc<Tables>>> {
+    static SHARED_MEMO: OnceLock<RwLock<HashMap<u128, Arc<Tables>>>> = OnceLock::new();
+    SHARED_MEMO.get_or_init(|| RwLock::new(HashMap::new()))
 }
 
 /// Turns the table cache (both layers) on or off for this thread. The
@@ -239,26 +256,46 @@ pub fn table_cache_enabled() -> bool {
     ENABLED.with(|e| e.get())
 }
 
+/// Opts this thread into (or out of) the process-global table memo. Off
+/// by default; compile-service worker threads turn it on so every worker
+/// reuses tables any other worker already built. Sharing is sound because
+/// `Tables` is immutable and keyed by grammar content hash — equal keys
+/// mean equal tables, so there is nothing to invalidate.
+pub fn set_table_cache_shared(on: bool) {
+    SHARED.with(|s| s.set(on));
+}
+
+/// Whether this thread participates in the process-global table memo.
+pub fn table_cache_shared() -> bool {
+    SHARED.with(|s| s.get())
+}
+
 /// Sets (or clears) the on-disk cache directory for this thread
 /// (`mayac --table-cache=DIR`). The directory is created on first write.
 pub fn set_table_cache_dir(dir: Option<PathBuf>) {
     DISK_DIR.with(|d| *d.borrow_mut() = dir);
 }
 
-/// Drops every in-process cache entry (test isolation; the on-disk cache
-/// is left alone).
+/// Drops every in-process cache entry — this thread's memo *and* the
+/// process-global one (test isolation; the on-disk cache is left alone).
 pub fn clear_table_cache() {
     MEMO.with(|m| m.borrow_mut().clear());
+    shared_memo().write().expect("table memo poisoned").clear();
 }
 
-/// Number of table sets currently held by this thread's in-process memo.
+/// Number of table sets currently held by the in-process memo: the
+/// process-global map when this thread shares it, otherwise the
+/// thread-local one.
 ///
-/// A persistent compile session (`mayad`, `mayac --watch`) keeps its
-/// compiler on one thread precisely so this memo survives across requests;
-/// the count is surfaced in server stats so warm-cache retention is
-/// observable.
+/// A persistent compile session (`mayad`, `mayac --watch`) keeps warm
+/// tables alive across requests; the count is surfaced in server stats so
+/// warm-cache retention is observable.
 pub fn table_cache_len() -> usize {
-    MEMO.with(|m| m.borrow().len())
+    if table_cache_shared() {
+        shared_memo().read().expect("table memo poisoned").len()
+    } else {
+        MEMO.with(|m| m.borrow().len())
+    }
 }
 
 /// Whether this thread's memo already holds tables for `hash` (a grammar
@@ -268,17 +305,27 @@ pub fn table_cache_contains(hash: u128) -> bool {
     MEMO.with(|m| m.borrow().contains_key(&hash))
 }
 
-/// The table lookup behind [`Grammar::tables`]: in-process memo, then
-/// on-disk cache, then a real build (whose result populates both layers).
-pub(crate) fn tables_for(g: &Grammar) -> Result<Rc<Tables>, GrammarError> {
+/// The table lookup behind [`Grammar::tables`]: thread-local memo, then
+/// (when shared) the process-global memo, then the on-disk cache, then a
+/// real build (whose result populates every layer the thread uses).
+pub(crate) fn tables_for(g: &Grammar) -> Result<Arc<Tables>, GrammarError> {
     if !table_cache_enabled() {
-        return build_tables(g.data()).map(Rc::new);
+        return build_tables(g.data()).map(Arc::new);
     }
     let hash = g.content_hash();
     if let Some(t) = MEMO.with(|m| m.borrow().get(&hash).cloned()) {
         maya_telemetry::count(Counter::TableCacheHits);
         maya_telemetry::cache_hit(maya_telemetry::CacheId::LalrMemo);
         return Ok(t);
+    }
+    if table_cache_shared() {
+        let shared = shared_memo().read().expect("table memo poisoned").get(&hash).cloned();
+        if let Some(t) = shared {
+            maya_telemetry::count(Counter::TableCacheHits);
+            maya_telemetry::cache_hit(maya_telemetry::CacheId::LalrMemo);
+            remember(hash, &t);
+            return Ok(t);
+        }
     }
     let dir = DISK_DIR.with(|d| d.borrow().clone());
     if let Some(dir) = &dir {
@@ -291,7 +338,7 @@ pub(crate) fn tables_for(g: &Grammar) -> Result<Rc<Tables>, GrammarError> {
     }
     maya_telemetry::count(Counter::TableCacheMisses);
     maya_telemetry::cache_miss(maya_telemetry::CacheId::LalrMemo);
-    let t = build_tables(g.data()).map(Rc::new)?;
+    let t = build_tables(g.data()).map(Arc::new)?;
     remember(hash, &t);
     if let Some(dir) = &dir {
         // Write failures (read-only dir, disk full) silently disable the
@@ -301,7 +348,7 @@ pub(crate) fn tables_for(g: &Grammar) -> Result<Rc<Tables>, GrammarError> {
     Ok(t)
 }
 
-fn remember(hash: u128, t: &Rc<Tables>) {
+fn remember(hash: u128, t: &Arc<Tables>) {
     MEMO.with(|m| {
         let mut m = m.borrow_mut();
         if m.len() >= MEMO_CAP {
@@ -311,6 +358,13 @@ fn remember(hash: u128, t: &Rc<Tables>) {
         m.insert(hash, t.clone());
         maya_telemetry::cache_sized(maya_telemetry::CacheId::LalrMemo, m.len());
     });
+    if table_cache_shared() {
+        let mut m = shared_memo().write().expect("table memo poisoned");
+        if m.len() >= MEMO_CAP {
+            m.clear();
+        }
+        m.insert(hash, t.clone());
+    }
 }
 
 // ---- the on-disk codec -------------------------------------------------------
@@ -466,9 +520,9 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn load_disk(dir: &Path, hash: u128, g: &GrammarData) -> Option<Rc<Tables>> {
+fn load_disk(dir: &Path, hash: u128, g: &GrammarData) -> Option<Arc<Tables>> {
     let bytes = std::fs::read(cache_path(dir, hash)).ok()?;
-    decode(&bytes, hash, g).map(Rc::new)
+    decode(&bytes, hash, g).map(Arc::new)
 }
 
 fn fnv64(bytes: &[u8]) -> u64 {
@@ -620,7 +674,32 @@ mod tests {
         let g2 = sample();
         let t1 = g1.tables().unwrap();
         let t2 = g2.tables().unwrap();
-        assert!(Rc::ptr_eq(&t1, &t2), "same hash must share one Tables");
+        assert!(Arc::ptr_eq(&t1, &t2), "same hash must share one Tables");
+        clear_table_cache();
+    }
+
+    #[test]
+    fn shared_memo_hands_one_tables_to_every_thread() {
+        clear_table_cache();
+        // Build on a worker thread that opted into the global memo, then
+        // fetch from a second opted-in thread: both must see the same
+        // allocation even though their thread-local memos start cold.
+        let a = std::thread::spawn(|| {
+            set_table_cache_shared(true);
+            sample().tables().unwrap()
+        })
+        .join()
+        .unwrap();
+        let b = std::thread::spawn(|| {
+            set_table_cache_shared(true);
+            sample().tables().unwrap()
+        })
+        .join()
+        .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "global memo must share one Tables");
+        // A thread that did NOT opt in keeps its cold-start isolation.
+        let c = std::thread::spawn(|| sample().tables().unwrap()).join().unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "non-shared thread builds its own");
         clear_table_cache();
     }
 
@@ -632,7 +711,7 @@ mod tests {
         let g2 = sample();
         let t1 = g1.tables().unwrap();
         let t2 = g2.tables().unwrap();
-        assert!(!Rc::ptr_eq(&t1, &t2));
+        assert!(!Arc::ptr_eq(&t1, &t2));
         set_table_cache_enabled(true);
         clear_table_cache();
     }
@@ -644,7 +723,7 @@ mod tests {
 
         let g = sample();
         let hash = g.content_hash();
-        let built = build_tables(g.data()).map(Rc::new).unwrap();
+        let built = build_tables(g.data()).map(Arc::new).unwrap();
         write_disk(&dir, hash, &built).unwrap();
 
         let loaded = load_disk(&dir, hash, g.data()).expect("cache file loads");
@@ -683,7 +762,7 @@ mod tests {
 
         let g = sample();
         let hash = g.content_hash();
-        let built = build_tables(g.data()).map(Rc::new).unwrap();
+        let built = build_tables(g.data()).map(Arc::new).unwrap();
         // Seed the final path so the reader below always finds a file:
         // from then on a miss could only mean it observed a torn write.
         write_disk(&dir, hash, &built).unwrap();
@@ -693,7 +772,7 @@ mod tests {
                 let dir = dir.clone();
                 s.spawn(move || {
                     let g = sample();
-                    let t = build_tables(g.data()).map(Rc::new).unwrap();
+                    let t = build_tables(g.data()).map(Arc::new).unwrap();
                     for _ in 0..50 {
                         write_disk(&dir, g.content_hash(), &t).unwrap();
                     }

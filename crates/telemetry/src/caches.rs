@@ -35,17 +35,21 @@ pub enum CacheId {
     LowerStore,
     /// The dispatch `(production, signature) → ordered candidates` memo.
     DispatchMemo,
+    /// The process-global lexed-tree share (compile-service worker pools;
+    /// content-hash keyed `SendTree` results reused across threads).
+    LexShare,
 }
 
 impl CacheId {
     /// Every cache, in report order.
-    pub const ALL: [CacheId; 6] = [
+    pub const ALL: [CacheId; 7] = [
         CacheId::LalrMemo,
         CacheId::ForceCache,
         CacheId::UnitCache,
         CacheId::ClassBodyCache,
         CacheId::LowerStore,
         CacheId::DispatchMemo,
+        CacheId::LexShare,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -57,6 +61,7 @@ impl CacheId {
             CacheId::ClassBodyCache => "class_body_cache",
             CacheId::LowerStore => "lower_store",
             CacheId::DispatchMemo => "dispatch_memo",
+            CacheId::LexShare => "lex_share",
         }
     }
 

@@ -3,7 +3,7 @@
 //! The generator derives structurally valid MayaJava programs — and
 //! random Mayan extensions — directly from the base grammar's
 //! productions, then layers splice/truncate/duplicate mutations on top
-//! for the invalid-input half. Every case runs through four differential
+//! for the invalid-input half. Every case runs through five differential
 //! oracles, each an invariant the system already promises:
 //!
 //! * **engine** — all three execution tiers must produce byte-identical
@@ -15,6 +15,10 @@
 //!   fed hundreds of unrelated programs must match a cold batch compile,
 //!   including after an edit/revert cycle through the same session;
 //! * **jobs** — `--jobs=1` vs `--jobs=4` must be byte-identical;
+//! * **pool** — a campaign-persistent 4-worker [`CompilePool`] (the
+//!   concurrent `mayad` service shape, Arc-shared warm tiers) answers
+//!   each case for a rotating client and must match the cold batch
+//!   compile byte for byte;
 //! * **faults** — under a sampled `MAYA_FAULTS`-style injection, armed
 //!   identically on all three engines, diagnostics may differ from the
 //!   clean run but the engines must still agree, and no panic may escape
@@ -32,6 +36,8 @@
 
 use crate::XorShift;
 use maya::ast::NodeKind;
+use maya::core::json::{parse_json, Json};
+use maya::core::service::{CompilePool, PoolConfig, PoolRequest};
 use maya::grammar::{Action, BuiltinAction, NtId, Sym, Terminal};
 use maya::lexer::{Delim, TokenKind};
 use maya::telemetry::{self, json_string, CacheId, Counter};
@@ -42,6 +48,7 @@ use std::panic::AssertUnwindSafe;
 use std::path::Path;
 use std::process::ExitCode;
 use std::rc::Rc;
+use std::sync::Arc;
 
 pub(crate) const DEFAULT_CASES: usize = 300;
 pub(crate) const DEFAULT_SEED: u64 = 7;
@@ -629,6 +636,77 @@ fn req_opts() -> RequestOpts {
     RequestOpts::default()
 }
 
+/// A worker pool with exactly the fuzzer's compile options on the
+/// bytecode tier — so a pool reply must be byte-identical to
+/// [`run_fresh`] on the same case.
+fn fuzz_pool(workers: usize) -> CompilePool {
+    let o = fuzz_options(1);
+    CompilePool::start(PoolConfig {
+        workers,
+        queue_cap: 64,
+        jobs: o.jobs,
+        fuel: o.expand_fuel,
+        max_expand_depth: o.max_expand_depth,
+        interp_step_limit: o.interp_step_limit,
+        interp_stack_limit: o.interp_stack_limit,
+        installer: Some(Arc::new(|c: &Compiler| {
+            maya::macrolib::install(c);
+            maya::multijava::install(c);
+            let i = c.interp();
+            i.set_lowering(true);
+            i.set_bytecode(true);
+        })),
+        ..PoolConfig::default()
+    })
+}
+
+/// Submits one case to `pool` for `client` and decodes the reply into an
+/// outcome signature. `Err` carries a protocol-level failure (refusal,
+/// dropped reply, non-JSON) — always a divergence.
+fn pool_sig(
+    pool: &CompilePool,
+    client: &str,
+    sources: &[(String, String)],
+) -> Result<(bool, String, String), String> {
+    let request = PoolRequest::Sources { sources: sources.to_vec(), opts: req_opts() };
+    let reply = pool
+        .submit(client, request)
+        .recv()
+        .unwrap_or_else(|_| "worker pool dropped the reply".to_owned());
+    let j = parse_json(&reply).map_err(|e| format!("pool reply is not JSON ({e}): {reply}"))?;
+    if j.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(format!("pool refused the request: {reply}"));
+    }
+    Ok((
+        j.get("success").and_then(Json::as_bool).unwrap_or(false),
+        j.get("stdout").and_then(Json::as_str).unwrap_or_default().to_owned(),
+        j.get("stderr").and_then(Json::as_str).unwrap_or_default().to_owned(),
+    ))
+}
+
+/// The pool oracle's comparison: cold baseline vs one pool reply.
+fn compare_pool(
+    cold: &Outcome,
+    pool: &CompilePool,
+    client: &str,
+    sources: &[(String, String)],
+) -> Option<String> {
+    match pool_sig(pool, client, sources) {
+        Err(detail) => Some(detail),
+        Ok((success, stdout, stderr)) => {
+            if (success, stdout.as_str(), stderr.as_str()) == outcome_sig(cold) {
+                None
+            } else {
+                Some(format!(
+                    "--- cold: success={} ---\nstdout:\n{}stderr:\n{}\
+                     --- pool ({client}): success={success} ---\nstdout:\n{stdout}stderr:\n{stderr}",
+                    cold.success, cold.stdout, cold.stderr
+                ))
+            }
+        }
+    }
+}
+
 fn outcome_sig(o: &Outcome) -> (bool, &str, &str) {
     (o.success, o.stdout.as_str(), o.stderr.as_str())
 }
@@ -714,6 +792,8 @@ enum Oracle {
     PostEdit,
     /// `--jobs=1` vs `--jobs=4`.
     Jobs,
+    /// A fresh 4-worker pool vs a fresh cold compile.
+    Pool,
     /// All three engines under the same armed fault.
     Faults(String),
     /// Fault armed on the legacy side only (`--induce`): a guaranteed
@@ -729,6 +809,7 @@ impl Oracle {
             Oracle::WarmReplay => "warm_replay",
             Oracle::PostEdit => "post_edit",
             Oracle::Jobs => "jobs",
+            Oracle::Pool => "pool",
             Oracle::Faults(_) => "faults",
             Oracle::Induced(_) => "induced",
         }
@@ -750,6 +831,10 @@ fn diverges(sources: &[(String, String)], oracle: &Oracle) -> Option<String> {
             "jobs=1",
             "jobs=4",
         ),
+        Oracle::Pool => match run_fresh(sources, Engine::Bytecode, 1, None) {
+            Err(m) => Some(format!("cold baseline panicked: {m}")),
+            Ok(cold) => compare_pool(&cold, &fuzz_pool(4), "min", sources),
+        },
         Oracle::Faults(spec) => compare_engines(sources, Some(spec)),
         Oracle::Induced(spec) => compare(
             run_fresh(sources, Engine::Bytecode, 1, None),
@@ -914,6 +999,7 @@ struct Stats {
     warm_runs: usize,
     post_edit_runs: usize,
     jobs_runs: usize,
+    pool_runs: usize,
     fault_runs: usize,
 }
 
@@ -929,6 +1015,10 @@ pub(crate) fn run(cfg: &FuzzConfig) -> ExitCode {
     let mut warm = fresh_session(Engine::Bytecode, 1);
     let mut lowered = fresh_session(Engine::Lowered, 1);
     let mut legacy = fresh_session(Engine::Legacy, 1);
+    // ... plus the concurrent face of the same shape: a 4-worker pool fed
+    // every case for a rotating client, like `mayad --workers=4` serving
+    // four long-lived clients at once.
+    let pool = fuzz_pool(4);
 
     let mut stats = Stats::default();
     let mut seen_pairs: HashSet<(u16, u8)> = HashSet::new();
@@ -1079,6 +1169,14 @@ pub(crate) fn run(cfg: &FuzzConfig) -> ExitCode {
             record(Oracle::Jobs, i, sources, detail, &mut reports, &mut stats);
         }
 
+        // Oracle: the persistent worker pool must answer with exactly the
+        // cold outcome, whichever of its four clients (and thus worker
+        // threads and Arc-shared warm tiers) the case lands on.
+        stats.pool_runs += 1;
+        if let Some(detail) = compare_pool(&cold, &pool, &format!("c{}", i % 4), sources) {
+            record(Oracle::Pool, i, sources, detail, &mut reports, &mut stats);
+        }
+
         // Oracle: edit + revert through the warm session lands back on the
         // cold outcome (the invalidation cone must be exact both ways).
         stats.post_edit_runs += 1;
@@ -1178,8 +1276,13 @@ pub(crate) fn run(cfg: &FuzzConfig) -> ExitCode {
         stats.corpus_kept
     );
     println!(
-        "xtask fuzz: oracle runs: engine {}, warm {}, post-edit {}, jobs {}, faults {}",
-        stats.engine_runs, stats.warm_runs, stats.post_edit_runs, stats.jobs_runs, stats.fault_runs
+        "xtask fuzz: oracle runs: engine {}, warm {}, post-edit {}, jobs {}, pool {}, faults {}",
+        stats.engine_runs,
+        stats.warm_runs,
+        stats.post_edit_runs,
+        stats.jobs_runs,
+        stats.pool_runs,
+        stats.fault_runs
     );
     println!(
         "xtask fuzz: {} escaped panics, {} divergences ({} induced), {} unminimized; \
@@ -1260,6 +1363,7 @@ fn render_report(
     let _ = writeln!(out, "    \"warm_replay\": {},", s.warm_runs);
     let _ = writeln!(out, "    \"post_edit\": {},", s.post_edit_runs);
     let _ = writeln!(out, "    \"jobs\": {},", s.jobs_runs);
+    let _ = writeln!(out, "    \"pool\": {},", s.pool_runs);
     let _ = writeln!(out, "    \"faults\": {}", s.fault_runs);
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"escaped_panics\": {},", s.escaped_panics);

@@ -27,7 +27,11 @@
 //! workload (the interpreter-bound corpus programs) through the legacy
 //! tree walker and the lowered fast runtime, and fails unless the lowered
 //! runtime is at least 3x faster with a >= 90% inline-cache hit rate.
-//! Part of the pre-merge verify flow.
+//! The `service` bench drives concurrent clients through the worker-pool
+//! service (`mayad --workers=8`) and fails unless it delivers at least 4x
+//! the compiles/sec of a stateless single-worker loop (fresh session per
+//! request) at concurrency 8, with p99 client-observed latency gated
+//! against the committed snapshot at concurrency 8 and 64. Part of the pre-merge verify flow.
 //!
 //! `cargo xtask fuzz-lite [--cases=N] [--seed=S]` drives seeded random
 //! (often corrupt) sources through the full multi-error pipeline and
@@ -41,8 +45,8 @@
 //!
 //! `cargo xtask fuzz [--cases=N] [--seed=S] [--budget=SECS] [--induce]`
 //! is the grammar-aware differential layer (see `fuzz.rs`): programs and
-//! Mayan extensions derived from the base grammar's productions, four
-//! oracles (engines, warm/post-edit session, jobs, fault injection),
+//! Mayan extensions derived from the base grammar's productions, five
+//! oracles (engines, warm/post-edit session, jobs, worker pool, faults),
 //! telemetry-driven coverage seeds, and auto-minimization of any
 //! divergence into `tests/corpus/regressions/`. Writes `BENCH_fuzz.json`.
 //!
@@ -673,6 +677,205 @@ fn server_bench() -> ServerBench {
     ServerBench { cold_ms, warm_recompile_ms, full_reuse_ms }
 }
 
+// ---- concurrent service bench ------------------------------------------------
+
+/// The worker pool must beat a stateless single-worker loop (fresh
+/// session per request, the `mayac`-process-per-compile model `mayad`
+/// replaces) by at least this factor in compiles/sec on the interleaved
+/// 8-client edit stream. The win is architectural, not parallel — this
+/// container has one core — the pool keeps one warm session per client,
+/// so each edit is a single-file recompile where the stateless loop
+/// re-shapes and re-checks the client's whole project.
+const SERVICE_MIN_SPEEDUP: f64 = 4.0;
+/// Measured edit rounds per client at concurrency 8.
+const SERVICE_ROUNDS_8: usize = 10;
+/// Measured edit rounds per client at concurrency 64.
+const SERVICE_ROUNDS_64: usize = 4;
+/// Absolute slack for the self-relative p99 gates, one per concurrency
+/// level. On a one-core container a tail request waits behind up to
+/// concurrency-1 timesharing neighbours, so p99 noise scales with
+/// concurrency times per-compile cost: measured run-to-run spread is
+/// ~25ms at 8 clients and ~350ms at 64. These floors absorb that noise
+/// while still catching a real latency regression (which moves every
+/// request, not just the tail).
+const SERVICE_P99_FLOOR_8_MS: f64 = 40.0;
+const SERVICE_P99_FLOOR_64_MS: f64 = 400.0;
+
+/// One client's file set at one edit round: thirty classes plus a main
+/// (the `server_bench` project shape), names disjoint per client so no
+/// cross-client sharing can blur the comparison, and one fresh appended
+/// class per round so a warm per-client session does exactly one
+/// single-file recompile per request.
+fn service_client_sources(client: usize, round: usize) -> Vec<(String, String)> {
+    let mut files = Vec::new();
+    for i in 0..30 {
+        let mut src = format!("class K{client}x{i} {{\n    int id() {{ return {i}; }}\n");
+        if i > 0 {
+            let _ = writeln!(
+                src,
+                "    int chained() {{ return new K{client}x{}().id() + id(); }}",
+                i - 1
+            );
+        }
+        for m in 0..8 {
+            let _ =
+                writeln!(src, "    int m{m}(int a) {{ int t = a * {m} + id(); return t - a; }}");
+        }
+        src.push_str("}\n");
+        files.push((format!("k{client}_{i:02}.maya"), src));
+    }
+    let _ = writeln!(files[5].1, "class E{client}r{round} {{ }}");
+    files.push((
+        format!("main{client}.maya"),
+        format!(
+            "class Main {{ static void main() {{ \
+             System.out.println(new K{client}x29().id() + {client}); }} }}\n"
+        ),
+    ));
+    files
+}
+
+fn service_expected_stdout(client: usize) -> String {
+    format!("{}\n", 29 + client)
+}
+
+struct ServicePhase {
+    requests: usize,
+    compiles_per_sec: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+}
+
+fn service_phase(mut latencies_ms: Vec<f64>, total_secs: f64) -> ServicePhase {
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let n = latencies_ms.len();
+    let p99_idx = ((n as f64 * 0.99).ceil() as usize).clamp(1, n) - 1;
+    ServicePhase {
+        requests: n,
+        compiles_per_sec: n as f64 / total_secs.max(1e-9),
+        p99_ms: latencies_ms[p99_idx],
+        mean_ms: latencies_ms.iter().sum::<f64>() / n as f64,
+    }
+}
+
+struct ServiceBench {
+    /// The stateless shape: a single-worker loop that builds a fresh
+    /// session per request, fed the interleaved 8-client stream serially.
+    baseline: ServicePhase,
+    /// 8 concurrent clients against an 8-worker pool.
+    pool8: ServicePhase,
+    /// 64 concurrent clients against the same 8-worker pool.
+    pool64: ServicePhase,
+}
+
+impl ServiceBench {
+    fn speedup(&self) -> f64 {
+        self.pool8.compiles_per_sec / self.baseline.compiles_per_sec.max(1e-9)
+    }
+}
+
+/// Drives `clients` concurrent client threads through one 8-worker pool:
+/// a warmup round per client (untimed), then `rounds` sequential
+/// edit-recompile requests each, measuring client-observed latency
+/// (submit to reply) and aggregate throughput.
+fn service_pool_phase(clients: usize, rounds: usize) -> ServicePhase {
+    use maya::core::json::{parse_json, Json};
+    use maya::core::service::{CompilePool, PoolConfig, PoolRequest};
+
+    let pool = CompilePool::start(PoolConfig { workers: 8, queue_cap: 64, ..PoolConfig::default() });
+    let opts = maya::RequestOpts::default();
+    let request = |c: usize, r: usize| -> String {
+        pool.submit(
+            &format!("c{c}"),
+            PoolRequest::Sources { sources: service_client_sources(c, r), opts: opts.clone() },
+        )
+        .recv()
+        .expect("pool dropped a reply")
+    };
+    let check = |c: usize, reply: &str, warm: bool| {
+        let j = parse_json(reply).expect("pool reply is JSON");
+        assert_eq!(j.get("ok").and_then(Json::as_bool), Some(true), "refused: {reply}");
+        assert_eq!(j.get("success").and_then(Json::as_bool), Some(true), "failed: {reply}");
+        assert_eq!(
+            j.get("stdout").and_then(Json::as_str),
+            Some(service_expected_stdout(c).as_str()),
+            "client {c} got the wrong program output: {reply}"
+        );
+        if warm {
+            // The per-client session must have stayed warm across the
+            // concurrent schedule: one file recompiled, the rest reused.
+            assert!(
+                j.get("files_reused").and_then(Json::as_u64) >= Some(10),
+                "client {c} lost its warm state: {reply}"
+            );
+        }
+    };
+
+    let request = &request;
+    let check = &check;
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            s.spawn(move || check(c, &request(c, 0), false));
+        }
+    });
+
+    let started = std::time::Instant::now();
+    let latencies: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(rounds);
+                    for r in 1..=rounds {
+                        let t0 = std::time::Instant::now();
+                        let reply = request(c, r);
+                        lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                        check(c, &reply, true);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+    let total = started.elapsed().as_secs_f64();
+    pool.shutdown();
+    service_phase(latencies, total)
+}
+
+/// The pre-service shape: a single-worker loop with no session state
+/// between requests — each request builds a fresh session, the way a
+/// `mayac` process per compile would. It keeps the thread-local grammar
+/// table memo warm (one untimed request first), so the gap it measures
+/// against the pool is session reuse alone: per-client sessions answer
+/// an edit with a one-file recompile where the stateless loop re-shapes
+/// and re-checks every file of every request.
+fn service_baseline_phase(clients: usize, rounds: usize) -> ServicePhase {
+    let opts = maya::RequestOpts::default();
+    let warm = server_session().compile_sources(&service_client_sources(0, 0), &opts);
+    assert!(warm.success, "baseline warmup failed:\n{}", warm.stderr);
+    let started = std::time::Instant::now();
+    let mut latencies = Vec::with_capacity(clients * rounds);
+    for r in 1..=rounds {
+        for c in 0..clients {
+            let t0 = std::time::Instant::now();
+            let out = server_session().compile_sources(&service_client_sources(c, r), &opts);
+            latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+            assert!(out.success, "baseline round failed:\n{}", out.stderr);
+            assert_eq!(out.stdout, service_expected_stdout(c));
+        }
+    }
+    let total = started.elapsed().as_secs_f64();
+    service_phase(latencies, total)
+}
+
+fn service_bench() -> ServiceBench {
+    ServiceBench {
+        baseline: service_baseline_phase(8, SERVICE_ROUNDS_8),
+        pool8: service_pool_phase(8, SERVICE_ROUNDS_8),
+        pool64: service_pool_phase(64, SERVICE_ROUNDS_64),
+    }
+}
+
 // ---- interpreter bench -------------------------------------------------------
 
 /// The bytecode VM tier must beat the legacy tree walker by at least this
@@ -829,7 +1032,12 @@ fn perf_counter(m: &PerfMeasure, c: Counter) -> u64 {
     m.counters.iter().find(|(k, _)| *k == c).map_or(0, |(_, v)| *v)
 }
 
-fn render_perf(rows: &[PerfRow], server: &ServerBench, interp: &InterpBench) -> String {
+fn render_perf(
+    rows: &[PerfRow],
+    server: &ServerBench,
+    service: &ServiceBench,
+    interp: &InterpBench,
+) -> String {
     let counter_block = |m: &PerfMeasure, indent: &str| {
         let lines: Vec<String> = m
             .counters
@@ -875,6 +1083,29 @@ fn render_perf(rows: &[PerfRow], server: &ServerBench, interp: &InterpBench) -> 
         server.warm_recompile_ms,
         server.full_reuse_ms,
         server.speedup(),
+    );
+    let _ = writeln!(
+        out,
+        "  \"service\": {{\n    \"baseline_requests\": {},\n    \
+         \"baseline_compiles_per_sec\": {:.1},\n    \"baseline_p99_ms\": {:.2},\n    \
+         \"baseline_mean_ms\": {:.2},\n    \"pool8_requests\": {},\n    \
+         \"pool8_compiles_per_sec\": {:.1},\n    \"pool8_p99_ms\": {:.2},\n    \
+         \"pool8_mean_ms\": {:.2},\n    \"pool8_speedup\": {:.2},\n    \
+         \"pool64_requests\": {},\n    \"pool64_compiles_per_sec\": {:.1},\n    \
+         \"pool64_p99_ms\": {:.2},\n    \"pool64_mean_ms\": {:.2}\n  }},",
+        service.baseline.requests,
+        service.baseline.compiles_per_sec,
+        service.baseline.p99_ms,
+        service.baseline.mean_ms,
+        service.pool8.requests,
+        service.pool8.compiles_per_sec,
+        service.pool8.p99_ms,
+        service.pool8.mean_ms,
+        service.speedup(),
+        service.pool64.requests,
+        service.pool64.compiles_per_sec,
+        service.pool64.p99_ms,
+        service.pool64.mean_ms,
     );
     let _ = writeln!(
         out,
@@ -998,6 +1229,30 @@ fn perf_gate() -> ExitCode {
         failed = true;
     }
 
+    // Gate 3b (absolute): the concurrent worker-pool service must beat
+    // the stateless single-worker loop by SERVICE_MIN_SPEEDUP in
+    // compiles/sec on the interleaved 8-client edit stream.
+    let service = service_bench();
+    println!(
+        "xtask perf: service            baseline {:>7.1}/s (p99 {:>7.2}ms)  \
+         pool@8 {:>7.1}/s (p99 {:>7.2}ms)  pool@64 {:>7.1}/s (p99 {:>7.2}ms)  ({:.2}x)",
+        service.baseline.compiles_per_sec,
+        service.baseline.p99_ms,
+        service.pool8.compiles_per_sec,
+        service.pool8.p99_ms,
+        service.pool64.compiles_per_sec,
+        service.pool64.p99_ms,
+        service.speedup()
+    );
+    if service.speedup() < SERVICE_MIN_SPEEDUP {
+        eprintln!(
+            "xtask perf: worker pool too slow: only {:.2}x the stateless single-worker \
+             loop's compiles/sec at concurrency 8 (need {SERVICE_MIN_SPEEDUP:.1}x)",
+            service.speedup()
+        );
+        failed = true;
+    }
+
     // Gate 4 (absolute): the bytecode VM tier must beat the legacy tree
     // walker on the interpreter-bound workload, with healthy inline-cache
     // and PIC hit rates (the fast paths must actually be taken, not just
@@ -1043,8 +1298,9 @@ fn perf_gate() -> ExitCode {
     }
 
     // Gate 5 (wall clock, self-relative): no fast-path run may regress more
-    // than PERF_TOLERANCE against the committed snapshot.
-    let doc = render_perf(&rows, &server, &interp);
+    // than PERF_TOLERANCE against the committed snapshot, and the service
+    // tail latencies may not regress against their committed baselines.
+    let doc = render_perf(&rows, &server, &service, &interp);
     let baseline_path = root.join("BENCH_perf.json");
     match std::fs::read_to_string(&baseline_path) {
         Ok(baseline) => {
@@ -1059,6 +1315,23 @@ fn perf_gate() -> ExitCode {
                         "xtask perf: {} REGRESSED: warm {:.2}ms vs baseline {old:.2}ms \
                          (limit {limit:.2}ms)",
                         row.name, row.fast_warm.ms
+                    );
+                    failed = true;
+                }
+            }
+            for (key, now, floor) in [
+                ("pool8_p99_ms", service.pool8.p99_ms, SERVICE_P99_FLOOR_8_MS),
+                ("pool64_p99_ms", service.pool64.p99_ms, SERVICE_P99_FLOOR_64_MS),
+            ] {
+                let Some(old) = perf_baseline_ms(&baseline, "service", key) else {
+                    println!("xtask perf: service {key} has no baseline yet");
+                    continue;
+                };
+                let limit = old * (1.0 + PERF_TOLERANCE) + floor;
+                if now > limit {
+                    eprintln!(
+                        "xtask perf: service {key} REGRESSED: {now:.2}ms vs baseline \
+                         {old:.2}ms (limit {limit:.2}ms)"
                     );
                     failed = true;
                 }

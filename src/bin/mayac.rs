@@ -209,6 +209,7 @@ fn request_opts(cli: &Cli) -> RequestOpts {
         error_format: cli.error_format,
         max_errors: cli.max_errors.unwrap_or(20),
         deny_warnings: cli.deny_warnings,
+        fuel: None,
     }
 }
 

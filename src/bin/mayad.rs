@@ -3,26 +3,31 @@
 //! Usage:
 //!
 //! ```text
-//! mayad --socket=PATH [--max-inflight=N] [--jobs=N]
-//!       [--table-cache=DIR] [--stats=FILE]
+//! mayad --socket=PATH [--tcp=ADDR] [--workers=N] [--queue-cap=N]
+//!       [--max-inflight=N] [--max-request-bytes=N] [--fuel=N]
+//!       [--jobs=N] [--table-cache=DIR] [--stats=FILE]
 //! ```
 //!
-//! `mayad` keeps one incremental [`Session`] resident and serves compile
-//! requests over a unix domain socket, one newline-delimited JSON object
-//! per request (see README.md § Incremental compilation). Because the
-//! session, the process-global interner, and the thread-local LALR table
-//! memo all stay warm, a request that recompiles one changed file skips
-//! most of the work a cold `mayac` run would do — while producing
-//! byte-identical `stdout`/`stderr`.
+//! `mayad` serves compile requests over a unix domain socket (and, with
+//! `--tcp=ADDR`, over TCP with the same protocol), one newline-delimited
+//! JSON object per request (see README.md § Incremental compilation).
+//! Requests are executed by a pool of `--workers` threads
+//! ([`maya::core::service::CompilePool`]); each *client* (the optional
+//! `"client"` request field, default `"default"`) is pinned to one worker
+//! and gets its own warm incremental [`Session`], while the workers share
+//! the process-global interner, LALR table memo, and lexed-tree cache —
+//! so a request that recompiles one changed file skips most of the work a
+//! cold `mayac` run would do, while producing byte-identical
+//! `stdout`/`stderr`.
 //!
 //! ## Protocol
 //!
 //! Compile request (any field but `files` may be omitted):
 //!
 //! ```json
-//! {"files": ["a.maya"], "main": "Main", "run": true, "expand": false,
-//!  "error_format": "human", "max_errors": 20, "deny_warnings": false,
-//!  "uses": []}
+//! {"files": ["a.maya"], "client": "default", "main": "Main", "run": true,
+//!  "expand": false, "error_format": "human", "max_errors": 20,
+//!  "deny_warnings": false, "uses": [], "fuel": 500000}
 //! ```
 //!
 //! Response:
@@ -33,49 +38,65 @@
 //!  "files_recompiled": 1, "grammar_reuses": 3}
 //! ```
 //!
-//! Control requests: `{"cmd": "ping"}`, `{"cmd": "stats"}`, and
+//! Control requests: `{"cmd": "ping"}`, `{"cmd": "stats"}`,
+//! `{"cmd": "sleep", "ms": N}` (test aid; occupies one worker), and
 //! `{"cmd": "shutdown"}`. A malformed line gets
 //! `{"ok": false, "error": "..."}` and the connection stays open.
 //!
-//! `stats` reports the cumulative session counters plus the warm LALR memo
-//! size, a per-request latency histogram (`count`, `mean_ms`,
-//! `p50_ms`/`p95_ms`/`p99_ms`, and the non-empty log₂ `buckets`), the
-//! per-phase time breakdown aggregated over every compile request, and the
-//! lifetime hit/miss/size gauges of each pipeline cache — every compile
-//! request runs under its own telemetry session, merged into one
-//! aggregate. `--stats=FILE` writes that aggregate (schema
-//! `maya-telemetry/1`) at shutdown.
+//! ## Quotas and backpressure
 //!
-//! ## Concurrency
+//! A client may pipeline up to `--max-inflight` requests (default 8);
+//! more get an immediate `{"ok": false, "quota": "max_inflight"}` reply.
+//! Requests over `--max-request-bytes` are refused with
+//! `"quota": "request_bytes"`. When a worker's queue stays full past a
+//! bounded wait the reply is `{"ok": false, "overloaded": true}` — the
+//! server never hangs a client and the connection stays usable. Replies
+//! always arrive in request order per connection.
 //!
-//! The compiler is single-threaded by design (`Rc` everywhere), so the
-//! session lives on the main thread. An acceptor thread takes
-//! connections; one reader thread per connection decodes lines and feeds
-//! them through a bounded queue of `--max-inflight` (default 8) pending
-//! requests — the batching knob: past that, clients block in `write`
-//! rather than ballooning the server's memory. Requests are answered in
-//! queue order.
+//! ## Shutdown
+//!
+//! `{"cmd": "shutdown"}` is answered with a farewell, then the server
+//! stops accepting connections, *drains* every queued request (each gets
+//! its real reply), joins the worker and acceptor threads, writes
+//! `--stats=FILE` if asked, and removes the socket file. A SIGKILL'd or
+//! crashed server leaves a stale socket file behind; the next start
+//! removes it before binding.
 
 use maya::core::json::{parse_json, Json};
-use maya::core::{ErrorFormat, Outcome, RequestOpts, Session, SessionStats};
-use maya::telemetry::{self, CacheId, Histogram, JsonWriter, Phase, Report};
-use maya::{CompileOptions, Compiler};
+use maya::core::service::{error_response, CompilePool, PoolConfig, PoolRequest};
+use maya::Compiler;
 use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::process::ExitCode;
-use std::rc::Rc;
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
 
 #[derive(Default)]
 struct Cli {
     socket: Option<String>,
+    tcp: Option<String>,
+    workers: Option<usize>,
+    queue_cap: Option<usize>,
     max_inflight: Option<usize>,
+    max_request_bytes: Option<usize>,
+    fuel: Option<u64>,
     jobs: Option<usize>,
     table_cache: Option<String>,
     stats: Option<String>,
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+    fn positive<T: std::str::FromStr + PartialOrd + From<u8>>(
+        flag: &str,
+        n: &str,
+    ) -> Result<T, String> {
+        match n.parse::<T>() {
+            Ok(v) if v >= T::from(1u8) => Ok(v),
+            _ => Err(format!("invalid {flag} value {n:?}")),
+        }
+    }
     let mut cli = Cli::default();
     for a in args {
         match a.as_str() {
@@ -86,16 +107,23 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                         return Err("missing path after --socket=".into());
                     }
                     cli.socket = Some(p.to_owned());
+                } else if let Some(addr) = other.strip_prefix("--tcp=") {
+                    if addr.is_empty() {
+                        return Err("missing address after --tcp=".into());
+                    }
+                    cli.tcp = Some(addr.to_owned());
+                } else if let Some(n) = other.strip_prefix("--workers=") {
+                    cli.workers = Some(positive("--workers", n)?);
+                } else if let Some(n) = other.strip_prefix("--queue-cap=") {
+                    cli.queue_cap = Some(positive("--queue-cap", n)?);
                 } else if let Some(n) = other.strip_prefix("--max-inflight=") {
-                    match n.parse::<usize>() {
-                        Ok(n) if n > 0 => cli.max_inflight = Some(n),
-                        _ => return Err(format!("invalid --max-inflight value {n:?}")),
-                    }
+                    cli.max_inflight = Some(positive("--max-inflight", n)?);
+                } else if let Some(n) = other.strip_prefix("--max-request-bytes=") {
+                    cli.max_request_bytes = Some(positive("--max-request-bytes", n)?);
+                } else if let Some(n) = other.strip_prefix("--fuel=") {
+                    cli.fuel = Some(positive("--fuel", n)?);
                 } else if let Some(n) = other.strip_prefix("--jobs=") {
-                    match n.parse::<usize>() {
-                        Ok(n) if n > 0 => cli.jobs = Some(n),
-                        _ => return Err(format!("invalid --jobs value {n:?}")),
-                    }
+                    cli.jobs = Some(positive("--jobs", n)?);
                 } else if let Some(d) = other.strip_prefix("--table-cache=") {
                     if d.is_empty() {
                         return Err("missing directory after --table-cache=".into());
@@ -118,38 +146,34 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
     Ok(cli)
 }
 
-/// One decoded line from some connection, awaiting the session's answer.
-enum Job {
-    Request {
-        line: String,
-        reply: mpsc::Sender<String>,
-    },
-    /// The client asked to shut down; its reader already flushed the
-    /// farewell reply.
-    Shutdown,
-}
-
-/// Lifetime aggregates over every request served, fed by the per-request
-/// telemetry sessions in the main loop.
+/// Replies still owed to some connection's writer thread. Shutdown waits
+/// (bounded) for this to reach zero so a drained request's reply is
+/// actually flushed to its client before the process exits.
 #[derive(Default)]
-struct ServerMetrics {
-    /// Wall time of each compile request, in nanoseconds (control
-    /// requests carry no `request_ns` sample and don't land here).
-    latency: Histogram,
-    /// Every per-request [`Report`] merged together: phase times and
-    /// counters accumulate across requests.
-    aggregate: Option<Report>,
+struct PendingWrites {
+    n: Mutex<u64>,
+    cv: Condvar,
 }
 
-impl ServerMetrics {
-    fn record(&mut self, report: Report) {
-        if let Some(h) = report.hist("request_ns") {
-            self.latency.merge(h);
+impl PendingWrites {
+    fn inc(&self) {
+        *self.n.lock().expect("pending poisoned") += 1;
+    }
+
+    fn dec(&self) {
+        let mut n = self.n.lock().expect("pending poisoned");
+        *n -= 1;
+        if *n == 0 {
+            self.cv.notify_all();
         }
-        match &mut self.aggregate {
-            Some(agg) => agg.merge(&report),
-            None => self.aggregate = Some(report),
-        }
+    }
+
+    fn wait_zero(&self, timeout: Duration) {
+        let n = self.n.lock().expect("pending poisoned");
+        let _ = self
+            .cv
+            .wait_timeout_while(n, timeout, |n| *n != 0)
+            .expect("pending poisoned");
     }
 }
 
@@ -164,81 +188,133 @@ fn main() -> ExitCode {
         let _ = std::fs::create_dir_all(dir);
         maya::grammar::set_table_cache_dir(Some(std::path::PathBuf::from(dir)));
     }
-    let jobs = cli.jobs.unwrap_or_else(|| {
+    let workers = cli.workers.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
     });
-    let installer = Rc::new(|c: &Compiler| {
-        maya::macrolib::install(c);
-        maya::multijava::install(c);
-    }) as Rc<dyn Fn(&Compiler)>;
-    let mut session = Session::new(
-        CompileOptions {
-            echo_output: false,
-            jobs,
-            ..CompileOptions::default()
-        },
-        Some(installer),
-    );
-    let mut metrics = ServerMetrics::default();
+    let mut config = PoolConfig {
+        workers,
+        jobs: cli.jobs.unwrap_or(1),
+        installer: Some(Arc::new(|c: &Compiler| {
+            maya::macrolib::install(c);
+            maya::multijava::install(c);
+        })),
+        ..PoolConfig::default()
+    };
+    if let Some(n) = cli.queue_cap {
+        config.queue_cap = n;
+    }
+    if let Some(n) = cli.max_inflight {
+        config.max_inflight = n;
+    }
+    if let Some(n) = cli.max_request_bytes {
+        config.max_request_bytes = n;
+    }
+    if let Some(f) = cli.fuel {
+        config.fuel = f;
+    }
+    let pool = Arc::new(CompilePool::start(config));
 
     // A stale socket file from a crashed server would make bind fail.
     let _ = std::fs::remove_file(&socket_path);
-    let listener = match UnixListener::bind(&socket_path) {
+    let unix_listener = match UnixListener::bind(&socket_path) {
         Ok(l) => l,
         Err(e) => {
             eprintln!("mayad: cannot bind {socket_path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    eprintln!("mayad: listening on {socket_path}");
-
-    let max_inflight = cli.max_inflight.unwrap_or(8);
-    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(max_inflight);
-    std::thread::spawn(move || {
-        for conn in listener.incoming() {
-            let Ok(stream) = conn else { break };
-            let tx = job_tx.clone();
-            std::thread::spawn(move || serve_connection(stream, &tx));
-        }
-    });
-
-    // The session loop: single-threaded, in queue order, so every request
-    // sees the warm caches of the one before it. Each request runs under
-    // its own telemetry session; the per-request reports are merged into
-    // one lifetime aggregate so `stats` can serve latency percentiles and
-    // phase breakdowns at any point.
-    for job in job_rx {
-        match job {
-            Job::Request { line, reply } => {
-                let t = telemetry::Session::start(telemetry::Config::default());
-                // The session sandboxes the compile pipeline itself, but a
-                // panic in request decoding, change detection, or response
-                // rendering would otherwise unwind past this loop and kill
-                // the server for every client. Isolate it: the one client
-                // gets an error reply, the session is reset to a coherent
-                // (cold) state, and the server keeps serving.
-                let response = match maya::core::catch_ice(std::panic::AssertUnwindSafe(|| {
-                    handle_line(&mut session, &metrics, &line)
-                })) {
-                    Ok(r) => r,
-                    Err(panic_msg) => {
-                        telemetry::count(telemetry::Counter::ServerPanicsIsolated);
-                        session.reset();
-                        error_response(&format!("request panicked (isolated): {panic_msg}"))
-                    }
-                };
-                metrics.record(t.finish());
-                let _ = reply.send(response);
+    let tcp_listener = match &cli.tcp {
+        Some(addr) => match TcpListener::bind(addr) {
+            Ok(l) => Some(l),
+            Err(e) => {
+                eprintln!("mayad: cannot bind tcp {addr}: {e}");
+                let _ = std::fs::remove_file(&socket_path);
+                return ExitCode::FAILURE;
             }
-            Job::Shutdown => break,
-        }
+        },
+        None => None,
+    };
+    let tcp_addr = tcp_listener.as_ref().and_then(|l| l.local_addr().ok());
+    match tcp_addr {
+        Some(addr) => eprintln!("mayad: listening on {socket_path} and tcp {addr}"),
+        None => eprintln!("mayad: listening on {socket_path}"),
     }
 
+    let closing = Arc::new(AtomicBool::new(false));
+    let pending = Arc::new(PendingWrites::default());
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+
+    // Unix acceptor (joined at shutdown, unlike the old detached thread).
+    let unix_acceptor = {
+        let pool = pool.clone();
+        let closing = closing.clone();
+        let pending = pending.clone();
+        let done = done_tx.clone();
+        std::thread::spawn(move || {
+            for conn in unix_listener.incoming() {
+                if closing.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { break };
+                let pool = pool.clone();
+                let pending = pending.clone();
+                let done = done.clone();
+                std::thread::spawn(move || {
+                    let Ok(read_half) = stream.try_clone() else { return };
+                    serve_connection(read_half, stream, &pool, &pending, &done);
+                });
+            }
+        })
+    };
+    let tcp_acceptor = tcp_listener.map(|listener| {
+        let pool = pool.clone();
+        let closing = closing.clone();
+        let pending = pending.clone();
+        let done = done_tx.clone();
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if closing.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { break };
+                let pool = pool.clone();
+                let pending = pending.clone();
+                let done = done.clone();
+                std::thread::spawn(move || {
+                    let Ok(read_half) = stream.try_clone() else { return };
+                    serve_connection(read_half, stream, &pool, &pending, &done);
+                });
+            }
+        })
+    });
+    drop(done_tx);
+
+    // Block until some client requests shutdown (or every acceptor dies).
+    let _ = done_rx.recv();
+
+    // Stop the acceptors: raise the flag, then poke each listener with a
+    // throwaway connection so `incoming()` returns and the loop sees it.
+    closing.store(true, Ordering::SeqCst);
+    let _ = UnixStream::connect(&socket_path);
+    if let Some(addr) = tcp_addr {
+        let _ = TcpStream::connect(addr);
+    }
+    let _ = unix_acceptor.join();
+    if let Some(t) = tcp_acceptor {
+        let _ = t.join();
+    }
+
+    // Drain the pool (every queued request gets its real reply), then
+    // give the connection writers a bounded window to flush those
+    // replies to their clients.
+    let report = pool.shutdown();
+    pending.wait_zero(Duration::from_secs(5));
+
     if let Some(path) = cli.stats.as_deref() {
-        let report = metrics.aggregate.take().unwrap_or_else(|| {
-            telemetry::Session::start(telemetry::Config::default()).finish()
+        let report = report.unwrap_or_else(|| {
+            maya::telemetry::Session::start(maya::telemetry::Config::default()).finish()
         });
         if let Err(e) = write_creating_dirs(path, &report.to_json()) {
             eprintln!("mayad: cannot write {path}: {e}");
@@ -249,206 +325,94 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Reader thread: one line in, one line out, until EOF. The farewell for
-/// `shutdown` is written *and flushed* before the main loop is told, so
-/// the client always sees its reply.
-fn serve_connection(stream: UnixStream, jobs: &mpsc::SyncSender<Job>) {
-    let Ok(write_half) = stream.try_clone() else { return };
-    let mut writer = std::io::BufWriter::new(write_half);
-    let reader = BufReader::new(stream);
+/// What the connection's writer thread emits next. `Pending` replies are
+/// resolved in submission order, so pipelined clients read answers in the
+/// order they asked.
+enum ConnReply {
+    Pending(mpsc::Receiver<String>),
+    Immediate(String),
+}
+
+/// One connection: this (reader) thread decodes lines and submits them to
+/// the pool; a writer thread flushes replies in order. The split lets a
+/// client pipeline requests without losing reply ordering.
+fn serve_connection<R, W>(
+    read_half: R,
+    write_half: W,
+    pool: &Arc<CompilePool>,
+    pending: &Arc<PendingWrites>,
+    done: &mpsc::Sender<()>,
+) where
+    R: std::io::Read,
+    W: Write + Send + 'static,
+{
+    let (order_tx, order_rx) = mpsc::channel::<ConnReply>();
+    let writer = {
+        let pending = pending.clone();
+        std::thread::spawn(move || {
+            let mut w = std::io::BufWriter::new(write_half);
+            let mut broken = false;
+            for r in order_rx {
+                let line = match r {
+                    ConnReply::Pending(rx) => {
+                        let line = rx.recv().unwrap_or_default();
+                        pending.dec();
+                        line
+                    }
+                    ConnReply::Immediate(line) => line,
+                };
+                if broken || line.is_empty() {
+                    continue;
+                }
+                if writeln!(w, "{line}").is_err() || w.flush().is_err() {
+                    // Keep draining so pending counts stay balanced, but
+                    // stop touching the dead socket.
+                    broken = true;
+                }
+            }
+        })
+    };
+    let reader = BufReader::new(read_half);
     for line in reader.lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
             continue;
         }
-        let is_shutdown = parse_json(&line)
-            .ok()
-            .and_then(|v| v.get("cmd").and_then(Json::as_str).map(|c| c == "shutdown"))
-            .unwrap_or(false);
-        if is_shutdown {
-            let _ = writeln!(writer, "{}", r#"{"ok": true, "bye": true}"#);
-            let _ = writer.flush();
-            let _ = jobs.send(Job::Shutdown);
+        let parsed = parse_json(&line).ok();
+        let cmd = parsed
+            .as_ref()
+            .and_then(|v| v.get("cmd").and_then(Json::as_str));
+        if cmd == Some("shutdown") {
+            // The farewell is flushed (writer joined) before the main
+            // thread is told, so the client always sees its reply.
+            let _ = order_tx.send(ConnReply::Immediate(r#"{"ok": true, "bye": true}"#.to_owned()));
+            drop(order_tx);
+            let _ = writer.join();
+            let _ = done.send(());
             return;
         }
-        let (reply_tx, reply_rx) = mpsc::channel();
-        if jobs
-            .send(Job::Request {
-                line,
-                reply: reply_tx,
-            })
-            .is_err()
-        {
-            return;
-        }
-        let Ok(response) = reply_rx.recv() else { return };
-        if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
-            return;
-        }
-    }
-}
-
-/// Decodes one request line, runs it against the session, encodes the
-/// response. Never panics the server: a malformed request is an `ok:
-/// false` reply, and the session converts compiler panics into ICE
-/// diagnostics itself.
-fn handle_line(session: &mut Session, metrics: &ServerMetrics, line: &str) -> String {
-    let parsed = match parse_json(line) {
-        Ok(v) => v,
-        Err(e) => return error_response(&format!("malformed request: {e}")),
-    };
-    match parsed.get("cmd").and_then(Json::as_str) {
-        Some("ping") => return r#"{"ok": true, "pong": true}"#.to_owned(),
-        Some("stats") => return stats_response(&session.stats(), metrics),
-        Some(other) => return error_response(&format!("unknown cmd {other:?}")),
-        None => {}
-    }
-    let Some(files) = parsed.get("files").and_then(Json::as_arr) else {
-        return error_response("missing \"files\" array");
-    };
-    let mut paths = Vec::new();
-    for f in files {
-        match f.as_str() {
-            Some(s) => paths.push(s.to_owned()),
-            None => return error_response("\"files\" entries must be strings"),
+        let client = match parsed.as_ref().and_then(|v| v.get("client")) {
+            None => "default".to_owned(),
+            Some(c) => match c.as_str() {
+                Some(s) if !s.is_empty() => s.to_owned(),
+                _ => {
+                    let r = error_response("\"client\" must be a non-empty string");
+                    if order_tx.send(ConnReply::Immediate(r)).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+            },
+        };
+        pending.inc();
+        let rx = pool.submit(&client, PoolRequest::Line(line));
+        if order_tx.send(ConnReply::Pending(rx)).is_err() {
+            pending.dec();
+            break;
         }
     }
-    if paths.is_empty() {
-        return error_response("\"files\" must not be empty");
-    }
-    let mut opts = RequestOpts::default();
-    if let Some(m) = parsed.get("main").and_then(Json::as_str) {
-        opts.main_class = m.to_owned();
-    }
-    if let Some(r) = parsed.get("run").and_then(Json::as_bool) {
-        opts.run = r;
-    }
-    if let Some(x) = parsed.get("expand").and_then(Json::as_bool) {
-        opts.expand = x;
-    }
-    if let Some(d) = parsed.get("deny_warnings").and_then(Json::as_bool) {
-        opts.deny_warnings = d;
-    }
-    if let Some(n) = parsed.get("max_errors").and_then(Json::as_u64) {
-        if n == 0 {
-            return error_response("\"max_errors\" must be positive");
-        }
-        opts.max_errors = n as usize;
-    }
-    match parsed.get("error_format").and_then(Json::as_str) {
-        None | Some("human") => opts.error_format = ErrorFormat::Human,
-        Some("json") => opts.error_format = ErrorFormat::Json,
-        Some(other) => return error_response(&format!("unknown error format {other:?}")),
-    }
-    if let Some(uses) = parsed.get("uses").and_then(Json::as_arr) {
-        for u in uses {
-            match u.as_str() {
-                Some(s) => opts.uses.push(s.to_owned()),
-                None => return error_response("\"uses\" entries must be strings"),
-            }
-        }
-    }
-    // Fault site for the request-level isolation above: a panic here is
-    // outside the session's compile sandbox, exactly the class of failure
-    // the catch in the main loop exists for.
-    if let Err(e) = maya::core::faults::trip("server") {
-        return error_response(&e);
-    }
-    let outcome = session.compile(&paths, &opts);
-    compile_response(&outcome)
-}
-
-fn error_response(message: &str) -> String {
-    let mut w = JsonWriter::new();
-    w.begin_obj()
-        .field_bool("ok", false)
-        .field_str("error", message)
-        .end_obj();
-    w.finish()
-}
-
-fn compile_response(o: &Outcome) -> String {
-    let mut w = JsonWriter::new();
-    w.begin_obj()
-        .field_bool("ok", true)
-        .field_bool("success", o.success)
-        .field_str("stdout", &o.stdout)
-        .field_str("stderr", &o.stderr)
-        .field_bool("full_reuse", o.full_reuse)
-        .field_u64("files_changed", o.files_changed as u64)
-        .field_u64("files_reused", o.files_reused as u64)
-        .field_u64("files_recompiled", o.files_recompiled as u64)
-        .field_u64("grammar_reuses", o.grammar_reuses as u64)
-        .end_obj();
-    w.finish()
-}
-
-fn ns_to_ms(ns: u64) -> f64 {
-    ns as f64 / 1e6
-}
-
-fn stats_response(s: &SessionStats, m: &ServerMetrics) -> String {
-    let mut w = JsonWriter::new();
-    w.begin_obj().field_bool("ok", true).key("stats").begin_obj();
-    w.field_u64("requests", s.requests)
-        .field_u64("full_reuses", s.full_reuses)
-        .field_u64("files_changed", s.files_changed)
-        .field_u64("files_reused", s.files_reused)
-        .field_u64("files_recompiled", s.files_recompiled)
-        .field_u64("grammar_reuses", s.grammar_reuses)
-        .field_u64("table_memo", maya::grammar::table_cache_len() as u64);
-
-    // Compile-request latency: percentiles over every served request.
-    let h = &m.latency;
-    w.key("latency").begin_obj();
-    w.field_u64("count", h.count())
-        .field_f64("mean_ms", h.mean() / 1e6)
-        .field_f64("p50_ms", ns_to_ms(h.percentile(50.0)))
-        .field_f64("p95_ms", ns_to_ms(h.percentile(95.0)))
-        .field_f64("p99_ms", ns_to_ms(h.percentile(99.0)))
-        .field_f64("max_ms", ns_to_ms(h.max()));
-    w.key("buckets").begin_arr();
-    for (lo, hi, n) in h.buckets() {
-        w.begin_obj()
-            .field_f64("lo_ms", ns_to_ms(lo))
-            .field_f64("hi_ms", ns_to_ms(hi))
-            .field_u64("count", n)
-            .end_obj();
-    }
-    w.end_arr().end_obj();
-
-    // Per-phase breakdown, aggregated across requests.
-    w.key("phases").begin_obj();
-    if let Some(agg) = &m.aggregate {
-        for p in Phase::ALL {
-            let calls = agg.phase_calls(p);
-            if calls == 0 {
-                continue;
-            }
-            w.key(p.name()).begin_obj();
-            w.field_f64("ms", agg.phase_time(p).as_secs_f64() * 1e3)
-                .field_u64("calls", calls)
-                .end_obj();
-        }
-    }
-    w.end_obj();
-
-    // Lifetime cache gauges (cumulative since server start, not deltas).
-    w.key("caches").begin_obj();
-    let snap = telemetry::cache_snapshot();
-    for (id, cs) in CacheId::ALL.iter().zip(snap.iter()) {
-        w.key(id.name()).begin_obj();
-        w.field_u64("hits", cs.hits)
-            .field_u64("misses", cs.misses)
-            .field_u64("size", cs.size)
-            .field_u64("evictions", cs.evictions)
-            .field_f64("hit_ratio", cs.hit_ratio())
-            .end_obj();
-    }
-    w.end_obj();
-
-    w.end_obj().end_obj();
-    w.finish()
+    drop(order_tx);
+    let _ = writer.join();
 }
 
 /// Writes `contents` to `path`, creating missing parent directories.
@@ -466,8 +430,9 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("mayad: {err}");
     }
     eprintln!(
-        "usage: mayad --socket=PATH [--max-inflight=N] [--jobs=N]\n\
-         \x20            [--table-cache=DIR] [--stats=FILE]"
+        "usage: mayad --socket=PATH [--tcp=ADDR] [--workers=N] [--queue-cap=N]\n\
+         \x20            [--max-inflight=N] [--max-request-bytes=N] [--fuel=N]\n\
+         \x20            [--jobs=N] [--table-cache=DIR] [--stats=FILE]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -432,6 +432,82 @@ fn table_cache_creates_missing_parent_dirs() {
 }
 
 #[test]
+fn mayad_shutdown_drains_inflight_requests_and_cleans_up() {
+    use maya::core::json::{parse_json, Json};
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::os::unix::net::UnixStream;
+
+    let dir = std::env::temp_dir().join(format!("mayad-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("p.maya"),
+        r#"class Main { static void main() { System.out.println("drained"); } }"#,
+    )
+    .unwrap();
+    let sock = dir.join("mayad.sock");
+    let stats = dir.join("stats/out.json");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mayad"))
+        .current_dir(&dir)
+        .arg(format!("--socket={}", sock.display()))
+        .arg(format!("--stats={}", stats.display()))
+        .arg("--workers=2")
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut conn_a = None;
+    for _ in 0..400 {
+        if let Ok(s) = UnixStream::connect(&sock) {
+            conn_a = Some(s);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let mut conn_a = conn_a.expect("mayad did not come up");
+
+    // Connection A pipelines a slow request plus a compile and does NOT
+    // read the replies yet.
+    conn_a
+        .write_all(b"{\"cmd\":\"sleep\",\"ms\":500}\n{\"files\":[\"p.maya\"]}\n")
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    // Connection B orders a shutdown while A's requests are in flight.
+    let mut conn_b = UnixStream::connect(&sock).unwrap();
+    conn_b.write_all(b"{\"cmd\":\"shutdown\"}\n").unwrap();
+    let mut bye = String::new();
+    BufReader::new(conn_b).read_line(&mut bye).unwrap();
+    assert!(bye.contains("\"bye\""), "shutdown must be acknowledged: {bye}");
+
+    // Shutdown drains: A still receives both real replies, in order.
+    let mut reader = BufReader::new(conn_a);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let slept = parse_json(&line).unwrap();
+    assert_eq!(slept.get("ok").and_then(Json::as_bool), Some(true), "{line}");
+    assert_eq!(slept.get("slept_ms").and_then(Json::as_u64), Some(500), "{line}");
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let compiled = parse_json(&line).unwrap();
+    assert_eq!(compiled.get("ok").and_then(Json::as_bool), Some(true), "{line}");
+    assert_eq!(compiled.get("success").and_then(Json::as_bool), Some(true), "{line}");
+    assert_eq!(compiled.get("stdout").and_then(Json::as_str), Some("drained\n"), "{line}");
+
+    // Clean exit: success status, socket removed, stats file written.
+    let status = child.wait().unwrap();
+    assert!(status.success(), "mayad must exit zero after shutdown");
+    assert!(!sock.exists(), "socket file must be removed on shutdown");
+    let doc = std::fs::read_to_string(&stats).expect("stats file written under created dirs");
+    let parsed = parse_json(&doc).expect("stats file must be valid JSON");
+    assert_eq!(
+        parsed.get("schema").and_then(Json::as_str),
+        Some("maya-telemetry/1"),
+        "{doc}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn watch_flag_is_accepted_in_usage() {
     // `--watch` never exits on its own, so only pin that the usage string
     // advertises it (a bad flag prints usage and fails).

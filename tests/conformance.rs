@@ -217,6 +217,105 @@ fn assert_matches_cold(name: &str, step: &str, warm: &Json, cold: &Output) {
     );
 }
 
+/// Pool determinism: the whole conformance corpus compiled through
+/// in-process worker pools of 1, 2, and 8 workers produces byte-identical
+/// reply strings. Every program is its own client with a three-step
+/// schedule (compile, identical re-request, real edit); the steps of all
+/// clients are submitted interleaved so larger pools genuinely serve
+/// clients concurrently, while per-client order — the determinism
+/// contract — must hold at every pool size.
+#[test]
+fn corpus_deterministic_across_pool_sizes() {
+    use maya::core::service::{CompilePool, PoolConfig, PoolRequest};
+    use maya::core::{ErrorFormat, RequestOpts};
+    use std::sync::Arc;
+
+    let dir = corpus_dir();
+    let mut cases = Vec::new();
+    for name in corpus_programs(&dir) {
+        let src = std::fs::read_to_string(dir.join(&name)).unwrap();
+        let d = parse_directives(&src);
+        let mut opts = RequestOpts::default();
+        let mut it = d.args.iter();
+        while let Some(a) = it.next() {
+            if a == "--expand" {
+                opts.expand = true;
+            } else if let Some(fmt) = a.strip_prefix("--error-format=") {
+                opts.error_format =
+                    if fmt == "json" { ErrorFormat::Json } else { ErrorFormat::Human };
+            } else if let Some(n) = a.strip_prefix("--max-errors=") {
+                opts.max_errors = n.parse().unwrap();
+            } else if a == "-use" {
+                opts.uses.push(it.next().expect("-use needs a value").clone());
+            } else {
+                panic!("corpus directive arg {a:?} has no RequestOpts mapping");
+            }
+        }
+        let steps = [
+            src.clone(),
+            src.clone(),
+            format!("{src}\nclass ZZTouched {{ }}\n"),
+        ];
+        cases.push((name, steps, opts));
+    }
+
+    let run = |workers: usize| -> Vec<Vec<String>> {
+        let pool = CompilePool::start(PoolConfig {
+            workers,
+            queue_cap: 4 * cases.len(),
+            installer: Some(Arc::new(|c| {
+                maya::macrolib::install(c);
+                maya::multijava::install(c);
+            })),
+            ..PoolConfig::default()
+        });
+        let mut pending: Vec<Vec<std::sync::mpsc::Receiver<String>>> =
+            cases.iter().map(|_| Vec::new()).collect();
+        for step in 0..3 {
+            for (i, (name, steps, opts)) in cases.iter().enumerate() {
+                let req = PoolRequest::Sources {
+                    sources: vec![(name.clone(), steps[step].clone())],
+                    opts: opts.clone(),
+                };
+                pending[i].push(pool.submit(name, req));
+            }
+        }
+        let replies = pending
+            .into_iter()
+            .map(|rxs| rxs.into_iter().map(|rx| rx.recv().unwrap()).collect())
+            .collect();
+        pool.shutdown();
+        replies
+    };
+
+    let golden = run(1);
+    for (i, (name, ..)) in cases.iter().enumerate() {
+        for (step, reply) in golden[i].iter().enumerate() {
+            let parsed = parse_json(reply).unwrap();
+            assert_eq!(
+                parsed.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "{name}: step {step} was refused by the single-worker pool: {reply}"
+            );
+        }
+        let reuse = parse_json(&golden[i][1]).unwrap();
+        assert_eq!(
+            reuse.get("full_reuse").and_then(Json::as_bool),
+            Some(true),
+            "{name}: identical re-request through the pool was not a full reuse"
+        );
+    }
+    for workers in [2usize, 8] {
+        let got = run(workers);
+        for (i, (name, ..)) in cases.iter().enumerate() {
+            assert_eq!(
+                golden[i], got[i],
+                "{name}: {workers}-worker pool replies diverge from the single-worker pool"
+            );
+        }
+    }
+}
+
 /// Differential pinning: for every corpus program the warm server output is
 /// byte-identical to cold `mayac`; an identical re-request is a full reuse;
 /// touching the file without changing it rebuilds nothing; a token-identical

@@ -179,6 +179,7 @@ fn mayad_protocol_round_trip() {
         "class_body_cache",
         "lower_store",
         "dispatch_memo",
+        "lex_share",
     ] {
         let g = caches.get(c).unwrap_or_else(|| panic!("cache {c} missing"));
         for k in ["hits", "misses", "size", "evictions"] {
@@ -354,4 +355,309 @@ fn panicking_request_is_isolated_and_server_survives() {
     assert!(ok(&resp), "server must keep compiling after isolation: {resp:?}");
     assert_eq!(resp.get("success").and_then(Json::as_bool), Some(true));
     assert_eq!(resp.get("stdout").and_then(Json::as_str), Some("alive\n"));
+}
+
+/// The same isolation holds with a worker pool: the fault panics one
+/// worker's request, that client gets the error reply, and every other
+/// client (pinned to other workers or the same one) keeps compiling.
+#[test]
+fn panicking_request_is_isolated_with_worker_pool() {
+    let srv = Mayad::start_env(
+        &["--workers=4".to_owned()],
+        &[("MAYA_FAULTS", "server:panic")],
+    );
+
+    std::fs::write(
+        srv.dir().join("ok.maya"),
+        r#"class Main { static void main() { System.out.println("alive"); } }"#,
+    )
+    .unwrap();
+
+    // Client "a" trips the once-per-process fault.
+    let hit = srv.raw_request(r#"{"files": ["ok.maya"], "client": "a"}"#);
+    assert!(!ok(&hit), "panicked request must be an error reply: {hit:?}");
+    assert!(hit
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("request panicked (isolated)"));
+
+    // Other clients — routed to other workers — are untouched, and the
+    // client whose session was reset recovers on its next request.
+    for client in ["b", "c", "d", "a"] {
+        let resp = srv.raw_request(&format!(
+            r#"{{"files": ["ok.maya"], "client": "{client}"}}"#
+        ));
+        assert!(ok(&resp), "client {client} after isolation: {resp:?}");
+        assert_eq!(resp.get("stdout").and_then(Json::as_str), Some("alive\n"));
+    }
+}
+
+// ---- worker-pool concurrency -------------------------------------------------
+
+/// A pipelined connection: write many request lines before reading any
+/// reply. Replies must come back in request order.
+struct Pipelined {
+    stream: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Pipelined {
+    fn connect(srv: &Mayad) -> Pipelined {
+        let stream = UnixStream::connect(&srv.sock).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Pipelined { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).unwrap();
+        self.stream.write_all(b"\n").unwrap();
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).unwrap();
+        parse_json(&reply).unwrap_or_else(|e| panic!("unparseable reply {reply:?}: {e}"))
+    }
+}
+
+/// Replies on one connection arrive in request order even when the
+/// requests are pipelined (sent without waiting), mixing instant error
+/// replies with real compiles.
+#[test]
+fn pipelined_replies_preserve_request_order() {
+    let srv = Mayad::start(&["--workers=4".to_owned(), "--max-inflight=16".to_owned()]);
+    std::fs::write(
+        srv.dir().join("p.maya"),
+        r#"class Main { static void main() { System.out.println("p"); } }"#,
+    )
+    .unwrap();
+
+    let mut conn = Pipelined::connect(&srv);
+    for i in 0..10 {
+        if i % 3 == 0 {
+            conn.send(r#"{"files": ["p.maya"]}"#);
+        } else {
+            // The error reply names the unknown cmd, tagging the reply
+            // with its request index.
+            conn.send(&format!(r#"{{"cmd":"frob{i}"}}"#));
+        }
+    }
+    for i in 0..10 {
+        let reply = conn.recv();
+        if i % 3 == 0 {
+            assert!(ok(&reply), "request {i}: {reply:?}");
+            assert_eq!(reply.get("stdout").and_then(Json::as_str), Some("p\n"));
+        } else {
+            let msg = reply.get("error").and_then(Json::as_str).unwrap();
+            assert!(
+                msg.contains(&format!("frob{i}")),
+                "reply {i} out of order: {msg:?}"
+            );
+        }
+    }
+}
+
+/// The concurrency stress test: 32 clients, each issuing 50 mixed
+/// requests (compile / edit / revert / stats / ping), against an 8-worker
+/// server — and the exact same schedule against a single-worker server.
+/// Every deterministic reply must match the single-worker golden
+/// byte-for-byte, and each client's replies must arrive in its own
+/// request order (proved by the per-step expected program output).
+#[test]
+fn worker_pool_stress_matches_single_worker_golden() {
+    const CLIENTS: usize = 32;
+    const STEPS: usize = 50;
+
+    /// Runs the full schedule against one server; returns, per client,
+    /// the raw reply line of every deterministic request (compiles and
+    /// pings) in order. Stats replies carry timings and are validated
+    /// structurally instead of collected.
+    fn run_schedule(workers: usize) -> Vec<Vec<String>> {
+        let srv = Mayad::start(&[format!("--workers={workers}")]);
+        let mut out: Vec<Vec<String>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for client in 0..CLIENTS {
+                let srv = &srv;
+                handles.push(scope.spawn(move || {
+                    let file = format!("c{client}.maya");
+                    let path = srv.dir().join(&file);
+                    let mut replies = Vec::new();
+                    for step in 0..STEPS {
+                        match step % 10 {
+                            // stats: nondeterministic timings — check shape only
+                            7 => {
+                                let mut s = UnixStream::connect(&srv.sock).unwrap();
+                                let req =
+                                    format!("{{\"cmd\":\"stats\", \"client\": \"c{client}\"}}\n");
+                                s.write_all(req.as_bytes()).unwrap();
+                                let mut reply = String::new();
+                                BufReader::new(s).read_line(&mut reply).unwrap();
+                                let v = parse_json(&reply).unwrap();
+                                assert!(ok(&v), "stats failed: {reply:?}");
+                                assert!(v.get("stats").and_then(|s| s.get("latency")).is_some());
+                            }
+                            3 => {
+                                let mut s = UnixStream::connect(&srv.sock).unwrap();
+                                let req =
+                                    format!("{{\"cmd\":\"ping\", \"client\": \"c{client}\"}}\n");
+                                s.write_all(req.as_bytes()).unwrap();
+                                let mut reply = String::new();
+                                BufReader::new(s).read_line(&mut reply).unwrap();
+                                replies.push(reply);
+                            }
+                            // compile; every 4th step edits, every other 4th
+                            // reverts, so the session sees real invalidation
+                            // traffic with full reuses in between
+                            m => {
+                                let label = if m % 4 == 0 { "a" } else { "b" };
+                                if m % 2 == 0 {
+                                    std::fs::write(
+                                        &path,
+                                        format!(
+                                            "class Main {{ static void main() {{ System.out.println(\"c{client}:{label}\"); }} }}"
+                                        ),
+                                    )
+                                    .unwrap();
+                                }
+                                let mut s = UnixStream::connect(&srv.sock).unwrap();
+                                let req = format!(
+                                    "{{\"files\": [\"{file}\"], \"client\": \"c{client}\"}}\n"
+                                );
+                                s.write_all(req.as_bytes()).unwrap();
+                                let mut reply = String::new();
+                                BufReader::new(s).read_line(&mut reply).unwrap();
+                                let v = parse_json(&reply).unwrap();
+                                // Reply order == request order: the output
+                                // must be this step's expected label.
+                                let expect = if m % 4 == 0 || (m % 2 == 1 && (m - 1) % 4 == 0) {
+                                    format!("c{client}:a\n")
+                                } else {
+                                    format!("c{client}:b\n")
+                                };
+                                assert_eq!(
+                                    v.get("stdout").and_then(Json::as_str),
+                                    Some(expect.as_str()),
+                                    "client {client} step {step}: {reply:?}"
+                                );
+                                replies.push(reply);
+                            }
+                        }
+                    }
+                    replies
+                }));
+            }
+            for h in handles {
+                out.push(h.join().unwrap());
+            }
+        });
+        out
+    }
+
+    let golden = run_schedule(1);
+    let pooled = run_schedule(8);
+    assert_eq!(golden.len(), pooled.len());
+    for (client, (g, p)) in golden.iter().zip(&pooled).enumerate() {
+        assert_eq!(
+            g, p,
+            "client {client}: pool-of-8 replies must match pool-of-1 byte-for-byte"
+        );
+    }
+}
+
+// ---- quotas and backpressure -------------------------------------------------
+
+/// Exceeding the per-client in-flight quota is a structured JSON refusal
+/// delivered in order — and the connection stays usable afterwards.
+#[test]
+fn inflight_quota_refuses_excess_and_connection_survives() {
+    let srv = Mayad::start(&["--workers=1".to_owned(), "--max-inflight=1".to_owned()]);
+    let mut conn = Pipelined::connect(&srv);
+
+    // The sleep occupies the client's single in-flight slot; the second
+    // request is refused immediately (but replies stay ordered).
+    conn.send(r#"{"cmd":"sleep","ms":400}"#);
+    conn.send(r#"{"cmd":"ping"}"#);
+    let first = conn.recv();
+    assert!(ok(&first), "{first:?}");
+    assert_eq!(first.get("slept_ms").and_then(Json::as_u64), Some(400));
+    let second = conn.recv();
+    assert!(!ok(&second), "over-quota request must be refused: {second:?}");
+    assert_eq!(
+        second.get("quota").and_then(Json::as_str),
+        Some("max_inflight"),
+        "{second:?}"
+    );
+
+    // Same connection, after the refusal: back to normal service.
+    conn.send(r#"{"cmd":"ping"}"#);
+    let pong = conn.recv();
+    assert!(ok(&pong) && pong.get("pong").and_then(Json::as_bool) == Some(true));
+}
+
+/// An oversized request line is refused with the request-size quota and
+/// the connection keeps working.
+#[test]
+fn request_size_quota_refuses_oversized_lines() {
+    let srv = Mayad::start(&["--max-request-bytes=1024".to_owned()]);
+    let mut conn = Pipelined::connect(&srv);
+
+    let big = format!(
+        r#"{{"files": ["x.maya"], "main": "{}"}}"#,
+        "M".repeat(2000)
+    );
+    conn.send(&big);
+    let refused = conn.recv();
+    assert!(!ok(&refused), "{refused:?}");
+    assert_eq!(
+        refused.get("quota").and_then(Json::as_str),
+        Some("request_bytes"),
+        "{refused:?}"
+    );
+
+    conn.send(r#"{"cmd":"ping"}"#);
+    let pong = conn.recv();
+    assert!(ok(&pong) && pong.get("pong").and_then(Json::as_bool) == Some(true));
+}
+
+/// Queue saturation answers "overloaded" within a bounded time instead of
+/// hanging the client: with one worker held busy and a one-slot queue,
+/// excess requests are refused while the earlier ones still complete.
+#[test]
+fn saturated_queue_replies_overloaded_within_bounded_time() {
+    let srv = Mayad::start(&[
+        "--workers=1".to_owned(),
+        "--queue-cap=1".to_owned(),
+        "--max-inflight=32".to_owned(),
+    ]);
+    let mut conn = Pipelined::connect(&srv);
+
+    let start = std::time::Instant::now();
+    // #1 occupies the worker, #2 the queue slot; #3 finds the queue full
+    // for longer than the bounded wait and is refused. (#1 sleeps past
+    // #3's whole wait window, so the refusal is deterministic.)
+    for _ in 0..3 {
+        conn.send(r#"{"cmd":"sleep","ms":700}"#);
+    }
+    let r1 = conn.recv();
+    let r2 = conn.recv();
+    let r3 = conn.recv();
+    assert!(ok(&r1) && ok(&r2), "{r1:?} {r2:?}");
+    assert!(!ok(&r3), "request 3 must be refused: {r3:?}");
+    assert_eq!(
+        r3.get("overloaded").and_then(Json::as_bool),
+        Some(true),
+        "{r3:?}"
+    );
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(8),
+        "overload must be bounded, took {:?}",
+        start.elapsed()
+    );
+
+    // The server is healthy once the backlog clears.
+    conn.send(r#"{"cmd":"ping"}"#);
+    let pong = conn.recv();
+    assert!(ok(&pong) && pong.get("pong").and_then(Json::as_bool) == Some(true));
 }
