@@ -105,6 +105,13 @@ pub fn disarm() {
     ARMED.with(|a| a.borrow_mut().clear());
 }
 
+/// True when any fault is armed — programmatically on this thread or via
+/// `MAYA_FAULTS`. The persistent store checks this to keep
+/// fault-perturbed runs out of the outcome cache (in both directions).
+pub fn any_armed() -> bool {
+    ARMED.with(|a| !a.borrow().is_empty()) || !faults().is_empty()
+}
+
 fn check_armed(site: &str) -> Option<FaultAction> {
     ARMED.with(|a| {
         let mut armed = a.borrow_mut();

@@ -30,6 +30,7 @@ pub mod metagrammar;
 mod session;
 pub mod service;
 mod source_mayan;
+pub mod store;
 
 pub use base::{Base, BaseProds};
 

@@ -82,6 +82,9 @@ pub struct PoolConfig {
     pub interp_stack_limit: u32,
     /// Registers native metaprograms on each fresh compiler.
     pub installer: Option<Arc<dyn Fn(&Compiler) + Send + Sync>>,
+    /// The persistent artifact store shared by every worker
+    /// (`mayad --cache-dir`). `None` keeps the service memory-only.
+    pub store: Option<Arc<crate::store::ArtifactStore>>,
 }
 
 impl Default for PoolConfig {
@@ -98,6 +101,7 @@ impl Default for PoolConfig {
             interp_step_limit: CompileOptions::default().interp_step_limit,
             interp_stack_limit: CompileOptions::default().interp_stack_limit,
             installer: None,
+            store: None,
         }
     }
 }
@@ -357,6 +361,9 @@ fn worker_main(rx: mpsc::Receiver<Msg>, cfg: &PoolConfig, metrics: &Arc<Mutex<Po
     // Opt this thread into the process-global warm tiers; see module docs.
     maya_grammar::set_table_cache_shared(true);
     crate::session::set_lex_share_enabled(true);
+    // And into the persistent store, when the daemon was given one: all
+    // workers share the directory, and a restarted daemon starts warm.
+    crate::store::install_thread(cfg.store.clone());
     let force_cache = Rc::new(crate::compiler::ForceCache::new());
     let installer: Option<Rc<dyn Fn(&Compiler)>> = cfg.installer.clone().map(|f| {
         Rc::new(move |c: &Compiler| f(c)) as Rc<dyn Fn(&Compiler)>

@@ -14,10 +14,13 @@
 //!    `Tables` is immutable plain data, so handing the same `Arc` to every
 //!    thread is sound by construction (content-hash keys never need
 //!    invalidation), and
-//! 3. an optional on-disk cache (`mayac --table-cache=DIR`), versioned and
-//!    corruption-tolerant: any malformed, truncated, or stale cache file is
-//!    treated as a miss and rebuilt — a bad cache can cost time, never
-//!    correctness.
+//! 3. an optional persistent layer behind the [`TableDisk`] hook
+//!    (`mayac --cache-dir=DIR`, with `--table-cache=DIR` as the older
+//!    alias). This module only encodes/decodes the versioned table
+//!    *payload* ([`encode_tables`]/[`decode_tables`]); the artifact store
+//!    in `maya-core` owns the files, checksums, atomic writes, and
+//!    eviction. Any malformed, truncated, or stale payload decodes as a
+//!    miss and is rebuilt — a bad cache can cost time, never correctness.
 //!
 //! The hash is computed from grammar *content* (strings, token-kind names,
 //! numeric ids), never from interner indices, so it is stable across
@@ -37,7 +40,7 @@ use crate::BitSet;
 use maya_telemetry::Counter;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::path::{Path, PathBuf};
+use std::rc::Rc;
 use std::sync::{Arc, OnceLock, RwLock};
 
 // ---- the content hash --------------------------------------------------------
@@ -231,7 +234,20 @@ thread_local! {
     static ENABLED: Cell<bool> = const { Cell::new(true) };
     static SHARED: Cell<bool> = const { Cell::new(false) };
     static MEMO: RefCell<HashMap<u128, Arc<Tables>>> = RefCell::new(HashMap::new());
-    static DISK_DIR: RefCell<Option<PathBuf>> = const { RefCell::new(None) };
+    static DISK: RefCell<Option<Rc<dyn TableDisk>>> = const { RefCell::new(None) };
+}
+
+/// The persistent layer behind the in-process memos. The grammar crate
+/// only defines the interface; `maya-core`'s artifact store implements it
+/// (file layout, checksums, atomic writes, eviction) and installs itself
+/// per thread. `load` returns the raw payload previously passed to `save`
+/// for the same hash, or `None` on any miss or corruption.
+pub trait TableDisk {
+    /// The stored payload for `hash`, if present and intact.
+    fn load(&self, hash: u128) -> Option<Vec<u8>>;
+    /// Persists `payload` under `hash`. Failures are silent: a cache that
+    /// cannot write only costs time on the next cold start.
+    fn save(&self, hash: u128, payload: &[u8]);
 }
 
 /// The process-global memo behind the thread-local one. Only threads that
@@ -270,10 +286,11 @@ pub fn table_cache_shared() -> bool {
     SHARED.with(|s| s.get())
 }
 
-/// Sets (or clears) the on-disk cache directory for this thread
-/// (`mayac --table-cache=DIR`). The directory is created on first write.
-pub fn set_table_cache_dir(dir: Option<PathBuf>) {
-    DISK_DIR.with(|d| *d.borrow_mut() = dir);
+/// Installs (or clears) this thread's persistent table layer. Wired up by
+/// `maya-core`'s artifact store when a cache directory is configured
+/// (`mayac --cache-dir`, `--table-cache` alias, `MAYA_CACHE_DIR`).
+pub fn set_table_disk(disk: Option<Rc<dyn TableDisk>>) {
+    DISK.with(|d| *d.borrow_mut() = disk);
 }
 
 /// Drops every in-process cache entry — this thread's memo *and* the
@@ -327,9 +344,13 @@ pub(crate) fn tables_for(g: &Grammar) -> Result<Arc<Tables>, GrammarError> {
             return Ok(t);
         }
     }
-    let dir = DISK_DIR.with(|d| d.borrow().clone());
-    if let Some(dir) = &dir {
-        if let Some(t) = load_disk(dir, hash, g.data()) {
+    let disk = DISK.with(|d| d.borrow().clone());
+    if let Some(disk) = &disk {
+        if let Some(t) = disk
+            .load(hash)
+            .and_then(|payload| decode_tables(&payload, g.data()))
+            .map(Arc::new)
+        {
             maya_telemetry::count(Counter::TableCacheHits);
             maya_telemetry::cache_hit(maya_telemetry::CacheId::LalrMemo);
             remember(hash, &t);
@@ -340,10 +361,10 @@ pub(crate) fn tables_for(g: &Grammar) -> Result<Arc<Tables>, GrammarError> {
     maya_telemetry::cache_miss(maya_telemetry::CacheId::LalrMemo);
     let t = build_tables(g.data()).map(Arc::new)?;
     remember(hash, &t);
-    if let Some(dir) = &dir {
-        // Write failures (read-only dir, disk full) silently disable the
-        // disk layer for this entry; the next run rebuilds.
-        let _ = write_disk(dir, hash, &t);
+    if let Some(disk) = &disk {
+        // Save failures (read-only dir, disk full) are the store's problem
+        // and silent; the next cold process rebuilds.
+        disk.save(hash, &encode_tables(&t));
     }
     Ok(t)
 }
@@ -367,13 +388,14 @@ fn remember(hash: u128, t: &Arc<Tables>) {
     }
 }
 
-// ---- the on-disk codec -------------------------------------------------------
+// ---- the payload codec -------------------------------------------------------
 //
-// All integers little-endian. Layout:
+// All integers little-endian. This is only the table *payload*: the
+// artifact store wraps it in a container carrying the magic, the store
+// format version, the key echo, and a whole-entry checksum, and verifies
+// all of that before the payload reaches `decode_tables`. Layout:
 //
-//   magic    b"MAYATBLS"
-//   version  u32 (FORMAT_VERSION)
-//   hash     u128 (must match the requesting grammar)
+//   version  u32 (TABLES_PAYLOAD_VERSION)
 //   n_states u32
 //   n_terms  u32 (must match `intern_terms` on the requesting grammar)
 //   n_nts    u32 (must match the requesting grammar)
@@ -382,30 +404,24 @@ fn remember(hash: u128, t: &Arc<Tables>) {
 //   first    per nonterminal: u32 word count, then u64 words
 //   nullable per nonterminal: u8
 //   defaults u32 count, then (state u32, prod u32)*
-//   checksum u64 FNV-1a over every preceding byte
 //
 // Terminal ids are *not* accompanied by terminal values: the interning
 // order is deterministic from the grammar (see `intern_terms`), and a
 // matching content hash implies a matching grammar, so the loader
 // recomputes the terminal vector and only stores dense ids.
 
-const MAGIC: &[u8; 8] = b"MAYATBLS";
-const FORMAT_VERSION: u32 = 1;
+/// Bumped whenever the encoded table layout changes; a mismatched payload
+/// decodes as a miss and is rebuilt.
+const TABLES_PAYLOAD_VERSION: u32 = 2;
 
 const TAG_SHIFT: u8 = 0;
 const TAG_REDUCE: u8 = 1;
 const TAG_ACCEPT: u8 = 2;
 
-fn cache_path(dir: &Path, hash: u128) -> PathBuf {
-    dir.join(format!("{hash:032x}.mayatbl"))
-}
-
-fn write_disk(dir: &Path, hash: u128, t: &Tables) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
+/// Encodes `t` as a self-versioned payload for the persistent store.
+pub(crate) fn encode_tables(t: &Tables) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64 + t.action.len() * 13);
-    buf.extend_from_slice(MAGIC);
-    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-    buf.extend_from_slice(&hash.to_le_bytes());
+    buf.extend_from_slice(&TABLES_PAYLOAD_VERSION.to_le_bytes());
     buf.extend_from_slice(&t.n_states.to_le_bytes());
     buf.extend_from_slice(&(t.terms.len() as u32).to_le_bytes());
     buf.extend_from_slice(&(t.first_nt.len() as u32).to_le_bytes());
@@ -467,22 +483,7 @@ fn write_disk(dir: &Path, hash: u128, t: &Tables) -> std::io::Result<()> {
         buf.extend_from_slice(&prod.to_le_bytes());
     }
 
-    buf.extend_from_slice(&fnv64(&buf).to_le_bytes());
-
-    // Write-then-rename so no reader — in this process or another one
-    // sharing the cache dir — can ever observe a torn file under the
-    // final name. The tmp name carries the pid *and* a process-global
-    // sequence number: two `--jobs=N` workers writing the same hash from
-    // one process would otherwise share a tmp path and interleave.
-    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let tmp = dir.join(format!("{hash:032x}.tmp{}.{seq}", std::process::id()));
-    let r = std::fs::write(&tmp, &buf).and_then(|()| std::fs::rename(&tmp, cache_path(dir, hash)));
-    if r.is_err() {
-        // Don't leave the orphaned tmp file behind on failure.
-        let _ = std::fs::remove_file(&tmp);
-    }
-    r
+    buf
 }
 
 /// A bounds-checked little-endian reader; every decode failure is `None`.
@@ -511,38 +512,19 @@ impl<'a> Cursor<'a> {
         Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
     }
 
-    fn u128(&mut self) -> Option<u128> {
-        Some(u128::from_le_bytes(self.take(16)?.try_into().ok()?))
-    }
-
     fn done(&self) -> bool {
         self.at == self.buf.len()
     }
 }
 
-fn load_disk(dir: &Path, hash: u128, g: &GrammarData) -> Option<Arc<Tables>> {
-    let bytes = std::fs::read(cache_path(dir, hash)).ok()?;
-    decode(&bytes, hash, g).map(Arc::new)
-}
-
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
-    }
-    h
-}
-
-fn decode(bytes: &[u8], hash: u128, g: &GrammarData) -> Option<Tables> {
-    // Checksum first: a flipped byte anywhere must read as a miss, not as
-    // bounds-valid-but-wrong tables.
-    let body = bytes.get(..bytes.len().checked_sub(8)?)?;
-    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().ok()?);
-    if fnv64(body) != stored {
-        return None;
-    }
-    let mut c = Cursor { buf: body, at: 0 };
-    if c.take(MAGIC.len())? != MAGIC || c.u32()? != FORMAT_VERSION || c.u128()? != hash {
+/// Decodes a table payload (as produced by [`encode_tables`]) against the
+/// requesting grammar. Any structural mismatch — wrong payload version,
+/// wrong grammar dimensions, out-of-range ids, trailing garbage — is a
+/// `None` (a miss), never a panic. The surrounding store container has
+/// already verified the whole-entry checksum and key echo.
+pub(crate) fn decode_tables(bytes: &[u8], g: &GrammarData) -> Option<Tables> {
+    let mut c = Cursor { buf: bytes, at: 0 };
+    if c.u32()? != TABLES_PAYLOAD_VERSION {
         return None;
     }
     let (terms, term_ids) = intern_terms(g);
@@ -717,87 +699,41 @@ mod tests {
     }
 
     #[test]
-    fn disk_round_trip_and_corruption_tolerance() {
-        let dir = std::env::temp_dir().join(format!("maya-tblcache-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-
+    fn payload_round_trip_and_corruption_tolerance() {
         let g = sample();
-        let hash = g.content_hash();
-        let built = build_tables(g.data()).map(Arc::new).unwrap();
-        write_disk(&dir, hash, &built).unwrap();
+        let built = build_tables(g.data()).unwrap();
+        let payload = encode_tables(&built);
 
-        let loaded = load_disk(&dir, hash, g.data()).expect("cache file loads");
+        let loaded = decode_tables(&payload, g.data()).expect("payload decodes");
         assert_eq!(loaded.n_states(), built.n_states());
         assert_eq!(loaded.action_entries(), built.action_entries());
         assert_eq!(loaded.terms, built.terms);
         assert_eq!(loaded.first_nt, built.first_nt);
 
-        // Truncation, bit flips, and garbage must all read as misses.
-        let path = cache_path(&dir, hash);
-        let good = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
-        assert!(load_disk(&dir, hash, g.data()).is_none(), "truncated file");
-        let mut flipped = good.clone();
-        let mid = flipped.len() / 2;
-        flipped[mid] ^= 0xff;
-        std::fs::write(&path, &flipped).unwrap();
-        assert!(
-            load_disk(&dir, hash, g.data()).is_none(),
-            "checksum catches the bit flip"
-        );
-        std::fs::write(&path, b"not a cache file").unwrap();
-        assert!(load_disk(&dir, hash, g.data()).is_none(), "garbage file");
-
-        let _ = std::fs::remove_dir_all(&dir);
+        // Truncation, a stale payload version, structural garbage, and
+        // trailing bytes must all read as misses, never panic. (Bit-flip
+        // detection lives in the store container's checksum; here only
+        // structurally invalid payloads must be rejected.)
+        assert!(decode_tables(&payload[..payload.len() / 2], g.data()).is_none());
+        let mut stale = payload.clone();
+        stale[0] ^= 0xff; // payload version word
+        assert!(decode_tables(&stale, g.data()).is_none(), "version mismatch");
+        assert!(decode_tables(b"not a cache payload", g.data()).is_none());
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        assert!(decode_tables(&trailing, g.data()).is_none(), "trailing garbage");
     }
 
     #[test]
-    fn concurrent_writers_never_expose_a_torn_file() {
-        let dir = std::env::temp_dir().join(format!(
-            "maya-tblcache-race-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
-
-        let g = sample();
-        let hash = g.content_hash();
-        let built = build_tables(g.data()).map(Arc::new).unwrap();
-        // Seed the final path so the reader below always finds a file:
-        // from then on a miss could only mean it observed a torn write.
-        write_disk(&dir, hash, &built).unwrap();
-
-        std::thread::scope(|s| {
-            for _ in 0..4 {
-                let dir = dir.clone();
-                s.spawn(move || {
-                    let g = sample();
-                    let t = build_tables(g.data()).map(Arc::new).unwrap();
-                    for _ in 0..50 {
-                        write_disk(&dir, g.content_hash(), &t).unwrap();
-                    }
-                });
-            }
-            let dir = dir.clone();
-            s.spawn(move || {
-                let g = sample();
-                for _ in 0..200 {
-                    assert!(
-                        load_disk(&dir, hash, g.data()).is_some(),
-                        "reader observed a torn or missing table file"
-                    );
-                }
-            });
-        });
-
-        // Every tmp file was either renamed into place or cleaned up.
-        let leftovers: Vec<_> = std::fs::read_dir(&dir)
-            .unwrap()
-            .filter_map(|e| e.ok())
-            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
-            .collect();
-        assert!(leftovers.is_empty(), "orphaned tmp files: {leftovers:?}");
-
-        let _ = std::fs::remove_dir_all(&dir);
+    fn encode_is_deterministic() {
+        let g1 = sample();
+        let g2 = sample();
+        let t1 = build_tables(g1.data()).unwrap();
+        let t2 = build_tables(g2.data()).unwrap();
+        assert_eq!(
+            encode_tables(&t1),
+            encode_tables(&t2),
+            "payload must be a pure function of the tables"
+        );
     }
 }

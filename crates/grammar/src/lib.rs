@@ -33,8 +33,8 @@ mod tables;
 pub use bitset::BitSet;
 pub use build::{Grammar, GrammarBuilder, GrammarError, RhsItem};
 pub use cache::{
-    clear_table_cache, set_table_cache_dir, set_table_cache_enabled, set_table_cache_shared,
-    table_cache_contains, table_cache_enabled, table_cache_len, table_cache_shared,
+    clear_table_cache, set_table_cache_enabled, set_table_cache_shared, set_table_disk,
+    table_cache_contains, table_cache_enabled, table_cache_len, table_cache_shared, TableDisk,
 };
 pub use prod::{Action, Assoc, BuiltinAction, ProdId, Production};
 pub use symbol::{NtDef, NtId, Sym, Terminal};

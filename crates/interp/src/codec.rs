@@ -1,0 +1,378 @@
+//! Little-endian byte codec helpers for the persistent artifact store.
+//!
+//! The lowered-body and bytecode serializers (`lower.rs`, `bytecode.rs`)
+//! share these primitives. The writer is infallible; every reader method
+//! returns `Option` so any truncated, stale, or corrupt payload decodes as
+//! a cache miss (`None`), never a panic — the store's whole-entry checksum
+//! catches bit flips before payloads reach this layer, so failures here
+//! mean a format-version skew or a hash collision, both of which rebuild.
+//!
+//! Symbols are serialized as their text and re-interned on decode: interner
+//! indices are process-local and never hit the disk. Spans serialize as raw
+//! `(file, lo, hi)` — body fingerprints hash spans too, so an equal key
+//! implies equal spans and cross-process hits stay diagnostic-identical.
+
+use maya_ast::{BinOp, IncDecOp, PrimKind, UnOp};
+use maya_lexer::{sym, FileId, Span, Symbol};
+
+use crate::value::Value;
+
+// ---- writer ------------------------------------------------------------------
+
+/// An append-only little-endian payload writer.
+#[derive(Default)]
+pub(crate) struct W {
+    pub buf: Vec<u8>,
+}
+
+impl W {
+    pub fn new() -> W {
+        W::default()
+    }
+
+    pub fn u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    pub fn u16(&mut self, x: u16) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    pub fn i32(&mut self, x: i32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    pub fn i64(&mut self, x: i64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    pub fn bool(&mut self, x: bool) {
+        self.u8(u8::from(x));
+    }
+
+    /// A collection length. Anything over `u32::MAX` entries has no
+    /// business in a cache entry.
+    pub fn len(&mut self, n: usize) -> Option<()> {
+        self.u32(u32::try_from(n).ok()?);
+        Some(())
+    }
+
+    pub fn str(&mut self, s: &str) -> Option<()> {
+        self.len(s.len())?;
+        self.buf.extend_from_slice(s.as_bytes());
+        Some(())
+    }
+
+    pub fn sym(&mut self, s: Symbol) -> Option<()> {
+        self.str(s.as_str())
+    }
+
+    pub fn span(&mut self, s: Span) {
+        self.u32(s.file.0);
+        self.u32(s.lo);
+        self.u32(s.hi);
+    }
+
+    /// Encodes a runtime constant. Only the variants constant folding can
+    /// produce (primitives, strings, null) are representable; anything
+    /// else aborts the save — the body simply isn't persisted.
+    pub fn value(&mut self, v: &Value) -> Option<()> {
+        match v {
+            Value::Null => self.u8(0),
+            Value::Bool(b) => {
+                self.u8(1);
+                self.bool(*b);
+            }
+            Value::Char(c) => {
+                self.u8(2);
+                self.u32(*c as u32);
+            }
+            Value::Int(i) => {
+                self.u8(3);
+                self.i32(*i);
+            }
+            Value::Long(l) => {
+                self.u8(4);
+                self.i64(*l);
+            }
+            Value::Float(f) => {
+                self.u8(5);
+                self.u32(f.to_bits());
+            }
+            Value::Double(d) => {
+                self.u8(6);
+                self.u64(d.to_bits());
+            }
+            Value::Str(s) => {
+                self.u8(7);
+                self.str(s)?;
+            }
+            _ => return None,
+        }
+        Some(())
+    }
+}
+
+// ---- reader ------------------------------------------------------------------
+
+/// A bounds-checked little-endian payload reader.
+pub(crate) struct R<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> R<'a> {
+    pub fn new(buf: &'a [u8]) -> R<'a> {
+        R { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let s = self.buf.get(self.at..end)?;
+        self.at = end;
+        Some(s)
+    }
+
+    pub fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
+    }
+
+    pub fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    pub fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    pub fn i32(&mut self) -> Option<i32> {
+        Some(i32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    pub fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    pub fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// A collection length, bounded by the bytes actually remaining so a
+    /// corrupt count cannot drive a huge allocation.
+    pub fn len(&mut self) -> Option<usize> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() - self.at.min(self.buf.len()) && n > self.buf.len() {
+            return None;
+        }
+        Some(n)
+    }
+
+    pub fn str(&mut self) -> Option<&'a str> {
+        let n = self.len()?;
+        std::str::from_utf8(self.take(n)?).ok()
+    }
+
+    pub fn sym(&mut self) -> Option<Symbol> {
+        Some(sym(self.str()?))
+    }
+
+    pub fn span(&mut self) -> Option<Span> {
+        let file = FileId(self.u32()?);
+        let lo = self.u32()?;
+        let hi = self.u32()?;
+        Some(Span { file, lo, hi })
+    }
+
+    pub fn value(&mut self) -> Option<Value> {
+        Some(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(self.bool()?),
+            2 => Value::Char(char::from_u32(self.u32()?)?),
+            3 => Value::Int(self.i32()?),
+            4 => Value::Long(self.i64()?),
+            5 => Value::Float(f32::from_bits(self.u32()?)),
+            6 => Value::Double(f64::from_bits(self.u64()?)),
+            7 => Value::str(self.str()?),
+            _ => return None,
+        })
+    }
+
+    pub fn done(&self) -> bool {
+        self.at == self.buf.len()
+    }
+}
+
+// ---- operator / primitive codes ----------------------------------------------
+
+/// Binary operators in a fixed codec order (declaration order of `BinOp`).
+pub(crate) const BINOPS: [BinOp; 19] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::Shl,
+    BinOp::Shr,
+    BinOp::Ushr,
+    BinOp::Lt,
+    BinOp::Gt,
+    BinOp::Le,
+    BinOp::Ge,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::BitAnd,
+    BinOp::BitXor,
+    BinOp::BitOr,
+    BinOp::And,
+    BinOp::Or,
+];
+
+pub(crate) fn binop_code(op: BinOp) -> u8 {
+    BINOPS.iter().position(|b| *b == op).expect("binop listed") as u8
+}
+
+pub(crate) fn binop_from(code: u8) -> Option<BinOp> {
+    BINOPS.get(code as usize).copied()
+}
+
+/// The `BinOp` whose `as_str` is `s` (profiler pair labels round-trip
+/// through this so the decoded side recovers `&'static str`s).
+pub(crate) fn binop_from_str(s: &str) -> Option<BinOp> {
+    BINOPS.iter().copied().find(|b| b.as_str() == s)
+}
+
+const UNOPS: [UnOp; 4] = [UnOp::Neg, UnOp::Plus, UnOp::Not, UnOp::BitNot];
+
+pub(crate) fn unop_code(op: UnOp) -> u8 {
+    UNOPS.iter().position(|u| *u == op).expect("unop listed") as u8
+}
+
+pub(crate) fn unop_from(code: u8) -> Option<UnOp> {
+    UNOPS.get(code as usize).copied()
+}
+
+pub(crate) fn incdec_code(op: IncDecOp) -> u8 {
+    match op {
+        IncDecOp::Inc => 0,
+        IncDecOp::Dec => 1,
+    }
+}
+
+pub(crate) fn incdec_from(code: u8) -> Option<IncDecOp> {
+    match code {
+        0 => Some(IncDecOp::Inc),
+        1 => Some(IncDecOp::Dec),
+        _ => None,
+    }
+}
+
+const PRIMS: [PrimKind; 8] = [
+    PrimKind::Boolean,
+    PrimKind::Byte,
+    PrimKind::Short,
+    PrimKind::Char,
+    PrimKind::Int,
+    PrimKind::Long,
+    PrimKind::Float,
+    PrimKind::Double,
+];
+
+pub(crate) fn prim_code(p: PrimKind) -> u8 {
+    PRIMS.iter().position(|q| *q == p).expect("prim listed") as u8
+}
+
+pub(crate) fn prim_from(code: u8) -> Option<PrimKind> {
+    PRIMS.get(code as usize).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut w = W::new();
+        w.u8(7);
+        w.u16(300);
+        w.u32(70_000);
+        w.u64(1 << 40);
+        w.i32(-5);
+        w.i64(-6);
+        w.bool(true);
+        w.str("héllo").unwrap();
+        w.span(Span::new(FileId(3), 10, 20));
+        let mut r = R::new(&w.buf);
+        assert_eq!(r.u8(), Some(7));
+        assert_eq!(r.u16(), Some(300));
+        assert_eq!(r.u32(), Some(70_000));
+        assert_eq!(r.u64(), Some(1 << 40));
+        assert_eq!(r.i32(), Some(-5));
+        assert_eq!(r.i64(), Some(-6));
+        assert_eq!(r.bool(), Some(true));
+        assert_eq!(r.str(), Some("héllo"));
+        assert_eq!(r.span(), Some(Span::new(FileId(3), 10, 20)));
+        assert!(r.done());
+        assert_eq!(r.u8(), None, "reads past the end are None");
+    }
+
+    #[test]
+    fn values_round_trip_and_reject_unsupported() {
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Char('λ'),
+            Value::Int(-42),
+            Value::Long(i64::MIN),
+            Value::Float(1.5),
+            Value::Double(f64::NAN),
+            Value::str("cached"),
+        ];
+        let mut w = W::new();
+        for v in &vals {
+            w.value(v).unwrap();
+        }
+        let mut r = R::new(&w.buf);
+        for v in &vals {
+            let d = r.value().unwrap();
+            match (v, &d) {
+                // NaN != NaN; compare bit patterns for doubles.
+                (Value::Double(a), Value::Double(b)) => {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                _ => assert!(v.ref_eq(&d), "{v:?} vs {d:?}"),
+            }
+        }
+        assert!(r.done());
+    }
+
+    #[test]
+    fn op_codes_round_trip() {
+        for op in BINOPS {
+            assert_eq!(binop_from(binop_code(op)), Some(op));
+            assert_eq!(binop_from_str(op.as_str()), Some(op));
+        }
+        assert_eq!(binop_from(19), None);
+        for op in UNOPS {
+            assert_eq!(unop_from(unop_code(op)), Some(op));
+        }
+        for p in PRIMS {
+            assert_eq!(prim_from(prim_code(p)), Some(p));
+        }
+    }
+}

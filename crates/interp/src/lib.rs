@@ -12,6 +12,7 @@
 //! mayac's lazy compilation.
 
 mod bytecode;
+mod codec;
 mod error;
 mod interp;
 mod layout;
@@ -24,7 +25,7 @@ mod vm;
 pub use error::RuntimeError;
 pub use interp::{Control, Eval, Frame, Interp};
 pub use layout::{FieldLayout, RuntimeCaches};
-pub use lower::{ArgKey, LowerStore, LoweredBody};
+pub use lower::{set_body_disk, ArgKey, BodyDisk, LowerStore, LoweredBody};
 pub use native::{native_as, NativeFn, NativeObject};
 pub use runtime::{install_runtime, EnumObj, HashObj, PrintObj, SbObj, VecObj};
 pub use value::{ArrayObj, Obj, RtStr, Value};

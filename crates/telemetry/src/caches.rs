@@ -13,9 +13,10 @@
 //! Unlike session counters, the registry is **cumulative per thread** and
 //! needs no active session: a long-lived server reports its lifetime cache
 //! behaviour, while a [`crate::Report`] carries the delta between session
-//! start and finish (sizes are absolute, not deltas). None of the caches
-//! currently evicts, so `evictions` is an honest zero everywhere — the
-//! column exists so a future bounded cache reports through the same pipe.
+//! start and finish (sizes are absolute, not deltas). The in-process memos
+//! never evict, so their `evictions` column is an honest zero; the
+//! persistent artifact store's size-capped GC reports its removals through
+//! the same pipe (`store_*` rows).
 
 use std::cell::RefCell;
 
@@ -38,11 +39,20 @@ pub enum CacheId {
     /// The process-global lexed-tree share (compile-service worker pools;
     /// content-hash keyed `SendTree` results reused across threads).
     LexShare,
+    /// Persistent artifact store: LALR tables (`--cache-dir`).
+    StoreTables,
+    /// Persistent artifact store: lexed token trees.
+    StoreLex,
+    /// Persistent artifact store: compiled-request outcomes (the
+    /// source-closure-keyed extension artifacts).
+    StoreOutcome,
+    /// Persistent artifact store: lowered bodies + bytecode.
+    StoreBody,
 }
 
 impl CacheId {
     /// Every cache, in report order.
-    pub const ALL: [CacheId; 7] = [
+    pub const ALL: [CacheId; 11] = [
         CacheId::LalrMemo,
         CacheId::ForceCache,
         CacheId::UnitCache,
@@ -50,6 +60,10 @@ impl CacheId {
         CacheId::LowerStore,
         CacheId::DispatchMemo,
         CacheId::LexShare,
+        CacheId::StoreTables,
+        CacheId::StoreLex,
+        CacheId::StoreOutcome,
+        CacheId::StoreBody,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -62,6 +76,10 @@ impl CacheId {
             CacheId::LowerStore => "lower_store",
             CacheId::DispatchMemo => "dispatch_memo",
             CacheId::LexShare => "lex_share",
+            CacheId::StoreTables => "store_tables",
+            CacheId::StoreLex => "store_lex",
+            CacheId::StoreOutcome => "store_outcome",
+            CacheId::StoreBody => "store_body",
         }
     }
 
@@ -115,7 +133,8 @@ pub fn cache_miss(c: CacheId) {
     CACHES.with(|s| s.borrow_mut()[c.idx()].misses += 1);
 }
 
-/// Records an eviction (no current cache evicts; see module docs).
+/// Records an eviction (the artifact store's GC; in-process memos never
+/// evict — see module docs).
 #[inline]
 pub fn cache_eviction(c: CacheId) {
     CACHES.with(|s| s.borrow_mut()[c.idx()].evictions += 1);

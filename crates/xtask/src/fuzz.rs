@@ -3,7 +3,7 @@
 //! The generator derives structurally valid MayaJava programs — and
 //! random Mayan extensions — directly from the base grammar's
 //! productions, then layers splice/truncate/duplicate mutations on top
-//! for the invalid-input half. Every case runs through five differential
+//! for the invalid-input half. Every case runs through six differential
 //! oracles, each an invariant the system already promises:
 //!
 //! * **engine** — all three execution tiers must produce byte-identical
@@ -19,6 +19,10 @@
 //!   concurrent `mayad` service shape, Arc-shared warm tiers) answers
 //!   each case for a rotating client and must match the cold batch
 //!   compile byte for byte;
+//! * **store** — a fresh session populating an empty persistent artifact
+//!   store and a second fresh session hydrating from it (the
+//!   cold-process-with-warm-`--cache-dir` shape) must both be
+//!   byte-identical to a store-less cold compile;
 //! * **faults** — under a sampled `MAYA_FAULTS`-style injection, armed
 //!   identically on all three engines, diagnostics may differ from the
 //!   clean run but the engines must still agree, and no panic may escape
@@ -794,6 +798,9 @@ enum Oracle {
     Jobs,
     /// A fresh 4-worker pool vs a fresh cold compile.
     Pool,
+    /// Fresh sessions against an empty then a prewarmed persistent
+    /// artifact store vs a store-less cold compile.
+    Store,
     /// All three engines under the same armed fault.
     Faults(String),
     /// Fault armed on the legacy side only (`--induce`): a guaranteed
@@ -810,10 +817,40 @@ impl Oracle {
             Oracle::PostEdit => "post_edit",
             Oracle::Jobs => "jobs",
             Oracle::Pool => "pool",
+            Oracle::Store => "store",
             Oracle::Faults(_) => "faults",
             Oracle::Induced(_) => "induced",
         }
     }
+}
+
+/// Oracle::Store, statelessly: a store-less cold compile, a fresh
+/// session populating an empty artifact store, and another fresh session
+/// hydrating from the now-warm store must be byte-identical. The store
+/// is installed on this thread only for the two store-backed runs and
+/// its directory is removed afterwards, so neither the campaign nor a
+/// minimization step can see stale artifacts.
+fn store_check(sources: &[(String, String)]) -> Option<String> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "maya-fuzz-store-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = match maya::core::store::ArtifactStore::open(&dir, None) {
+        Ok(s) => s,
+        Err(e) => return Some(format!("cannot open fuzz store {}: {e}", dir.display())),
+    };
+    let cold = run_fresh(sources, Engine::Bytecode, 1, None);
+    maya::core::store::install_thread(Some(store));
+    let populate = run_fresh(sources, Engine::Bytecode, 1, None);
+    let warm = run_fresh(sources, Engine::Bytecode, 1, None);
+    maya::core::store::install_thread(None);
+    let _ = std::fs::remove_dir_all(&dir);
+    compare(cold.clone(), populate, "store-off", "store-populate")
+        .or_else(|| compare(cold, warm, "store-off", "warm-store"))
 }
 
 /// Stateless check: does `sources` still violate `oracle`? Returns the
@@ -835,6 +872,7 @@ fn diverges(sources: &[(String, String)], oracle: &Oracle) -> Option<String> {
             Err(m) => Some(format!("cold baseline panicked: {m}")),
             Ok(cold) => compare_pool(&cold, &fuzz_pool(4), "min", sources),
         },
+        Oracle::Store => store_check(sources),
         Oracle::Faults(spec) => compare_engines(sources, Some(spec)),
         Oracle::Induced(spec) => compare(
             run_fresh(sources, Engine::Bytecode, 1, None),
@@ -1000,6 +1038,7 @@ struct Stats {
     post_edit_runs: usize,
     jobs_runs: usize,
     pool_runs: usize,
+    store_runs: usize,
     fault_runs: usize,
 }
 
@@ -1177,6 +1216,14 @@ pub(crate) fn run(cfg: &FuzzConfig) -> ExitCode {
             record(Oracle::Pool, i, sources, detail, &mut reports, &mut stats);
         }
 
+        // Oracle: a session populating a fresh persistent store, then a
+        // session hydrating from it, must both match the store-less cold
+        // compile byte for byte.
+        stats.store_runs += 1;
+        if let Some(detail) = store_check(sources) {
+            record(Oracle::Store, i, sources, detail, &mut reports, &mut stats);
+        }
+
         // Oracle: edit + revert through the warm session lands back on the
         // cold outcome (the invalidation cone must be exact both ways).
         stats.post_edit_runs += 1;
@@ -1276,12 +1323,14 @@ pub(crate) fn run(cfg: &FuzzConfig) -> ExitCode {
         stats.corpus_kept
     );
     println!(
-        "xtask fuzz: oracle runs: engine {}, warm {}, post-edit {}, jobs {}, pool {}, faults {}",
+        "xtask fuzz: oracle runs: engine {}, warm {}, post-edit {}, jobs {}, pool {}, \
+         store {}, faults {}",
         stats.engine_runs,
         stats.warm_runs,
         stats.post_edit_runs,
         stats.jobs_runs,
         stats.pool_runs,
+        stats.store_runs,
         stats.fault_runs
     );
     println!(
@@ -1364,6 +1413,7 @@ fn render_report(
     let _ = writeln!(out, "    \"post_edit\": {},", s.post_edit_runs);
     let _ = writeln!(out, "    \"jobs\": {},", s.jobs_runs);
     let _ = writeln!(out, "    \"pool\": {},", s.pool_runs);
+    let _ = writeln!(out, "    \"store\": {},", s.store_runs);
     let _ = writeln!(out, "    \"faults\": {}", s.fault_runs);
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"escaped_panics\": {},", s.escaped_panics);

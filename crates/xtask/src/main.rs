@@ -31,7 +31,12 @@
 //! service (`mayad --workers=8`) and fails unless it delivers at least 4x
 //! the compiles/sec of a stateless single-worker loop (fresh session per
 //! request) at concurrency 8, with p99 client-observed latency gated
-//! against the committed snapshot at concurrency 8 and 64. Part of the pre-merge verify flow.
+//! against the committed snapshot at concurrency 8 and 64. The `store`
+//! bench runs the conformance corpus through real `mayac` processes
+//! cold, populating, and against the prewarmed persistent artifact
+//! store (`--cache-dir`), requires every store-backed run to be
+//! byte-identical to the cold run, and fails unless the warm-store pass
+//! is at least 3x faster. Part of the pre-merge verify flow.
 //!
 //! `cargo xtask fuzz-lite [--cases=N] [--seed=S]` drives seeded random
 //! (often corrupt) sources through the full multi-error pipeline and
@@ -1023,6 +1028,129 @@ fn interp_bench(root: &Path) -> InterpBench {
     }
 }
 
+// ---- persistent store bench --------------------------------------------------
+
+/// A cold *process* against a prewarmed artifact store must beat a true
+/// cold process by this factor on the conformance corpus (total wall
+/// clock over real `mayac` children).
+const STORE_MIN_SPEEDUP: f64 = 3.0;
+
+struct StoreBench {
+    cold_ms: f64,
+    warm_ms: f64,
+    programs: usize,
+    entries: u64,
+    bytes: u64,
+}
+
+impl StoreBench {
+    fn speedup(&self) -> f64 {
+        if self.warm_ms <= 0.0 {
+            0.0
+        } else {
+            self.cold_ms / self.warm_ms
+        }
+    }
+}
+
+/// Locates the `mayac` binary next to this xtask binary, building it
+/// (same profile) when missing.
+fn mayac_exe() -> Result<PathBuf, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = exe.parent().ok_or("xtask binary has no parent directory")?;
+    let mayac = dir.join("mayac");
+    if !mayac.exists() {
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+        let mut cmd = std::process::Command::new(cargo);
+        cmd.args(["build", "-q", "--bin", "mayac"]).current_dir(repo_root());
+        if dir.file_name().and_then(|n| n.to_str()) == Some("release") {
+            cmd.arg("--release");
+        }
+        match cmd.status() {
+            Ok(st) if st.success() && mayac.exists() => {}
+            Ok(st) => return Err(format!("cargo build --bin mayac failed ({st})")),
+            Err(e) => return Err(format!("cannot spawn cargo build: {e}")),
+        }
+    }
+    Ok(mayac)
+}
+
+/// One full pass over the corpus, one `mayac` child per program; returns
+/// the total wall clock and each program's (success, stdout, stderr).
+fn store_pass(
+    mayac: &Path,
+    corpus: &Path,
+    names: &[String],
+    cache: Option<&Path>,
+) -> Result<(f64, Vec<(bool, Vec<u8>, Vec<u8>)>), String> {
+    let started = std::time::Instant::now();
+    let mut outs = Vec::with_capacity(names.len());
+    for name in names {
+        let mut cmd = std::process::Command::new(mayac);
+        // A stray MAYA_CACHE_DIR in the environment would warm the
+        // "cold" pass; only the explicit flag decides.
+        cmd.arg(corpus.join(name)).env_remove("MAYA_CACHE_DIR");
+        if let Some(c) = cache {
+            cmd.arg(format!("--cache-dir={}", c.display()));
+        }
+        let out = cmd.output().map_err(|e| format!("{name}: spawn mayac: {e}"))?;
+        outs.push((out.status.success(), out.stdout, out.stderr));
+    }
+    Ok((started.elapsed().as_secs_f64() * 1e3, outs))
+}
+
+/// Three corpus passes in child processes: true cold (no store), a
+/// prewarm pass that populates a fresh store, and a cold-process /
+/// warm-store pass. Both store-on passes must be byte-identical to the
+/// store-off pass, program by program.
+fn store_bench(root: &Path) -> Result<StoreBench, String> {
+    let mayac = mayac_exe()?;
+    let corpus = root.join("tests/corpus");
+    let mut names: Vec<String> = std::fs::read_dir(&corpus)
+        .map_err(|e| format!("read {}: {e}", corpus.display()))?
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.ends_with(".maya").then_some(name)
+        })
+        .collect();
+    names.sort();
+    let cache = std::env::temp_dir().join(format!("maya-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+
+    let (cold_ms, cold) = store_pass(&mayac, &corpus, &names, None)?;
+    let (_, first) = store_pass(&mayac, &corpus, &names, Some(&cache))?;
+    let (warm_ms, warm) = store_pass(&mayac, &corpus, &names, Some(&cache))?;
+    for (i, name) in names.iter().enumerate() {
+        for (pass, got) in [("store-population", &first[i]), ("warm-store", &warm[i])] {
+            if *got != cold[i] {
+                let _ = std::fs::remove_dir_all(&cache);
+                return Err(format!(
+                    "{name}: {pass} run diverged from the store-off run\n\
+                     --- store-off stdout ---\n{}\n--- {pass} stdout ---\n{}\n\
+                     --- store-off stderr ---\n{}\n--- {pass} stderr ---\n{}",
+                    String::from_utf8_lossy(&cold[i].1),
+                    String::from_utf8_lossy(&got.1),
+                    String::from_utf8_lossy(&cold[i].2),
+                    String::from_utf8_lossy(&got.2),
+                ));
+            }
+        }
+    }
+
+    let (mut entries, mut bytes) = (0u64, 0u64);
+    for e in std::fs::read_dir(&cache).map_err(|e| format!("read {}: {e}", cache.display()))? {
+        let e = e.map_err(|e| format!("scan cache: {e}"))?;
+        if let Ok(m) = e.metadata() {
+            if m.is_file() {
+                entries += 1;
+                bytes += m.len();
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&cache);
+    Ok(StoreBench { cold_ms, warm_ms, programs: names.len(), entries, bytes })
+}
+
 fn json_samples(v: &[f64]) -> String {
     let parts: Vec<String> = v.iter().map(|ms| format!("{ms:.2}")).collect();
     format!("[{}]", parts.join(", "))
@@ -1037,6 +1165,7 @@ fn render_perf(
     server: &ServerBench,
     service: &ServiceBench,
     interp: &InterpBench,
+    store: &StoreBench,
 ) -> String {
     let counter_block = |m: &PerfMeasure, indent: &str| {
         let lines: Vec<String> = m
@@ -1106,6 +1235,18 @@ fn render_perf(
         service.pool64.compiles_per_sec,
         service.pool64.p99_ms,
         service.pool64.mean_ms,
+    );
+    let _ = writeln!(
+        out,
+        "  \"store\": {{\n    \"cold_ms\": {:.2},\n    \"warm_store_ms\": {:.2},\n    \
+         \"speedup\": {:.2},\n    \"programs\": {},\n    \"entries\": {},\n    \
+         \"bytes\": {}\n  }},",
+        store.cold_ms,
+        store.warm_ms,
+        store.speedup(),
+        store.programs,
+        store.entries,
+        store.bytes,
     );
     let _ = writeln!(
         out,
@@ -1297,10 +1438,40 @@ fn perf_gate() -> ExitCode {
         failed = true;
     }
 
-    // Gate 5 (wall clock, self-relative): no fast-path run may regress more
+    // Gate 5 (absolute): a cold process against a prewarmed artifact
+    // store must beat a true cold process by STORE_MIN_SPEEDUP on the
+    // conformance corpus, byte-identical program by program (store_bench
+    // fails on any divergence).
+    let store = match store_bench(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask perf: store bench FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "xtask perf: store              cold {:>8.2}ms  warm store {:>8.2}ms  ({:.2}x over \
+         {} programs, {} entries, {} KiB)",
+        store.cold_ms,
+        store.warm_ms,
+        store.speedup(),
+        store.programs,
+        store.entries,
+        store.bytes / 1024,
+    );
+    if store.speedup() < STORE_MIN_SPEEDUP {
+        eprintln!(
+            "xtask perf: persistent store ineffective: cold process with warm store only \
+             {:.2}x faster than true cold (need {STORE_MIN_SPEEDUP:.1}x)",
+            store.speedup()
+        );
+        failed = true;
+    }
+
+    // Gate 6 (wall clock, self-relative): no fast-path run may regress more
     // than PERF_TOLERANCE against the committed snapshot, and the service
     // tail latencies may not regress against their committed baselines.
-    let doc = render_perf(&rows, &server, &service, &interp);
+    let doc = render_perf(&rows, &server, &service, &interp, &store);
     let baseline_path = root.join("BENCH_perf.json");
     match std::fs::read_to_string(&baseline_path) {
         Ok(baseline) => {

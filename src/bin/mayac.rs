@@ -53,10 +53,21 @@
 //! * `--jobs=N` — lex independent source files on N worker threads
 //!   (default: available parallelism). Output, diagnostics, and their
 //!   order are identical for every N.
-//! * `--table-cache=DIR` — persist built LALR tables under DIR, keyed by
-//!   a grammar content hash, so later runs skip table construction. The
-//!   directory (with any missing parents) is created; a corrupt or stale
-//!   cache file is ignored and rebuilt silently.
+//! * `--cache-dir=DIR` — the persistent compilation cache (see README.md
+//!   § Persistent compilation cache): LALR tables, lexed token trees,
+//!   lowered bodies + bytecode, and whole-request outcomes are stored
+//!   under DIR keyed by content hash, so later *processes* start warm.
+//!   The `MAYA_CACHE_DIR` environment variable supplies a default; the
+//!   directory (with any missing parents) is created; corrupt or stale
+//!   entries are ignored and rebuilt silently.
+//! * `--cache-max-mb=N` — size-cap the cache: saves that push past N MB
+//!   evict least-recently-used entries automatically.
+//! * `--table-cache=DIR` — deprecated alias for `--cache-dir=DIR` (kept
+//!   from when only LALR tables were persisted).
+//!
+//! Cache maintenance: `mayac cache stats|gc|clear [--cache-dir=DIR]`
+//! prints per-kind entry counts and sizes, evicts to the cap, or empties
+//! the store.
 //!
 //! Incremental mode (see README.md § Incremental compilation):
 //!
@@ -97,10 +108,21 @@ struct Cli {
     profile_interp: Option<usize>,
     /// Front-end worker threads; `None` = available parallelism.
     jobs: Option<usize>,
-    /// On-disk LALR table cache directory.
-    table_cache: Option<String>,
+    /// Persistent artifact store directory (`--cache-dir`, or its
+    /// deprecated alias `--table-cache`).
+    cache_dir: Option<String>,
+    /// Automatic-eviction threshold for the store, in megabytes.
+    cache_max_mb: Option<u64>,
     /// Stay resident and recompile on change.
     watch: bool,
+}
+
+/// The `--cache-dir` in effect: the flag, or the `MAYA_CACHE_DIR`
+/// environment default.
+fn effective_cache_dir(cli_dir: &Option<String>) -> Option<String> {
+    cli_dir
+        .clone()
+        .or_else(|| std::env::var("MAYA_CACHE_DIR").ok().filter(|d| !d.is_empty()))
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
@@ -164,11 +186,23 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                         Ok(n) if n > 0 => cli.jobs = Some(n),
                         _ => return Err(format!("invalid --jobs value {n:?}")),
                     }
+                } else if let Some(dir) = other.strip_prefix("--cache-dir=") {
+                    if dir.is_empty() {
+                        return Err("missing directory after --cache-dir=".into());
+                    }
+                    cli.cache_dir = Some(dir.to_owned());
+                } else if let Some(n) = other.strip_prefix("--cache-max-mb=") {
+                    match n.parse::<u64>() {
+                        Ok(n) if n > 0 => cli.cache_max_mb = Some(n),
+                        _ => return Err(format!("invalid --cache-max-mb value {n:?}")),
+                    }
                 } else if let Some(dir) = other.strip_prefix("--table-cache=") {
+                    // Deprecated alias: the table cache grew into the
+                    // artifact store; same directory, same key scheme.
                     if dir.is_empty() {
                         return Err("missing directory after --table-cache=".into());
                     }
-                    cli.table_cache = Some(dir.to_owned());
+                    cli.cache_dir = Some(dir.to_owned());
                 } else if let Some(fmt) = other.strip_prefix("--error-format=") {
                     cli.error_format = match fmt {
                         "human" => ErrorFormat::Human,
@@ -266,19 +300,93 @@ fn finish_telemetry(cli: &Cli, session: Option<telemetry::Session>) -> bool {
     ok
 }
 
+/// Fallback eviction cap for `mayac cache gc` when no `--cache-max-mb`
+/// is given.
+const DEFAULT_CACHE_MAX_MB: u64 = 512;
+
+/// `mayac cache stats|gc|clear`: maintenance on the persistent store.
+/// Runs against `--cache-dir` / `--table-cache` / `$MAYA_CACHE_DIR`.
+fn cache_command(args: &[String]) -> ExitCode {
+    let mut action = None;
+    let mut dir = None;
+    let mut max_mb = None;
+    for a in args {
+        if let Some(d) = a.strip_prefix("--cache-dir=").or_else(|| a.strip_prefix("--table-cache="))
+        {
+            dir = Some(d.to_owned());
+        } else if let Some(n) = a.strip_prefix("--cache-max-mb=") {
+            match n.parse::<u64>() {
+                Ok(n) if n > 0 => max_mb = Some(n),
+                _ => return usage(&format!("invalid --cache-max-mb value {n:?}")),
+            }
+        } else if action.is_none() && !a.starts_with('-') {
+            action = Some(a.as_str());
+        } else {
+            return usage(&format!("unexpected cache argument {a:?}"));
+        }
+    }
+    let Some(action) = action else {
+        return usage("cache needs an action: stats, gc, or clear");
+    };
+    let Some(dir) = effective_cache_dir(&dir) else {
+        return usage("cache needs --cache-dir=DIR (or MAYA_CACHE_DIR)");
+    };
+    let store = match maya::core::store::ArtifactStore::open(std::path::Path::new(&dir), max_mb) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mayac: cannot open cache {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match action {
+        "stats" => {
+            let stats = store.stats();
+            let (mut entries, mut bytes) = (0u64, 0u64);
+            for (kind, s) in &stats {
+                println!("{:<10} {:>8} entries {:>12} bytes", kind.label(), s.entries, s.bytes);
+                entries += s.entries;
+                bytes += s.bytes;
+            }
+            println!("{:<10} {entries:>8} entries {bytes:>12} bytes", "total");
+        }
+        "gc" => {
+            let cap = max_mb.unwrap_or(DEFAULT_CACHE_MAX_MB) * 1024 * 1024;
+            let (evicted, freed) = store.gc(cap);
+            let kept: u64 = store.stats().iter().map(|(_, s)| s.bytes).sum();
+            println!("evicted {evicted} entries ({freed} bytes), kept {kept} bytes (cap {cap})");
+        }
+        "clear" => {
+            let removed = store.clear();
+            println!("removed {removed} entries");
+        }
+        other => return usage(&format!("unknown cache action {other:?}")),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Opens the persistent store (if configured) and installs it on this
+/// thread. Open failure only disables the cache, exactly like any later
+/// cache-write failure.
+fn install_store(cli: &Cli) {
+    if let Some(dir) = effective_cache_dir(&cli.cache_dir) {
+        match maya::core::store::ArtifactStore::open(std::path::Path::new(&dir), cli.cache_max_mb) {
+            Ok(store) => maya::core::store::install_thread(Some(store)),
+            Err(e) => eprintln!("mayac: cache disabled, cannot open {dir}: {e}"),
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let cli = match parse_args(std::env::args().skip(1)) {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("cache") {
+        return cache_command(&raw[1..]);
+    }
+    let cli = match parse_args(raw.into_iter()) {
         Ok(cli) => cli,
         Err(e) => return usage(&e),
     };
 
-    if let Some(dir) = &cli.table_cache {
-        // Create the directory (with missing parents) eagerly so the disk
-        // layer works on first use; a failure here only disables caching,
-        // exactly like any later cache-write failure.
-        let _ = std::fs::create_dir_all(dir);
-        maya::grammar::set_table_cache_dir(Some(std::path::PathBuf::from(dir)));
-    }
+    install_store(&cli);
     let jobs = cli.jobs.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -409,7 +517,11 @@ fn usage(err: &str) -> ExitCode {
          \x20            [--max-errors=N] [--error-format=human|json] [--deny-warnings]\n\
          \x20            [--time-passes[=tree]] [--stats[=FILE]] [--trace-expansion[=FILTER]]\n\
          \x20            [--trace-out=FILE] [--profile-interp[=N]]\n\
-         \x20            [--jobs=N] [--table-cache=DIR] [--watch] FILE..."
+         \x20            [--jobs=N] [--cache-dir=DIR] [--cache-max-mb=N] [--watch] FILE...\n\
+         \x20      mayac cache stats|gc|clear [--cache-dir=DIR] [--cache-max-mb=N]\n\
+         \x20\n\
+         \x20      --table-cache=DIR is a deprecated alias for --cache-dir=DIR;\n\
+         \x20      MAYA_CACHE_DIR supplies a default cache directory."
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -5,8 +5,14 @@
 //! ```text
 //! mayad --socket=PATH [--tcp=ADDR] [--workers=N] [--queue-cap=N]
 //!       [--max-inflight=N] [--max-request-bytes=N] [--fuel=N]
-//!       [--jobs=N] [--table-cache=DIR] [--stats=FILE]
+//!       [--jobs=N] [--cache-dir=DIR] [--cache-max-mb=N] [--stats=FILE]
 //! ```
+//!
+//! `--cache-dir=DIR` (default `$MAYA_CACHE_DIR`; deprecated alias
+//! `--table-cache=DIR`) opens the persistent compilation cache and shares
+//! it across every worker: a restarted daemon starts warm from the
+//! artifacts the previous one persisted. See README.md § Persistent
+//! compilation cache.
 //!
 //! `mayad` serves compile requests over a unix domain socket (and, with
 //! `--tcp=ADDR`, over TCP with the same protocol), one newline-delimited
@@ -83,7 +89,8 @@ struct Cli {
     max_request_bytes: Option<usize>,
     fuel: Option<u64>,
     jobs: Option<usize>,
-    table_cache: Option<String>,
+    cache_dir: Option<String>,
+    cache_max_mb: Option<u64>,
     stats: Option<String>,
 }
 
@@ -124,11 +131,19 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                     cli.fuel = Some(positive("--fuel", n)?);
                 } else if let Some(n) = other.strip_prefix("--jobs=") {
                     cli.jobs = Some(positive("--jobs", n)?);
+                } else if let Some(d) = other.strip_prefix("--cache-dir=") {
+                    if d.is_empty() {
+                        return Err("missing directory after --cache-dir=".into());
+                    }
+                    cli.cache_dir = Some(d.to_owned());
+                } else if let Some(n) = other.strip_prefix("--cache-max-mb=") {
+                    cli.cache_max_mb = Some(positive("--cache-max-mb", n)?);
                 } else if let Some(d) = other.strip_prefix("--table-cache=") {
+                    // Deprecated alias for --cache-dir.
                     if d.is_empty() {
                         return Err("missing directory after --table-cache=".into());
                     }
-                    cli.table_cache = Some(d.to_owned());
+                    cli.cache_dir = Some(d.to_owned());
                 } else if let Some(f) = other.strip_prefix("--stats=") {
                     if f.is_empty() {
                         return Err("missing file after --stats=".into());
@@ -184,10 +199,19 @@ fn main() -> ExitCode {
     };
     let socket_path = cli.socket.clone().expect("validated");
 
-    if let Some(dir) = &cli.table_cache {
-        let _ = std::fs::create_dir_all(dir);
-        maya::grammar::set_table_cache_dir(Some(std::path::PathBuf::from(dir)));
-    }
+    let cache_dir = cli
+        .cache_dir
+        .clone()
+        .or_else(|| std::env::var("MAYA_CACHE_DIR").ok().filter(|d| !d.is_empty()));
+    let store = cache_dir.and_then(|dir| {
+        match maya::core::store::ArtifactStore::open(std::path::Path::new(&dir), cli.cache_max_mb) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("mayad: cache disabled, cannot open {dir}: {e}");
+                None
+            }
+        }
+    });
     let workers = cli.workers.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -200,6 +224,7 @@ fn main() -> ExitCode {
             maya::macrolib::install(c);
             maya::multijava::install(c);
         })),
+        store,
         ..PoolConfig::default()
     };
     if let Some(n) = cli.queue_cap {
@@ -432,7 +457,10 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: mayad --socket=PATH [--tcp=ADDR] [--workers=N] [--queue-cap=N]\n\
          \x20            [--max-inflight=N] [--max-request-bytes=N] [--fuel=N]\n\
-         \x20            [--jobs=N] [--table-cache=DIR] [--stats=FILE]"
+         \x20            [--jobs=N] [--cache-dir=DIR] [--cache-max-mb=N] [--stats=FILE]\n\
+         \x20\n\
+         \x20      --table-cache=DIR is a deprecated alias for --cache-dir=DIR;\n\
+         \x20      MAYA_CACHE_DIR supplies a default cache directory."
     );
     if err.is_empty() {
         ExitCode::SUCCESS

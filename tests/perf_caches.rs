@@ -108,7 +108,8 @@ fn corrupted_disk_cache_is_ignored_and_rebuilt() {
     let dir = std::env::temp_dir().join(format!("maya-tblcache-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     maya::grammar::set_table_cache_enabled(true);
-    maya::grammar::set_table_cache_dir(Some(dir.clone()));
+    let store = maya::core::store::ArtifactStore::open(&dir, None).unwrap();
+    maya::core::store::install_thread(Some(store));
     maya::grammar::clear_table_cache();
 
     // First run populates the directory.
@@ -135,7 +136,7 @@ fn corrupted_disk_cache_is_ignored_and_rebuilt() {
     let repaired = counters(compile_extension_pair);
     assert_eq!(repaired(Counter::TablesBuilt), 0, "the rewrite must be readable again");
 
-    maya::grammar::set_table_cache_dir(None);
+    maya::core::store::install_thread(None);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

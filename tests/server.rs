@@ -661,3 +661,50 @@ fn saturated_queue_replies_overloaded_within_bounded_time() {
     let pong = conn.recv();
     assert!(ok(&pong) && pong.get("pong").and_then(Json::as_bool) == Some(true));
 }
+
+// ---- persistent artifact store ----------------------------------------------
+
+/// `mayad --cache-dir`: a daemon persists artifacts to the store, and a
+/// *restarted* daemon (fresh process, same cache directory) starts warm —
+/// its first request hydrates from the store, byte-identical to the cold
+/// run, with the `store_*` gauges showing the hits.
+#[test]
+fn restarted_mayad_starts_warm_from_cache_dir() {
+    let cache = std::env::temp_dir().join(format!("mayad-restart-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+    let flags = vec![format!("--cache-dir={}", cache.display())];
+    let src = r#"class Main { static void main() { System.out.println("warmth"); } }"#;
+
+    let cold = {
+        let srv = Mayad::start(&flags);
+        std::fs::write(srv.dir().join("warm.maya"), src).unwrap();
+        let r = srv.raw_request(r#"{"files": ["warm.maya"]}"#);
+        assert!(ok(&r), "{r:?}");
+        assert_eq!(r.get("success").and_then(Json::as_bool), Some(true));
+        r.get("stdout").and_then(Json::as_str).unwrap().to_owned()
+        // Drop: clean shutdown; the artifacts must outlive the process.
+    };
+    assert_eq!(cold, "warmth\n");
+    let persisted = std::fs::read_dir(&cache).unwrap().count();
+    assert!(persisted > 0, "the first daemon must leave artifacts behind");
+
+    // Same request (same file name and content, different cwd and
+    // process) against a restarted daemon: byte-identical, via the store.
+    let srv = Mayad::start(&flags);
+    std::fs::write(srv.dir().join("warm.maya"), src).unwrap();
+    let r = srv.raw_request(r#"{"files": ["warm.maya"]}"#);
+    assert!(ok(&r), "{r:?}");
+    assert_eq!(r.get("stdout").and_then(Json::as_str), Some(cold.as_str()));
+
+    let stats = srv.raw_request(r#"{"cmd":"stats"}"#);
+    let caches = stats.get("stats").unwrap().get("caches").unwrap();
+    let hits = |name: &str| {
+        caches.get(name).and_then(|c| c.get("hits")).and_then(Json::as_u64).unwrap_or(0)
+    };
+    assert!(
+        hits("store_outcome") >= 1,
+        "the restarted daemon must hydrate the request outcome from the store: {stats:?}"
+    );
+    drop(srv);
+    let _ = std::fs::remove_dir_all(&cache);
+}

@@ -1,0 +1,286 @@
+//! The persistent compilation cache (`--cache-dir`): every artifact kind
+//! round-trips through real `mayac` processes, corrupt and
+//! future-versioned entries are silently rebuilt, `mayac cache
+//! stats|gc|clear` maintain the directory, and four concurrent processes
+//! can hammer one store without corrupting it or each other's output.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use maya::core::store::{ArtifactStore, Kind};
+
+fn mayac() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mayac"))
+}
+
+/// A per-test scratch directory (removed and recreated on entry).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("maya-store-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A program whose main body is worth lowering (loop + calls), so a run
+/// persists all four artifact kinds: tables, lex, outcome, and bodies.
+const LOOPY: &str = r#"class Main {
+    static int triple(int n) { return n * 3; }
+    static void main() {
+        int sum = 0;
+        for (int i = 0; i < 5; i = i + 1) { sum = sum + triple(i); }
+        System.out.println(sum);
+    }
+}
+"#;
+
+fn run_mayac(file: &Path, cache: &Path) -> (bool, Vec<u8>, Vec<u8>) {
+    let out = mayac()
+        .arg(format!("--cache-dir={}", cache.display()))
+        .arg(file)
+        .env_remove("MAYA_CACHE_DIR")
+        .output()
+        .unwrap();
+    (out.status.success(), out.stdout, out.stderr)
+}
+
+fn entries_with_ext(cache: &Path, ext: &str) -> Vec<PathBuf> {
+    std::fs::read_dir(cache)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().and_then(|e| e.to_str()) == Some(ext)).then_some(p)
+        })
+        .collect()
+}
+
+#[test]
+fn every_artifact_kind_round_trips_through_real_processes() {
+    let dir = scratch("kinds");
+    let cache = dir.join("cache");
+    let file = dir.join("loopy.maya");
+    std::fs::write(&file, LOOPY).unwrap();
+
+    let cold = run_mayac(&file, &cache);
+    assert!(cold.0, "{}", String::from_utf8_lossy(&cold.2));
+    assert_eq!(cold.1, b"30\n");
+    for kind in Kind::ALL {
+        assert!(
+            !entries_with_ext(&cache, kind.ext()).is_empty(),
+            "a run must persist at least one {} artifact",
+            kind.label()
+        );
+    }
+
+    // A second cold process hydrates from the store, byte-identical.
+    let warm = run_mayac(&file, &cache);
+    assert_eq!(warm, cold, "warm-store run must be byte-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_and_bit_flipped_entries_are_silently_rebuilt() {
+    let dir = scratch("corrupt");
+    let cache = dir.join("cache");
+    let file = dir.join("loopy.maya");
+    std::fs::write(&file, LOOPY).unwrap();
+    let cold = run_mayac(&file, &cache);
+    assert!(cold.0);
+
+    // Truncate every entry to half its size.
+    for p in std::fs::read_dir(&cache).unwrap().map(|e| e.unwrap().path()) {
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() / 2]).unwrap();
+    }
+    let after_truncation = run_mayac(&file, &cache);
+    assert_eq!(after_truncation, cold, "truncated entries must be rebuilt silently");
+
+    // Flip one payload bit in every (freshly rewritten) entry.
+    for p in std::fs::read_dir(&cache).unwrap().map(|e| e.unwrap().path()) {
+        let mut bytes = std::fs::read(&p).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&p, &bytes).unwrap();
+    }
+    let after_flip = run_mayac(&file, &cache);
+    assert_eq!(after_flip, cold, "bit-flipped entries must be rebuilt silently");
+
+    // The rebuild repaired the store: a further run serves from it again.
+    let repaired = run_mayac(&file, &cache);
+    assert_eq!(repaired, cold);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Mirrors the store's checksum so the test can re-seal an entry after
+/// editing its header (isolating the version check from the checksum).
+fn reseal(bytes: &mut Vec<u8>) {
+    bytes.truncate(bytes.len() - 8);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes.iter() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let sum = h.to_le_bytes();
+    bytes.extend_from_slice(&sum);
+}
+
+#[test]
+fn future_format_version_is_silently_invalidated() {
+    let dir = scratch("version");
+    let cache = dir.join("cache");
+    let file = dir.join("loopy.maya");
+    std::fs::write(&file, LOOPY).unwrap();
+    let cold = run_mayac(&file, &cache);
+    assert!(cold.0);
+
+    // Rewrite every entry as if a future mayac (format version + 1) had
+    // written it, with a *valid* checksum: the version field alone must
+    // make this process treat the entry as a miss and rebuild.
+    for p in std::fs::read_dir(&cache).unwrap().map(|e| e.unwrap().path()) {
+        let mut bytes = std::fs::read(&p).unwrap();
+        let ver = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        bytes[8..12].copy_from_slice(&(ver + 1).to_le_bytes());
+        reseal(&mut bytes);
+        std::fs::write(&p, &bytes).unwrap();
+    }
+    let rebuilt = run_mayac(&file, &cache);
+    assert_eq!(rebuilt, cold, "future-versioned entries must rebuild silently");
+
+    // ... and the rewrite downgraded them back to the current version.
+    for p in std::fs::read_dir(&cache).unwrap().map(|e| e.unwrap().path()) {
+        let bytes = std::fs::read(&p).unwrap();
+        assert_eq!(&bytes[..8], b"MAYASTOR");
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 1);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_subcommands_report_gc_and_clear_the_store() {
+    let dir = scratch("subcommands");
+    let cache = dir.join("cache");
+    // Oversize the store deterministically: 8 payloads of ~400 KiB.
+    let store = ArtifactStore::open(&cache, None).unwrap();
+    for i in 0..8u8 {
+        store.save(Kind::Lex, u128::from(i) + 1, &vec![i; 400 * 1024]);
+    }
+    drop(store);
+
+    let stats = mayac()
+        .args(["cache", "stats", &format!("--cache-dir={}", cache.display())])
+        .output()
+        .unwrap();
+    assert!(stats.status.success(), "{}", String::from_utf8_lossy(&stats.stderr));
+    let text = String::from_utf8_lossy(&stats.stdout).to_string();
+    for label in ["tables", "lex", "outcome", "body", "total"] {
+        assert!(text.contains(label), "stats must list {label}: {text}");
+    }
+    assert!(text.contains("8 entries"), "stats must count the 8 lex entries: {text}");
+
+    // GC to a 1 MB cap: the directory must shrink under the cap (evicting
+    // oldest-first) but keep at least one entry.
+    let gc = mayac()
+        .args([
+            "cache",
+            "gc",
+            &format!("--cache-dir={}", cache.display()),
+            "--cache-max-mb=1",
+        ])
+        .output()
+        .unwrap();
+    assert!(gc.status.success(), "{}", String::from_utf8_lossy(&gc.stderr));
+    let total: u64 = std::fs::read_dir(&cache)
+        .unwrap()
+        .map(|e| e.unwrap().metadata().unwrap().len())
+        .sum();
+    assert!(total <= 1024 * 1024, "gc must enforce the cap, left {total} bytes");
+    assert!(total > 0, "gc must not empty a store that fits entries under the cap");
+
+    let clear = mayac()
+        .args(["cache", "clear", &format!("--cache-dir={}", cache.display())])
+        .output()
+        .unwrap();
+    assert!(clear.status.success());
+    let left = std::fs::read_dir(&cache).unwrap().count();
+    assert_eq!(left, 0, "clear must empty the store");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn automatic_gc_keeps_the_store_under_cache_max_mb() {
+    let dir = scratch("autogc");
+    let cache = dir.join("cache");
+    // Pre-fill ~4 MB, then open with a 1 MB cap and trigger one save: the
+    // automatic sweep must pull the directory back under the cap.
+    let filler = ArtifactStore::open(&cache, None).unwrap();
+    for i in 0..10u8 {
+        filler.save(Kind::Body, u128::from(i) + 1, &vec![i; 400 * 1024]);
+    }
+    drop(filler);
+
+    let capped = ArtifactStore::open(&cache, Some(1)).unwrap();
+    capped.save(Kind::Lex, 0xfeed, &[1, 2, 3]);
+    let total: u64 = std::fs::read_dir(&cache)
+        .unwrap()
+        .map(|e| e.unwrap().metadata().unwrap().len())
+        .sum();
+    assert!(
+        total <= 1024 * 1024,
+        "a save past --cache-max-mb must trigger the automatic sweep, left {total} bytes"
+    );
+    assert!(
+        capped.load(Kind::Lex, 0xfeed).is_some(),
+        "the just-written entry should survive the sweep"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn four_concurrent_processes_share_one_store() {
+    let dir = scratch("stress");
+    let cache = dir.join("cache");
+
+    // Four distinct programs plus one shared by everybody, so the
+    // processes race on both disjoint and identical keys.
+    let shared = dir.join("shared.maya");
+    std::fs::write(&shared, LOOPY).unwrap();
+    let files: Vec<(PathBuf, String)> = (0..4)
+        .map(|i| {
+            let f = dir.join(format!("p{i}.maya"));
+            std::fs::write(
+                &f,
+                format!(
+                    "class Main {{ static void main() {{ System.out.println(\"proc {i}\"); }} }}"
+                ),
+            )
+            .unwrap();
+            (f, format!("proc {i}\n"))
+        })
+        .collect();
+
+    let threads: Vec<_> = files
+        .into_iter()
+        .map(|(file, expect)| {
+            let cache = cache.clone();
+            let shared = shared.clone();
+            std::thread::spawn(move || {
+                for round in 0..3 {
+                    let (ok, stdout, stderr) = run_mayac(&file, &cache);
+                    assert!(ok, "round {round}: {}", String::from_utf8_lossy(&stderr));
+                    assert_eq!(stdout, expect.as_bytes(), "round {round}");
+                    let (ok, stdout, stderr) = run_mayac(&shared, &cache);
+                    assert!(ok, "round {round}: {}", String::from_utf8_lossy(&stderr));
+                    assert_eq!(stdout, b"30\n", "round {round}");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // The racing writers left a coherent store: a fresh process still
+    // hydrates the shared program from it.
+    let (ok, stdout, _) = run_mayac(&shared, &cache);
+    assert!(ok);
+    assert_eq!(stdout, b"30\n");
+    let _ = std::fs::remove_dir_all(&dir);
+}
